@@ -1,0 +1,69 @@
+// Command kite-bench regenerates the paper's evaluation (§8): every figure
+// plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	kite-bench -fig 5              # throughput vs write ratio
+//	kite-bench -fig 6              # Kite vs ZAB while varying synchronisation
+//	kite-bench -fig 7              # write-only study incl. Derecho
+//	kite-bench -fig 8              # lock-free data structures
+//	kite-bench -fig 9              # failure study
+//	kite-bench -fig timeout        # release-timeout ablation
+//	kite-bench -fig fastpath       # fast-path on/off ablation
+//	kite-bench -fig all
+//
+// Scale knobs: -nodes, -workers, -sessions, -keys, -measure, -warmup.
+// Absolute numbers depend on the host; the paper-matching signal is the
+// *shape*: orderings, ratios and crossovers (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kite/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,timeout,fastpath,all")
+		nodes    = flag.Int("nodes", 5, "replication degree (3-9)")
+		workers  = flag.Int("workers", 4, "worker goroutines per node")
+		sessions = flag.Int("sessions", 4, "sessions per worker")
+		keys     = flag.Uint64("keys", 1<<17, "key-space size")
+		measure  = flag.Duration("measure", 600*time.Millisecond, "measurement window per point")
+		warmup   = flag.Duration("warmup", 150*time.Millisecond, "warmup per point")
+		structs  = flag.Int("structs", 256, "data-structure instances (figure 8)")
+		sleepFor = flag.Duration("sleep", 400*time.Millisecond, "replica sleep (figure 9)")
+	)
+	flag.Parse()
+
+	fc := bench.DefaultFigureConfig(os.Stdout)
+	fc.Nodes = *nodes
+	fc.Workers = *workers
+	fc.SessionsPerWorker = *sessions
+	fc.Keys = *keys
+	fc.Measure = *measure
+	fc.Warmup = *warmup
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "kite-bench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("5", func() error { return bench.Figure5(fc, nil) })
+	run("6", func() error { return bench.Figure6(fc, nil) })
+	run("7", func() error { return bench.Figure7(fc) })
+	run("8", func() error { return bench.Figure8(fc, *structs, 0) })
+	run("9", func() error { return bench.Figure9(fc, *sleepFor) })
+	run("timeout", func() error { return bench.AblationTimeout(fc, nil) })
+	run("fastpath", func() error { return bench.AblationFastPath(fc) })
+}

@@ -1,0 +1,136 @@
+// Package dstruct ports three widely used lock-free shared-memory data
+// structures onto the Kite API, exactly as the paper's §8.3 evaluation does:
+//
+//   - the Treiber stack (Treiber 1986),
+//   - the Michael-Scott queue (Michael & Scott 1996), and
+//   - the Harris-Michael sorted list (Harris 2001, Michael 2002),
+//
+// demonstrating the paper's thesis that Release Consistency's familiar API
+// provides a pathway for the seamless porting of fault-tolerant shared
+// memory algorithms to distributed KVSs. The ports follow the shared-memory
+// originals: object payload fields are written with relaxed writes, pointer
+// loads that must observe other sessions' publications are acquire reads,
+// and pointer swings are CASes (whose RMW read/write carry acquire/release
+// semantics automatically, Table 1). ABA counters ride alongside every
+// pointer, as in the paper's port (§8.3).
+//
+// Under contention the structures lean on Kite's weak CAS, which fails
+// locally when the comparison fails against the local replica's value —
+// the conflict-mitigation trick §8.3 describes.
+package dstruct
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"kite"
+)
+
+// ErrCorrupt reports a structural invariant violation (e.g. a node read
+// back with inconsistent metadata — the §8.3 correctness checks).
+var ErrCorrupt = errors.New("dstruct: corrupted structure")
+
+// MaxFields bounds the per-object payload field count (the paper evaluates
+// 4- and 32-field objects).
+const MaxFields = 32
+
+// Ptr is a tagged pointer: a node's key plus an ABA counter and (for the
+// Harris-Michael list) a logical-deletion mark. The zero Ptr is null.
+type Ptr struct {
+	Key  uint64
+	Cnt  uint64 // ABA counter (63 bits) — bumped on every successful swing
+	Mark bool   // logical deletion mark (list only)
+}
+
+// IsNull reports whether p is the null pointer.
+func (p Ptr) IsNull() bool { return p.Key == 0 }
+
+// Next returns p's successor counter value preserving the key.
+func (p Ptr) String() string {
+	m := ""
+	if p.Mark {
+		m = "*"
+	}
+	return fmt.Sprintf("%d@%d%s", p.Key, p.Cnt, m)
+}
+
+const ptrLen = 16
+
+// EncodePtr renders p in its 16-byte wire form.
+func EncodePtr(p Ptr) []byte {
+	b := make([]byte, ptrLen)
+	binary.LittleEndian.PutUint64(b, p.Key)
+	cnt := p.Cnt &^ (1 << 63)
+	if p.Mark {
+		cnt |= 1 << 63
+	}
+	binary.LittleEndian.PutUint64(b[8:], cnt)
+	return b
+}
+
+// DecodePtr parses a pointer value; absent/short values decode as null.
+func DecodePtr(b []byte) Ptr {
+	if len(b) < ptrLen {
+		return Ptr{}
+	}
+	raw := binary.LittleEndian.Uint64(b[8:])
+	return Ptr{
+		Key:  binary.LittleEndian.Uint64(b),
+		Cnt:  raw &^ (1 << 63),
+		Mark: raw&(1<<63) != 0,
+	}
+}
+
+// Arena allocates globally unique node keys for one session. Node keys live
+// in the top half of the key space (bit 63 set) so they never collide with
+// application keys; uniqueness across sessions comes from the owner tag.
+type Arena struct {
+	next   uint64
+	stride uint64
+	tag    uint64
+}
+
+// NewArena creates an allocator for a session. owner must be unique across
+// all (session, structure) pairs of the deployment — two arenas with the
+// same owner hand out colliding node keys (e.g. use
+// (node<<20 | sessionIndex<<4 | structureIndex)); stride is the number of
+// consecutive keys each node occupies (1 + field count).
+func NewArena(owner uint64, stride int) *Arena {
+	return &Arena{tag: 1<<63 | owner<<32, stride: uint64(stride), next: 1}
+}
+
+// Alloc returns the next node key.
+func (a *Arena) Alloc() uint64 {
+	k := a.tag | a.next
+	a.next += a.stride
+	return k
+}
+
+// fieldKey returns the key of payload field i of the node at nodeKey.
+func fieldKey(nodeKey uint64, i int) uint64 { return nodeKey + 1 + uint64(i) }
+
+// writeFields writes an object's payload with relaxed writes — the cheap
+// accesses the RC API exists to keep cheap (the producer side of Figure 1).
+func writeFields(s *kite.Session, nodeKey uint64, fields [][]byte) error {
+	for i, f := range fields {
+		if err := s.Write(fieldKey(nodeKey, i), f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFields reads an object's payload with relaxed reads; visibility is
+// guaranteed by the acquire semantics of the pointer load that led here.
+func readFields(s *kite.Session, nodeKey uint64, n int) ([][]byte, error) {
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		v, err := s.Read(fieldKey(nodeKey, i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

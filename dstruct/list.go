@@ -1,0 +1,203 @@
+package dstruct
+
+import "kite"
+
+// List is a Harris-Michael lock-free sorted linked list (§8.3 workload 3:
+// HML). Nodes carry a sort key; deletion is two-phase — logically mark the
+// node's next pointer, then physically unlink with a CAS on the
+// predecessor. Traversals help unlink marked nodes they encounter, exactly
+// as in the shared-memory original.
+//
+// The list is anchored at headKey (the head sentinel's next pointer).
+type List struct {
+	sess    *kite.Session
+	arena   *Arena
+	headKey uint64
+	fields  int
+	weak    bool
+}
+
+// NewList attaches a session to the list anchored at headKey. An empty list
+// needs no initialisation: a null head pointer is the empty list.
+func NewList(sess *kite.Session, headKey uint64, fields int, owner uint64, weakCAS bool) *List {
+	return &List{
+		sess:    sess,
+		arena:   NewArena(owner, 2+fields), // node: next ptr + sort key + fields
+		headKey: headKey,
+		fields:  fields,
+		weak:    weakCAS,
+	}
+}
+
+// node layout: nodeKey holds the next pointer; nodeKey+1 holds the 8-byte
+// sort key; payload fields follow.
+func (l *List) sortKeyOf(nodeKey uint64) (uint64, error) {
+	v, err := l.sess.Read(nodeKey + 1)
+	if err != nil {
+		return 0, err
+	}
+	return kite.DecodeUint64(v), nil
+}
+
+// search returns the first unmarked node with sort key >= k and its
+// predecessor pointer location (the head anchor or a node's next key),
+// helping to unlink marked nodes along the way.
+func (l *List) search(k uint64) (prevPtrKey uint64, prevRaw []byte, cur Ptr, err error) {
+retry:
+	prevPtrKey = l.headKey
+	prevRaw, err = l.sess.AcquireRead(prevPtrKey)
+	if err != nil {
+		return 0, nil, Ptr{}, err
+	}
+	cur = DecodePtr(prevRaw)
+	for !cur.IsNull() {
+		nextRaw, err := l.sess.AcquireRead(cur.Key)
+		if err != nil {
+			return 0, nil, Ptr{}, err
+		}
+		next := DecodePtr(nextRaw)
+		if next.Mark {
+			// cur is logically deleted: help unlink it from prev.
+			unlinked := EncodePtr(Ptr{Key: next.Key, Cnt: cur.Cnt + 1, Mark: false})
+			swapped, _, err := l.sess.CompareAndSwap(prevPtrKey, prevRaw, unlinked, l.weak)
+			if err != nil {
+				return 0, nil, Ptr{}, err
+			}
+			if !swapped {
+				goto retry
+			}
+			prevRaw = unlinked
+			cur = DecodePtr(unlinked)
+			continue
+		}
+		ck, err := l.sortKeyOf(cur.Key)
+		if err != nil {
+			return 0, nil, Ptr{}, err
+		}
+		if ck >= k {
+			return prevPtrKey, prevRaw, cur, nil
+		}
+		prevPtrKey = cur.Key
+		prevRaw = nextRaw
+		cur = next
+	}
+	return prevPtrKey, prevRaw, Ptr{}, nil
+}
+
+// Insert adds sort key k with the given payload; it returns false if k is
+// already present.
+func (l *List) Insert(k uint64, fields [][]byte) (bool, error) {
+	if len(fields) != l.fields {
+		return false, ErrCorrupt
+	}
+	for {
+		prevPtrKey, prevRaw, cur, err := l.search(k)
+		if err != nil {
+			return false, err
+		}
+		if !cur.IsNull() {
+			ck, err := l.sortKeyOf(cur.Key)
+			if err != nil {
+				return false, err
+			}
+			if ck == k {
+				return false, nil // already present
+			}
+		}
+		nodeKey := l.arena.Alloc()
+		if err := l.sess.Write(nodeKey+1, kite.EncodeUint64(k)); err != nil {
+			return false, err
+		}
+		for i, f := range fields {
+			if err := l.sess.Write(nodeKey+2+uint64(i), f); err != nil {
+				return false, err
+			}
+		}
+		// Link the new node to cur, then publish it with the CAS on prev
+		// (release semantics make the payload visible).
+		if err := l.sess.Write(nodeKey, EncodePtr(Ptr{Key: cur.Key, Cnt: 1})); err != nil {
+			return false, err
+		}
+		prev := DecodePtr(prevRaw)
+		newPtr := EncodePtr(Ptr{Key: nodeKey, Cnt: prev.Cnt + 1})
+		swapped, _, err := l.sess.CompareAndSwap(prevPtrKey, prevRaw, newPtr, l.weak)
+		if err != nil {
+			return false, err
+		}
+		if swapped {
+			return true, nil
+		}
+	}
+}
+
+// Delete removes sort key k; it returns false if k is not present.
+func (l *List) Delete(k uint64) (bool, error) {
+	for {
+		prevPtrKey, prevRaw, cur, err := l.search(k)
+		if err != nil {
+			return false, err
+		}
+		if cur.IsNull() {
+			return false, nil
+		}
+		ck, err := l.sortKeyOf(cur.Key)
+		if err != nil {
+			return false, err
+		}
+		if ck != k {
+			return false, nil
+		}
+		// Phase 1: mark cur's next pointer (logical delete).
+		nextRaw, err := l.sess.AcquireRead(cur.Key)
+		if err != nil {
+			return false, err
+		}
+		next := DecodePtr(nextRaw)
+		if next.Mark {
+			continue // someone else is deleting it; retry from search
+		}
+		marked := EncodePtr(Ptr{Key: next.Key, Cnt: next.Cnt + 1, Mark: true})
+		swapped, _, err := l.sess.CompareAndSwap(cur.Key, nextRaw, marked, l.weak)
+		if err != nil {
+			return false, err
+		}
+		if !swapped {
+			continue
+		}
+		// Phase 2: physically unlink (best effort; traversals help).
+		unlinked := EncodePtr(Ptr{Key: next.Key, Cnt: DecodePtr(prevRaw).Cnt + 1})
+		_, _, _ = l.sess.CompareAndSwap(prevPtrKey, prevRaw, unlinked, true)
+		return true, nil
+	}
+}
+
+// Contains reports whether sort key k is present.
+func (l *List) Contains(k uint64) (bool, error) {
+	_, _, cur, err := l.search(k)
+	if err != nil || cur.IsNull() {
+		return false, err
+	}
+	ck, err := l.sortKeyOf(cur.Key)
+	return err == nil && ck == k, err
+}
+
+// Fields returns the payload of the node with sort key k, if present.
+func (l *List) Fields(k uint64) ([][]byte, bool, error) {
+	_, _, cur, err := l.search(k)
+	if err != nil || cur.IsNull() {
+		return nil, false, err
+	}
+	ck, err := l.sortKeyOf(cur.Key)
+	if err != nil || ck != k {
+		return nil, false, err
+	}
+	out := make([][]byte, l.fields)
+	for i := 0; i < l.fields; i++ {
+		v, err := l.sess.Read(cur.Key + 2 + uint64(i))
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}

@@ -1,0 +1,152 @@
+package dstruct
+
+import "kite"
+
+// Queue is a Michael-Scott queue (§8.3 workload 2; the paper evaluates MSQ-4
+// and MSQ-32 — objects of 4 and 32 discrete 32-byte fields). Head and tail
+// pointers and each node's next pointer are swung by CAS; helping (swinging
+// a lagging tail) follows the original algorithm.
+//
+// The queue is anchored at two application keys: baseKey (head pointer) and
+// baseKey+1 (tail pointer). InitQueue must run once per queue before any
+// session attaches.
+type Queue struct {
+	sess    *kite.Session
+	arena   *Arena
+	headKey uint64
+	tailKey uint64
+	fields  int
+	weak    bool
+}
+
+// InitQueue creates the queue's dummy node and publishes head and tail.
+// Call exactly once per queue (e.g. from the deployment's setup session).
+func InitQueue(sess *kite.Session, baseKey uint64, fields int, owner uint64) error {
+	arena := NewArena(owner, 1+fields)
+	dummy := arena.Alloc()
+	// The dummy's next pointer starts null.
+	if err := sess.Write(dummy, EncodePtr(Ptr{})); err != nil {
+		return err
+	}
+	ptr := EncodePtr(Ptr{Key: dummy, Cnt: 1})
+	// Releases publish the anchor pointers so any session's acquire sees
+	// a fully initialised queue.
+	if err := sess.ReleaseWrite(baseKey, ptr); err != nil {
+		return err
+	}
+	return sess.ReleaseWrite(baseKey+1, ptr)
+}
+
+// NewQueue attaches a session to the queue anchored at baseKey.
+func NewQueue(sess *kite.Session, baseKey uint64, fields int, owner uint64, weakCAS bool) *Queue {
+	return &Queue{
+		sess:    sess,
+		arena:   NewArena(owner, 1+fields),
+		headKey: baseKey,
+		tailKey: baseKey + 1,
+		fields:  fields,
+		weak:    weakCAS,
+	}
+}
+
+// Enqueue appends an object of q.fields payload fields.
+func (q *Queue) Enqueue(fields [][]byte) error {
+	if len(fields) != q.fields {
+		return ErrCorrupt
+	}
+	nodeKey := q.arena.Alloc()
+	if err := writeFields(q.sess, nodeKey, fields); err != nil {
+		return err
+	}
+	if err := q.sess.Write(nodeKey, EncodePtr(Ptr{})); err != nil { // next = null
+		return err
+	}
+	for {
+		tailRaw, err := q.sess.AcquireRead(q.tailKey)
+		if err != nil {
+			return err
+		}
+		tail := DecodePtr(tailRaw)
+		if tail.IsNull() {
+			return ErrCorrupt // queue not initialised
+		}
+		nextRaw, err := q.sess.AcquireRead(tail.Key)
+		if err != nil {
+			return err
+		}
+		next := DecodePtr(nextRaw)
+		if !next.IsNull() {
+			// Tail lags: help swing it, then retry.
+			_, _, err = q.sess.CompareAndSwap(q.tailKey, tailRaw,
+				EncodePtr(Ptr{Key: next.Key, Cnt: tail.Cnt + 1}), q.weak)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		// Link the node at the end (the CAS's release semantics publish
+		// the payload written above).
+		newPtr := Ptr{Key: nodeKey, Cnt: next.Cnt + 1}
+		swapped, _, err := q.sess.CompareAndSwap(tail.Key, nextRaw, EncodePtr(newPtr), q.weak)
+		if err != nil {
+			return err
+		}
+		if swapped {
+			// Swing the tail; failure is fine — someone helped.
+			_, _, _ = q.sess.CompareAndSwap(q.tailKey, tailRaw,
+				EncodePtr(Ptr{Key: nodeKey, Cnt: tail.Cnt + 1}), true)
+			return nil
+		}
+	}
+}
+
+// Dequeue removes the oldest object; ok is false when the queue is empty.
+func (q *Queue) Dequeue() (fields [][]byte, ok bool, err error) {
+	for {
+		headRaw, err := q.sess.AcquireRead(q.headKey)
+		if err != nil {
+			return nil, false, err
+		}
+		head := DecodePtr(headRaw)
+		if head.IsNull() {
+			return nil, false, ErrCorrupt // queue not initialised
+		}
+		tailRaw, err := q.sess.Read(q.tailKey) // relaxed: only a hint
+		if err != nil {
+			return nil, false, err
+		}
+		tail := DecodePtr(tailRaw)
+		nextRaw, err := q.sess.AcquireRead(head.Key)
+		if err != nil {
+			return nil, false, err
+		}
+		next := DecodePtr(nextRaw)
+		if next.IsNull() {
+			return nil, false, nil // empty
+		}
+		if head.Key == tail.Key {
+			// Tail lags behind a non-empty queue: help swing it.
+			_, _, err = q.sess.CompareAndSwap(q.tailKey, tailRaw,
+				EncodePtr(Ptr{Key: next.Key, Cnt: tail.Cnt + 1}), true)
+			if err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		// Read the payload before the CAS (the node may be recycled by
+		// another dequeuer afterwards in the classic algorithm; here keys
+		// are never reused, but we keep the original's order).
+		payload, err := readFields(q.sess, next.Key, q.fields)
+		if err != nil {
+			return nil, false, err
+		}
+		swapped, _, err := q.sess.CompareAndSwap(q.headKey, headRaw,
+			EncodePtr(Ptr{Key: next.Key, Cnt: head.Cnt + 1}), q.weak)
+		if err != nil {
+			return nil, false, err
+		}
+		if swapped {
+			return payload, true, nil
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package dstruct
+
+import "kite"
+
+// Stack is a Treiber stack (§8.3 workload 1): a single top pointer swung by
+// CAS, nodes published by the CAS's release semantics, observed by the
+// acquire semantics of the pointer loads.
+type Stack struct {
+	sess   *kite.Session
+	arena  *Arena
+	topKey uint64
+	fields int
+	// weak selects the weak CAS for pointer swings (fails locally on a
+	// stale comparison — the paper's conflict-mitigation knob).
+	weak bool
+}
+
+// NewStack attaches a session to the stack anchored at topKey. Every
+// session of the deployment may attach to the same topKey; owner must be a
+// deployment-unique session id for node allocation.
+func NewStack(sess *kite.Session, topKey uint64, fields int, owner uint64, weakCAS bool) *Stack {
+	return &Stack{
+		sess:   sess,
+		arena:  NewArena(owner, 1+fields),
+		topKey: topKey,
+		fields: fields,
+		weak:   weakCAS,
+	}
+}
+
+// Push writes the object's fields with relaxed writes, then publishes the
+// node with a CAS on the top pointer (release semantics). It returns the
+// number of CAS attempts (1 = conflict-free).
+func (s *Stack) Push(fields [][]byte) (attempts int, err error) {
+	if len(fields) != s.fields {
+		return 0, ErrCorrupt
+	}
+	nodeKey := s.arena.Alloc()
+	if err := writeFields(s.sess, nodeKey, fields); err != nil {
+		return 0, err
+	}
+	for {
+		attempts++
+		cur, err := s.sess.AcquireRead(s.topKey)
+		if err != nil {
+			return attempts, err
+		}
+		top := DecodePtr(cur)
+		// Link the new node to the current top (relaxed write: the
+		// publishing CAS below is the release).
+		if err := s.sess.Write(nodeKey, EncodePtr(top)); err != nil {
+			return attempts, err
+		}
+		newTop := EncodePtr(Ptr{Key: nodeKey, Cnt: top.Cnt + 1})
+		swapped, _, err := s.sess.CompareAndSwap(s.topKey, cur, newTop, s.weak)
+		if err != nil {
+			return attempts, err
+		}
+		if swapped {
+			return attempts, nil
+		}
+	}
+}
+
+// Pop removes the top object and returns its fields; ok is false when the
+// stack is empty. The winning CAS's acquire semantics make the node's
+// payload (written before the push's release) visible to the relaxed reads.
+func (s *Stack) Pop() (fields [][]byte, ok bool, err error) {
+	for {
+		cur, err := s.sess.AcquireRead(s.topKey)
+		if err != nil {
+			return nil, false, err
+		}
+		top := DecodePtr(cur)
+		if top.IsNull() {
+			return nil, false, nil
+		}
+		// The acquire above synchronises with the release (CAS) that
+		// published top, so the node's next pointer reads fresh.
+		nextRaw, err := s.sess.Read(top.Key)
+		if err != nil {
+			return nil, false, err
+		}
+		next := DecodePtr(nextRaw)
+		newTop := EncodePtr(Ptr{Key: next.Key, Cnt: top.Cnt + 1})
+		swapped, _, err := s.sess.CompareAndSwap(s.topKey, cur, newTop, s.weak)
+		if err != nil {
+			return nil, false, err
+		}
+		if !swapped {
+			continue
+		}
+		fields, err = readFields(s.sess, top.Key, s.fields)
+		return fields, true, err
+	}
+}

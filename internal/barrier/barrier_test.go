@@ -1,0 +1,188 @@
+package barrier
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestEpochBump(t *testing.T) {
+	var e Epoch
+	if e.Load() != 0 {
+		t.Fatal("initial epoch not 0")
+	}
+	if e.Bump() != 1 || e.Load() != 1 {
+		t.Fatal("bump")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				e.Bump()
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Load() != 8001 {
+		t.Fatalf("epoch = %d, want 8001", e.Load())
+	}
+}
+
+func TestVectorBasicCycle(t *testing.T) {
+	var v Vector
+	// Figure 3's cycle: slow-release sets B's bit, B's acquire moves it to
+	// T, B's reset-bit clears it.
+	if v.OnAcquire(1, 100) {
+		t.Fatal("clear bit reported delinquent")
+	}
+	v.OnSlowRelease(1 << 1)
+	if v.State(1) != Set {
+		t.Fatal("bit not set")
+	}
+	if !v.OnAcquire(1, 101) {
+		t.Fatal("set bit not reported")
+	}
+	if v.State(1) != Trans {
+		t.Fatal("bit not in T")
+	}
+	if !v.OnResetBit(1, 101) {
+		t.Fatal("matching reset refused")
+	}
+	if v.State(1) != Clear {
+		t.Fatal("bit not cleared")
+	}
+	// Subsequent acquires see a clear bit.
+	if v.OnAcquire(1, 102) {
+		t.Fatal("cleared bit reported delinquent")
+	}
+}
+
+func TestVectorResetRequiresMatchingID(t *testing.T) {
+	var v Vector
+	v.OnSlowRelease(1 << 2)
+	v.OnAcquire(2, 7)
+	if v.OnResetBit(2, 8) {
+		t.Fatal("reset with wrong id accepted")
+	}
+	if v.State(2) != Trans {
+		t.Fatal("bit left T on wrong id")
+	}
+	if !v.OnResetBit(2, 7) {
+		t.Fatal("correct id refused")
+	}
+}
+
+func TestVectorRacingSlowReleaseWins(t *testing.T) {
+	var v Vector
+	v.OnSlowRelease(1 << 3)
+	v.OnAcquire(3, 50)
+	// A racing slow-release re-marks the machine before the reset lands:
+	// the stale reset must be discarded (Lemma 5.7).
+	v.OnSlowRelease(1 << 3)
+	if v.State(3) != Set {
+		t.Fatal("slow-release did not force Set")
+	}
+	if v.OnResetBit(3, 50) {
+		t.Fatal("stale reset accepted after slow-release")
+	}
+	if v.State(3) != Set {
+		t.Fatal("bit lost its Set state")
+	}
+}
+
+func TestVectorMultipleAcquirers(t *testing.T) {
+	var v Vector
+	v.OnSlowRelease(1 << 4)
+	// Two sessions of machine 4 acquire concurrently; both must learn of
+	// the delinquency and either reset may clear the bit.
+	if !v.OnAcquire(4, 1) || !v.OnAcquire(4, 2) {
+		t.Fatal("concurrent acquirers not notified")
+	}
+	if v.PendingIDs(4) != 2 {
+		t.Fatalf("pending ids = %d", v.PendingIDs(4))
+	}
+	if !v.OnResetBit(4, 2) {
+		t.Fatal("second acquirer's reset refused")
+	}
+	// First acquirer's reset arrives late: bit already clear, no-op.
+	if v.OnResetBit(4, 1) {
+		t.Fatal("reset on clear bit accepted")
+	}
+}
+
+func TestVectorMultipleMachines(t *testing.T) {
+	var v Vector
+	v.OnSlowRelease(1<<1 | 1<<5)
+	if v.State(1) != Set || v.State(5) != Set || v.State(2) != Clear {
+		t.Fatal("DM-set decoding wrong")
+	}
+	set, _, _ := v.Counters()
+	if set != 2 {
+		t.Fatalf("set events = %d", set)
+	}
+}
+
+func TestDMSet(t *testing.T) {
+	full := uint16(0b11111) // 5 nodes
+	cases := []struct {
+		masks []uint16
+		want  uint16
+	}{
+		{nil, 0},
+		{[]uint16{full}, 0},
+		{[]uint16{0b11011}, 0b00100},
+		{[]uint16{0b11011, 0b01111}, 0b10100},
+		{[]uint16{0, full}, full},
+	}
+	for i, c := range cases {
+		if got := DMSet(c.masks, full); got != c.want {
+			t.Errorf("case %d: DMSet = %05b, want %05b", i, got, c.want)
+		}
+	}
+}
+
+// TestVectorConcurrent hammers the three transitions from many goroutines;
+// invariants: State is always one of the three states, and a reset only ever
+// succeeds while the bit is in Trans with that id pending. Run with -race.
+func TestVectorConcurrent(t *testing.T) {
+	var v Vector
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				m := uint8(rng.Intn(4))
+				switch rng.Intn(3) {
+				case 0:
+					v.OnSlowRelease(1 << m)
+				case 1:
+					id := rng.Uint64()
+					if v.OnAcquire(m, id) {
+						v.OnResetBit(m, id)
+					}
+				case 2:
+					v.OnResetBit(m, rng.Uint64())
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	for m := uint8(0); m < 4; m++ {
+		if s := v.State(m); s != Clear && s != Set && s != Trans {
+			t.Fatalf("machine %d in impossible state %v", m, s)
+		}
+	}
+}
+
+func TestBitStateString(t *testing.T) {
+	if Clear.String() != "0" || Set.String() != "1" || Trans.String() != "T" {
+		t.Fatal("state strings")
+	}
+	if BitState(9).String() != "?" {
+		t.Fatal("unknown state string")
+	}
+}

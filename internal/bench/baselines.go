@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/derecho"
+	"kite/internal/zab"
+)
+
+// ZabOpts parameterises a ZAB baseline run (reads are local, writes are
+// leader-ordered; the Mix's sync and RMW fractions are meaningless here —
+// every ZAB write already has total-order semantics).
+type ZabOpts struct {
+	Name       string
+	Config     zab.Config
+	WriteRatio float64
+	Keys       uint64
+	ValLen     int
+	Window     int
+	Warmup     time.Duration
+	Measure    time.Duration
+}
+
+func (o *ZabOpts) defaults() {
+	if o.Keys == 0 {
+		o.Keys = 1 << 20
+	}
+	if o.ValLen == 0 {
+		o.ValLen = 32
+	}
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 100 * time.Millisecond
+	}
+	if o.Measure == 0 {
+		o.Measure = 500 * time.Millisecond
+	}
+}
+
+// RunZab measures the ZAB baseline under the given read/write mix.
+func RunZab(o ZabOpts) Result {
+	o.defaults()
+	c := zab.NewCluster(o.Config)
+	defer c.Close()
+
+	var counting, stop atomic.Bool
+	var counted atomic.Uint64
+	var wg sync.WaitGroup
+	for n := 0; n < c.Nodes(); n++ {
+		nd := c.Node(n)
+		for si := 0; si < nd.Sessions(); si++ {
+			wg.Add(1)
+			go func(s *zab.Session, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				val := make([]byte, o.ValLen)
+				rng.Read(val)
+				slots := make(chan struct{}, o.Window)
+				for i := 0; i < o.Window; i++ {
+					slots <- struct{}{}
+				}
+				inflight := 0
+				for {
+					if stop.Load() {
+						for ; inflight > 0; inflight-- {
+							<-slots
+						}
+						return
+					}
+					key := rng.Uint64() % o.Keys
+					if rng.Float64() < o.WriteRatio {
+						<-slots
+						inflight++
+						s.WriteAsync(key, val, func() {
+							if counting.Load() {
+								counted.Add(1)
+							}
+							slots <- struct{}{}
+						})
+						inflight--
+						inflight++ // see driveSession: slot returns via callback
+					} else {
+						s.Read(key)
+						if counting.Load() {
+							counted.Add(1)
+						}
+					}
+				}
+			}(nd.Session(si), int64(n*1000+si))
+		}
+	}
+
+	time.Sleep(o.Warmup)
+	counting.Store(true)
+	start := time.Now()
+	time.Sleep(o.Measure)
+	counting.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	return Result{Name: o.Name, Ops: counted.Load(), Duration: elapsed}
+}
+
+// DerechoOpts parameterises the Derecho-like SMR baseline (write-only sends,
+// matching §8.2's write-only study).
+type DerechoOpts struct {
+	Name    string
+	Config  derecho.Config
+	Keys    uint64
+	ValLen  int
+	Window  int
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+func (o *DerechoOpts) defaults() {
+	if o.Keys == 0 {
+		o.Keys = 1 << 20
+	}
+	if o.ValLen == 0 {
+		o.ValLen = 32
+	}
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 100 * time.Millisecond
+	}
+	if o.Measure == 0 {
+		o.Measure = 500 * time.Millisecond
+	}
+}
+
+// RunDerecho measures ordered or unordered atomic multicast throughput
+// (completed local sends per second across the deployment).
+func RunDerecho(o DerechoOpts) Result {
+	o.defaults()
+	c := derecho.NewCluster(o.Config)
+	defer c.Close()
+
+	var counting, stop atomic.Bool
+	var counted atomic.Uint64
+	var wg sync.WaitGroup
+	for n := 0; n < o.Config.Nodes; n++ {
+		nd := c.Node(n)
+		wg.Add(1)
+		go func(nd *derecho.Node, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			val := make([]byte, o.ValLen)
+			rng.Read(val)
+			slots := make(chan struct{}, o.Window)
+			for i := 0; i < o.Window; i++ {
+				slots <- struct{}{}
+			}
+			inflight := 0
+			for {
+				if stop.Load() {
+					for ; inflight > 0; inflight-- {
+						<-slots
+					}
+					return
+				}
+				<-slots
+				inflight++
+				nd.Send(1+rng.Uint64()%o.Keys, val, func() {
+					if counting.Load() {
+						counted.Add(1)
+					}
+					slots <- struct{}{}
+				})
+				inflight--
+				inflight++
+			}
+		}(nd, int64(n))
+	}
+
+	time.Sleep(o.Warmup)
+	counting.Store(true)
+	start := time.Now()
+	time.Sleep(o.Measure)
+	counting.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	return Result{Name: o.Name, Ops: counted.Load(), Duration: elapsed}
+}

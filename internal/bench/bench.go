@@ -1,0 +1,247 @@
+// Package bench is the measurement harness that regenerates every figure of
+// the paper's evaluation (§8): workload generators with the paper's mix
+// semantics, closed-loop windowed drivers over the asynchronous Kite API,
+// equivalent drivers for the ZAB and Derecho baselines, the lock-free data
+// structure workloads of §8.3, and the failure-study timeline of §8.4.
+//
+// Workload mix semantics follow §8.1 exactly: the write ratio counts RMWs,
+// releases and relaxed writes; the synchronisation percentage applies to the
+// non-RMW accesses (e.g. "60% write ratio, 50% sync, 50% RMWs" = 50% RMWs,
+// 5% writes, 5% releases, 20% reads, 20% acquires).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/core"
+)
+
+// Result is one measured throughput point.
+type Result struct {
+	Name     string
+	Ops      uint64
+	Duration time.Duration
+	// Extra carries per-class op counts for derived metrics.
+	Extra map[string]uint64
+}
+
+// Mreqs returns throughput in million requests per second (the paper's
+// unit).
+func (r Result) Mreqs() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds() / 1e6
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-28s %8.3f mreqs (%d ops in %v)", r.Name, r.Mreqs(), r.Ops, r.Duration.Round(time.Millisecond))
+}
+
+// Mix is an operation mix in the paper's terms.
+type Mix struct {
+	WriteRatio float64 // fraction of ops that write (incl. RMWs)
+	SyncFrac   float64 // fraction of non-RMW accesses that synchronise
+	RMWFrac    float64 // fraction of all ops that are RMWs (subset of writes)
+}
+
+// opKind is a generated operation class.
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opRelease
+	opAcquire
+	opFAA
+)
+
+// thresholds precomputes cumulative probabilities for the mix.
+type thresholds struct {
+	rmw, release, write, acquire float64
+}
+
+func (m Mix) thresholds() thresholds {
+	w := m.WriteRatio - m.RMWFrac // non-RMW writes
+	if w < 0 {
+		w = 0
+	}
+	rel := w * m.SyncFrac
+	reads := 1 - m.WriteRatio
+	if reads < 0 {
+		reads = 0
+	}
+	acq := reads * m.SyncFrac
+	return thresholds{
+		rmw:     m.RMWFrac,
+		release: m.RMWFrac + rel,
+		write:   m.RMWFrac + w,
+		acquire: m.RMWFrac + w + acq,
+	}
+}
+
+func (t thresholds) pick(r float64) opKind {
+	switch {
+	case r < t.rmw:
+		return opFAA
+	case r < t.release:
+		return opRelease
+	case r < t.write:
+		return opWrite
+	case r < t.acquire:
+		return opAcquire
+	default:
+		return opRead
+	}
+}
+
+// KiteOpts parameterises a Kite throughput run.
+type KiteOpts struct {
+	Name    string
+	Config  core.Config
+	Mix     Mix
+	Keys    uint64 // uniform key range (paper: 1M)
+	ValLen  int    // value size (paper: 32B)
+	Window  int    // outstanding async ops per session
+	Warmup  time.Duration
+	Measure time.Duration
+	// Cluster optionally reuses an existing deployment (nil = create).
+	Cluster *core.Cluster
+	// PerNode, when non-nil, receives per-node measured op counts.
+	PerNode *[]uint64
+}
+
+func (o *KiteOpts) defaults() {
+	if o.Keys == 0 {
+		o.Keys = 1 << 20
+	}
+	if o.ValLen == 0 {
+		o.ValLen = 32
+	}
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 100 * time.Millisecond
+	}
+	if o.Measure == 0 {
+		o.Measure = 500 * time.Millisecond
+	}
+}
+
+// RunKite drives the mixed workload against a Kite deployment and measures
+// completed operations per second across all sessions.
+func RunKite(o KiteOpts) (Result, error) {
+	o.defaults()
+	c := o.Cluster
+	if c == nil {
+		var err error
+		c, err = core.NewCluster(o.Config)
+		if err != nil {
+			return Result{}, err
+		}
+		defer c.Close()
+	}
+
+	var counting atomic.Bool
+	var stop atomic.Bool
+	counted := make([]atomic.Uint64, c.Nodes())
+
+	var wg sync.WaitGroup
+	for n := 0; n < c.Nodes(); n++ {
+		nd := c.Node(n)
+		for si := 0; si < nd.Sessions(); si++ {
+			wg.Add(1)
+			go func(n int, s *core.Session, seed int64) {
+				defer wg.Done()
+				driveSession(s, o, seed, &counting, &stop, &counted[n])
+			}(n, nd.Session(si), int64(n*1000+si))
+		}
+	}
+
+	time.Sleep(o.Warmup)
+	counting.Store(true)
+	start := time.Now()
+	time.Sleep(o.Measure)
+	counting.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	var total uint64
+	perNode := make([]uint64, c.Nodes())
+	for i := range counted {
+		perNode[i] = counted[i].Load()
+		total += perNode[i]
+	}
+	if o.PerNode != nil {
+		*o.PerNode = perNode
+	}
+	return Result{Name: o.Name, Ops: total, Duration: elapsed}, nil
+}
+
+// driveSession is the closed-loop driver: Window outstanding async ops, a
+// fresh random op issued as each completes.
+func driveSession(s *core.Session, o KiteOpts, seed int64,
+	counting, stop *atomic.Bool, counted *atomic.Uint64) {
+
+	rng := rand.New(rand.NewSource(seed))
+	th := o.Mix.thresholds()
+	val := make([]byte, o.ValLen)
+	rng.Read(val)
+
+	slots := make(chan *core.Request, o.Window)
+	for i := 0; i < o.Window; i++ {
+		slots <- &core.Request{}
+	}
+	inflight := 0
+	for {
+		if stop.Load() {
+			// Drain outstanding completions before leaving so Close()
+			// does not race in-flight callbacks.
+			for ; inflight > 0; inflight-- {
+				<-slots
+			}
+			return
+		}
+		r := <-slots
+		inflight++
+		*r = core.Request{Code: codeFor(th.pick(rng.Float64())), Key: rng.Uint64() % o.Keys}
+		switch r.Code {
+		case core.OpWrite, core.OpRelease:
+			r.Val = val
+		case core.OpFAA:
+			r.Delta = 1
+		}
+		r.Done = func(r *core.Request) {
+			if counting.Load() {
+				counted.Add(1)
+			}
+			slots <- r
+		}
+		s.Submit(r)
+		inflight--
+		// Submit re-queues via Done; inflight bookkeeping above tracks the
+		// request we just consumed from slots until Done returns it.
+		inflight++
+	}
+}
+
+func codeFor(k opKind) core.OpCode {
+	switch k {
+	case opWrite:
+		return core.OpWrite
+	case opRelease:
+		return core.OpRelease
+	case opAcquire:
+		return core.OpAcquire
+	case opFAA:
+		return core.OpFAA
+	default:
+		return core.OpRead
+	}
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"kite/internal/core"
+)
+
+func TestMixThresholds(t *testing.T) {
+	// The paper's worked example (§8.1): 60% write ratio, 50% sync, 50%
+	// RMWs = 50% RMWs, 5% writes, 5% releases, 20% reads, 20% acquires.
+	th := Mix{WriteRatio: 0.60, SyncFrac: 0.50, RMWFrac: 0.50}.thresholds()
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(th.rmw, 0.50) {
+		t.Fatalf("rmw threshold %v", th.rmw)
+	}
+	if !approx(th.release-th.rmw, 0.05) {
+		t.Fatalf("release share %v", th.release-th.rmw)
+	}
+	if !approx(th.write-th.release, 0.05) {
+		t.Fatalf("write share %v", th.write-th.release)
+	}
+	if !approx(th.acquire-th.write, 0.20) {
+		t.Fatalf("acquire share %v", th.acquire-th.write)
+	}
+	if !approx(1-th.acquire, 0.20) {
+		t.Fatalf("read share %v", 1-th.acquire)
+	}
+	// Pick at the boundaries.
+	if th.pick(0) != opFAA || th.pick(0.999) != opRead {
+		t.Fatal("pick at extremes")
+	}
+}
+
+func TestMixAllRelaxed(t *testing.T) {
+	th := Mix{WriteRatio: 0.2}.thresholds()
+	counts := map[opKind]int{}
+	for i := 0; i < 1000; i++ {
+		counts[th.pick(float64(i)/1000)]++
+	}
+	if counts[opFAA] != 0 || counts[opRelease] != 0 || counts[opAcquire] != 0 {
+		t.Fatalf("sync ops in relaxed mix: %v", counts)
+	}
+	if counts[opWrite] < 150 || counts[opWrite] > 250 {
+		t.Fatalf("write share %d/1000", counts[opWrite])
+	}
+}
+
+func TestRunKiteSmoke(t *testing.T) {
+	res, err := RunKite(KiteOpts{
+		Config: core.Config{Nodes: 3, Workers: 2, SessionsPerWorker: 2, KVSCapacity: 1 << 10},
+		Mix:    Mix{WriteRatio: 0.2, SyncFrac: 0.1},
+		Keys:   1 << 10, Window: 4,
+		Warmup: 30 * time.Millisecond, Measure: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no throughput measured")
+	}
+}
+
+func TestRunFailureStudySmoke(t *testing.T) {
+	out, err := RunFailureStudy(FailureOpts{
+		Config: core.Config{Nodes: 3, Workers: 2, SessionsPerWorker: 2, KVSCapacity: 1 << 10},
+		Mix:    Mix{WriteRatio: 0.05, SyncFrac: 0.05},
+		Keys:   1 << 10, Window: 4,
+		Warmup: 30 * time.Millisecond,
+		Total:  220 * time.Millisecond, Sample: 20 * time.Millisecond,
+		SleepNode: 2, SleepAt: 60 * time.Millisecond, SleepFor: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Timeline) == 0 || out.PreSleep == 0 {
+		t.Fatalf("empty timeline: %+v", out)
+	}
+	// Availability: the cluster keeps serving during the sleep.
+	if out.Intermediate <= 0 {
+		t.Fatal("throughput collapsed during the sleep")
+	}
+}
+
+func TestStructResultMetrics(t *testing.T) {
+	r := StructResult{
+		Ops: 100, Duration: time.Second,
+		APIReads: 400, APIWrites: 200, APISync: 200, APIRMW: 200,
+	}
+	if got := r.ReqsPerOp(); got != 10 {
+		t.Fatalf("reqs/op = %v", got)
+	}
+	// writes(200) + sync/2(100) + rmw(200) over 1000.
+	if got := r.WriteRatio(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("write ratio = %v", got)
+	}
+	if got := r.SyncPer(); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("sync-per = %v", got)
+	}
+}

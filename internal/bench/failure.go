@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/core"
+)
+
+// FailureOpts parameterises the §8.4 failure study: a replica sleeps for
+// SleepFor in the middle of a steady mixed workload, and throughput is
+// sampled per node on a fixed cadence.
+type FailureOpts struct {
+	Config    core.Config
+	Mix       Mix // paper: 5% writes, 5% synchronisation
+	Keys      uint64
+	ValLen    int
+	Window    int
+	Warmup    time.Duration
+	Total     time.Duration // sampled portion of the run
+	Sample    time.Duration // sampling period (paper plots ~ms resolution)
+	SleepNode int
+	SleepAt   time.Duration // offset of the sleep within the sampled window
+	SleepFor  time.Duration // paper: 400 ms
+}
+
+func (o *FailureOpts) defaults() {
+	if o.Keys == 0 {
+		o.Keys = 1 << 20
+	}
+	if o.ValLen == 0 {
+		o.ValLen = 32
+	}
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 150 * time.Millisecond
+	}
+	if o.Total == 0 {
+		o.Total = 800 * time.Millisecond
+	}
+	if o.Sample == 0 {
+		o.Sample = 20 * time.Millisecond
+	}
+	if o.SleepAt == 0 {
+		o.SleepAt = 100 * time.Millisecond
+	}
+	if o.SleepFor == 0 {
+		o.SleepFor = 400 * time.Millisecond
+	}
+}
+
+// TimePoint is one sample of the failure-study timeline.
+type TimePoint struct {
+	At      time.Duration
+	PerNode []float64 // mreqs per node over the sample
+	Total   float64   // mreqs across nodes
+}
+
+// FailureOutcome summarises a failure-study run against the paper's
+// qualitative claims (§8.4).
+type FailureOutcome struct {
+	Timeline []TimePoint
+	// Steady-state throughput before the sleep, during the intermediate
+	// period, and after recovery (mreqs).
+	PreSleep, Intermediate, PostSleep float64
+	// PerOperationalNode gives per-node throughput of the operational
+	// replicas during the intermediate period (the paper observes it
+	// *rises* as the sleeper's network share is released).
+	PreSleepPerNode, IntermediatePerNode float64
+	// SlowPath reports the victims' slow-path statistics after the run.
+	SlowPath core.Stats
+}
+
+// RunFailureStudy reproduces Figure 9.
+func RunFailureStudy(o FailureOpts) (FailureOutcome, error) {
+	o.defaults()
+	c, err := core.NewCluster(o.Config)
+	if err != nil {
+		return FailureOutcome{}, err
+	}
+	defer c.Close()
+
+	nodes := c.Nodes()
+	var stop atomic.Bool
+	counting := atomic.Bool{}
+	counted := make([]atomic.Uint64, nodes)
+
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		nd := c.Node(n)
+		for si := 0; si < nd.Sessions(); si++ {
+			wg.Add(1)
+			go func(n int, s *core.Session, seed int64) {
+				defer wg.Done()
+				ko := KiteOpts{Mix: o.Mix, Keys: o.Keys, ValLen: o.ValLen, Window: o.Window}
+				ko.defaults()
+				driveSession(s, ko, seed, &counting, &stop, &counted[n])
+			}(n, nd.Session(si), int64(n*1000+si+7))
+		}
+	}
+	counting.Store(true)
+
+	time.Sleep(o.Warmup)
+
+	// Sample the timeline; trigger the sleep at the configured offset.
+	var timeline []TimePoint
+	prev := snapshotCounts(counted)
+	start := time.Now()
+	slept := false
+	for elapsed := time.Duration(0); elapsed < o.Total; {
+		time.Sleep(o.Sample)
+		now := time.Since(start)
+		cur := snapshotCounts(counted)
+		tp := TimePoint{At: now, PerNode: make([]float64, nodes)}
+		dt := (now - elapsed).Seconds()
+		for i := 0; i < nodes; i++ {
+			tp.PerNode[i] = float64(cur[i]-prev[i]) / dt / 1e6
+			tp.Total += tp.PerNode[i]
+		}
+		timeline = append(timeline, tp)
+		prev = cur
+		elapsed = now
+		if !slept && elapsed >= o.SleepAt {
+			c.PauseNode(o.SleepNode, o.SleepFor)
+			slept = true
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	out := FailureOutcome{Timeline: timeline, SlowPath: sumStats(c)}
+	// Period averages: pre-sleep = samples before SleepAt; intermediate =
+	// well inside the sleep; post = after wake + margin.
+	var pre, mid, post []TimePoint
+	for _, tp := range timeline {
+		switch {
+		case tp.At < o.SleepAt:
+			pre = append(pre, tp)
+		case tp.At > o.SleepAt+o.SleepFor/4 && tp.At < o.SleepAt+o.SleepFor:
+			mid = append(mid, tp)
+		case tp.At > o.SleepAt+o.SleepFor+o.SleepFor/4:
+			post = append(post, tp)
+		}
+	}
+	out.PreSleep = avgTotal(pre)
+	out.Intermediate = avgTotal(mid)
+	out.PostSleep = avgTotal(post)
+	out.PreSleepPerNode = avgPerOperational(pre, -1, nodes)
+	out.IntermediatePerNode = avgPerOperational(mid, o.SleepNode, nodes)
+	return out, nil
+}
+
+func snapshotCounts(c []atomic.Uint64) []uint64 {
+	out := make([]uint64, len(c))
+	for i := range c {
+		out[i] = c[i].Load()
+	}
+	return out
+}
+
+func sumStats(c *core.Cluster) core.Stats {
+	var s core.Stats
+	for i := 0; i < c.Nodes(); i++ {
+		st := c.Node(i).SlowPathStats()
+		s.SlowReads += st.SlowReads
+		s.SlowWrites += st.SlowWrites
+		s.EpochBumps += st.EpochBumps
+		s.SlowReleases += st.SlowReleases
+	}
+	return s
+}
+
+func avgTotal(tps []TimePoint) float64 {
+	if len(tps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, tp := range tps {
+		sum += tp.Total
+	}
+	return sum / float64(len(tps))
+}
+
+// avgPerOperational averages per-node throughput over nodes other than
+// excluded (-1 = none).
+func avgPerOperational(tps []TimePoint, excluded, nodes int) float64 {
+	if len(tps) == 0 {
+		return 0
+	}
+	var sum float64
+	var cnt int
+	for _, tp := range tps {
+		for i := 0; i < nodes; i++ {
+			if i != excluded {
+				sum += tp.PerNode[i]
+				cnt++
+			}
+		}
+	}
+	return sum / float64(cnt)
+}
+
+// FormatTimeline renders the Figure-9 timeline as an aligned text table.
+func FormatTimeline(out FailureOutcome, sleepNode int) string {
+	s := fmt.Sprintf("%8s %10s", "t(ms)", "total")
+	for i := range out.Timeline[0].PerNode {
+		tag := fmt.Sprintf("node%d", i)
+		if i == sleepNode {
+			tag += "*"
+		}
+		s += fmt.Sprintf(" %9s", tag)
+	}
+	s += "\n"
+	for _, tp := range out.Timeline {
+		s += fmt.Sprintf("%8.0f %10.3f", float64(tp.At.Milliseconds()), tp.Total)
+		for _, v := range tp.PerNode {
+			s += fmt.Sprintf(" %9.3f", v)
+		}
+		s += "\n"
+	}
+	return s
+}

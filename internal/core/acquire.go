@@ -1,0 +1,97 @@
+package core
+
+import (
+	"time"
+
+	"kite/internal/abd"
+	"kite/internal/proto"
+)
+
+// issueAcquire implements the acquire read (§4.2): an ABD read whose replies
+// piggyback the you-are-delinquent notification. The session blocks until
+// the acquire completes; if any replica of the quorum deems this machine
+// delinquent, the machine epoch-id is incremented *before* the reset-bit
+// broadcast and before the session resumes, so every relaxed access after
+// the acquire sees the new epoch and refreshes its key via the slow path.
+func (w *Worker) issueAcquire(s *Session, r *Request) {
+	nd := w.node
+	op := &acquireOp{
+		id: w.nextOpID(s), sess: s, req: r,
+		epochSnap: nd.Epoch.Load(),
+		rd:        abd.NewReadOp(r.Key, 0, nd.n, true),
+		retryAt:   w.now.Add(nd.cfg.RetryInterval),
+	}
+	op.rd.OpID = op.id
+	s.head = op
+	w.register(op.id, op)
+	w.broadcastAll(op.rd.ReadMsg(nd.ID, w.id, proto.KindAcqRead))
+}
+
+type acquireOp struct {
+	id        uint64
+	sess      *Session
+	req       *Request
+	rd        *abd.ReadOp
+	epochSnap uint64
+	retryAt   time.Time
+}
+
+func (op *acquireOp) request() *Request       { return op.req }
+func (op *acquireOp) nextDeadline() time.Time { return op.retryAt }
+func (op *acquireOp) onTrackerUpdate(*Worker) {}
+
+func (op *acquireOp) onMessage(w *Worker, m *proto.Message) {
+	var act abd.ReadAction
+	switch m.Kind {
+	case proto.KindReadReply:
+		act = op.rd.OnReadReply(m)
+	case proto.KindABDWriteAck:
+		act = op.rd.OnWriteAck(m)
+	default:
+		return
+	}
+	switch act {
+	case abd.ReadWriteBackNow:
+		// The freshest value is not yet at a quorum: write it back before
+		// returning it (linearizability of acquires; §3.3).
+		w.broadcastAll(op.rd.WriteBackMsg(w.node.ID, w.id))
+	case abd.ReadComplete:
+		op.finish(w)
+	}
+}
+
+func (op *acquireOp) finish(w *Worker) {
+	nd := w.node
+	// Install the acquired value locally. The key's epoch advances only to
+	// the machine epoch snapshotted at op start: if another session's
+	// acquire bumped the epoch mid-flight, this key still looks stale to it
+	// and will be re-fetched — the race §5.4's snapshot rule exists for.
+	nd.Store.ApplyAndAdvance(op.req.Key, op.rd.MaxVal, op.rd.MaxTS, op.epochSnap)
+	if op.rd.Delinquent {
+		// Transition to the slow path: bump the machine epoch first, then
+		// tell the replicas to reset our delinquency bit (Lemma 5.6 order).
+		nd.Epoch.Bump()
+		nd.epochBumps.Add(1)
+		w.broadcastAll(proto.Message{
+			Kind: proto.KindResetBit, From: nd.ID, Worker: w.id, OpID: op.id,
+		})
+	}
+	op.req.setOut(op.rd.MaxVal)
+	w.unregister(op.id)
+	op.sess.complete(op.req, nil)
+	op.sess.unblock()
+}
+
+func (op *acquireOp) onDeadline(w *Worker, now time.Time) {
+	var m proto.Message
+	switch op.rd.Phase {
+	case abd.ReadRound:
+		m = op.rd.ReadMsg(w.node.ID, w.id, proto.KindAcqRead)
+	case abd.ReadWriteBack:
+		m = op.rd.WriteBackMsg(w.node.ID, w.id)
+	default:
+		return
+	}
+	w.retransmit(m, op.rd.Unseen(w.node.full))
+	op.retryAt = now.Add(w.node.cfg.RetryInterval)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"time"
+
+	"kite/internal/transport"
+)
+
+// Cluster is the in-process deployment helper: N nodes wired through a
+// fault-injectable transport, as used by the tests, benchmarks and examples.
+// Multi-process deployments build Nodes directly over a UDP transport
+// (cmd/kite-node).
+type Cluster struct {
+	cfg    Config
+	inner  *transport.InProc
+	faults *transport.FaultInjector
+	nodes  []*Node
+}
+
+// NewCluster builds and starts an in-process deployment.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	inner := transport.NewInProc(cfg.Nodes, cfg.Workers, cfg.MailboxDepth)
+	faults := transport.NewFaultInjector(inner, 1)
+	c := &Cluster{cfg: cfg, inner: inner, faults: faults}
+	for id := 0; id < cfg.Nodes; id++ {
+		nd, err := NewNode(uint8(id), cfg, faults)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		nd.Start()
+	}
+	return c, nil
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Nodes returns the replication degree.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns the i-th replica.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Faults exposes the fault injector for failure studies: drop or delay
+// links, partition nodes.
+func (c *Cluster) Faults() *transport.FaultInjector { return c.faults }
+
+// PauseNode makes replica i unresponsive for d (the sleeping-replica
+// failure of §8.4).
+func (c *Cluster) PauseNode(i int, d time.Duration) { c.nodes[i].Pause(d) }
+
+// CompletedTotal sums completed operations across all replicas.
+func (c *Cluster) CompletedTotal() uint64 {
+	var t uint64
+	for _, nd := range c.nodes {
+		t += nd.CompletedTotal()
+	}
+	return t
+}
+
+// Close stops every node and the transport.
+func (c *Cluster) Close() {
+	for _, nd := range c.nodes {
+		if nd != nil {
+			nd.Stop()
+		}
+	}
+	c.faults.Close()
+}

@@ -1,0 +1,104 @@
+// Package core implements the Kite node: worker threads executing client
+// sessions' requests by running Eventual Store, ABD and per-key Paxos,
+// stitched together with the fast/slow path mechanism that enforces Release
+// Consistency's barrier semantics (§4 of the paper).
+//
+// Architecture (mirroring §6.1):
+//
+//   - A Node holds the whole KVS in memory plus the machine epoch-id and the
+//     delinquency bit-vector shared by its workers.
+//   - Worker goroutines own disjoint sets of sessions and run an event loop:
+//     drain incoming protocol messages, admit new client requests, pump
+//     session state machines, retransmit timed-out rounds, flush outgoing
+//     batches (opportunistic batching: whatever is staged goes out, no
+//     quota is awaited).
+//   - Worker i of a node exchanges messages only with worker i of every
+//     remote node, minimising connection state exactly like Kite's RDMA
+//     layout.
+//   - A Session issues requests in session order. Relaxed ops complete
+//     locally (writes are tracked for the release barrier); releases,
+//     acquires and RMWs block the session until their quorum rounds finish.
+package core
+
+import "time"
+
+// Config parameterises a Kite deployment. The zero value is not usable; use
+// DefaultConfig or fill every field.
+type Config struct {
+	// Nodes is the replication degree (the paper targets 3-9; max 16).
+	Nodes int
+	// Workers is the number of worker goroutines per node.
+	Workers int
+	// SessionsPerWorker is how many client sessions each worker executes.
+	SessionsPerWorker int
+	// KVSCapacity sizes each node's store (keys).
+	KVSCapacity int
+	// ReleaseTimeout bounds how long a release gathers acks from all
+	// replicas before publishing the DM-set and proceeding via the slow
+	// path. Larger values favour staying on the fast path when replicas
+	// are slow; smaller values favour availability (§4.2, §8.4).
+	ReleaseTimeout time.Duration
+	// RetryInterval is the retransmission period for quorum rounds (ABD,
+	// Paxos, slow-release) and unacked ES writes on a lossy network.
+	RetryInterval time.Duration
+	// MailboxDepth bounds each worker's transport receive queue.
+	MailboxDepth int
+	// MaxPendingWrites throttles a session once this many of its relaxed
+	// writes await full acknowledgement (flow control, not correctness).
+	MaxPendingWrites int
+	// IdlePoll is how long an idle worker blocks before re-checking
+	// deadlines.
+	IdlePoll time.Duration
+	// DisableFastPath forces every relaxed access through the slow path
+	// (quorum rounds). Used by the ablation benchmarks to price the fast
+	// path; never set in normal operation.
+	DisableFastPath bool
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation:
+// a 5-replica deployment, matching the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:             5,
+		Workers:           4,
+		SessionsPerWorker: 4,
+		KVSCapacity:       1 << 16,
+		ReleaseTimeout:    time.Millisecond,
+		RetryInterval:     2 * time.Millisecond,
+		MailboxDepth:      4096,
+		MaxPendingWrites:  64,
+		IdlePoll:          200 * time.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Nodes == 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.Workers == 0 {
+		c.Workers = d.Workers
+	}
+	if c.SessionsPerWorker == 0 {
+		c.SessionsPerWorker = d.SessionsPerWorker
+	}
+	if c.KVSCapacity == 0 {
+		c.KVSCapacity = d.KVSCapacity
+	}
+	if c.ReleaseTimeout == 0 {
+		c.ReleaseTimeout = d.ReleaseTimeout
+	}
+	if c.RetryInterval == 0 {
+		c.RetryInterval = d.RetryInterval
+	}
+	if c.MailboxDepth == 0 {
+		c.MailboxDepth = d.MailboxDepth
+	}
+	if c.MaxPendingWrites == 0 {
+		c.MaxPendingWrites = d.MaxPendingWrites
+	}
+	if c.IdlePoll == 0 {
+		c.IdlePoll = d.IdlePoll
+	}
+	return c
+}

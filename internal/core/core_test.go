@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig returns a small, fast deployment for tests.
+func testConfig(nodes int) Config {
+	return Config{
+		Nodes:             nodes,
+		Workers:           2,
+		SessionsPerWorker: 2,
+		KVSCapacity:       1 << 12,
+		ReleaseTimeout:    500 * time.Microsecond,
+		RetryInterval:     time.Millisecond,
+		IdlePoll:          100 * time.Microsecond,
+	}
+}
+
+// do runs a request synchronously against a session.
+func do(t testing.TB, s *Session, r *Request) *Request {
+	t.Helper()
+	done := make(chan struct{})
+	r.Done = func(*Request) { close(done) }
+	s.Submit(r)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("request %v(%d) timed out", r.Code, r.Key)
+	}
+	if r.Err != nil {
+		t.Fatalf("request %v(%d): %v", r.Code, r.Key, r.Err)
+	}
+	return r
+}
+
+func write(t testing.TB, s *Session, key uint64, val string) {
+	do(t, s, &Request{Code: OpWrite, Key: key, Val: []byte(val)})
+}
+
+func read(t testing.TB, s *Session, key uint64) string {
+	return string(do(t, s, &Request{Code: OpRead, Key: key}).Out)
+}
+
+func release(t testing.TB, s *Session, key uint64, val string) {
+	do(t, s, &Request{Code: OpRelease, Key: key, Val: []byte(val)})
+}
+
+func acquire(t testing.TB, s *Session, key uint64) string {
+	return string(do(t, s, &Request{Code: OpAcquire, Key: key}).Out)
+}
+
+func faa(t testing.TB, s *Session, key uint64, delta uint64) uint64 {
+	return do(t, s, &Request{Code: OpFAA, Key: key, Delta: delta}).Uint64Out()
+}
+
+func TestSingleNodeBasics(t *testing.T) {
+	c, err := NewCluster(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	if got := read(t, s, 1); got != "" {
+		t.Fatalf("initial read %q", got)
+	}
+	write(t, s, 1, "a")
+	if got := read(t, s, 1); got != "a" {
+		t.Fatalf("read after write %q", got)
+	}
+	release(t, s, 2, "flag")
+	if got := acquire(t, s, 2); got != "flag" {
+		t.Fatalf("acquire %q", got)
+	}
+	if old := faa(t, s, 3, 5); old != 0 {
+		t.Fatalf("first FAA old=%d", old)
+	}
+	if old := faa(t, s, 3, 5); old != 5 {
+		t.Fatalf("second FAA old=%d", old)
+	}
+}
+
+func TestThreeNodeReadWritePropagation(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s0 := c.Node(0).Session(0)
+	s1 := c.Node(1).Session(0)
+	write(t, s0, 42, "hello")
+	// ES propagation is asynchronous; poll the remote replica.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := read(t, s1, 42); got == "hello" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write never reached node 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReleaseAcquireVisibility(t *testing.T) {
+	c, err := NewCluster(testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	prod := c.Node(0).Session(0)
+	cons := c.Node(3).Session(0)
+	// Producer-consumer (Figure 1): after the consumer acquires flag=1 it
+	// must read every field of the object.
+	for i := uint64(0); i < 20; i++ {
+		base := 1000 + i*100
+		for f := uint64(0); f < 10; f++ {
+			write(t, prod, base+f, fmt.Sprintf("obj%d-f%d", i, f))
+		}
+		release(t, prod, base+99, "ready")
+		// Consumer polls the flag with acquires.
+		for acquire(t, cons, base+99) != "ready" {
+		}
+		for f := uint64(0); f < 10; f++ {
+			want := fmt.Sprintf("obj%d-f%d", i, f)
+			if got := read(t, cons, base+f); got != want {
+				t.Fatalf("iter %d field %d: got %q want %q (RC violation)", i, f, got, want)
+			}
+		}
+	}
+}
+
+func TestAcquireSeesLatestRelease(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a := c.Node(0).Session(0)
+	b := c.Node(1).Session(0)
+	// Linearizability of releases/acquires: once a release completes in
+	// real time, any later acquire must observe it (RCLin, §2.3).
+	for i := 0; i < 30; i++ {
+		val := fmt.Sprintf("v%d", i)
+		release(t, a, 7, val)
+		if got := acquire(t, b, 7); got != val {
+			t.Fatalf("iter %d: acquire %q after release %q", i, got, val)
+		}
+	}
+}
+
+func TestFAAAtomicityAcrossNodes(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const perSession = 50
+	var wg sync.WaitGroup
+	sessions := []*Session{
+		c.Node(0).Session(0), c.Node(1).Session(0), c.Node(2).Session(0),
+		c.Node(0).Session(1), c.Node(1).Session(1),
+	}
+	olds := make([][]uint64, len(sessions))
+	for si, s := range sessions {
+		wg.Add(1)
+		go func(si int, s *Session) {
+			defer wg.Done()
+			for i := 0; i < perSession; i++ {
+				olds[si] = append(olds[si], faa(t, s, 99, 1))
+			}
+		}(si, s)
+	}
+	wg.Wait()
+	want := uint64(len(sessions) * perSession)
+	// Linearizability of FAA: the returned old values must be exactly
+	// {0, ..., want-1}, each seen once — duplicates mean lost updates,
+	// gaps mean double-applied RMWs.
+	seen := make(map[uint64]int)
+	for _, vs := range olds {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for v := uint64(0); v < want; v++ {
+		if seen[v] != 1 {
+			t.Errorf("old value %d returned %d times", v, seen[v])
+		}
+	}
+	// The final value must equal the number of increments (no lost RMWs).
+	got := faa(t, c.Node(1).Session(2), 99, 0)
+	if got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestCASStrongAndWeak(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s0 := c.Node(0).Session(0)
+	s1 := c.Node(1).Session(0)
+
+	r := do(t, s0, &Request{Code: OpCASStrong, Key: 5, Expected: nil, Val: []byte("A")})
+	if !r.Swapped {
+		t.Fatalf("CAS from initial state failed, old=%q", r.Out)
+	}
+	// Wrong expectation fails and returns the current value.
+	r = do(t, s1, &Request{Code: OpCASStrong, Key: 5, Expected: []byte("X"), Val: []byte("B")})
+	if r.Swapped || string(r.Out) != "A" {
+		t.Fatalf("CAS should fail with old=A: swapped=%v old=%q", r.Swapped, r.Out)
+	}
+	// Correct expectation succeeds.
+	r = do(t, s1, &Request{Code: OpCASStrong, Key: 5, Expected: []byte("A"), Val: []byte("B")})
+	if !r.Swapped || string(r.Out) != "A" {
+		t.Fatalf("CAS should succeed: swapped=%v old=%q", r.Swapped, r.Out)
+	}
+	// Weak CAS failing locally completes without consensus.
+	r = do(t, s1, &Request{Code: OpCASWeak, Key: 5, Expected: []byte("nope"), Val: []byte("C")})
+	if r.Swapped {
+		t.Fatal("weak CAS with wrong expectation swapped")
+	}
+}
+
+func TestCASContention(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Many sessions CAS-increment one counter; every success must be
+	// sequenced (classic lock-free counter over strong CAS).
+	var wg sync.WaitGroup
+	var successes [3]uint64
+	for nid := 0; nid < 3; nid++ {
+		wg.Add(1)
+		go func(nid int) {
+			defer wg.Done()
+			s := c.Node(nid).Session(0)
+			for done := 0; done < 20; {
+				cur := do(t, s, &Request{Code: OpRead, Key: 77}).Out
+				next := EncodeUint64(DecodeUint64(cur) + 1)
+				r := do(t, s, &Request{Code: OpCASStrong, Key: 77,
+					Expected: append([]byte(nil), cur...), Val: next})
+				if r.Swapped {
+					done++
+					successes[nid]++
+				}
+			}
+		}(nid)
+	}
+	wg.Wait()
+	got := faa(t, c.Node(0).Session(1), 77, 0)
+	if got != 60 {
+		t.Fatalf("counter = %d, want 60", got)
+	}
+}
+
+func TestSessionOrderSameKey(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	// Rule (iv): same-key accesses preserve session order; a read after a
+	// write in the same session must see it (or something newer).
+	for i := 0; i < 100; i++ {
+		val := fmt.Sprintf("%d", i)
+		write(t, s, 8, val)
+		if got := read(t, s, 8); got != val {
+			t.Fatalf("iter %d: read-own-write got %q", i, got)
+		}
+	}
+}
+
+func TestAsyncPipeline(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	const n = 200
+	var mu sync.Mutex
+	completed := 0
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		r := &Request{Code: OpWrite, Key: uint64(i), Val: []byte{byte(i)}}
+		r.Done = func(*Request) {
+			mu.Lock()
+			completed++
+			if completed == n {
+				close(done)
+			}
+			mu.Unlock()
+		}
+		s.Submit(r)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		t.Fatalf("only %d/%d async writes completed", completed, n)
+	}
+}
+
+func TestStopFailsOutstanding(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Node(0).Session(0)
+	write(t, s, 1, "x")
+	c.Close()
+	r := &Request{Code: OpRead, Key: 1}
+	ch := make(chan error, 1)
+	r.Done = func(r *Request) { ch <- r.Err }
+	s.Submit(r)
+	select {
+	case err := <-ch:
+		if err != ErrStopped {
+			t.Fatalf("err = %v, want ErrStopped", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("request after Stop hung")
+	}
+}
+
+func TestCompletedCounters(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	write(t, s, 1, "x")
+	read(t, s, 1)
+	read(t, s, 1)
+	release(t, s, 2, "y")
+	if got := c.Node(0).Completed(OpRead); got != 2 {
+		t.Fatalf("reads = %d", got)
+	}
+	if got := c.Node(0).Completed(OpWrite); got != 1 {
+		t.Fatalf("writes = %d", got)
+	}
+	if got := c.Node(0).CompletedTotal(); got != 4 {
+		t.Fatalf("total = %d", got)
+	}
+}

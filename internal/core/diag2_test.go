@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kite/internal/llc"
+	"kite/internal/paxos"
+)
+
+// TestDiagReportedVsCommitted cross-references every FAA's reported old
+// value against the committed chain recorded by the commit hook, printing
+// the lifecycle trace of any op whose report disagrees with the slot its
+// value actually committed at.
+func TestDiagReportedVsCommitted(t *testing.T) {
+	var mu sync.Mutex
+	slotOrigin := map[uint64]uint64{} // slot -> origin (first seen)
+	slotVal := map[uint64]uint64{}
+	traces := map[uint64][]string{}
+	paxos.DebugCommitHook = func(store uintptr, key, slot uint64, ballot llc.Stamp, origin uint64, val []byte) {
+		if key != 99 {
+			return
+		}
+		mu.Lock()
+		if _, ok := slotOrigin[slot]; !ok {
+			slotOrigin[slot] = origin
+			slotVal[slot] = DecodeUint64(val)
+		}
+		mu.Unlock()
+	}
+	debugRMWTrace = func(opID uint64, event string, detail uint64) {
+		mu.Lock()
+		traces[opID] = append(traces[opID], fmt.Sprintf("%s(%x)", event, detail))
+		mu.Unlock()
+	}
+	defer func() { paxos.DebugCommitHook = nil; debugRMWTrace = nil }()
+
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const perSession = 50
+	var wg sync.WaitGroup
+	sessions := []*Session{
+		c.Node(0).Session(0), c.Node(1).Session(0), c.Node(2).Session(0),
+		c.Node(0).Session(1), c.Node(1).Session(1),
+	}
+	reported := make([]map[int]uint64, len(sessions)) // session -> iter -> old
+	for si, s := range sessions {
+		reported[si] = map[int]uint64{}
+		wg.Add(1)
+		go func(si int, s *Session) {
+			defer wg.Done()
+			for i := 0; i < perSession; i++ {
+				old := faa(t, s, 99, 1)
+				mu.Lock()
+				reported[si][i] = old
+				mu.Unlock()
+			}
+		}(si, s)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Chain check with origin traces for offenders.
+	maxSlot := uint64(0)
+	for s := range slotVal {
+		if s > maxSlot {
+			maxSlot = s
+		}
+	}
+	chainBad := 0
+	for s := uint64(0); s <= maxSlot && chainBad < 3; s++ {
+		if v, ok := slotVal[s]; ok && v != s+1 {
+			chainBad++
+			o := slotOrigin[s]
+			t.Errorf("CHAIN slot %d val %d want %d origin %x trace %v | slot-1: origin %x val %d | slot+1 val %d",
+				s, v, s+1, o, traces[o], slotOrigin[s-1], slotVal[s-1], slotVal[s+1])
+		}
+	}
+	// Build origin -> true slot.
+	originSlot := map[uint64]uint64{}
+	for slot, origin := range slotOrigin {
+		originSlot[origin] = slot
+	}
+	// Sessions' opIDs: node<<56 | sessIdx<<32 | seq(1-based).
+	ids := []struct{ node, sess uint64 }{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}}
+	bad := 0
+	for si, id := range ids {
+		for i := 0; i < perSession; i++ {
+			opID := id.node<<56 | id.sess<<32 | uint64(i+1)
+			slot, ok := originSlot[opID]
+			if !ok {
+				t.Errorf("op %x (sess %d iter %d) never committed; trace: %v",
+					opID, si, i, traces[opID])
+				bad++
+				continue
+			}
+			if got := reported[si][i]; got != slot {
+				t.Errorf("op %x (sess %d iter %d): reported old %d but committed at slot %d; trace: %v",
+					opID, si, i, got, slot, traces[opID])
+				bad++
+			}
+			if bad > 4 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kite/internal/llc"
+	"kite/internal/paxos"
+)
+
+type commitRec struct {
+	store  uintptr
+	slot   uint64
+	ballot llc.Stamp
+	origin uint64
+	val    uint64
+}
+
+// TestDiagCommitChain instruments every replica's commit applications and
+// verifies the per-slot agreement and value-chain invariants directly.
+func TestDiagCommitChain(t *testing.T) {
+	var mu sync.Mutex
+	var recs []commitRec
+	paxos.DebugCommitHook = func(store uintptr, key, slot uint64, ballot llc.Stamp, origin uint64, val []byte) {
+		if key != 99 {
+			return
+		}
+		mu.Lock()
+		recs = append(recs, commitRec{store, slot, ballot, origin, DecodeUint64(val)})
+		mu.Unlock()
+	}
+	defer func() { paxos.DebugCommitHook = nil }()
+
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const perSession = 50
+	var wg sync.WaitGroup
+	sessions := []*Session{
+		c.Node(0).Session(0), c.Node(1).Session(0), c.Node(2).Session(0),
+		c.Node(0).Session(1), c.Node(1).Session(1),
+	}
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			for i := 0; i < perSession; i++ {
+				faa(t, s, 99, 1)
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Invariant 1: per slot, all replicas commit the same (origin, value).
+	type sv struct{ origin, val uint64 }
+	bySlot := map[uint64]map[sv][]commitRec{}
+	originSlots := map[uint64]map[uint64]bool{}
+	for _, r := range recs {
+		if bySlot[r.slot] == nil {
+			bySlot[r.slot] = map[sv][]commitRec{}
+		}
+		bySlot[r.slot][sv{r.origin, r.val}] = append(bySlot[r.slot][sv{r.origin, r.val}], r)
+		if originSlots[r.origin] == nil {
+			originSlots[r.origin] = map[uint64]bool{}
+		}
+		originSlots[r.origin][r.slot] = true
+	}
+	for slot, m := range bySlot {
+		if len(m) > 1 {
+			msg := fmt.Sprintf("slot %d committed with %d distinct (origin,val):", slot, len(m))
+			for k, v := range m {
+				msg += fmt.Sprintf(" [origin=%x val=%d ballots=%v x%d]", k.origin, k.val, v[0].ballot, len(v))
+			}
+			t.Error(msg)
+		}
+	}
+	// Invariant 2: an origin commits at exactly one slot.
+	for origin, slots := range originSlots {
+		if len(slots) > 1 {
+			t.Errorf("origin %x committed at %d slots: %v", origin, len(slots), slots)
+		}
+	}
+	// Invariant 3: the value chain increments by 1 per slot.
+	maxSlot := uint64(0)
+	for slot := range bySlot {
+		if slot > maxSlot {
+			maxSlot = slot
+		}
+	}
+	for slot := uint64(0); slot <= maxSlot; slot++ {
+		m := bySlot[slot]
+		if len(m) != 1 {
+			continue
+		}
+		for k := range m {
+			if k.val != slot+1 {
+				t.Errorf("slot %d committed val %d, want %d (stale base)", slot, k.val, slot+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"time"
+
+	"kite/internal/abd"
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/proto"
+)
+
+// issue starts executing request r at the head of session s. Fast-path
+// relaxed ops complete inline; everything else installs a blocking head op.
+func (w *Worker) issue(s *Session, r *Request) {
+	switch r.Code {
+	case OpRead:
+		w.issueRead(s, r)
+	case OpWrite:
+		w.issueWrite(s, r)
+	case OpRelease:
+		w.issueRelease(s, r)
+	case OpAcquire:
+		w.issueAcquire(s, r)
+	case OpFAA, OpCASWeak, OpCASStrong:
+		w.issueRMW(s, r)
+	default:
+		s.complete(r, ErrStopped)
+	}
+}
+
+// --- Relaxed read ------------------------------------------------------------
+
+// issueRead implements the relaxed read: in-epoch keys are served locally by
+// Eventual Store (one seqlock view, no messages); out-of-epoch keys take the
+// stripped slow path — a single quorum round that adopts the freshest value
+// and brings the key back in-epoch (§4.2, §4.3).
+func (w *Worker) issueRead(s *Session, r *Request) {
+	nd := w.node
+	epoch := nd.Epoch.Load()
+	if !nd.cfg.DisableFastPath {
+		val, _, keyEpoch, ok := nd.Store.View(r.Key, w.scratch[:])
+		if (ok && keyEpoch == epoch) || (!ok && epoch == 0) {
+			r.setOut(val)
+			s.complete(r, nil)
+			return
+		}
+	}
+	nd.slowReads.Add(1)
+	op := &slowReadOp{
+		id: w.nextOpID(s), sess: s, req: r, epochSnap: epoch,
+		rd:      abd.NewReadOp(r.Key, 0, nd.n, false),
+		retryAt: w.now.Add(nd.cfg.RetryInterval),
+	}
+	op.rd.OpID = op.id
+	s.head = op
+	w.register(op.id, op)
+	w.broadcastAll(op.rd.ReadMsg(nd.ID, w.id, proto.KindSlowRead))
+}
+
+type slowReadOp struct {
+	id        uint64
+	sess      *Session
+	req       *Request
+	rd        *abd.ReadOp
+	epochSnap uint64
+	retryAt   time.Time
+}
+
+func (op *slowReadOp) request() *Request       { return op.req }
+func (op *slowReadOp) nextDeadline() time.Time { return op.retryAt }
+func (op *slowReadOp) onTrackerUpdate(*Worker) {}
+
+func (op *slowReadOp) onMessage(w *Worker, m *proto.Message) {
+	if m.Kind != proto.KindReadReply {
+		return
+	}
+	if op.rd.OnReadReply(m) != abd.ReadComplete {
+		return
+	}
+	// Adopt the quorum-fresh value and advance the key's epoch to the
+	// machine epoch snapshotted when the access began — never beyond, so a
+	// concurrent acquire's epoch bump still forces a re-fetch (§5.4).
+	w.node.Store.ApplyAndAdvance(op.req.Key, op.rd.MaxVal, op.rd.MaxTS, op.epochSnap)
+	op.req.setOut(op.rd.MaxVal)
+	w.unregister(op.id)
+	op.sess.complete(op.req, nil)
+	op.sess.unblock()
+}
+
+func (op *slowReadOp) onDeadline(w *Worker, now time.Time) {
+	w.retransmit(op.rd.ReadMsg(w.node.ID, w.id, proto.KindSlowRead), op.rd.Unseen(w.node.full))
+	op.retryAt = now.Add(w.node.cfg.RetryInterval)
+}
+
+// --- Relaxed write -----------------------------------------------------------
+
+// issueWrite implements the relaxed write. Fast path: bump the key's LLC,
+// apply locally, broadcast to the replicas, track acks in the session's
+// ledger, and complete immediately — the release barrier, not the write,
+// waits for acknowledgements. Slow path (out-of-epoch key): first read the
+// key's LLC from a quorum so the new stamp dominates any write this node
+// missed, then proceed as above; the write completes without waiting for
+// value acks (§4.3).
+func (w *Worker) issueWrite(s *Session, r *Request) {
+	nd := w.node
+	epoch := nd.Epoch.Load()
+	if !nd.cfg.DisableFastPath {
+		if st, ok := nd.Store.LocalWriteInEpoch(r.Key, r.Val, nd.ID, epoch); ok {
+			w.trackWrite(s, r.Key, r.Val, st)
+			s.complete(r, nil)
+			return
+		}
+	}
+	nd.slowWrites.Add(1)
+	op := &slowWriteOp{
+		id: w.nextOpID(s), sess: s, req: r, epochSnap: epoch,
+		quorum:  nd.quorum,
+		retryAt: w.now.Add(nd.cfg.RetryInterval),
+	}
+	op.vlen = copy(op.valBuf[:], r.Val)
+	s.head = op
+	w.register(op.id, op)
+	w.broadcastAll(proto.Message{
+		Kind: proto.KindSlowWriteTS, From: nd.ID, Worker: w.id, Key: r.Key, OpID: op.id,
+	})
+}
+
+// trackWrite registers an applied local write for all-ack gathering and
+// broadcasts it to the replicas.
+func (w *Worker) trackWrite(s *Session, key uint64, val []byte, st llc.Stamp) {
+	op := &esWriteOp{id: w.nextOpID(s), sess: s, retryAt: w.now.Add(w.node.cfg.RetryInterval)}
+	n := copy(op.valBuf[:], val)
+	op.msg = proto.Message{
+		Kind: proto.KindESWrite, From: w.node.ID, Worker: w.id,
+		Key: key, OpID: op.id, Stamp: st, Value: op.valBuf[:n],
+	}
+	s.tracker.Add(op.id, key, w.node.ID)
+	w.register(op.id, op)
+	w.broadcastRemote(op.msg)
+}
+
+// esWriteOp tracks one broadcast relaxed write until every replica acks it
+// (or until a slow-release settles it).
+type esWriteOp struct {
+	id      uint64
+	sess    *Session
+	msg     proto.Message
+	valBuf  [kvs.MaxValueLen]byte
+	retryAt time.Time
+}
+
+func (op *esWriteOp) request() *Request       { return nil }
+func (op *esWriteOp) nextDeadline() time.Time { return op.retryAt }
+
+func (op *esWriteOp) onMessage(w *Worker, m *proto.Message) {
+	if m.Kind != proto.KindESAck {
+		return
+	}
+	if _, done := op.sess.tracker.Ack(op.id, m.From); done {
+		w.unregister(op.id)
+		if op.sess.throttled {
+			op.sess.throttled = false
+			w.enqueueRun(op.sess)
+		}
+		if op.sess.head != nil {
+			op.sess.head.onTrackerUpdate(w)
+		}
+	}
+}
+
+func (op *esWriteOp) onDeadline(w *Worker, now time.Time) {
+	unacked := op.sess.tracker.Unacked(op.id)
+	if unacked == 0 {
+		w.unregister(op.id)
+		return
+	}
+	w.retransmit(op.msg, unacked)
+	op.retryAt = now.Add(w.node.cfg.RetryInterval)
+}
+
+// slowWriteOp is the out-of-epoch relaxed write: one LLC quorum round, then
+// it morphs into a tracked ES write and completes.
+type slowWriteOp struct {
+	id        uint64
+	sess      *Session
+	req       *Request
+	epochSnap uint64
+	quorum    int
+	seen      uint16
+	maxTS     llc.Stamp
+	valBuf    [kvs.MaxValueLen]byte
+	vlen      int
+	retryAt   time.Time
+}
+
+func (op *slowWriteOp) request() *Request       { return op.req }
+func (op *slowWriteOp) nextDeadline() time.Time { return op.retryAt }
+func (op *slowWriteOp) onTrackerUpdate(*Worker) {}
+
+func (op *slowWriteOp) onMessage(w *Worker, m *proto.Message) {
+	if m.Kind != proto.KindSlowWriteTSR {
+		return
+	}
+	bit := uint16(1) << m.From
+	if op.seen&bit != 0 {
+		return
+	}
+	op.seen |= bit
+	if op.maxTS.Less(m.Stamp) {
+		op.maxTS = m.Stamp
+	}
+	if popcount16(op.seen) < op.quorum {
+		return
+	}
+	// Quorum of LLCs read: stamp the write above everything missed, apply
+	// locally, restore the key in-epoch, and broadcast. The write is
+	// tracked for the next release but completes now, without acks (§4.3).
+	nd := w.node
+	val := op.valBuf[:op.vlen]
+	st := nd.Store.WriteAtLeast(op.req.Key, val, op.maxTS, nd.ID, op.epochSnap)
+
+	esop := &esWriteOp{id: op.id, sess: op.sess, retryAt: w.now.Add(nd.cfg.RetryInterval)}
+	n := copy(esop.valBuf[:], val)
+	esop.msg = proto.Message{
+		Kind: proto.KindESWrite, From: nd.ID, Worker: w.id,
+		Key: op.req.Key, OpID: op.id, Stamp: st, Value: esop.valBuf[:n],
+	}
+	op.sess.tracker.Add(op.id, op.req.Key, nd.ID)
+	w.register(op.id, esop) // replaces this op under the same id
+	w.broadcastRemote(esop.msg)
+
+	op.sess.complete(op.req, nil)
+	op.sess.unblock()
+}
+
+func (op *slowWriteOp) onDeadline(w *Worker, now time.Time) {
+	w.retransmit(proto.Message{
+		Kind: proto.KindSlowWriteTS, From: w.node.ID, Worker: w.id,
+		Key: op.req.Key, OpID: op.id,
+	}, w.node.full&^op.seen)
+	op.retryAt = now.Add(w.node.cfg.RetryInterval)
+}
+
+// retransmit stages m for every remote node in mask (the local bit, if set,
+// is ignored — the local replica always answered inline).
+func (w *Worker) retransmit(m proto.Message, mask uint16) {
+	for dst := uint8(0); int(dst) < w.node.n; dst++ {
+		if dst != w.node.ID && mask&(1<<dst) != 0 {
+			w.stage(dst, m)
+		}
+	}
+}
+
+func popcount16(x uint16) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

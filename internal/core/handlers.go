@@ -1,0 +1,73 @@
+package core
+
+import (
+	"kite/internal/abd"
+	"kite/internal/es"
+	"kite/internal/paxos"
+	"kite/internal/proto"
+)
+
+// handleRequest runs the replica-side protocol handler for m against this
+// node's store and barrier state, composing the Kite-specific delinquency
+// piggyback (§4.2) onto the plain ABD/Paxos replies:
+//
+//   - acquire reads and Paxos proposes carry acquire semantics, so their
+//     replies tell the requesting machine whether it is deemed delinquent
+//     (moving the bit into the transient T state, tagged by the op id);
+//   - slow-path relaxed reads deliberately do not (§4.3): they must not
+//     consume the delinquency notification owed to a real acquire.
+func (w *Worker) handleRequest(m *proto.Message) (rep proto.Message, ok bool) {
+	nd := w.node
+	switch m.Kind {
+	case proto.KindESWrite:
+		return es.HandleWrite(nd.Store, m, nd.ID), true
+
+	case proto.KindReadTS:
+		return abd.HandleReadTS(nd.Store, m, nd.ID, proto.KindReadTSReply), true
+
+	case proto.KindSlowWriteTS:
+		return abd.HandleReadTS(nd.Store, m, nd.ID, proto.KindSlowWriteTSR), true
+
+	case proto.KindABDWrite:
+		return abd.HandleWrite(nd.Store, m, nd.ID), true
+
+	case proto.KindAcqRead:
+		rep = abd.HandleRead(nd.Store, m, nd.ID, w.scratch[:])
+		if nd.Delinq.OnAcquire(m.From, m.OpID) {
+			rep.Flags |= proto.FlagDelinquent
+		}
+		return rep, true
+
+	case proto.KindSlowRead:
+		return abd.HandleRead(nd.Store, m, nd.ID, w.scratch[:]), true
+
+	case proto.KindSlowRelease:
+		nd.Delinq.OnSlowRelease(m.Bits)
+		return m.Reply(proto.KindSlowReleaseAck, nd.ID), true
+
+	case proto.KindResetBit:
+		nd.Delinq.OnResetBit(m.From, m.OpID)
+		return rep, false
+
+	case proto.KindPropose:
+		rep = paxos.HandlePropose(nd.Store, m, nd.ID, w.scratch[:])
+		if nd.Delinq.OnAcquire(m.From, m.OpID) {
+			rep.Flags |= proto.FlagDelinquent
+		}
+		return rep, true
+
+	case proto.KindAccept:
+		return paxos.HandleAccept(nd.Store, m, nd.ID, w.scratch[:]), true
+
+	case proto.KindCommit:
+		return paxos.HandleCommit(nd.Store, m, nd.ID), true
+
+	case proto.KindPaxosLearn:
+		paxos.HandleLearn(nd.Store, m)
+		return rep, false
+
+	case proto.KindPaxosQuery:
+		return paxos.HandleQuery(nd.Store, m, nd.ID, w.scratch[:]), true
+	}
+	return rep, false
+}

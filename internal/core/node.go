@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/barrier"
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/transport"
+)
+
+// Node is one Kite replica: the full KVS in memory, the machine epoch-id,
+// the delinquency bit-vector, and a set of worker goroutines executing
+// client sessions.
+type Node struct {
+	ID     uint8
+	cfg    Config
+	n      int
+	quorum int
+	full   uint16 // all-nodes bitmask
+
+	Store  *kvs.Store
+	Epoch  barrier.Epoch
+	Delinq barrier.Vector
+
+	tr       transport.Transport
+	workers  []*Worker
+	sessions []*Session
+
+	paused  atomic.Bool
+	stopped atomic.Bool
+	started bool
+	wg      sync.WaitGroup
+
+	// stats
+	completed  [opCodes]atomic.Uint64
+	slowReads  atomic.Uint64 // relaxed accesses served via the slow path
+	slowWrites atomic.Uint64
+	epochBumps atomic.Uint64
+	slowRels   atomic.Uint64 // releases that published a DM-set
+}
+
+// NewNode creates (but does not start) a replica. All nodes of a deployment
+// must share cfg and use transports wired to the same endpoint space.
+func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 || cfg.Nodes > llc.MaxNodes {
+		return nil, fmt.Errorf("core: %d nodes outside [1,%d]", cfg.Nodes, llc.MaxNodes)
+	}
+	if int(id) >= cfg.Nodes {
+		return nil, fmt.Errorf("core: node id %d with %d nodes", id, cfg.Nodes)
+	}
+	nd := &Node{
+		ID:     id,
+		cfg:    cfg,
+		n:      cfg.Nodes,
+		quorum: cfg.Nodes/2 + 1,
+		full:   uint16(1<<cfg.Nodes) - 1,
+		Store:  kvs.New(cfg.KVSCapacity),
+		tr:     tr,
+	}
+	nd.workers = make([]*Worker, cfg.Workers)
+	for w := range nd.workers {
+		nd.workers[w] = newWorker(nd, uint8(w))
+	}
+	nd.sessions = make([]*Session, 0, cfg.Workers*cfg.SessionsPerWorker)
+	for i := 0; i < cfg.Workers*cfg.SessionsPerWorker; i++ {
+		w := nd.workers[i%cfg.Workers]
+		s := newSession(nd, w, i)
+		w.sessions = append(w.sessions, s)
+		nd.sessions = append(nd.sessions, s)
+	}
+	return nd, nil
+}
+
+// Start launches the worker goroutines.
+func (nd *Node) Start() {
+	if nd.started {
+		return
+	}
+	nd.started = true
+	for _, w := range nd.workers {
+		nd.wg.Add(1)
+		go func(w *Worker) {
+			defer nd.wg.Done()
+			w.run()
+		}(w)
+	}
+}
+
+// Stop terminates the workers, failing outstanding requests with
+// ErrStopped, and waits for them to exit.
+func (nd *Node) Stop() {
+	if nd.stopped.Swap(true) {
+		return
+	}
+	nd.wg.Wait()
+}
+
+// Pause makes the node unresponsive for d — workers stop processing
+// messages and requests, exactly like the sleeping replica of the failure
+// study (§8.4). Messages queued for it overflow and drop; its peers' releases
+// time out, publish it in DM-sets and move on.
+func (nd *Node) Pause(d time.Duration) {
+	if nd.paused.Swap(true) {
+		return
+	}
+	time.AfterFunc(d, func() { nd.paused.Store(false) })
+}
+
+// Paused reports whether the node is currently unresponsive.
+func (nd *Node) Paused() bool { return nd.paused.Load() }
+
+// Sessions returns the number of client sessions the node runs.
+func (nd *Node) Sessions() int { return len(nd.sessions) }
+
+// Session returns the i-th session handle.
+func (nd *Node) Session(i int) *Session { return nd.sessions[i] }
+
+// Config returns the node's effective configuration.
+func (nd *Node) Config() Config { return nd.cfg }
+
+// Completed returns how many operations of the given class this node's
+// sessions have completed.
+func (nd *Node) Completed(c OpCode) uint64 { return nd.completed[c].Load() }
+
+// CompletedTotal sums completions across operation classes.
+func (nd *Node) CompletedTotal() uint64 {
+	var t uint64
+	for i := range nd.completed {
+		t += nd.completed[i].Load()
+	}
+	return t
+}
+
+// Stats is a snapshot of a node's slow-path activity.
+type Stats struct {
+	SlowReads    uint64 // relaxed reads served by quorum rounds
+	SlowWrites   uint64 // relaxed writes that needed a TS quorum round
+	EpochBumps   uint64 // acquire-side transitions to the slow path
+	SlowReleases uint64 // releases that published a DM-set
+}
+
+// SlowPathStats snapshots the node's slow-path counters.
+func (nd *Node) SlowPathStats() Stats {
+	return Stats{
+		SlowReads:    nd.slowReads.Load(),
+		SlowWrites:   nd.slowWrites.Load(),
+		EpochBumps:   nd.epochBumps.Load(),
+		SlowReleases: nd.slowRels.Load(),
+	}
+}

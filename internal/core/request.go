@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"kite/internal/kvs"
+)
+
+// OpCode identifies a Kite API operation (Table 1 plus the RMW variants of
+// §6.1).
+type OpCode uint8
+
+// Kite API operations.
+const (
+	OpRead      OpCode = iota // relaxed read (Eventual Store)
+	OpWrite                   // relaxed write (Eventual Store)
+	OpRelease                 // release write (ABD, release barrier)
+	OpAcquire                 // acquire read (ABD, acquire barrier)
+	OpFAA                     // fetch-and-add (Paxos RMW)
+	OpCASWeak                 // compare-and-swap that may fail locally
+	OpCASStrong               // compare-and-swap that always checks remotely
+	opCodes
+)
+
+var opNames = [...]string{"read", "write", "release", "acquire", "faa", "cas-weak", "cas-strong"}
+
+func (c OpCode) String() string {
+	if int(c) < len(opNames) {
+		return opNames[c]
+	}
+	return "op?"
+}
+
+// IsRMW reports whether the op maps to Paxos.
+func (c OpCode) IsRMW() bool { return c == OpFAA || c == OpCASWeak || c == OpCASStrong }
+
+// ErrStopped is reported by requests outstanding when the node shuts down.
+var ErrStopped = errors.New("kite: node stopped")
+
+// Request is one Kite API invocation. Clients fill the input fields, submit
+// via Session.Submit, and receive the completed request through Done — which
+// runs on the owning worker goroutine and must not block (the async API of
+// §6.1; the sync API in the public package wraps it with a channel).
+type Request struct {
+	Code     OpCode
+	Key      uint64
+	Val      []byte // write/release value, CAS new value
+	Expected []byte // CAS comparand
+	Delta    uint64 // FAA addend
+
+	// Out is the operation's result value: the value read (read/acquire),
+	// or the old value (FAA/CAS). It aliases a request-owned buffer valid
+	// until the request is reused.
+	Out []byte
+	// Swapped reports CAS success.
+	Swapped bool
+	// Err is non-nil only when the node stopped before completion.
+	Err error
+
+	// Done is invoked exactly once on completion.
+	Done func(*Request)
+
+	sess   *Session
+	outBuf [kvs.MaxValueLen]byte
+}
+
+// setOut copies v into the request-owned result buffer.
+func (r *Request) setOut(v []byte) {
+	n := copy(r.outBuf[:], v)
+	r.Out = r.outBuf[:n]
+}
+
+// Uint64Out decodes the result as a little-endian counter (FAA convention:
+// missing/short values read as zero).
+func (r *Request) Uint64Out() uint64 { return DecodeUint64(r.Out) }
+
+// DecodeUint64 decodes a counter value as used by FAA: little-endian,
+// zero-padded, absent keys count as zero.
+func DecodeUint64(v []byte) uint64 {
+	var b [8]byte
+	copy(b[:], v)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// EncodeUint64 encodes a counter value for FAA/CAS use.
+func EncodeUint64(x uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, x)
+	return b
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"kite/internal/es"
+)
+
+// Session is the unit of ordering in Kite: requests submitted to a session
+// appear to take effect in submission order (session order, §2.1). Each
+// session is owned by exactly one worker, so its state needs no locks; the
+// only cross-goroutine handoff is the submit channel.
+type Session struct {
+	node *Node
+	w    *Worker
+	idx  int
+
+	// tracker ledgers this session's relaxed writes awaiting full
+	// acknowledgement — the release barrier's input.
+	tracker *es.Tracker
+
+	// queue holds admitted-but-unissued requests in session order.
+	queue []*Request
+	// head is the blocking operation in flight (nil if none). Relaxed
+	// writes do not block; releases/acquires/RMWs and slow-path relaxed
+	// accesses do.
+	head blockingOp
+	// throttled marks the session as waiting for write acks (flow
+	// control when tracker.Len() exceeds MaxPendingWrites).
+	throttled bool
+	inRunq    bool
+	opSeq     uint64
+}
+
+// blockingOp is the in-flight head operation of a session. Ops that wait on
+// the release barrier additionally react to tracker updates.
+type blockingOp interface {
+	pendingOp
+	onTrackerUpdate(w *Worker)
+}
+
+func newSession(nd *Node, w *Worker, idx int) *Session {
+	return &Session{node: nd, w: w, idx: idx, tracker: es.NewTracker(nd.n)}
+}
+
+// Index returns the session's node-local index.
+func (s *Session) Index() int { return s.idx }
+
+// Node returns the owning node's id.
+func (s *Session) Node() uint8 { return s.node.ID }
+
+// Submit hands a request to the session's worker. It is the only Session
+// method safe to call from outside the worker goroutine; it may block when
+// the worker's admission queue is full (client backpressure). Requests on
+// one session must be submitted from one goroutine at a time — a session is
+// a single logical thread of control.
+func (s *Session) Submit(r *Request) {
+	r.sess = s
+	if s.node.stopped.Load() {
+		s.complete(r, ErrStopped)
+		return
+	}
+	s.w.reqCh <- r
+}
+
+// complete finishes a request: fills completion counters, fires Done and
+// reschedules the session.
+func (s *Session) complete(r *Request, err error) {
+	r.Err = err
+	s.node.completed[r.Code].Add(1)
+	if r.Done != nil {
+		r.Done(r)
+	}
+}
+
+// unblock clears the head op after its completion and reschedules.
+func (s *Session) unblock() {
+	s.head = nil
+	s.w.enqueueRun(s)
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"time"
+
+	"kite/internal/kvs"
+	"kite/internal/proto"
+	"kite/internal/transport"
+)
+
+// pendingOp is an in-flight protocol operation owned by a worker, keyed by
+// op id in the worker's ops table. Replies are routed to onMessage; expired
+// deadlines (retransmissions, the release barrier timeout) to onDeadline.
+type pendingOp interface {
+	onMessage(w *Worker, m *proto.Message)
+	onDeadline(w *Worker, now time.Time)
+	nextDeadline() time.Time
+}
+
+// Worker executes sessions and protocol handlers in a single-threaded event
+// loop — the Kite worker thread of §6.1. All state it touches (sessions,
+// ops, outboxes) is goroutine-local; shared node state (KVS, epoch,
+// delinquency vector) is internally synchronised.
+type Worker struct {
+	node *Node
+	id   uint8
+
+	inbox <-chan []proto.Message
+	reqCh chan *Request
+
+	sessions []*Session
+	ops      map[uint64]pendingOp
+
+	// out stages outgoing messages per destination node; flush() sends
+	// each stage as one batch (opportunistic batching, §6.3).
+	out [][]proto.Message
+
+	runq []*Session
+
+	scratch [kvs.MaxValueLen]byte
+	now     time.Time
+
+	nextScan time.Time
+	idle     *time.Timer
+}
+
+const (
+	maxBatchesPerIter = 64
+	maxAdmitsPerIter  = 128
+	deadlineScanEvery = 200 * time.Microsecond
+)
+
+func newWorker(nd *Node, id uint8) *Worker {
+	w := &Worker{
+		node:  nd,
+		id:    id,
+		inbox: nd.tr.Recv(transport.Endpoint{Node: nd.ID, Worker: id}),
+		reqCh: make(chan *Request, 1024),
+		ops:   make(map[uint64]pendingOp, 256),
+		out:   make([][]proto.Message, nd.cfg.Nodes),
+	}
+	return w
+}
+
+// nextOpID allocates a cluster-unique operation id for an op of session s:
+// node(8) | session(24) | per-session sequence(32). The high 32 bits form
+// the session tag the Paxos exactly-once filter keys on: a session has at
+// most one outstanding RMW, so "the session's latest committed RMW id"
+// decides whether a given RMW already committed.
+func (w *Worker) nextOpID(s *Session) uint64 {
+	s.opSeq++
+	return uint64(w.node.ID)<<56 | uint64(s.idx)<<32 | uint64(uint32(s.opSeq))
+}
+
+func (w *Worker) register(id uint64, op pendingOp) { w.ops[id] = op }
+func (w *Worker) unregister(id uint64)             { delete(w.ops, id) }
+
+// stage queues m for dst's same-index worker; self-destined messages are
+// not staged (use deliverLocal).
+func (w *Worker) stage(dst uint8, m proto.Message) {
+	w.out[dst] = append(w.out[dst], m)
+}
+
+// broadcastRemote stages m for every remote node.
+func (w *Worker) broadcastRemote(m proto.Message) {
+	for dst := uint8(0); int(dst) < w.node.n; dst++ {
+		if dst != w.node.ID {
+			w.stage(dst, m)
+		}
+	}
+}
+
+// broadcastAll stages m for every remote node and processes the local
+// replica's copy inline (the loopback that lets the local store count
+// towards quorums).
+func (w *Worker) broadcastAll(m proto.Message) {
+	w.broadcastRemote(m)
+	w.deliverLocal(m)
+}
+
+// deliverLocal runs the replica-side handler for m against the local node
+// and routes the reply (if any) straight back into this worker's ops.
+func (w *Worker) deliverLocal(m proto.Message) {
+	if rep, ok := w.handleRequest(&m); ok {
+		w.dispatchReply(&rep)
+	}
+}
+
+func (w *Worker) dispatchReply(m *proto.Message) {
+	if op, ok := w.ops[m.OpID]; ok {
+		op.onMessage(w, m)
+	}
+}
+
+// dispatch processes one incoming message: replies feed pending ops,
+// requests run replica handlers and stage their responses back.
+func (w *Worker) dispatch(m *proto.Message) {
+	if m.IsReply() {
+		w.dispatchReply(m)
+		return
+	}
+	rep, ok := w.handleRequest(m)
+	if !ok {
+		return
+	}
+	if m.From == w.node.ID {
+		w.dispatchReply(&rep)
+		return
+	}
+	w.stage(m.From, rep)
+}
+
+// flush sends every staged batch. Batches are handed to the transport,
+// which owns them afterwards.
+func (w *Worker) flush() {
+	for dst := range w.out {
+		if len(w.out[dst]) == 0 {
+			continue
+		}
+		batch := w.out[dst]
+		w.out[dst] = nil
+		w.node.tr.Send(transport.Endpoint{Node: uint8(dst), Worker: w.id}, batch)
+	}
+}
+
+func (w *Worker) enqueueRun(s *Session) {
+	if !s.inRunq {
+		s.inRunq = true
+		w.runq = append(w.runq, s)
+	}
+}
+
+// run is the worker event loop.
+func (w *Worker) run() {
+	defer w.failAll()
+	w.idle = time.NewTimer(w.node.cfg.IdlePoll)
+	defer w.idle.Stop()
+	for {
+		if w.node.stopped.Load() {
+			return
+		}
+		if w.node.paused.Load() {
+			// The sleeping replica of the failure study: no receiving,
+			// no sending, no client progress.
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		w.now = time.Now()
+		progress := false
+
+		// 1. Inbound protocol traffic.
+	drain:
+		for i := 0; i < maxBatchesPerIter; i++ {
+			select {
+			case batch := <-w.inbox:
+				for j := range batch {
+					w.dispatch(&batch[j])
+				}
+				progress = true
+			default:
+				break drain
+			}
+		}
+
+		// 2. Newly submitted client requests.
+	admit:
+		for i := 0; i < maxAdmitsPerIter; i++ {
+			select {
+			case r := <-w.reqCh:
+				r.sess.queue = append(r.sess.queue, r)
+				w.enqueueRun(r.sess)
+				progress = true
+			default:
+				break admit
+			}
+		}
+
+		// 3. Pump runnable sessions (completions re-enqueue sessions, so
+		// drain until quiescent).
+		for len(w.runq) > 0 {
+			s := w.runq[0]
+			w.runq = w.runq[1:]
+			s.inRunq = false
+			w.pump(s)
+			progress = true
+		}
+
+		// 4. Deadlines: barrier timeouts and retransmissions.
+		if w.now.After(w.nextScan) {
+			w.scanDeadlines()
+			w.nextScan = w.now.Add(deadlineScanEvery)
+		}
+
+		// 5. Ship staged batches.
+		w.flush()
+
+		if !progress {
+			w.idleWait()
+		}
+	}
+}
+
+// idleWait blocks until traffic arrives or the poll interval elapses (so
+// deadline scans still happen on a quiet node).
+func (w *Worker) idleWait() {
+	if !w.idle.Stop() {
+		select {
+		case <-w.idle.C:
+		default:
+		}
+	}
+	w.idle.Reset(w.node.cfg.IdlePoll)
+	select {
+	case batch := <-w.inbox:
+		for j := range batch {
+			w.dispatch(&batch[j])
+		}
+		w.flush()
+	case r := <-w.reqCh:
+		r.sess.queue = append(r.sess.queue, r)
+		w.enqueueRun(r.sess)
+	case <-w.idle.C:
+	}
+}
+
+func (w *Worker) scanDeadlines() {
+	for _, op := range w.ops {
+		if d := op.nextDeadline(); !d.IsZero() && w.now.After(d) {
+			op.onDeadline(w, w.now)
+		}
+	}
+}
+
+// pump advances a session: issue queued requests in order until one blocks
+// (or flow control throttles relaxed writes).
+func (w *Worker) pump(s *Session) {
+	for s.head == nil && len(s.queue) > 0 {
+		r := s.queue[0]
+		if r.Code == OpWrite && s.tracker.Len() >= w.node.cfg.MaxPendingWrites {
+			s.throttled = true
+			return
+		}
+		s.queue = s.queue[1:]
+		w.issue(s, r)
+	}
+}
+
+// failAll terminates outstanding and queued requests on shutdown.
+func (w *Worker) failAll() {
+	for _, s := range w.sessions {
+		if s.head != nil {
+			if rh, ok := s.head.(interface{ request() *Request }); ok {
+				if r := rh.request(); r != nil {
+					s.complete(r, ErrStopped)
+				}
+			}
+			s.head = nil
+		}
+		for _, r := range s.queue {
+			s.complete(r, ErrStopped)
+		}
+		s.queue = nil
+	}
+	// Drain any requests still sitting in the submit channel.
+	for {
+		select {
+		case r := <-w.reqCh:
+			r.sess.complete(r, ErrStopped)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package derecho implements the paper's other baseline (§7): a simplified
+// state machine replication system in the mould of Derecho — atomic
+// multicast with a predetermined round-robin delivery order, plus an
+// unordered variant of its atomic broadcast.
+//
+// The architectural property the paper's evaluation isolates (§8.2) is kept
+// faithfully: the system is single-threaded per node (one event-loop worker)
+// and optimised for throughput of ordered delivery rather than for the
+// many-small-messages, many-threads regime Kite targets. Ordered mode
+// delivers message r of sender 0, then r of sender 1, ..., advancing a round
+// only when every sender's message for it has arrived (idle senders emit
+// null messages, as real Derecho does); unordered mode applies messages on
+// receipt.
+package derecho
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/proto"
+	"kite/internal/transport"
+)
+
+// Mode selects the delivery discipline.
+type Mode uint8
+
+// Delivery modes.
+const (
+	Ordered   Mode = iota // total order: round-robin across senders
+	Unordered             // apply on receipt
+)
+
+// Config parameterises a deployment.
+type Config struct {
+	Nodes        int
+	Mode         Mode
+	KVSCapacity  int
+	MailboxDepth int
+	IdlePoll     time.Duration
+	// NullSendAfter is how long an ordered-mode node waits for client
+	// traffic before emitting a null message to keep rounds advancing.
+	NullSendAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 5
+	}
+	if c.KVSCapacity == 0 {
+		c.KVSCapacity = 1 << 16
+	}
+	if c.MailboxDepth == 0 {
+		c.MailboxDepth = 1 << 14
+	}
+	if c.IdlePoll == 0 {
+		c.IdlePoll = 100 * time.Microsecond
+	}
+	if c.NullSendAfter == 0 {
+		c.NullSendAfter = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Cluster is an in-process deployment.
+type Cluster struct {
+	cfg   Config
+	tr    *transport.InProc
+	nodes []*Node
+}
+
+// NewCluster builds and starts a deployment.
+func NewCluster(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, tr: transport.NewInProc(cfg.Nodes, 1, cfg.MailboxDepth)}
+	for id := 0; id < cfg.Nodes; id++ {
+		c.nodes = append(c.nodes, newNode(uint8(id), cfg, c.tr))
+	}
+	for _, nd := range c.nodes {
+		nd.start()
+	}
+	return c
+}
+
+// Node returns replica i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Close stops the deployment.
+func (c *Cluster) Close() {
+	for _, nd := range c.nodes {
+		nd.stop()
+	}
+	c.tr.Close()
+}
+
+type send struct {
+	key  uint64
+	val  []byte
+	done func()
+}
+
+// Node is one replica: a single-threaded event loop (the design point the
+// evaluation contrasts with Kite's 20 workers per machine).
+type Node struct {
+	id    uint8
+	cfg   Config
+	n     int
+	store *kvs.Store
+	tr    transport.Transport
+
+	reqCh   chan send
+	inbox   <-chan []proto.Message
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// Ordered-mode delivery state.
+	nextSeq   uint64                             // next sequence this node assigns
+	buffered  map[uint8]map[uint64]proto.Message // sender -> seq -> msg
+	delivered []uint64                           // per sender: next seq to deliver
+	round     uint64
+	turn      int
+	pending   map[uint64]func() // local seq -> completion
+	lastSend  time.Time
+
+	deliveredCount atomic.Uint64
+	sendsCount     atomic.Uint64
+}
+
+func newNode(id uint8, cfg Config, tr transport.Transport) *Node {
+	nd := &Node{
+		id: id, cfg: cfg, n: cfg.Nodes,
+		store:     kvs.New(cfg.KVSCapacity),
+		tr:        tr,
+		reqCh:     make(chan send, 4096),
+		inbox:     tr.Recv(transport.Endpoint{Node: id}),
+		buffered:  make(map[uint8]map[uint64]proto.Message),
+		delivered: make([]uint64, cfg.Nodes),
+		pending:   make(map[uint64]func()),
+	}
+	for s := 0; s < cfg.Nodes; s++ {
+		nd.buffered[uint8(s)] = make(map[uint64]proto.Message)
+	}
+	return nd
+}
+
+func (nd *Node) start() {
+	nd.wg.Add(1)
+	go func() {
+		defer nd.wg.Done()
+		nd.run()
+	}()
+}
+
+func (nd *Node) stop() {
+	if nd.stopped.Swap(true) {
+		return
+	}
+	nd.wg.Wait()
+}
+
+// Send submits a write to the group asynchronously; done (optional) fires
+// when the message is delivered locally (in order, for Ordered mode).
+func (nd *Node) Send(key uint64, val []byte, done func()) {
+	nd.reqCh <- send{key: key, val: append([]byte(nil), val...), done: done}
+}
+
+// SendSync submits a write and waits for its delivery.
+func (nd *Node) SendSync(key uint64, val []byte) {
+	ch := make(chan struct{})
+	nd.Send(key, val, func() { close(ch) })
+	<-ch
+}
+
+// Read returns the local replica's value (tests/verification).
+func (nd *Node) Read(key uint64) []byte {
+	buf := make([]byte, kvs.MaxValueLen)
+	val, _, _, ok := nd.store.View(key, buf)
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), val...)
+}
+
+// Delivered returns how many messages this node has delivered (applied).
+func (nd *Node) Delivered() uint64 { return nd.deliveredCount.Load() }
+
+// Sends returns how many local sends completed.
+func (nd *Node) Sends() uint64 { return nd.sendsCount.Load() }
+
+func (nd *Node) run() {
+	idle := time.NewTimer(nd.cfg.IdlePoll)
+	defer idle.Stop()
+	nd.lastSend = time.Now()
+	for {
+		if nd.stopped.Load() {
+			return
+		}
+		progress := false
+	drain:
+		for i := 0; i < 256; i++ {
+			select {
+			case batch := <-nd.inbox:
+				for j := range batch {
+					nd.receive(batch[j])
+				}
+				progress = true
+			default:
+				break drain
+			}
+		}
+	admit:
+		for i := 0; i < 256; i++ {
+			select {
+			case s := <-nd.reqCh:
+				nd.submit(s)
+				progress = true
+			default:
+				break admit
+			}
+		}
+		if nd.cfg.Mode == Ordered {
+			nd.deliverRounds()
+			// Keep rounds moving when this node has no client traffic.
+			if time.Since(nd.lastSend) > nd.cfg.NullSendAfter && nd.starvedRound() {
+				nd.submit(send{}) // null message
+			}
+		}
+		if !progress {
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(nd.cfg.IdlePoll)
+			select {
+			case batch := <-nd.inbox:
+				for j := range batch {
+					nd.receive(batch[j])
+				}
+			case s := <-nd.reqCh:
+				nd.submit(s)
+			case <-idle.C:
+			}
+		}
+	}
+}
+
+// starvedRound reports whether ordered delivery is blocked waiting for this
+// node's own message.
+func (nd *Node) starvedRound() bool {
+	return nd.delivered[nd.id] >= nd.nextSeq
+}
+
+func (nd *Node) submit(s send) {
+	seq := nd.nextSeq
+	nd.nextSeq++
+	nd.lastSend = time.Now()
+	m := proto.Message{
+		Kind: proto.KindDerechoMsg, From: nd.id,
+		Key: s.key, Slot: seq, Value: s.val,
+	}
+	if s.key == 0 && s.val == nil {
+		m.Bits = 1 // null message marker
+	}
+	for dst := uint8(0); int(dst) < nd.n; dst++ {
+		if dst != nd.id {
+			nd.tr.Send(transport.Endpoint{Node: dst}, []proto.Message{m})
+		}
+	}
+	if nd.cfg.Mode == Unordered {
+		nd.apply(m)
+		if s.done != nil {
+			s.done()
+		}
+		nd.sendsCount.Add(1)
+		return
+	}
+	nd.buffered[nd.id][seq] = m
+	if s.done != nil {
+		nd.pending[seq] = s.done
+	}
+	nd.deliverRounds()
+}
+
+func (nd *Node) receive(m proto.Message) {
+	if m.Kind != proto.KindDerechoMsg {
+		return
+	}
+	if nd.cfg.Mode == Unordered {
+		nd.apply(m)
+		return
+	}
+	nd.buffered[m.From][m.Slot] = m
+	nd.deliverRounds()
+}
+
+// deliverRounds advances the round-robin delivery order as far as buffered
+// messages allow: round r delivers seq r of sender 0, 1, ..., n-1.
+func (nd *Node) deliverRounds() {
+	for {
+		sender := uint8(nd.turn)
+		m, ok := nd.buffered[sender][nd.round]
+		if !ok {
+			return
+		}
+		delete(nd.buffered[sender], nd.round)
+		nd.apply(m)
+		nd.delivered[sender] = nd.round + 1
+		if sender == nd.id {
+			if done, ok := nd.pending[m.Slot]; ok {
+				delete(nd.pending, m.Slot)
+				done()
+			}
+			nd.sendsCount.Add(1)
+		}
+		nd.turn++
+		if nd.turn == nd.n {
+			nd.turn = 0
+			nd.round++
+		}
+	}
+}
+
+func (nd *Node) apply(m proto.Message) {
+	if m.Bits&1 == 0 { // skip null messages
+		// The (sender, seq) pair orders applications per key.
+		nd.store.Apply(m.Key, m.Value, llc.Stamp{Ver: m.Slot + 1, MID: m.From})
+	}
+	nd.deliveredCount.Add(1)
+}

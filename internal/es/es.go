@@ -1,0 +1,139 @@
+// Package es implements Eventual Store (ES), the protocol Kite maps relaxed
+// reads and writes to (§3.2). ES achieves per-key Sequential Consistency for
+// replicated KVSs by maintaining an LLC per key, giving every write a unique
+// stamp that serializes writes to the key.
+//
+// ES is deliberately minimal — exactly the "no more than necessary" protocol
+// of the paper: reads execute locally against the node's KVS; writes apply
+// locally with a bumped per-key LLC and broadcast the new value to every
+// replica, which applies it iff the stamp is newer (last-writer-wins).
+//
+// What ES contributes to Kite beyond plain eventual consistency is the
+// *ack tracking* used by the RC release barrier: every relaxed write gathers
+// acknowledgements from all replicas, and the Tracker in this package is the
+// per-session ledger the release barrier consults ("have all my writes been
+// acked by everyone?") and from which the DM-set of delinquent machines is
+// computed on timeout (§4.2).
+package es
+
+import (
+	"kite/internal/kvs"
+	"kite/internal/proto"
+)
+
+// HandleWrite processes an incoming ES write at a replica: apply the value
+// if its stamp is newer than the local one, then ack. The ack is sent only
+// after the local store reflects the write (or a newer one), which is what
+// makes an ack mean "a local read here can no longer miss this write" — the
+// property the fast path's all-ack rule relies on.
+func HandleWrite(s *kvs.Store, m *proto.Message, self uint8) proto.Message {
+	s.Apply(m.Key, m.Value, m.Stamp)
+	return m.Reply(proto.KindESAck, self)
+}
+
+// PendingWrite tracks one relaxed write awaiting acknowledgements.
+type PendingWrite struct {
+	OpID  uint64
+	Key   uint64
+	Acked uint16 // bitmask of nodes that acked (origin included)
+}
+
+// Tracker is a session's ledger of writes that have not yet been acked by
+// every replica. A release may begin only once the tracker is clean — or
+// once the slow-release protocol has published the tracker's DM-set.
+type Tracker struct {
+	pending map[uint64]*PendingWrite
+	full    uint16 // all-nodes bitmask
+	quorum  int
+}
+
+// NewTracker creates a tracker for a deployment of n nodes.
+func NewTracker(n int) *Tracker {
+	return &Tracker{
+		pending: make(map[uint64]*PendingWrite, 16),
+		full:    uint16(1<<n) - 1,
+		quorum:  n/2 + 1,
+	}
+}
+
+// Add registers a new write. selfAcked is the origin's own node bit, acked
+// implicitly by the local apply.
+func (t *Tracker) Add(opID, key uint64, self uint8) *PendingWrite {
+	pw := &PendingWrite{OpID: opID, Key: key, Acked: 1 << self}
+	t.pending[opID] = pw
+	return pw
+}
+
+// Ack records node `from` acking write opID. It returns the write's entry
+// (nil if unknown/settled) and whether the write is now fully acked, in
+// which case it has been removed from the tracker.
+func (t *Tracker) Ack(opID uint64, from uint8) (pw *PendingWrite, done bool) {
+	pw, ok := t.pending[opID]
+	if !ok {
+		return nil, false
+	}
+	pw.Acked |= 1 << from
+	if pw.Acked == t.full {
+		delete(t.pending, opID)
+		return pw, true
+	}
+	return pw, false
+}
+
+// Len reports how many writes still await full acknowledgement.
+func (t *Tracker) Len() int { return len(t.pending) }
+
+// AllAcked reports whether every tracked write has been acked by all nodes
+// (the fast-path release condition).
+func (t *Tracker) AllAcked() bool { return len(t.pending) == 0 }
+
+// QuorumAcked reports whether every tracked write has been acked by at
+// least a quorum — invariant (1) of the slow-path release (§4.2).
+func (t *Tracker) QuorumAcked() bool {
+	for _, pw := range t.pending {
+		if popcount16(pw.Acked) < t.quorum {
+			return false
+		}
+	}
+	return true
+}
+
+// DMSet returns the delinquent machines bitmask: every node that has failed
+// to ack at least one tracked write.
+func (t *Tracker) DMSet() uint16 {
+	var dm uint16
+	for _, pw := range t.pending {
+		dm |= t.full &^ pw.Acked
+	}
+	return dm
+}
+
+// Unacked returns, for write opID, the bitmask of nodes that have not acked
+// it yet (used to retransmit to stragglers only).
+func (t *Tracker) Unacked(opID uint64) uint16 {
+	if pw, ok := t.pending[opID]; ok {
+		return t.full &^ pw.Acked
+	}
+	return 0
+}
+
+// Settle drops all tracked writes: called once a slow-release has published
+// the DM-set to a quorum, after which the writes are covered by the barrier
+// invariant and need no further tracking. It returns the op ids settled so
+// the caller can retire their protocol state.
+func (t *Tracker) Settle() []uint64 {
+	ids := make([]uint64, 0, len(t.pending))
+	for id := range t.pending {
+		ids = append(ids, id)
+	}
+	t.pending = make(map[uint64]*PendingWrite, 16)
+	return ids
+}
+
+func popcount16(x uint16) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

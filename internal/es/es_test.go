@@ -1,0 +1,140 @@
+package es
+
+import (
+	"testing"
+
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/proto"
+)
+
+func TestHandleWriteAppliesAndAcks(t *testing.T) {
+	s := kvs.New(64)
+	m := proto.Message{
+		Kind: proto.KindESWrite, From: 1, Worker: 3, Key: 9, OpID: 77,
+		Stamp: llc.Stamp{Ver: 4, MID: 1}, Value: []byte("v"),
+	}
+	ack := HandleWrite(s, &m, 2)
+	if ack.Kind != proto.KindESAck || ack.OpID != 77 || ack.From != 2 || ack.Worker != 3 {
+		t.Fatalf("bad ack %+v", ack)
+	}
+	buf := make([]byte, kvs.MaxValueLen)
+	val, st, _, ok := s.View(9, buf)
+	if !ok || string(val) != "v" || st != m.Stamp {
+		t.Fatalf("not applied: %q %v %v", val, st, ok)
+	}
+	// An older write still acks but does not clobber.
+	old := m
+	old.Stamp = llc.Stamp{Ver: 3, MID: 5}
+	old.Value = []byte("stale")
+	ack = HandleWrite(s, &old, 2)
+	if ack.Kind != proto.KindESAck {
+		t.Fatal("old write not acked")
+	}
+	val, _, _, _ = s.View(9, buf)
+	if string(val) != "v" {
+		t.Fatalf("old write clobbered: %q", val)
+	}
+}
+
+func TestTrackerFastPath(t *testing.T) {
+	tr := NewTracker(5)
+	tr.Add(1, 100, 0)
+	tr.Add(2, 101, 0)
+	if tr.AllAcked() {
+		t.Fatal("fresh tracker claims all acked")
+	}
+	for _, from := range []uint8{1, 2, 3, 4} {
+		tr.Ack(1, from)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after full ack of one write", tr.Len())
+	}
+	for _, from := range []uint8{1, 2, 3} {
+		tr.Ack(2, from)
+	}
+	if tr.AllAcked() {
+		t.Fatal("3/5 acks treated as all")
+	}
+	if pw, done := tr.Ack(2, 4); !done || pw == nil {
+		t.Fatal("final ack not detected")
+	}
+	if !tr.AllAcked() {
+		t.Fatal("tracker not clean")
+	}
+}
+
+func TestTrackerDuplicateAndUnknownAcks(t *testing.T) {
+	tr := NewTracker(3)
+	tr.Add(1, 100, 0)
+	tr.Ack(1, 1)
+	tr.Ack(1, 1) // duplicate
+	if tr.AllAcked() {
+		t.Fatal("duplicate ack completed the write")
+	}
+	if pw, done := tr.Ack(99, 1); pw != nil || done {
+		t.Fatal("unknown op acked")
+	}
+	tr.Ack(1, 2)
+	if !tr.AllAcked() {
+		t.Fatal("write not settled")
+	}
+	if pw, done := tr.Ack(1, 2); pw != nil || done {
+		t.Fatal("ack after settle returned state")
+	}
+}
+
+func TestTrackerQuorumAndDMSet(t *testing.T) {
+	tr := NewTracker(5) // quorum = 3
+	tr.Add(1, 100, 0)   // acked by {0}
+	tr.Add(2, 101, 0)   // acked by {0}
+	if tr.QuorumAcked() {
+		t.Fatal("quorum with a single ack")
+	}
+	tr.Ack(1, 1)
+	tr.Ack(1, 2) // write 1: {0,1,2} = quorum
+	tr.Ack(2, 3) // write 2: {0,3} = below quorum
+	if tr.QuorumAcked() {
+		t.Fatal("write 2 below quorum but QuorumAcked true")
+	}
+	tr.Ack(2, 4) // write 2: {0,3,4} = quorum
+	if !tr.QuorumAcked() {
+		t.Fatal("both writes at quorum but QuorumAcked false")
+	}
+	// DM-set: write 1 missing {3,4}, write 2 missing {1,2}.
+	if dm := tr.DMSet(); dm != 0b11110 {
+		t.Fatalf("DMSet = %05b, want 11110", dm)
+	}
+	if un := tr.Unacked(1); un != 0b11000 {
+		t.Fatalf("Unacked(1) = %05b", un)
+	}
+	if un := tr.Unacked(42); un != 0 {
+		t.Fatalf("Unacked(unknown) = %05b", un)
+	}
+}
+
+func TestTrackerSettle(t *testing.T) {
+	tr := NewTracker(3)
+	tr.Add(5, 100, 0)
+	tr.Add(6, 101, 0)
+	ids := tr.Settle()
+	if len(ids) != 2 {
+		t.Fatalf("settled %d ids", len(ids))
+	}
+	if !tr.AllAcked() || tr.Len() != 0 {
+		t.Fatal("tracker not clean after settle")
+	}
+	// Tracker remains usable.
+	tr.Add(7, 102, 1)
+	if tr.Len() != 1 {
+		t.Fatal("tracker unusable after settle")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	for x, want := range map[uint16]int{0: 0, 1: 1, 0b1010: 2, 0xffff: 16} {
+		if got := popcount16(x); got != want {
+			t.Errorf("popcount16(%b) = %d, want %d", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package kvs implements the local in-memory key-value store each Kite node
+// maintains. The design follows the paper's adaptation of MICA (§6.2): a
+// bucketed hash index whose buckets are protected by sequence locks
+// (seqlocks) so that the common-case local read of the Eventual Store fast
+// path is wait-free with respect to other readers, plus Kite-specific
+// per-key metadata:
+//
+//   - the key's Lamport logical clock (LLC), shared by ES, ABD and Paxos;
+//   - the key's epoch-id, compared against the machine epoch-id to decide
+//     fast path vs slow path (§4.2);
+//   - a lazily allocated Paxos structure reachable from the entry, so that
+//     locking the key also locks its consensus state (§6.2).
+//
+// Go's race detector forbids classical seqlocks (plain loads racing plain
+// stores), so every mutable word of an entry is an atomic word: readers do
+// optimistic atomic loads bracketed by sequence checks, writers take the
+// bucket mutex and bump the sequence around their atomic stores. This keeps
+// the algorithm identical in structure and cost while being data-race-free.
+package kvs
+
+import (
+	"sync/atomic"
+
+	"kite/internal/llc"
+)
+
+// MaxValueLen is the largest value the store holds, in bytes.
+const MaxValueLen = 64
+
+const (
+	entriesPerBucket = 8
+	valueWords       = MaxValueLen / 8
+	stateUsed        = uint32(1 << 31)
+	stateLenMask     = uint32(0xff)
+)
+
+// Entry is one key's slot. All fields are atomic words; mutation happens
+// only under the owning bucket's writer lock with the sequence odd. The meta
+// field (the per-key Paxos structure) is not atomic: it is read and written
+// only by writer-side code holding the bucket lock.
+type Entry struct {
+	key   atomic.Uint64
+	state atomic.Uint32 // used bit | value length
+	stamp atomic.Uint64 // packed llc.Stamp
+	epoch atomic.Uint64 // per-key epoch-id (§4.2)
+	words [valueWords]atomic.Uint64
+	meta  any
+}
+
+// Key returns the entry's key.
+func (e *Entry) Key() uint64 { return e.key.Load() }
+
+// Stamp returns the entry's current LLC.
+func (e *Entry) Stamp() llc.Stamp { return llc.Unpack(e.stamp.Load()) }
+
+// Epoch returns the entry's per-key epoch-id.
+func (e *Entry) Epoch() uint64 { return e.epoch.Load() }
+
+// Meta returns the per-key metadata (the Paxos structure). Only call from
+// within Store.Mutate, which holds the bucket lock.
+func (e *Entry) Meta() any { return e.meta }
+
+// SetMeta installs per-key metadata. Only call from within Store.Mutate.
+func (e *Entry) SetMeta(m any) { e.meta = m }
+
+// ValueInto copies the entry's value into buf (which must have capacity
+// MaxValueLen) and returns the filled prefix.
+func (e *Entry) ValueInto(buf []byte) []byte {
+	n := int(e.state.Load() & stateLenMask)
+	buf = buf[:MaxValueLen]
+	for w := 0; w < valueWords; w++ {
+		putWord(buf[w*8:], e.words[w].Load())
+	}
+	return buf[:n]
+}
+
+// SetValue stores val and st into the entry. Only call from within
+// Store.Mutate (bucket lock held, sequence odd).
+func (e *Entry) SetValue(val []byte, st llc.Stamp) {
+	storeValue(e, val)
+	e.stamp.Store(st.Pack())
+}
+
+// SetStamp stores st. Only call from within Store.Mutate.
+func (e *Entry) SetStamp(st llc.Stamp) { e.stamp.Store(st.Pack()) }
+
+// AdvanceEpoch raises the per-key epoch-id to at least epoch. Only call
+// from within Store.Mutate. Per §4.2, epochs only move forward: the key's
+// epoch is advanced to a snapshot of the machine epoch taken when the
+// slow-path access started, never beyond the machine epoch.
+func (e *Entry) AdvanceEpoch(epoch uint64) {
+	if e.epoch.Load() < epoch {
+		e.epoch.Store(epoch)
+	}
+}
+
+func storeValue(e *Entry, val []byte) {
+	if len(val) > MaxValueLen {
+		val = val[:MaxValueLen]
+	}
+	var w int
+	for w = 0; w*8 < len(val); w++ {
+		e.words[w].Store(wordAt(val, w*8))
+	}
+	for ; w < valueWords; w++ {
+		e.words[w].Store(0)
+	}
+	e.state.Store(stateUsed | uint32(len(val)))
+}
+
+func wordAt(b []byte, off int) uint64 {
+	var v uint64
+	n := len(b) - off
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		v |= uint64(b[off+i]) << (8 * i)
+	}
+	return v
+}
+
+func putWord(b []byte, v uint64) {
+	for i := 0; i < 8 && i < len(b); i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+type bucket struct {
+	seq     atomic.Uint32
+	mu      spinMutex
+	entries [entriesPerBucket]Entry
+	next    atomic.Pointer[bucket]
+}
+
+// Store is a fixed-bucket hash table of Entries.
+type Store struct {
+	buckets []bucket
+	mask    uint64
+	count   atomic.Int64
+}
+
+// New creates a store sized for roughly capacity keys. The bucket count is
+// the next power of two of capacity/entriesPerBucket; overflow chains absorb
+// skew, so capacity is a hint rather than a limit.
+func New(capacity int) *Store {
+	if capacity < entriesPerBucket {
+		capacity = entriesPerBucket
+	}
+	n := 1
+	for n*entriesPerBucket < capacity {
+		n <<= 1
+	}
+	return &Store{buckets: make([]bucket, n), mask: uint64(n - 1)}
+}
+
+// Len returns the number of keys present.
+func (s *Store) Len() int { return int(s.count.Load()) }
+
+// mix is splitmix64's finalizer; uniform keys hash to uniform buckets and
+// adversarial key patterns still spread.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (s *Store) bucketFor(key uint64) *bucket { return &s.buckets[mix(key)&s.mask] }
+
+// findRead walks the bucket chain looking for key without taking locks.
+// It must be called inside a seqlock read section.
+func findRead(b *bucket, key uint64) *Entry {
+	for ; b != nil; b = b.next.Load() {
+		for i := range b.entries {
+			e := &b.entries[i]
+			if e.state.Load()&stateUsed != 0 && e.key.Load() == key {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// View performs a seqlock-protected consistent read of key, copying the
+// value into buf (capacity >= MaxValueLen). ok is false when the key is
+// absent, in which case the key is logically at its initial state (zero
+// value, zero stamp, epoch 0) — all replicas agree on that.
+func (s *Store) View(key uint64, buf []byte) (val []byte, st llc.Stamp, epoch uint64, ok bool) {
+	b := s.bucketFor(key)
+	for {
+		s1 := b.seq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		e := findRead(b, key)
+		if e == nil {
+			if b.seq.Load() == s1 {
+				return nil, llc.Zero, 0, false
+			}
+			continue
+		}
+		val = e.ValueInto(buf)
+		st = e.Stamp()
+		epoch = e.Epoch()
+		if b.seq.Load() == s1 && e.key.Load() == key {
+			return val, st, epoch, true
+		}
+	}
+}
+
+// ViewStamp reads just the key's LLC (the lightweight first round of an ABD
+// write reads only this).
+func (s *Store) ViewStamp(key uint64) (llc.Stamp, bool) {
+	b := s.bucketFor(key)
+	for {
+		s1 := b.seq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		e := findRead(b, key)
+		if e == nil {
+			if b.seq.Load() == s1 {
+				return llc.Zero, false
+			}
+			continue
+		}
+		st := e.Stamp()
+		if b.seq.Load() == s1 && e.key.Load() == key {
+			return st, true
+		}
+	}
+}
+
+// findOrInsert locates key in the chain, allocating a slot (and overflow
+// buckets as needed) if absent. Caller holds the head bucket's lock.
+func (s *Store) findOrInsert(head *bucket, key uint64) *Entry {
+	var free *Entry
+	for b := head; ; {
+		for i := range b.entries {
+			e := &b.entries[i]
+			if e.state.Load()&stateUsed != 0 {
+				if e.key.Load() == key {
+					return e
+				}
+			} else if free == nil {
+				free = e
+			}
+		}
+		nxt := b.next.Load()
+		if nxt == nil {
+			if free == nil {
+				nb := new(bucket)
+				b.next.Store(nb)
+				free = &nb.entries[0]
+			}
+			break
+		}
+		b = nxt
+	}
+	free.key.Store(key)
+	free.state.Store(stateUsed) // zero-length value, present
+	free.stamp.Store(0)
+	free.epoch.Store(0)
+	s.count.Add(1)
+	return free
+}
+
+// Mutate runs fn on key's entry (creating it if absent) under the bucket
+// writer lock with the seqlock held odd, so concurrent Views retry. This is
+// the single writer-side primitive every other mutator builds on; it is also
+// how Paxos code reaches the per-key consensus structure — locking the key
+// locks its Paxos state, as in the paper.
+func (s *Store) Mutate(key uint64, fn func(e *Entry)) {
+	b := s.bucketFor(key)
+	b.mu.Lock()
+	b.seq.Add(1)
+	e := s.findOrInsert(b, key)
+	fn(e)
+	b.seq.Add(1)
+	b.mu.Unlock()
+}
+
+// Apply merges a remote write: the value is installed iff st is newer than
+// the entry's current stamp (last-writer-wins by LLC, which is what
+// serializes writes per key in ES and ABD). Reports whether it applied.
+func (s *Store) Apply(key uint64, val []byte, st llc.Stamp) (applied bool) {
+	s.Mutate(key, func(e *Entry) {
+		if e.Stamp().Less(st) {
+			e.SetValue(val, st)
+			applied = true
+		}
+	})
+	return applied
+}
+
+// ApplyAndAdvance is Apply plus an epoch advance in one critical section;
+// slow-path accesses use it to adopt a quorum-fresh value and bring the key
+// back in-epoch atomically.
+func (s *Store) ApplyAndAdvance(key uint64, val []byte, st llc.Stamp, epoch uint64) (applied bool) {
+	s.Mutate(key, func(e *Entry) {
+		if e.Stamp().Less(st) {
+			e.SetValue(val, st)
+			applied = true
+		}
+		e.AdvanceEpoch(epoch)
+	})
+	return applied
+}
+
+// LocalWrite performs an Eventual Store local write: bump the key's version,
+// stamp it with this machine's id, install the value, and return the new
+// stamp for broadcasting.
+func (s *Store) LocalWrite(key uint64, val []byte, mid uint8) (st llc.Stamp) {
+	s.Mutate(key, func(e *Entry) {
+		st = e.Stamp().Next(mid)
+		e.SetValue(val, st)
+	})
+	return st
+}
+
+// WriteAtLeast installs val with a fresh stamp strictly greater than both
+// the local stamp and base (the maximum observed by a quorum round), and
+// advances the key epoch to epoch. This is the second half of an ABD write
+// and of the stripped slow-path relaxed write.
+func (s *Store) WriteAtLeast(key uint64, val []byte, base llc.Stamp, mid uint8, epoch uint64) (st llc.Stamp) {
+	s.Mutate(key, func(e *Entry) {
+		st = llc.Max(e.Stamp(), base).Next(mid)
+		e.SetValue(val, st)
+		e.AdvanceEpoch(epoch)
+	})
+	return st
+}
+
+// AdvanceEpoch raises key's epoch-id to at least epoch, creating the entry
+// if needed.
+func (s *Store) AdvanceEpoch(key uint64, epoch uint64) {
+	s.Mutate(key, func(e *Entry) { e.AdvanceEpoch(epoch) })
+}
+
+// LocalWriteInEpoch is the fast-path relaxed write: it behaves like
+// LocalWrite but only if the key is in-epoch (its epoch-id equals the
+// machine epoch-id passed in). Out-of-epoch keys — including keys this node
+// has never touched once the machine epoch moved past zero — must take the
+// slow path, because the local stamp may be behind writes this node missed.
+func (s *Store) LocalWriteInEpoch(key uint64, val []byte, mid uint8, epoch uint64) (st llc.Stamp, ok bool) {
+	s.Mutate(key, func(e *Entry) {
+		if e.Epoch() != epoch {
+			return
+		}
+		st = e.Stamp().Next(mid)
+		e.SetValue(val, st)
+		ok = true
+	})
+	return st, ok
+}
+
+// spinMutex is a minimal test-and-set lock. Bucket critical sections are a
+// handful of atomic stores, so spinning beats parking; this mirrors the
+// writer side of a kernel seqlock.
+type spinMutex struct{ v atomic.Uint32 }
+
+func (m *spinMutex) Lock() {
+	for !m.v.CompareAndSwap(0, 1) {
+		for m.v.Load() != 0 {
+			spinPause()
+		}
+	}
+}
+
+func (m *spinMutex) Unlock() { m.v.Store(0) }

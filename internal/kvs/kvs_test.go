@@ -1,0 +1,343 @@
+package kvs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kite/internal/llc"
+)
+
+func TestViewMissing(t *testing.T) {
+	s := New(64)
+	buf := make([]byte, MaxValueLen)
+	if _, _, _, ok := s.View(1, buf); ok {
+		t.Fatal("missing key reported present")
+	}
+	if _, ok := s.ViewStamp(1); ok {
+		t.Fatal("missing key has a stamp")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestLocalWriteAndView(t *testing.T) {
+	s := New(64)
+	buf := make([]byte, MaxValueLen)
+	st := s.LocalWrite(42, []byte("hello"), 3)
+	if st != (llc.Stamp{Ver: 1, MID: 3}) {
+		t.Fatalf("first write stamp = %v", st)
+	}
+	val, got, _, ok := s.View(42, buf)
+	if !ok || string(val) != "hello" || got != st {
+		t.Fatalf("View = %q %v %v", val, got, ok)
+	}
+	st2 := s.LocalWrite(42, []byte("world"), 3)
+	if !st.Less(st2) {
+		t.Fatalf("second stamp %v not greater than %v", st2, st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestApplyLastWriterWins(t *testing.T) {
+	s := New(64)
+	buf := make([]byte, MaxValueLen)
+	if !s.Apply(7, []byte("a"), llc.Stamp{Ver: 2, MID: 1}) {
+		t.Fatal("fresh apply rejected")
+	}
+	if s.Apply(7, []byte("b"), llc.Stamp{Ver: 2, MID: 0}) {
+		t.Fatal("older stamp applied")
+	}
+	if s.Apply(7, []byte("c"), llc.Stamp{Ver: 2, MID: 1}) {
+		t.Fatal("equal stamp applied")
+	}
+	if !s.Apply(7, []byte("d"), llc.Stamp{Ver: 2, MID: 2}) {
+		t.Fatal("newer tie-broken stamp rejected")
+	}
+	val, st, _, _ := s.View(7, buf)
+	if string(val) != "d" || st != (llc.Stamp{Ver: 2, MID: 2}) {
+		t.Fatalf("final = %q %v", val, st)
+	}
+}
+
+func TestWriteAtLeast(t *testing.T) {
+	s := New(64)
+	s.Apply(9, []byte("x"), llc.Stamp{Ver: 5, MID: 2})
+	st := s.WriteAtLeast(9, []byte("y"), llc.Stamp{Ver: 8, MID: 0}, 1, 3)
+	if st != (llc.Stamp{Ver: 9, MID: 1}) {
+		t.Fatalf("stamp = %v, want 9@1", st)
+	}
+	buf := make([]byte, MaxValueLen)
+	val, got, epoch, _ := s.View(9, buf)
+	if string(val) != "y" || got != st || epoch != 3 {
+		t.Fatalf("view = %q %v epoch=%d", val, got, epoch)
+	}
+	// Local stamp dominates the base when larger.
+	st2 := s.WriteAtLeast(9, []byte("z"), llc.Stamp{Ver: 1, MID: 0}, 4, 0)
+	if st2 != (llc.Stamp{Ver: 10, MID: 4}) {
+		t.Fatalf("stamp = %v, want 10@4", st2)
+	}
+	_, _, epoch, _ = s.View(9, buf)
+	if epoch != 3 {
+		t.Fatalf("epoch regressed to %d", epoch)
+	}
+}
+
+func TestEpochMonotonic(t *testing.T) {
+	s := New(64)
+	s.AdvanceEpoch(1, 5)
+	s.AdvanceEpoch(1, 3)
+	buf := make([]byte, MaxValueLen)
+	_, _, epoch, ok := s.View(1, buf)
+	if !ok || epoch != 5 {
+		t.Fatalf("epoch = %d ok=%v, want 5", epoch, ok)
+	}
+}
+
+func TestMetaUnderMutate(t *testing.T) {
+	s := New(64)
+	s.Mutate(11, func(e *Entry) {
+		if e.Meta() != nil {
+			t.Fatal("fresh entry has meta")
+		}
+		e.SetMeta("paxos-state")
+	})
+	s.Mutate(11, func(e *Entry) {
+		if e.Meta() != "paxos-state" {
+			t.Fatal("meta lost")
+		}
+	})
+}
+
+func TestOverflowChains(t *testing.T) {
+	// A store with a single bucket forces every key through the overflow
+	// path.
+	s := New(1)
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.LocalWrite(uint64(i), []byte{byte(i)}, 0)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	buf := make([]byte, MaxValueLen)
+	for i := 0; i < n; i++ {
+		val, _, _, ok := s.View(uint64(i), buf)
+		if !ok || len(val) != 1 || val[0] != byte(i) {
+			t.Fatalf("key %d: %v %v", i, val, ok)
+		}
+	}
+}
+
+func TestValueSizes(t *testing.T) {
+	s := New(64)
+	buf := make([]byte, MaxValueLen)
+	for n := 0; n <= MaxValueLen; n++ {
+		val := make([]byte, n)
+		for i := range val {
+			val[i] = byte(i + n)
+		}
+		s.LocalWrite(77, val, 0)
+		got, _, _, ok := s.View(77, buf)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("len %d: got %v want %v", n, got, val)
+		}
+	}
+	// Shrinking the value must clear stale tail bytes.
+	s.LocalWrite(77, bytes.Repeat([]byte{0xff}, 64), 0)
+	s.LocalWrite(77, []byte{1}, 0)
+	got, _, _, _ := s.View(77, buf)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("shrunk value = %v", got)
+	}
+}
+
+func TestZeroKeyIsValid(t *testing.T) {
+	s := New(64)
+	s.LocalWrite(0, []byte("zero"), 1)
+	buf := make([]byte, MaxValueLen)
+	val, _, _, ok := s.View(0, buf)
+	if !ok || string(val) != "zero" {
+		t.Fatalf("key 0: %q %v", val, ok)
+	}
+}
+
+// TestPropertyApplyConverges: applying the same set of (value, stamp) pairs
+// in any order leaves every replica with the value of the max stamp — the
+// per-key write serialization property that underpins per-key SC.
+func TestPropertyApplyConverges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		type wr struct {
+			val []byte
+			st  llc.Stamp
+		}
+		// Stamps are unique per write in the real protocols (LLCs are
+		// globally unique); mirror that invariant here.
+		writes := make([]wr, n)
+		used := make(map[uint64]bool, n)
+		for i := range writes {
+			var st llc.Stamp
+			for {
+				st = llc.Stamp{Ver: uint64(1 + rng.Intn(8)), MID: uint8(rng.Intn(4))}
+				if !used[st.Pack()] {
+					used[st.Pack()] = true
+					break
+				}
+			}
+			writes[i] = wr{val: []byte(fmt.Sprintf("v%d", i)), st: st}
+		}
+		want := writes[0]
+		for _, w := range writes[1:] {
+			if want.st.Less(w.st) {
+				want = w
+			}
+		}
+		// Two replicas, two independent shuffles.
+		a, b := New(16), New(16)
+		for _, i := range rng.Perm(n) {
+			a.Apply(1, writes[i].val, writes[i].st)
+		}
+		for _, i := range rng.Perm(n) {
+			b.Apply(1, writes[i].val, writes[i].st)
+		}
+		buf := make([]byte, MaxValueLen)
+		av, ast, _, _ := a.View(1, buf)
+		avs := string(av)
+		bv, bst, _, _ := b.View(1, buf)
+		return avs == string(bv) && ast == bst && ast == want.st && avs == string(want.val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentReadersWriters stresses the seqlock: concurrent writers
+// store self-describing values; readers must never observe a torn value.
+func TestConcurrentReadersWriters(t *testing.T) {
+	s := New(256)
+	const keys = 32
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			val := make([]byte, 32)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(keys))
+				fill := byte(rng.Intn(256))
+				for j := range val {
+					val[j] = fill
+				}
+				s.LocalWrite(k, val, uint8(id))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(id int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + id)))
+			buf := make([]byte, MaxValueLen)
+			for i := 0; i < 50000; i++ {
+				k := uint64(rng.Intn(keys))
+				val, _, _, ok := s.View(k, buf)
+				if !ok {
+					continue
+				}
+				for j := 1; j < len(val); j++ {
+					if val[j] != val[0] {
+						t.Errorf("torn read on key %d: %v", k, val)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+// TestConcurrentStampMonotone: per-key stamps never regress under concurrent
+// LocalWrites from distinct machine ids.
+func TestConcurrentStampMonotone(t *testing.T) {
+	s := New(64)
+	var wg sync.WaitGroup
+	const perWriter = 2000
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id uint8) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.LocalWrite(5, []byte{byte(i)}, id)
+			}
+		}(uint8(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last llc.Stamp
+		for i := 0; i < 100000; i++ {
+			st, ok := s.ViewStamp(5)
+			if !ok {
+				continue
+			}
+			if st.Less(last) {
+				t.Errorf("stamp regressed: %v after %v", st, last)
+				return
+			}
+			last = st
+		}
+	}()
+	wg.Wait()
+	<-done
+	st, _ := s.ViewStamp(5)
+	// 4 writers x perWriter bumps: version must equal total writes.
+	if st.Ver != 4*perWriter {
+		t.Fatalf("final version %d, want %d", st.Ver, 4*perWriter)
+	}
+}
+
+func BenchmarkViewHit(b *testing.B) {
+	s := New(1 << 16)
+	for i := 0; i < 1<<16; i++ {
+		s.LocalWrite(uint64(i), []byte("0123456789abcdef0123456789abcdef"), 0)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, MaxValueLen)
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			s.View(i&0xffff, buf)
+		}
+	})
+}
+
+func BenchmarkLocalWrite(b *testing.B) {
+	s := New(1 << 16)
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(rand.Uint64())
+		for pb.Next() {
+			i++
+			s.LocalWrite(i&0xffff, val, 1)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+package kvs
+
+import "runtime"
+
+// spinPause yields the processor briefly while spinning on a bucket lock.
+// Gosched keeps the scheduler healthy when GOMAXPROCS is small (tests, CI)
+// at negligible cost on the uncontended path.
+func spinPause() { runtime.Gosched() }

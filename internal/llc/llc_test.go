@@ -1,0 +1,126 @@
+package llc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessBasic(t *testing.T) {
+	cases := []struct {
+		a, b Stamp
+		less bool
+	}{
+		{Stamp{0, 0}, Stamp{0, 0}, false},
+		{Stamp{0, 0}, Stamp{1, 0}, true},
+		{Stamp{1, 0}, Stamp{0, 0}, false},
+		{Stamp{1, 1}, Stamp{1, 2}, true},
+		{Stamp{1, 2}, Stamp{1, 1}, false},
+		{Stamp{2, 0}, Stamp{1, 9}, false},
+		{Stamp{1, 9}, Stamp{2, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestCompareConsistency(t *testing.T) {
+	f := func(av uint64, am uint8, bv uint64, bm uint8) bool {
+		a, b := Stamp{av, am}, Stamp{bv, bm}
+		c := a.Compare(b)
+		switch {
+		case c < 0:
+			return a.Less(b) && !b.Less(a) && !a.Equal(b) && b.Greater(a)
+		case c > 0:
+			return b.Less(a) && !a.Less(b) && !a.Equal(b) && a.Greater(b)
+		default:
+			return a.Equal(b) && !a.Less(b) && !b.Less(a)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackPreservesOrder(t *testing.T) {
+	f := func(av uint32, am uint8, bv uint32, bm uint8) bool {
+		a, b := Stamp{uint64(av), am}, Stamp{uint64(bv), bm}
+		return a.Less(b) == (a.Pack() < b.Pack())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(v uint32, m uint8) bool {
+		s := Stamp{uint64(v), m}
+		return Unpack(s.Pack()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextIsStrictlyGreater(t *testing.T) {
+	f := func(v uint32, m, next uint8) bool {
+		s := Stamp{uint64(v), m}
+		n := s.Next(next)
+		return s.Less(n) && n.MID == next
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	a, b := Stamp{3, 1}, Stamp{3, 2}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Fatalf("Max(%v,%v) wrong", a, b)
+	}
+	if Max(a, a) != a {
+		t.Fatal("Max not reflexive")
+	}
+}
+
+// TestTotalOrder checks that Less defines a strict total order over a random
+// set of stamps: sorting by Less then verifying uniqueness of equal elements.
+func TestTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	stamps := make([]Stamp, 500)
+	for i := range stamps {
+		stamps[i] = Stamp{Ver: uint64(rng.Intn(50)), MID: uint8(rng.Intn(8))}
+	}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i].Less(stamps[j]) })
+	for i := 1; i < len(stamps); i++ {
+		a, b := stamps[i-1], stamps[i]
+		if b.Less(a) {
+			t.Fatalf("sort violated order at %d: %v then %v", i, a, b)
+		}
+		if !a.Less(b) && !a.Equal(b) {
+			t.Fatalf("neither ordered nor equal: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestZeroIsMinimum(t *testing.T) {
+	f := func(v uint32, m uint8) bool {
+		s := Stamp{uint64(v), m}
+		if s.IsZero() {
+			return !Zero.Less(s) && !s.Less(Zero)
+		}
+		return Zero.Less(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Stamp{7, 3}).String(); got != "7@3" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,146 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"kite/internal/llc"
+)
+
+// Wire format (little endian), mirroring the compact fixed header + inline
+// value layout Kite uses over RDMA UD sends:
+//
+//	kind(1) flags(1) from(1) worker(1) vlen(1) olen(1)
+//	key(8) opid(8) stampVer(7) stampMID(1) slot(8) origin(8) slotOrigin(8) bits(2)
+//	value(vlen) origins(8*olen)
+//
+// A batch is framed as count(2) followed by count messages, matching the
+// opportunistic batching of multiple messages into one packet (§6.3).
+
+const headerLen = 1 + 1 + 1 + 1 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 2
+
+// MaxBatchBytes is the largest marshalled batch; sized to fit a UDP datagram
+// comfortably below the common 64 KiB limit.
+const MaxBatchBytes = 60 * 1024
+
+var (
+	// ErrValueTooLong is returned when marshalling a message whose value
+	// exceeds MaxValueLen.
+	ErrValueTooLong = errors.New("proto: value exceeds MaxValueLen")
+	// ErrShortBuffer is returned when unmarshalling truncated input.
+	ErrShortBuffer = errors.New("proto: short buffer")
+	// ErrBatchTooLarge is returned when a batch does not fit MaxBatchBytes.
+	ErrBatchTooLarge = errors.New("proto: batch exceeds MaxBatchBytes")
+)
+
+// MarshalledSize returns the exact number of bytes AppendMarshal will use.
+func (m *Message) MarshalledSize() int { return headerLen + len(m.Value) + 8*len(m.Origins) }
+
+// AppendMarshal appends the wire encoding of m to dst and returns the
+// extended slice.
+func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
+	if len(m.Value) > MaxValueLen {
+		return dst, ErrValueTooLong
+	}
+	if len(m.Origins) > MaxOrigins {
+		return dst, ErrValueTooLong
+	}
+	dst = append(dst, byte(m.Kind), m.Flags, m.From, m.Worker, byte(len(m.Value)), byte(len(m.Origins)))
+	dst = binary.LittleEndian.AppendUint64(dst, m.Key)
+	dst = binary.LittleEndian.AppendUint64(dst, m.OpID)
+	dst = binary.LittleEndian.AppendUint64(dst, m.Stamp.Pack())
+	dst = binary.LittleEndian.AppendUint64(dst, m.Slot)
+	dst = binary.LittleEndian.AppendUint64(dst, m.Origin)
+	dst = binary.LittleEndian.AppendUint64(dst, m.SlotOrigin)
+	dst = binary.LittleEndian.AppendUint16(dst, m.Bits)
+	dst = append(dst, m.Value...)
+	for _, o := range m.Origins {
+		dst = binary.LittleEndian.AppendUint64(dst, o)
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes one message from b, returning the number of bytes
+// consumed. The Value field aliases b; callers that retain the message past
+// the buffer's lifetime must copy it.
+func (m *Message) Unmarshal(b []byte) (int, error) {
+	if len(b) < headerLen {
+		return 0, ErrShortBuffer
+	}
+	kind := Kind(b[0])
+	if kind == KindInvalid || kind >= kindCount {
+		return 0, fmt.Errorf("proto: bad kind %d", b[0])
+	}
+	vlen := int(b[4])
+	olen := int(b[5])
+	if vlen > MaxValueLen || olen > MaxOrigins {
+		return 0, ErrValueTooLong
+	}
+	if len(b) < headerLen+vlen+8*olen {
+		return 0, ErrShortBuffer
+	}
+	m.Kind = kind
+	m.Flags = b[1]
+	m.From = b[2]
+	m.Worker = b[3]
+	m.Key = binary.LittleEndian.Uint64(b[6:])
+	m.OpID = binary.LittleEndian.Uint64(b[14:])
+	m.Stamp = llc.Unpack(binary.LittleEndian.Uint64(b[22:]))
+	m.Slot = binary.LittleEndian.Uint64(b[30:])
+	m.Origin = binary.LittleEndian.Uint64(b[38:])
+	m.SlotOrigin = binary.LittleEndian.Uint64(b[46:])
+	m.Bits = binary.LittleEndian.Uint16(b[54:])
+	if vlen > 0 {
+		m.Value = b[headerLen : headerLen+vlen]
+	} else {
+		m.Value = nil
+	}
+	if olen > 0 {
+		m.Origins = make([]uint64, olen)
+		for i := 0; i < olen; i++ {
+			m.Origins[i] = binary.LittleEndian.Uint64(b[headerLen+vlen+8*i:])
+		}
+	} else {
+		m.Origins = nil
+	}
+	return headerLen + vlen + 8*olen, nil
+}
+
+// MarshalBatch encodes a batch of messages into a single datagram payload.
+func MarshalBatch(dst []byte, batch []Message) ([]byte, error) {
+	if len(batch) > 0xffff {
+		return dst, ErrBatchTooLarge
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(batch)))
+	for i := range batch {
+		var err error
+		dst, err = batch[i].AppendMarshal(dst)
+		if err != nil {
+			return dst, err
+		}
+		if len(dst) > MaxBatchBytes {
+			return dst, ErrBatchTooLarge
+		}
+	}
+	return dst, nil
+}
+
+// UnmarshalBatch decodes a datagram payload produced by MarshalBatch.
+// Returned message values alias b.
+func UnmarshalBatch(b []byte) ([]Message, error) {
+	if len(b) < 2 {
+		return nil, ErrShortBuffer
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	out := make([]Message, n)
+	for i := 0; i < n; i++ {
+		used, err := out[i].Unmarshal(b)
+		if err != nil {
+			return nil, err
+		}
+		b = b[used:]
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+// Package proto defines the wire messages exchanged by every protocol in the
+// system: Eventual Store, ABD, per-key Paxos, Kite's slow-path barrier
+// traffic, and the ZAB and Derecho baselines.
+//
+// A single flat Message struct is shared by all protocols so that one
+// mailbox, one batching layer and one codec serve everything — mirroring
+// Kite's design of batching messages of all protocols into the same network
+// packets (§6.3 of the paper).
+package proto
+
+import "kite/internal/llc"
+
+// Kind discriminates the protocol action a Message carries.
+type Kind uint8
+
+// Message kinds. The comment after each kind lists the fields it uses.
+const (
+	KindInvalid Kind = iota
+
+	// Eventual Store (relaxed writes; §3.2).
+	KindESWrite // Key, Stamp, Value, OpID: apply value if Stamp is newer, then ack
+	KindESAck   // OpID: sender has applied (or superseded) the write
+
+	// ABD (releases and acquires; §3.3). ReadTS is the lightweight first
+	// round of an ABD write which only fetches the key's LLC.
+	KindReadTS       // Key, OpID
+	KindReadTSReply  // OpID, Stamp
+	KindABDWrite     // Key, Stamp, Value, OpID: second round of ABD write / acquire write-back
+	KindABDWriteAck  // OpID
+	KindAcqRead      // Key, OpID: acquire read round; reply carries delinquency flag
+	KindSlowRead     // Key, OpID: stripped slow-path relaxed read (no delinquency action)
+	KindReadReply    // OpID, Stamp, Value, Flags(FlagDelinquent)
+	KindSlowWriteTS  // Key, OpID: LLC-only quorum read for a slow-path relaxed write
+	KindSlowWriteTSR // OpID, Stamp
+
+	// Kite slow-path barrier traffic (§4.2).
+	KindSlowRelease    // OpID, Bits = DM-set bitmask
+	KindSlowReleaseAck // OpID
+	KindResetBit       // OpID = unique id of the acquire that discovered delinquency
+
+	// Per-key Paxos (RMWs; §3.4). Slot is the per-key consensus instance
+	// (the number of RMWs committed on the key so far).
+	KindPropose     // Key, Slot, Stamp = ballot, OpID
+	KindProposeAck  // OpID, Flags, Slot, Stamp, Value, Bits (see paxos package)
+	KindAccept      // Key, Slot, Stamp, Value, OpID
+	KindAcceptAck   // OpID, Flags, Slot
+	KindCommit      // Key, Slot, Stamp, Value (no reply)
+	KindCommitAck   // OpID: used when the committer wants visibility (tests)
+	KindPaxosLearn  // Key, Slot, Stamp, Value: catch-up reply for laggards
+	KindPaxosQuery  // Key, OpID: read current committed slot/value (tests, weak CAS refresh)
+	KindPaxosQueryR // OpID, Slot, Stamp, Value
+
+	// ZAB baseline (§7).
+	KindZabSubmit   // Key, Value, OpID: forward write to the leader
+	KindZabProposal // Slot = zxid, Key, Value
+	KindZabAck      // Slot = zxid
+	KindZabCommit   // Slot = zxid
+	KindZabReply    // OpID: leader tells origin the write committed
+
+	// Derecho-like SMR baseline (§7).
+	KindDerechoMsg // Slot = sender sequence, Key, Value
+	KindDerechoAck // Slot, Bits = sender id
+
+	kindCount
+)
+
+var kindNames = [...]string{
+	KindInvalid:        "invalid",
+	KindESWrite:        "es-write",
+	KindESAck:          "es-ack",
+	KindReadTS:         "read-ts",
+	KindReadTSReply:    "read-ts-reply",
+	KindABDWrite:       "abd-write",
+	KindABDWriteAck:    "abd-write-ack",
+	KindAcqRead:        "acq-read",
+	KindSlowRead:       "slow-read",
+	KindReadReply:      "read-reply",
+	KindSlowWriteTS:    "slow-write-ts",
+	KindSlowWriteTSR:   "slow-write-ts-reply",
+	KindSlowRelease:    "slow-release",
+	KindSlowReleaseAck: "slow-release-ack",
+	KindResetBit:       "reset-bit",
+	KindPropose:        "propose",
+	KindProposeAck:     "propose-ack",
+	KindAccept:         "accept",
+	KindAcceptAck:      "accept-ack",
+	KindCommit:         "commit",
+	KindCommitAck:      "commit-ack",
+	KindPaxosLearn:     "paxos-learn",
+	KindPaxosQuery:     "paxos-query",
+	KindPaxosQueryR:    "paxos-query-reply",
+	KindZabSubmit:      "zab-submit",
+	KindZabProposal:    "zab-proposal",
+	KindZabAck:         "zab-ack",
+	KindZabCommit:      "zab-commit",
+	KindZabReply:       "zab-reply",
+	KindDerechoMsg:     "derecho-msg",
+	KindDerechoAck:     "derecho-ack",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Flag bits carried in Message.Flags.
+const (
+	// FlagDelinquent on a reply tells the requester's machine that it has
+	// been deemed delinquent and must transition to the slow path.
+	FlagDelinquent uint8 = 1 << iota
+	// FlagNack marks a negative protocol reply (Paxos reject, stale slot).
+	FlagNack
+	// FlagHasAccepted marks a Paxos promise that carries an accepted-but-
+	// uncommitted value the proposer must help complete.
+	FlagHasAccepted
+	// FlagCommitted marks a Paxos reply that carries a newer committed
+	// (slot, value) the proposer must catch up to.
+	FlagCommitted
+	// FlagOwnCommitted marks a Paxos nack telling the proposer that its
+	// own RMW has already been committed (by a helper), so it must finish
+	// rather than re-execute — the exactly-once guard for helped RMWs.
+	FlagOwnCommitted
+	// FlagSlotKnown marks a Paxos committed-nack whose Origin field is the
+	// authoritative origin of the REQUESTER's slot (the replica applied
+	// that slot directly and still has it in its history), letting the
+	// proposer distinguish "my value lost this slot" from "no information".
+	FlagSlotKnown
+)
+
+// MaxValueLen is the largest value the codec supports. The paper evaluates
+// 32-byte values; 64 leaves room for data-structure nodes with ABA counters.
+const MaxValueLen = 64
+
+// Message is the single wire unit. Fields are overloaded per Kind as
+// documented on the kind constants. Messages are passed by value inside the
+// in-process transport and serialised by Marshal for the UDP transport.
+type Message struct {
+	Kind   Kind
+	Flags  uint8
+	From   uint8 // originating node id
+	Worker uint8 // originating worker index (replies are routed back to it)
+	Key    uint64
+	OpID   uint64 // originator-unique operation id, echoed by replies
+	Stamp  llc.Stamp
+	Slot   uint64 // Paxos slot / ZAB zxid / Derecho sequence
+	Origin uint64 // op id of the RMW that produced a Paxos value (exactly-once tag)
+	// SlotOrigin, with FlagSlotKnown, is the authoritative origin of the
+	// REQUESTER's slot on a Paxos committed-nack (who won the slot the
+	// proposer is about to abandon).
+	SlotOrigin uint64
+	Bits       uint16 // DM-set bitmask / auxiliary small payload
+	Value      []byte
+	// Origins carries recently committed RMW origins (newest first) on
+	// Paxos commits, learns and committed-nacks, so replicas that skip
+	// slots — and proposers that restart — still learn which RMWs are
+	// already committed (exactly-once across slot jumps). Max 16 entries.
+	Origins []uint64
+}
+
+// MaxOrigins bounds Message.Origins.
+const MaxOrigins = 16
+
+// IsReply reports whether the message is a response routed to a pending op
+// (as opposed to a request handled against the local store).
+func (m *Message) IsReply() bool {
+	switch m.Kind {
+	case KindESAck, KindReadTSReply, KindABDWriteAck, KindReadReply,
+		KindSlowWriteTSR, KindSlowReleaseAck, KindProposeAck, KindAcceptAck,
+		KindCommitAck, KindPaxosQueryR, KindZabReply:
+		return true
+	}
+	return false
+}
+
+// Reply constructs a response of the given kind addressed back to m's
+// originator, echoing the op id. The caller fills protocol-specific fields.
+func (m *Message) Reply(kind Kind, from uint8) Message {
+	return Message{Kind: kind, From: from, Worker: m.Worker, Key: m.Key, OpID: m.OpID}
+}

@@ -1,0 +1,179 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kite/internal/llc"
+)
+
+func randMessage(rng *rand.Rand) Message {
+	m := Message{
+		Kind:       Kind(1 + rng.Intn(int(kindCount)-1)),
+		Flags:      uint8(rng.Intn(256)),
+		From:       uint8(rng.Intn(16)),
+		Worker:     uint8(rng.Intn(32)),
+		Key:        rng.Uint64(),
+		OpID:       rng.Uint64(),
+		Stamp:      llc.Stamp{Ver: rng.Uint64() >> 8, MID: uint8(rng.Intn(16))},
+		Slot:       rng.Uint64(),
+		Origin:     rng.Uint64(),
+		SlotOrigin: rng.Uint64(),
+		Bits:       uint16(rng.Intn(1 << 16)),
+	}
+	if rng.Intn(3) > 0 {
+		m.Value = make([]byte, rng.Intn(MaxValueLen+1))
+		rng.Read(m.Value)
+		if len(m.Value) == 0 {
+			m.Value = nil
+		}
+	}
+	return m
+}
+
+func equalMessage(a, b Message) bool {
+	return a.Kind == b.Kind && a.Flags == b.Flags && a.From == b.From &&
+		a.Worker == b.Worker && a.Key == b.Key && a.OpID == b.OpID &&
+		a.Stamp == b.Stamp && a.Slot == b.Slot && a.Origin == b.Origin && a.SlotOrigin == b.SlotOrigin &&
+		a.Bits == b.Bits && bytes.Equal(a.Value, b.Value)
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		m := randMessage(rng)
+		buf, err := m.AppendMarshal(nil)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if len(buf) != m.MarshalledSize() {
+			t.Fatalf("size mismatch: %d vs %d", len(buf), m.MarshalledSize())
+		}
+		var got Message
+		used, err := got.Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if used != len(buf) {
+			t.Fatalf("consumed %d of %d bytes", used, len(buf))
+		}
+		if !equalMessage(m, got) {
+			t.Fatalf("round trip mismatch:\n in %+v\nout %+v", m, got)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		batch := make([]Message, rng.Intn(40))
+		for j := range batch {
+			batch[j] = randMessage(rng)
+		}
+		buf, err := MarshalBatch(nil, batch)
+		if err != nil {
+			t.Fatalf("marshal batch: %v", err)
+		}
+		got, err := UnmarshalBatch(buf)
+		if err != nil {
+			t.Fatalf("unmarshal batch: %v", err)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("batch length %d, want %d", len(got), len(batch))
+		}
+		for j := range batch {
+			if !equalMessage(batch[j], got[j]) {
+				t.Fatalf("batch[%d] mismatch", j)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var m Message
+	if _, err := m.Unmarshal(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	if _, err := m.Unmarshal(make([]byte, 5)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	// Bad kind.
+	buf := make([]byte, headerLen)
+	buf[0] = 0
+	if _, err := m.Unmarshal(buf); err == nil {
+		t.Fatal("kind 0 accepted")
+	}
+	buf[0] = byte(kindCount)
+	if _, err := m.Unmarshal(buf); err == nil {
+		t.Fatal("out-of-range kind accepted")
+	}
+	// Claimed value longer than the buffer.
+	good, _ := (&Message{Kind: KindESWrite, Value: []byte{1, 2, 3}}).AppendMarshal(nil)
+	if _, err := m.Unmarshal(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated value accepted")
+	}
+}
+
+func TestValueTooLong(t *testing.T) {
+	m := Message{Kind: KindESWrite, Value: make([]byte, MaxValueLen+1)}
+	if _, err := m.AppendMarshal(nil); err != ErrValueTooLong {
+		t.Fatalf("err = %v, want ErrValueTooLong", err)
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		var m Message
+		m.Unmarshal(b) // must not panic
+		UnmarshalBatch(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplyRouting(t *testing.T) {
+	req := Message{Kind: KindAcqRead, From: 2, Worker: 7, Key: 99, OpID: 1234}
+	rep := req.Reply(KindReadReply, 4)
+	if rep.Kind != KindReadReply || rep.From != 4 || rep.Worker != 7 ||
+		rep.Key != 99 || rep.OpID != 1234 {
+		t.Fatalf("bad reply %+v", rep)
+	}
+	if !rep.IsReply() || req.IsReply() {
+		t.Fatal("IsReply misclassifies")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindInvalid; k < kindCount; k++ {
+		if k.String() == "" || k.String() == "kind?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "kind?" {
+		t.Fatal("unknown kind should stringify as kind?")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := Message{Kind: KindESWrite, Key: 1, OpID: 2, Value: make([]byte, 32)}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, _ = m.AppendMarshal(buf)
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	m := Message{Kind: KindESWrite, Key: 1, OpID: 2, Value: make([]byte, 32)}
+	buf, _ := m.AppendMarshal(nil)
+	b.ReportAllocs()
+	var out Message
+	for i := 0; i < b.N; i++ {
+		out.Unmarshal(buf)
+	}
+}

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/proto"
+)
+
+// FaultInjector wraps a Transport with programmable network misbehaviour:
+// per-link drop probability, per-link one-way partitions, and fixed delivery
+// delays. It is the instrument behind the failure study (§8.4) and the
+// fault-injection tests — it is what turns "asynchrony is rare in a
+// datacenter" into a dial we can sweep.
+//
+// Drops are decided per batch with a deterministic PRNG so failure tests are
+// reproducible. Delays re-enqueue the batch from a timer goroutine, which
+// models an arbitrarily slow link without blocking the sender.
+type FaultInjector struct {
+	inner Transport
+	stats Stats
+
+	mu    sync.RWMutex
+	rng   *rand.Rand
+	rules map[linkKey]*linkRule
+	// nodeCut[n] severs every link to and from node n (bidirectional
+	// partition), the blunt instrument used to isolate a replica.
+	nodeCut [64]atomic.Bool
+
+	closed atomic.Bool
+}
+
+type linkKey struct{ from, to uint8 }
+
+type linkRule struct {
+	dropProb float64
+	delay    time.Duration
+	cut      bool
+}
+
+// NewFaultInjector wraps inner. Seed fixes the drop PRNG.
+func NewFaultInjector(inner Transport, seed int64) *FaultInjector {
+	return &FaultInjector{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[linkKey]*linkRule),
+	}
+}
+
+// DropLink sets the probability in [0,1] that a batch from node `from` to
+// node `to` is silently discarded.
+func (f *FaultInjector) DropLink(from, to uint8, prob float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rule(from, to).dropProb = prob
+}
+
+// DelayLink adds a fixed one-way delivery delay on the link.
+func (f *FaultInjector) DelayLink(from, to uint8, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rule(from, to).delay = d
+}
+
+// CutLink severs the one-way link (drops everything).
+func (f *FaultInjector) CutLink(from, to uint8, cut bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rule(from, to).cut = cut
+}
+
+// IsolateNode cuts every link touching node n (a full partition of the
+// replica). Passing false heals it.
+func (f *FaultInjector) IsolateNode(n uint8, isolated bool) {
+	f.nodeCut[n].Store(isolated)
+}
+
+// Clear removes all link rules (node isolation flags included).
+func (f *FaultInjector) Clear() {
+	f.mu.Lock()
+	f.rules = make(map[linkKey]*linkRule)
+	f.mu.Unlock()
+	for i := range f.nodeCut {
+		f.nodeCut[i].Store(false)
+	}
+}
+
+func (f *FaultInjector) rule(from, to uint8) *linkRule {
+	k := linkKey{from, to}
+	r := f.rules[k]
+	if r == nil {
+		r = &linkRule{}
+		f.rules[k] = r
+	}
+	return r
+}
+
+// Send implements Transport. The sender's node id is taken from the first
+// message of the batch (all messages in a batch share an origin).
+func (f *FaultInjector) Send(dst Endpoint, batch []proto.Message) {
+	if len(batch) == 0 || f.closed.Load() {
+		return
+	}
+	from := batch[0].From
+	if f.nodeCut[from].Load() || f.nodeCut[dst.Node].Load() {
+		f.stats.DroppedFault.Add(1)
+		return
+	}
+	var delay time.Duration
+	f.mu.RLock()
+	if r, ok := f.rules[linkKey{from, dst.Node}]; ok {
+		if r.cut {
+			f.mu.RUnlock()
+			f.stats.DroppedFault.Add(1)
+			return
+		}
+		if r.dropProb > 0 {
+			// rand.Rand is not concurrency-safe; guard with the same
+			// mutex in write mode only when a drop rule exists.
+			f.mu.RUnlock()
+			f.mu.Lock()
+			roll := f.rng.Float64()
+			f.mu.Unlock()
+			if roll < r.dropProb {
+				f.stats.DroppedFault.Add(1)
+				return
+			}
+			delay = r.delay
+			goto deliver
+		}
+		delay = r.delay
+	}
+	f.mu.RUnlock()
+
+deliver:
+	if delay > 0 {
+		f.stats.DelayedBatches.Add(1)
+		time.AfterFunc(delay, func() {
+			if !f.closed.Load() {
+				f.inner.Send(dst, batch)
+			}
+		})
+		return
+	}
+	f.inner.Send(dst, batch)
+}
+
+// Recv implements Transport.
+func (f *FaultInjector) Recv(ep Endpoint) <-chan []proto.Message { return f.inner.Recv(ep) }
+
+// Close implements Transport.
+func (f *FaultInjector) Close() error {
+	f.closed.Store(true)
+	return f.inner.Close()
+}
+
+// Stats exposes the fault counters.
+func (f *FaultInjector) Stats() *Stats { return &f.stats }

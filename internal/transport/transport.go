@@ -1,0 +1,112 @@
+// Package transport moves message batches between (node, worker) endpoints.
+//
+// The paper's Kite runs RPCs over RDMA UD sends: unreliable datagrams with
+// application-level batching ("doorbell batching", opportunistic batching of
+// all protocols into one packet) and exactly one connection between worker i
+// of a node and worker i of every remote node (§6.3). This package
+// reproduces those semantics with two interchangeable implementations:
+//
+//   - InProc: a matrix of bounded mailboxes inside one process. Sends never
+//     block; a full mailbox drops the batch, exactly like a saturated UD
+//     queue pair. A FaultInjector wraps any transport with message drops,
+//     delays, partitions and node pauses for the failure studies.
+//   - UDP (udp.go): real datagram sockets for multi-process deployments,
+//     with the same drop-on-overload, no-delivery-guarantee contract.
+//
+// All Kite protocols are designed for an asynchronous lossy network, so the
+// transport deliberately offers no reliability: loss surfaces as protocol
+// retries or as the fast-path → slow-path transition under test.
+package transport
+
+import (
+	"sync/atomic"
+
+	"kite/internal/proto"
+)
+
+// Endpoint names a worker's mailbox.
+type Endpoint struct {
+	Node   uint8
+	Worker uint8
+}
+
+// Transport delivers batches of messages between endpoints. Send is
+// non-blocking and unreliable: delivery may silently fail. Implementations
+// must be safe for concurrent use.
+type Transport interface {
+	// Send enqueues a batch for dst. The batch slice is owned by the
+	// transport after the call.
+	Send(dst Endpoint, batch []proto.Message)
+	// Recv returns the receive channel for a local endpoint. Each queued
+	// element is one batch.
+	Recv(ep Endpoint) <-chan []proto.Message
+	// Close releases resources. Sends after Close are dropped.
+	Close() error
+}
+
+// Stats counts transport-level events; useful in tests and the bench harness
+// to confirm that fault injection actually exercised the lossy paths.
+type Stats struct {
+	SentBatches    atomic.Uint64
+	SentMsgs       atomic.Uint64
+	DroppedFull    atomic.Uint64 // mailbox overflow (UD queue overrun)
+	DroppedFault   atomic.Uint64 // dropped by fault injection
+	DelayedBatches atomic.Uint64
+}
+
+// InProc is the in-process transport: one bounded channel per destination
+// endpoint.
+type InProc struct {
+	nodes    int
+	workers  int
+	mailbox  []chan []proto.Message
+	stats    Stats
+	closed   atomic.Bool
+	capacity int
+}
+
+// DefaultMailboxDepth bounds each endpoint queue. Deep enough to absorb
+// bursts, shallow enough that a paused node exerts backpressure as drops —
+// the same behaviour as a stalled RDMA receive queue.
+const DefaultMailboxDepth = 4096
+
+// NewInProc creates mailboxes for nodes x workers endpoints.
+func NewInProc(nodes, workers, depth int) *InProc {
+	if depth <= 0 {
+		depth = DefaultMailboxDepth
+	}
+	t := &InProc{nodes: nodes, workers: workers, capacity: depth}
+	t.mailbox = make([]chan []proto.Message, nodes*workers)
+	for i := range t.mailbox {
+		t.mailbox[i] = make(chan []proto.Message, depth)
+	}
+	return t
+}
+
+func (t *InProc) idx(ep Endpoint) int { return int(ep.Node)*t.workers + int(ep.Worker) }
+
+// Send implements Transport. A full mailbox drops the batch.
+func (t *InProc) Send(dst Endpoint, batch []proto.Message) {
+	if len(batch) == 0 || t.closed.Load() {
+		return
+	}
+	select {
+	case t.mailbox[t.idx(dst)] <- batch:
+		t.stats.SentBatches.Add(1)
+		t.stats.SentMsgs.Add(uint64(len(batch)))
+	default:
+		t.stats.DroppedFull.Add(1)
+	}
+}
+
+// Recv implements Transport.
+func (t *InProc) Recv(ep Endpoint) <-chan []proto.Message { return t.mailbox[t.idx(ep)] }
+
+// Close implements Transport.
+func (t *InProc) Close() error {
+	t.closed.Store(true)
+	return nil
+}
+
+// Stats exposes the transport counters.
+func (t *InProc) Stats() *Stats { return &t.stats }

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"kite/internal/proto"
+)
+
+func mkBatch(from uint8, n int) []proto.Message {
+	b := make([]proto.Message, n)
+	for i := range b {
+		b[i] = proto.Message{Kind: proto.KindESWrite, From: from, Key: uint64(i)}
+	}
+	return b
+}
+
+func TestInProcDelivery(t *testing.T) {
+	tr := NewInProc(3, 2, 16)
+	defer tr.Close()
+	dst := Endpoint{Node: 2, Worker: 1}
+	tr.Send(dst, mkBatch(0, 3))
+	select {
+	case got := <-tr.Recv(dst):
+		if len(got) != 3 || got[0].From != 0 {
+			t.Fatalf("got %v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+	// Other endpoints untouched.
+	select {
+	case <-tr.Recv(Endpoint{Node: 1, Worker: 0}):
+		t.Fatal("misrouted batch")
+	default:
+	}
+}
+
+func TestInProcDropOnFull(t *testing.T) {
+	tr := NewInProc(1, 1, 2)
+	defer tr.Close()
+	dst := Endpoint{}
+	for i := 0; i < 5; i++ {
+		tr.Send(dst, mkBatch(0, 1))
+	}
+	if got := tr.Stats().DroppedFull.Load(); got != 3 {
+		t.Fatalf("DroppedFull = %d, want 3", got)
+	}
+	if got := tr.Stats().SentBatches.Load(); got != 2 {
+		t.Fatalf("SentBatches = %d, want 2", got)
+	}
+}
+
+func TestInProcEmptyAndClosed(t *testing.T) {
+	tr := NewInProc(1, 1, 2)
+	dst := Endpoint{}
+	tr.Send(dst, nil) // no-op
+	tr.Close()
+	tr.Send(dst, mkBatch(0, 1)) // dropped silently
+	select {
+	case <-tr.Recv(dst):
+		t.Fatal("received after close")
+	default:
+	}
+}
+
+func TestFaultDrop(t *testing.T) {
+	tr := NewInProc(2, 1, 64)
+	f := NewFaultInjector(tr, 1)
+	defer f.Close()
+	f.DropLink(0, 1, 1.0)
+	dst := Endpoint{Node: 1}
+	for i := 0; i < 10; i++ {
+		f.Send(dst, mkBatch(0, 1))
+	}
+	if got := f.Stats().DroppedFault.Load(); got != 10 {
+		t.Fatalf("DroppedFault = %d", got)
+	}
+	// Reverse direction unaffected.
+	f.Send(Endpoint{Node: 0}, mkBatch(1, 1))
+	select {
+	case <-tr.Recv(Endpoint{Node: 0}):
+	case <-time.After(time.Second):
+		t.Fatal("reverse link affected")
+	}
+}
+
+func TestFaultCutAndClear(t *testing.T) {
+	tr := NewInProc(2, 1, 64)
+	f := NewFaultInjector(tr, 1)
+	defer f.Close()
+	f.CutLink(0, 1, true)
+	f.Send(Endpoint{Node: 1}, mkBatch(0, 1))
+	if f.Stats().DroppedFault.Load() != 1 {
+		t.Fatal("cut link delivered")
+	}
+	f.Clear()
+	f.Send(Endpoint{Node: 1}, mkBatch(0, 1))
+	select {
+	case <-tr.Recv(Endpoint{Node: 1}):
+	case <-time.After(time.Second):
+		t.Fatal("cleared link still cut")
+	}
+}
+
+func TestFaultIsolateNode(t *testing.T) {
+	tr := NewInProc(3, 1, 64)
+	f := NewFaultInjector(tr, 1)
+	defer f.Close()
+	f.IsolateNode(1, true)
+	f.Send(Endpoint{Node: 1}, mkBatch(0, 1)) // into isolated node
+	f.Send(Endpoint{Node: 2}, mkBatch(1, 1)) // out of isolated node
+	f.Send(Endpoint{Node: 2}, mkBatch(0, 1)) // unrelated link
+	if got := f.Stats().DroppedFault.Load(); got != 2 {
+		t.Fatalf("DroppedFault = %d, want 2", got)
+	}
+	select {
+	case <-tr.Recv(Endpoint{Node: 2}):
+	case <-time.After(time.Second):
+		t.Fatal("healthy link affected")
+	}
+	f.IsolateNode(1, false)
+	f.Send(Endpoint{Node: 1}, mkBatch(0, 1))
+	select {
+	case <-tr.Recv(Endpoint{Node: 1}):
+	case <-time.After(time.Second):
+		t.Fatal("healed node unreachable")
+	}
+}
+
+func TestFaultDelay(t *testing.T) {
+	tr := NewInProc(2, 1, 64)
+	f := NewFaultInjector(tr, 1)
+	defer f.Close()
+	f.DelayLink(0, 1, 30*time.Millisecond)
+	start := time.Now()
+	f.Send(Endpoint{Node: 1}, mkBatch(0, 1))
+	select {
+	case <-tr.Recv(Endpoint{Node: 1}):
+		if el := time.Since(start); el < 20*time.Millisecond {
+			t.Fatalf("delivered too fast: %v", el)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("delayed batch lost")
+	}
+	if f.Stats().DelayedBatches.Load() != 1 {
+		t.Fatal("delay not counted")
+	}
+}
+
+func TestFaultDropProbabilistic(t *testing.T) {
+	tr := NewInProc(2, 1, 4096)
+	f := NewFaultInjector(tr, 42)
+	defer f.Close()
+	f.DropLink(0, 1, 0.5)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		f.Send(Endpoint{Node: 1}, mkBatch(0, 1))
+	}
+	dropped := int(f.Stats().DroppedFault.Load())
+	if dropped < n/3 || dropped > 2*n/3 {
+		t.Fatalf("dropped %d of %d with p=0.5", dropped, n)
+	}
+}
+
+func TestUDPLoopAndRemote(t *testing.T) {
+	// Node 0 with 2 workers and node 1 with 2 workers, both on loopback.
+	mk := func(node uint8) *UDP {
+		u, err := NewUDP(UDPConfig{
+			LocalNode: node,
+			Workers:   2,
+			Listen:    []string{"127.0.0.1:0", "127.0.0.1:0"},
+			Peers:     map[uint8][]string{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	u0, u1 := mk(0), mk(1)
+	defer u0.Close()
+	defer u1.Close()
+	u0.peers[1] = resolveAll(t, u1.LocalAddrs())
+	u1.peers[0] = resolveAll(t, u0.LocalAddrs())
+
+	// Local loopback.
+	u0.Send(Endpoint{Node: 0, Worker: 1}, mkBatch(0, 2))
+	select {
+	case got := <-u0.Recv(Endpoint{Node: 0, Worker: 1}):
+		if len(got) != 2 {
+			t.Fatalf("loopback got %d msgs", len(got))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("loopback lost")
+	}
+
+	// Remote delivery with a value payload (checks the copy-out).
+	batch := mkBatch(0, 1)
+	batch[0].Value = []byte("payload-123")
+	u0.Send(Endpoint{Node: 1, Worker: 1}, batch)
+	select {
+	case got := <-u1.Recv(Endpoint{Node: 1, Worker: 1}):
+		if len(got) != 1 || string(got[0].Value) != "payload-123" {
+			t.Fatalf("remote got %+v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("remote delivery lost")
+	}
+
+	// Unknown destination: dropped, not crashed.
+	u0.Send(Endpoint{Node: 9, Worker: 0}, mkBatch(0, 1))
+	if u0.Stats().DroppedFault.Load() != 1 {
+		t.Fatal("unknown peer not counted as drop")
+	}
+}
+
+func resolveAll(t *testing.T, addrs []string) []*net.UDPAddr {
+	t.Helper()
+	out := make([]*net.UDPAddr, len(addrs))
+	for i, a := range addrs {
+		ra, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = ra
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"kite/internal/proto"
+)
+
+// UDP is the datagram transport for multi-process deployments. Each local
+// worker binds one socket; batches are marshalled with proto.MarshalBatch
+// and sent as single datagrams to the peer worker's socket, mirroring the
+// one-connection-per-remote-worker layout of the paper (§6.3).
+//
+// Like RDMA UD, UDP gives no delivery guarantee; the protocols above provide
+// their own retries and the slow-path barrier handles permanent loss.
+type UDP struct {
+	local   uint8
+	workers int
+	socks   []*net.UDPConn
+	peers   map[uint8][]*net.UDPAddr // node -> per-worker address
+	recv    []chan []proto.Message
+	stats   Stats
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	bufPool sync.Pool
+}
+
+// UDPConfig describes the local node and the full cluster address map.
+type UDPConfig struct {
+	LocalNode uint8
+	Workers   int
+	// Listen[i] is the UDP address worker i binds ("" or host:0 for any).
+	Listen []string
+	// Peers[node][worker] is the address of that remote worker's socket.
+	Peers map[uint8][]string
+	// RecvDepth bounds each worker's receive queue (DefaultMailboxDepth
+	// if zero).
+	RecvDepth int
+}
+
+// NewUDP binds the local sockets and resolves peer addresses.
+func NewUDP(cfg UDPConfig) (*UDP, error) {
+	if len(cfg.Listen) != cfg.Workers {
+		return nil, fmt.Errorf("transport: %d listen addrs for %d workers", len(cfg.Listen), cfg.Workers)
+	}
+	depth := cfg.RecvDepth
+	if depth <= 0 {
+		depth = DefaultMailboxDepth
+	}
+	u := &UDP{
+		local:   cfg.LocalNode,
+		workers: cfg.Workers,
+		peers:   make(map[uint8][]*net.UDPAddr),
+		recv:    make([]chan []proto.Message, cfg.Workers),
+	}
+	u.bufPool.New = func() any { return make([]byte, proto.MaxBatchBytes) }
+	for node, addrs := range cfg.Peers {
+		resolved := make([]*net.UDPAddr, len(addrs))
+		for i, a := range addrs {
+			ra, err := net.ResolveUDPAddr("udp", a)
+			if err != nil {
+				return nil, fmt.Errorf("transport: resolve %s: %w", a, err)
+			}
+			resolved[i] = ra
+		}
+		u.peers[node] = resolved
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		la, err := net.ResolveUDPAddr("udp", cfg.Listen[i])
+		if err != nil {
+			u.Close()
+			return nil, fmt.Errorf("transport: resolve listen %s: %w", cfg.Listen[i], err)
+		}
+		sock, err := net.ListenUDP("udp", la)
+		if err != nil {
+			u.Close()
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen[i], err)
+		}
+		u.socks = append(u.socks, sock)
+		u.recv[i] = make(chan []proto.Message, depth)
+		u.wg.Add(1)
+		go u.recvLoop(i, sock)
+	}
+	return u, nil
+}
+
+// LocalAddrs reports the bound per-worker addresses (useful with :0 binds).
+func (u *UDP) LocalAddrs() []string {
+	out := make([]string, len(u.socks))
+	for i, s := range u.socks {
+		out[i] = s.LocalAddr().String()
+	}
+	return out
+}
+
+func (u *UDP) recvLoop(worker int, sock *net.UDPConn) {
+	defer u.wg.Done()
+	buf := make([]byte, proto.MaxBatchBytes)
+	for {
+		n, _, err := sock.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		batch, err := proto.UnmarshalBatch(buf[:n])
+		if err != nil {
+			continue // corrupt datagram: drop, like a bad checksum
+		}
+		// Messages alias buf; copy values out before the next read.
+		for i := range batch {
+			if len(batch[i].Value) > 0 {
+				v := make([]byte, len(batch[i].Value))
+				copy(v, batch[i].Value)
+				batch[i].Value = v
+			}
+		}
+		select {
+		case u.recv[worker] <- batch:
+			u.stats.SentMsgs.Add(uint64(len(batch)))
+		default:
+			u.stats.DroppedFull.Add(1)
+		}
+	}
+}
+
+// Send implements Transport. Sends to the local node loop back without
+// touching the socket.
+func (u *UDP) Send(dst Endpoint, batch []proto.Message) {
+	if len(batch) == 0 || u.closed.Load() {
+		return
+	}
+	if dst.Node == u.local {
+		select {
+		case u.recv[dst.Worker] <- batch:
+		default:
+			u.stats.DroppedFull.Add(1)
+		}
+		return
+	}
+	addrs, ok := u.peers[dst.Node]
+	if !ok || int(dst.Worker) >= len(addrs) {
+		u.stats.DroppedFault.Add(1)
+		return
+	}
+	buf := u.bufPool.Get().([]byte)
+	out, err := proto.MarshalBatch(buf[:0], batch)
+	if err == nil {
+		w := int(dst.Worker) % len(u.socks)
+		if _, err = u.socks[w].WriteToUDP(out, addrs[dst.Worker]); err == nil {
+			u.stats.SentBatches.Add(1)
+		}
+	}
+	u.bufPool.Put(buf) //nolint:staticcheck // fixed-size buffer reuse
+}
+
+// Recv implements Transport.
+func (u *UDP) Recv(ep Endpoint) <-chan []proto.Message { return u.recv[ep.Worker] }
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	if u.closed.Swap(true) {
+		return nil
+	}
+	for _, s := range u.socks {
+		s.Close()
+	}
+	u.wg.Wait()
+	return nil
+}
+
+// Stats exposes the transport counters.
+func (u *UDP) Stats() *Stats { return &u.stats }

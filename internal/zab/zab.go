@@ -1,0 +1,231 @@
+// Package zab implements the paper's in-house baseline (§7): a multi-
+// threaded, batched implementation of ZooKeeper Atomic Broadcast over the
+// same replicated KVS substrate as Kite.
+//
+// ZAB enforces consistency by totally ordering all writes through a leader:
+// a write is forwarded to the leader, which assigns it a zxid, broadcasts a
+// proposal to the followers, commits once a quorum acks, and every node
+// applies committed writes in zxid order. Reads execute locally — ZAB
+// relaxes read consistency to keep them cheap, which is exactly the
+// trade-off the paper contrasts Kite against: writes get RMW-like total
+// ordering (stronger than Kite's relaxed writes), reads get less than
+// linearizability (weaker than Kite's acquires).
+//
+// The implementation mirrors the paper's in-house RDMA ZAB: one worker per
+// remote worker, opportunistic batching, and the apply stage is the
+// serialization point — all nodes apply the single write order, which is the
+// architectural bottleneck per-key Paxos avoids (§8.2).
+package zab
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/proto"
+	"kite/internal/transport"
+)
+
+// Config parameterises a ZAB deployment.
+type Config struct {
+	Nodes             int
+	Workers           int
+	SessionsPerWorker int
+	KVSCapacity       int
+	MailboxDepth      int
+	IdlePoll          time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 5
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.SessionsPerWorker == 0 {
+		c.SessionsPerWorker = 4
+	}
+	if c.KVSCapacity == 0 {
+		c.KVSCapacity = 1 << 16
+	}
+	if c.MailboxDepth == 0 {
+		c.MailboxDepth = 4096
+	}
+	if c.IdlePoll == 0 {
+		c.IdlePoll = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Cluster is an in-process ZAB deployment. Node 0 is the (stable) leader —
+// leader election is out of scope, as in the paper's baseline.
+type Cluster struct {
+	cfg   Config
+	tr    *transport.InProc
+	nodes []*Node
+}
+
+// NewCluster builds and starts a deployment.
+func NewCluster(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, tr: transport.NewInProc(cfg.Nodes, cfg.Workers, cfg.MailboxDepth)}
+	for id := 0; id < cfg.Nodes; id++ {
+		c.nodes = append(c.nodes, newNode(uint8(id), cfg, c.tr))
+	}
+	for _, nd := range c.nodes {
+		nd.start()
+	}
+	return c
+}
+
+// Node returns replica i (0 is the leader).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns the replication degree.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Close stops the deployment.
+func (c *Cluster) Close() {
+	for _, nd := range c.nodes {
+		nd.stop()
+	}
+	c.tr.Close()
+}
+
+// Node is one ZAB replica.
+type Node struct {
+	id     uint8
+	cfg    Config
+	n      int
+	quorum int
+	store  *kvs.Store
+	tr     transport.Transport
+
+	// zxid is the global write sequencer (leader only).
+	zxid atomic.Uint64
+
+	applier  *applier
+	workers  []*worker
+	sessions []*Session
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
+
+	completedReads  atomic.Uint64
+	completedWrites atomic.Uint64
+}
+
+func newNode(id uint8, cfg Config, tr transport.Transport) *Node {
+	nd := &Node{
+		id: id, cfg: cfg, n: cfg.Nodes, quorum: cfg.Nodes/2 + 1,
+		store: kvs.New(cfg.KVSCapacity), tr: tr,
+		applier: newApplier(),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wk := &worker{
+			node:  nd,
+			id:    uint8(w),
+			inbox: tr.Recv(transport.Endpoint{Node: id, Worker: uint8(w)}),
+			reqCh: make(chan *request, 1024),
+			out:   make([][]proto.Message, cfg.Nodes),
+			acks:  make(map[uint64]*pendingWrite),
+			subs:  make(map[uint64]*request),
+		}
+		nd.workers = append(nd.workers, wk)
+		for s := 0; s < cfg.SessionsPerWorker; s++ {
+			nd.sessions = append(nd.sessions, &Session{w: wk})
+		}
+	}
+	return nd
+}
+
+func (nd *Node) start() {
+	for _, wk := range nd.workers {
+		nd.wg.Add(1)
+		go func(wk *worker) {
+			defer nd.wg.Done()
+			wk.run()
+		}(wk)
+	}
+}
+
+func (nd *Node) stop() {
+	if nd.stopped.Swap(true) {
+		return
+	}
+	nd.wg.Wait()
+}
+
+// Sessions returns the number of sessions on this node.
+func (nd *Node) Sessions() int { return len(nd.sessions) }
+
+// Session returns the i-th session handle.
+func (nd *Node) Session(i int) *Session { return nd.sessions[i] }
+
+// Completed returns (reads, writes) completed by this node's sessions.
+func (nd *Node) Completed() (reads, writes uint64) {
+	return nd.completedReads.Load(), nd.completedWrites.Load()
+}
+
+// applier serializes the application of committed writes: every node applies
+// the leader's total order. This mutex-guarded stage is ZAB's architectural
+// serialization point (per-key Paxos has none), deliberately preserved.
+type applier struct {
+	mu        sync.Mutex
+	pending   map[uint64]proto.Message // zxid -> committed-but-unapplied
+	proposals map[uint64]proto.Message // zxid -> proposal payload (followers)
+	committed map[uint64]bool          // commit seen before proposal (reorder guard)
+	nextApply uint64
+}
+
+func newApplier() *applier {
+	return &applier{
+		pending:   make(map[uint64]proto.Message),
+		proposals: make(map[uint64]proto.Message),
+		committed: make(map[uint64]bool),
+	}
+}
+
+// propose records a proposal payload awaiting its commit. The store is
+// needed because a reordered commit may already be waiting for this payload.
+func (a *applier) propose(m proto.Message, store *kvs.Store) {
+	a.mu.Lock()
+	if a.committed[m.Slot] {
+		delete(a.committed, m.Slot)
+		a.pending[m.Slot] = m
+		a.applyPrefix(store)
+	} else {
+		a.proposals[m.Slot] = m
+	}
+	a.mu.Unlock()
+}
+
+// commit marks zxid committed and applies every in-order prefix write.
+func (a *applier) commit(zxid uint64, store *kvs.Store) {
+	a.mu.Lock()
+	if p, ok := a.proposals[zxid]; ok {
+		delete(a.proposals, zxid)
+		a.pending[zxid] = p
+	} else {
+		a.committed[zxid] = true
+	}
+	a.applyPrefix(store)
+	a.mu.Unlock()
+}
+
+// applyPrefix applies every committed write in zxid order (caller holds mu).
+func (a *applier) applyPrefix(store *kvs.Store) {
+	for {
+		m, ok := a.pending[a.nextApply]
+		if !ok {
+			return
+		}
+		delete(a.pending, a.nextApply)
+		// zxids are the write serialization: stamp with the zxid so the
+		// kvs last-writer-wins merge agrees with the total order.
+		store.Apply(m.Key, m.Value, llc.Stamp{Ver: m.Slot + 1})
+		a.nextApply++
+	}
+}

@@ -1,0 +1,159 @@
+package zab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/proto"
+)
+
+func testConfig(nodes int) Config {
+	return Config{
+		Nodes: nodes, Workers: 2, SessionsPerWorker: 2,
+		KVSCapacity: 1 << 10, IdlePoll: 100 * time.Microsecond,
+	}
+}
+
+func TestWriteCommitsAndPropagates(t *testing.T) {
+	c := NewCluster(testConfig(3))
+	defer c.Close()
+	s := c.Node(1).Session(0) // follower session
+	s.Write(7, []byte("hello"))
+	// The write is committed; the leader has applied it.
+	if got := c.Node(0).Session(0).Read(7); string(got) != "hello" {
+		t.Fatalf("leader read %q", got)
+	}
+	// Followers apply on commit broadcast (async); poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := c.Node(2).Session(0).Read(7); string(got) == "hello" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("commit never reached node 2")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLeaderLocalWrite(t *testing.T) {
+	c := NewCluster(testConfig(3))
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	s.Write(1, []byte("x"))
+	if got := s.Read(1); string(got) != "x" {
+		t.Fatalf("leader read-own-write %q", got)
+	}
+	reads, writes := c.Node(0).Completed()
+	if reads != 1 || writes != 1 {
+		t.Fatalf("completed = %d reads %d writes", reads, writes)
+	}
+}
+
+func TestTotalOrderAcrossWriters(t *testing.T) {
+	c := NewCluster(testConfig(3))
+	defer c.Close()
+	// Concurrent writers to the same key from all nodes; after quiescence
+	// all replicas must agree on the final value (write serialization).
+	var wg sync.WaitGroup
+	for n := 0; n < 3; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			s := c.Node(n).Session(1)
+			for i := 0; i < 50; i++ {
+				s.Write(42, []byte(fmt.Sprintf("n%d-%d", n, i)))
+			}
+		}(n)
+	}
+	wg.Wait()
+	// Let the last commits propagate.
+	time.Sleep(50 * time.Millisecond)
+	v0 := c.Node(0).Session(0).Read(42)
+	for n := 1; n < 3; n++ {
+		if got := c.Node(n).Session(0).Read(42); string(got) != string(v0) {
+			t.Fatalf("replica %d diverged: %q vs %q", n, got, v0)
+		}
+	}
+}
+
+func TestApplierInOrder(t *testing.T) {
+	a := newApplier()
+	store := kvs.New(64)
+	mk := func(zxid uint64, val string) proto.Message {
+		return proto.Message{Kind: proto.KindZabProposal, Key: 1, Slot: zxid, Value: []byte(val)}
+	}
+	// Proposals arrive in order; commits out of order: nothing applies
+	// until the prefix is complete.
+	a.propose(mk(0, "a"), store)
+	a.propose(mk(1, "b"), store)
+	a.propose(mk(2, "c"), store)
+	a.commit(1, store)
+	a.commit(2, store)
+	buf := make([]byte, kvs.MaxValueLen)
+	if _, _, _, ok := store.View(1, buf); ok {
+		t.Fatal("applied out of order")
+	}
+	a.commit(0, store)
+	val, st, _, ok := store.View(1, buf)
+	if !ok || string(val) != "c" || st != (llc.Stamp{Ver: 3}) {
+		t.Fatalf("after prefix commit: %q %v %v", val, st, ok)
+	}
+}
+
+func TestApplierCommitBeforeProposal(t *testing.T) {
+	a := newApplier()
+	store := kvs.New(64)
+	m := proto.Message{Kind: proto.KindZabProposal, Key: 2, Slot: 0, Value: []byte("v")}
+	// Reordered delivery: commit seen before its proposal payload.
+	a.commit(0, store)
+	a.propose(m, store)
+	buf := make([]byte, kvs.MaxValueLen)
+	val, _, _, ok := store.View(2, buf)
+	if !ok || string(val) != "v" {
+		t.Fatalf("reordered commit lost: %q %v", val, ok)
+	}
+}
+
+func TestAsyncWrites(t *testing.T) {
+	c := NewCluster(testConfig(3))
+	defer c.Close()
+	s := c.Node(2).Session(0)
+	const n = 100
+	var mu sync.Mutex
+	got := 0
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		s.WriteAsync(uint64(i), []byte{1}, func() {
+			mu.Lock()
+			got++
+			if got == n {
+				close(done)
+			}
+			mu.Unlock()
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d/%d async writes committed", got, n)
+	}
+}
+
+func TestFiveNodeQuorumWithoutAllAcks(t *testing.T) {
+	// A 5-node cluster commits with 3 acks; the leader plus two followers
+	// suffice even if the transport to the rest is saturated.
+	c := NewCluster(testConfig(5))
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	for i := 0; i < 20; i++ {
+		s.Write(uint64(i), []byte("q"))
+	}
+	if got := s.Read(5); string(got) != "q" {
+		t.Fatalf("read %q", got)
+	}
+}

@@ -1,0 +1,174 @@
+package kite
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Options{Nodes: nodes, Workers: 2, SessionsPerWorker: 2, Capacity: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicAPIBasics(t *testing.T) {
+	c := testCluster(t, 3)
+	s := c.Session(0, 0)
+
+	if v, err := s.Read(1); err != nil || v != nil {
+		t.Fatalf("initial read = %v, %v", v, err)
+	}
+	if err := s.Write(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Read(1); string(v) != "hello" {
+		t.Fatalf("read = %q", v)
+	}
+	if err := s.ReleaseWrite(2, []byte("flag")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.AcquireRead(2); string(v) != "flag" {
+		t.Fatalf("acquire = %q", v)
+	}
+	if old, err := s.FAA(3, 7); err != nil || old != 0 {
+		t.Fatalf("faa = %d, %v", old, err)
+	}
+	if old, _ := s.FAA(3, 0); old != 7 {
+		t.Fatalf("faa read = %d", old)
+	}
+	swapped, old, err := s.CompareAndSwap(4, nil, []byte("A"), false)
+	if err != nil || !swapped || old != nil {
+		t.Fatalf("cas = %v %q %v", swapped, old, err)
+	}
+	swapped, old, _ = s.CompareAndSwap(4, []byte("X"), []byte("B"), true)
+	if swapped || string(old) != "A" {
+		t.Fatalf("weak cas = %v %q", swapped, old)
+	}
+}
+
+func TestPublicReleaseAcquireAcrossNodes(t *testing.T) {
+	c := testCluster(t, 5)
+	prod := c.Session(0, 0)
+	cons := c.Session(4, 0)
+	for i := 0; i < 10; i++ {
+		payload := []byte(fmt.Sprintf("obj-%d", i))
+		if err := prod.Write(100, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := prod.ReleaseWrite(101, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			v, err := cons.AcquireRead(101)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(v) == 1 && v[0] == byte(i) {
+				break
+			}
+		}
+		if v, _ := cons.Read(100); !bytes.Equal(v, payload) {
+			t.Fatalf("iter %d: consumer read %q want %q", i, v, payload)
+		}
+	}
+}
+
+func TestPublicAsyncAPI(t *testing.T) {
+	c := testCluster(t, 3)
+	s := c.Session(1, 0)
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.WriteAsync(uint64(i), []byte{byte(i)}, func(r Result) {
+			if r.Err != nil {
+				t.Errorf("async write: %v", r.Err)
+			}
+			wg.Done()
+		})
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("async writes did not complete")
+	}
+
+	got := make(chan Result, 1)
+	s.ReadAsync(5, func(r Result) { got <- r })
+	select {
+	case r := <-got:
+		if len(r.Value) != 1 || r.Value[0] != 5 {
+			t.Fatalf("async read = %v", r.Value)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("async read did not complete")
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	c := testCluster(t, 5)
+	prod := c.Session(0, 0)
+	cons := c.Session(3, 0)
+
+	c.Faults().CutLink(0, 3, true)
+	if err := prod.Write(7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.ReleaseWrite(8, []byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cons.AcquireRead(8); string(v) != "go" {
+		t.Fatalf("acquire under partition = %q", v)
+	}
+	if v, _ := cons.Read(7); string(v) != "x" {
+		t.Fatalf("read under partition = %q (RC violation)", v)
+	}
+	if c.NodeStats(3).EpochBumps == 0 {
+		t.Fatal("no slow-path transition recorded")
+	}
+	c.Faults().Clear()
+}
+
+func TestPublicPauseNode(t *testing.T) {
+	c := testCluster(t, 5)
+	c.PauseNode(4, 150*time.Millisecond)
+	s := c.Session(0, 0)
+	for i := uint64(0); i < 5; i++ {
+		if err := s.ReleaseWrite(10+i, []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.CompletedOps(0) == 0 {
+		t.Fatal("no ops counted")
+	}
+	cl := c.OpClassCounts(0)
+	if cl[2] != 5 {
+		t.Fatalf("release count = %d", cl[2])
+	}
+}
+
+func TestEncodeDecodeUint64(t *testing.T) {
+	for _, x := range []uint64{0, 1, 255, 1 << 40, ^uint64(0)} {
+		if got := DecodeUint64(EncodeUint64(x)); got != x {
+			t.Fatalf("round trip %d -> %d", x, got)
+		}
+	}
+	if DecodeUint64(nil) != 0 || DecodeUint64([]byte{5}) != 5 {
+		t.Fatal("short decode")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := NewCluster(Options{Nodes: 99}); err == nil {
+		t.Fatal("99 nodes accepted")
+	}
+}
