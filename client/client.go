@@ -1,0 +1,575 @@
+// Package client connects external processes to a Kite deployment. Dial one
+// node's session server (started by kite-node -client-addr, or
+// kite/internal/server in-process) and open sessions that mirror the
+// top-level kite.Session API: Read/Write, ReleaseWrite/AcquireRead, FAA and
+// CompareAndSwap, in synchronous and asynchronous flavours.
+//
+// The link to the server is UDP with the same delivery contract as Kite's
+// replica-to-replica transport: datagrams may be lost, duplicated or
+// reordered. The client retransmits unacknowledged requests every
+// RetryInterval until OpTimeout; the server executes each (session, seq)
+// exactly once and answers retransmissions from a reply cache, so retried
+// writes and RMWs are safe. A session is a single logical thread of
+// control: its synchronous methods must not be called concurrently, and its
+// operations take effect in submission order regardless of datagram
+// reordering.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/core"
+	"kite/internal/proto"
+)
+
+// Errors returned by client operations.
+var (
+	// ErrTimeout: no reply within Options.OpTimeout (server down, network
+	// partition, or the deployment lost its quorum).
+	ErrTimeout = errors.New("kite/client: operation timed out")
+	// ErrStopped: the node stopped before completing the op. Identical to
+	// the error the in-process API surfaces (kite.ErrStopped).
+	ErrStopped = core.ErrStopped
+	// ErrSessionExpired: the server no longer knows this session (lease
+	// expired after client silence, or the server restarted).
+	ErrSessionExpired = errors.New("kite/client: session expired on server")
+	// ErrSessionBroken: an earlier operation on this session timed out, so
+	// a gap may exist in the server's in-order submission stream and no
+	// later op of this session can complete. Open a new session.
+	ErrSessionBroken = errors.New("kite/client: session broken by a timed-out operation; open a new session")
+	// ErrNoCapacity: the node has no free session to lease.
+	ErrNoCapacity = errors.New("kite/client: node has no free sessions")
+	// ErrClosed: the Client was closed.
+	ErrClosed = errors.New("kite/client: client closed")
+	// ErrValueTooLong: a value or CAS comparand exceeds MaxValueLen.
+	ErrValueTooLong = proto.ErrValueTooLong
+)
+
+// MaxValueLen is the largest value Kite stores.
+const MaxValueLen = proto.MaxValueLen
+
+// Options configure a Client. Zero values select defaults.
+type Options struct {
+	// DialTimeout bounds Dial's liveness probe (default 3s).
+	DialTimeout time.Duration
+	// OpTimeout bounds every operation, retries included (default 10s).
+	OpTimeout time.Duration
+	// RetryInterval is the retransmission period (default 50ms).
+	RetryInterval time.Duration
+	// MaxInflight caps outstanding operations per session; async submits
+	// block once the window is full (default 64).
+	MaxInflight int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 10 * time.Second
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 50 * time.Millisecond
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	return o
+}
+
+// Result is the outcome of an asynchronous operation, mirroring
+// kite.Result.
+type Result struct {
+	// Value is the operation's result value (read/acquire: the value read;
+	// FAA/CAS: the previous value). Owned by the callback receiver.
+	Value []byte
+	// Swapped reports CAS success.
+	Swapped bool
+	// Err is non-nil when the op failed (ErrTimeout, ErrStopped,
+	// ErrSessionExpired, ErrClosed).
+	Err error
+}
+
+type pendingKey struct {
+	sess uint32
+	seq  uint64
+}
+
+// pendingOp is one unacknowledged request: its encoded datagram for
+// retransmission, the completion callback, and the give-up deadline.
+// Exactly one of cb (data ops) and ctrlCB (control ops) is set.
+type pendingOp struct {
+	frame    []byte
+	deadline time.Time
+	cb       func(Result)
+	ctrlCB   func(rep *proto.ClientReply, err error)
+	sess     *Session // nil for control ops
+	seq      uint64
+}
+
+// Client is one connection to a node's session server. It is safe for
+// concurrent use; sessions opened from it share the socket.
+type Client struct {
+	opts Options
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	pending map[pendingKey]*pendingOp // data ops: key {sess, seq}
+	control map[uint64]*pendingOp     // control ops: key seq
+	ctrlSeq uint64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// Dial connects to a session server and verifies it is alive with a ping
+// round (UDP alone cannot detect a dead peer). It fails with ErrTimeout
+// wrapped in a dial error if nothing answers within DialTimeout.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	ra, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kite/client: resolve %s: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, ra)
+	if err != nil {
+		return nil, fmt.Errorf("kite/client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		opts:    opts,
+		conn:    conn,
+		pending: make(map[pendingKey]*pendingOp),
+		control: make(map[uint64]*pendingOp),
+		// Control seqs start at a random point so that a client whose
+		// socket reuses a recently freed ephemeral port cannot collide
+		// with its predecessor's (addr, seq) entries in the server's
+		// open-dedup cache — nor match the predecessor's late replies.
+		ctrlSeq: rand.Uint64(),
+	}
+	c.wg.Add(2)
+	go c.recvLoop()
+	go c.retryLoop()
+
+	if _, err := c.controlRound(proto.ClientOpPing, 0, opts.DialTimeout); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("kite/client: no session server at %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Close releases the connection; outstanding and future operations fail
+// with ErrClosed. Sessions of this client become unusable (their leases
+// expire server-side).
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.conn.Close()
+	c.wg.Wait()
+	// Fail everything still outstanding. Data ops release their window
+	// slot (via completed) so submitters blocked on a full window wake.
+	c.mu.Lock()
+	pending, control := c.pending, c.control
+	c.pending, c.control = map[pendingKey]*pendingOp{}, map[uint64]*pendingOp{}
+	c.mu.Unlock()
+	for _, op := range pending {
+		if op.sess != nil {
+			op.sess.completed(op.seq)
+		}
+		op.fail(ErrClosed)
+	}
+	for _, op := range control {
+		op.fail(ErrClosed)
+	}
+	return nil
+}
+
+func (op *pendingOp) fail(err error) {
+	if op.ctrlCB != nil {
+		op.ctrlCB(nil, err)
+	} else if op.cb != nil {
+		op.cb(Result{Err: err})
+	}
+}
+
+// recvLoop demultiplexes replies to pending operations.
+func (c *Client) recvLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return // closed
+		}
+		var rep proto.ClientReply
+		if rep.Unmarshal(buf[:n]) != nil {
+			continue
+		}
+		c.mu.Lock()
+		var op *pendingOp
+		if rep.Flags&proto.ClientFlagControl != 0 {
+			if op = c.control[rep.Seq]; op != nil {
+				delete(c.control, rep.Seq)
+			}
+		} else {
+			k := pendingKey{sess: rep.Sess, seq: rep.Seq}
+			if op = c.pending[k]; op != nil {
+				delete(c.pending, k)
+			}
+		}
+		c.mu.Unlock()
+		if op == nil {
+			continue // duplicate or stale reply
+		}
+		if op.sess != nil {
+			op.sess.completed(op.seq)
+		}
+		c.complete(op, &rep)
+	}
+}
+
+// statusErr maps a wire status to a client error (nil for ClientOK).
+func statusErr(status uint8) error {
+	switch status {
+	case proto.ClientOK:
+		return nil
+	case proto.ClientErrStopped:
+		return ErrStopped
+	case proto.ClientErrNoSession:
+		return ErrSessionExpired
+	case proto.ClientErrNoCapacity:
+		return ErrNoCapacity
+	default:
+		return fmt.Errorf("kite/client: server error %d", status)
+	}
+}
+
+// complete maps a wire reply to the op's callback (on the receive
+// goroutine — callbacks must not block).
+func (c *Client) complete(op *pendingOp, rep *proto.ClientReply) {
+	err := statusErr(rep.Status)
+	if op.ctrlCB != nil {
+		op.ctrlCB(rep, err)
+		return
+	}
+	if op.cb == nil {
+		return
+	}
+	res := Result{Swapped: rep.Flags&proto.ClientFlagSwapped != 0, Err: err}
+	if err == nil && len(rep.Value) > 0 {
+		res.Value = append([]byte(nil), rep.Value...)
+	}
+	op.cb(res)
+}
+
+// retryLoop retransmits unacknowledged requests and expires ops past their
+// deadline — the reliability layer over the lossy datagram link.
+func (c *Client) retryLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.opts.RetryInterval)
+	defer tick.Stop()
+	for range tick.C {
+		if c.closed.Load() {
+			return
+		}
+		now := time.Now()
+		var expired []*pendingOp
+		c.mu.Lock()
+		for k, op := range c.pending {
+			if now.After(op.deadline) {
+				delete(c.pending, k)
+				expired = append(expired, op)
+				continue
+			}
+			c.conn.Write(op.frame)
+		}
+		for k, op := range c.control {
+			if now.After(op.deadline) {
+				delete(c.control, k)
+				expired = append(expired, op)
+				continue
+			}
+			c.conn.Write(op.frame)
+		}
+		c.mu.Unlock()
+		for _, op := range expired {
+			if op.sess != nil {
+				// The server will never see this seq again, so its
+				// in-order gate would hold back every later op: the
+				// session is unusable from here on.
+				op.sess.broken.Store(true)
+				op.sess.completed(op.seq)
+			}
+			op.fail(ErrTimeout)
+		}
+	}
+}
+
+// send registers op and transmits its frame once (retryLoop takes over).
+// The closed check happens under the same lock Close snapshots the maps
+// with, so an op either lands in the snapshot (and is failed by Close) or
+// observes closed here — it cannot be registered and then orphaned.
+func (c *Client) send(key pendingKey, ctrl bool, op *pendingOp) {
+	c.mu.Lock()
+	if c.closed.Load() {
+		c.mu.Unlock()
+		if op.sess != nil {
+			op.sess.completed(op.seq)
+		}
+		op.fail(ErrClosed)
+		return
+	}
+	if ctrl {
+		c.control[key.seq] = op
+	} else {
+		c.pending[key] = op
+	}
+	c.mu.Unlock()
+	c.conn.Write(op.frame)
+}
+
+// controlRound runs one synchronous control op (ping/open/close).
+func (c *Client) controlRound(opCode uint8, sess uint32, timeout time.Duration) (uint32, error) {
+	c.mu.Lock()
+	c.ctrlSeq++
+	seq := c.ctrlSeq
+	c.mu.Unlock()
+	req := proto.ClientRequest{Op: opCode, Sess: sess, Seq: seq}
+	frame, err := req.AppendMarshal(nil)
+	if err != nil {
+		return 0, err
+	}
+	type ctrlRes struct {
+		sess uint32
+		err  error
+	}
+	done := make(chan ctrlRes, 1)
+	c.send(pendingKey{seq: seq}, true, &pendingOp{
+		frame:    frame,
+		deadline: time.Now().Add(timeout),
+		ctrlCB: func(rep *proto.ClientReply, err error) {
+			var id uint32
+			if rep != nil {
+				id = rep.Sess
+			}
+			done <- ctrlRes{sess: id, err: err}
+		},
+	})
+	r := <-done
+	return r.sess, r.err
+}
+
+// NewSession leases a session on the server's node. Sessions are a finite
+// node resource; Close them when done (crashed clients are reclaimed by the
+// server's lease timeout).
+func (c *Client) NewSession() (*Session, error) {
+	id, err := c.controlRound(proto.ClientOpOpen, 0, c.opts.OpTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		c:       c,
+		id:      id,
+		window:  make(chan struct{}, c.opts.MaxInflight),
+		doneSet: make(map[uint64]struct{}),
+	}, nil
+}
+
+// Session is an external client's ordered stream of operations, backed by
+// one worker-owned session on the server's node. Synchronous methods must
+// not be interleaved from multiple goroutines; asynchronous submissions are
+// serialised internally and complete in submission order server-side.
+type Session struct {
+	c  *Client
+	id uint32
+
+	mu       sync.Mutex
+	seq      uint64              // last assigned data seq
+	frontier uint64              // every seq <= frontier has completed (acked to server)
+	doneSet  map[uint64]struct{} // completed seqs above the frontier
+	window   chan struct{}       // inflight slots (backpressure)
+
+	closed atomic.Bool
+	// broken is set when a data op times out: its seq will never reach
+	// the server, so the server-side in-order gate blocks all later seqs.
+	broken atomic.Bool
+}
+
+// ID reports the server-assigned session id (diagnostics).
+func (s *Session) ID() uint32 { return s.id }
+
+// Close releases the session lease (best effort — a lost datagram just
+// means the lease expires on its own).
+func (s *Session) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	_, err := s.c.controlRound(proto.ClientOpClose, s.id, s.c.opts.RetryInterval*4)
+	if errors.Is(err, ErrTimeout) {
+		err = nil
+	}
+	return err
+}
+
+// completed records a finished seq and advances the ack frontier.
+func (s *Session) completed(seq uint64) {
+	s.mu.Lock()
+	s.doneSet[seq] = struct{}{}
+	for {
+		if _, ok := s.doneSet[s.frontier+1]; !ok {
+			break
+		}
+		delete(s.doneSet, s.frontier+1)
+		s.frontier++
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.window:
+	default:
+	}
+}
+
+// submit assigns the next seq, builds the frame and hands it to the client.
+// It blocks while the session's inflight window is full.
+func (s *Session) submit(req proto.ClientRequest, cb func(Result)) {
+	if s.closed.Load() || s.c.closed.Load() {
+		if cb != nil {
+			cb(Result{Err: ErrClosed})
+		}
+		return
+	}
+	if s.broken.Load() {
+		if cb != nil {
+			cb(Result{Err: ErrSessionBroken})
+		}
+		return
+	}
+	// Reject oversized payloads before a seq is consumed: a seq that is
+	// assigned but never transmitted would wedge the server's in-order
+	// submission for the rest of the session.
+	if len(req.Value) > MaxValueLen || len(req.Expected) > MaxValueLen {
+		if cb != nil {
+			cb(Result{Err: ErrValueTooLong})
+		}
+		return
+	}
+	s.window <- struct{}{} // acquire an inflight slot
+	s.mu.Lock()
+	s.seq++
+	req.Sess = s.id
+	req.Seq = s.seq
+	req.Acked = s.frontier + 1
+	s.mu.Unlock()
+	frame, _ := req.AppendMarshal(nil) // cannot fail: payload sizes checked above
+	s.c.send(pendingKey{sess: s.id, seq: req.Seq}, false, &pendingOp{
+		frame:    frame,
+		deadline: time.Now().Add(s.c.opts.OpTimeout),
+		cb:       cb,
+		sess:     s,
+		seq:      req.Seq,
+	})
+}
+
+func (s *Session) runSync(req proto.ClientRequest) (Result, error) {
+	done := make(chan Result, 1)
+	s.submit(req, func(r Result) { done <- r })
+	r := <-done
+	return r, r.Err
+}
+
+// Read performs a relaxed read. The returned slice is owned by the caller.
+func (s *Session) Read(key uint64) ([]byte, error) {
+	r, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpRead, Key: key})
+	return r.Value, err
+}
+
+// Write performs a relaxed write.
+func (s *Session) Write(key uint64, val []byte) error {
+	_, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpWrite, Key: key, Value: val})
+	return err
+}
+
+// ReleaseWrite performs a release: it takes effect only after all prior
+// writes of this session are visible (one-way barrier).
+func (s *Session) ReleaseWrite(key uint64, val []byte) error {
+	_, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpRelease, Key: key, Value: val})
+	return err
+}
+
+// AcquireRead performs an acquire: accesses after it are ordered after it
+// (one-way barrier). Releases/acquires are linearizable.
+func (s *Session) AcquireRead(key uint64) ([]byte, error) {
+	r, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpAcquire, Key: key})
+	return r.Value, err
+}
+
+// FAA atomically adds delta to the counter at key, returning the previous
+// value. Counters are 8-byte little-endian; absent keys count as zero.
+func (s *Session) FAA(key uint64, delta uint64) (old uint64, err error) {
+	r, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpFAA, Key: key, Delta: delta})
+	return core.DecodeUint64(r.Value), err
+}
+
+// CompareAndSwap atomically replaces the value at key with newVal iff the
+// current value equals expected, returning success and the previous value.
+// The weak variant may complete locally on the node when the comparison
+// fails — cheaper under contention, but a weak failure does not carry
+// acquire semantics.
+func (s *Session) CompareAndSwap(key uint64, expected, newVal []byte, weak bool) (swapped bool, old []byte, err error) {
+	op := proto.ClientOpCASStrong
+	if weak {
+		op = proto.ClientOpCASWeak
+	}
+	r, err := s.runSync(proto.ClientRequest{Op: op, Key: key, Expected: expected, Value: newVal})
+	return r.Swapped, r.Value, err
+}
+
+// ReadAsync issues a relaxed read; cb receives the value. Callbacks run on
+// the client's receive goroutine and must not block.
+func (s *Session) ReadAsync(key uint64, cb func(Result)) {
+	s.submit(proto.ClientRequest{Op: proto.ClientOpRead, Key: key}, cb)
+}
+
+// WriteAsync issues a relaxed write; cb (optional) fires on completion.
+// The value is copied into the wire frame before WriteAsync returns, so
+// the caller may reuse its slice immediately.
+func (s *Session) WriteAsync(key uint64, val []byte, cb func(Result)) {
+	s.submit(proto.ClientRequest{Op: proto.ClientOpWrite, Key: key, Value: val}, cb)
+}
+
+// ReleaseWriteAsync issues a release write.
+func (s *Session) ReleaseWriteAsync(key uint64, val []byte, cb func(Result)) {
+	s.submit(proto.ClientRequest{Op: proto.ClientOpRelease, Key: key, Value: val}, cb)
+}
+
+// AcquireReadAsync issues an acquire read.
+func (s *Session) AcquireReadAsync(key uint64, cb func(Result)) {
+	s.submit(proto.ClientRequest{Op: proto.ClientOpAcquire, Key: key}, cb)
+}
+
+// FAAAsync issues a fetch-and-add.
+func (s *Session) FAAAsync(key uint64, delta uint64, cb func(Result)) {
+	s.submit(proto.ClientRequest{Op: proto.ClientOpFAA, Key: key, Delta: delta}, cb)
+}
+
+// CompareAndSwapAsync issues a CAS.
+func (s *Session) CompareAndSwapAsync(key uint64, expected, newVal []byte, weak bool, cb func(Result)) {
+	op := proto.ClientOpCASStrong
+	if weak {
+		op = proto.ClientOpCASWeak
+	}
+	s.submit(proto.ClientRequest{Op: op, Key: key, Expected: expected, Value: newVal}, cb)
+}
+
+// EncodeUint64 encodes a counter value in Kite's FAA/CAS convention
+// (8-byte little-endian).
+func EncodeUint64(x uint64) []byte { return core.EncodeUint64(x) }
+
+// DecodeUint64 decodes a counter value; short or absent values read as zero.
+func DecodeUint64(v []byte) uint64 { return core.DecodeUint64(v) }

@@ -1,0 +1,149 @@
+// Command kite-cli runs interactive operations against a Kite deployment
+// through one node's session server (kite-node -client-addr).
+//
+// One-shot:
+//
+//	kite-cli -addr 127.0.0.1:9000 write 42 hello
+//	kite-cli -addr 127.0.0.1:9000 read 42
+//
+// Interactive (REPL on stdin):
+//
+//	kite-cli -addr 127.0.0.1:9000
+//	> write 1 hello
+//	ok
+//	> release 2 ready
+//	ok
+//	> acquire 2
+//	"ready"
+//	> faa 3 5
+//	old=0
+//	> cas 1 hello world
+//	swapped=true old="hello"
+//
+// Commands: read k · write k v · release k v · acquire k · faa k d ·
+// cas k expected new · casw k expected new (weak) · help · quit.
+// Keys are uint64, values are byte strings (<= 64 bytes).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"kite/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9000", "session server address (kite-node -client-addr)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-operation timeout")
+	)
+	flag.Parse()
+
+	c, err := client.Dial(*addr, client.Options{OpTimeout: *timeout})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kite-cli: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	s, err := c.NewSession()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kite-cli: open session: %v\n", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		// One-shot command from the command line.
+		if out, err := run(s, args); err != nil {
+			fmt.Fprintf(os.Stderr, "kite-cli: %v\n", err)
+			os.Exit(1)
+		} else {
+			fmt.Println(out)
+		}
+		return
+	}
+
+	fmt.Printf("connected to %s (session %d); 'help' lists commands\n", *addr, s.ID())
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			return
+		}
+		args := strings.Fields(in.Text())
+		if len(args) == 0 {
+			continue
+		}
+		if args[0] == "quit" || args[0] == "exit" {
+			return
+		}
+		out, err := run(s, args)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		fmt.Println(out)
+	}
+}
+
+const usage = `commands:
+  read k              relaxed read
+  write k v           relaxed write
+  release k v         release write (one-way barrier)
+  acquire k           acquire read (one-way barrier)
+  faa k d             fetch-and-add d, prints the old counter
+  cas k expected new  strong compare-and-swap
+  casw k expected new weak compare-and-swap (may fail locally)
+  help                this text
+  quit                exit`
+
+// run executes one parsed command against the session.
+func run(s *client.Session, args []string) (string, error) {
+	cmd := args[0]
+	if cmd == "help" {
+		return usage, nil
+	}
+	need := map[string]int{
+		"read": 2, "write": 3, "release": 3, "acquire": 2,
+		"faa": 3, "cas": 4, "casw": 4,
+	}
+	n, ok := need[cmd]
+	if !ok {
+		return "", fmt.Errorf("unknown command %q ('help' lists commands)", cmd)
+	}
+	if len(args) != n {
+		return "", fmt.Errorf("%s takes %d arguments ('help' lists commands)", cmd, n-1)
+	}
+	key, err := strconv.ParseUint(args[1], 0, 64)
+	if err != nil {
+		return "", fmt.Errorf("bad key %q: %v", args[1], err)
+	}
+	switch cmd {
+	case "read":
+		v, err := s.Read(key)
+		return fmt.Sprintf("%q", v), err
+	case "write":
+		return "ok", s.Write(key, []byte(args[2]))
+	case "release":
+		return "ok", s.ReleaseWrite(key, []byte(args[2]))
+	case "acquire":
+		v, err := s.AcquireRead(key)
+		return fmt.Sprintf("%q", v), err
+	case "faa":
+		d, err := strconv.ParseUint(args[2], 0, 64)
+		if err != nil {
+			return "", fmt.Errorf("bad delta %q: %v", args[2], err)
+		}
+		old, err := s.FAA(key, d)
+		return fmt.Sprintf("old=%d", old), err
+	case "cas", "casw":
+		swapped, old, err := s.CompareAndSwap(key, []byte(args[2]), []byte(args[3]), cmd == "casw")
+		return fmt.Sprintf("swapped=%v old=%q", swapped, old), err
+	}
+	return "", fmt.Errorf("unknown command %q", cmd)
+}

@@ -4,16 +4,20 @@
 // transport, which has exactly the RDMA-UD delivery contract the paper
 // assumes: no reliability, protocol-level retries).
 //
-// A 3-replica local deployment:
+// A 3-replica local deployment serving external clients:
 //
-//	kite-node -id 0 -nodes 3 -base 7000 &
-//	kite-node -id 1 -nodes 3 -base 7000 &
-//	kite-node -id 2 -nodes 3 -base 7000 -demo
+//	kite-node -id 0 -nodes 3 -base 7000 -client-addr :9000 &
+//	kite-node -id 1 -nodes 3 -base 7000 -client-addr :9001 &
+//	kite-node -id 2 -nodes 3 -base 7000 -client-addr :9002 &
+//	kite-cli -addr 127.0.0.1:9000
 //
-// Every replica binds workers*1 UDP ports starting at base+id*workers.
-// With -demo, the node runs a small producer-consumer self-test through its
-// local sessions once the deployment is up; otherwise it serves until
-// interrupted.
+// Every replica binds workers*1 UDP ports starting at base+id*workers for
+// replica-to-replica traffic. With -client-addr, the replica additionally
+// runs a session server on that UDP address: external processes connect
+// with the kite/client package (or cmd/kite-cli) and lease the node's
+// sessions to run operations remotely. With -demo, the node instead runs a
+// small producer-consumer self-test through its local sessions once the
+// deployment is up; otherwise it serves until interrupted.
 package main
 
 import (
@@ -25,19 +29,28 @@ import (
 	"time"
 
 	"kite/internal/core"
+	"kite/internal/server"
 	"kite/internal/transport"
 )
 
 func main() {
 	var (
-		id      = flag.Int("id", 0, "this replica's id (0..nodes-1)")
-		nodes   = flag.Int("nodes", 3, "replication degree")
-		workers = flag.Int("workers", 2, "workers per node (same on all nodes)")
-		base    = flag.Int("base", 7000, "base UDP port; node i binds base+i*workers...")
-		host    = flag.String("host", "127.0.0.1", "bind/peer host")
-		demo    = flag.Bool("demo", false, "run a producer-consumer self-test then exit")
+		id         = flag.Int("id", 0, "this replica's id (0..nodes-1)")
+		nodes      = flag.Int("nodes", 3, "replication degree")
+		workers    = flag.Int("workers", 2, "workers per node (same on all nodes)")
+		base       = flag.Int("base", 7000, "base UDP port; node i binds base+i*workers...")
+		host       = flag.String("host", "127.0.0.1", "bind/peer host")
+		clientAddr = flag.String("client-addr", "", "UDP address for the client session server (empty: no external clients)")
+		clientMax  = flag.Int("client-sessions", 0, "max sessions leased to external clients (0: all)")
+		demo       = flag.Bool("demo", false, "run a producer-consumer self-test then exit")
 	)
 	flag.Parse()
+	if *demo && *clientAddr != "" {
+		// The demo drives the node's own sessions directly; leasing the
+		// same sessions to external clients would break the one-submitter-
+		// per-session contract.
+		log.Fatal("kite-node: -demo and -client-addr are mutually exclusive")
+	}
 
 	listen := make([]string, *workers)
 	for w := 0; w < *workers; w++ {
@@ -76,6 +89,15 @@ func main() {
 	nd.Start()
 	defer nd.Stop()
 	log.Printf("kite-node %d/%d up: %v", *id, *nodes, listen)
+
+	if *clientAddr != "" {
+		srv, err := server.New(nd, server.Config{Addr: *clientAddr, MaxSessions: *clientMax})
+		if err != nil {
+			log.Fatalf("kite-node: session server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("kite-node %d: serving clients on %s", *id, srv.Addr())
+	}
 
 	if *demo {
 		runDemo(nd, *id)

@@ -1,0 +1,3 @@
+module kite
+
+go 1.24

@@ -49,6 +49,9 @@ func TestMixAllRelaxed(t *testing.T) {
 }
 
 func TestRunKiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests run miniature load studies; skipped with -short")
+	}
 	res, err := RunKite(KiteOpts{
 		Config: core.Config{Nodes: 3, Workers: 2, SessionsPerWorker: 2, KVSCapacity: 1 << 10},
 		Mix:    Mix{WriteRatio: 0.2, SyncFrac: 0.1},
@@ -64,6 +67,9 @@ func TestRunKiteSmoke(t *testing.T) {
 }
 
 func TestRunFailureStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests run miniature load studies; skipped with -short")
+	}
 	out, err := RunFailureStudy(FailureOpts{
 		Config: core.Config{Nodes: 3, Workers: 2, SessionsPerWorker: 2, KVSCapacity: 1 << 10},
 		Mix:    Mix{WriteRatio: 0.05, SyncFrac: 0.05},

@@ -1,0 +1,208 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Client-facing wire frames. External processes talk to a node's session
+// server (kite/internal/server) over UDP using these two frames — the same
+// lossy, datagram-per-message contract as the replica-to-replica protocol,
+// so the client library provides its own retransmissions and the server
+// deduplicates by (session id, request id).
+//
+// Wire format (little endian), one frame per datagram, mirroring the compact
+// fixed header + inline value layout of Message:
+//
+//	request: op(1) flags(1) elen(1) vlen(1) sess(4) seq(8) acked(8) key(8) delta(8)
+//	         expected(elen) value(vlen)
+//	reply:   status(1) flags(1) vlen(1) pad(1) sess(4) seq(8)
+//	         value(vlen)
+
+// Client operation codes. Data ops 0-6 deliberately share core.OpCode's
+// numbering (read, write, release, acquire, faa, cas-weak, cas-strong) so
+// the server maps them with a cast; codes >= ClientOpOpen are control ops
+// handled by the session server itself.
+const (
+	ClientOpRead uint8 = iota
+	ClientOpWrite
+	ClientOpRelease
+	ClientOpAcquire
+	ClientOpFAA
+	ClientOpCASWeak
+	ClientOpCASStrong
+
+	// ClientOpOpen leases a node session; the reply's Sess is the new
+	// session id. Seq echoes the request for the client's retry matching.
+	ClientOpOpen uint8 = 0x10
+	// ClientOpClose releases a leased session back to the node's pool.
+	ClientOpClose uint8 = 0x11
+	// ClientOpPing checks liveness (used by Dial to fail fast when no
+	// server is listening).
+	ClientOpPing uint8 = 0x12
+)
+
+var clientOpNames = map[uint8]string{
+	ClientOpRead: "read", ClientOpWrite: "write", ClientOpRelease: "release",
+	ClientOpAcquire: "acquire", ClientOpFAA: "faa", ClientOpCASWeak: "cas-weak",
+	ClientOpCASStrong: "cas-strong", ClientOpOpen: "open", ClientOpClose: "close",
+	ClientOpPing: "ping",
+}
+
+// ClientOpName names a client op code for diagnostics.
+func ClientOpName(op uint8) string {
+	if n, ok := clientOpNames[op]; ok {
+		return n
+	}
+	return "op?"
+}
+
+// ClientDataOp reports whether op is a data operation executed on a leased
+// session (as opposed to a control op handled by the server).
+func ClientDataOp(op uint8) bool { return op <= ClientOpCASStrong }
+
+// Reply status codes.
+const (
+	// ClientOK marks a successful reply.
+	ClientOK uint8 = iota
+	// ClientErrStopped: the node stopped before the op completed.
+	ClientErrStopped
+	// ClientErrNoSession: the session id is unknown or its lease expired.
+	ClientErrNoSession
+	// ClientErrNoCapacity: the node has no free session to lease.
+	ClientErrNoCapacity
+	// ClientErrBadRequest: the frame was malformed (oversized value, bad op).
+	ClientErrBadRequest
+)
+
+// Client reply flag bits.
+const (
+	// ClientFlagSwapped on a CAS reply reports that the swap happened.
+	ClientFlagSwapped uint8 = 1 << iota
+	// ClientFlagControl marks the reply to a control op (ping/open/close).
+	// Control replies are matched by Seq alone — an open reply carries the
+	// newly leased id in Sess, which the requester cannot key on.
+	ClientFlagControl
+)
+
+// ClientRequest is one operation sent by an external client to a node's
+// session server.
+type ClientRequest struct {
+	Op    uint8
+	Flags uint8
+	// Sess is the server-assigned session id (0 for control ops).
+	Sess uint32
+	// Seq is the client-assigned request id, strictly sequential from 1
+	// per session: the server submits data ops in Seq order (holding back
+	// datagrams the network reordered) and dedupes retransmissions.
+	Seq uint64
+	// Acked tells the server every reply with Seq < Acked has been
+	// received, letting it prune its retransmit cache.
+	Acked uint64
+	Key   uint64
+	// Delta is the FAA addend.
+	Delta uint64
+	// Expected is the CAS comparand.
+	Expected []byte
+	// Value is the write/release value or CAS new value.
+	Value []byte
+}
+
+const clientReqHeaderLen = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 8
+
+// AppendMarshal appends the wire encoding of r to dst.
+func (r *ClientRequest) AppendMarshal(dst []byte) ([]byte, error) {
+	if len(r.Expected) > MaxValueLen || len(r.Value) > MaxValueLen {
+		return dst, ErrValueTooLong
+	}
+	dst = append(dst, r.Op, r.Flags, byte(len(r.Expected)), byte(len(r.Value)))
+	dst = binary.LittleEndian.AppendUint32(dst, r.Sess)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Acked)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Delta)
+	dst = append(dst, r.Expected...)
+	dst = append(dst, r.Value...)
+	return dst, nil
+}
+
+// Unmarshal decodes one request from b. Expected and Value alias b.
+func (r *ClientRequest) Unmarshal(b []byte) error {
+	if len(b) < clientReqHeaderLen {
+		return ErrShortBuffer
+	}
+	elen, vlen := int(b[2]), int(b[3])
+	if elen > MaxValueLen || vlen > MaxValueLen {
+		return ErrValueTooLong
+	}
+	if len(b) < clientReqHeaderLen+elen+vlen {
+		return ErrShortBuffer
+	}
+	r.Op = b[0]
+	r.Flags = b[1]
+	r.Sess = binary.LittleEndian.Uint32(b[4:])
+	r.Seq = binary.LittleEndian.Uint64(b[8:])
+	r.Acked = binary.LittleEndian.Uint64(b[16:])
+	r.Key = binary.LittleEndian.Uint64(b[24:])
+	r.Delta = binary.LittleEndian.Uint64(b[32:])
+	r.Expected, r.Value = nil, nil
+	if elen > 0 {
+		r.Expected = b[clientReqHeaderLen : clientReqHeaderLen+elen]
+	}
+	if vlen > 0 {
+		r.Value = b[clientReqHeaderLen+elen : clientReqHeaderLen+elen+vlen]
+	}
+	if !ClientDataOp(r.Op) && r.Op != ClientOpOpen && r.Op != ClientOpClose && r.Op != ClientOpPing {
+		return fmt.Errorf("proto: bad client op %d", r.Op)
+	}
+	return nil
+}
+
+// ClientReply is the session server's response to one ClientRequest,
+// matched by (Sess, Seq).
+type ClientReply struct {
+	Status uint8
+	Flags  uint8
+	Sess   uint32
+	Seq    uint64
+	// Value is the result value: the value read, or the previous value for
+	// FAA/CAS. For ClientOpOpen it is empty and Sess carries the new id.
+	Value []byte
+}
+
+const clientRepHeaderLen = 1 + 1 + 1 + 1 + 4 + 8
+
+// AppendMarshal appends the wire encoding of p to dst.
+func (p *ClientReply) AppendMarshal(dst []byte) ([]byte, error) {
+	if len(p.Value) > MaxValueLen {
+		return dst, ErrValueTooLong
+	}
+	dst = append(dst, p.Status, p.Flags, byte(len(p.Value)), 0)
+	dst = binary.LittleEndian.AppendUint32(dst, p.Sess)
+	dst = binary.LittleEndian.AppendUint64(dst, p.Seq)
+	dst = append(dst, p.Value...)
+	return dst, nil
+}
+
+// Unmarshal decodes one reply from b. Value aliases b.
+func (p *ClientReply) Unmarshal(b []byte) error {
+	if len(b) < clientRepHeaderLen {
+		return ErrShortBuffer
+	}
+	vlen := int(b[2])
+	if vlen > MaxValueLen {
+		return ErrValueTooLong
+	}
+	if len(b) < clientRepHeaderLen+vlen {
+		return ErrShortBuffer
+	}
+	p.Status = b[0]
+	p.Flags = b[1]
+	p.Sess = binary.LittleEndian.Uint32(b[4:])
+	p.Seq = binary.LittleEndian.Uint64(b[8:])
+	p.Value = nil
+	if vlen > 0 {
+		p.Value = b[clientRepHeaderLen : clientRepHeaderLen+vlen]
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClientRequestRoundTrip(t *testing.T) {
+	in := ClientRequest{
+		Op: ClientOpCASStrong, Sess: 0xdeadbeef, Seq: 42, Acked: 40,
+		Key: 0x1122334455667788, Delta: 7,
+		Expected: []byte("old-value"), Value: []byte("new-value"),
+	}
+	buf, err := in.AppendMarshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ClientRequest
+	if err := out.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.Sess != in.Sess || out.Seq != in.Seq ||
+		out.Acked != in.Acked || out.Key != in.Key || out.Delta != in.Delta {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if !bytes.Equal(out.Expected, in.Expected) || !bytes.Equal(out.Value, in.Value) {
+		t.Fatalf("payload mismatch: %q/%q", out.Expected, out.Value)
+	}
+}
+
+func TestClientRequestEmptyPayloads(t *testing.T) {
+	in := ClientRequest{Op: ClientOpRead, Sess: 1, Seq: 1, Key: 9}
+	buf, err := in.AppendMarshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != clientReqHeaderLen {
+		t.Fatalf("empty request is %d bytes, want %d", len(buf), clientReqHeaderLen)
+	}
+	var out ClientRequest
+	if err := out.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Expected != nil || out.Value != nil {
+		t.Fatalf("expected nil payloads, got %q/%q", out.Expected, out.Value)
+	}
+}
+
+func TestClientRequestErrors(t *testing.T) {
+	big := make([]byte, MaxValueLen+1)
+	if _, err := (&ClientRequest{Op: ClientOpWrite, Value: big}).AppendMarshal(nil); err != ErrValueTooLong {
+		t.Fatalf("oversize value: %v", err)
+	}
+	var r ClientRequest
+	if err := r.Unmarshal(make([]byte, clientReqHeaderLen-1)); err != ErrShortBuffer {
+		t.Fatalf("short buffer: %v", err)
+	}
+	// Truncated payload: header promises a value the buffer lacks.
+	buf, _ := (&ClientRequest{Op: ClientOpWrite, Value: []byte("xyz")}).AppendMarshal(nil)
+	if err := r.Unmarshal(buf[:len(buf)-1]); err != ErrShortBuffer {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	// Bad op code.
+	buf2, _ := (&ClientRequest{Op: 0x7f}).AppendMarshal(nil)
+	if err := r.Unmarshal(buf2); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+func TestClientReplyRoundTrip(t *testing.T) {
+	in := ClientReply{
+		Status: ClientOK, Flags: ClientFlagSwapped,
+		Sess: 77, Seq: 123456789, Value: []byte("previous"),
+	}
+	buf, err := in.AppendMarshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ClientReply
+	if err := out.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != in.Status || out.Flags != in.Flags || out.Sess != in.Sess || out.Seq != in.Seq {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if !bytes.Equal(out.Value, in.Value) {
+		t.Fatalf("value mismatch: %q", out.Value)
+	}
+}
+
+func TestClientReplyErrors(t *testing.T) {
+	big := make([]byte, MaxValueLen+1)
+	if _, err := (&ClientReply{Value: big}).AppendMarshal(nil); err != ErrValueTooLong {
+		t.Fatalf("oversize value: %v", err)
+	}
+	var p ClientReply
+	if err := p.Unmarshal([]byte{1, 2}); err != ErrShortBuffer {
+		t.Fatalf("short buffer: %v", err)
+	}
+}
+
+func TestClientOpNames(t *testing.T) {
+	if ClientOpName(ClientOpRelease) != "release" || ClientOpName(ClientOpPing) != "ping" {
+		t.Fatal("op names")
+	}
+	if ClientOpName(0x7f) != "op?" {
+		t.Fatal("unknown op name")
+	}
+	if !ClientDataOp(ClientOpCASStrong) || ClientDataOp(ClientOpOpen) {
+		t.Fatal("ClientDataOp classification")
+	}
+}

@@ -1,0 +1,439 @@
+// Package server exposes a Kite node to external processes: it listens on a
+// per-node UDP address, leases the node's worker-owned sessions to remote
+// clients, and bridges their operations onto the asynchronous Submit/Done
+// path of kite/internal/core.
+//
+// The client link has the same contract as the replica-to-replica transport:
+// unreliable datagrams, one frame per packet. Reliability lives at the
+// edges — the client library (package kite/client) retransmits requests, and
+// the server keeps a per-session cache of completed replies so a
+// retransmitted request is answered from the cache instead of re-executed
+// (exactly-once per (session, seq)). Because datagrams can also reorder, the
+// server submits a session's data ops strictly in client sequence order,
+// holding back frames that arrive early.
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite/internal/core"
+	"kite/internal/proto"
+)
+
+// Config parameterises a session server.
+type Config struct {
+	// Addr is the UDP address to listen on (host:port; host:0 picks a
+	// port, see Server.Addr).
+	Addr string
+	// MaxSessions bounds concurrently leased sessions. 0 means every
+	// session of the node may be leased.
+	MaxSessions int
+	// LeaseTimeout expires a leased session after this much client
+	// silence, returning it to the pool. 0 means DefaultLeaseTimeout.
+	LeaseTimeout time.Duration
+	// ReplyDepth bounds the reply queue; overflow drops replies (clients
+	// retry). 0 means DefaultReplyDepth.
+	ReplyDepth int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultLeaseTimeout = time.Minute
+	DefaultReplyDepth   = 4096
+)
+
+// maxHeldOut bounds how many reordered (future-seq) requests a session
+// buffers; beyond that early frames are dropped and the client retries.
+const maxHeldOut = 256
+
+// Stats counts server-level events.
+type Stats struct {
+	Requests       atomic.Uint64 // well-formed frames received
+	Retransmits    atomic.Uint64 // duplicate requests answered from cache
+	Held           atomic.Uint64 // reordered requests buffered for in-order submit
+	Replies        atomic.Uint64 // replies sent
+	DroppedReplies atomic.Uint64 // replies dropped on queue overflow
+	Expired        atomic.Uint64 // sessions reclaimed by lease timeout
+}
+
+// Server is one node's client-facing session server.
+type Server struct {
+	nd   *core.Node
+	cfg  Config
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	sessions map[uint32]*clientSession
+	free     []*core.Session
+	nextID   uint32
+	// opens dedupes retransmitted Open requests — leasing once per
+	// (client addr, seq) instead of leaking one lease per lost reply.
+	opens map[openKey]openEntry
+
+	replyCh chan outReply
+	stats   Stats
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	stopJan chan struct{}
+}
+
+type outReply struct {
+	addr *net.UDPAddr
+	rep  proto.ClientReply
+}
+
+type openKey struct {
+	addr string
+	seq  uint64
+}
+
+type openEntry struct {
+	rep  proto.ClientReply
+	when time.Time
+}
+
+// clientSession is one leased node session plus the bridging state that
+// makes the lossy client link exactly-once and in-order.
+type clientSession struct {
+	id uint32
+	cs *core.Session
+
+	mu         sync.Mutex
+	addr       *net.UDPAddr // latest client address; replies go here
+	nextSeq    uint64       // next data-op seq to submit to the core session
+	heldOut    map[uint64]heldReq
+	inflight   map[uint64]struct{}
+	done       map[uint64]proto.ClientReply // completed replies kept for retransmits
+	lastActive time.Time
+}
+
+type heldReq struct {
+	op       uint8
+	key      uint64
+	delta    uint64
+	expected []byte
+	value    []byte
+}
+
+// New binds the UDP socket and starts the server's goroutines. The node may
+// be started before or after New, but must be started for ops to complete.
+func New(nd *core.Node, cfg Config) (*Server, error) {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if cfg.ReplyDepth <= 0 {
+		cfg.ReplyDepth = DefaultReplyDepth
+	}
+	la, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: resolve %s: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		nd:       nd,
+		cfg:      cfg,
+		conn:     conn,
+		sessions: make(map[uint32]*clientSession),
+		opens:    make(map[openKey]openEntry),
+		replyCh:  make(chan outReply, cfg.ReplyDepth),
+		stopJan:  make(chan struct{}),
+	}
+	max := nd.Sessions()
+	if cfg.MaxSessions > 0 && cfg.MaxSessions < max {
+		max = cfg.MaxSessions
+	}
+	for i := 0; i < max; i++ {
+		s.free = append(s.free, nd.Session(i))
+	}
+	s.wg.Add(3)
+	go s.recvLoop()
+	go s.sendLoop()
+	go s.janitor()
+	return s, nil
+}
+
+// Addr reports the bound UDP address (useful with :0 binds).
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Stats exposes the server counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Close stops the server. Leased node sessions simply stop receiving
+// traffic; the node itself is not stopped.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.stopJan)
+	s.conn.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) recvLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		var req proto.ClientRequest
+		if err := req.Unmarshal(buf[:n]); err != nil {
+			continue // corrupt datagram: drop, like a bad checksum
+		}
+		s.stats.Requests.Add(1)
+		s.handle(&req, raddr)
+	}
+}
+
+// sendLoop drains the reply queue. replyCh is never closed — core-worker
+// Done callbacks may call reply() at any time, even during Close — so the
+// loop exits on the stop signal instead.
+func (s *Server) sendLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 0, 256)
+	for {
+		select {
+		case <-s.stopJan:
+			return
+		case out := <-s.replyCh:
+			b, err := out.rep.AppendMarshal(buf[:0])
+			if err != nil {
+				continue
+			}
+			if _, err := s.conn.WriteToUDP(b, out.addr); err == nil {
+				s.stats.Replies.Add(1)
+			}
+		}
+	}
+}
+
+// reply queues a reply datagram; full queue drops it (the client retries).
+func (s *Server) reply(addr *net.UDPAddr, rep proto.ClientReply) {
+	if s.closed.Load() {
+		return
+	}
+	select {
+	case s.replyCh <- outReply{addr: addr, rep: rep}:
+	default:
+		s.stats.DroppedReplies.Add(1)
+	}
+}
+
+func (s *Server) handle(req *proto.ClientRequest, raddr *net.UDPAddr) {
+	switch req.Op {
+	case proto.ClientOpPing:
+		s.reply(raddr, proto.ClientReply{
+			Status: proto.ClientOK, Flags: proto.ClientFlagControl, Seq: req.Seq,
+		})
+	case proto.ClientOpOpen:
+		s.handleOpen(req, raddr)
+	case proto.ClientOpClose:
+		s.release(req.Sess)
+		s.reply(raddr, proto.ClientReply{
+			Status: proto.ClientOK, Flags: proto.ClientFlagControl,
+			Sess: req.Sess, Seq: req.Seq,
+		})
+	default:
+		s.handleData(req, raddr)
+	}
+}
+
+func (s *Server) handleOpen(req *proto.ClientRequest, raddr *net.UDPAddr) {
+	key := openKey{addr: raddr.String(), seq: req.Seq}
+	s.mu.Lock()
+	if e, ok := s.opens[key]; ok {
+		s.mu.Unlock()
+		s.stats.Retransmits.Add(1)
+		s.reply(raddr, e.rep)
+		return
+	}
+	if len(s.free) == 0 {
+		s.mu.Unlock()
+		s.reply(raddr, proto.ClientReply{
+			Status: proto.ClientErrNoCapacity, Flags: proto.ClientFlagControl, Seq: req.Seq,
+		})
+		return
+	}
+	cs := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.nextID++ // ids start at 1 and are never reused, so stale frames miss
+	sess := &clientSession{
+		id: s.nextID, cs: cs, addr: raddr, nextSeq: 1,
+		heldOut:    make(map[uint64]heldReq),
+		inflight:   make(map[uint64]struct{}),
+		done:       make(map[uint64]proto.ClientReply),
+		lastActive: time.Now(),
+	}
+	s.sessions[sess.id] = sess
+	rep := proto.ClientReply{
+		Status: proto.ClientOK, Flags: proto.ClientFlagControl, Sess: sess.id, Seq: req.Seq,
+	}
+	s.opens[key] = openEntry{rep: rep, when: time.Now()}
+	s.mu.Unlock()
+	s.reply(raddr, rep)
+}
+
+// release returns a leased session to the pool. The underlying core session
+// may still be draining ops; that is safe — session order guarantees the
+// next lessee's ops queue behind them.
+func (s *Server) release(id uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return
+	}
+	delete(s.sessions, id)
+	s.free = append(s.free, sess.cs)
+}
+
+func (s *Server) lookup(id uint32) *clientSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) handleData(req *proto.ClientRequest, raddr *net.UDPAddr) {
+	sess := s.lookup(req.Sess)
+	if sess == nil {
+		s.reply(raddr, proto.ClientReply{
+			Status: proto.ClientErrNoSession, Sess: req.Sess, Seq: req.Seq,
+		})
+		return
+	}
+
+	sess.mu.Lock()
+	sess.addr = raddr
+	sess.lastActive = time.Now()
+	// The client has every reply below Acked; drop them from the cache.
+	for seq := range sess.done {
+		if seq < req.Acked {
+			delete(sess.done, seq)
+		}
+	}
+	if rep, ok := sess.done[req.Seq]; ok {
+		// Retransmitted request whose reply may have been lost: answer
+		// from the cache without re-executing.
+		sess.mu.Unlock()
+		s.stats.Retransmits.Add(1)
+		s.reply(raddr, rep)
+		return
+	}
+	if _, ok := sess.inflight[req.Seq]; ok || req.Seq < sess.nextSeq {
+		// Already executing (reply will come), or completed and acked
+		// (a straggler duplicate): ignore.
+		sess.mu.Unlock()
+		return
+	}
+	if req.Seq > sess.nextSeq {
+		// Reordered arrival: buffer until the gap fills. Payloads alias
+		// the recv buffer, so copy them out.
+		if len(sess.heldOut) < maxHeldOut {
+			sess.heldOut[req.Seq] = heldReq{
+				op: req.Op, key: req.Key, delta: req.Delta,
+				expected: bytes.Clone(req.Expected), value: bytes.Clone(req.Value),
+			}
+			s.stats.Held.Add(1)
+		}
+		sess.mu.Unlock()
+		return
+	}
+	// req.Seq == nextSeq: submit it, then drain any buffered successors.
+	submits := []heldReq{{
+		op: req.Op, key: req.Key, delta: req.Delta,
+		expected: bytes.Clone(req.Expected), value: bytes.Clone(req.Value),
+	}}
+	seqs := []uint64{req.Seq}
+	sess.inflight[req.Seq] = struct{}{}
+	sess.nextSeq++
+	for {
+		h, ok := sess.heldOut[sess.nextSeq]
+		if !ok {
+			break
+		}
+		delete(sess.heldOut, sess.nextSeq)
+		sess.inflight[sess.nextSeq] = struct{}{}
+		submits = append(submits, h)
+		seqs = append(seqs, sess.nextSeq)
+		sess.nextSeq++
+	}
+	sess.mu.Unlock()
+
+	for i, h := range submits {
+		s.submit(sess, seqs[i], h)
+	}
+}
+
+// submit bridges one data op onto the core session. Submit may block when
+// the worker's admission queue is full — that stalls the recv loop and lets
+// excess client datagrams drop at the socket, which is exactly the
+// backpressure story of the rest of the system.
+func (s *Server) submit(sess *clientSession, seq uint64, h heldReq) {
+	r := &core.Request{
+		Code: core.OpCode(h.op), Key: h.key, Delta: h.delta,
+		Expected: h.expected, Val: h.value,
+	}
+	r.Done = func(r *core.Request) {
+		rep := proto.ClientReply{Status: proto.ClientOK, Sess: sess.id, Seq: seq}
+		if r.Err != nil {
+			rep.Status = proto.ClientErrStopped
+		} else {
+			rep.Value = bytes.Clone(r.Out)
+			if r.Swapped {
+				rep.Flags |= proto.ClientFlagSwapped
+			}
+		}
+		sess.mu.Lock()
+		delete(sess.inflight, seq)
+		sess.done[seq] = rep
+		addr := sess.addr
+		sess.mu.Unlock()
+		s.reply(addr, rep)
+	}
+	sess.cs.Submit(r)
+}
+
+// janitor expires sessions whose client went silent, returning them to the
+// pool so crashed clients do not leak the node's fixed session set.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.LeaseTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopJan:
+			return
+		case now := <-tick.C:
+			var expired []uint32
+			s.mu.Lock()
+			for id, sess := range s.sessions {
+				sess.mu.Lock()
+				idle := now.Sub(sess.lastActive)
+				sess.mu.Unlock()
+				if idle > s.cfg.LeaseTimeout {
+					expired = append(expired, id)
+				}
+			}
+			for key, e := range s.opens {
+				if now.Sub(e.when) > s.cfg.LeaseTimeout {
+					delete(s.opens, key)
+				}
+			}
+			s.mu.Unlock()
+			for _, id := range expired {
+				s.release(id)
+				s.stats.Expired.Add(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"kite/internal/core"
+	"kite/internal/proto"
+	"kite/internal/transport"
+)
+
+// startNode runs a single-replica deployment (quorum 1: every op completes
+// against the local store) with a session server, returning both plus a
+// cleanup.
+func startNode(t *testing.T, cfg Config) (*core.Node, *Server) {
+	t.Helper()
+	tr := transport.NewInProc(1, 1, 0)
+	nd, err := core.NewNode(0, core.Config{
+		Nodes: 1, Workers: 1, SessionsPerWorker: 4, KVSCapacity: 1 << 10,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.Start()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	srv, err := New(nd, cfg)
+	if err != nil {
+		nd.Stop()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		nd.Stop()
+		tr.Close()
+	})
+	return nd, srv
+}
+
+// rawClient is a frame-level test client: no retries, no demux — it sends
+// exactly the datagrams the test specifies and reads raw replies.
+type rawClient struct {
+	t       *testing.T
+	conn    *net.UDPConn
+	ctrlSeq uint64
+}
+
+func dialRaw(t *testing.T, addr string) *rawClient {
+	t.Helper()
+	ra, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawClient{t: t, conn: conn}
+}
+
+func (rc *rawClient) send(req proto.ClientRequest) {
+	rc.t.Helper()
+	frame, err := req.AppendMarshal(nil)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	if _, err := rc.conn.Write(frame); err != nil {
+		rc.t.Fatal(err)
+	}
+}
+
+func (rc *rawClient) recv() proto.ClientReply {
+	rc.t.Helper()
+	buf := make([]byte, 2048)
+	rc.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := rc.conn.Read(buf)
+	if err != nil {
+		rc.t.Fatalf("no reply: %v", err)
+	}
+	var rep proto.ClientReply
+	if err := rep.Unmarshal(buf[:n]); err != nil {
+		rc.t.Fatal(err)
+	}
+	rep.Value = append([]byte(nil), rep.Value...)
+	return rep
+}
+
+// open leases a session. Each open uses a fresh control seq — the server
+// dedupes retransmitted opens by (addr, seq).
+func (rc *rawClient) open() uint32 {
+	rc.t.Helper()
+	rc.ctrlSeq++
+	rc.send(proto.ClientRequest{Op: proto.ClientOpOpen, Seq: rc.ctrlSeq})
+	rep := rc.recv()
+	if rep.Status != proto.ClientOK || rep.Sess == 0 {
+		rc.t.Fatalf("open: %+v", rep)
+	}
+	return rep.Sess
+}
+
+func TestServerPingOpenRoundTrip(t *testing.T) {
+	_, srv := startNode(t, Config{})
+	rc := dialRaw(t, srv.Addr())
+
+	rc.send(proto.ClientRequest{Op: proto.ClientOpPing, Seq: 7})
+	rep := rc.recv()
+	if rep.Status != proto.ClientOK || rep.Seq != 7 || rep.Flags&proto.ClientFlagControl == 0 {
+		t.Fatalf("ping reply: %+v", rep)
+	}
+
+	sess := rc.open()
+	// Write then read back through the leased session.
+	rc.send(proto.ClientRequest{Op: proto.ClientOpWrite, Sess: sess, Seq: 1, Key: 5, Value: []byte("v")})
+	if rep := rc.recv(); rep.Status != proto.ClientOK || rep.Seq != 1 {
+		t.Fatalf("write reply: %+v", rep)
+	}
+	rc.send(proto.ClientRequest{Op: proto.ClientOpRead, Sess: sess, Seq: 2, Key: 5})
+	if rep := rc.recv(); rep.Status != proto.ClientOK || string(rep.Value) != "v" {
+		t.Fatalf("read reply: %+v", rep)
+	}
+}
+
+func TestServerDedupesRetransmits(t *testing.T) {
+	_, srv := startNode(t, Config{})
+	rc := dialRaw(t, srv.Addr())
+	sess := rc.open()
+
+	// The same FAA sent three times must execute once: every reply reports
+	// the same old value, and the counter advances by one delta only.
+	for i := 0; i < 3; i++ {
+		rc.send(proto.ClientRequest{Op: proto.ClientOpFAA, Sess: sess, Seq: 1, Key: 9, Delta: 10})
+		rep := rc.recv()
+		if rep.Status != proto.ClientOK || core.DecodeUint64(rep.Value) != 0 {
+			t.Fatalf("faa retransmit %d: %+v", i, rep)
+		}
+	}
+	if got := srv.Stats().Retransmits.Load(); got != 2 {
+		t.Fatalf("Retransmits = %d, want 2", got)
+	}
+	rc.send(proto.ClientRequest{Op: proto.ClientOpFAA, Sess: sess, Seq: 2, Key: 9, Delta: 0})
+	if rep := rc.recv(); core.DecodeUint64(rep.Value) != 10 {
+		t.Fatalf("counter advanced more than once: %d", core.DecodeUint64(rep.Value))
+	}
+}
+
+func TestServerReordersToSequence(t *testing.T) {
+	_, srv := startNode(t, Config{})
+	rc := dialRaw(t, srv.Addr())
+	sess := rc.open()
+
+	// Seq 2 arrives before seq 1: the server must hold it and execute
+	// 1 then 2 — the FAA old values prove the order.
+	rc.send(proto.ClientRequest{Op: proto.ClientOpFAA, Sess: sess, Seq: 2, Key: 3, Delta: 100})
+	time.Sleep(50 * time.Millisecond) // let it land (and be held)
+	rc.send(proto.ClientRequest{Op: proto.ClientOpFAA, Sess: sess, Seq: 1, Key: 3, Delta: 1})
+
+	got := map[uint64]uint64{} // seq -> old value
+	for i := 0; i < 2; i++ {
+		rep := rc.recv()
+		if rep.Status != proto.ClientOK {
+			t.Fatalf("reply: %+v", rep)
+		}
+		got[rep.Seq] = core.DecodeUint64(rep.Value)
+	}
+	if got[1] != 0 || got[2] != 1 {
+		t.Fatalf("execution order wrong: olds=%v (want seq1->0, seq2->1)", got)
+	}
+	if srv.Stats().Held.Load() == 0 {
+		t.Fatal("reordered request was not held")
+	}
+}
+
+func TestServerSessionErrors(t *testing.T) {
+	_, srv := startNode(t, Config{MaxSessions: 2})
+	rc := dialRaw(t, srv.Addr())
+
+	// Unknown session.
+	rc.send(proto.ClientRequest{Op: proto.ClientOpRead, Sess: 999, Seq: 1, Key: 1})
+	if rep := rc.recv(); rep.Status != proto.ClientErrNoSession {
+		t.Fatalf("unknown session: %+v", rep)
+	}
+
+	// Capacity: two leases succeed, the third is refused, close frees one.
+	s1 := rc.open()
+	s2 := rc.open()
+	rc.send(proto.ClientRequest{Op: proto.ClientOpOpen, Seq: 100})
+	if rep := rc.recv(); rep.Status != proto.ClientErrNoCapacity {
+		t.Fatalf("over-capacity open: %+v", rep)
+	}
+	// A retransmitted open must not lease again: same (addr, seq) answers
+	// from the open cache with the same id.
+	rc.send(proto.ClientRequest{Op: proto.ClientOpOpen, Seq: rc.ctrlSeq})
+	if rep := rc.recv(); rep.Status != proto.ClientOK || rep.Sess != s2 {
+		t.Fatalf("retransmitted open: %+v, want sess %d", rep, s2)
+	}
+	rc.send(proto.ClientRequest{Op: proto.ClientOpClose, Sess: s1, Seq: 101})
+	if rep := rc.recv(); rep.Status != proto.ClientOK {
+		t.Fatalf("close: %+v", rep)
+	}
+	s3 := rc.open()
+	if s3 == s1 {
+		t.Fatal("session id reused")
+	}
+	// The closed lease is gone.
+	rc.send(proto.ClientRequest{Op: proto.ClientOpRead, Sess: s1, Seq: 1, Key: 1})
+	if rep := rc.recv(); rep.Status != proto.ClientErrNoSession {
+		t.Fatalf("closed session still live: %+v", rep)
+	}
+}
+
+func TestServerLeaseExpiry(t *testing.T) {
+	_, srv := startNode(t, Config{LeaseTimeout: 100 * time.Millisecond})
+	rc := dialRaw(t, srv.Addr())
+	sess := rc.open()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Expired.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rc.send(proto.ClientRequest{Op: proto.ClientOpRead, Sess: sess, Seq: 1, Key: 1})
+	if rep := rc.recv(); rep.Status != proto.ClientErrNoSession {
+		t.Fatalf("expired session still live: %+v", rep)
+	}
+}
+
+func TestServerStoppedNode(t *testing.T) {
+	nd, srv := startNode(t, Config{})
+	rc := dialRaw(t, srv.Addr())
+	sess := rc.open()
+	nd.Stop()
+
+	rc.send(proto.ClientRequest{Op: proto.ClientOpWrite, Sess: sess, Seq: 1, Key: 1, Value: []byte("x")})
+	if rep := rc.recv(); rep.Status != proto.ClientErrStopped {
+		t.Fatalf("op on stopped node: %+v", rep)
+	}
+}
+
+func TestServerAckPrunesCache(t *testing.T) {
+	_, srv := startNode(t, Config{})
+	rc := dialRaw(t, srv.Addr())
+	sess := rc.open()
+
+	rc.send(proto.ClientRequest{Op: proto.ClientOpWrite, Sess: sess, Seq: 1, Key: 1, Value: []byte("a")})
+	rc.recv()
+	// Acked=2 tells the server seq 1's reply arrived; its cache entry must
+	// go, so a (buggy, never happens with the real client) retransmit of
+	// seq 1 is silently ignored rather than re-executed.
+	rc.send(proto.ClientRequest{Op: proto.ClientOpWrite, Sess: sess, Seq: 2, Acked: 2, Key: 1, Value: []byte("b")})
+	rc.recv()
+
+	cs := srv.lookup(sess)
+	cs.mu.Lock()
+	_, cached := cs.done[1]
+	cs.mu.Unlock()
+	if cached {
+		t.Fatal("acked reply still cached")
+	}
+	rc.send(proto.ClientRequest{Op: proto.ClientOpWrite, Sess: sess, Seq: 1, Key: 1, Value: []byte("a")})
+	rc.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 256)
+	if n, _ := rc.conn.Read(buf); n > 0 {
+		t.Fatal("stale acked retransmit was answered")
+	}
+}
