@@ -6,7 +6,6 @@ import (
 
 	"kite"
 	"kite/internal/bench"
-	"kite/internal/core"
 	"kite/internal/derecho"
 	"kite/internal/zab"
 )
@@ -21,8 +20,8 @@ const (
 	benchWarmup  = 80 * time.Millisecond
 )
 
-func benchConfig() core.Config {
-	return core.Config{Nodes: 5, Workers: 4, SessionsPerWorker: 4, KVSCapacity: 1 << 16}
+func benchConfig() kite.Options {
+	return kite.Options{Nodes: 5, Workers: 4, SessionsPerWorker: 4, Capacity: 1 << 16}
 }
 
 func runKiteBench(b *testing.B, mix bench.Mix) {
@@ -30,7 +29,7 @@ func runKiteBench(b *testing.B, mix bench.Mix) {
 	var last bench.Result
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunKite(bench.KiteOpts{
-			Config: benchConfig(), Mix: mix, Keys: 1 << 16,
+			Options: benchConfig(), Mix: mix, Keys: 1 << 16,
 			Warmup: benchWarmup, Measure: benchMeasure,
 		})
 		if err != nil {
@@ -145,7 +144,7 @@ func BenchmarkFig9_FailureStudy(b *testing.B) {
 	var last bench.FailureOutcome
 	for i := 0; i < b.N; i++ {
 		out, err := bench.RunFailureStudy(bench.FailureOpts{
-			Config:   benchConfig(),
+			Options:  benchConfig(),
 			Mix:      bench.Mix{WriteRatio: 0.05, SyncFrac: 0.05},
 			Keys:     1 << 16,
 			SleepFor: 200 * time.Millisecond, Total: 500 * time.Millisecond,
@@ -170,7 +169,7 @@ func BenchmarkAblationFastPathOff(b *testing.B) {
 		cfg := benchConfig()
 		cfg.DisableFastPath = true
 		res, err := bench.RunKite(bench.KiteOpts{
-			Config: cfg, Mix: bench.Mix{WriteRatio: 0.05, SyncFrac: 0.05},
+			Options: cfg, Mix: bench.Mix{WriteRatio: 0.05, SyncFrac: 0.05},
 			Keys: 1 << 16, Warmup: benchWarmup, Measure: benchMeasure,
 		})
 		if err != nil {

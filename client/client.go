@@ -1,21 +1,31 @@
 // Package client connects external processes to a Kite deployment. Dial one
 // node's session server (started by kite-node -client-addr, or
-// kite/internal/server in-process) and open sessions that mirror the
-// top-level kite.Session API: Read/Write, ReleaseWrite/AcquireRead, FAA and
-// CompareAndSwap, in synchronous and asynchronous flavours.
+// kite/internal/server in-process) and open sessions implementing the
+// unified kite.Session interface: Do/DoAsync/DoBatch over kite.Op values,
+// plus the convenience methods (Read/Write, ReleaseWrite/AcquireRead, FAA,
+// CompareAndSwap). Code written against kite.Session runs unchanged over
+// this backend and the in-process cluster.
 //
 // The link to the server is UDP with the same delivery contract as Kite's
 // replica-to-replica transport: datagrams may be lost, duplicated or
 // reordered. The client retransmits unacknowledged requests every
 // RetryInterval until OpTimeout; the server executes each (session, seq)
 // exactly once and answers retransmissions from a reply cache, so retried
-// writes and RMWs are safe. A session is a single logical thread of
-// control: its synchronous methods must not be called concurrently, and its
-// operations take effect in submission order regardless of datagram
-// reordering.
+// writes and RMWs are safe. DoBatch pipelines many operations into a single
+// request datagram — one round trip for a whole batch of relaxed accesses —
+// while replies stay per-op so one lost reply costs one retransmission.
+//
+// A session is a single logical thread of control: its synchronous methods
+// must not be called concurrently, and its operations take effect in
+// submission order regardless of datagram reordering. Contexts cancel the
+// wait for an operation, not the operation itself: a canceled op keeps
+// retransmitting in the background until it is acknowledged or times out,
+// which keeps the session's in-order stream intact (only a full OpTimeout
+// expiry breaks the session).
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -24,18 +34,30 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kite"
 	"kite/internal/core"
 	"kite/internal/proto"
 )
 
-// Errors returned by client operations.
+// Errors returned by client operations. The operation-level taxonomy
+// (ErrStopped, ErrValueTooLong, ErrCanceled, ErrSessionClosed) is shared
+// with the in-process backend — test with errors.Is against the kite
+// package sentinels.
 var (
 	// ErrTimeout: no reply within Options.OpTimeout (server down, network
 	// partition, or the deployment lost its quorum).
 	ErrTimeout = errors.New("kite/client: operation timed out")
 	// ErrStopped: the node stopped before completing the op. Identical to
 	// the error the in-process API surfaces (kite.ErrStopped).
-	ErrStopped = core.ErrStopped
+	ErrStopped = kite.ErrStopped
+	// ErrValueTooLong: a value or CAS comparand exceeds MaxValueLen.
+	// Identical to kite.ErrValueTooLong.
+	ErrValueTooLong = kite.ErrValueTooLong
+	// ErrCanceled: the op's context expired. Identical to kite.ErrCanceled.
+	ErrCanceled = kite.ErrCanceled
+	// ErrSessionClosed: the session handle was closed by this client.
+	// Identical to kite.ErrSessionClosed.
+	ErrSessionClosed = kite.ErrSessionClosed
 	// ErrSessionExpired: the server no longer knows this session (lease
 	// expired after client silence, or the server restarted).
 	ErrSessionExpired = errors.New("kite/client: session expired on server")
@@ -47,22 +69,26 @@ var (
 	ErrNoCapacity = errors.New("kite/client: node has no free sessions")
 	// ErrClosed: the Client was closed.
 	ErrClosed = errors.New("kite/client: client closed")
-	// ErrValueTooLong: a value or CAS comparand exceeds MaxValueLen.
-	ErrValueTooLong = proto.ErrValueTooLong
 )
 
 // MaxValueLen is the largest value Kite stores.
 const MaxValueLen = proto.MaxValueLen
 
+// Result is the outcome of an operation — the same type every backend
+// uses.
+type Result = kite.Result
+
 // Options configure a Client. Zero values select defaults.
 type Options struct {
 	// DialTimeout bounds Dial's liveness probe (default 3s).
 	DialTimeout time.Duration
-	// OpTimeout bounds every operation, retries included (default 10s).
+	// OpTimeout bounds every operation's retransmission effort (default
+	// 10s). It is the hard lifetime of a request on the wire; per-call
+	// deadlines shorter than this come from the operation's context.
 	OpTimeout time.Duration
 	// RetryInterval is the retransmission period (default 50ms).
 	RetryInterval time.Duration
-	// MaxInflight caps outstanding operations per session; async submits
+	// MaxInflight caps outstanding operations per session; submissions
 	// block once the window is full (default 64).
 	MaxInflight int
 }
@@ -83,29 +109,28 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result is the outcome of an asynchronous operation, mirroring
-// kite.Result.
-type Result struct {
-	// Value is the operation's result value (read/acquire: the value read;
-	// FAA/CAS: the previous value). Owned by the callback receiver.
-	Value []byte
-	// Swapped reports CAS success.
-	Swapped bool
-	// Err is non-nil when the op failed (ErrTimeout, ErrStopped,
-	// ErrSessionExpired, ErrClosed).
-	Err error
-}
-
 type pendingKey struct {
 	sess uint32
 	seq  uint64
 }
 
+// batchGroup is the shared retransmission state of the ops of one batch
+// frame: the frame is resent once per retry pass, not once per op.
+type batchGroup struct {
+	frame []byte
+	pass  uint64 // last retry pass that resent the frame
+}
+
 // pendingOp is one unacknowledged request: its encoded datagram for
 // retransmission, the completion callback, and the give-up deadline.
-// Exactly one of cb (data ops) and ctrlCB (control ops) is set.
+// Exactly one of cb (data ops) and ctrlCB (control ops) is set. cb is
+// mutated only under Client.mu while the op is registered; it is cleared
+// when the waiter detaches (context expiry) so the result is delivered at
+// most once.
 type pendingOp struct {
 	frame    []byte
+	batch    *batchGroup // nil for individually framed ops
+	ctx      context.Context
 	deadline time.Time
 	cb       func(Result)
 	ctrlCB   func(rep *proto.ClientReply, err error)
@@ -123,6 +148,7 @@ type Client struct {
 	pending map[pendingKey]*pendingOp // data ops: key {sess, seq}
 	control map[uint64]*pendingOp     // control ops: key seq
 	ctrlSeq uint64
+	pass    uint64 // retry pass counter (batch resend dedup)
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -198,6 +224,21 @@ func (op *pendingOp) fail(err error) {
 	}
 }
 
+// detach clears a registered op's callback (the waiter gave up on its
+// context). The op keeps retransmitting until acknowledged or expired so
+// the server's in-order stream sees its seq — detaching never breaks the
+// session. Reports whether the op was still registered.
+func (c *Client) detach(key pendingKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	op, ok := c.pending[key]
+	if !ok {
+		return false
+	}
+	op.cb = nil
+	return true
+}
+
 // recvLoop demultiplexes replies to pending operations.
 func (c *Client) recvLoop() {
 	defer c.wg.Done()
@@ -268,8 +309,10 @@ func (c *Client) complete(op *pendingOp, rep *proto.ClientReply) {
 	op.cb(res)
 }
 
-// retryLoop retransmits unacknowledged requests and expires ops past their
-// deadline — the reliability layer over the lossy datagram link.
+// retryLoop retransmits unacknowledged requests, expires ops past their
+// deadline, and sweeps context-canceled ops — the reliability layer over
+// the lossy datagram link, and the place per-op cancellation is observed
+// for waiters that are not blocked in Do.
 func (c *Client) retryLoop() {
 	defer c.wg.Done()
 	tick := time.NewTicker(c.opts.RetryInterval)
@@ -280,11 +323,31 @@ func (c *Client) retryLoop() {
 		}
 		now := time.Now()
 		var expired []*pendingOp
+		var canceled []func()
 		c.mu.Lock()
+		c.pass++
 		for k, op := range c.pending {
 			if now.After(op.deadline) {
 				delete(c.pending, k)
 				expired = append(expired, op)
+				continue
+			}
+			if op.ctx != nil && op.ctx.Err() != nil && op.cb != nil {
+				// Context expired: release the waiter now, but keep the
+				// op on the wire until it is acknowledged — its seq must
+				// reach the server or the session breaks.
+				cb, cause := op.cb, op.ctx.Err()
+				op.cb = nil
+				canceled = append(canceled, func() {
+					cb(Result{Err: kite.CanceledErr(cause)})
+				})
+			}
+			if op.batch != nil {
+				if op.batch.pass == c.pass {
+					continue // frame already resent this pass
+				}
+				op.batch.pass = c.pass
+				c.conn.Write(op.batch.frame)
 				continue
 			}
 			c.conn.Write(op.frame)
@@ -298,6 +361,9 @@ func (c *Client) retryLoop() {
 			c.conn.Write(op.frame)
 		}
 		c.mu.Unlock()
+		for _, deliver := range canceled {
+			deliver()
+		}
 		for _, op := range expired {
 			if op.sess != nil {
 				// The server will never see this seq again, so its
@@ -311,27 +377,33 @@ func (c *Client) retryLoop() {
 	}
 }
 
-// send registers op and transmits its frame once (retryLoop takes over).
-// The closed check happens under the same lock Close snapshots the maps
-// with, so an op either lands in the snapshot (and is failed by Close) or
-// observes closed here — it cannot be registered and then orphaned.
-func (c *Client) send(key pendingKey, ctrl bool, op *pendingOp) {
+// register installs op (or a batch of ops) and transmits the frame once
+// (retryLoop takes over). The closed check happens under the same lock
+// Close snapshots the maps with, so an op either lands in the snapshot
+// (and is failed by Close) or observes closed here — it cannot be
+// registered and then orphaned.
+func (c *Client) register(frame []byte, ops []*pendingOp, keys []pendingKey) bool {
 	c.mu.Lock()
 	if c.closed.Load() {
 		c.mu.Unlock()
-		if op.sess != nil {
-			op.sess.completed(op.seq)
+		for _, op := range ops {
+			if op.sess != nil {
+				op.sess.completed(op.seq)
+			}
+			op.fail(ErrClosed)
 		}
-		op.fail(ErrClosed)
-		return
+		return false
 	}
-	if ctrl {
-		c.control[key.seq] = op
-	} else {
-		c.pending[key] = op
+	for i, op := range ops {
+		if op.ctrlCB != nil {
+			c.control[keys[i].seq] = op
+		} else {
+			c.pending[keys[i]] = op
+		}
 	}
 	c.mu.Unlock()
-	c.conn.Write(op.frame)
+	c.conn.Write(frame)
+	return true
 }
 
 // controlRound runs one synchronous control op (ping/open/close).
@@ -350,7 +422,7 @@ func (c *Client) controlRound(opCode uint8, sess uint32, timeout time.Duration) 
 		err  error
 	}
 	done := make(chan ctrlRes, 1)
-	c.send(pendingKey{seq: seq}, true, &pendingOp{
+	op := &pendingOp{
 		frame:    frame,
 		deadline: time.Now().Add(timeout),
 		ctrlCB: func(rep *proto.ClientReply, err error) {
@@ -360,32 +432,37 @@ func (c *Client) controlRound(opCode uint8, sess uint32, timeout time.Duration) 
 			}
 			done <- ctrlRes{sess: id, err: err}
 		},
-	})
+	}
+	c.register(frame, []*pendingOp{op}, []pendingKey{{seq: seq}})
 	r := <-done
 	return r.sess, r.err
 }
 
 // NewSession leases a session on the server's node. Sessions are a finite
 // node resource; Close them when done (crashed clients are reclaimed by the
-// server's lease timeout).
+// server's lease timeout). The returned session implements kite.Session.
 func (c *Client) NewSession() (*Session, error) {
 	id, err := c.controlRound(proto.ClientOpOpen, 0, c.opts.OpTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		c:       c,
 		id:      id,
 		window:  make(chan struct{}, c.opts.MaxInflight),
 		doneSet: make(map[uint64]struct{}),
-	}, nil
+	}
+	s.Ops = kite.Ops{Doer: s}
+	return s, nil
 }
 
 // Session is an external client's ordered stream of operations, backed by
-// one worker-owned session on the server's node. Synchronous methods must
-// not be interleaved from multiple goroutines; asynchronous submissions are
-// serialised internally and complete in submission order server-side.
+// one worker-owned session on the server's node. It implements
+// kite.Session. Synchronous methods must not be interleaved from multiple
+// goroutines; asynchronous submissions are serialised internally and
+// complete in submission order server-side.
 type Session struct {
+	kite.Ops
 	c  *Client
 	id uint32
 
@@ -405,7 +482,8 @@ type Session struct {
 func (s *Session) ID() uint32 { return s.id }
 
 // Close releases the session lease (best effort — a lost datagram just
-// means the lease expires on its own).
+// means the lease expires on its own). Operations after Close fail with
+// kite.ErrSessionClosed.
 func (s *Session) Close() error {
 	if s.closed.Swap(true) {
 		return nil
@@ -435,31 +513,65 @@ func (s *Session) completed(seq uint64) {
 	}
 }
 
-// submit assigns the next seq, builds the frame and hands it to the client.
-// It blocks while the session's inflight window is full.
-func (s *Session) submit(req proto.ClientRequest, cb func(Result)) {
-	if s.closed.Load() || s.c.closed.Load() {
-		if cb != nil {
-			cb(Result{Err: ErrClosed})
-		}
-		return
+// submitErr reports the session-state error that should fail a submission
+// before it consumes a seq, or nil.
+func (s *Session) submitErr() error {
+	switch {
+	case s.closed.Load():
+		return ErrSessionClosed
+	case s.c.closed.Load():
+		return ErrClosed
+	case s.broken.Load():
+		return ErrSessionBroken
+	default:
+		return nil
 	}
-	if s.broken.Load() {
-		if cb != nil {
-			cb(Result{Err: ErrSessionBroken})
-		}
-		return
+}
+
+// validate rejects malformed ops before a seq is consumed: a seq that is
+// assigned but never transmitted would wedge the server's in-order
+// submission for the rest of the session. The rules (and errors) are the
+// shared ones every backend enforces.
+func validate(op kite.Op) error { return kite.ValidateOp(op) }
+
+// acquireSlot takes one inflight-window slot, giving up if ctx expires
+// first.
+func (s *Session) acquireSlot(ctx context.Context) error {
+	if ctx.Done() == nil {
+		s.window <- struct{}{}
+		return nil
 	}
-	// Reject oversized payloads before a seq is consumed: a seq that is
-	// assigned but never transmitted would wedge the server's in-order
-	// submission for the rest of the session.
-	if len(req.Value) > MaxValueLen || len(req.Expected) > MaxValueLen {
-		if cb != nil {
-			cb(Result{Err: ErrValueTooLong})
-		}
-		return
+	select {
+	case s.window <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return kite.CanceledErr(ctx.Err())
 	}
-	s.window <- struct{}{} // acquire an inflight slot
+}
+
+// submit assigns the next seq, builds the frame and registers it with the
+// client. It blocks while the session's inflight window is full. cb is
+// invoked exactly once (possibly synchronously, on submission failure).
+func (s *Session) submit(ctx context.Context, op kite.Op, cb func(Result)) (pendingKey, bool) {
+	fail := func(err error) (pendingKey, bool) {
+		if cb != nil {
+			cb(Result{Err: err})
+		}
+		return pendingKey{}, false
+	}
+	if err := s.submitErr(); err != nil {
+		return fail(err)
+	}
+	if err := validate(op); err != nil {
+		return fail(err)
+	}
+	if err := s.acquireSlot(ctx); err != nil {
+		return fail(err)
+	}
+	req := proto.ClientRequest{
+		Op: uint8(op.Code), Key: op.Key, Delta: op.Delta,
+		Expected: op.Expected, Value: op.Value,
+	}
 	s.mu.Lock()
 	s.seq++
 	req.Sess = s.id
@@ -467,104 +579,209 @@ func (s *Session) submit(req proto.ClientRequest, cb func(Result)) {
 	req.Acked = s.frontier + 1
 	s.mu.Unlock()
 	frame, _ := req.AppendMarshal(nil) // cannot fail: payload sizes checked above
-	s.c.send(pendingKey{sess: s.id, seq: req.Seq}, false, &pendingOp{
+	key := pendingKey{sess: s.id, seq: req.Seq}
+	ok := s.c.register(frame, []*pendingOp{{
 		frame:    frame,
+		ctx:      ctx,
 		deadline: time.Now().Add(s.c.opts.OpTimeout),
 		cb:       cb,
 		sess:     s,
 		seq:      req.Seq,
-	})
+	}}, []pendingKey{key})
+	return key, ok
 }
 
-func (s *Session) runSync(req proto.ClientRequest) (Result, error) {
+// Do executes op and blocks until it completes or ctx is done. On context
+// expiry Do returns an error matching kite.ErrCanceled and the context
+// cause; the request itself stays on the wire until acknowledged or until
+// OpTimeout, so the session survives cancellation.
+func (s *Session) Do(ctx context.Context, op kite.Op) (Result, error) {
 	done := make(chan Result, 1)
-	s.submit(req, func(r Result) { done <- r })
-	r := <-done
-	return r, r.Err
-}
-
-// Read performs a relaxed read. The returned slice is owned by the caller.
-func (s *Session) Read(key uint64) ([]byte, error) {
-	r, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpRead, Key: key})
-	return r.Value, err
-}
-
-// Write performs a relaxed write.
-func (s *Session) Write(key uint64, val []byte) error {
-	_, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpWrite, Key: key, Value: val})
-	return err
-}
-
-// ReleaseWrite performs a release: it takes effect only after all prior
-// writes of this session are visible (one-way barrier).
-func (s *Session) ReleaseWrite(key uint64, val []byte) error {
-	_, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpRelease, Key: key, Value: val})
-	return err
-}
-
-// AcquireRead performs an acquire: accesses after it are ordered after it
-// (one-way barrier). Releases/acquires are linearizable.
-func (s *Session) AcquireRead(key uint64) ([]byte, error) {
-	r, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpAcquire, Key: key})
-	return r.Value, err
-}
-
-// FAA atomically adds delta to the counter at key, returning the previous
-// value. Counters are 8-byte little-endian; absent keys count as zero.
-func (s *Session) FAA(key uint64, delta uint64) (old uint64, err error) {
-	r, err := s.runSync(proto.ClientRequest{Op: proto.ClientOpFAA, Key: key, Delta: delta})
-	return core.DecodeUint64(r.Value), err
-}
-
-// CompareAndSwap atomically replaces the value at key with newVal iff the
-// current value equals expected, returning success and the previous value.
-// The weak variant may complete locally on the node when the comparison
-// fails — cheaper under contention, but a weak failure does not carry
-// acquire semantics.
-func (s *Session) CompareAndSwap(key uint64, expected, newVal []byte, weak bool) (swapped bool, old []byte, err error) {
-	op := proto.ClientOpCASStrong
-	if weak {
-		op = proto.ClientOpCASWeak
+	key, registered := s.submit(ctx, op, func(r Result) { done <- r })
+	if !registered {
+		r := <-done
+		return r, r.Err
 	}
-	r, err := s.runSync(proto.ClientRequest{Op: op, Key: key, Expected: expected, Value: newVal})
-	return r.Swapped, r.Value, err
-}
-
-// ReadAsync issues a relaxed read; cb receives the value. Callbacks run on
-// the client's receive goroutine and must not block.
-func (s *Session) ReadAsync(key uint64, cb func(Result)) {
-	s.submit(proto.ClientRequest{Op: proto.ClientOpRead, Key: key}, cb)
-}
-
-// WriteAsync issues a relaxed write; cb (optional) fires on completion.
-// The value is copied into the wire frame before WriteAsync returns, so
-// the caller may reuse its slice immediately.
-func (s *Session) WriteAsync(key uint64, val []byte, cb func(Result)) {
-	s.submit(proto.ClientRequest{Op: proto.ClientOpWrite, Key: key, Value: val}, cb)
-}
-
-// ReleaseWriteAsync issues a release write.
-func (s *Session) ReleaseWriteAsync(key uint64, val []byte, cb func(Result)) {
-	s.submit(proto.ClientRequest{Op: proto.ClientOpRelease, Key: key, Value: val}, cb)
-}
-
-// AcquireReadAsync issues an acquire read.
-func (s *Session) AcquireReadAsync(key uint64, cb func(Result)) {
-	s.submit(proto.ClientRequest{Op: proto.ClientOpAcquire, Key: key}, cb)
-}
-
-// FAAAsync issues a fetch-and-add.
-func (s *Session) FAAAsync(key uint64, delta uint64, cb func(Result)) {
-	s.submit(proto.ClientRequest{Op: proto.ClientOpFAA, Key: key, Delta: delta}, cb)
-}
-
-// CompareAndSwapAsync issues a CAS.
-func (s *Session) CompareAndSwapAsync(key uint64, expected, newVal []byte, weak bool, cb func(Result)) {
-	op := proto.ClientOpCASStrong
-	if weak {
-		op = proto.ClientOpCASWeak
+	select {
+	case r := <-done:
+		return r, r.Err
+	case <-ctx.Done():
+		if !s.c.detach(key) {
+			// The reply raced the cancellation; prefer the real result if
+			// it has already been delivered.
+			select {
+			case r := <-done:
+				return r, r.Err
+			default:
+			}
+		}
+		err := kite.CanceledErr(ctx.Err())
+		return Result{Err: err}, err
 	}
-	s.submit(proto.ClientRequest{Op: op, Key: key, Expected: expected, Value: newVal}, cb)
+}
+
+// DoAsync submits op and returns; cb (optional) receives the result on the
+// client's receive goroutine and must not block. The op's slices are
+// encoded into the wire frame before DoAsync returns, so the caller may
+// reuse them immediately.
+func (s *Session) DoAsync(op kite.Op, cb func(Result)) {
+	s.submit(context.Background(), op, cb)
+}
+
+// DoBatch pipelines ops to the server in as few datagrams as possible
+// (many ops per frame, consecutive seqs) and waits for all results —
+// one round trip for a batch of relaxed accesses instead of one per op.
+// Results are index-aligned with ops; the batch occupies consecutive
+// positions in session order. If any op's payload is oversized the whole
+// batch is rejected up front with ErrValueTooLong and no op executes.
+func (s *Session) DoBatch(ctx context.Context, ops []kite.Op) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	// Validate everything before consuming any seq: batches are all-or-
+	// nothing at the submission boundary.
+	for _, op := range ops {
+		if err := validate(op); err != nil {
+			return nil, err
+		}
+	}
+	type idxRes struct {
+		i int
+		r Result
+	}
+	done := make(chan idxRes, len(ops))
+	results := make([]Result, len(ops))
+	got := make([]bool, len(ops))
+	keys := make([]pendingKey, 0, len(ops))
+
+	chunkMax := proto.MaxBatchOps
+	if chunkMax > s.c.opts.MaxInflight {
+		chunkMax = s.c.opts.MaxInflight
+	}
+
+	submitted := 0
+	for base := 0; base < len(ops); {
+		n, ks, err := s.submitChunk(ctx, ops, base, chunkMax, func(i int, r Result) {
+			done <- idxRes{i: i, r: r}
+		})
+		keys = append(keys, ks...)
+		submitted += n
+		base += n
+		if err != nil {
+			// Ops never submitted fail with the submission error; the
+			// already-submitted prefix is collected below.
+			for i := base; i < len(ops); i++ {
+				results[i], got[i] = Result{Err: err}, true
+			}
+			break
+		}
+	}
+
+	for n := 0; n < submitted; {
+		select {
+		case x := <-done:
+			results[x.i], got[x.i] = x.r, true
+			n++
+		case <-ctx.Done():
+			// Release the wait; the submitted ops stay on the wire (see
+			// Do). Drain completions that raced in, mark the rest.
+			for _, k := range keys {
+				s.c.detach(k)
+			}
+			for n < submitted {
+				select {
+				case x := <-done:
+					results[x.i], got[x.i] = x.r, true
+					n++
+					continue
+				default:
+				}
+				break
+			}
+			cerr := kite.CanceledErr(ctx.Err())
+			for i := range results {
+				if !got[i] {
+					results[i] = Result{Err: cerr}
+				}
+			}
+			return results, cerr
+		}
+	}
+	return results, firstBatchErr(results)
+}
+
+func firstBatchErr(results []Result) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
+
+// submitChunk packs ops[base:] into one batch frame — bounded by chunkMax
+// ops, the frame-size budget, and the inflight window — assigns their
+// seqs and registers them as one retransmission group. It returns how many
+// ops it submitted; cb receives (absolute index, result) per op.
+func (s *Session) submitChunk(ctx context.Context, ops []kite.Op, base, chunkMax int, cb func(int, Result)) (int, []pendingKey, error) {
+	if err := s.submitErr(); err != nil {
+		return 0, nil, err
+	}
+	// Pack by count and frame budget.
+	n, size := 0, proto.BatchOverhead
+	for base+n < len(ops) && n < chunkMax {
+		opLen := proto.BatchOp{Expected: ops[base+n].Expected, Value: ops[base+n].Value}.WireLen()
+		if n > 0 && size+opLen > proto.MaxClientFrameLen {
+			break
+		}
+		size += opLen
+		n++
+	}
+	// Acquire one window slot per op before assigning seqs.
+	for i := 0; i < n; i++ {
+		if err := s.acquireSlot(ctx); err != nil {
+			for j := 0; j < i; j++ { // return the slots we took
+				<-s.window
+			}
+			return 0, nil, err
+		}
+	}
+	b := proto.ClientBatch{Sess: s.id, Ops: make([]proto.BatchOp, n)}
+	for i := 0; i < n; i++ {
+		op := ops[base+i]
+		b.Ops[i] = proto.BatchOp{
+			Code: uint8(op.Code), Key: op.Key, Delta: op.Delta,
+			Expected: op.Expected, Value: op.Value,
+		}
+	}
+	s.mu.Lock()
+	b.Seq = s.seq + 1
+	s.seq += uint64(n)
+	b.Acked = s.frontier + 1
+	s.mu.Unlock()
+	frame, err := b.AppendMarshal(nil)
+	if err != nil { // cannot happen: ops validated by DoBatch
+		for j := 0; j < n; j++ {
+			<-s.window
+		}
+		return 0, nil, err
+	}
+	group := &batchGroup{frame: frame}
+	pend := make([]*pendingOp, n)
+	keys := make([]pendingKey, n)
+	deadline := time.Now().Add(s.c.opts.OpTimeout)
+	for i := 0; i < n; i++ {
+		idx := base + i
+		seq := b.Seq + uint64(i)
+		pend[i] = &pendingOp{
+			frame: frame, batch: group, ctx: ctx, deadline: deadline,
+			cb:   func(r Result) { cb(idx, r) },
+			sess: s, seq: seq,
+		}
+		keys[i] = pendingKey{sess: s.id, seq: seq}
+	}
+	s.c.register(frame, pend, keys)
+	return n, keys, nil
 }
 
 // EncodeUint64 encodes a counter value in Kite's FAA/CAS convention

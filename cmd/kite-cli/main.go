@@ -1,5 +1,7 @@
 // Command kite-cli runs interactive operations against a Kite deployment
-// through one node's session server (kite-node -client-addr).
+// through one node's session server (kite-node -client-addr). It drives the
+// unified kite.Session interface, so everything it can do works identically
+// against any Session backend.
 //
 // One-shot:
 //
@@ -19,14 +21,21 @@
 //	old=0
 //	> cas 1 hello world
 //	swapped=true old="hello"
+//	> batch write 10 a ; write 11 b ; read 10
+//	[0] ok
+//	[1] ok
+//	[2] "a"
 //
 // Commands: read k · write k v · release k v · acquire k · faa k d ·
-// cas k expected new · casw k expected new (weak) · help · quit.
-// Keys are uint64, values are byte strings (<= 64 bytes).
+// cas k expected new · casw k expected new (weak) · batch cmd ; cmd ; ... ·
+// help · quit. Keys are uint64, values are byte strings (<= 64 bytes).
+// batch pipelines its sub-commands to the server in as few datagrams as
+// possible — one round trip for the whole line.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,13 +43,14 @@ import (
 	"strings"
 	"time"
 
+	"kite"
 	"kite/client"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:9000", "session server address (kite-node -client-addr)")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-operation timeout")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-operation deadline")
 	)
 	flag.Parse()
 
@@ -59,7 +69,7 @@ func main() {
 
 	if args := flag.Args(); len(args) > 0 {
 		// One-shot command from the command line.
-		if out, err := run(s, args); err != nil {
+		if out, err := run(s, *timeout, args); err != nil {
 			fmt.Fprintf(os.Stderr, "kite-cli: %v\n", err)
 			os.Exit(1)
 		} else {
@@ -82,7 +92,7 @@ func main() {
 		if args[0] == "quit" || args[0] == "exit" {
 			return
 		}
-		out, err := run(s, args)
+		out, err := run(s, *timeout, args)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			continue
@@ -99,51 +109,126 @@ const usage = `commands:
   faa k d             fetch-and-add d, prints the old counter
   cas k expected new  strong compare-and-swap
   casw k expected new weak compare-and-swap (may fail locally)
+  batch c1 ; c2 ; ... pipeline data commands in one round trip (DoBatch)
   help                this text
   quit                exit`
 
-// run executes one parsed command against the session.
-func run(s *client.Session, args []string) (string, error) {
+// parseOp turns one parsed data command into an Op.
+func parseOp(args []string) (kite.Op, error) {
 	cmd := args[0]
-	if cmd == "help" {
-		return usage, nil
-	}
 	need := map[string]int{
 		"read": 2, "write": 3, "release": 3, "acquire": 2,
 		"faa": 3, "cas": 4, "casw": 4,
 	}
 	n, ok := need[cmd]
 	if !ok {
-		return "", fmt.Errorf("unknown command %q ('help' lists commands)", cmd)
+		return kite.Op{}, fmt.Errorf("unknown command %q ('help' lists commands)", cmd)
 	}
 	if len(args) != n {
-		return "", fmt.Errorf("%s takes %d arguments ('help' lists commands)", cmd, n-1)
+		return kite.Op{}, fmt.Errorf("%s takes %d arguments ('help' lists commands)", cmd, n-1)
 	}
 	key, err := strconv.ParseUint(args[1], 0, 64)
 	if err != nil {
-		return "", fmt.Errorf("bad key %q: %v", args[1], err)
+		return kite.Op{}, fmt.Errorf("bad key %q: %v", args[1], err)
 	}
 	switch cmd {
 	case "read":
-		v, err := s.Read(key)
-		return fmt.Sprintf("%q", v), err
+		return kite.ReadOp(key), nil
 	case "write":
-		return "ok", s.Write(key, []byte(args[2]))
+		return kite.WriteOp(key, []byte(args[2])), nil
 	case "release":
-		return "ok", s.ReleaseWrite(key, []byte(args[2]))
+		return kite.ReleaseOp(key, []byte(args[2])), nil
 	case "acquire":
-		v, err := s.AcquireRead(key)
-		return fmt.Sprintf("%q", v), err
+		return kite.AcquireOp(key), nil
 	case "faa":
 		d, err := strconv.ParseUint(args[2], 0, 64)
 		if err != nil {
-			return "", fmt.Errorf("bad delta %q: %v", args[2], err)
+			return kite.Op{}, fmt.Errorf("bad delta %q: %v", args[2], err)
 		}
-		old, err := s.FAA(key, d)
-		return fmt.Sprintf("old=%d", old), err
-	case "cas", "casw":
-		swapped, old, err := s.CompareAndSwap(key, []byte(args[2]), []byte(args[3]), cmd == "casw")
-		return fmt.Sprintf("swapped=%v old=%q", swapped, old), err
+		return kite.FAAOp(key, d), nil
+	default: // cas, casw
+		return kite.CASOp(key, []byte(args[2]), []byte(args[3]), cmd == "casw"), nil
 	}
-	return "", fmt.Errorf("unknown command %q", cmd)
+}
+
+// format renders one op's result.
+func format(op kite.Op, r kite.Result) string {
+	if r.Err != nil {
+		return fmt.Sprintf("error: %v", r.Err)
+	}
+	switch op.Code {
+	case kite.OpRead, kite.OpAcquire:
+		return fmt.Sprintf("%q", r.Value)
+	case kite.OpFAA:
+		return fmt.Sprintf("old=%d", r.Uint64())
+	case kite.OpCASWeak, kite.OpCASStrong:
+		return fmt.Sprintf("swapped=%v old=%q", r.Swapped, r.Value)
+	default:
+		return "ok"
+	}
+}
+
+// run executes one parsed command line against the session.
+func run(s kite.Session, timeout time.Duration, args []string) (string, error) {
+	if args[0] == "help" {
+		return usage, nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	if args[0] == "batch" {
+		var ops []kite.Op
+		for _, seg := range splitSegments(args[1:]) {
+			op, err := parseOp(seg)
+			if err != nil {
+				return "", err
+			}
+			ops = append(ops, op)
+		}
+		if len(ops) == 0 {
+			return "", fmt.Errorf("batch needs at least one command (batch c1 ; c2 ; ...)")
+		}
+		results, err := s.DoBatch(ctx, ops)
+		if results == nil {
+			return "", err
+		}
+		var b strings.Builder
+		for i, r := range results {
+			fmt.Fprintf(&b, "[%d] %s", i, format(ops[i], r))
+			if i < len(results)-1 {
+				b.WriteByte('\n')
+			}
+		}
+		return b.String(), nil
+	}
+
+	op, err := parseOp(args)
+	if err != nil {
+		return "", err
+	}
+	r, err := s.Do(ctx, op)
+	if err != nil {
+		return "", err
+	}
+	return format(op, r), nil
+}
+
+// splitSegments splits a batch command tail on ";" tokens.
+func splitSegments(args []string) [][]string {
+	var out [][]string
+	var cur []string
+	for _, a := range args {
+		if a == ";" {
+			if len(cur) > 0 {
+				out = append(out, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, a)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
 }

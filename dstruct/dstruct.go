@@ -14,12 +14,19 @@
 // semantics automatically, Table 1). ABA counters ride alongside every
 // pointer, as in the paper's port (§8.3).
 //
+// The structures are written against the unified kite.Session interface,
+// so the same code runs over an in-process kite.Cluster or a remote
+// deployment through kite/client. Bulk payload accesses go through
+// DoBatch — over the remote backend an object's fields travel in one
+// datagram instead of one round trip per field.
+//
 // Under contention the structures lean on Kite's weak CAS, which fails
 // locally when the comparison fails against the local replica's value —
 // the conflict-mitigation trick §8.3 describes.
 package dstruct
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -112,25 +119,31 @@ func fieldKey(nodeKey uint64, i int) uint64 { return nodeKey + 1 + uint64(i) }
 
 // writeFields writes an object's payload with relaxed writes — the cheap
 // accesses the RC API exists to keep cheap (the producer side of Figure 1).
-func writeFields(s *kite.Session, nodeKey uint64, fields [][]byte) error {
+// The writes go out as one batch: session order is preserved, and over the
+// remote backend the whole payload fits one request datagram.
+func writeFields(s kite.Session, nodeKey uint64, fields [][]byte) error {
+	ops := make([]kite.Op, len(fields))
 	for i, f := range fields {
-		if err := s.Write(fieldKey(nodeKey, i), f); err != nil {
-			return err
-		}
+		ops[i] = kite.WriteOp(fieldKey(nodeKey, i), f)
 	}
-	return nil
+	_, err := s.DoBatch(context.Background(), ops)
+	return err
 }
 
 // readFields reads an object's payload with relaxed reads; visibility is
 // guaranteed by the acquire semantics of the pointer load that led here.
-func readFields(s *kite.Session, nodeKey uint64, n int) ([][]byte, error) {
-	out := make([][]byte, n)
+func readFields(s kite.Session, nodeKey uint64, n int) ([][]byte, error) {
+	ops := make([]kite.Op, n)
 	for i := 0; i < n; i++ {
-		v, err := s.Read(fieldKey(nodeKey, i))
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+		ops[i] = kite.ReadOp(fieldKey(nodeKey, i))
+	}
+	results, err := s.DoBatch(context.Background(), ops)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, n)
+	for i := range results {
+		out[i] = results[i].Value
 	}
 	return out, nil
 }

@@ -1,3 +1,8 @@
+// The structure tests run UNMODIFIED against both Session backends — the
+// in-process cluster and remote client sessions over a loopback-UDP 3-node
+// deployment — via the shared kite.Session interface: each test body takes
+// a (node, session) -> kite.Session factory and is executed once per
+// backend.
 package dstruct
 
 import (
@@ -6,17 +11,45 @@ import (
 	"testing"
 
 	"kite"
+	"kite/internal/testcluster"
 )
 
-func newTestCluster(t *testing.T) *kite.Cluster {
-	t.Helper()
-	c, err := kite.NewCluster(kite.Options{
-		Nodes: 3, Workers: 2, SessionsPerWorker: 4, Capacity: 1 << 12,
+// sessionFn hands out a session on a given replica; sess distinguishes
+// independent sessions of one test.
+type sessionFn func(node, sess int) kite.Session
+
+// forEachBackend runs body against a fresh deployment of each backend.
+func forEachBackend(t *testing.T, body func(t *testing.T, session sessionFn)) {
+	t.Run("inproc", func(t *testing.T) {
+		c, err := kite.NewCluster(kite.Options{
+			Nodes: 3, Workers: 2, SessionsPerWorker: 4, Capacity: 1 << 12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		body(t, func(node, sess int) kite.Session { return c.Session(node, sess) })
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return c
+	t.Run("remote", func(t *testing.T) {
+		cl := testcluster.Start(t, 3)
+		clients := cl.Dial(t)
+		var mu sync.Mutex
+		leased := map[[2]int]kite.Session{}
+		body(t, func(node, sess int) kite.Session {
+			mu.Lock()
+			defer mu.Unlock()
+			key := [2]int{node, sess}
+			if s, ok := leased[key]; ok {
+				return s
+			}
+			s, err := clients[node].NewSession()
+			if err != nil {
+				t.Fatalf("lease session on node %d: %v", node, err)
+			}
+			leased[key] = s
+			return s
+		})
+	})
 }
 
 func TestPtrCodec(t *testing.T) {
@@ -59,279 +92,279 @@ func TestArenaUnique(t *testing.T) {
 }
 
 func TestStackSequential(t *testing.T) {
-	c := newTestCluster(t)
-	defer c.Close()
-	s := NewStack(c.Session(0, 0), 100, 2, 1, true)
-	if _, ok, _ := s.Pop(); ok {
-		t.Fatal("fresh stack not empty")
-	}
-	for i := 0; i < 10; i++ {
-		f := [][]byte{[]byte(fmt.Sprintf("a%d", i)), []byte(fmt.Sprintf("b%d", i))}
-		if _, err := s.Push(f); err != nil {
-			t.Fatal(err)
+	forEachBackend(t, func(t *testing.T, session sessionFn) {
+		s := NewStack(session(0, 0), 100, 2, 1, true)
+		if _, ok, _ := s.Pop(); ok {
+			t.Fatal("fresh stack not empty")
 		}
-	}
-	for i := 9; i >= 0; i-- {
-		fields, ok, err := s.Pop()
-		if err != nil || !ok {
-			t.Fatalf("pop %d: ok=%v err=%v", i, ok, err)
+		for i := 0; i < 10; i++ {
+			f := [][]byte{[]byte(fmt.Sprintf("a%d", i)), []byte(fmt.Sprintf("b%d", i))}
+			if _, err := s.Push(f); err != nil {
+				t.Fatal(err)
+			}
 		}
-		if string(fields[0]) != fmt.Sprintf("a%d", i) || string(fields[1]) != fmt.Sprintf("b%d", i) {
-			t.Fatalf("pop %d: LIFO violated: %q %q", i, fields[0], fields[1])
+		for i := 9; i >= 0; i-- {
+			fields, ok, err := s.Pop()
+			if err != nil || !ok {
+				t.Fatalf("pop %d: ok=%v err=%v", i, ok, err)
+			}
+			if string(fields[0]) != fmt.Sprintf("a%d", i) || string(fields[1]) != fmt.Sprintf("b%d", i) {
+				t.Fatalf("pop %d: LIFO violated: %q %q", i, fields[0], fields[1])
+			}
 		}
-	}
-	if _, ok, _ := s.Pop(); ok {
-		t.Fatal("drained stack not empty")
-	}
+		if _, ok, _ := s.Pop(); ok {
+			t.Fatal("drained stack not empty")
+		}
+	})
 }
 
 func TestStackConcurrent(t *testing.T) {
-	c := newTestCluster(t)
-	defer c.Close()
-	// Sessions on different replicas push then pop (the §8.3 bench
-	// pattern); every pushed payload must be popped exactly once, and no
-	// pop may find the stack empty mid-run (each session pops right after
-	// its own push).
-	const perSession = 20
-	workers := []struct{ node, sess int }{{0, 0}, {1, 0}, {2, 0}, {0, 1}}
-	var mu sync.Mutex
-	popped := map[string]int{}
-	var wg sync.WaitGroup
-	for wid, w := range workers {
-		wg.Add(1)
-		go func(wid int, node, sess int) {
-			defer wg.Done()
-			st := NewStack(c.Session(node, sess), 200, 1, uint64(100+wid), true)
-			for i := 0; i < perSession; i++ {
-				payload := fmt.Sprintf("w%d-%d", wid, i)
-				if _, err := st.Push([][]byte{[]byte(payload)}); err != nil {
-					t.Errorf("push: %v", err)
-					return
+	forEachBackend(t, func(t *testing.T, session sessionFn) {
+		// Sessions on different replicas push then pop (the §8.3 bench
+		// pattern); every pushed payload must be popped exactly once, and no
+		// pop may find the stack empty mid-run (each session pops right after
+		// its own push).
+		const perSession = 20
+		workers := []struct{ node, sess int }{{0, 0}, {1, 0}, {2, 0}, {0, 1}}
+		var mu sync.Mutex
+		popped := map[string]int{}
+		var wg sync.WaitGroup
+		for wid, w := range workers {
+			wg.Add(1)
+			go func(wid int, node, sess int) {
+				defer wg.Done()
+				st := NewStack(session(node, sess), 200, 1, uint64(100+wid), true)
+				for i := 0; i < perSession; i++ {
+					payload := fmt.Sprintf("w%d-%d", wid, i)
+					if _, err := st.Push([][]byte{[]byte(payload)}); err != nil {
+						t.Errorf("push: %v", err)
+						return
+					}
+					fields, ok, err := st.Pop()
+					if err != nil || !ok {
+						t.Errorf("pop after push found empty stack: ok=%v err=%v", ok, err)
+						return
+					}
+					mu.Lock()
+					popped[string(fields[0])]++
+					mu.Unlock()
 				}
-				fields, ok, err := st.Pop()
-				if err != nil || !ok {
-					t.Errorf("pop after push found empty stack: ok=%v err=%v", ok, err)
-					return
-				}
-				mu.Lock()
-				popped[string(fields[0])]++
-				mu.Unlock()
-			}
-		}(wid, w.node, w.sess)
-	}
-	wg.Wait()
-	if len(popped) != len(workers)*perSession {
-		t.Fatalf("popped %d distinct payloads, want %d", len(popped), len(workers)*perSession)
-	}
-	for p, n := range popped {
-		if n != 1 {
-			t.Errorf("payload %q popped %d times", p, n)
+			}(wid, w.node, w.sess)
 		}
-	}
+		wg.Wait()
+		if len(popped) != len(workers)*perSession {
+			t.Fatalf("popped %d distinct payloads, want %d", len(popped), len(workers)*perSession)
+		}
+		for p, n := range popped {
+			if n != 1 {
+				t.Errorf("payload %q popped %d times", p, n)
+			}
+		}
+	})
 }
 
 func TestQueueFIFO(t *testing.T) {
-	c := newTestCluster(t)
-	defer c.Close()
-	setup := c.Session(0, 2)
-	if err := InitQueue(setup, 300, 1, 999); err != nil {
-		t.Fatal(err)
-	}
-	q := NewQueue(c.Session(1, 0), 300, 1, 7, true)
-	if _, ok, _ := q.Dequeue(); ok {
-		t.Fatal("fresh queue not empty")
-	}
-	for i := 0; i < 10; i++ {
-		if err := q.Enqueue([][]byte{[]byte(fmt.Sprintf("m%d", i))}); err != nil {
+	forEachBackend(t, func(t *testing.T, session sessionFn) {
+		setup := session(0, 2)
+		if err := InitQueue(setup, 300, 1, 999); err != nil {
 			t.Fatal(err)
 		}
-	}
-	for i := 0; i < 10; i++ {
-		fields, ok, err := q.Dequeue()
-		if err != nil || !ok {
-			t.Fatalf("dequeue %d: ok=%v err=%v", i, ok, err)
+		q := NewQueue(session(1, 0), 300, 1, 7, true)
+		if _, ok, _ := q.Dequeue(); ok {
+			t.Fatal("fresh queue not empty")
 		}
-		if string(fields[0]) != fmt.Sprintf("m%d", i) {
-			t.Fatalf("FIFO violated at %d: %q", i, fields[0])
+		for i := 0; i < 10; i++ {
+			if err := q.Enqueue([][]byte{[]byte(fmt.Sprintf("m%d", i))}); err != nil {
+				t.Fatal(err)
+			}
 		}
-	}
-	if _, ok, _ := q.Dequeue(); ok {
-		t.Fatal("drained queue not empty")
-	}
+		for i := 0; i < 10; i++ {
+			fields, ok, err := q.Dequeue()
+			if err != nil || !ok {
+				t.Fatalf("dequeue %d: ok=%v err=%v", i, ok, err)
+			}
+			if string(fields[0]) != fmt.Sprintf("m%d", i) {
+				t.Fatalf("FIFO violated at %d: %q", i, fields[0])
+			}
+		}
+		if _, ok, _ := q.Dequeue(); ok {
+			t.Fatal("drained queue not empty")
+		}
+	})
 }
 
 func TestQueueConcurrentProducersConsumers(t *testing.T) {
-	c := newTestCluster(t)
-	defer c.Close()
-	if err := InitQueue(c.Session(0, 3), 400, 1, 998); err != nil {
-		t.Fatal(err)
-	}
-	const perProducer = 15
-	var wg sync.WaitGroup
-	// Two producers on different nodes.
-	for p := 0; p < 2; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			q := NewQueue(c.Session(p, 0), 400, 1, uint64(200+p), true)
-			for i := 0; i < perProducer; i++ {
-				if err := q.Enqueue([][]byte{[]byte(fmt.Sprintf("p%d-%d", p, i))}); err != nil {
-					t.Errorf("enqueue: %v", err)
-					return
+	forEachBackend(t, func(t *testing.T, session sessionFn) {
+		if err := InitQueue(session(0, 3), 400, 1, 998); err != nil {
+			t.Fatal(err)
+		}
+		const perProducer = 15
+		var wg sync.WaitGroup
+		// Two producers on different nodes.
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				q := NewQueue(session(p, 0), 400, 1, uint64(200+p), true)
+				for i := 0; i < perProducer; i++ {
+					if err := q.Enqueue([][]byte{[]byte(fmt.Sprintf("p%d-%d", p, i))}); err != nil {
+						t.Errorf("enqueue: %v", err)
+						return
+					}
 				}
-			}
-		}(p)
-	}
-	// Two consumers drain exactly the produced count. (Per-producer FIFO
-	// holds at the queue, but two concurrent consumers may RECORD their
-	// dequeues out of order, so only exactly-once and completeness are
-	// asserted here; ordering is covered by TestQueueFIFO.)
-	var mu sync.Mutex
-	got := map[string]bool{}
-	for cid := 0; cid < 2; cid++ {
-		wg.Add(1)
-		go func(cid int) {
-			defer wg.Done()
-			q := NewQueue(c.Session(2, cid), 400, 1, uint64(300+cid), true)
-			for {
-				mu.Lock()
-				if len(got) >= 2*perProducer {
+			}(p)
+		}
+		// Two consumers drain exactly the produced count. (Per-producer FIFO
+		// holds at the queue, but two concurrent consumers may RECORD their
+		// dequeues out of order, so only exactly-once and completeness are
+		// asserted here; ordering is covered by TestQueueFIFO.)
+		var mu sync.Mutex
+		got := map[string]bool{}
+		for cid := 0; cid < 2; cid++ {
+			wg.Add(1)
+			go func(cid int) {
+				defer wg.Done()
+				q := NewQueue(session(2, cid), 400, 1, uint64(300+cid), true)
+				for {
+					mu.Lock()
+					if len(got) >= 2*perProducer {
+						mu.Unlock()
+						return
+					}
 					mu.Unlock()
-					return
+					fields, ok, err := q.Dequeue()
+					if err != nil {
+						t.Errorf("dequeue: %v", err)
+						return
+					}
+					if !ok {
+						continue
+					}
+					mu.Lock()
+					if got[string(fields[0])] {
+						t.Errorf("duplicate dequeue %q", fields[0])
+					}
+					got[string(fields[0])] = true
+					mu.Unlock()
 				}
-				mu.Unlock()
-				fields, ok, err := q.Dequeue()
-				if err != nil {
-					t.Errorf("dequeue: %v", err)
-					return
-				}
-				if !ok {
-					continue
-				}
-				mu.Lock()
-				if got[string(fields[0])] {
-					t.Errorf("duplicate dequeue %q", fields[0])
-				}
-				got[string(fields[0])] = true
-				mu.Unlock()
-			}
-		}(cid)
-	}
-	wg.Wait()
-	if len(got) != 2*perProducer {
-		t.Fatalf("dequeued %d, want %d", len(got), 2*perProducer)
-	}
+			}(cid)
+		}
+		wg.Wait()
+		if len(got) != 2*perProducer {
+			t.Fatalf("dequeued %d, want %d", len(got), 2*perProducer)
+		}
+	})
 }
 
 func TestListBasicOps(t *testing.T) {
-	c := newTestCluster(t)
-	defer c.Close()
-	l := NewList(c.Session(0, 0), 500, 1, 11, true)
-	for _, k := range []uint64{30, 10, 20} {
-		ok, err := l.Insert(k, [][]byte{[]byte(fmt.Sprintf("v%d", k))})
-		if err != nil || !ok {
-			t.Fatalf("insert %d: ok=%v err=%v", k, ok, err)
+	forEachBackend(t, func(t *testing.T, session sessionFn) {
+		l := NewList(session(0, 0), 500, 1, 11, true)
+		for _, k := range []uint64{30, 10, 20} {
+			ok, err := l.Insert(k, [][]byte{[]byte(fmt.Sprintf("v%d", k))})
+			if err != nil || !ok {
+				t.Fatalf("insert %d: ok=%v err=%v", k, ok, err)
+			}
 		}
-	}
-	// Duplicate insert fails.
-	if ok, _ := l.Insert(20, [][]byte{[]byte("dup")}); ok {
-		t.Fatal("duplicate insert succeeded")
-	}
-	for _, k := range []uint64{10, 20, 30} {
-		if ok, _ := l.Contains(k); !ok {
-			t.Fatalf("missing key %d", k)
+		// Duplicate insert fails.
+		if ok, _ := l.Insert(20, [][]byte{[]byte("dup")}); ok {
+			t.Fatal("duplicate insert succeeded")
 		}
-	}
-	if ok, _ := l.Contains(15); ok {
-		t.Fatal("phantom key 15")
-	}
-	fields, ok, err := l.Fields(20)
-	if err != nil || !ok || string(fields[0]) != "v20" {
-		t.Fatalf("Fields(20) = %q %v %v", fields, ok, err)
-	}
-	// Delete the middle node, re-check.
-	if ok, _ := l.Delete(20); !ok {
-		t.Fatal("delete 20 failed")
-	}
-	if ok, _ := l.Contains(20); ok {
-		t.Fatal("deleted key still present")
-	}
-	if ok, _ := l.Delete(20); ok {
-		t.Fatal("double delete succeeded")
-	}
-	for _, k := range []uint64{10, 30} {
-		if ok, _ := l.Contains(k); !ok {
-			t.Fatalf("collateral damage: %d gone", k)
+		for _, k := range []uint64{10, 20, 30} {
+			if ok, _ := l.Contains(k); !ok {
+				t.Fatalf("missing key %d", k)
+			}
 		}
-	}
-	// Re-insert after delete works.
-	if ok, _ := l.Insert(20, [][]byte{[]byte("v20b")}); !ok {
-		t.Fatal("re-insert failed")
-	}
+		if ok, _ := l.Contains(15); ok {
+			t.Fatal("phantom key 15")
+		}
+		fields, ok, err := l.Fields(20)
+		if err != nil || !ok || string(fields[0]) != "v20" {
+			t.Fatalf("Fields(20) = %q %v %v", fields, ok, err)
+		}
+		// Delete the middle node, re-check.
+		if ok, _ := l.Delete(20); !ok {
+			t.Fatal("delete 20 failed")
+		}
+		if ok, _ := l.Contains(20); ok {
+			t.Fatal("deleted key still present")
+		}
+		if ok, _ := l.Delete(20); ok {
+			t.Fatal("double delete succeeded")
+		}
+		for _, k := range []uint64{10, 30} {
+			if ok, _ := l.Contains(k); !ok {
+				t.Fatalf("collateral damage: %d gone", k)
+			}
+		}
+		// Re-insert after delete works.
+		if ok, _ := l.Insert(20, [][]byte{[]byte("v20b")}); !ok {
+			t.Fatal("re-insert failed")
+		}
+	})
 }
 
 func TestListConcurrentDisjoint(t *testing.T) {
-	c := newTestCluster(t)
-	defer c.Close()
-	// Sessions insert disjoint key ranges concurrently; all must be present.
-	var wg sync.WaitGroup
-	const perSession = 10
-	for w := 0; w < 3; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			l := NewList(c.Session(w, 0), 600, 1, uint64(400+w), true)
+	forEachBackend(t, func(t *testing.T, session sessionFn) {
+		// Sessions insert disjoint key ranges concurrently; all must be present.
+		var wg sync.WaitGroup
+		const perSession = 10
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				l := NewList(session(w, 0), 600, 1, uint64(400+w), true)
+				for i := 0; i < perSession; i++ {
+					k := uint64(w*100 + i)
+					if ok, err := l.Insert(k, [][]byte{[]byte("x")}); err != nil || !ok {
+						t.Errorf("insert %d: ok=%v err=%v", k, ok, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		l := NewList(session(0, 1), 600, 1, 500, true)
+		for w := 0; w < 3; w++ {
 			for i := 0; i < perSession; i++ {
-				k := uint64(w*100 + i)
-				if ok, err := l.Insert(k, [][]byte{[]byte("x")}); err != nil || !ok {
-					t.Errorf("insert %d: ok=%v err=%v", k, ok, err)
-					return
+				if ok, err := l.Contains(uint64(w*100 + i)); err != nil || !ok {
+					t.Fatalf("key %d missing: ok=%v err=%v", w*100+i, ok, err)
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
-	l := NewList(c.Session(0, 1), 600, 1, 500, true)
-	for w := 0; w < 3; w++ {
-		for i := 0; i < perSession; i++ {
-			if ok, err := l.Contains(uint64(w*100 + i)); err != nil || !ok {
-				t.Fatalf("key %d missing: ok=%v err=%v", w*100+i, ok, err)
-			}
 		}
-	}
+	})
 }
 
 func TestListConcurrentSameKeys(t *testing.T) {
-	c := newTestCluster(t)
-	defer c.Close()
-	// All sessions fight over the same small key range with inserts and
-	// deletes; afterwards each key is either present or absent — traversal
-	// must never error or loop.
-	var wg sync.WaitGroup
-	for w := 0; w < 3; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			l := NewList(c.Session(w, 0), 700, 1, uint64(600+w), true)
-			for i := 0; i < 20; i++ {
-				k := uint64(i % 5)
-				if i%2 == 0 {
-					if _, err := l.Insert(k, [][]byte{[]byte("x")}); err != nil {
-						t.Errorf("insert: %v", err)
-					}
-				} else {
-					if _, err := l.Delete(k); err != nil {
-						t.Errorf("delete: %v", err)
+	forEachBackend(t, func(t *testing.T, session sessionFn) {
+		// All sessions fight over the same small key range with inserts and
+		// deletes; afterwards each key is either present or absent — traversal
+		// must never error or loop.
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				l := NewList(session(w, 0), 700, 1, uint64(600+w), true)
+				for i := 0; i < 20; i++ {
+					k := uint64(i % 5)
+					if i%2 == 0 {
+						if _, err := l.Insert(k, [][]byte{[]byte("x")}); err != nil {
+							t.Errorf("insert: %v", err)
+						}
+					} else {
+						if _, err := l.Delete(k); err != nil {
+							t.Errorf("delete: %v", err)
+						}
 					}
 				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	l := NewList(c.Session(0, 1), 700, 1, 700, true)
-	for k := uint64(0); k < 5; k++ {
-		if _, err := l.Contains(k); err != nil {
-			t.Fatalf("final contains(%d): %v", k, err)
+			}(w)
 		}
-	}
+		wg.Wait()
+		l := NewList(session(0, 1), 700, 1, 700, true)
+		for k := uint64(0); k < 5; k++ {
+			if _, err := l.Contains(k); err != nil {
+				t.Fatalf("final contains(%d): %v", k, err)
+			}
+		}
+	})
 }

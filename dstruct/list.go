@@ -1,6 +1,10 @@
 package dstruct
 
-import "kite"
+import (
+	"context"
+
+	"kite"
+)
 
 // List is a Harris-Michael lock-free sorted linked list (§8.3 workload 3:
 // HML). Nodes carry a sort key; deletion is two-phase — logically mark the
@@ -10,7 +14,7 @@ import "kite"
 //
 // The list is anchored at headKey (the head sentinel's next pointer).
 type List struct {
-	sess    *kite.Session
+	sess    kite.Session
 	arena   *Arena
 	headKey uint64
 	fields  int
@@ -19,7 +23,7 @@ type List struct {
 
 // NewList attaches a session to the list anchored at headKey. An empty list
 // needs no initialisation: a null head pointer is the empty list.
-func NewList(sess *kite.Session, headKey uint64, fields int, owner uint64, weakCAS bool) *List {
+func NewList(sess kite.Session, headKey uint64, fields int, owner uint64, weakCAS bool) *List {
 	return &List{
 		sess:    sess,
 		arena:   NewArena(owner, 2+fields), // node: next ptr + sort key + fields
@@ -104,18 +108,18 @@ func (l *List) Insert(k uint64, fields [][]byte) (bool, error) {
 				return false, nil // already present
 			}
 		}
-		nodeKey := l.arena.Alloc()
-		if err := l.sess.Write(nodeKey+1, kite.EncodeUint64(k)); err != nil {
-			return false, err
-		}
-		for i, f := range fields {
-			if err := l.sess.Write(nodeKey+2+uint64(i), f); err != nil {
-				return false, err
-			}
-		}
-		// Link the new node to cur, then publish it with the CAS on prev
+		// Write the sort key, the payload and the node's next pointer as
+		// one batch of relaxed writes (session order preserved; one
+		// datagram remotely), then publish the node with the CAS on prev
 		// (release semantics make the payload visible).
-		if err := l.sess.Write(nodeKey, EncodePtr(Ptr{Key: cur.Key, Cnt: 1})); err != nil {
+		nodeKey := l.arena.Alloc()
+		ops := make([]kite.Op, 0, 2+len(fields))
+		ops = append(ops, kite.WriteOp(nodeKey+1, kite.EncodeUint64(k)))
+		for i, f := range fields {
+			ops = append(ops, kite.WriteOp(nodeKey+2+uint64(i), f))
+		}
+		ops = append(ops, kite.WriteOp(nodeKey, EncodePtr(Ptr{Key: cur.Key, Cnt: 1})))
+		if _, err := l.sess.DoBatch(context.Background(), ops); err != nil {
 			return false, err
 		}
 		prev := DecodePtr(prevRaw)
@@ -191,13 +195,17 @@ func (l *List) Fields(k uint64) ([][]byte, bool, error) {
 	if err != nil || ck != k {
 		return nil, false, err
 	}
-	out := make([][]byte, l.fields)
+	ops := make([]kite.Op, l.fields)
 	for i := 0; i < l.fields; i++ {
-		v, err := l.sess.Read(cur.Key + 2 + uint64(i))
-		if err != nil {
-			return nil, false, err
-		}
-		out[i] = v
+		ops[i] = kite.ReadOp(cur.Key + 2 + uint64(i))
+	}
+	results, err := l.sess.DoBatch(context.Background(), ops)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([][]byte, l.fields)
+	for i := range results {
+		out[i] = results[i].Value
 	}
 	return out, true, nil
 }

@@ -11,7 +11,7 @@ import "kite"
 // baseKey+1 (tail pointer). InitQueue must run once per queue before any
 // session attaches.
 type Queue struct {
-	sess    *kite.Session
+	sess    kite.Session
 	arena   *Arena
 	headKey uint64
 	tailKey uint64
@@ -21,7 +21,7 @@ type Queue struct {
 
 // InitQueue creates the queue's dummy node and publishes head and tail.
 // Call exactly once per queue (e.g. from the deployment's setup session).
-func InitQueue(sess *kite.Session, baseKey uint64, fields int, owner uint64) error {
+func InitQueue(sess kite.Session, baseKey uint64, fields int, owner uint64) error {
 	arena := NewArena(owner, 1+fields)
 	dummy := arena.Alloc()
 	// The dummy's next pointer starts null.
@@ -38,7 +38,7 @@ func InitQueue(sess *kite.Session, baseKey uint64, fields int, owner uint64) err
 }
 
 // NewQueue attaches a session to the queue anchored at baseKey.
-func NewQueue(sess *kite.Session, baseKey uint64, fields int, owner uint64, weakCAS bool) *Queue {
+func NewQueue(sess kite.Session, baseKey uint64, fields int, owner uint64, weakCAS bool) *Queue {
 	return &Queue{
 		sess:    sess,
 		arena:   NewArena(owner, 1+fields),

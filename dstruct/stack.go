@@ -6,7 +6,7 @@ import "kite"
 // CAS, nodes published by the CAS's release semantics, observed by the
 // acquire semantics of the pointer loads.
 type Stack struct {
-	sess   *kite.Session
+	sess   kite.Session
 	arena  *Arena
 	topKey uint64
 	fields int
@@ -18,7 +18,7 @@ type Stack struct {
 // NewStack attaches a session to the stack anchored at topKey. Every
 // session of the deployment may attach to the same topKey; owner must be a
 // deployment-unique session id for node allocation.
-func NewStack(sess *kite.Session, topKey uint64, fields int, owner uint64, weakCAS bool) *Stack {
+func NewStack(sess kite.Session, topKey uint64, fields int, owner uint64, weakCAS bool) *Stack {
 	return &Stack{
 		sess:   sess,
 		arena:  NewArena(owner, 1+fields),

@@ -7,24 +7,75 @@
 // verifies the structures' invariants (every pushed payload popped exactly
 // once, per-producer FIFO, set membership).
 //
-//	go run ./examples/lockfree
+// Because dstruct speaks the unified kite.Session interface, the same
+// program runs over either deployment:
+//
+//	go run ./examples/lockfree                                # in-process cluster
+//	go run ./examples/lockfree -addrs :9000,:9001,:9002       # live kite-node deployment
+//
+// The -addrs form connects to the session servers of running kite-node
+// processes (kite-node -client-addr) and leases remote sessions instead.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 
 	"kite"
+	"kite/client"
 	"kite/dstruct"
 )
 
-func main() {
-	cluster, err := kite.NewCluster(kite.Options{Nodes: 5})
-	if err != nil {
-		log.Fatal(err)
+// sessions returns one Session per worker plus the setup session, from
+// either backend, and a cleanup.
+func sessions(addrs string, workers int) (setup kite.Session, ws []kite.Session, nodes int, cleanup func()) {
+	if addrs == "" {
+		cluster, err := kite.NewCluster(kite.Options{Nodes: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws = make([]kite.Session, workers)
+		for w := range ws {
+			ws[w] = cluster.Session(w%cluster.Nodes(), w/cluster.Nodes())
+		}
+		return cluster.Session(0, 3), ws, cluster.Nodes(), cluster.Close
 	}
-	defer cluster.Close()
+	list := strings.Split(addrs, ",")
+	clients := make([]*client.Client, len(list))
+	for i, a := range list {
+		c, err := client.Dial(a, client.Options{})
+		if err != nil {
+			log.Fatalf("dial %s: %v", a, err)
+		}
+		clients[i] = c
+	}
+	lease := func(i int) kite.Session {
+		s, err := clients[i%len(clients)].NewSession()
+		if err != nil {
+			log.Fatalf("lease session: %v", err)
+		}
+		return s
+	}
+	ws = make([]kite.Session, workers)
+	for w := range ws {
+		ws[w] = lease(w)
+	}
+	return lease(0), ws, len(list), func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+}
+
+func main() {
+	addrs := flag.String("addrs", "", "comma-separated session-server addresses (empty: in-process cluster)")
+	flag.Parse()
+
+	setup, workerSessions, nodes, cleanup := sessions(*addrs, 4)
+	defer cleanup()
 
 	const (
 		stackTop  = 100
@@ -33,7 +84,7 @@ func main() {
 		perWorker = 25
 	)
 
-	if err := dstruct.InitQueue(cluster.Session(0, 3), queueBase, 1, 9999); err != nil {
+	if err := dstruct.InitQueue(setup, queueBase, 1, 9999); err != nil {
 		log.Fatal(err)
 	}
 
@@ -46,8 +97,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			node := w % cluster.Nodes()
-			sess := cluster.Session(node, w/cluster.Nodes())
+			sess := workerSessions[w]
 			// Arena owners must be unique per structure instance AND
 			// session: each arena hands out node keys from its own range.
 			base := uint64(1+w) * 3
@@ -110,6 +160,6 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("lock-free structures over 5 replicas: %d stack pairs, %d queue pairs, %d list cycles — all invariants hold\n",
-		4*perWorker, 4*perWorker, 4*perWorker)
+	fmt.Printf("lock-free structures over %d replicas: %d stack pairs, %d queue pairs, %d list cycles — all invariants hold\n",
+		nodes, 4*perWorker, 4*perWorker, 4*perWorker)
 }

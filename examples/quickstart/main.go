@@ -2,16 +2,17 @@
 // producer-consumer pattern (§1, Figure 1).
 //
 // The producer writes an object of 1000 fields with *relaxed* writes — the
-// cheap, eventually-consistent accesses — and then raises a flag with a
-// *release* write. The consumer polls the flag with *acquire* reads; the
-// moment it observes the flag, Release Consistency guarantees every field
-// of the object is visible, even though the field accesses never paid for
-// strong consistency.
+// cheap, eventually-consistent accesses, issued as one DoBatch — and then
+// raises a flag with a *release* write. The consumer polls the flag with
+// *acquire* reads; the moment it observes the flag, Release Consistency
+// guarantees every field of the object is visible, even though the field
+// accesses never paid for strong consistency.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -50,29 +51,38 @@ func main() {
 		}
 		// The acquire synchronised with the producer's release: all 1000
 		// relaxed writes before it are now guaranteed visible, and these
-		// relaxed reads are served from the local replica.
+		// relaxed reads are served from the local replica — issued as one
+		// batch through the unified API.
 		start := time.Now()
-		for i := uint64(0); i < objFields; i++ {
-			v, err := sess.Read(objBase + i)
-			if err != nil {
-				log.Fatal(err)
-			}
+		reads := make([]kite.Op, objFields)
+		for i := range reads {
+			reads[i] = kite.ReadOp(objBase + uint64(i))
+		}
+		results, err := sess.DoBatch(context.Background(), reads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range results {
 			want := fmt.Sprintf("field-%d", i)
-			if string(v) != want {
-				log.Fatalf("RC violation: field %d = %q, want %q", i, v, want)
+			if string(r.Value) != want {
+				log.Fatalf("RC violation: field %d = %q, want %q", i, r.Value, want)
 			}
 		}
 		fmt.Printf("consumer: observed flag, read %d fields consistently in %v\n",
 			objFields, time.Since(start).Round(time.Microsecond))
 	}()
 
-	// Producer: session on replica 0.
+	// Producer: session on replica 0. The payload goes out as one batch of
+	// relaxed writes — over the remote backend this is also one datagram
+	// per wire frame instead of one per field.
 	sess := cluster.Session(0, 0)
 	start := time.Now()
-	for i := uint64(0); i < objFields; i++ {
-		if err := sess.Write(objBase+i, []byte(fmt.Sprintf("field-%d", i))); err != nil {
-			log.Fatal(err)
-		}
+	writes := make([]kite.Op, objFields)
+	for i := range writes {
+		writes[i] = kite.WriteOp(objBase+uint64(i), []byte(fmt.Sprintf("field-%d", i)))
+	}
+	if _, err := sess.DoBatch(context.Background(), writes); err != nil {
+		log.Fatal(err)
 	}
 	wrote := time.Since(start)
 	if err := sess.ReleaseWrite(flagKey, []byte("ready")); err != nil {

@@ -4,6 +4,11 @@
 // equivalent drivers for the ZAB and Derecho baselines, the lock-free data
 // structure workloads of §8.3, and the failure-study timeline of §8.4.
 //
+// The drivers speak the unified kite.Session interface, so the same
+// workload runs against an in-process cluster (the default) or any other
+// Session backend — pass remote client sessions via KiteOpts.Sessions to
+// load a real multi-process deployment.
+//
 // Workload mix semantics follow §8.1 exactly: the write ratio counts RMWs,
 // releases and relaxed writes; the synchronisation percentage applies to the
 // non-RMW accesses (e.g. "60% write ratio, 50% sync, 50% RMWs" = 50% RMWs,
@@ -17,7 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"kite/internal/core"
+	"kite"
 )
 
 // Result is one measured throughput point.
@@ -99,18 +104,28 @@ func (t thresholds) pick(r float64) opKind {
 	}
 }
 
+// DriverSession is one driven session plus the node index its completions
+// are attributed to.
+type DriverSession struct {
+	Node int
+	S    kite.Session
+}
+
 // KiteOpts parameterises a Kite throughput run.
 type KiteOpts struct {
 	Name    string
-	Config  core.Config
+	Options kite.Options // in-process deployment (when Sessions is nil)
 	Mix     Mix
 	Keys    uint64 // uniform key range (paper: 1M)
 	ValLen  int    // value size (paper: 32B)
 	Window  int    // outstanding async ops per session
 	Warmup  time.Duration
 	Measure time.Duration
-	// Cluster optionally reuses an existing deployment (nil = create).
-	Cluster *core.Cluster
+	// Sessions optionally supplies the sessions to drive — any
+	// kite.Session backend, e.g. remote client sessions against a live
+	// multi-process deployment. When nil, an in-process cluster is created
+	// from Options and every session of every node is driven.
+	Sessions []DriverSession
 	// PerNode, when non-nil, receives per-node measured op counts.
 	PerNode *[]uint64
 }
@@ -137,30 +152,37 @@ func (o *KiteOpts) defaults() {
 // completed operations per second across all sessions.
 func RunKite(o KiteOpts) (Result, error) {
 	o.defaults()
-	c := o.Cluster
-	if c == nil {
-		var err error
-		c, err = core.NewCluster(o.Config)
+	sessions := o.Sessions
+	nodes := 0
+	if sessions == nil {
+		c, err := kite.NewCluster(o.Options)
 		if err != nil {
 			return Result{}, err
 		}
 		defer c.Close()
+		for n := 0; n < c.Nodes(); n++ {
+			for si := 0; si < c.SessionsPerNode(); si++ {
+				sessions = append(sessions, DriverSession{Node: n, S: c.Session(n, si)})
+			}
+		}
+	}
+	for _, ds := range sessions {
+		if ds.Node >= nodes {
+			nodes = ds.Node + 1
+		}
 	}
 
 	var counting atomic.Bool
 	var stop atomic.Bool
-	counted := make([]atomic.Uint64, c.Nodes())
+	counted := make([]atomic.Uint64, nodes)
 
 	var wg sync.WaitGroup
-	for n := 0; n < c.Nodes(); n++ {
-		nd := c.Node(n)
-		for si := 0; si < nd.Sessions(); si++ {
-			wg.Add(1)
-			go func(n int, s *core.Session, seed int64) {
-				defer wg.Done()
-				driveSession(s, o, seed, &counting, &stop, &counted[n])
-			}(n, nd.Session(si), int64(n*1000+si))
-		}
+	for i, ds := range sessions {
+		wg.Add(1)
+		go func(ds DriverSession, seed int64) {
+			defer wg.Done()
+			driveSession(ds.S, o, seed, &counting, &stop, &counted[ds.Node])
+		}(ds, int64(ds.Node*1000+i))
 	}
 
 	time.Sleep(o.Warmup)
@@ -173,7 +195,7 @@ func RunKite(o KiteOpts) (Result, error) {
 	wg.Wait()
 
 	var total uint64
-	perNode := make([]uint64, c.Nodes())
+	perNode := make([]uint64, nodes)
 	for i := range counted {
 		perNode[i] = counted[i].Load()
 		total += perNode[i]
@@ -184,9 +206,10 @@ func RunKite(o KiteOpts) (Result, error) {
 	return Result{Name: o.Name, Ops: total, Duration: elapsed}, nil
 }
 
-// driveSession is the closed-loop driver: Window outstanding async ops, a
-// fresh random op issued as each completes.
-func driveSession(s *core.Session, o KiteOpts, seed int64,
+// driveSession is the closed-loop driver: Window outstanding async ops
+// through the unified Session interface, a fresh random op issued as each
+// completes.
+func driveSession(s kite.Session, o KiteOpts, seed int64,
 	counting, stop *atomic.Bool, counted *atomic.Uint64) {
 
 	rng := rand.New(rand.NewSource(seed))
@@ -194,10 +217,7 @@ func driveSession(s *core.Session, o KiteOpts, seed int64,
 	val := make([]byte, o.ValLen)
 	rng.Read(val)
 
-	slots := make(chan *core.Request, o.Window)
-	for i := 0; i < o.Window; i++ {
-		slots <- &core.Request{}
-	}
+	slots := make(chan struct{}, o.Window)
 	inflight := 0
 	for {
 		if stop.Load() {
@@ -208,40 +228,38 @@ func driveSession(s *core.Session, o KiteOpts, seed int64,
 			}
 			return
 		}
-		r := <-slots
-		inflight++
-		*r = core.Request{Code: codeFor(th.pick(rng.Float64())), Key: rng.Uint64() % o.Keys}
-		switch r.Code {
-		case core.OpWrite, core.OpRelease:
-			r.Val = val
-		case core.OpFAA:
-			r.Delta = 1
+		if inflight == o.Window {
+			<-slots
+			inflight--
 		}
-		r.Done = func(r *core.Request) {
+		op := kite.Op{Code: codeFor(th.pick(rng.Float64())), Key: rng.Uint64() % o.Keys}
+		switch op.Code {
+		case kite.OpWrite, kite.OpRelease:
+			op.Value = val
+		case kite.OpFAA:
+			op.Delta = 1
+		}
+		s.DoAsync(op, func(kite.Result) {
 			if counting.Load() {
 				counted.Add(1)
 			}
-			slots <- r
-		}
-		s.Submit(r)
-		inflight--
-		// Submit re-queues via Done; inflight bookkeeping above tracks the
-		// request we just consumed from slots until Done returns it.
+			slots <- struct{}{}
+		})
 		inflight++
 	}
 }
 
-func codeFor(k opKind) core.OpCode {
+func codeFor(k opKind) kite.OpCode {
 	switch k {
 	case opWrite:
-		return core.OpWrite
+		return kite.OpWrite
 	case opRelease:
-		return core.OpRelease
+		return kite.OpRelease
 	case opAcquire:
-		return core.OpAcquire
+		return kite.OpAcquire
 	case opFAA:
-		return core.OpFAA
+		return kite.OpFAA
 	default:
-		return core.OpRead
+		return kite.OpRead
 	}
 }

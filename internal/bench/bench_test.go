@@ -2,11 +2,33 @@ package bench
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
-	"kite/internal/core"
+	"kite"
 )
+
+// smokeOptions sizes the miniature load studies to the host: the full-size
+// cluster (5 nodes x 4 workers plus one driver goroutine per session) used
+// to be skipped under -short because it starved on 1-CPU hosts. Scaling the
+// goroutine count with GOMAXPROCS keeps the study meaningful everywhere
+// and lets the smoke tests run unconditionally.
+func smokeOptions() kite.Options {
+	o := kite.Options{Nodes: 3, Workers: 2, SessionsPerWorker: 2, Capacity: 1 << 10}
+	if runtime.GOMAXPROCS(0) < 4 {
+		o.Workers, o.SessionsPerWorker = 1, 1
+	}
+	return o
+}
+
+// smokeWindow bounds outstanding async ops per session on small hosts.
+func smokeWindow() int {
+	if runtime.GOMAXPROCS(0) < 4 {
+		return 2
+	}
+	return 4
+}
 
 func TestMixThresholds(t *testing.T) {
 	// The paper's worked example (§8.1): 60% write ratio, 50% sync, 50%
@@ -49,13 +71,10 @@ func TestMixAllRelaxed(t *testing.T) {
 }
 
 func TestRunKiteSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("bench smoke tests run miniature load studies; skipped with -short")
-	}
 	res, err := RunKite(KiteOpts{
-		Config: core.Config{Nodes: 3, Workers: 2, SessionsPerWorker: 2, KVSCapacity: 1 << 10},
-		Mix:    Mix{WriteRatio: 0.2, SyncFrac: 0.1},
-		Keys:   1 << 10, Window: 4,
+		Options: smokeOptions(),
+		Mix:     Mix{WriteRatio: 0.2, SyncFrac: 0.1},
+		Keys:    1 << 10, Window: smokeWindow(),
 		Warmup: 30 * time.Millisecond, Measure: 80 * time.Millisecond,
 	})
 	if err != nil {
@@ -67,13 +86,10 @@ func TestRunKiteSmoke(t *testing.T) {
 }
 
 func TestRunFailureStudySmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("bench smoke tests run miniature load studies; skipped with -short")
-	}
 	out, err := RunFailureStudy(FailureOpts{
-		Config: core.Config{Nodes: 3, Workers: 2, SessionsPerWorker: 2, KVSCapacity: 1 << 10},
-		Mix:    Mix{WriteRatio: 0.05, SyncFrac: 0.05},
-		Keys:   1 << 10, Window: 4,
+		Options: smokeOptions(),
+		Mix:     Mix{WriteRatio: 0.05, SyncFrac: 0.05},
+		Keys:    1 << 10, Window: smokeWindow(),
 		Warmup: 30 * time.Millisecond,
 		Total:  220 * time.Millisecond, Sample: 20 * time.Millisecond,
 		SleepNode: 2, SleepAt: 60 * time.Millisecond, SleepFor: 80 * time.Millisecond,

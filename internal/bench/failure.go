@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kite"
 	"kite/internal/core"
 )
 
@@ -13,7 +14,7 @@ import (
 // SleepFor in the middle of a steady mixed workload, and throughput is
 // sampled per node on a fixed cadence.
 type FailureOpts struct {
-	Config    core.Config
+	Options   kite.Options
 	Mix       Mix // paper: 5% writes, 5% synchronisation
 	Keys      uint64
 	ValLen    int
@@ -78,7 +79,7 @@ type FailureOutcome struct {
 // RunFailureStudy reproduces Figure 9.
 func RunFailureStudy(o FailureOpts) (FailureOutcome, error) {
 	o.defaults()
-	c, err := core.NewCluster(o.Config)
+	c, err := kite.NewCluster(o.Options)
 	if err != nil {
 		return FailureOutcome{}, err
 	}
@@ -91,15 +92,14 @@ func RunFailureStudy(o FailureOpts) (FailureOutcome, error) {
 
 	var wg sync.WaitGroup
 	for n := 0; n < nodes; n++ {
-		nd := c.Node(n)
-		for si := 0; si < nd.Sessions(); si++ {
+		for si := 0; si < c.SessionsPerNode(); si++ {
 			wg.Add(1)
-			go func(n int, s *core.Session, seed int64) {
+			go func(n int, s kite.Session, seed int64) {
 				defer wg.Done()
 				ko := KiteOpts{Mix: o.Mix, Keys: o.Keys, ValLen: o.ValLen, Window: o.Window}
 				ko.defaults()
 				driveSession(s, ko, seed, &counting, &stop, &counted[n])
-			}(n, nd.Session(si), int64(n*1000+si+7))
+			}(n, c.Session(n, si), int64(n*1000+si+7))
 		}
 	}
 	counting.Store(true)
@@ -162,10 +162,10 @@ func snapshotCounts(c []atomic.Uint64) []uint64 {
 	return out
 }
 
-func sumStats(c *core.Cluster) core.Stats {
+func sumStats(c *kite.Cluster) core.Stats {
 	var s core.Stats
 	for i := 0; i < c.Nodes(); i++ {
-		st := c.Node(i).SlowPathStats()
+		st := c.NodeStats(i)
 		s.SlowReads += st.SlowReads
 		s.SlowWrites += st.SlowWrites
 		s.EpochBumps += st.EpochBumps

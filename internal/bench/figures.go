@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"kite"
-	"kite/internal/core"
 	"kite/internal/derecho"
 	"kite/internal/zab"
 )
@@ -30,13 +29,6 @@ func DefaultFigureConfig(out io.Writer) FigureConfig {
 		Nodes: 5, Workers: 4, SessionsPerWorker: 4,
 		Keys: 1 << 17, Warmup: 150 * time.Millisecond, Measure: 600 * time.Millisecond,
 		Out: out,
-	}
-}
-
-func (fc FigureConfig) coreConfig() core.Config {
-	return core.Config{
-		Nodes: fc.Nodes, Workers: fc.Workers, SessionsPerWorker: fc.SessionsPerWorker,
-		KVSCapacity: int(fc.Keys),
 	}
 }
 
@@ -75,7 +67,7 @@ func Figure5(fc FigureConfig, writeRatios []float64) error {
 		}
 		for _, s := range series {
 			res, err := RunKite(KiteOpts{
-				Config: fc.coreConfig(), Mix: s.mix, Keys: fc.Keys,
+				Options: fc.kiteOptions(), Mix: s.mix, Keys: fc.Keys,
 				Warmup: fc.Warmup, Measure: fc.Measure,
 			})
 			if err != nil {
@@ -122,7 +114,7 @@ func Figure6(fc FigureConfig, writeRatios []float64) error {
 				rmw = w // RMWs are a subset of writes
 			}
 			res, err := RunKite(KiteOpts{
-				Config: fc.coreConfig(),
+				Options: fc.kiteOptions(),
 				Mix:    Mix{WriteRatio: w, SyncFrac: s.sync, RMWFrac: rmw},
 				Keys:   fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure,
 			})
@@ -151,7 +143,7 @@ func Figure7(fc FigureConfig) error {
 		{"Kite-RMWs(Paxos)", Mix{WriteRatio: 1, RMWFrac: 1}},
 	}
 	for _, r := range rows {
-		res, err := RunKite(KiteOpts{Config: fc.coreConfig(), Mix: r.mix,
+		res, err := RunKite(KiteOpts{Options: fc.kiteOptions(), Mix: r.mix,
 			Keys: fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure})
 		if err != nil {
 			return err
@@ -240,7 +232,7 @@ func Figure9(fc FigureConfig, sleepFor time.Duration) error {
 		sleepFor = 400 * time.Millisecond
 	}
 	out, err := RunFailureStudy(FailureOpts{
-		Config:    fc.coreConfig(),
+		Options:   fc.kiteOptions(),
 		Mix:       Mix{WriteRatio: 0.05, SyncFrac: 0.05},
 		Keys:      fc.Keys,
 		SleepNode: fc.Nodes - 1,
@@ -273,16 +265,16 @@ func AblationTimeout(fc FigureConfig, timeouts []time.Duration) error {
 	fc.printf("# Ablation: release timeout vs throughput with a sleeping replica\n")
 	fc.printf("%-12s %14s %14s\n", "timeout", "healthy", "with-sleeper")
 	for _, to := range timeouts {
-		cfg := fc.coreConfig()
-		cfg.ReleaseTimeout = to
-		healthy, err := RunKite(KiteOpts{Config: cfg,
+		opts := fc.kiteOptions()
+		opts.ReleaseTimeout = to
+		healthy, err := RunKite(KiteOpts{Options: opts,
 			Mix: Mix{WriteRatio: 0.2, SyncFrac: 0.2}, Keys: fc.Keys,
 			Warmup: fc.Warmup, Measure: fc.Measure})
 		if err != nil {
 			return err
 		}
 		out, err := RunFailureStudy(FailureOpts{
-			Config: cfg, Mix: Mix{WriteRatio: 0.2, SyncFrac: 0.2}, Keys: fc.Keys,
+			Options: opts, Mix: Mix{WriteRatio: 0.2, SyncFrac: 0.2}, Keys: fc.Keys,
 			SleepNode: fc.Nodes - 1,
 			SleepFor:  300 * time.Millisecond, Total: 500 * time.Millisecond,
 			SleepAt: 100 * time.Millisecond,
@@ -300,9 +292,9 @@ func AblationTimeout(fc FigureConfig, timeouts []time.Duration) error {
 func AblationFastPath(fc FigureConfig) error {
 	fc.printf("# Ablation: fast path on/off (mreqs)\n")
 	for _, disabled := range []bool{false, true} {
-		cfg := fc.coreConfig()
-		cfg.DisableFastPath = disabled
-		res, err := RunKite(KiteOpts{Config: cfg,
+		opts := fc.kiteOptions()
+		opts.DisableFastPath = disabled
+		res, err := RunKite(KiteOpts{Options: opts,
 			Mix: Mix{WriteRatio: 0.05, SyncFrac: 0.05}, Keys: fc.Keys,
 			Warmup: fc.Warmup, Measure: fc.Measure})
 		if err != nil {

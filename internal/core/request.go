@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"errors"
+	"sync/atomic"
 
 	"kite/internal/kvs"
 )
@@ -35,8 +36,20 @@ func (c OpCode) String() string {
 // IsRMW reports whether the op maps to Paxos.
 func (c OpCode) IsRMW() bool { return c == OpFAA || c == OpCASWeak || c == OpCASStrong }
 
-// ErrStopped is reported by requests outstanding when the node shuts down.
-var ErrStopped = errors.New("kite: node stopped")
+// Errors shared by every Kite backend: the public in-process package and
+// the remote client surface these same sentinels, so application code can
+// errors.Is() against one taxonomy regardless of deployment.
+var (
+	// ErrStopped is reported by requests outstanding when the node shuts
+	// down.
+	ErrStopped = errors.New("kite: node stopped")
+	// ErrValueTooLong rejects a value or CAS comparand over MaxValueLen at
+	// submission, before the operation consumes any session ordering slot.
+	ErrValueTooLong = errors.New("kite: value exceeds MaxValueLen")
+	// ErrCanceled is reported by requests abandoned via context
+	// cancellation before they executed.
+	ErrCanceled = errors.New("kite: operation canceled")
+)
 
 // Request is one Kite API invocation. Clients fill the input fields, submit
 // via Session.Submit, and receive the completed request through Done — which
@@ -61,9 +74,20 @@ type Request struct {
 	// Done is invoked exactly once on completion.
 	Done func(*Request)
 
-	sess   *Session
-	outBuf [kvs.MaxValueLen]byte
+	sess     *Session
+	canceled atomic.Bool
+	outBuf   [kvs.MaxValueLen]byte
 }
+
+// Cancel marks the request as abandoned by its submitter. A request still
+// queued behind the session head completes with ErrCanceled (and has no
+// effect) when the worker reaches it; a request already executing runs to
+// completion — its quorum rounds cannot be recalled. Safe to call from any
+// goroutine, at most once per submitted request.
+func (r *Request) Cancel() { r.canceled.Store(true) }
+
+// Canceled reports whether Cancel was called.
+func (r *Request) Canceled() bool { return r.canceled.Load() }
 
 // setOut copies v into the request-owned result buffer.
 func (r *Request) setOut(v []byte) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"kite/internal/es"
+	"kite/internal/kvs"
 )
 
 // Session is the unit of ordering in Kite: requests submitted to a session
@@ -54,6 +55,13 @@ func (s *Session) Node() uint8 { return s.node.ID }
 // a single logical thread of control.
 func (s *Session) Submit(r *Request) {
 	r.sess = s
+	// Validate payload sizes at the submission boundary: every backend
+	// rejects oversized values with the same ErrValueTooLong instead of the
+	// store silently truncating them mid-protocol.
+	if len(r.Val) > kvs.MaxValueLen || len(r.Expected) > kvs.MaxValueLen {
+		s.complete(r, ErrValueTooLong)
+		return
+	}
 	if s.node.stopped.Load() {
 		s.complete(r, ErrStopped)
 		return

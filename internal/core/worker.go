@@ -256,6 +256,12 @@ func (w *Worker) scanDeadlines() {
 func (w *Worker) pump(s *Session) {
 	for s.head == nil && len(s.queue) > 0 {
 		r := s.queue[0]
+		if r.Canceled() {
+			// Abandoned before it was issued: it never executes.
+			s.queue = s.queue[1:]
+			s.complete(r, ErrCanceled)
+			continue
+		}
 		if r.Code == OpWrite && s.tracker.Len() >= w.node.cfg.MaxPendingWrites {
 			s.throttled = true
 			return

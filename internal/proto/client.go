@@ -40,13 +40,19 @@ const (
 	// ClientOpPing checks liveness (used by Dial to fail fast when no
 	// server is listening).
 	ClientOpPing uint8 = 0x12
+
+	// ClientOpBatch marks a batched request frame (ClientBatch): several
+	// data ops with consecutive seqs pipelined in one datagram — the remote
+	// hot path of DoBatch. Replies remain one frame per op, matched by
+	// (sess, seq) exactly like individually sent requests.
+	ClientOpBatch uint8 = 0x20
 )
 
 var clientOpNames = map[uint8]string{
 	ClientOpRead: "read", ClientOpWrite: "write", ClientOpRelease: "release",
 	ClientOpAcquire: "acquire", ClientOpFAA: "faa", ClientOpCASWeak: "cas-weak",
 	ClientOpCASStrong: "cas-strong", ClientOpOpen: "open", ClientOpClose: "close",
-	ClientOpPing: "ping",
+	ClientOpPing: "ping", ClientOpBatch: "batch",
 }
 
 // ClientOpName names a client op code for diagnostics.
@@ -154,6 +160,138 @@ func (r *ClientRequest) Unmarshal(b []byte) error {
 	}
 	if !ClientDataOp(r.Op) && r.Op != ClientOpOpen && r.Op != ClientOpClose && r.Op != ClientOpPing {
 		return fmt.Errorf("proto: bad client op %d", r.Op)
+	}
+	return nil
+}
+
+// Batched client requests. A ClientBatch carries up to MaxBatchOps data
+// operations in a single datagram; the op at index i has sequence number
+// Seq+i, so the server's in-order submission, dedup and reply cache treat
+// the batch exactly as if its ops had arrived as consecutive individual
+// frames. One wire frame per batch on the request path is the DoBatch
+// round-trip win; replies stay per-op so loss of one reply costs one
+// retransmission, not the batch.
+//
+// Wire format (little endian), one frame per datagram:
+//
+//	batch:  op(1)=ClientOpBatch flags(1) count(2) sess(4) seq(8) acked(8)
+//	        then per op: code(1) elen(1) vlen(1) key(8) delta(8)
+//	                     expected(elen) value(vlen)
+
+// MaxBatchOps bounds the operation count of one ClientBatch frame.
+const MaxBatchOps = 64
+
+// MaxClientFrameLen is the frame-size budget batched requests are packed
+// against — conservative for common datacenter MTUs, comfortably under the
+// receive buffers.
+const MaxClientFrameLen = 1400
+
+const (
+	clientBatchHeaderLen   = 1 + 1 + 2 + 4 + 8 + 8
+	clientBatchOpHeaderLen = 1 + 1 + 1 + 8 + 8
+)
+
+// BatchOp is one data operation inside a ClientBatch.
+type BatchOp struct {
+	Code uint8
+	Key  uint64
+	// Delta is the FAA addend.
+	Delta uint64
+	// Expected is the CAS comparand.
+	Expected []byte
+	// Value is the write/release value or CAS new value.
+	Value []byte
+}
+
+// WireLen returns the encoded size of the op inside a batch frame.
+func (o BatchOp) WireLen() int { return clientBatchOpHeaderLen + len(o.Expected) + len(o.Value) }
+
+// BatchOverhead is the fixed frame cost of a ClientBatch, for callers
+// packing ops against MaxClientFrameLen.
+const BatchOverhead = clientBatchHeaderLen
+
+// ClientBatch is a batched request frame: len(Ops) data operations with
+// sequence numbers Seq..Seq+len(Ops)-1, sharing one Acked watermark.
+type ClientBatch struct {
+	Flags uint8
+	Sess  uint32
+	Seq   uint64
+	Acked uint64
+	Ops   []BatchOp
+}
+
+// AppendMarshal appends the wire encoding of b to dst.
+func (b *ClientBatch) AppendMarshal(dst []byte) ([]byte, error) {
+	if len(b.Ops) == 0 || len(b.Ops) > MaxBatchOps {
+		return dst, fmt.Errorf("proto: batch of %d ops outside [1,%d]", len(b.Ops), MaxBatchOps)
+	}
+	dst = append(dst, ClientOpBatch, b.Flags)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(b.Ops)))
+	dst = binary.LittleEndian.AppendUint32(dst, b.Sess)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Acked)
+	for _, op := range b.Ops {
+		if !ClientDataOp(op.Code) {
+			return dst, fmt.Errorf("proto: op %d not batchable", op.Code)
+		}
+		if len(op.Expected) > MaxValueLen || len(op.Value) > MaxValueLen {
+			return dst, ErrValueTooLong
+		}
+		dst = append(dst, op.Code, byte(len(op.Expected)), byte(len(op.Value)))
+		dst = binary.LittleEndian.AppendUint64(dst, op.Key)
+		dst = binary.LittleEndian.AppendUint64(dst, op.Delta)
+		dst = append(dst, op.Expected...)
+		dst = append(dst, op.Value...)
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes one batch frame from buf. Op payloads alias buf.
+func (b *ClientBatch) Unmarshal(buf []byte) error {
+	if len(buf) < clientBatchHeaderLen {
+		return ErrShortBuffer
+	}
+	if buf[0] != ClientOpBatch {
+		return fmt.Errorf("proto: not a batch frame (op %d)", buf[0])
+	}
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if count == 0 || count > MaxBatchOps {
+		return fmt.Errorf("proto: batch of %d ops outside [1,%d]", count, MaxBatchOps)
+	}
+	b.Flags = buf[1]
+	b.Sess = binary.LittleEndian.Uint32(buf[4:])
+	b.Seq = binary.LittleEndian.Uint64(buf[8:])
+	b.Acked = binary.LittleEndian.Uint64(buf[16:])
+	b.Ops = make([]BatchOp, count)
+	off := clientBatchHeaderLen
+	for i := 0; i < count; i++ {
+		if len(buf) < off+clientBatchOpHeaderLen {
+			return ErrShortBuffer
+		}
+		code, elen, vlen := buf[off], int(buf[off+1]), int(buf[off+2])
+		if !ClientDataOp(code) {
+			return fmt.Errorf("proto: bad batched op %d", code)
+		}
+		if elen > MaxValueLen || vlen > MaxValueLen {
+			return ErrValueTooLong
+		}
+		op := BatchOp{
+			Code:  code,
+			Key:   binary.LittleEndian.Uint64(buf[off+3:]),
+			Delta: binary.LittleEndian.Uint64(buf[off+11:]),
+		}
+		off += clientBatchOpHeaderLen
+		if len(buf) < off+elen+vlen {
+			return ErrShortBuffer
+		}
+		if elen > 0 {
+			op.Expected = buf[off : off+elen]
+		}
+		if vlen > 0 {
+			op.Value = buf[off+elen : off+elen+vlen]
+		}
+		off += elen + vlen
+		b.Ops[i] = op
 	}
 	return nil
 }

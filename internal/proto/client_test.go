@@ -99,6 +99,99 @@ func TestClientReplyErrors(t *testing.T) {
 	}
 }
 
+func TestClientBatchRoundTrip(t *testing.T) {
+	in := ClientBatch{
+		Flags: 1, Sess: 99, Seq: 1000, Acked: 990,
+		Ops: []BatchOp{
+			{Code: ClientOpWrite, Key: 1, Value: []byte("a")},
+			{Code: ClientOpFAA, Key: 2, Delta: 5},
+			{Code: ClientOpCASWeak, Key: 3, Expected: []byte("old"), Value: []byte("new")},
+			{Code: ClientOpRead, Key: 4},
+		},
+	}
+	buf, err := in.AppendMarshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defining property of the batch frame: several ops, ONE datagram.
+	if len(in.Ops) < 2 {
+		t.Fatal("test must batch at least 2 ops")
+	}
+	var out ClientBatch
+	if err := out.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Flags != in.Flags || out.Sess != in.Sess || out.Seq != in.Seq || out.Acked != in.Acked {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Ops) != len(in.Ops) {
+		t.Fatalf("op count %d, want %d", len(out.Ops), len(in.Ops))
+	}
+	for i := range in.Ops {
+		a, b := out.Ops[i], in.Ops[i]
+		if a.Code != b.Code || a.Key != b.Key || a.Delta != b.Delta ||
+			!bytes.Equal(a.Expected, b.Expected) || !bytes.Equal(a.Value, b.Value) {
+			t.Fatalf("op %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestClientBatchErrors(t *testing.T) {
+	var b ClientBatch
+	// Empty and oversized batches are rejected at marshal time.
+	if _, err := (&ClientBatch{}).AppendMarshal(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	tooMany := ClientBatch{Ops: make([]BatchOp, MaxBatchOps+1)}
+	if _, err := tooMany.AppendMarshal(nil); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// Control ops cannot ride in a batch.
+	ctrl := ClientBatch{Ops: []BatchOp{{Code: ClientOpOpen}}}
+	if _, err := ctrl.AppendMarshal(nil); err == nil {
+		t.Fatal("control op batched")
+	}
+	// Oversized payload.
+	big := ClientBatch{Ops: []BatchOp{{Code: ClientOpWrite, Value: make([]byte, MaxValueLen+1)}}}
+	if _, err := big.AppendMarshal(nil); err != ErrValueTooLong {
+		t.Fatalf("oversize value: %v", err)
+	}
+	// Truncated frames.
+	if err := b.Unmarshal(make([]byte, clientBatchHeaderLen-1)); err != ErrShortBuffer {
+		t.Fatalf("short header: %v", err)
+	}
+	buf, _ := (&ClientBatch{Ops: []BatchOp{{Code: ClientOpWrite, Value: []byte("xyz")}}}).AppendMarshal(nil)
+	if err := b.Unmarshal(buf[:len(buf)-1]); err != ErrShortBuffer {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	// A non-batch frame is rejected.
+	req, _ := (&ClientRequest{Op: ClientOpRead, Sess: 1, Seq: 1}).AppendMarshal(nil)
+	if err := b.Unmarshal(req); err == nil {
+		t.Fatal("non-batch frame accepted")
+	}
+}
+
+func TestClientBatchWireLen(t *testing.T) {
+	in := ClientBatch{
+		Sess: 1, Seq: 1,
+		Ops: []BatchOp{
+			{Code: ClientOpWrite, Key: 1, Value: []byte("abc")},
+			{Code: ClientOpCASStrong, Key: 2, Expected: []byte("x"), Value: []byte("yz")},
+		},
+	}
+	buf, err := in.AppendMarshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BatchOverhead
+	for _, op := range in.Ops {
+		want += op.WireLen()
+	}
+	if len(buf) != want {
+		t.Fatalf("frame is %d bytes, WireLen sums to %d", len(buf), want)
+	}
+}
+
 func TestClientOpNames(t *testing.T) {
 	if ClientOpName(ClientOpRelease) != "release" || ClientOpName(ClientOpPing) != "ping" {
 		t.Fatal("op names")

@@ -54,6 +54,7 @@ const maxHeldOut = 256
 // Stats counts server-level events.
 type Stats struct {
 	Requests       atomic.Uint64 // well-formed frames received
+	BatchedOps     atomic.Uint64 // data ops that arrived inside batch frames
 	Retransmits    atomic.Uint64 // duplicate requests answered from cache
 	Held           atomic.Uint64 // reordered requests buffered for in-order submit
 	Replies        atomic.Uint64 // replies sent
@@ -186,6 +187,15 @@ func (s *Server) recvLoop() {
 		if err != nil {
 			return // socket closed
 		}
+		if n > 0 && buf[0] == proto.ClientOpBatch {
+			var b proto.ClientBatch
+			if b.Unmarshal(buf[:n]) != nil {
+				continue // corrupt datagram: drop, like a bad checksum
+			}
+			s.stats.Requests.Add(1)
+			s.handleBatch(&b, raddr)
+			continue
+		}
 		var req proto.ClientRequest
 		if err := req.Unmarshal(buf[:n]); err != nil {
 			continue // corrupt datagram: drop, like a bad checksum
@@ -301,6 +311,21 @@ func (s *Server) lookup(id uint32) *clientSession {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sessions[id]
+}
+
+// handleBatch unrolls a batch frame: op i is exactly an individual request
+// with seq b.Seq+i, so the in-order gate, dedup and reply cache need no
+// batch-specific cases — a retransmitted batch is answered per-op from the
+// cache, a reordered one is held per-op until its gap fills.
+func (s *Server) handleBatch(b *proto.ClientBatch, raddr *net.UDPAddr) {
+	s.stats.BatchedOps.Add(uint64(len(b.Ops)))
+	for i, op := range b.Ops {
+		req := proto.ClientRequest{
+			Op: op.Code, Sess: b.Sess, Seq: b.Seq + uint64(i), Acked: b.Acked,
+			Key: op.Key, Delta: op.Delta, Expected: op.Expected, Value: op.Value,
+		}
+		s.handleData(&req, raddr)
+	}
 }
 
 func (s *Server) handleData(req *proto.ClientRequest, raddr *net.UDPAddr) {

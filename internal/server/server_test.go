@@ -173,6 +173,124 @@ func TestServerReordersToSequence(t *testing.T) {
 	}
 }
 
+// sendBatch marshals and sends one batch frame — several data ops in a
+// single datagram.
+func (rc *rawClient) sendBatch(b proto.ClientBatch) {
+	rc.t.Helper()
+	frame, err := b.AppendMarshal(nil)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	if _, err := rc.conn.Write(frame); err != nil {
+		rc.t.Fatal(err)
+	}
+}
+
+func TestServerBatchSingleDatagram(t *testing.T) {
+	_, srv := startNode(t, Config{})
+	rc := dialRaw(t, srv.Addr())
+	sess := rc.open()
+
+	// Three ops pipelined in ONE datagram: two writes and an FAA whose old
+	// value proves it executed after them in session order.
+	rc.sendBatch(proto.ClientBatch{
+		Sess: sess, Seq: 1,
+		Ops: []proto.BatchOp{
+			{Code: proto.ClientOpFAA, Key: 7, Delta: 3},
+			{Code: proto.ClientOpWrite, Key: 8, Value: []byte("v8")},
+			{Code: proto.ClientOpFAA, Key: 7, Delta: 10},
+		},
+	})
+	olds := map[uint64]uint64{}
+	for i := 0; i < 3; i++ {
+		rep := rc.recv()
+		if rep.Status != proto.ClientOK {
+			t.Fatalf("batched op reply: %+v", rep)
+		}
+		if rep.Seq == 1 || rep.Seq == 3 {
+			olds[rep.Seq] = core.DecodeUint64(rep.Value)
+		}
+	}
+	// In-order execution inside the batch: the first FAA saw 0, the second
+	// saw the first's delta.
+	if olds[1] != 0 || olds[3] != 3 {
+		t.Fatalf("batch executed out of order: olds=%v", olds)
+	}
+	if got := srv.Stats().BatchedOps.Load(); got != 3 {
+		t.Fatalf("BatchedOps = %d, want 3 (>= 2 ops in a single datagram)", got)
+	}
+	// The read-back proves the write landed too.
+	rc.send(proto.ClientRequest{Op: proto.ClientOpRead, Sess: sess, Seq: 4, Key: 8})
+	if rep := rc.recv(); string(rep.Value) != "v8" {
+		t.Fatalf("batched write lost: %+v", rep)
+	}
+}
+
+func TestServerBatchRetransmitDedupes(t *testing.T) {
+	_, srv := startNode(t, Config{})
+	rc := dialRaw(t, srv.Addr())
+	sess := rc.open()
+
+	b := proto.ClientBatch{
+		Sess: sess, Seq: 1,
+		Ops: []proto.BatchOp{
+			{Code: proto.ClientOpFAA, Key: 5, Delta: 1},
+			{Code: proto.ClientOpFAA, Key: 5, Delta: 1},
+		},
+	}
+	// Original plus two retransmissions; each waits for its replies so the
+	// retransmits hit the reply cache rather than the still-inflight
+	// ignore path. Every reply must answer from the same exactly-once
+	// execution: seq 1 -> old 0, seq 2 -> old 1.
+	for i := 0; i < 3; i++ {
+		rc.sendBatch(b)
+		for j := 0; j < 2; j++ {
+			rep := rc.recv()
+			old := core.DecodeUint64(rep.Value)
+			if (rep.Seq == 1 && old != 0) || (rep.Seq == 2 && old != 1) {
+				t.Fatalf("retransmitted batch re-executed: seq %d old %d", rep.Seq, old)
+			}
+		}
+	}
+	if srv.Stats().Retransmits.Load() != 4 {
+		t.Fatalf("Retransmits = %d, want 4", srv.Stats().Retransmits.Load())
+	}
+	rc.send(proto.ClientRequest{Op: proto.ClientOpFAA, Sess: sess, Seq: 3, Key: 5, Delta: 0})
+	if rep := rc.recv(); core.DecodeUint64(rep.Value) != 2 {
+		t.Fatalf("counter = %d after retransmitted batch, want 2", core.DecodeUint64(rep.Value))
+	}
+}
+
+func TestServerBatchReorderedToSequence(t *testing.T) {
+	_, srv := startNode(t, Config{})
+	rc := dialRaw(t, srv.Addr())
+	sess := rc.open()
+
+	// The batch with seqs 2-3 arrives before seq 1: its ops must be held
+	// and execute after seq 1, proven by FAA old values.
+	rc.sendBatch(proto.ClientBatch{
+		Sess: sess, Seq: 2,
+		Ops: []proto.BatchOp{
+			{Code: proto.ClientOpFAA, Key: 9, Delta: 10},
+			{Code: proto.ClientOpFAA, Key: 9, Delta: 100},
+		},
+	})
+	time.Sleep(50 * time.Millisecond)
+	rc.send(proto.ClientRequest{Op: proto.ClientOpFAA, Sess: sess, Seq: 1, Key: 9, Delta: 1})
+
+	got := map[uint64]uint64{}
+	for i := 0; i < 3; i++ {
+		rep := rc.recv()
+		got[rep.Seq] = core.DecodeUint64(rep.Value)
+	}
+	if got[1] != 0 || got[2] != 1 || got[3] != 11 {
+		t.Fatalf("execution order wrong: olds=%v (want 1->0, 2->1, 3->11)", got)
+	}
+	if srv.Stats().Held.Load() == 0 {
+		t.Fatal("reordered batch ops were not held")
+	}
+}
+
 func TestServerSessionErrors(t *testing.T) {
 	_, srv := startNode(t, Config{MaxSessions: 2})
 	rc := dialRaw(t, srv.Addr())

@@ -1,0 +1,138 @@
+// Package testcluster boots a real multi-process-shaped Kite deployment
+// for tests: core nodes exchanging replica traffic over loopback UDP, each
+// fronted by a client-facing session server. Tests that exercise the
+// remote backend of the unified kite.Session interface (package kite's
+// conformance suite, the dstruct structure tests, the client e2e tests)
+// share this harness instead of hand-rolling node wiring.
+package testcluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"kite/client"
+	"kite/internal/core"
+	"kite/internal/server"
+	"kite/internal/transport"
+)
+
+// Cluster is a running loopback-UDP deployment. Nodes and Servers are
+// index-aligned; both are torn down by t.Cleanup.
+type Cluster struct {
+	Nodes   []*core.Node
+	Servers []*server.Server
+}
+
+// Addr returns node i's client-facing session-server address.
+func (c *Cluster) Addr(i int) string { return c.Servers[i].Addr() }
+
+// PauseNode makes replica i unresponsive for d (the §8.4 sleeping-replica
+// failure).
+func (c *Cluster) PauseNode(i int, d time.Duration) { c.Nodes[i].Pause(d) }
+
+// Dial connects one client to every node's session server, with timeouts
+// matched to the harness config, and registers cleanup. The returned slice
+// is node-index-aligned; lease sessions with clients[i].NewSession().
+func (c *Cluster) Dial(t testing.TB) []*client.Client {
+	t.Helper()
+	clients := make([]*client.Client, len(c.Servers))
+	for i := range clients {
+		cl, err := client.Dial(c.Addr(i), client.Options{
+			DialTimeout:   2 * time.Second,
+			OpTimeout:     15 * time.Second,
+			RetryInterval: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("dial node %d: %v", i, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		clients[i] = cl
+	}
+	return clients
+}
+
+// reservePorts grabs n free loopback UDP ports. The sockets are closed
+// before use, so a clashing process could steal one — fine for tests.
+func reservePorts(t testing.TB, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	conns := make([]*net.UDPConn, n)
+	for i := range ports {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		ports[i] = c.LocalAddr().(*net.UDPAddr).Port
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return ports
+}
+
+// Start brings up n replicas over loopback UDP, each with a session server
+// on an ephemeral port, and registers teardown with t.Cleanup. The
+// configuration mirrors the client e2e environment: single worker, 8
+// sessions per worker, timeouts widened for loopback-UDP RTTs.
+func Start(t testing.TB, n int) *Cluster {
+	t.Helper()
+	const workers = 1
+	ports := reservePorts(t, n*workers)
+	addrOf := func(node, w int) string {
+		return fmt.Sprintf("127.0.0.1:%d", ports[node*workers+w])
+	}
+	cfg := core.Config{
+		Nodes: n, Workers: workers, SessionsPerWorker: 8, KVSCapacity: 1 << 12,
+		// Loopback UDP RTTs are well above in-process latencies; widen the
+		// timeouts so healthy runs stay on the fast path.
+		ReleaseTimeout: 50 * time.Millisecond,
+		RetryInterval:  25 * time.Millisecond,
+	}
+	cl := &Cluster{}
+	t.Cleanup(func() {
+		for _, s := range cl.Servers {
+			s.Close()
+		}
+		for _, nd := range cl.Nodes {
+			nd.Stop()
+		}
+	})
+	for id := 0; id < n; id++ {
+		listen := make([]string, workers)
+		for w := range listen {
+			listen[w] = addrOf(id, w)
+		}
+		peers := make(map[uint8][]string)
+		for p := 0; p < n; p++ {
+			if p == id {
+				continue
+			}
+			pa := make([]string, workers)
+			for w := range pa {
+				pa[w] = addrOf(p, w)
+			}
+			peers[uint8(p)] = pa
+		}
+		tr, err := transport.NewUDP(transport.UDPConfig{
+			LocalNode: uint8(id), Workers: workers, Listen: listen, Peers: peers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := core.NewNode(uint8(id), cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.Start()
+		srv, err := server.New(nd, server.Config{Addr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Nodes = append(cl.Nodes, nd)
+		cl.Servers = append(cl.Servers, srv)
+	}
+	return cl
+}

@@ -13,20 +13,36 @@
 // paper): annotate synchronisation operations and get strong consistency
 // where it matters, eventual-consistency performance everywhere else.
 //
-//   - Read/Write: relaxed accesses, run by Eventual Store — reads are local,
-//     writes broadcast asynchronously (per-key SC).
-//   - ReleaseWrite: a write that acts as a one-way barrier — by the time it
-//     is visible, every prior write of the session is visible (ABD).
-//   - AcquireRead: a read that acts as a one-way barrier — accesses after it
+//   - OpRead/OpWrite: relaxed accesses, run by Eventual Store — reads are
+//     local, writes broadcast asynchronously (per-key SC).
+//   - OpRelease: a write that acts as a one-way barrier — by the time it is
+//     visible, every prior write of the session is visible (ABD).
+//   - OpAcquire: a read that acts as a one-way barrier — accesses after it
 //     see everything before the release it reads from (ABD).
-//   - FAA / CompareAndSwap: atomic read-modify-writes (per-key Paxos). The
-//     weak CAS may complete locally when its comparison fails; the strong
-//     variant always checks remote replicas.
+//   - OpFAA / OpCASWeak / OpCASStrong: atomic read-modify-writes (per-key
+//     Paxos). The weak CAS may complete locally when its comparison fails;
+//     the strong variant always checks remote replicas.
 //
-// All operations exist in synchronous and asynchronous (…Async, §6.1)
-// flavours. A Session is a single logical thread of control: its operations
-// take effect in submission order, and sync calls must not be interleaved
-// from multiple goroutines.
+// # One API, two deployments
+//
+// Every operation is an Op value executed through the Session interface:
+// Do (synchronous, context-aware), DoAsync (pipelined, §6.1) and DoBatch
+// (many ops, one submission — on the remote backend, one wire frame), plus
+// the familiar convenience methods (Read, Write, ReleaseWrite, AcquireRead,
+// FAA, CompareAndSwap) layered on top. A Session is a single logical thread
+// of control: its operations take effect in submission order, and sync
+// calls must not be interleaved from multiple goroutines.
+//
+// Two backends implement Session: the in-process Cluster below, and
+// kite/client.Session for external processes talking UDP to a node's
+// session server (kite-node -client-addr). Code written against the
+// interface — the dstruct structures, the examples, the benchmark drivers —
+// runs unchanged over either deployment.
+//
+// Contexts carry per-operation deadlines and cancellation; there is no
+// hidden operation timeout. Failures surface as the shared taxonomy
+// (ErrStopped, ErrValueTooLong, ErrCanceled, ErrSessionClosed), identical
+// across backends.
 //
 // # Deployment
 //
@@ -34,22 +50,19 @@
 // replicas exchange messages over an in-memory lossy transport with
 // pluggable fault injection, which is also how the paper's failure studies
 // are reproduced. Multi-process deployments over UDP are available via
-// kite/internal/transport and cmd/kite-node.
+// cmd/kite-node and the kite/client package.
 package kite
 
 import (
-	"errors"
 	"time"
 
 	"kite/internal/core"
 	"kite/internal/transport"
 )
 
-// MaxValueLen is the largest value (in bytes) Kite stores.
+// MaxValueLen is the largest value (in bytes) Kite stores. Oversized values
+// are rejected at submission with ErrValueTooLong.
 const MaxValueLen = 64
-
-// ErrStopped is returned by operations outstanding when the cluster stops.
-var ErrStopped = core.ErrStopped
 
 // Options configure a Cluster. The zero value of any field selects the
 // evaluation default (5 replicas, 4 workers, 1 ms release timeout...).
@@ -106,11 +119,12 @@ func (c *Cluster) Nodes() int { return c.c.Nodes() }
 // SessionsPerNode returns how many sessions each replica offers.
 func (c *Cluster) SessionsPerNode() int { return c.c.Node(0).Sessions() }
 
-// Session opens a handle to session sess of replica node. Handles are
-// single-threaded: synchronous calls must not be made concurrently on one
-// handle.
-func (c *Cluster) Session(node, sess int) *Session {
-	return &Session{s: c.c.Node(node).Session(sess), done: make(chan *core.Request, 1)}
+// Session opens a handle to session sess of replica node, as the unified
+// Session interface. Handles are single-threaded: synchronous calls must
+// not be made concurrently on one handle, and two handles to the same
+// (node, sess) pair must not be used concurrently.
+func (c *Cluster) Session(node, sess int) Session {
+	return newClusterSession(c.c.Node(node).Session(sess))
 }
 
 // PauseNode makes a replica unresponsive for d — the sleeping-replica
@@ -141,148 +155,3 @@ func (c *Cluster) OpClassCounts(node int) [7]uint64 {
 
 // Close stops every replica; outstanding operations fail with ErrStopped.
 func (c *Cluster) Close() { c.c.Close() }
-
-// Session is a client's ordered stream of operations, pinned to one worker
-// of one replica (§6.1).
-type Session struct {
-	s    *core.Session
-	done chan *core.Request
-}
-
-// errTimeout guards the sync API against a stalled deployment.
-var errTimeout = errors.New("kite: operation timed out")
-
-const syncTimeout = 30 * time.Second
-
-func (s *Session) run(r *core.Request) (*core.Request, error) {
-	r.Done = func(r *core.Request) { s.done <- r }
-	s.s.Submit(r)
-	select {
-	case out := <-s.done:
-		return out, out.Err
-	case <-time.After(syncTimeout):
-		return r, errTimeout
-	}
-}
-
-// Read performs a relaxed read. The returned slice is owned by the caller.
-func (s *Session) Read(key uint64) ([]byte, error) {
-	r, err := s.run(&core.Request{Code: core.OpRead, Key: key})
-	return cloneVal(r.Out), err
-}
-
-// Write performs a relaxed write.
-func (s *Session) Write(key uint64, val []byte) error {
-	_, err := s.run(&core.Request{Code: core.OpWrite, Key: key, Val: val})
-	return err
-}
-
-// ReleaseWrite performs a release: it takes effect only after all prior
-// writes of this session are visible (one-way barrier, Table 1).
-func (s *Session) ReleaseWrite(key uint64, val []byte) error {
-	_, err := s.run(&core.Request{Code: core.OpRelease, Key: key, Val: val})
-	return err
-}
-
-// AcquireRead performs an acquire: accesses after it are ordered after it
-// (one-way barrier, Table 1). Releases/acquires are linearizable.
-func (s *Session) AcquireRead(key uint64) ([]byte, error) {
-	r, err := s.run(&core.Request{Code: core.OpAcquire, Key: key})
-	return cloneVal(r.Out), err
-}
-
-// FAA atomically adds delta to the counter at key, returning the previous
-// value. Counters are 8-byte little-endian; absent keys count as zero.
-func (s *Session) FAA(key uint64, delta uint64) (old uint64, err error) {
-	r, err := s.run(&core.Request{Code: core.OpFAA, Key: key, Delta: delta})
-	return r.Uint64Out(), err
-}
-
-// CompareAndSwap atomically replaces the value at key with new iff the
-// current value equals expected, returning success and the previous value.
-// The weak variant may complete locally when the comparison fails against
-// the local copy (§6.1) — cheaper under contention, but a weak failure does
-// not carry acquire semantics.
-func (s *Session) CompareAndSwap(key uint64, expected, newVal []byte, weak bool) (swapped bool, old []byte, err error) {
-	code := core.OpCASStrong
-	if weak {
-		code = core.OpCASWeak
-	}
-	r, err := s.run(&core.Request{Code: code, Key: key, Expected: expected, Val: newVal})
-	return r.Swapped, cloneVal(r.Out), err
-}
-
-// Result is the outcome of an asynchronous operation.
-type Result struct {
-	// Value is the operation's result value (read/acquire: the value read;
-	// FAA/CAS: the previous value). Owned by the callback receiver.
-	Value []byte
-	// Swapped reports CAS success.
-	Swapped bool
-	// Err is non-nil only if the node stopped before completion.
-	Err error
-}
-
-// submitAsync builds and submits an async request. Callbacks run on the
-// owning worker goroutine and must not block.
-func (s *Session) submitAsync(r *core.Request, cb func(Result)) {
-	if cb != nil {
-		r.Done = func(r *core.Request) {
-			cb(Result{Value: cloneVal(r.Out), Swapped: r.Swapped, Err: r.Err})
-		}
-	}
-	s.s.Submit(r)
-}
-
-// ReadAsync issues a relaxed read; cb receives the value.
-func (s *Session) ReadAsync(key uint64, cb func(Result)) {
-	s.submitAsync(&core.Request{Code: core.OpRead, Key: key}, cb)
-}
-
-// WriteAsync issues a relaxed write; cb (optional) fires on completion.
-func (s *Session) WriteAsync(key uint64, val []byte, cb func(Result)) {
-	s.submitAsync(&core.Request{Code: core.OpWrite, Key: key, Val: cloneVal(val)}, cb)
-}
-
-// ReleaseWriteAsync issues a release write.
-func (s *Session) ReleaseWriteAsync(key uint64, val []byte, cb func(Result)) {
-	s.submitAsync(&core.Request{Code: core.OpRelease, Key: key, Val: cloneVal(val)}, cb)
-}
-
-// AcquireReadAsync issues an acquire read.
-func (s *Session) AcquireReadAsync(key uint64, cb func(Result)) {
-	s.submitAsync(&core.Request{Code: core.OpAcquire, Key: key}, cb)
-}
-
-// FAAAsync issues a fetch-and-add.
-func (s *Session) FAAAsync(key uint64, delta uint64, cb func(Result)) {
-	s.submitAsync(&core.Request{Code: core.OpFAA, Key: key, Delta: delta}, cb)
-}
-
-// CompareAndSwapAsync issues a CAS.
-func (s *Session) CompareAndSwapAsync(key uint64, expected, newVal []byte, weak bool, cb func(Result)) {
-	code := core.OpCASStrong
-	if weak {
-		code = core.OpCASWeak
-	}
-	s.submitAsync(&core.Request{
-		Code: code, Key: key,
-		Expected: cloneVal(expected), Val: cloneVal(newVal),
-	}, cb)
-}
-
-// EncodeUint64 encodes a counter value in Kite's FAA/CAS convention
-// (8-byte little-endian).
-func EncodeUint64(x uint64) []byte { return core.EncodeUint64(x) }
-
-// DecodeUint64 decodes a counter value; short or absent values read as zero.
-func DecodeUint64(v []byte) uint64 { return core.DecodeUint64(v) }
-
-func cloneVal(v []byte) []byte {
-	if len(v) == 0 {
-		return nil
-	}
-	out := make([]byte, len(v))
-	copy(out, v)
-	return out
-}

@@ -87,7 +87,7 @@ func TestPublicAsyncAPI(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		s.WriteAsync(uint64(i), []byte{byte(i)}, func(r Result) {
+		s.DoAsync(WriteOp(uint64(i), []byte{byte(i)}), func(r Result) {
 			if r.Err != nil {
 				t.Errorf("async write: %v", r.Err)
 			}
@@ -103,7 +103,7 @@ func TestPublicAsyncAPI(t *testing.T) {
 	}
 
 	got := make(chan Result, 1)
-	s.ReadAsync(5, func(r Result) { got <- r })
+	s.DoAsync(ReadOp(5), func(r Result) { got <- r })
 	select {
 	case r := <-got:
 		if len(r.Value) != 1 || r.Value[0] != 5 {

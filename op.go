@@ -1,0 +1,266 @@
+package kite
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"kite/internal/core"
+)
+
+// OpCode identifies a Kite API operation (Table 1 of the paper plus the RMW
+// variants of §6.1). The numbering is shared with the wire protocol and the
+// core execution layer.
+type OpCode uint8
+
+// The Kite operation set.
+const (
+	// OpRead is a relaxed read (Eventual Store: local in the common case).
+	OpRead OpCode = iota
+	// OpWrite is a relaxed write (Eventual Store: async broadcast).
+	OpWrite
+	// OpRelease is a release write — a one-way barrier: by the time it is
+	// visible, every prior write of the session is visible (ABD).
+	OpRelease
+	// OpAcquire is an acquire read — a one-way barrier: accesses after it
+	// see everything before the release it reads from (ABD).
+	OpAcquire
+	// OpFAA is an atomic fetch-and-add (per-key Paxos). Counters are 8-byte
+	// little-endian; absent keys count as zero.
+	OpFAA
+	// OpCASWeak is a compare-and-swap that may fail locally when the
+	// comparison fails against the local copy (§6.1) — cheaper under
+	// contention, but a weak failure does not carry acquire semantics.
+	OpCASWeak
+	// OpCASStrong is a compare-and-swap that always checks remote replicas.
+	OpCASStrong
+)
+
+func (c OpCode) String() string { return core.OpCode(c).String() }
+
+// Op is one Kite operation as a plain value: the single currency of the
+// unified Session API. Fill the fields the op class uses and hand it to
+// Do/DoAsync/DoBatch — the same value drives the in-process cluster and the
+// remote client.
+type Op struct {
+	Code OpCode
+	Key  uint64
+	// Value is the write/release value, or the CAS new value.
+	Value []byte
+	// Expected is the CAS comparand.
+	Expected []byte
+	// Delta is the FAA addend.
+	Delta uint64
+}
+
+// Convenience constructors for the operation set.
+
+// ReadOp returns a relaxed read of key.
+func ReadOp(key uint64) Op { return Op{Code: OpRead, Key: key} }
+
+// WriteOp returns a relaxed write of val to key.
+func WriteOp(key uint64, val []byte) Op { return Op{Code: OpWrite, Key: key, Value: val} }
+
+// ReleaseOp returns a release write of val to key.
+func ReleaseOp(key uint64, val []byte) Op { return Op{Code: OpRelease, Key: key, Value: val} }
+
+// AcquireOp returns an acquire read of key.
+func AcquireOp(key uint64) Op { return Op{Code: OpAcquire, Key: key} }
+
+// FAAOp returns a fetch-and-add of delta on key.
+func FAAOp(key uint64, delta uint64) Op { return Op{Code: OpFAA, Key: key, Delta: delta} }
+
+// CASOp returns a compare-and-swap of key from expected to newVal; weak
+// selects the locally-failing variant.
+func CASOp(key uint64, expected, newVal []byte, weak bool) Op {
+	code := OpCASStrong
+	if weak {
+		code = OpCASWeak
+	}
+	return Op{Code: code, Key: key, Expected: expected, Value: newVal}
+}
+
+// Result is the outcome of one operation, identical across backends.
+type Result struct {
+	// Value is the operation's result value (read/acquire: the value read;
+	// FAA/CAS: the previous value). Owned by the receiver.
+	Value []byte
+	// Swapped reports CAS success.
+	Swapped bool
+	// Err is the operation's error (see the taxonomy below), nil on
+	// success.
+	Err error
+}
+
+// Uint64 decodes the result value as a counter (FAA convention: 8-byte
+// little-endian, short or absent values read as zero).
+func (r Result) Uint64() uint64 { return DecodeUint64(r.Value) }
+
+// The shared error taxonomy. Both backends — the in-process cluster and the
+// remote client — report these sentinels (possibly wrapped; test with
+// errors.Is).
+var (
+	// ErrStopped: the node stopped before the operation completed.
+	ErrStopped = core.ErrStopped
+	// ErrValueTooLong: a value or CAS comparand exceeds MaxValueLen. The
+	// operation is rejected at submission and has no effect.
+	ErrValueTooLong = core.ErrValueTooLong
+	// ErrCanceled: the operation's context was canceled or its deadline
+	// expired before completion. Unless the backend can prove otherwise,
+	// the operation MAY still take effect (it may already be executing, or
+	// in flight to the server).
+	ErrCanceled = core.ErrCanceled
+	// ErrSessionClosed: the session handle was closed.
+	ErrSessionClosed = errors.New("kite: session closed")
+	// ErrBadOp: the Op carries a code outside the operation set. The
+	// operation is rejected at submission and has no effect.
+	ErrBadOp = errors.New("kite: bad op code")
+)
+
+// ValidateOp checks an Op against the submission rules every backend
+// enforces before consuming a session-order slot: a known op code and
+// payloads within MaxValueLen. Backends call it so malformed ops fail
+// identically (ErrBadOp, ErrValueTooLong) regardless of deployment.
+func ValidateOp(op Op) error {
+	if op.Code > OpCASStrong {
+		return fmt.Errorf("%w %d", ErrBadOp, op.Code)
+	}
+	if len(op.Value) > MaxValueLen || len(op.Expected) > MaxValueLen {
+		return ErrValueTooLong
+	}
+	return nil
+}
+
+// canceledErr ties ErrCanceled to the context cause, so errors.Is matches
+// both ErrCanceled and context.Canceled/DeadlineExceeded.
+func canceledErr(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w (%w)", ErrCanceled, cause)
+}
+
+// CanceledErr wraps a context error into the shared taxonomy: the returned
+// error satisfies errors.Is against both ErrCanceled and cause. Backends
+// use it to report context expiry; applications rarely need it.
+func CanceledErr(cause error) error { return canceledErr(cause) }
+
+// Doer is the operation-submission core of a Session: one synchronous,
+// one asynchronous and one batched entry point, all speaking Op/Result.
+type Doer interface {
+	// Do executes op and returns its result. It blocks until the operation
+	// completes or ctx is done; on context expiry it returns a result whose
+	// Err (also returned) matches ErrCanceled and the context cause. A
+	// canceled operation may still take effect — cancellation abandons the
+	// wait and, where possible, the execution, but cannot recall quorum
+	// rounds already in flight.
+	Do(ctx context.Context, op Op) (Result, error)
+	// DoAsync submits op and returns immediately; cb (optional) receives
+	// the result. Callbacks run on a backend-owned goroutine and must not
+	// block. Value/Expected are copied before DoAsync returns, so the
+	// caller may reuse its slices immediately.
+	DoAsync(op Op, cb func(Result))
+	// DoBatch executes ops and returns their results, index-aligned with
+	// ops. The batch occupies consecutive positions in session order with
+	// no other operation of this session interleaved, and ops execute in
+	// slice order. The remote backend pipelines the whole batch — many ops
+	// per wire frame, one round trip — making DoBatch the preferred way to
+	// issue bulk relaxed accesses remotely. Validation is all-or-nothing:
+	// if any op is malformed (ErrValueTooLong, ErrBadOp) the whole batch
+	// is rejected up front — nil results, no op executes. After that,
+	// batches are not transactions: each op commits individually, and the
+	// returned error is the first per-op error in batch order (the
+	// results are still returned), or a context error as in Do; on
+	// context expiry ops not yet completed have Err matching ErrCanceled.
+	DoBatch(ctx context.Context, ops []Op) ([]Result, error)
+}
+
+// Session is the unified Kite API: a single logical thread of control whose
+// operations take effect in submission order (§2.1), with one method set
+// shared by every deployment. kite.Cluster sessions (in-process) and
+// client.Session (remote, UDP) both implement it, so data structures,
+// examples and benchmarks run unchanged over either.
+//
+// Synchronous calls (Do, DoBatch and the convenience methods) must not be
+// interleaved from multiple goroutines; DoAsync submissions are serialised
+// internally and complete in submission order.
+type Session interface {
+	Doer
+
+	// Read performs a relaxed read. The returned slice is owned by the
+	// caller.
+	Read(key uint64) ([]byte, error)
+	// Write performs a relaxed write.
+	Write(key uint64, val []byte) error
+	// ReleaseWrite performs a release: it takes effect only after all
+	// prior writes of this session are visible (one-way barrier, Table 1).
+	ReleaseWrite(key uint64, val []byte) error
+	// AcquireRead performs an acquire: accesses after it are ordered after
+	// it (one-way barrier, Table 1). Releases/acquires are linearizable.
+	AcquireRead(key uint64) ([]byte, error)
+	// FAA atomically adds delta to the counter at key, returning the
+	// previous value.
+	FAA(key uint64, delta uint64) (old uint64, err error)
+	// CompareAndSwap atomically replaces the value at key with newVal iff
+	// the current value equals expected, returning success and the
+	// previous value.
+	CompareAndSwap(key uint64, expected, newVal []byte, weak bool) (swapped bool, old []byte, err error)
+	// Close releases the session handle. In-process handles just become
+	// unusable; remote sessions return their lease to the node. Operations
+	// after Close fail with ErrSessionClosed.
+	Close() error
+}
+
+// Ops derives Session's convenience methods from a Doer. Backends embed it
+// (pointing it at themselves) so the sugar is written once:
+//
+//	type mySession struct {
+//		kite.Ops
+//		...
+//	}
+//	s := &mySession{...}
+//	s.Ops = kite.Ops{Doer: s}
+type Ops struct{ Doer }
+
+// Read performs a relaxed read via Do.
+func (o Ops) Read(key uint64) ([]byte, error) {
+	r, err := o.Do(context.Background(), ReadOp(key))
+	return r.Value, err
+}
+
+// Write performs a relaxed write via Do.
+func (o Ops) Write(key uint64, val []byte) error {
+	_, err := o.Do(context.Background(), WriteOp(key, val))
+	return err
+}
+
+// ReleaseWrite performs a release write via Do.
+func (o Ops) ReleaseWrite(key uint64, val []byte) error {
+	_, err := o.Do(context.Background(), ReleaseOp(key, val))
+	return err
+}
+
+// AcquireRead performs an acquire read via Do.
+func (o Ops) AcquireRead(key uint64) ([]byte, error) {
+	r, err := o.Do(context.Background(), AcquireOp(key))
+	return r.Value, err
+}
+
+// FAA performs a fetch-and-add via Do.
+func (o Ops) FAA(key uint64, delta uint64) (old uint64, err error) {
+	r, err := o.Do(context.Background(), FAAOp(key, delta))
+	return r.Uint64(), err
+}
+
+// CompareAndSwap performs a CAS via Do.
+func (o Ops) CompareAndSwap(key uint64, expected, newVal []byte, weak bool) (swapped bool, old []byte, err error) {
+	r, err := o.Do(context.Background(), CASOp(key, expected, newVal, weak))
+	return r.Swapped, r.Value, err
+}
+
+// EncodeUint64 encodes a counter value in Kite's FAA/CAS convention
+// (8-byte little-endian).
+func EncodeUint64(x uint64) []byte { return core.EncodeUint64(x) }
+
+// DecodeUint64 decodes a counter value; short or absent values read as zero.
+func DecodeUint64(v []byte) uint64 { return core.DecodeUint64(v) }

@@ -1,0 +1,188 @@
+package kite
+
+import (
+	"context"
+	"sync/atomic"
+
+	"kite/internal/core"
+)
+
+// clusterSession is the in-process implementation of Session: a thin
+// adapter from the Op/Result model onto one worker-owned core session.
+type clusterSession struct {
+	Ops
+	s      *core.Session
+	closed atomic.Bool
+}
+
+func newClusterSession(s *core.Session) *clusterSession {
+	cs := &clusterSession{s: s}
+	cs.Ops = Ops{Doer: cs}
+	return cs
+}
+
+// request translates an Op into a core request. Slices are passed through
+// (copy == false) only when the caller provably blocks until the worker is
+// done with them — a synchronous call with a non-cancelable context. Any
+// path that can return to the caller while the request is still live
+// (async, or a context that may expire) must copy, or the caller could
+// reuse its buffer while the worker still reads it.
+func request(op Op, copySlices bool) *core.Request {
+	val, exp := op.Value, op.Expected
+	if copySlices {
+		val, exp = cloneVal(val), cloneVal(exp)
+	}
+	return &core.Request{
+		Code: core.OpCode(op.Code), Key: op.Key,
+		Val: val, Expected: exp, Delta: op.Delta,
+	}
+}
+
+func result(r *core.Request) Result {
+	return Result{Value: cloneVal(r.Out), Swapped: r.Swapped, Err: r.Err}
+}
+
+// Do executes op synchronously. With no deadline on ctx it waits as long
+// as the deployment takes — the context is the only timeout mechanism. On
+// ctx expiry the request is canceled: if the worker had not issued it yet
+// it completes with ErrCanceled and has no effect; if it was already
+// executing, it runs to completion in the background.
+func (s *clusterSession) Do(ctx context.Context, op Op) (Result, error) {
+	if s.closed.Load() {
+		return Result{Err: ErrSessionClosed}, ErrSessionClosed
+	}
+	if err := ValidateOp(op); err != nil {
+		return Result{Err: err}, err
+	}
+	// ctx.Done() == nil (e.g. context.Background) means Do cannot return
+	// before completion, so the worker may safely read the caller's
+	// slices in place; a cancelable context forces a copy.
+	r := request(op, ctx.Done() != nil)
+	done := make(chan *core.Request, 1)
+	r.Done = func(r *core.Request) { done <- r }
+	s.s.Submit(r)
+	select {
+	case out := <-done:
+		return result(out), out.Err
+	case <-ctx.Done():
+		r.Cancel()
+		// Prefer a completion that raced the cancellation.
+		select {
+		case out := <-done:
+			return result(out), out.Err
+		default:
+		}
+		err := canceledErr(ctx.Err())
+		return Result{Err: err}, err
+	}
+}
+
+// DoAsync submits op without waiting; cb runs on the owning worker
+// goroutine and must not block.
+func (s *clusterSession) DoAsync(op Op, cb func(Result)) {
+	if s.closed.Load() {
+		if cb != nil {
+			cb(Result{Err: ErrSessionClosed})
+		}
+		return
+	}
+	if err := ValidateOp(op); err != nil {
+		if cb != nil {
+			cb(Result{Err: err})
+		}
+		return
+	}
+	r := request(op, true)
+	if cb != nil {
+		r.Done = func(r *core.Request) { cb(result(r)) }
+	}
+	s.s.Submit(r)
+}
+
+// DoBatch submits every op back-to-back — they occupy consecutive
+// positions in session order — and waits for all results.
+func (s *clusterSession) DoBatch(ctx context.Context, ops []Op) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	// Validation is all-or-nothing before any op is submitted — the same
+	// contract as the remote backend, so a malformed batch behaves
+	// identically over either deployment.
+	for _, op := range ops {
+		if err := ValidateOp(op); err != nil {
+			return nil, err
+		}
+	}
+	type indexed struct {
+		i int
+		r *core.Request
+	}
+	done := make(chan indexed, len(ops))
+	reqs := make([]*core.Request, len(ops))
+	copySlices := ctx.Done() != nil
+	for i, op := range ops {
+		r := request(op, copySlices)
+		i := i
+		r.Done = func(r *core.Request) { done <- indexed{i: i, r: r} }
+		reqs[i] = r
+		s.s.Submit(r)
+	}
+	results := make([]Result, len(ops))
+	got := make([]bool, len(ops))
+	for n := 0; n < len(ops); n++ {
+		select {
+		case x := <-done:
+			results[x.i] = result(x.r)
+			got[x.i] = true
+		case <-ctx.Done():
+			for _, r := range reqs {
+				r.Cancel()
+			}
+			// Drain completions that raced in, then mark the rest.
+			for n < len(ops) {
+				select {
+				case x := <-done:
+					results[x.i] = result(x.r)
+					got[x.i] = true
+					n++
+					continue
+				default:
+				}
+				break
+			}
+			cerr := canceledErr(ctx.Err())
+			for i := range results {
+				if !got[i] {
+					results[i] = Result{Err: cerr}
+				}
+			}
+			return results, cerr
+		}
+	}
+	// First per-op error in batch order.
+	for i := range results {
+		if results[i].Err != nil {
+			return results, results[i].Err
+		}
+	}
+	return results, nil
+}
+
+// Close invalidates the handle. The underlying worker-owned session keeps
+// existing — in-process sessions are a fixed node resource, not leases.
+func (s *clusterSession) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+func cloneVal(v []byte) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
