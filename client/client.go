@@ -152,6 +152,11 @@ type Client struct {
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	// Shard info learned from the server's ping reply at Dial: the node's
+	// replica-group count and index ((1, 0) for unsharded deployments).
+	groups int
+	group  int
 }
 
 // Dial connects to a session server and verifies it is alive with a ping
@@ -188,6 +193,12 @@ func Dial(addr string, opts Options) (*Client, error) {
 	}
 	return c, nil
 }
+
+// ShardInfo reports the dialed node's place in its deployment, as
+// advertised in the ping reply: the number of replica groups and this
+// node's group index. Unsharded deployments report (1, 0). DialSharded
+// uses it to validate a shard map; it is also useful for diagnostics.
+func (c *Client) ShardInfo() (groups, group int) { return c.groups, c.group }
 
 // Close releases the connection; outstanding and future operations fail
 // with ErrClosed. Sessions of this client become unusable (their leases
@@ -429,6 +440,11 @@ func (c *Client) controlRound(opCode uint8, sess uint32, timeout time.Duration) 
 			var id uint32
 			if rep != nil {
 				id = rep.Sess
+				if opCode == proto.ClientOpPing && err == nil {
+					// rep.Value aliases the receive buffer; decode before
+					// handing the round back.
+					c.groups, c.group = proto.ParseShardInfo(rep.Value)
+				}
 			}
 			done <- ctrlRes{sess: id, err: err}
 		},

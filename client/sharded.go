@@ -1,0 +1,92 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"kite"
+	"kite/internal/shard"
+)
+
+// ErrShardMap: the nodes dialed by DialSharded disagree with the supplied
+// shard map (wrong group count, a node in the wrong slot, or a mix of
+// sharded and unsharded nodes).
+var ErrShardMap = errors.New("kite/client: shard map mismatch")
+
+// ShardedClient is one connection per replica group of a sharded
+// deployment, composed so that sessions opened from it span the whole key
+// space. Dial it with DialSharded.
+type ShardedClient struct {
+	clients []*Client
+	m       shard.Map
+}
+
+// DialSharded connects to one node of every replica group of a sharded
+// deployment: addrs[g] must be the client address of a group-g node
+// (kite-node -groups G -group g -client-addr ...). The shard map is
+// verified against each node's ping reply — every node must report G ==
+// len(addrs) groups and its slot's group index — so a mis-wired address
+// list fails at dial time with ErrShardMap instead of silently routing
+// keys to the wrong group. A single address is the unsharded case and is
+// equivalent to Dial.
+func DialSharded(addrs []string, opts Options) (*ShardedClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("kite/client: DialSharded needs at least one address")
+	}
+	sc := &ShardedClient{m: shard.NewMap(len(addrs))}
+	for g, addr := range addrs {
+		c, err := Dial(addr, opts)
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+		sc.clients = append(sc.clients, c)
+		groups, group := c.ShardInfo()
+		if groups != len(addrs) || group != g {
+			sc.Close()
+			return nil, fmt.Errorf("%w: %s reports group %d of %d, want group %d of %d",
+				ErrShardMap, addr, group, groups, g, len(addrs))
+		}
+	}
+	return sc, nil
+}
+
+// Groups returns the number of replica groups.
+func (sc *ShardedClient) Groups() int { return len(sc.clients) }
+
+// GroupOf reports which replica group owns key.
+func (sc *ShardedClient) GroupOf(key uint64) int { return sc.m.Group(key) }
+
+// Client exposes the group-g connection (diagnostics, ShardInfo).
+func (sc *ShardedClient) Client(g int) *Client { return sc.clients[g] }
+
+// NewSession leases one session on every group's node and composes them
+// into a single kite.Session over the whole key space: relaxed accesses
+// and acquires route to the key's group; releases and RMWs fence the
+// session's writes in every other touched group first (see
+// kite/internal/shard). Closing the session releases every lease.
+func (sc *ShardedClient) NewSession() (kite.Session, error) {
+	subs := make([]kite.Session, len(sc.clients))
+	for g, c := range sc.clients {
+		s, err := c.NewSession()
+		if err != nil {
+			for _, open := range subs[:g] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("kite/client: lease on group %d: %w", g, err)
+		}
+		subs[g] = s
+	}
+	return shard.New(subs, sc.m), nil
+}
+
+// Close releases every group connection.
+func (sc *ShardedClient) Close() error {
+	var first error
+	for _, c := range sc.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -10,14 +10,22 @@
 //	kite-bench -fig 9              # failure study
 //	kite-bench -fig timeout        # release-timeout ablation
 //	kite-bench -fig fastpath       # fast-path on/off ablation
+//	kite-bench -fig shard          # throughput vs replica-group count
 //	kite-bench -fig all
 //
 // Scale knobs: -nodes, -workers, -sessions, -keys, -measure, -warmup.
-// Absolute numbers depend on the host; the paper-matching signal is the
-// *shape*: orderings, ratios and crossovers (see EXPERIMENTS.md).
+// Sharding knobs: -groups G runs the Kite series of figures 5-7 over G
+// independent replica groups of -nodes each (the structure, failure and
+// ablation studies stay single-group); -fig shard sweeps the group count
+// at a fixed machine total (-shard-total), and -json writes its
+// machine-readable report (the format of BENCH_0.json, the committed
+// baseline). Absolute numbers depend on the host; the paper-matching
+// signal is the *shape*: orderings, ratios and crossovers (see
+// EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,20 +36,24 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,timeout,fastpath,all")
-		nodes    = flag.Int("nodes", 5, "replication degree (3-9)")
-		workers  = flag.Int("workers", 4, "worker goroutines per node")
-		sessions = flag.Int("sessions", 4, "sessions per worker")
-		keys     = flag.Uint64("keys", 1<<17, "key-space size")
-		measure  = flag.Duration("measure", 600*time.Millisecond, "measurement window per point")
-		warmup   = flag.Duration("warmup", 150*time.Millisecond, "warmup per point")
-		structs  = flag.Int("structs", 256, "data-structure instances (figure 8)")
-		sleepFor = flag.Duration("sleep", 400*time.Millisecond, "replica sleep (figure 9)")
+		fig        = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,timeout,fastpath,shard,all")
+		nodes      = flag.Int("nodes", 5, "replication degree (3-9)")
+		groups     = flag.Int("groups", 1, "replica groups (sharded key space; figures 5-7 Kite series)")
+		workers    = flag.Int("workers", 4, "worker goroutines per node")
+		sessions   = flag.Int("sessions", 4, "sessions per worker")
+		keys       = flag.Uint64("keys", 1<<17, "key-space size")
+		measure    = flag.Duration("measure", 600*time.Millisecond, "measurement window per point")
+		warmup     = flag.Duration("warmup", 150*time.Millisecond, "warmup per point")
+		structs    = flag.Int("structs", 256, "data-structure instances (figure 8)")
+		sleepFor   = flag.Duration("sleep", 400*time.Millisecond, "replica sleep (figure 9)")
+		shardTotal = flag.Int("shard-total", 4, "total machines of the shard scaling series (figure shard)")
+		jsonPath   = flag.String("json", "", "write the shard figure's report as JSON to this path")
 	)
 	flag.Parse()
 
 	fc := bench.DefaultFigureConfig(os.Stdout)
 	fc.Nodes = *nodes
+	fc.Groups = *groups
 	fc.Workers = *workers
 	fc.SessionsPerWorker = *sessions
 	fc.Keys = *keys
@@ -66,4 +78,21 @@ func main() {
 	run("9", func() error { return bench.Figure9(fc, *sleepFor) })
 	run("timeout", func() error { return bench.AblationTimeout(fc, nil) })
 	run("fastpath", func() error { return bench.AblationFastPath(fc) })
+	run("shard", func() error {
+		rep, err := bench.FigureShard(fc, *shardTotal, nil)
+		if err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			b, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
+	})
 }

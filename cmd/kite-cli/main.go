@@ -50,20 +50,47 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:9000", "session server address (kite-node -client-addr)")
+		addrs   = flag.String("addrs", "", "comma-separated session server addresses of a sharded deployment, one per group (overrides -addr)")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-operation deadline")
 	)
 	flag.Parse()
 
-	c, err := client.Dial(*addr, client.Options{OpTimeout: *timeout})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "kite-cli: %v\n", err)
-		os.Exit(1)
-	}
-	defer c.Close()
-	s, err := c.NewSession()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "kite-cli: open session: %v\n", err)
-		os.Exit(1)
+	var (
+		s     kite.Session
+		where string
+	)
+	if *addrs != "" {
+		sc, err := client.DialSharded(strings.Split(*addrs, ","), client.Options{OpTimeout: *timeout})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kite-cli: %v\n", err)
+			os.Exit(1)
+		}
+		defer sc.Close()
+		sess, err := sc.NewSession()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kite-cli: open session: %v\n", err)
+			os.Exit(1)
+		}
+		s = sess
+		where = fmt.Sprintf("%s (%d groups)", *addrs, sc.Groups())
+	} else {
+		c, err := client.Dial(*addr, client.Options{OpTimeout: *timeout})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kite-cli: %v\n", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		if groups, group := c.ShardInfo(); groups > 1 {
+			fmt.Fprintf(os.Stderr, "kite-cli: warning: %s is group %d of a %d-group deployment; this session only sees that group's share of the key space — pass -addrs with one address per group\n",
+				*addr, group, groups)
+		}
+		sess, err := c.NewSession()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kite-cli: open session: %v\n", err)
+			os.Exit(1)
+		}
+		s = sess
+		where = fmt.Sprintf("%s (session %d)", *addr, sess.ID())
 	}
 	defer s.Close()
 
@@ -78,7 +105,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("connected to %s (session %d); 'help' lists commands\n", *addr, s.ID())
+	fmt.Printf("connected to %s; 'help' lists commands\n", where)
 	in := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -109,6 +136,7 @@ const usage = `commands:
   faa k d             fetch-and-add d, prints the old counter
   cas k expected new  strong compare-and-swap
   casw k expected new weak compare-and-swap (may fail locally)
+  flush               fence: wait until prior writes reach every replica
   batch c1 ; c2 ; ... pipeline data commands in one round trip (DoBatch)
   help                this text
   quit                exit`
@@ -116,6 +144,12 @@ const usage = `commands:
 // parseOp turns one parsed data command into an Op.
 func parseOp(args []string) (kite.Op, error) {
 	cmd := args[0]
+	if cmd == "flush" {
+		if len(args) != 1 {
+			return kite.Op{}, fmt.Errorf("flush takes no arguments ('help' lists commands)")
+		}
+		return kite.FlushOp(), nil
+	}
 	need := map[string]int{
 		"read": 2, "write": 3, "release": 3, "acquire": 2,
 		"faa": 3, "cas": 4, "casw": 4,

@@ -11,13 +11,26 @@
 //	kite-node -id 2 -nodes 3 -base 7000 -client-addr :9002 &
 //	kite-cli -addr 127.0.0.1:9000
 //
-// Every replica binds workers*1 UDP ports starting at base+id*workers for
-// replica-to-replica traffic. With -client-addr, the replica additionally
-// runs a session server on that UDP address: external processes connect
-// with the kite/client package (or cmd/kite-cli) and lease the node's
-// sessions to run operations remotely. With -demo, the node instead runs a
-// small producer-consumer self-test through its local sessions once the
-// deployment is up; otherwise it serves until interrupted.
+// Every replica binds workers*1 UDP ports starting at
+// base+(group*nodes+id)*workers for replica-to-replica traffic. With
+// -client-addr, the replica additionally runs a session server on that UDP
+// address: external processes connect with the kite/client package (or
+// cmd/kite-cli) and lease the node's sessions to run operations remotely.
+// With -demo, the node instead runs a small producer-consumer self-test
+// through its local sessions once the deployment is up; otherwise it
+// serves until interrupted.
+//
+// Sharded deployments run several independent replica groups over one key
+// space (-groups G -group g): replica traffic stays inside each group, the
+// session server advertises the node's (group, groups) to clients, and
+// clients shard with client.DialSharded / kite-cli -addrs, one address per
+// group. A 2-group × 2-replica deployment on one machine:
+//
+//	kite-node -groups 2 -group 0 -id 0 -nodes 2 -base 7000 -client-addr :9000 &
+//	kite-node -groups 2 -group 0 -id 1 -nodes 2 -base 7000 -client-addr :9001 &
+//	kite-node -groups 2 -group 1 -id 0 -nodes 2 -base 7000 -client-addr :9100 &
+//	kite-node -groups 2 -group 1 -id 1 -nodes 2 -base 7000 -client-addr :9101 &
+//	kite-cli -addrs 127.0.0.1:9000,127.0.0.1:9100
 package main
 
 import (
@@ -36,9 +49,11 @@ import (
 func main() {
 	var (
 		id         = flag.Int("id", 0, "this replica's id (0..nodes-1)")
-		nodes      = flag.Int("nodes", 3, "replication degree")
+		nodes      = flag.Int("nodes", 3, "replication degree (per group)")
+		groups     = flag.Int("groups", 1, "replica groups in the deployment (sharded key space)")
+		group      = flag.Int("group", 0, "this replica's group (0..groups-1)")
 		workers    = flag.Int("workers", 2, "workers per node (same on all nodes)")
-		base       = flag.Int("base", 7000, "base UDP port; node i binds base+i*workers...")
+		base       = flag.Int("base", 7000, "base UDP port; node i of group g binds base+(g*nodes+i)*workers...")
 		host       = flag.String("host", "127.0.0.1", "bind/peer host")
 		clientAddr = flag.String("client-addr", "", "UDP address for the client session server (empty: no external clients)")
 		clientMax  = flag.Int("client-sessions", 0, "max sessions leased to external clients (0: all)")
@@ -51,10 +66,16 @@ func main() {
 		// per-session contract.
 		log.Fatal("kite-node: -demo and -client-addr are mutually exclusive")
 	}
+	if *groups < 1 || *group < 0 || *group >= *groups {
+		log.Fatalf("kite-node: -group %d outside [0,%d)", *group, *groups)
+	}
 
+	// Replica traffic never crosses groups: each group owns a contiguous
+	// port block, and peers are the group-local membership only.
+	portOf := func(n, w int) int { return *base + (*group**nodes+n)**workers + w }
 	listen := make([]string, *workers)
 	for w := 0; w < *workers; w++ {
-		listen[w] = fmt.Sprintf("%s:%d", *host, *base+*id**workers+w)
+		listen[w] = fmt.Sprintf("%s:%d", *host, portOf(*id, w))
 	}
 	peers := make(map[uint8][]string)
 	for n := 0; n < *nodes; n++ {
@@ -63,7 +84,7 @@ func main() {
 		}
 		addrs := make([]string, *workers)
 		for w := 0; w < *workers; w++ {
-			addrs[w] = fmt.Sprintf("%s:%d", *host, *base+n**workers+w)
+			addrs[w] = fmt.Sprintf("%s:%d", *host, portOf(n, w))
 		}
 		peers[uint8(n)] = addrs
 	}
@@ -88,10 +109,13 @@ func main() {
 	}
 	nd.Start()
 	defer nd.Stop()
-	log.Printf("kite-node %d/%d up: %v", *id, *nodes, listen)
+	log.Printf("kite-node %d/%d (group %d/%d) up: %v", *id, *nodes, *group, *groups, listen)
 
 	if *clientAddr != "" {
-		srv, err := server.New(nd, server.Config{Addr: *clientAddr, MaxSessions: *clientMax})
+		srv, err := server.New(nd, server.Config{
+			Addr: *clientAddr, MaxSessions: *clientMax,
+			Groups: *groups, Group: *group,
+		})
 		if err != nil {
 			log.Fatalf("kite-node: session server: %v", err)
 		}

@@ -1,8 +1,10 @@
-// Interface-conformance suite: every test in this file runs against BOTH
-// Session backends — the in-process cluster and the remote client over a
-// loopback-UDP 3-node deployment — through the same kite.Session interface.
-// This is the contract the api_redesign establishes: one operation model,
-// one error taxonomy, one behavior, regardless of deployment.
+// Interface-conformance suite: every test in this file runs against EVERY
+// Session backend — the in-process cluster, the remote client over a
+// loopback-UDP 3-node deployment, and the sharded composition of each
+// (2 independent replica groups behind one Session) — through the same
+// kite.Session interface. This is the contract the api_redesign
+// establishes: one operation model, one error taxonomy, one behavior,
+// regardless of deployment.
 package kite_test
 
 import (
@@ -14,7 +16,9 @@ import (
 	"time"
 
 	"kite"
+	"kite/client"
 	"kite/internal/testcluster"
+	"kite/sharded"
 )
 
 // harness is one running deployment exposing sessions by (node, session)
@@ -30,11 +34,15 @@ type backendDef struct {
 	make func(t *testing.T) *harness
 }
 
-// backends lists the Session implementations under test.
+// backends lists the Session implementations under test. The sharded
+// variants run 2 independent replica groups (each 3 nodes) behind one
+// Session — same contract, twice the membership.
 func backends() []backendDef {
 	return []backendDef{
 		{name: "inproc", make: inprocHarness},
 		{name: "remote", make: remoteHarness},
+		{name: "sharded-inproc", make: shardedInprocHarness},
+		{name: "sharded-remote", make: shardedRemoteHarness},
 	}
 }
 
@@ -75,6 +83,42 @@ func remoteHarness(t *testing.T) *harness {
 			s, err := clients[node].NewSession()
 			if err != nil {
 				t.Fatalf("lease session on node %d: %v", node, err)
+			}
+			return s
+		},
+		pause: cl.PauseNode,
+	}
+}
+
+func shardedInprocHarness(t *testing.T) *harness {
+	t.Helper()
+	c, err := sharded.NewCluster(2, kite.Options{
+		Nodes: 3, Workers: 2, SessionsPerWorker: 4, Capacity: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return &harness{
+		nodes:   3,
+		session: func(t *testing.T, node, sess int) kite.Session { return c.Session(node, sess) },
+		pause:   c.PauseNode,
+	}
+}
+
+func shardedRemoteHarness(t *testing.T) *harness {
+	t.Helper()
+	cl := testcluster.StartSharded(t, 2, 3)
+	clients := make([]*client.ShardedClient, 3)
+	for node := range clients {
+		clients[node] = cl.DialSharded(t, node)
+	}
+	return &harness{
+		nodes: 3,
+		session: func(t *testing.T, node, sess int) kite.Session {
+			s, err := clients[node].NewSession()
+			if err != nil {
+				t.Fatalf("lease sharded session on node %d: %v", node, err)
 			}
 			return s
 		},

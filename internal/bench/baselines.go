@@ -49,6 +49,7 @@ func RunZab(o ZabOpts) Result {
 	defer c.Close()
 
 	var counting, stop atomic.Bool
+	stopCh := make(chan struct{})
 	var counted atomic.Uint64
 	var wg sync.WaitGroup
 	for n := 0; n < c.Nodes(); n++ {
@@ -60,30 +61,36 @@ func RunZab(o ZabOpts) Result {
 				rng := rand.New(rand.NewSource(seed))
 				val := make([]byte, o.ValLen)
 				rng.Read(val)
+				// slots carries write completions (as in driveSession):
+				// inflight = issued - completed, capped at Window.
 				slots := make(chan struct{}, o.Window)
-				for i := 0; i < o.Window; i++ {
-					slots <- struct{}{}
-				}
 				inflight := 0
 				for {
 					if stop.Load() {
-						for ; inflight > 0; inflight-- {
-							<-slots
-						}
+						drainSlots(slots, inflight)
 						return
 					}
 					key := rng.Uint64() % o.Keys
 					if rng.Float64() < o.WriteRatio {
-						<-slots
-						inflight++
+						if inflight == o.Window {
+							// The baseline has no retransmission: a lost
+							// message strands its completion, so this wait
+							// must stay interruptible or an unlucky run
+							// wedges the harness.
+							select {
+							case <-slots:
+								inflight--
+							case <-stopCh:
+								continue // loop head drains and exits
+							}
+						}
 						s.WriteAsync(key, val, func() {
 							if counting.Load() {
 								counted.Add(1)
 							}
 							slots <- struct{}{}
 						})
-						inflight--
-						inflight++ // see driveSession: slot returns via callback
+						inflight++
 					} else {
 						s.Read(key)
 						if counting.Load() {
@@ -102,8 +109,24 @@ func RunZab(o ZabOpts) Result {
 	counting.Store(false)
 	elapsed := time.Since(start)
 	stop.Store(true)
+	close(stopCh)
 	wg.Wait()
 	return Result{Name: o.Name, Ops: counted.Load(), Duration: elapsed}
+}
+
+// drainSlots waits briefly for outstanding async completions to return
+// their window tokens, so teardown does not race in-flight callbacks —
+// but bounded: the ZAB/Derecho baselines have no retransmission, so a
+// token stranded by a lost message must not hang the harness.
+func drainSlots(slots chan struct{}, inflight int) {
+	deadline := time.After(2 * time.Second)
+	for ; inflight > 0; inflight-- {
+		select {
+		case <-slots:
+		case <-deadline:
+			return
+		}
+	}
 }
 
 // DerechoOpts parameterises the Derecho-like SMR baseline (write-only sends,
@@ -144,6 +167,7 @@ func RunDerecho(o DerechoOpts) Result {
 	defer c.Close()
 
 	var counting, stop atomic.Bool
+	stopCh := make(chan struct{})
 	var counted atomic.Uint64
 	var wg sync.WaitGroup
 	for n := 0; n < o.Config.Nodes; n++ {
@@ -154,27 +178,28 @@ func RunDerecho(o DerechoOpts) Result {
 			rng := rand.New(rand.NewSource(seed))
 			val := make([]byte, o.ValLen)
 			rng.Read(val)
+			// See RunZab: completion tokens, interruptible waits.
 			slots := make(chan struct{}, o.Window)
-			for i := 0; i < o.Window; i++ {
-				slots <- struct{}{}
-			}
 			inflight := 0
 			for {
 				if stop.Load() {
-					for ; inflight > 0; inflight-- {
-						<-slots
-					}
+					drainSlots(slots, inflight)
 					return
 				}
-				<-slots
-				inflight++
+				if inflight == o.Window {
+					select {
+					case <-slots:
+						inflight--
+					case <-stopCh:
+						continue
+					}
+				}
 				nd.Send(1+rng.Uint64()%o.Keys, val, func() {
 					if counting.Load() {
 						counted.Add(1)
 					}
 					slots <- struct{}{}
 				})
-				inflight--
 				inflight++
 			}
 		}(nd, int64(n))
@@ -187,6 +212,7 @@ func RunDerecho(o DerechoOpts) Result {
 	counting.Store(false)
 	elapsed := time.Since(start)
 	stop.Store(true)
+	close(stopCh)
 	wg.Wait()
 	return Result{Name: o.Name, Ops: counted.Load(), Duration: elapsed}
 }

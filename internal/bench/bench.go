@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"kite"
+	"kite/sharded"
 )
 
 // Result is one measured throughput point.
@@ -115,7 +116,11 @@ type DriverSession struct {
 type KiteOpts struct {
 	Name    string
 	Options kite.Options // in-process deployment (when Sessions is nil)
-	Mix     Mix
+	// Groups > 1 shards the in-process deployment: Groups independent
+	// replica groups of Options.Nodes each behind sharded sessions (the
+	// -groups knob of kite-bench). Ignored when Sessions is supplied.
+	Groups int
+	Mix    Mix
 	Keys    uint64 // uniform key range (paper: 1M)
 	ValLen  int    // value size (paper: 32B)
 	Window  int    // outstanding async ops per session
@@ -154,7 +159,28 @@ func RunKite(o KiteOpts) (Result, error) {
 	o.defaults()
 	sessions := o.Sessions
 	nodes := 0
-	if sessions == nil {
+	switch {
+	case sessions != nil:
+	case o.Groups > 1:
+		c, err := sharded.NewCluster(o.Groups, o.Options)
+		if err != nil {
+			return Result{}, err
+		}
+		defer c.Close()
+		for n := 0; n < c.Nodes(); n++ {
+			for si := 0; si < c.SessionsPerNode(); si++ {
+				sessions = append(sessions, DriverSession{Node: n, S: c.Session(n, si)})
+			}
+		}
+		// Sharded sessions run a pump goroutine each; retire them before
+		// the groups stop (defers run LIFO).
+		owned := sessions
+		defer func() {
+			for _, ds := range owned {
+				ds.S.Close()
+			}
+		}()
+	default:
 		c, err := kite.NewCluster(o.Options)
 		if err != nil {
 			return Result{}, err

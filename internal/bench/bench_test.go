@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"io"
 	"math"
 	"runtime"
 	"testing"
@@ -82,6 +83,43 @@ func TestRunKiteSmoke(t *testing.T) {
 	}
 	if res.Ops == 0 {
 		t.Fatal("no throughput measured")
+	}
+}
+
+func TestRunKiteShardedSmoke(t *testing.T) {
+	o := smokeOptions()
+	o.Nodes = 2 // two groups of two: four nodes total
+	res, err := RunKite(KiteOpts{
+		Options: o, Groups: 2,
+		Mix:  Mix{WriteRatio: 0.5, SyncFrac: 0.1},
+		Keys: 1 << 10, Window: smokeWindow(),
+		Warmup: 30 * time.Millisecond, Measure: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no sharded throughput measured")
+	}
+}
+
+func TestFigureShardSmoke(t *testing.T) {
+	fc := FigureConfig{
+		Workers: 1, SessionsPerWorker: 1, Keys: 1 << 10,
+		Warmup: 10 * time.Millisecond, Measure: 40 * time.Millisecond,
+		Out: io.Discard,
+	}
+	rep, err := FigureShard(fc, 2, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.RelaxedMreqs == 0 || pt.MixedMreqs == 0 || pt.SyncMreqs == 0 {
+			t.Fatalf("empty series in point %+v", pt)
+		}
 	}
 }
 

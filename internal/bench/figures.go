@@ -16,10 +16,15 @@ type FigureConfig struct {
 	Nodes             int
 	Workers           int
 	SessionsPerWorker int
-	Keys              uint64
-	Warmup            time.Duration
-	Measure           time.Duration
-	Out               io.Writer
+	// Groups > 1 runs the Kite series of the throughput figures (5-7)
+	// over a sharded deployment (Groups replica groups of Nodes each).
+	// The ZAB/Derecho baselines and the structure, failure and ablation
+	// studies stay single-group.
+	Groups  int
+	Keys    uint64
+	Warmup  time.Duration
+	Measure time.Duration
+	Out     io.Writer
 }
 
 // DefaultFigureConfig mirrors the paper's 5-node deployment at a scale that
@@ -67,7 +72,7 @@ func Figure5(fc FigureConfig, writeRatios []float64) error {
 		}
 		for _, s := range series {
 			res, err := RunKite(KiteOpts{
-				Options: fc.kiteOptions(), Mix: s.mix, Keys: fc.Keys,
+				Options: fc.kiteOptions(), Groups: fc.Groups, Mix: s.mix, Keys: fc.Keys,
 				Warmup: fc.Warmup, Measure: fc.Measure,
 			})
 			if err != nil {
@@ -114,7 +119,7 @@ func Figure6(fc FigureConfig, writeRatios []float64) error {
 				rmw = w // RMWs are a subset of writes
 			}
 			res, err := RunKite(KiteOpts{
-				Options: fc.kiteOptions(),
+				Options: fc.kiteOptions(), Groups: fc.Groups,
 				Mix:    Mix{WriteRatio: w, SyncFrac: s.sync, RMWFrac: rmw},
 				Keys:   fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure,
 			})
@@ -143,7 +148,7 @@ func Figure7(fc FigureConfig) error {
 		{"Kite-RMWs(Paxos)", Mix{WriteRatio: 1, RMWFrac: 1}},
 	}
 	for _, r := range rows {
-		res, err := RunKite(KiteOpts{Options: fc.kiteOptions(), Mix: r.mix,
+		res, err := RunKite(KiteOpts{Options: fc.kiteOptions(), Groups: fc.Groups, Mix: r.mix,
 			Keys: fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure})
 		if err != nil {
 			return err

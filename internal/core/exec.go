@@ -23,6 +23,8 @@ func (w *Worker) issue(s *Session, r *Request) {
 		w.issueAcquire(s, r)
 	case OpFAA, OpCASWeak, OpCASStrong:
 		w.issueRMW(s, r)
+	case OpFlush:
+		w.issueFlush(s, r)
 	default:
 		s.complete(r, ErrStopped)
 	}
@@ -128,6 +130,12 @@ func (w *Worker) issueWrite(s *Session, r *Request) {
 // trackWrite registers an applied local write for all-ack gathering and
 // broadcasts it to the replicas.
 func (w *Worker) trackWrite(s *Session, key uint64, val []byte, st llc.Stamp) {
+	if w.node.n == 1 {
+		// Sole replica: the local apply IS full replication. Tracking it
+		// would ledger a write whose ack can never arrive, eventually
+		// throttling the session against MaxPendingWrites forever.
+		return
+	}
 	op := &esWriteOp{id: w.nextOpID(s), sess: s, retryAt: w.now.Add(w.node.cfg.RetryInterval)}
 	n := copy(op.valBuf[:], val)
 	op.msg = proto.Message{
@@ -219,15 +227,21 @@ func (op *slowWriteOp) onMessage(w *Worker, m *proto.Message) {
 	val := op.valBuf[:op.vlen]
 	st := nd.Store.WriteAtLeast(op.req.Key, val, op.maxTS, nd.ID, op.epochSnap)
 
-	esop := &esWriteOp{id: op.id, sess: op.sess, retryAt: w.now.Add(nd.cfg.RetryInterval)}
-	n := copy(esop.valBuf[:], val)
-	esop.msg = proto.Message{
-		Kind: proto.KindESWrite, From: nd.ID, Worker: w.id,
-		Key: op.req.Key, OpID: op.id, Stamp: st, Value: esop.valBuf[:n],
+	if nd.n == 1 {
+		// Sole replica: fully replicated on apply, nothing to track (see
+		// trackWrite).
+		w.unregister(op.id)
+	} else {
+		esop := &esWriteOp{id: op.id, sess: op.sess, retryAt: w.now.Add(nd.cfg.RetryInterval)}
+		n := copy(esop.valBuf[:], val)
+		esop.msg = proto.Message{
+			Kind: proto.KindESWrite, From: nd.ID, Worker: w.id,
+			Key: op.req.Key, OpID: op.id, Stamp: st, Value: esop.valBuf[:n],
+		}
+		op.sess.tracker.Add(op.id, op.req.Key, nd.ID)
+		w.register(op.id, esop) // replaces this op under the same id
+		w.broadcastRemote(esop.msg)
 	}
-	op.sess.tracker.Add(op.id, op.req.Key, nd.ID)
-	w.register(op.id, esop) // replaces this op under the same id
-	w.broadcastRemote(esop.msg)
 
 	op.sess.complete(op.req, nil)
 	op.sess.unblock()

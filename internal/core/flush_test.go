@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func flush(t testing.TB, s *Session) {
+	t.Helper()
+	do(t, s, &Request{Code: OpFlush})
+}
+
+// TestFlushDrainsWrites checks the fence contract: after a flush completes,
+// every prior relaxed write of the session is applied at every replica, so
+// a local read anywhere observes it without any synchronisation operation.
+func TestFlushDrainsWrites(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	for i := uint64(0); i < 32; i++ {
+		write(t, s, 100+i, "v")
+	}
+	flush(t, s)
+	for n := 0; n < 3; n++ {
+		r := c.Node(n).Session(0)
+		for i := uint64(0); i < 32; i++ {
+			if got := read(t, r, 100+i); got != "v" {
+				t.Fatalf("node %d key %d after flush: %q", n, 100+i, got)
+			}
+		}
+	}
+}
+
+// TestFlushCleanLedgerImmediate checks that a flush with no outstanding
+// writes completes inline without blocking the session.
+func TestFlushCleanLedgerImmediate(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	flush(t, s)
+	write(t, s, 1, "a")
+	flush(t, s)
+	flush(t, s) // ledger already clean
+	if got := read(t, s, 1); got != "a" {
+		t.Fatalf("read after flush: %q", got)
+	}
+}
+
+// TestSingleReplicaWriteBurst is a regression test: on a 1-replica
+// deployment a relaxed write is fully replicated by its local apply, so a
+// burst far beyond MaxPendingWrites must not throttle the session forever
+// (the tracker used to ledger writes whose acks could never arrive), and a
+// release/flush afterwards completes on the fast path.
+func TestSingleReplicaWriteBurst(t *testing.T) {
+	c, err := NewCluster(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	for i := uint64(0); i < 500; i++ { // well past MaxPendingWrites
+		write(t, s, i, "x")
+	}
+	flush(t, s)
+	release(t, s, 9000, "flag")
+	if got := read(t, s, 123); got != "x" {
+		t.Fatalf("read after burst: %q", got)
+	}
+	if st := c.Node(0).SlowPathStats(); st.SlowReleases != 0 {
+		t.Fatalf("single-replica release took the DM-set slow path (%d)", st.SlowReleases)
+	}
+}
+
+// TestFlushAfterSlowRelease is the regression test for the cross-shard
+// fence's interaction with the DM-set slow path: a slow release settles the
+// session's tracked writes (satisfying THIS group's barrier), but a
+// subsequent flush must NOT treat them as replicated — the published
+// DM-set is invisible to consumers synchronising in another group. The
+// flush must wait for the sleeper's real acks; once it completes, the
+// writes must be readable at every replica with no acquire anywhere.
+func TestFlushAfterSlowRelease(t *testing.T) {
+	cfg := testConfig(3)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	const nap = 300 * time.Millisecond
+	c.Node(2).Pause(nap)
+	write(t, s, 40, "payload")
+
+	// The release publishes a DM-set naming node 2 and completes promptly.
+	start := time.Now()
+	release(t, s, 41, "flag")
+	if since := time.Since(start); since > nap/2 {
+		t.Fatalf("release took %v; expected the DM-set slow path", since)
+	}
+	if st := c.Node(0).SlowPathStats(); st.SlowReleases == 0 {
+		t.Fatal("release did not publish a DM-set; test scenario broken")
+	}
+
+	// The flush must not be satisfied by the settled ledger.
+	done := make(chan struct{})
+	r := &Request{Code: OpFlush}
+	r.Done = func(*Request) { close(done) }
+	s.Submit(r)
+	select {
+	case <-done:
+		if since := time.Since(start); since < nap/2 {
+			t.Fatalf("flush completed in %v: settled writes leaked past the fence", since)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("flush never completed after the sleeper woke")
+	}
+	// Full replication for real: node 2 serves the write locally.
+	if got := read(t, c.Node(2).Session(0), 40); got != "payload" {
+		t.Fatalf("node 2 read after flush: %q", got)
+	}
+}
+
+// TestFlushWaitsForSleeper checks that — unlike a release — a flush has no
+// DM-set escape hatch: with a replica asleep it stays pending past the
+// release timeout, and completes only once the sleeper wakes and acks.
+func TestFlushWaitsForSleeper(t *testing.T) {
+	cfg := testConfig(3)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Node(0).Session(0)
+	const nap = 300 * time.Millisecond
+	c.Node(2).Pause(nap)
+	write(t, s, 7, "x")
+
+	start := time.Now()
+	done := make(chan struct{})
+	r := &Request{Code: OpFlush}
+	r.Done = func(*Request) { close(done) }
+	s.Submit(r)
+	select {
+	case <-done:
+		if since := time.Since(start); since < nap/2 {
+			t.Fatalf("flush completed in %v with a replica asleep for %v", since, nap)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("flush never completed after the sleeper woke")
+	}
+	if r.Err != nil {
+		t.Fatalf("flush: %v", r.Err)
+	}
+	// A release in the same situation must still take the DM-set slow path
+	// and complete promptly — flush semantics must not leak into releases.
+	c.Node(2).Pause(nap)
+	write(t, s, 8, "y")
+	start = time.Now()
+	release(t, s, 9, "flag")
+	if since := time.Since(start); since > nap/2 {
+		t.Fatalf("release took %v with a sleeping replica; DM-set slow path broken?", since)
+	}
+}

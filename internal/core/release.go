@@ -70,6 +70,10 @@ func (b *barrierState) barrierOnTimeout(w *Worker, s *Session, opID uint64, now 
 
 // barrierOnSlowAck folds a slow-release ack; at quorum the tracked writes
 // are settled (covered by the published DM-set) and the barrier completes.
+// The writes' broadcasts keep retransmitting: settling satisfies THIS
+// group's barrier, but OpFlush — the cross-shard fence — still waits for
+// their full replication (es.Tracker.FullyAcked), since the published
+// DM-set is invisible to consumers synchronising in other groups.
 func (b *barrierState) barrierOnSlowAck(w *Worker, s *Session, m *proto.Message) bool {
 	if !b.slowSent || b.done {
 		return false
@@ -78,9 +82,7 @@ func (b *barrierState) barrierOnSlowAck(w *Worker, s *Session, m *proto.Message)
 	if popcount16(b.slowAcks) < w.node.quorum {
 		return false
 	}
-	for _, id := range s.tracker.Settle() {
-		w.unregister(id)
-	}
+	s.tracker.Settle()
 	b.done = true
 	return true
 }

@@ -21,10 +21,11 @@ const (
 	OpFAA                     // fetch-and-add (Paxos RMW)
 	OpCASWeak                 // compare-and-swap that may fail locally
 	OpCASStrong               // compare-and-swap that always checks remotely
+	OpFlush                   // write-replication fence (release barrier, no write)
 	opCodes
 )
 
-var opNames = [...]string{"read", "write", "release", "acquire", "faa", "cas-weak", "cas-strong"}
+var opNames = [...]string{"read", "write", "release", "acquire", "faa", "cas-weak", "cas-strong", "flush"}
 
 func (c OpCode) String() string {
 	if int(c) < len(opNames) {

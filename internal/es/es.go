@@ -39,10 +39,22 @@ type PendingWrite struct {
 }
 
 // Tracker is a session's ledger of writes that have not yet been acked by
-// every replica. A release may begin only once the tracker is clean — or
-// once the slow-release protocol has published the tracker's DM-set.
+// every replica. A release may begin only once the pending set is clean —
+// or once the slow-release protocol has published its DM-set, which moves
+// the writes to the settled set: covered for the purposes of *this group's*
+// release barrier (later acquires here consult the DM-set), but still short
+// of full replication. The distinction matters to OpFlush, the cross-shard
+// fence: a DM-set is invisible to consumers synchronising in a different
+// replica group, so the fence waits for pending AND settled to drain
+// (FullyAcked), while releases keep the paper's availability story
+// (AllAcked, pending only).
 type Tracker struct {
 	pending map[uint64]*PendingWrite
+	// settled holds writes whose DM-set a slow release has published; their
+	// broadcasts keep retransmitting until every replica acks. Bounded by
+	// write throughput during a replica outage (entries drain in one burst
+	// when the straggler wakes and acks).
+	settled map[uint64]*PendingWrite
 	full    uint16 // all-nodes bitmask
 	quorum  int
 }
@@ -51,6 +63,7 @@ type Tracker struct {
 func NewTracker(n int) *Tracker {
 	return &Tracker{
 		pending: make(map[uint64]*PendingWrite, 16),
+		settled: make(map[uint64]*PendingWrite),
 		full:    uint16(1<<n) - 1,
 		quorum:  n/2 + 1,
 	}
@@ -64,28 +77,42 @@ func (t *Tracker) Add(opID, key uint64, self uint8) *PendingWrite {
 	return pw
 }
 
-// Ack records node `from` acking write opID. It returns the write's entry
-// (nil if unknown/settled) and whether the write is now fully acked, in
-// which case it has been removed from the tracker.
+// Ack records node `from` acking write opID (pending or settled). It
+// returns the write's entry (nil if unknown) and whether the write is now
+// fully acked, in which case it has been removed from the tracker.
 func (t *Tracker) Ack(opID uint64, from uint8) (pw *PendingWrite, done bool) {
-	pw, ok := t.pending[opID]
+	set := t.pending
+	pw, ok := set[opID]
 	if !ok {
-		return nil, false
+		set = t.settled
+		if pw, ok = set[opID]; !ok {
+			return nil, false
+		}
 	}
 	pw.Acked |= 1 << from
 	if pw.Acked == t.full {
-		delete(t.pending, opID)
+		delete(set, opID)
 		return pw, true
 	}
 	return pw, false
 }
 
-// Len reports how many writes still await full acknowledgement.
+// Len reports how many unsettled writes still await full acknowledgement
+// (the release barrier's and flow control's working set; settled writes no
+// longer gate either).
 func (t *Tracker) Len() int { return len(t.pending) }
 
-// AllAcked reports whether every tracked write has been acked by all nodes
-// (the fast-path release condition).
+// AllAcked reports whether every unsettled write has been acked by all
+// nodes — the fast-path release condition. Settled writes are excluded:
+// their DM-set is already published, which is all an in-group release
+// needs.
 func (t *Tracker) AllAcked() bool { return len(t.pending) == 0 }
+
+// FullyAcked reports whether every write of the session — settled or not —
+// has been acked by all nodes: the OpFlush condition. Unlike AllAcked it
+// does not credit published DM-sets, because the fence exists for
+// consumers that will never observe them (§DESIGN "Sharding").
+func (t *Tracker) FullyAcked() bool { return len(t.pending) == 0 && len(t.settled) == 0 }
 
 // QuorumAcked reports whether every tracked write has been acked by at
 // least a quorum — invariant (1) of the slow-path release (§4.2).
@@ -108,26 +135,29 @@ func (t *Tracker) DMSet() uint16 {
 	return dm
 }
 
-// Unacked returns, for write opID, the bitmask of nodes that have not acked
-// it yet (used to retransmit to stragglers only).
+// Unacked returns, for write opID (pending or settled), the bitmask of
+// nodes that have not acked it yet (used to retransmit to stragglers only).
 func (t *Tracker) Unacked(opID uint64) uint16 {
 	if pw, ok := t.pending[opID]; ok {
+		return t.full &^ pw.Acked
+	}
+	if pw, ok := t.settled[opID]; ok {
 		return t.full &^ pw.Acked
 	}
 	return 0
 }
 
-// Settle drops all tracked writes: called once a slow-release has published
-// the DM-set to a quorum, after which the writes are covered by the barrier
-// invariant and need no further tracking. It returns the op ids settled so
-// the caller can retire their protocol state.
-func (t *Tracker) Settle() []uint64 {
-	ids := make([]uint64, 0, len(t.pending))
-	for id := range t.pending {
-		ids = append(ids, id)
+// Settle moves every pending write to the settled set: called once a
+// slow-release has published the DM-set to a quorum, after which the
+// writes are covered by this group's barrier invariant (AllAcked) — but
+// they keep retransmitting and keep gating FullyAcked until every replica
+// truly acks, because a published DM-set repairs only consumers that
+// acquire in this group.
+func (t *Tracker) Settle() {
+	for id, pw := range t.pending {
+		t.settled[id] = pw
 	}
 	t.pending = make(map[uint64]*PendingWrite, 16)
-	return ids
 }
 
 func popcount16(x uint16) int {

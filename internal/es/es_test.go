@@ -117,17 +117,33 @@ func TestTrackerSettle(t *testing.T) {
 	tr := NewTracker(3)
 	tr.Add(5, 100, 0)
 	tr.Add(6, 101, 0)
-	ids := tr.Settle()
-	if len(ids) != 2 {
-		t.Fatalf("settled %d ids", len(ids))
-	}
+	tr.Settle()
+	// Settled writes satisfy the release barrier (AllAcked) but keep
+	// gating the cross-shard fence (FullyAcked) and keep retransmitting
+	// (Unacked) until every replica acks.
 	if !tr.AllAcked() || tr.Len() != 0 {
-		t.Fatal("tracker not clean after settle")
+		t.Fatal("tracker not barrier-clean after settle")
+	}
+	if tr.FullyAcked() {
+		t.Fatal("settled writes must still gate FullyAcked")
+	}
+	if un := tr.Unacked(5); un != 0b110 {
+		t.Fatalf("Unacked(settled) = %03b, want 110", un)
 	}
 	// Tracker remains usable.
 	tr.Add(7, 102, 1)
 	if tr.Len() != 1 {
 		t.Fatal("tracker unusable after settle")
+	}
+	// Acks drain settled entries into full acknowledgement.
+	for _, from := range []uint8{1, 2} {
+		tr.Ack(5, from)
+		tr.Ack(6, from)
+	}
+	tr.Ack(7, 0)
+	tr.Ack(7, 2)
+	if !tr.FullyAcked() {
+		t.Fatal("tracker not fully acked after all acks")
 	}
 }
 

@@ -19,10 +19,10 @@ import (
 //	reply:   status(1) flags(1) vlen(1) pad(1) sess(4) seq(8)
 //	         value(vlen)
 
-// Client operation codes. Data ops 0-6 deliberately share core.OpCode's
-// numbering (read, write, release, acquire, faa, cas-weak, cas-strong) so
-// the server maps them with a cast; codes >= ClientOpOpen are control ops
-// handled by the session server itself.
+// Client operation codes. Data ops 0-7 deliberately share core.OpCode's
+// numbering (read, write, release, acquire, faa, cas-weak, cas-strong,
+// flush) so the server maps them with a cast; codes >= ClientOpOpen are
+// control ops handled by the session server itself.
 const (
 	ClientOpRead uint8 = iota
 	ClientOpWrite
@@ -31,6 +31,7 @@ const (
 	ClientOpFAA
 	ClientOpCASWeak
 	ClientOpCASStrong
+	ClientOpFlush
 
 	// ClientOpOpen leases a node session; the reply's Sess is the new
 	// session id. Seq echoes the request for the client's retry matching.
@@ -51,8 +52,8 @@ const (
 var clientOpNames = map[uint8]string{
 	ClientOpRead: "read", ClientOpWrite: "write", ClientOpRelease: "release",
 	ClientOpAcquire: "acquire", ClientOpFAA: "faa", ClientOpCASWeak: "cas-weak",
-	ClientOpCASStrong: "cas-strong", ClientOpOpen: "open", ClientOpClose: "close",
-	ClientOpPing: "ping", ClientOpBatch: "batch",
+	ClientOpCASStrong: "cas-strong", ClientOpFlush: "flush", ClientOpOpen: "open",
+	ClientOpClose: "close", ClientOpPing: "ping", ClientOpBatch: "batch",
 }
 
 // ClientOpName names a client op code for diagnostics.
@@ -65,7 +66,7 @@ func ClientOpName(op uint8) string {
 
 // ClientDataOp reports whether op is a data operation executed on a leased
 // session (as opposed to a control op handled by the server).
-func ClientDataOp(op uint8) bool { return op <= ClientOpCASStrong }
+func ClientDataOp(op uint8) bool { return op <= ClientOpFlush }
 
 // Reply status codes.
 const (
@@ -294,6 +295,32 @@ func (b *ClientBatch) Unmarshal(buf []byte) error {
 		b.Ops[i] = op
 	}
 	return nil
+}
+
+// Shard info: a ping reply's Value advertises the node's place in a
+// sharded deployment as [groups(1) group(1)]. An empty Value (pre-sharding
+// servers, or Groups == 0) means unsharded: one group, group 0. Group
+// counts are bounded by a byte — far above any plausible deployment.
+
+// MaxGroups bounds the replica-group count of a sharded deployment.
+const MaxGroups = 255
+
+// AppendShardInfo appends the shard-info encoding to dst. groups <= 1
+// appends nothing (the unsharded encoding is the empty value).
+func AppendShardInfo(dst []byte, groups, group int) []byte {
+	if groups <= 1 {
+		return dst
+	}
+	return append(dst, uint8(groups), uint8(group))
+}
+
+// ParseShardInfo decodes a ping reply's shard info, defaulting to the
+// unsharded (1, 0) when absent.
+func ParseShardInfo(v []byte) (groups, group int) {
+	if len(v) < 2 {
+		return 1, 0
+	}
+	return int(v[0]), int(v[1])
 }
 
 // ClientReply is the session server's response to one ClientRequest,

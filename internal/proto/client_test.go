@@ -203,3 +203,50 @@ func TestClientOpNames(t *testing.T) {
 		t.Fatal("ClientDataOp classification")
 	}
 }
+
+func TestShardInfoRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		groups, group int
+		wantG, wantI  int
+		empty         bool
+	}{
+		{groups: 0, group: 0, wantG: 1, wantI: 0, empty: true}, // unsharded
+		{groups: 1, group: 0, wantG: 1, wantI: 0, empty: true}, // 1 group == unsharded
+		{groups: 2, group: 1, wantG: 2, wantI: 1},
+		{groups: 8, group: 3, wantG: 8, wantI: 3},
+	} {
+		v := AppendShardInfo(nil, tc.groups, tc.group)
+		if tc.empty != (len(v) == 0) {
+			t.Fatalf("AppendShardInfo(%d,%d) len=%d", tc.groups, tc.group, len(v))
+		}
+		g, i := ParseShardInfo(v)
+		if g != tc.wantG || i != tc.wantI {
+			t.Fatalf("ParseShardInfo(%v) = (%d,%d), want (%d,%d)", v, g, i, tc.wantG, tc.wantI)
+		}
+	}
+}
+
+func TestFlushIsDataOp(t *testing.T) {
+	if !ClientDataOp(ClientOpFlush) {
+		t.Fatal("flush must be a data op")
+	}
+	if ClientDataOp(ClientOpFlush + 1) {
+		t.Fatal("op 8 must not be a data op")
+	}
+	if ClientOpName(ClientOpFlush) != "flush" {
+		t.Fatalf("flush name = %q", ClientOpName(ClientOpFlush))
+	}
+	// A flush travels in batch frames like any data op.
+	b := ClientBatch{Sess: 1, Seq: 5, Ops: []BatchOp{{Code: ClientOpFlush}}}
+	buf, err := b.AppendMarshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ClientBatch
+	if err := got.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.Ops[0].Code != ClientOpFlush {
+		t.Fatalf("batched flush decoded as %d", got.Ops[0].Code)
+	}
+}

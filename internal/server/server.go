@@ -39,6 +39,12 @@ type Config struct {
 	// ReplyDepth bounds the reply queue; overflow drops replies (clients
 	// retry). 0 means DefaultReplyDepth.
 	ReplyDepth int
+	// Groups and Group describe this node's place in a sharded deployment
+	// (Group in [0, Groups)): the shard map advertised to clients in the
+	// ping reply, so Dial can verify it is talking to the group it thinks
+	// it is. Groups == 0 means unsharded (equivalent to 1 group, group 0).
+	Groups int
+	Group  int
 }
 
 // Defaults for Config zero values.
@@ -129,6 +135,12 @@ func New(nd *core.Node, cfg Config) (*Server, error) {
 	}
 	if cfg.ReplyDepth <= 0 {
 		cfg.ReplyDepth = DefaultReplyDepth
+	}
+	if cfg.Groups > proto.MaxGroups {
+		return nil, fmt.Errorf("server: %d groups exceeds %d", cfg.Groups, proto.MaxGroups)
+	}
+	if cfg.Groups > 0 && (cfg.Group < 0 || cfg.Group >= cfg.Groups) {
+		return nil, fmt.Errorf("server: group %d outside [0,%d)", cfg.Group, cfg.Groups)
 	}
 	la, err := net.ResolveUDPAddr("udp", cfg.Addr)
 	if err != nil {
@@ -244,6 +256,7 @@ func (s *Server) handle(req *proto.ClientRequest, raddr *net.UDPAddr) {
 	case proto.ClientOpPing:
 		s.reply(raddr, proto.ClientReply{
 			Status: proto.ClientOK, Flags: proto.ClientFlagControl, Seq: req.Seq,
+			Value: proto.AppendShardInfo(nil, s.cfg.Groups, s.cfg.Group),
 		})
 	case proto.ClientOpOpen:
 		s.handleOpen(req, raddr)

@@ -1,0 +1,414 @@
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"kite"
+)
+
+// Session composes one kite.Session per replica group into a single logical
+// thread of control over the whole key space. It implements kite.Session;
+// both public sharded backends (the in-process kite/sharded cluster and the
+// remote client's DialSharded) wrap their per-group sub-sessions with it.
+//
+// Routing: every operation executes in its key's group (Map). Relaxed
+// accesses and acquires are forwarded unchanged. Releases and RMWs (which
+// carry release semantics) first fence every *other* group the session has
+// written since its last synchronisation — an OpFlush per dirty group,
+// waiting until those writes are applied at all of that group's replicas —
+// and only then execute in the owning group, whose own barrier covers the
+// writes that live there. kite.OpFlush on a sharded session fences every
+// dirty group.
+//
+// Ordering: a sharded session keeps Kite's session-order contract per
+// group (each group sees this session's ops in submission order) and keeps
+// synchronisation operations in global submission order (they are executed
+// one at a time, in order, across groups). Relaxed operations routed to
+// different groups may take effect — and their DoAsync callbacks may run —
+// out of submission order relative to each other; Release Consistency makes
+// that unobservable, since ordering between plain accesses is only
+// established through synchronisation operations.
+type Session struct {
+	kite.Ops
+	subs []kite.Session
+	m    Map
+
+	// mu serialises submissions into the pump and gates them on closed, so
+	// an op is either enqueued before the close sentinel or rejected.
+	mu     sync.Mutex
+	closed bool
+	items  chan item
+
+	pumpDone chan struct{}
+	closeErr error
+}
+
+// item is one unit of pump work: a single op or a whole batch.
+type item struct {
+	ctx  context.Context
+	op   kite.Op
+	ops  []kite.Op // batch when non-nil (op is ignored)
+	sync bool      // single op from Do: caller is blocked, execute inline
+
+	cb      func(kite.Result)            // single-op completion
+	batchCB func([]kite.Result, error)   // batch completion
+	close   bool                         // close sentinel: shut subs, exit
+}
+
+// New wraps one sub-session per replica group (subs[g] executes group g's
+// share of the key space) into a sharded Session routed by m. It takes
+// ownership of the subs: closing the returned session closes them.
+func New(subs []kite.Session, m Map) *Session {
+	s := &Session{
+		subs:     subs,
+		m:        m,
+		items:    make(chan item, 128),
+		pumpDone: make(chan struct{}),
+	}
+	s.Ops = kite.Ops{Doer: s}
+	go s.pump()
+	return s
+}
+
+// GroupOf reports which replica group owns key.
+func (s *Session) GroupOf(key uint64) int { return s.m.Group(key) }
+
+// enqueue hands it to the pump, or reports false when the session is
+// closed.
+func (s *Session) enqueue(it item) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.items <- it
+	return true
+}
+
+// Do executes op and blocks until it completes or ctx is done. Behind the
+// single-threaded contract the call still passes through the pump so it is
+// ordered after every earlier DoAsync submission; if ctx expires while the
+// op is still queued behind the pump, Do returns ErrCanceled like every
+// backend — the op itself may still take effect (the Doer contract), since
+// the pump will reach it with its context already expired.
+func (s *Session) Do(ctx context.Context, op kite.Op) (kite.Result, error) {
+	if err := kite.ValidateOp(op); err != nil {
+		return kite.Result{Err: err}, err
+	}
+	done := make(chan kite.Result, 1)
+	ok := s.enqueue(item{ctx: ctx, op: op, sync: true, cb: func(r kite.Result) { done <- r }})
+	if !ok {
+		return kite.Result{Err: kite.ErrSessionClosed}, kite.ErrSessionClosed
+	}
+	select {
+	case r := <-done:
+		return r, r.Err
+	case <-ctx.Done():
+		// Prefer a completion that raced the cancellation.
+		select {
+		case r := <-done:
+			return r, r.Err
+		default:
+		}
+		err := kite.CanceledErr(ctx.Err())
+		return kite.Result{Err: err}, err
+	}
+}
+
+// DoAsync submits op and returns; cb (optional) receives the result on a
+// backend goroutine. Relaxed accesses stay pipelined (forwarded to their
+// group without blocking later submissions); synchronisation operations are
+// executed in submission order and hold later operations behind them.
+func (s *Session) DoAsync(op kite.Op, cb func(kite.Result)) {
+	if err := kite.ValidateOp(op); err != nil {
+		if cb != nil {
+			cb(kite.Result{Err: err})
+		}
+		return
+	}
+	// The caller may reuse its slices as soon as DoAsync returns; the op
+	// waits in the pump queue, so detach the payloads now.
+	op.Value = cloneVal(op.Value)
+	op.Expected = cloneVal(op.Expected)
+	if !s.enqueue(item{ctx: context.Background(), op: op, cb: cb}) {
+		if cb != nil {
+			cb(kite.Result{Err: kite.ErrSessionClosed})
+		}
+	}
+}
+
+// DoBatch executes ops and returns their results, index-aligned. The batch
+// is split per group: runs of relaxed accesses are pipelined to their
+// groups concurrently (one sub-batch per group, so a remote backend spends
+// one round trip per group, not per op); synchronisation operations inside
+// the batch act as ordering points exactly as in Do.
+func (s *Session) DoBatch(ctx context.Context, ops []kite.Op) ([]kite.Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	// All-or-nothing validation, same contract as every backend.
+	for _, op := range ops {
+		if err := kite.ValidateOp(op); err != nil {
+			return nil, err
+		}
+	}
+	type out struct {
+		rs  []kite.Result
+		err error
+	}
+	done := make(chan out, 1)
+	ok := s.enqueue(item{ctx: ctx, ops: ops, batchCB: func(rs []kite.Result, err error) {
+		done <- out{rs: rs, err: err}
+	}})
+	if !ok {
+		return nil, kite.ErrSessionClosed
+	}
+	select {
+	case o := <-done:
+		return o.rs, o.err
+	case <-ctx.Done():
+		// Queued behind a busy pump past the deadline: release the caller
+		// (see Do); the batch may still execute.
+		select {
+		case o := <-done:
+			return o.rs, o.err
+		default:
+		}
+		cerr := kite.CanceledErr(ctx.Err())
+		results := make([]kite.Result, len(ops))
+		for i := range results {
+			results[i] = kite.Result{Err: cerr}
+		}
+		return results, cerr
+	}
+}
+
+// Close shuts the session down: the pump drains already-submitted work,
+// then closes every sub-session. Operations after Close fail with
+// kite.ErrSessionClosed.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.pumpDone
+		return s.closeErr
+	}
+	s.closed = true
+	s.items <- item{close: true}
+	s.mu.Unlock()
+	<-s.pumpDone
+	return s.closeErr
+}
+
+// pump is the session's single executor goroutine: it applies the routing
+// and fencing policy to submissions in order. All its state (the dirty set)
+// is goroutine-local.
+func (s *Session) pump() {
+	defer close(s.pumpDone)
+	// dirty marks groups holding relaxed writes of this session that have
+	// not been fenced by a synchronisation operation yet.
+	dirty := make([]bool, len(s.subs))
+	for it := range s.items {
+		switch {
+		case it.close:
+			for _, sub := range s.subs {
+				if err := sub.Close(); err != nil && s.closeErr == nil {
+					s.closeErr = err
+				}
+			}
+			return
+		case it.ops != nil:
+			it.batchCB(s.runBatch(it.ctx, it.ops, dirty))
+		default:
+			s.runOp(it, dirty)
+		}
+	}
+}
+
+// isSync reports whether code is executed as an ordering point (blocking
+// the pump): releases, RMWs (release+acquire semantics), fences and
+// acquires (so synchronisation operations stay in global program order, the
+// RCLin contract that releases/acquires are linearizable among themselves).
+func isSync(code kite.OpCode) bool {
+	switch code {
+	case kite.OpRelease, kite.OpFAA, kite.OpCASWeak, kite.OpCASStrong, kite.OpFlush, kite.OpAcquire:
+		return true
+	}
+	return false
+}
+
+// needsFence reports whether code carries release semantics and must fence
+// the session's writes in other groups before executing.
+func needsFence(code kite.OpCode) bool {
+	switch code {
+	case kite.OpRelease, kite.OpFAA, kite.OpCASWeak, kite.OpCASStrong:
+		return true
+	}
+	return false
+}
+
+// runOp executes one single-op item against the routing policy.
+func (s *Session) runOp(it item, dirty []bool) {
+	op, cb := it.op, it.cb
+	if op.Code == kite.OpFlush {
+		// Fence every dirty group; the result is the first failure.
+		err := s.fence(it.ctx, dirty, -1)
+		r := kite.Result{Err: err}
+		if cb != nil {
+			cb(r)
+		}
+		return
+	}
+	g := s.m.Group(op.Key)
+	if !isSync(op.Code) {
+		if op.Code == kite.OpWrite {
+			dirty[g] = true
+		}
+		if it.sync {
+			// A blocked Do caller: run inline so ctx cancellation applies.
+			r, _ := s.subs[g].Do(it.ctx, op)
+			cb(r)
+			return
+		}
+		// Pipelined DoAsync relaxed access: forward without blocking the
+		// pump, preserving per-group submission order via the sub stream.
+		s.subs[g].DoAsync(op, cb)
+		return
+	}
+	// Synchronisation operation: fence other groups when it carries release
+	// semantics, then execute in the owning group, blocking the pump so
+	// later submissions stay ordered behind it.
+	if needsFence(op.Code) {
+		if err := s.fence(it.ctx, dirty, g); err != nil {
+			if cb != nil {
+				cb(kite.Result{Err: err})
+			}
+			return
+		}
+	}
+	r, _ := s.subs[g].Do(it.ctx, op)
+	// dirty[g] stays set even after a release in g: its barrier may have
+	// completed via the DM-set slow path, which covers consumers that
+	// acquire IN g but not a later cross-shard sync — only a completed
+	// OpFlush (fence) proves full replication and clears the bit.
+	if cb != nil {
+		cb(r)
+	}
+}
+
+// fence issues an OpFlush in every dirty group except skip (pass -1 to
+// fence all) and waits for them. Groups whose flush completes are marked
+// clean; on ctx expiry the remaining groups stay dirty — the flushes were
+// not observed to finish, so the next synchronisation re-fences them.
+func (s *Session) fence(ctx context.Context, dirty []bool, skip int) error {
+	type ack struct {
+		g   int
+		err error
+	}
+	var targets []int
+	for g, d := range dirty {
+		if d && g != skip {
+			targets = append(targets, g)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	acks := make(chan ack, len(targets))
+	for _, g := range targets {
+		g := g
+		s.subs[g].DoAsync(kite.FlushOp(), func(r kite.Result) {
+			acks <- ack{g: g, err: r.Err}
+		})
+	}
+	var firstErr error
+	for range targets {
+		select {
+		case a := <-acks:
+			if a.err == nil {
+				dirty[a.g] = false
+			} else if firstErr == nil {
+				firstErr = a.err
+			}
+		case <-ctx.Done():
+			// Late acks land in the buffered channel and are dropped with
+			// it; their groups conservatively stay dirty.
+			return kite.CanceledErr(ctx.Err())
+		}
+	}
+	return firstErr
+}
+
+// runBatch executes a batch: relaxed runs are split per group and issued as
+// concurrent sub-batches; synchronisation ops are ordering points handled
+// exactly like single ops. Results are index-aligned with ops; the returned
+// error is the first per-op error in batch order.
+func (s *Session) runBatch(ctx context.Context, ops []kite.Op, dirty []bool) ([]kite.Result, error) {
+	results := make([]kite.Result, len(ops))
+	// Per-group accumulation of the current relaxed run.
+	type segment struct {
+		idx []int
+		ops []kite.Op
+	}
+	pending := make(map[int]*segment)
+	flushRun := func() {
+		if len(pending) == 0 {
+			return
+		}
+		var wg sync.WaitGroup
+		for g, seg := range pending {
+			wg.Add(1)
+			go func(g int, seg *segment) {
+				defer wg.Done()
+				rs, err := s.subs[g].DoBatch(ctx, seg.ops)
+				for i, idx := range seg.idx {
+					if i < len(rs) {
+						results[idx] = rs[i]
+					} else if err != nil {
+						results[idx] = kite.Result{Err: err}
+					}
+				}
+			}(g, seg)
+		}
+		wg.Wait()
+		pending = make(map[int]*segment)
+	}
+	for i, op := range ops {
+		if !isSync(op.Code) {
+			g := s.m.Group(op.Key)
+			if op.Code == kite.OpWrite {
+				dirty[g] = true
+			}
+			seg := pending[g]
+			if seg == nil {
+				seg = &segment{}
+				pending[g] = seg
+			}
+			seg.idx = append(seg.idx, i)
+			seg.ops = append(seg.ops, op)
+			continue
+		}
+		// Ordering point: resolve the relaxed run first, then the sync op.
+		flushRun()
+		done := make(chan kite.Result, 1)
+		s.runOp(item{ctx: ctx, op: op, sync: true, cb: func(r kite.Result) { done <- r }}, dirty)
+		results[i] = <-done
+	}
+	flushRun()
+	for i := range results {
+		if results[i].Err != nil {
+			return results, results[i].Err
+		}
+	}
+	return results, nil
+}
+
+func cloneVal(v []byte) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}

@@ -1,0 +1,65 @@
+// Package shard runs G independent Kite replica groups over one key space
+// and exposes them as a single kite.Session. Each group is a complete Kite
+// deployment (its own ES/ABD/Paxos membership); keys are partitioned across
+// groups by a fixed hash, so every protocol round stays inside one group
+// and total throughput grows with the number of groups instead of being
+// bounded by one group's replication degree.
+//
+// Why this composes soundly with Kite: all three of Kite's protocols are
+// per-key — ES serialises writes per key, ABD quorums are per key, Paxos is
+// per key — so two keys in different groups never needed to share protocol
+// state in the first place. The only cross-key obligation in the whole
+// model is the release barrier ("by the time my release is visible, all my
+// prior writes are visible"), and that is exactly what this package adds
+// back across groups: before a release (or RMW, which carries release
+// semantics) executes in the key's owning group, the session fences every
+// other group it has written since its last synchronisation with an
+// OpFlush — a release barrier without a write — waiting until those writes
+// are applied at every replica of their group. Acquires and relaxed
+// accesses route to the key's group unchanged.
+//
+// The flush insists on all-replica acknowledgement rather than borrowing
+// the release's DM-set slow path: a DM-set published in group A is consumed
+// by later acquires in group A, but a cross-shard consumer acquires in
+// group B and would never observe it. See DESIGN.md "Sharding" for the
+// availability consequences.
+package shard
+
+// Map is the key→group routing function: a fixed avalanche hash of the key
+// modulo the group count, so placement is uniform, deterministic and
+// identical on every client and node of a deployment.
+type Map struct {
+	groups int
+}
+
+// NewMap returns the routing map for a deployment of groups replica groups.
+// groups < 1 is treated as 1 (the unsharded identity map).
+func NewMap(groups int) Map {
+	if groups < 1 {
+		groups = 1
+	}
+	return Map{groups: groups}
+}
+
+// Groups returns the number of replica groups.
+func (m Map) Groups() int { return m.groups }
+
+// Group returns the replica group owning key.
+func (m Map) Group(key uint64) int {
+	if m.groups <= 1 {
+		return 0
+	}
+	return int(mix64(key) % uint64(m.groups))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche mixer, so that
+// adjacent keys (the common access pattern in the data structures and
+// benchmarks) spread across groups instead of striding one group.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -53,6 +53,59 @@ func (c *Cluster) Dial(t testing.TB) []*client.Client {
 	return clients
 }
 
+// Sharded is a running sharded loopback-UDP deployment: groups independent
+// Clusters plus the metadata clients need to dial it.
+type Sharded struct {
+	Groups []*Cluster
+}
+
+// StartSharded brings up a sharded deployment of groups replica groups,
+// each n replicas over loopback UDP (see Start). The session servers
+// advertise their (group, groups) so DialSharded's shard-map validation is
+// exercised for real.
+func StartSharded(t testing.TB, groups, n int) *Sharded {
+	t.Helper()
+	sc := &Sharded{}
+	for g := 0; g < groups; g++ {
+		sc.Groups = append(sc.Groups, startGroup(t, n, groups, g))
+	}
+	return sc
+}
+
+// Addrs returns the client addresses of node i of every group — the shard
+// map for client.DialSharded.
+func (s *Sharded) Addrs(i int) []string {
+	addrs := make([]string, len(s.Groups))
+	for g, cl := range s.Groups {
+		addrs[g] = cl.Addr(i)
+	}
+	return addrs
+}
+
+// PauseNode pauses replica i in every group — one machine of a sharded
+// deployment (hosting a replica of each group) going to sleep.
+func (s *Sharded) PauseNode(i int, d time.Duration) {
+	for _, cl := range s.Groups {
+		cl.PauseNode(i, d)
+	}
+}
+
+// DialSharded connects a sharded client to node i of every group, with the
+// same timeouts as Dial, registering cleanup.
+func (s *Sharded) DialSharded(t testing.TB, i int) *client.ShardedClient {
+	t.Helper()
+	sc, err := client.DialSharded(s.Addrs(i), client.Options{
+		DialTimeout:   2 * time.Second,
+		OpTimeout:     15 * time.Second,
+		RetryInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dial sharded node %d: %v", i, err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return sc
+}
+
 // reservePorts grabs n free loopback UDP ports. The sockets are closed
 // before use, so a clashing process could steal one — fine for tests.
 func reservePorts(t testing.TB, n int) []int {
@@ -78,6 +131,12 @@ func reservePorts(t testing.TB, n int) []int {
 // configuration mirrors the client e2e environment: single worker, 8
 // sessions per worker, timeouts widened for loopback-UDP RTTs.
 func Start(t testing.TB, n int) *Cluster {
+	return startGroup(t, n, 0, 0)
+}
+
+// startGroup is Start parameterised by the node's place in a sharded
+// deployment: its session servers advertise (groups, group) to clients.
+func startGroup(t testing.TB, n, groups, group int) *Cluster {
 	t.Helper()
 	const workers = 1
 	ports := reservePorts(t, n*workers)
@@ -127,7 +186,7 @@ func Start(t testing.TB, n int) *Cluster {
 			t.Fatal(err)
 		}
 		nd.Start()
-		srv, err := server.New(nd, server.Config{Addr: "127.0.0.1:0"})
+		srv, err := server.New(nd, server.Config{Addr: "127.0.0.1:0", Groups: groups, Group: group})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -143,9 +143,9 @@ func (c *Cluster) NodeStats(node int) core.Stats { return c.c.Node(node).SlowPat
 func (c *Cluster) CompletedOps(node int) uint64 { return c.c.Node(node).CompletedTotal() }
 
 // OpClassCounts returns per-class completed-operation counts for a replica:
-// [read, write, release, acquire, faa, cas-weak, cas-strong].
-func (c *Cluster) OpClassCounts(node int) [7]uint64 {
-	var out [7]uint64
+// [read, write, release, acquire, faa, cas-weak, cas-strong, flush].
+func (c *Cluster) OpClassCounts(node int) [8]uint64 {
+	var out [8]uint64
 	nd := c.c.Node(node)
 	for i := range out {
 		out[i] = nd.Completed(core.OpCode(i))

@@ -34,6 +34,14 @@ const (
 	OpCASWeak
 	// OpCASStrong is a compare-and-swap that always checks remote replicas.
 	OpCASStrong
+	// OpFlush is a write-replication fence: it completes once every prior
+	// relaxed write of the session is applied at every replica, and touches
+	// no key. It is the building block of the sharding layer's cross-shard
+	// release (a release in one replica group fences the session's writes in
+	// every other group it touched), and is useful standalone when full
+	// replication of prior writes must be certain without publishing a
+	// value. Result carries no value.
+	OpFlush
 )
 
 func (c OpCode) String() string { return core.OpCode(c).String() }
@@ -80,6 +88,9 @@ func CASOp(key uint64, expected, newVal []byte, weak bool) Op {
 	return Op{Code: code, Key: key, Expected: expected, Value: newVal}
 }
 
+// FlushOp returns a write-replication fence (no key, no value).
+func FlushOp() Op { return Op{Code: OpFlush} }
+
 // Result is the outcome of one operation, identical across backends.
 type Result struct {
 	// Value is the operation's result value (read/acquire: the value read;
@@ -122,7 +133,7 @@ var (
 // payloads within MaxValueLen. Backends call it so malformed ops fail
 // identically (ErrBadOp, ErrValueTooLong) regardless of deployment.
 func ValidateOp(op Op) error {
-	if op.Code > OpCASStrong {
+	if op.Code > OpFlush {
 		return fmt.Errorf("%w %d", ErrBadOp, op.Code)
 	}
 	if len(op.Value) > MaxValueLen || len(op.Expected) > MaxValueLen {

@@ -1,0 +1,64 @@
+// Command linkcheck validates the markdown cross-references of the given
+// files: every relative link target (`[text](path)` and bare `see FILE.md`
+// style references are NOT guessed — only real markdown links) must exist
+// on disk, relative to the linking file. External links (http/https/
+// mailto) and pure in-page anchors are skipped — CI must not depend on
+// the network. Exit status 1 lists every broken link.
+//
+// Usage: go run ./tools/linkcheck README.md DESIGN.md ...
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are rare in this repo and intentionally out of scope.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	checked := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			broken++
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			// In-page anchors on file targets: check only the file part.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			checked++
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "linkcheck: %s: broken link %q (%s)\n", file, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	fmt.Printf("linkcheck: %d relative links checked, %d broken\n", checked, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
