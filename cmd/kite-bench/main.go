@@ -8,6 +8,7 @@
 //	kite-bench -fig 7              # write-only study incl. Derecho
 //	kite-bench -fig 8              # lock-free data structures
 //	kite-bench -fig 9              # failure study
+//	kite-bench -fig recovery       # restart/rejoin study (Figure 9 extension)
 //	kite-bench -fig timeout        # release-timeout ablation
 //	kite-bench -fig fastpath       # fast-path on/off ablation
 //	kite-bench -fig shard          # throughput vs replica-group count
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,timeout,fastpath,shard,all")
+		fig        = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,recovery,timeout,fastpath,shard,all")
 		nodes      = flag.Int("nodes", 5, "replication degree (3-9)")
 		groups     = flag.Int("groups", 1, "replica groups (sharded key space; figures 5-7 Kite series)")
 		workers    = flag.Int("workers", 4, "worker goroutines per node")
@@ -46,8 +47,9 @@ func main() {
 		warmup     = flag.Duration("warmup", 150*time.Millisecond, "warmup per point")
 		structs    = flag.Int("structs", 256, "data-structure instances (figure 8)")
 		sleepFor   = flag.Duration("sleep", 400*time.Millisecond, "replica sleep (figure 9)")
+		prefill    = flag.Int("prefill", 0, "keys prefilled before the recovery study (0: default 2^14)")
 		shardTotal = flag.Int("shard-total", 4, "total machines of the shard scaling series (figure shard)")
-		jsonPath   = flag.String("json", "", "write the shard figure's report as JSON to this path")
+		jsonPath   = flag.String("json", "", "write the selected figure's report as JSON to this path (shard/recovery only; ignored with -fig all, where the two reports would clobber each other)")
 	)
 	flag.Parse()
 
@@ -70,12 +72,28 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// A report is written only for an explicitly selected figure: under
+	// -fig all the shard and recovery reports would overwrite each other
+	// at the same path.
+	reportPath := func() string {
+		if *fig == "all" {
+			return ""
+		}
+		return *jsonPath
+	}
 
 	run("5", func() error { return bench.Figure5(fc, nil) })
 	run("6", func() error { return bench.Figure6(fc, nil) })
 	run("7", func() error { return bench.Figure7(fc) })
 	run("8", func() error { return bench.Figure8(fc, *structs, 0) })
 	run("9", func() error { return bench.Figure9(fc, *sleepFor) })
+	run("recovery", func() error {
+		rep, err := bench.FigureRecovery(fc, *prefill)
+		if err != nil {
+			return err
+		}
+		return writeJSON(reportPath(), rep)
+	})
 	run("timeout", func() error { return bench.AblationTimeout(fc, nil) })
 	run("fastpath", func() error { return bench.AblationFastPath(fc) })
 	run("shard", func() error {
@@ -83,16 +101,23 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if *jsonPath != "" {
-			b, err := json.MarshalIndent(rep, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *jsonPath)
-		}
-		return nil
+		return writeJSON(reportPath(), rep)
 	})
+}
+
+// writeJSON writes a figure's machine-readable report (the BENCH_<n>.json
+// baseline format) when -json was given.
+func writeJSON(path string, rep any) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

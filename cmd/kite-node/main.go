@@ -31,6 +31,12 @@
 //	kite-node -groups 2 -group 1 -id 0 -nodes 2 -base 7000 -client-addr :9100 &
 //	kite-node -groups 2 -group 1 -id 1 -nodes 2 -base 7000 -client-addr :9101 &
 //	kite-cli -addrs 127.0.0.1:9000,127.0.0.1:9100
+//
+// Restarts: SIGHUP restarts the replica in place (state discarded, rejoin
+// via the anti-entropy catch-up sweep, session server kept alive), and
+// -rejoin boots a replacement process in catch-up mode when it re-enters a
+// live deployment. Catch-up progress is logged once per second. See
+// OPERATIONS.md for the full runbook.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"kite/internal/core"
@@ -57,6 +64,7 @@ func main() {
 		host       = flag.String("host", "127.0.0.1", "bind/peer host")
 		clientAddr = flag.String("client-addr", "", "UDP address for the client session server (empty: no external clients)")
 		clientMax  = flag.Int("client-sessions", 0, "max sessions leased to external clients (0: all)")
+		rejoin     = flag.Bool("rejoin", false, "boot in catch-up mode: this replica is re-entering a LIVE deployment after losing its state (see OPERATIONS.md)")
 		demo       = flag.Bool("demo", false, "run a producer-consumer self-test then exit")
 	)
 	flag.Parse()
@@ -103,16 +111,22 @@ func main() {
 		ReleaseTimeout: 20 * time.Millisecond,
 		RetryInterval:  50 * time.Millisecond,
 	}
-	nd, err := core.NewNode(uint8(*id), cfg, tr)
+	bootCfg := cfg
+	bootCfg.Rejoin = *rejoin
+	nd, err := core.NewNode(uint8(*id), bootCfg, tr)
 	if err != nil {
 		log.Fatalf("kite-node: %v", err)
 	}
 	nd.Start()
-	defer nd.Stop()
+	defer func() { nd.Stop() }()
 	log.Printf("kite-node %d/%d (group %d/%d) up: %v", *id, *nodes, *group, *groups, listen)
+	if *rejoin {
+		go logCatchup(nd, *id)
+	}
 
+	var srv *server.Server
 	if *clientAddr != "" {
-		srv, err := server.New(nd, server.Config{
+		srv, err = server.New(nd, server.Config{
 			Addr: *clientAddr, MaxSessions: *clientMax,
 			Groups: *groups, Group: *group,
 		})
@@ -127,10 +141,55 @@ func main() {
 		runDemo(nd, *id)
 		return
 	}
+	// SIGHUP restarts the replica in place: the old node is crash-stopped
+	// (its state discarded, as if the process had died), a fresh node of
+	// the same id rejoins over the same sockets via the anti-entropy
+	// catch-up sweep, and the session server — clients' dial target — is
+	// rebound without ever going down. See OPERATIONS.md "Restarting a
+	// replica" for what clients observe.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGHUP)
+	for s := range sig {
+		if s != syscall.SIGHUP {
+			break
+		}
+		log.Printf("kite-node %d: SIGHUP — restarting replica (state discarded, rejoining)", *id)
+		nd.Stop()
+		rcfg := cfg
+		rcfg.Rejoin = true
+		next, err := core.NewNode(uint8(*id), rcfg, tr)
+		if err != nil {
+			log.Fatalf("kite-node: restart: %v", err)
+		}
+		next.Start()
+		if srv != nil {
+			srv.Rebind(next)
+		}
+		nd = next
+		go logCatchup(next, *id)
+	}
 	log.Printf("kite-node %d: shutting down", *id)
+}
+
+// logCatchup narrates a rejoining replica's sweep: periodic progress while
+// it runs, a summary when it completes. This is the operator's view of the
+// catch-up (OPERATIONS.md "Reading catch-up progress").
+func logCatchup(nd *core.Node, id int) {
+	for !nd.AwaitCatchup(time.Second) {
+		st := nd.Catchup()
+		log.Printf("kite-node %d: catch-up in progress: %d items pulled (%d applied), %v elapsed",
+			id, st.Pulled, st.Applied, st.Elapsed.Round(time.Millisecond))
+	}
+	st := nd.Catchup()
+	if nd.Stopped() {
+		// The node was restarted (or shut down) before its sweep finished;
+		// the replacement incarnation runs its own sweep and its own logger.
+		log.Printf("kite-node %d: catch-up aborted after %v (node stopped mid-sweep; %d items pulled)",
+			id, st.Elapsed.Round(time.Millisecond), st.Pulled)
+		return
+	}
+	log.Printf("kite-node %d: catch-up complete in %v: %d items pulled, %d applied — serving",
+		id, st.Elapsed.Round(time.Millisecond), st.Pulled, st.Applied)
 }
 
 // runDemo drives a producer-consumer check through this node's sessions —

@@ -27,6 +27,11 @@ type harness struct {
 	nodes   int
 	session func(t *testing.T, node, sess int) kite.Session
 	pause   func(node int, d time.Duration)
+	// restart crash-stops a replica (every group of it, on the sharded
+	// backends) and brings up a fresh, empty incarnation that rejoins via
+	// the catch-up sweep; await blocks until that sweep completes.
+	restart func(t *testing.T, node int)
+	await   func(t *testing.T, node int)
 }
 
 type backendDef struct {
@@ -70,6 +75,16 @@ func inprocHarness(t *testing.T) *harness {
 		nodes:   3,
 		session: func(t *testing.T, node, sess int) kite.Session { return c.Session(node, sess) },
 		pause:   c.PauseNode,
+		restart: func(t *testing.T, node int) {
+			if err := c.RestartNode(node); err != nil {
+				t.Fatalf("restart node %d: %v", node, err)
+			}
+		},
+		await: func(t *testing.T, node int) {
+			if !c.AwaitRejoin(node, 30*time.Second) {
+				t.Fatalf("node %d still catching up: %+v", node, c.NodeCatchup(node))
+			}
+		},
 	}
 }
 
@@ -86,7 +101,9 @@ func remoteHarness(t *testing.T) *harness {
 			}
 			return s
 		},
-		pause: cl.PauseNode,
+		pause:   cl.PauseNode,
+		restart: func(t *testing.T, node int) { cl.RestartNode(t, node) },
+		await:   func(t *testing.T, node int) { cl.AwaitRejoin(t, node, 30*time.Second) },
 	}
 }
 
@@ -103,6 +120,16 @@ func shardedInprocHarness(t *testing.T) *harness {
 		nodes:   3,
 		session: func(t *testing.T, node, sess int) kite.Session { return c.Session(node, sess) },
 		pause:   c.PauseNode,
+		restart: func(t *testing.T, node int) {
+			if err := c.RestartNode(node); err != nil {
+				t.Fatalf("restart node %d: %v", node, err)
+			}
+		},
+		await: func(t *testing.T, node int) {
+			if !c.AwaitRejoin(node, 30*time.Second) {
+				t.Fatalf("node %d still catching up", node)
+			}
+		},
 	}
 }
 
@@ -122,7 +149,9 @@ func shardedRemoteHarness(t *testing.T) *harness {
 			}
 			return s
 		},
-		pause: cl.PauseNode,
+		pause:   cl.PauseNode,
+		restart: func(t *testing.T, node int) { cl.RestartNode(t, node) },
+		await:   func(t *testing.T, node int) { cl.AwaitRejoin(t, node, 30*time.Second) },
 	}
 }
 

@@ -139,6 +139,31 @@ func (v *Vector) OnResetBit(m uint8, acqID uint64) bool {
 	return true
 }
 
+// Mask returns the bitmask of machines currently suspected — bits in the
+// Set or Trans state. It is the delinquency payload a replica exports to a
+// rejoining peer during catch-up (DESIGN.md "Recovery"): the transient
+// state is conservatively reported as suspected, since its pending reset
+// may yet be discarded by a racing slow-release.
+func (v *Vector) Mask() uint16 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var m uint16
+	for i, b := range v.bits {
+		if b != Clear {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// Merge folds a peer's exported delinquency mask into this vector, as a
+// rejoining replica does for every peer it sweeps: each named machine's bit
+// is set exactly as if a slow-release had named it. Over-approximation is
+// safe — a spuriously set bit costs the named machine one extra epoch bump,
+// never a consistency violation (Lemma 5.6 only needs bits to err towards
+// suspicion).
+func (v *Vector) Merge(mask uint16) { v.OnSlowRelease(mask) }
+
 // State returns the current state of machine m's bit (tests and debugging).
 func (v *Vector) State(m uint8) BitState {
 	v.mu.Lock()

@@ -17,7 +17,6 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -234,45 +233,13 @@ func RunKite(o KiteOpts) (Result, error) {
 
 // driveSession is the closed-loop driver: Window outstanding async ops
 // through the unified Session interface, a fresh random op issued as each
-// completes.
+// completes. It is driveSessionUntil (recovery.go) against a node that
+// never dies.
 func driveSession(s kite.Session, o KiteOpts, seed int64,
 	counting, stop *atomic.Bool, counted *atomic.Uint64) {
 
-	rng := rand.New(rand.NewSource(seed))
-	th := o.Mix.thresholds()
-	val := make([]byte, o.ValLen)
-	rng.Read(val)
-
-	slots := make(chan struct{}, o.Window)
-	inflight := 0
-	for {
-		if stop.Load() {
-			// Drain outstanding completions before leaving so Close()
-			// does not race in-flight callbacks.
-			for ; inflight > 0; inflight-- {
-				<-slots
-			}
-			return
-		}
-		if inflight == o.Window {
-			<-slots
-			inflight--
-		}
-		op := kite.Op{Code: codeFor(th.pick(rng.Float64())), Key: rng.Uint64() % o.Keys}
-		switch op.Code {
-		case kite.OpWrite, kite.OpRelease:
-			op.Value = val
-		case kite.OpFAA:
-			op.Delta = 1
-		}
-		s.DoAsync(op, func(kite.Result) {
-			if counting.Load() {
-				counted.Add(1)
-			}
-			slots <- struct{}{}
-		})
-		inflight++
-	}
+	var never atomic.Bool
+	driveSessionUntil(s, o, seed, counting, stop, &never, counted)
 }
 
 func codeFor(k opKind) kite.OpCode {

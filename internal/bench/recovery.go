@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite"
+	"kite/internal/core"
+)
+
+// The recovery study: the failure scenario one step past Figure 9. Where
+// the paper's §8.4 replica merely SLEEPS (keeping its state), this one is
+// crash-stopped mid-workload, restarted empty, and rejoins through the
+// anti-entropy catch-up sweep (DESIGN.md "Recovery"). Measured: the
+// throughput timeline across the kill and rejoin, the catch-up duration,
+// and how much state the sweep moved.
+
+// RecoveryOpts parameterises the recovery study.
+type RecoveryOpts struct {
+	Options kite.Options
+	Mix     Mix // like Figure 9: 5% writes, 5% synchronisation
+	Keys    uint64
+	ValLen  int
+	Window  int
+	// Prefill writes (and fences) this many keys before the run so the
+	// victim's sweep has a real store to transfer, not just the warmup's
+	// footprint.
+	Prefill     int
+	Warmup      time.Duration
+	Total       time.Duration // sampled portion of the run
+	Sample      time.Duration
+	RestartNode int
+	RestartAt   time.Duration // offset of the kill within the sampled window
+}
+
+func (o *RecoveryOpts) defaults() {
+	if o.Keys == 0 {
+		o.Keys = 1 << 16
+	}
+	if o.ValLen == 0 {
+		o.ValLen = 32
+	}
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.Prefill == 0 {
+		o.Prefill = 1 << 14
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 150 * time.Millisecond
+	}
+	if o.Total == 0 {
+		o.Total = 900 * time.Millisecond
+	}
+	if o.Sample == 0 {
+		o.Sample = 20 * time.Millisecond
+	}
+	if o.RestartAt == 0 {
+		o.RestartAt = 150 * time.Millisecond
+	}
+}
+
+// RecoveryOutcome summarises a recovery run.
+type RecoveryOutcome struct {
+	Timeline []TimePoint
+	// Steady-state throughput before the kill, while the victim was down or
+	// catching up, and after it rejoined (mreqs).
+	PreRestart, Intermediate, PostRejoin float64
+	// CatchupTime is the wall time from the kill to the sweep completing —
+	// the victim's full serving gap.
+	CatchupTime time.Duration
+	// Catchup is the rejoined node's sweep statistics.
+	Catchup core.CatchupStats
+}
+
+// RunRecoveryStudy kills and rejoins one replica under a steady mixed
+// workload. The victim's drivers stop at the kill and resume — on fresh
+// sessions of the new incarnation — once its catch-up completes; everyone
+// else's sessions drive straight through the outage.
+func RunRecoveryStudy(o RecoveryOpts) (RecoveryOutcome, error) {
+	o.defaults()
+	c, err := kite.NewCluster(o.Options)
+	if err != nil {
+		return RecoveryOutcome{}, err
+	}
+	defer c.Close()
+	nodes := c.Nodes()
+	victim := o.RestartNode
+
+	// Prefill: give the victim's future sweep a store worth transferring,
+	// fully replicated so it is all at the surviving peers.
+	pre := c.Session((victim+1)%nodes, 0)
+	var pending sync.WaitGroup
+	for i := 0; i < o.Prefill; i++ {
+		pending.Add(1)
+		val := []byte(fmt.Sprintf("prefill-%d", i))
+		pre.DoAsync(kite.WriteOp(uint64(i)%o.Keys, val), func(kite.Result) { pending.Done() })
+		if i%1024 == 1023 {
+			pending.Wait() // bounded outstanding prefill
+		}
+	}
+	pending.Wait()
+	if _, err := pre.Do(context.Background(), kite.FlushOp()); err != nil {
+		return RecoveryOutcome{}, err
+	}
+
+	var stop, stopVictim, counting atomic.Bool
+	counted := make([]atomic.Uint64, nodes)
+	var wg sync.WaitGroup
+	startDriver := func(n int, s kite.Session, seed int64, st *atomic.Bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ko := KiteOpts{Mix: o.Mix, Keys: o.Keys, ValLen: o.ValLen, Window: o.Window}
+			ko.defaults()
+			driveVictimAware(s, ko, seed, &counting, st, &counted[n])
+		}()
+	}
+	for n := 0; n < nodes; n++ {
+		st := &stop
+		if n == victim {
+			st = &stopVictim
+		}
+		for si := 0; si < c.SessionsPerNode(); si++ {
+			startDriver(n, c.Session(n, si), int64(n*1000+si+11), st)
+		}
+	}
+	counting.Store(true)
+	time.Sleep(o.Warmup)
+
+	out := RecoveryOutcome{}
+	var restartWG sync.WaitGroup
+	var restartErr error
+	restarted := false
+	var timeline []TimePoint
+	prev := snapshotCounts(counted)
+	start := time.Now()
+	for elapsed := time.Duration(0); elapsed < o.Total; {
+		time.Sleep(o.Sample)
+		now := time.Since(start)
+		cur := snapshotCounts(counted)
+		tp := TimePoint{At: now, PerNode: make([]float64, nodes)}
+		dt := (now - elapsed).Seconds()
+		for i := 0; i < nodes; i++ {
+			tp.PerNode[i] = float64(cur[i]-prev[i]) / dt / 1e6
+			tp.Total += tp.PerNode[i]
+		}
+		timeline = append(timeline, tp)
+		prev = cur
+		elapsed = now
+		if !restarted && elapsed >= o.RestartAt {
+			restarted = true
+			restartWG.Add(1)
+			go func() {
+				defer restartWG.Done()
+				// Retire the victim's drivers, then kill and rejoin it.
+				stopVictim.Store(true)
+				killed := time.Now()
+				c.StopNode(victim)
+				if err := c.RestartNode(victim); err != nil {
+					restartErr = err
+					return
+				}
+				if !c.AwaitRejoin(victim, time.Minute) {
+					restartErr = fmt.Errorf("victim still catching up after 1m")
+					return
+				}
+				out.CatchupTime = time.Since(killed)
+				out.Catchup = c.NodeCatchup(victim)
+				// Resume load on the new incarnation's sessions.
+				for si := 0; si < c.SessionsPerNode(); si++ {
+					startDriver(victim, c.Session(victim, si), int64(victim*1000+si+77), &stop)
+				}
+			}()
+		}
+	}
+	restartWG.Wait()
+	stop.Store(true)
+	stopVictim.Store(true)
+	wg.Wait()
+	if restartErr != nil {
+		return RecoveryOutcome{}, restartErr
+	}
+
+	out.Timeline = timeline
+	rejoinAt := o.RestartAt + out.CatchupTime
+	var pre2, mid, post []TimePoint
+	for _, tp := range timeline {
+		switch {
+		case tp.At < o.RestartAt:
+			pre2 = append(pre2, tp)
+		case tp.At < rejoinAt:
+			mid = append(mid, tp)
+		case tp.At > rejoinAt+50*time.Millisecond:
+			post = append(post, tp)
+		}
+	}
+	out.PreRestart = avgTotal(pre2)
+	out.Intermediate = avgTotal(mid)
+	out.PostRejoin = avgTotal(post)
+	return out, nil
+}
+
+// driveVictimAware is driveSession with one difference: operations may FAIL
+// (ErrStopped) when the driven node is killed mid-flight, and the driver
+// must treat that as its stop signal rather than spin on a dead session.
+func driveVictimAware(s kite.Session, o KiteOpts, seed int64,
+	counting, stop *atomic.Bool, counted *atomic.Uint64) {
+
+	var dead atomic.Bool
+	driveSessionUntil(&victimSession{Session: s, dead: &dead}, o, seed, counting, stop, &dead, counted)
+}
+
+// victimSession wraps a Session, flagging the first ErrStopped so the
+// driver winds down instead of hammering a dead node.
+type victimSession struct {
+	kite.Session
+	dead *atomic.Bool
+}
+
+func (v *victimSession) DoAsync(op kite.Op, cb func(kite.Result)) {
+	v.Session.DoAsync(op, func(r kite.Result) {
+		if r.Err != nil {
+			v.dead.Store(true)
+		}
+		if cb != nil {
+			cb(r)
+		}
+	})
+}
+
+// driveSessionUntil is the closed-loop driver of driveSession with an
+// extra termination flag (the victim's death).
+func driveSessionUntil(s kite.Session, o KiteOpts, seed int64,
+	counting, stop, dead *atomic.Bool, counted *atomic.Uint64) {
+
+	rng := rand.New(rand.NewSource(seed))
+	th := o.Mix.thresholds()
+	val := make([]byte, o.ValLen)
+	rng.Read(val)
+
+	slots := make(chan struct{}, o.Window)
+	inflight := 0
+	for {
+		if stop.Load() || dead.Load() {
+			for ; inflight > 0; inflight-- {
+				<-slots
+			}
+			return
+		}
+		if inflight == o.Window {
+			<-slots
+			inflight--
+		}
+		op := kite.Op{Code: codeFor(th.pick(rng.Float64())), Key: rng.Uint64() % o.Keys}
+		switch op.Code {
+		case kite.OpWrite, kite.OpRelease:
+			op.Value = val
+		case kite.OpFAA:
+			op.Delta = 1
+		}
+		s.DoAsync(op, func(r kite.Result) {
+			if r.Err == nil && counting.Load() {
+				counted.Add(1)
+			}
+			slots <- struct{}{}
+		})
+		inflight++
+	}
+}
+
+// RecoveryReport is the machine-readable output of FigureRecovery — the
+// format committed as BENCH_1.json.
+type RecoveryReport struct {
+	Name          string        `json:"name"`
+	Nodes         int           `json:"nodes"`
+	Workers       int           `json:"workers"`
+	Sessions      int           `json:"sessions_per_worker"`
+	Keys          uint64        `json:"keys"`
+	Prefill       int           `json:"prefill_keys"`
+	Total         time.Duration `json:"total_ns"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	PreRestart    float64       `json:"pre_restart_mreqs"`
+	Intermediate  float64       `json:"intermediate_mreqs"`
+	PostRejoin    float64       `json:"post_rejoin_mreqs"`
+	CatchupMillis float64       `json:"catchup_ms"`
+	SweptItems    uint64        `json:"swept_items"`
+	AppliedItems  uint64        `json:"applied_items"`
+}
+
+// FigureRecovery runs the recovery study, prints the timeline and summary,
+// and returns the machine-readable report.
+func FigureRecovery(fc FigureConfig, prefill int) (*RecoveryReport, error) {
+	opts := RecoveryOpts{
+		Options:     fc.kiteOptions(),
+		Mix:         Mix{WriteRatio: 0.05, SyncFrac: 0.05},
+		Keys:        fc.Keys,
+		Prefill:     prefill,
+		Warmup:      fc.Warmup,
+		RestartNode: fc.Nodes - 1,
+	}
+	opts.defaults() // resolve the knobs the report pins
+	out, err := RunRecoveryStudy(opts)
+	if err != nil {
+		return nil, err
+	}
+	fc.printf("# Recovery study: node %d killed at %v, rejoins via catch-up\n",
+		fc.Nodes-1, opts.RestartAt)
+	fc.printf("%s", FormatTimeline(FailureOutcome{Timeline: out.Timeline}, fc.Nodes-1))
+	fc.printf("\npre-restart total:   %8.3f mreqs\n", out.PreRestart)
+	fc.printf("down/catching-up:    %8.3f mreqs (surviving majority keeps serving)\n", out.Intermediate)
+	fc.printf("post-rejoin total:   %8.3f mreqs\n", out.PostRejoin)
+	fc.printf("catch-up: %v from kill to serving; %d items swept, %d applied\n",
+		out.CatchupTime.Round(time.Millisecond), out.Catchup.Pulled, out.Catchup.Applied)
+	return &RecoveryReport{
+		Name:          "recovery",
+		Nodes:         fc.Nodes,
+		Workers:       fc.Workers,
+		Sessions:      fc.SessionsPerWorker,
+		Keys:          fc.Keys,
+		Prefill:       opts.Prefill,
+		Total:         opts.Total,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		PreRestart:    out.PreRestart,
+		Intermediate:  out.Intermediate,
+		PostRejoin:    out.PostRejoin,
+		CatchupMillis: float64(out.CatchupTime.Microseconds()) / 1000,
+		SweptItems:    out.Catchup.Pulled,
+		AppliedItems:  out.Catchup.Applied,
+	}, nil
+}

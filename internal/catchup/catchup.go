@@ -1,0 +1,187 @@
+package catchup
+
+import (
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/paxos"
+	"kite/internal/proto"
+)
+
+// DefaultChunk bounds how many key entries a peer packs into one catch-up
+// chunk. 96 items cost ~12 KiB typically and ~24 KiB worst case (max-size
+// value plus a full origin ring per item) — comfortably inside
+// proto.MaxBatchBytes even when the chunk shares its datagram with live
+// protocol traffic.
+const DefaultChunk = 96
+
+// maxChunkBytes caps a chunk's marshalled size regardless of the item
+// budget the caller asks for. This bound is load-bearing on the UDP
+// transport: the whole staged batch — items, End frame, and any live
+// traffic sharing the flush — must fit proto.MaxBatchBytes (60 KiB), and
+// an oversized batch is DROPPED there, End frame included, so an
+// unbounded chunk would be re-requested and re-dropped forever and the
+// rejoin would never finish. AppendChunk stops opening new buckets once
+// past this cap (it always finishes the bucket it is in, since the cursor
+// addresses whole buckets), leaving ample headroom for the overshoot.
+const maxChunkBytes = 32 * 1024
+
+// Coverage returns how many distinct peers' full sweeps a rejoining replica
+// of an n-node deployment must complete before serving: n - quorum + 1.
+// Every quorum round that completed before the restart was acknowledged by
+// at least quorum replicas, of which at least quorum-1 are peers of the
+// joiner; a peer set of this size must intersect every such quorum, so the
+// union of the swept stores contains every established write (see doc.go).
+func Coverage(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n - (n/2 + 1) + 1
+}
+
+// peerState tracks one peer's sweep progress.
+type peerState struct {
+	cursor uint64 // next bucket index to pull
+	done   bool
+}
+
+// Sweep is the rejoining replica's side of the catch-up protocol: one
+// cursor walk per peer, all sharing a single operation id, complete once
+// Coverage distinct peers have been swept end to end. It holds no locks —
+// the owning core worker drives it single-threaded, like any pending op.
+type Sweep struct {
+	self      uint8
+	n         int
+	need      int
+	doneCount int
+	peers     [llc.MaxNodes]peerState
+}
+
+// NewSweep creates the sweep state for a replica rejoining an n-node
+// deployment.
+func NewSweep(self uint8, n int) *Sweep {
+	return &Sweep{self: self, n: n, need: Coverage(n)}
+}
+
+// Coverage returns how many peer sweeps must complete.
+func (s *Sweep) Coverage() int { return s.need }
+
+// Done reports whether enough peers have been swept end to end.
+func (s *Sweep) Done() bool { return s.doneCount >= s.need }
+
+// PeerDone reports whether peer p's sweep has completed.
+func (s *Sweep) PeerDone(p uint8) bool { return s.peers[p].done }
+
+// Cursor returns the bucket cursor of the next pull to send to peer p.
+func (s *Sweep) Cursor(p uint8) uint64 { return s.peers[p].cursor }
+
+// Pending returns the peers whose sweeps are still in progress — the
+// targets of the next pull round (and of deadline retransmissions).
+func (s *Sweep) Pending() []uint8 {
+	var out []uint8
+	for p := uint8(0); int(p) < s.n; p++ {
+		if p != s.self && !s.peers[p].done {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OnEnd folds a chunk-end frame from peer p: echo is the request cursor the
+// peer answered, next the cursor to continue from, done whether the peer's
+// store is exhausted. It reports whether the frame advanced the sweep —
+// false for duplicates and stale retransmissions, which the caller ignores.
+func (s *Sweep) OnEnd(p uint8, echo, next uint64, done bool) (advanced bool) {
+	if int(p) >= s.n || p == s.self {
+		return false
+	}
+	ps := &s.peers[p]
+	if ps.done || echo != ps.cursor {
+		return false
+	}
+	ps.cursor = next
+	if done {
+		ps.done = true
+		s.doneCount++
+	}
+	return true
+}
+
+// PullMsg builds the cursor-addressed chunk request a joiner sends a peer.
+func PullMsg(self, worker uint8, opID, cursor uint64) proto.Message {
+	return proto.Message{
+		Kind: proto.KindCatchupPull, From: self, Worker: worker,
+		OpID: opID, Slot: cursor,
+	}
+}
+
+// EndMsg builds the chunk-end reply to pull request m: the continuation
+// cursor, the peer's delinquency mask, and the exhausted flag.
+func EndMsg(m *proto.Message, self uint8, next uint64, done bool, delinq uint16) proto.Message {
+	rep := m.Reply(proto.KindCatchupEnd, self)
+	rep.Slot = next
+	rep.Origin = m.Slot // echo the request cursor so stale replies are detectable
+	rep.Bits = delinq
+	if done {
+		rep.Flags |= proto.FlagCatchupDone
+	}
+	return rep
+}
+
+// AppendChunk scans store buckets from cursor, appending one
+// KindCatchupItem per used entry to out until at least maxItems entries
+// have been collected or the chunk reaches maxChunkBytes of wire size,
+// whichever comes first (always finishing the bucket it is in — the
+// cursor addresses whole buckets, so a retransmitted pull re-sends an
+// identical, idempotent chunk). The byte cap holds for ANY maxItems, so a
+// misconfigured Config.CatchupChunk cannot produce a chunk the UDP
+// transport would drop. It returns the extended slice, the continuation
+// cursor, and whether the store is exhausted. Entries that were created as
+// epoch placeholders and never written (zero stamp, no consensus state)
+// are skipped: they carry no information the joiner's empty store lacks.
+func AppendChunk(store *kvs.Store, cursor uint64, maxItems int, self, worker uint8, opID uint64, out []proto.Message) ([]proto.Message, uint64, bool) {
+	if maxItems <= 0 {
+		maxItems = DefaultChunk
+	}
+	nb := uint64(store.NumBuckets())
+	start := len(out)
+	bytes := 0
+	var buf [kvs.MaxValueLen]byte
+	for cursor < nb && len(out)-start < maxItems && bytes < maxChunkBytes {
+		store.SnapshotBucket(int(cursor), func(e *kvs.Entry) {
+			st := e.Stamp()
+			slot, lastOrigin, recent, hasPaxos := paxos.ExportMeta(e.Meta())
+			if st.IsZero() && !hasPaxos {
+				return
+			}
+			m := proto.Message{
+				Kind: proto.KindCatchupItem, From: self, Worker: worker,
+				Key: e.Key(), OpID: opID, Stamp: st,
+				Value: append([]byte(nil), e.ValueInto(buf[:])...),
+			}
+			if hasPaxos {
+				m.Slot = slot
+				m.Origin = lastOrigin
+				m.Origins = recent
+			}
+			bytes += m.MarshalledSize()
+			out = append(out, m)
+		})
+		cursor++
+	}
+	return out, cursor, cursor >= nb
+}
+
+// ApplyItem merges one pulled entry into the joiner's store: the value
+// installs iff its LLC stamp is newer than the local one (the per-key LLC
+// comparison that serialises writes everywhere else in Kite), and any
+// committed Paxos state merges slot-monotonically. Reports whether the
+// value was newer than local state.
+func ApplyItem(store *kvs.Store, m *proto.Message) (applied bool) {
+	if !m.Stamp.IsZero() {
+		applied = store.Apply(m.Key, m.Value, m.Stamp)
+	}
+	if m.Slot > 0 {
+		paxos.ImportCommitted(store, m.Key, m.Slot, m.Origin, m.Origins)
+	}
+	return applied
+}

@@ -1,0 +1,39 @@
+// Package catchup implements the anti-entropy state transfer a restarted
+// replica runs before it re-enters the serving set (ROADMAP "Restart &
+// state transfer"; DESIGN.md "Recovery").
+//
+// The paper's failure study (§8.4) covers a *sleeping* replica — one that
+// keeps its state and merely stops responding, to be repaired by the
+// delinquency machinery when it wakes. A replica that restarts is worse
+// than asleep: it comes back empty, and the writes it acknowledged in its
+// previous life are exactly the ones no DM-set will ever name, because at
+// the time they completed nobody was owed a suspicion. This package closes
+// that gap in the style of Hermes' replay-based rejoin (PAPERS.md), adapted
+// to Kite's quorum protocols.
+//
+// A rejoining node sweeps its peers' key spaces: it sends cursor-addressed
+// pull requests, each answered by a chunk of (key, LLC stamp, value) items
+// plus the key's committed per-key Paxos state, and merges every item
+// last-writer-wins by LLC — the per-key LLC comparison that makes the sweep
+// idempotent and safe to interleave with live traffic. Each chunk's End
+// frame also carries the peer's delinquency bit mask, which the joiner
+// unions into its own vector so suspicion published while it was down (or
+// before) survives its amnesia.
+//
+// One peer is not enough. Kite's synchronisation writes complete at a
+// QUORUM, and quorum intersection is an inductive property: it holds only
+// while every replica remembers what it acknowledged. A restarted replica
+// breaks the induction — a release acked by {A, B, J} before J's crash may
+// be absent from the one peer J happens to sweep. The sweep therefore
+// completes only once full sweeps of at least n-⌈(n+1)/2⌉+1 distinct peers
+// have finished (Coverage): any write quorum contains at least that many
+// replicas besides J, so the union of the swept peers' stores provably
+// contains every write any completed quorum round established.
+//
+// While the sweep runs, the owning node (internal/core) treats itself like
+// the paper's sleeping replica in reverse: it applies and acknowledges
+// writes (sound — an ack truthfully means "applied locally", and the node
+// serves no local reads until caught up), buffers client requests, and
+// drops read-type quorum traffic so its forgotten state never counts
+// toward another machine's quorum intersection.
+package catchup

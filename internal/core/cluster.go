@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"kite/internal/transport"
@@ -14,7 +15,11 @@ type Cluster struct {
 	cfg    Config
 	inner  *transport.InProc
 	faults *transport.FaultInjector
-	nodes  []*Node
+
+	// mu guards nodes: RestartNode swaps a slot while harness goroutines
+	// read others (never a hot path — protocol traffic does not touch it).
+	mu    sync.RWMutex
+	nodes []*Node
 }
 
 // NewCluster builds and starts an in-process deployment.
@@ -41,10 +46,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 func (c *Cluster) Config() Config { return c.cfg }
 
 // Nodes returns the replication degree.
-func (c *Cluster) Nodes() int { return len(c.nodes) }
+func (c *Cluster) Nodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}
 
-// Node returns the i-th replica.
-func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+// Node returns the i-th replica (the current incarnation, after restarts).
+func (c *Cluster) Node(i int) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[i]
+}
 
 // Faults exposes the fault injector for failure studies: drop or delay
 // links, partition nodes.
@@ -52,10 +65,41 @@ func (c *Cluster) Faults() *transport.FaultInjector { return c.faults }
 
 // PauseNode makes replica i unresponsive for d (the sleeping-replica
 // failure of §8.4).
-func (c *Cluster) PauseNode(i int, d time.Duration) { c.nodes[i].Pause(d) }
+func (c *Cluster) PauseNode(i int, d time.Duration) { c.Node(i).Pause(d) }
+
+// StopNode crash-stops replica i: its workers exit, outstanding requests
+// fail with ErrStopped, and — unlike a pause — its in-memory state is as
+// good as gone, because only RestartNode brings the slot back.
+func (c *Cluster) StopNode(i int) { c.Node(i).Stop() }
+
+// RestartNode replaces replica i with a fresh, empty node of the same id
+// on the same transport — the crash-recovery failure the sleeping-replica
+// study cannot model, since a restarted replica has lost every write it
+// ever acknowledged. The new incarnation boots in catch-up mode
+// (Config.Rejoin): it buffers client requests and serves nothing until its
+// anti-entropy sweep against the surviving peers completes (see
+// internal/catchup). Session handles obtained before the restart fail with
+// ErrStopped; acquire fresh ones via Node(i).Session.
+func (c *Cluster) RestartNode(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.nodes[i]
+	old.Stop()
+	cfg := c.cfg
+	cfg.Rejoin = true
+	nd, err := NewNode(old.ID, cfg, c.faults)
+	if err != nil {
+		return err
+	}
+	c.nodes[i] = nd
+	nd.Start()
+	return nil
+}
 
 // CompletedTotal sums completed operations across all replicas.
 func (c *Cluster) CompletedTotal() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var t uint64
 	for _, nd := range c.nodes {
 		t += nd.CompletedTotal()
@@ -65,6 +109,8 @@ func (c *Cluster) CompletedTotal() uint64 {
 
 // Close stops every node and the transport.
 func (c *Cluster) Close() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, nd := range c.nodes {
 		if nd != nil {
 			nd.Stop()

@@ -1,26 +1,10 @@
-// Package core implements the Kite node: worker threads executing client
-// sessions' requests by running Eventual Store, ABD and per-key Paxos,
-// stitched together with the fast/slow path mechanism that enforces Release
-// Consistency's barrier semantics (§4 of the paper).
-//
-// Architecture (mirroring §6.1):
-//
-//   - A Node holds the whole KVS in memory plus the machine epoch-id and the
-//     delinquency bit-vector shared by its workers.
-//   - Worker goroutines own disjoint sets of sessions and run an event loop:
-//     drain incoming protocol messages, admit new client requests, pump
-//     session state machines, retransmit timed-out rounds, flush outgoing
-//     batches (opportunistic batching: whatever is staged goes out, no
-//     quota is awaited).
-//   - Worker i of a node exchanges messages only with worker i of every
-//     remote node, minimising connection state exactly like Kite's RDMA
-//     layout.
-//   - A Session issues requests in session order. Relaxed ops complete
-//     locally (writes are tracked for the release barrier); releases,
-//     acquires and RMWs block the session until their quorum rounds finish.
 package core
 
-import "time"
+import (
+	"time"
+
+	"kite/internal/catchup"
+)
 
 // Config parameterises a Kite deployment. The zero value is not usable; use
 // DefaultConfig or fill every field.
@@ -53,6 +37,17 @@ type Config struct {
 	// (quorum rounds). Used by the ablation benchmarks to price the fast
 	// path; never set in normal operation.
 	DisableFastPath bool
+	// Rejoin marks this node as restarting into an existing deployment
+	// with its state lost. It boots in catch-up mode: client requests are
+	// buffered, read-type quorum traffic is dropped, and the node sweeps
+	// its peers' key spaces (internal/catchup) until enough of them have
+	// been covered to restore quorum intersection — only then does it serve.
+	// Ignored for single-node deployments, which have nobody to sweep.
+	Rejoin bool
+	// CatchupChunk bounds how many key entries a peer packs into one
+	// catch-up chunk (0 means catchup.DefaultChunk). Tests shrink it to
+	// stretch the sweep; operators normally leave it alone.
+	CatchupChunk int
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation:
@@ -68,6 +63,7 @@ func DefaultConfig() Config {
 		MailboxDepth:      4096,
 		MaxPendingWrites:  64,
 		IdlePoll:          200 * time.Microsecond,
+		CatchupChunk:      catchup.DefaultChunk,
 	}
 }
 
@@ -99,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdlePoll == 0 {
 		c.IdlePoll = d.IdlePoll
+	}
+	if c.CatchupChunk == 0 {
+		c.CatchupChunk = d.CatchupChunk
 	}
 	return c
 }

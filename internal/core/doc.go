@@ -1,0 +1,46 @@
+// Package core implements the Kite node: worker threads executing client
+// sessions' requests by running Eventual Store, ABD and per-key Paxos,
+// stitched together with the fast/slow path mechanism that enforces Release
+// Consistency's barrier semantics (§4 of the paper).
+//
+// # Architecture (§6.1)
+//
+//   - A Node holds the whole KVS in memory plus the machine epoch-id and the
+//     delinquency bit-vector shared by its workers.
+//   - Worker goroutines own disjoint sets of sessions and run an event loop:
+//     drain incoming protocol messages, admit new client requests, pump
+//     session state machines, retransmit timed-out rounds, flush outgoing
+//     batches (opportunistic batching: whatever is staged goes out, no
+//     quota is awaited).
+//   - Worker i of a node exchanges messages only with worker i of every
+//     remote node, minimising connection state exactly like Kite's RDMA
+//     layout (§6.3).
+//   - A Session issues requests in session order (§2.1). Relaxed ops
+//     complete locally (writes are tracked for the release barrier);
+//     releases, acquires and RMWs block the session until their quorum
+//     rounds finish.
+//
+// # Operation → protocol mapping (Table 1, §3)
+//
+//   - OpRead/OpWrite — Eventual Store (internal/es, §3.2): local reads,
+//     asynchronous broadcast writes, all-replica ack tracking.
+//   - OpRelease/OpAcquire — multi-writer ABD (internal/abd, §3.3) wrapped
+//     in the §4.2 barrier machinery (release.go, acquire.go).
+//   - OpFAA/OpCASWeak/OpCASStrong — per-key leaderless Paxos
+//     (internal/paxos, §3.4; rmw.go).
+//   - OpFlush — the write-replication fence of the sharding layer: the
+//     release barrier without a write, insisting on full replication
+//     (flush.go; DESIGN.md "Sharding").
+//
+// # Failure modes
+//
+// A paused node (Node.Pause) is the paper's sleeping replica (§8.4): it
+// keeps its state and stops responding; the delinquency machinery repairs
+// its staleness when it wakes. A RESTARTED node (Cluster.RestartNode,
+// Config.Rejoin) is strictly worse — it lost every write it ever
+// acknowledged — and is repaired by the anti-entropy catch-up sweep
+// (catchup.go here, internal/catchup for the protocol): it buffers client
+// requests, answers only write-application traffic, and serves nothing
+// until the sweep restores its store, its committed Paxos state and its
+// delinquency vector from a covering set of peers (DESIGN.md "Recovery").
+package core

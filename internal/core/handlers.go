@@ -18,6 +18,11 @@ import (
 //     consume the delinquency notification owed to a real acquire.
 func (w *Worker) handleRequest(m *proto.Message) (rep proto.Message, ok bool) {
 	nd := w.node
+	if nd.rejoining.Load() && !servableWhileRejoining(m.Kind) {
+		// Catching up after a restart: only write application is sound; see
+		// servableWhileRejoining (internal/core/catchup.go) for the argument.
+		return rep, false
+	}
 	switch m.Kind {
 	case proto.KindESWrite:
 		return es.HandleWrite(nd.Store, m, nd.ID), true

@@ -35,6 +35,18 @@ type Node struct {
 	started bool
 	wg      sync.WaitGroup
 
+	// Rejoin / anti-entropy state (DESIGN.md "Recovery"). rejoining is set
+	// for the node's whole catch-up phase: client requests buffer, read-type
+	// quorum traffic is dropped, and worker 0 drives the sweep. catchupDone
+	// is closed (once) when the sweep completes; for nodes that never
+	// rejoin it is closed at construction.
+	rejoining      atomic.Bool
+	catchupDone    chan struct{}
+	catchupStarted time.Time
+	catchupElapsed atomic.Int64 // ns; set when the sweep completes
+	catchupPulled  atomic.Uint64
+	catchupApplied atomic.Uint64
+
 	// stats
 	completed  [opCodes]atomic.Uint64
 	slowReads  atomic.Uint64 // relaxed accesses served via the slow path
@@ -61,6 +73,13 @@ func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
 		full:   uint16(1<<cfg.Nodes) - 1,
 		Store:  kvs.New(cfg.KVSCapacity),
 		tr:     tr,
+	}
+	nd.catchupDone = make(chan struct{})
+	if cfg.Rejoin && cfg.Nodes > 1 {
+		nd.rejoining.Store(true)
+		nd.catchupStarted = time.Now()
+	} else {
+		close(nd.catchupDone)
 	}
 	nd.workers = make([]*Worker, cfg.Workers)
 	for w := range nd.workers {
@@ -92,13 +111,21 @@ func (nd *Node) Start() {
 }
 
 // Stop terminates the workers, failing outstanding requests with
-// ErrStopped, and waits for them to exit.
+// ErrStopped, and waits for them to exit. Stopping a node mid-rejoin
+// aborts its catch-up sweep: CatchingUp drops to false and AwaitCatchup
+// unblocks, so waiters on a node that died sweeping (a repeated SIGHUP,
+// a test teardown) do not hang for their full timeout — check Stopped to
+// distinguish an aborted sweep from a completed one.
 func (nd *Node) Stop() {
 	if nd.stopped.Swap(true) {
 		return
 	}
 	nd.wg.Wait()
+	nd.finishCatchup()
 }
+
+// Stopped reports whether the node has been stopped.
+func (nd *Node) Stopped() bool { return nd.stopped.Load() }
 
 // Pause makes the node unresponsive for d — workers stop processing
 // messages and requests, exactly like the sleeping replica of the failure
@@ -113,6 +140,61 @@ func (nd *Node) Pause(d time.Duration) {
 
 // Paused reports whether the node is currently unresponsive.
 func (nd *Node) Paused() bool { return nd.paused.Load() }
+
+// CatchingUp reports whether the node is still running its rejoin sweep.
+// A catching-up node buffers client requests and serves no acquires (or any
+// other operation) until the sweep completes.
+func (nd *Node) CatchingUp() bool { return nd.rejoining.Load() }
+
+// AwaitCatchup blocks until the node's rejoin sweep completes, reporting
+// whether it did so within d. Nodes that never rejoined return true
+// immediately.
+func (nd *Node) AwaitCatchup(d time.Duration) bool {
+	select {
+	case <-nd.catchupDone:
+		return true
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-nd.catchupDone:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// CatchupStats is a snapshot of a node's rejoin sweep.
+type CatchupStats struct {
+	Active  bool          // the sweep is still running
+	Pulled  uint64        // items received from peers
+	Applied uint64        // items newer than local state (actually installed)
+	Elapsed time.Duration // sweep duration (so far when Active)
+}
+
+// Catchup snapshots the node's rejoin-sweep progress. Nodes that booted
+// normally report the zero value.
+func (nd *Node) Catchup() CatchupStats {
+	st := CatchupStats{
+		Active:  nd.rejoining.Load(),
+		Pulled:  nd.catchupPulled.Load(),
+		Applied: nd.catchupApplied.Load(),
+		Elapsed: time.Duration(nd.catchupElapsed.Load()),
+	}
+	if st.Active {
+		st.Elapsed = time.Since(nd.catchupStarted)
+	}
+	return st
+}
+
+// finishCatchup transitions the node out of rejoin mode, exactly once.
+func (nd *Node) finishCatchup() {
+	if nd.rejoining.Swap(false) {
+		nd.catchupElapsed.Store(int64(time.Since(nd.catchupStarted)))
+		close(nd.catchupDone)
+	}
+}
 
 // Sessions returns the number of client sessions the node runs.
 func (nd *Node) Sessions() int { return len(nd.sessions) }

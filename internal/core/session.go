@@ -67,6 +67,18 @@ func (s *Session) Submit(r *Request) {
 		return
 	}
 	s.w.reqCh <- r
+	// Close the submit/stop race: if the node stopped between the check
+	// above and the send, the workers may already have drained reqCh and
+	// exited, leaving r (and any other late submissions) orphaned in the
+	// buffer with Done callbacks that would never fire. Re-checking after
+	// the send and draining on the submitter's goroutine guarantees every
+	// request is completed exactly once — either by a live worker, or by
+	// a late submitter's drain with ErrStopped (channel receive makes the
+	// two mutually exclusive per request). First observed as a hang in
+	// StopNode/RestartNode under full client load (the recovery study).
+	if s.node.stopped.Load() {
+		s.w.drainSubmitted()
+	}
 }
 
 // complete finishes a request: fills completion counters, fires Done and

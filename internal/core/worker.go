@@ -115,6 +115,12 @@ func (w *Worker) dispatchReply(m *proto.Message) {
 // dispatch processes one incoming message: replies feed pending ops,
 // requests run replica handlers and stage their responses back.
 func (w *Worker) dispatch(m *proto.Message) {
+	if m.Kind == proto.KindCatchupPull {
+		// Catch-up pulls answer with a whole chunk of messages, not the
+		// single reply handleRequest models.
+		w.handleCatchupPull(m)
+		return
+	}
 	if m.IsReply() {
 		w.dispatchReply(m)
 		return
@@ -155,6 +161,14 @@ func (w *Worker) run() {
 	defer w.failAll()
 	w.idle = time.NewTimer(w.node.cfg.IdlePoll)
 	defer w.idle.Stop()
+	if w.id == 0 && w.node.rejoining.Load() {
+		// A restarted replica's first act is the anti-entropy sweep; worker
+		// 0 owns it (it is node-wide state, but a pending op must live in
+		// exactly one worker's event loop).
+		w.now = time.Now()
+		w.startCatchup()
+		w.flush()
+	}
 	for {
 		if w.node.stopped.Load() {
 			return
@@ -196,13 +210,19 @@ func (w *Worker) run() {
 		}
 
 		// 3. Pump runnable sessions (completions re-enqueue sessions, so
-		// drain until quiescent).
-		for len(w.runq) > 0 {
-			s := w.runq[0]
-			w.runq = w.runq[1:]
-			s.inRunq = false
-			w.pump(s)
-			progress = true
+		// drain until quiescent). A rejoining node holds its client traffic
+		// right here: admitted requests stay queued — buffered, not failed —
+		// until the catch-up sweep completes, so no acquire (or relaxed
+		// read of the still-stale store) is served early. The sessions stay
+		// in the runq and drain on the first iteration after the sweep.
+		if !w.node.rejoining.Load() {
+			for len(w.runq) > 0 {
+				s := w.runq[0]
+				w.runq = w.runq[1:]
+				s.inRunq = false
+				w.pump(s)
+				progress = true
+			}
 		}
 
 		// 4. Deadlines: barrier timeouts and retransmissions.
@@ -288,6 +308,15 @@ func (w *Worker) failAll() {
 		s.queue = nil
 	}
 	// Drain any requests still sitting in the submit channel.
+	w.drainSubmitted()
+}
+
+// drainSubmitted fails every request buffered in the submit channel with
+// ErrStopped. Called by failAll on worker exit and by Session.Submit when
+// it observes the node stopped right after sending (the submit/stop race);
+// concurrent calls are safe — each request is received, and thus
+// completed, exactly once.
+func (w *Worker) drainSubmitted() {
 	for {
 		select {
 		case r := <-w.reqCh:

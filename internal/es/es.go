@@ -1,19 +1,3 @@
-// Package es implements Eventual Store (ES), the protocol Kite maps relaxed
-// reads and writes to (§3.2). ES achieves per-key Sequential Consistency for
-// replicated KVSs by maintaining an LLC per key, giving every write a unique
-// stamp that serializes writes to the key.
-//
-// ES is deliberately minimal — exactly the "no more than necessary" protocol
-// of the paper: reads execute locally against the node's KVS; writes apply
-// locally with a bumped per-key LLC and broadcast the new value to every
-// replica, which applies it iff the stamp is newer (last-writer-wins).
-//
-// What ES contributes to Kite beyond plain eventual consistency is the
-// *ack tracking* used by the RC release barrier: every relaxed write gathers
-// acknowledgements from all replicas, and the Tracker in this package is the
-// per-session ledger the release barrier consults ("have all my writes been
-// acked by everyone?") and from which the DM-set of delinquent machines is
-// computed on timeout (§4.2).
 package es
 
 import (

@@ -268,6 +268,32 @@ func (s *Store) findOrInsert(head *bucket, key uint64) *Entry {
 	return free
 }
 
+// NumBuckets returns the number of head buckets — the cursor space of
+// SnapshotBucket. Overflow buckets hang off their head bucket and are
+// visited with it, so a walk of [0, NumBuckets) covers every key.
+func (s *Store) NumBuckets() int { return len(s.buckets) }
+
+// SnapshotBucket runs fn over every used entry of head bucket i and its
+// overflow chain, holding the bucket's writer lock so fn observes each
+// entry consistently and may read Meta. The seqlock sequence is not
+// bumped — nothing mutates — so concurrent Views proceed unharmed. fn must
+// be brief and must not call back into the store. This is the iteration
+// primitive behind the anti-entropy catch-up sweep (internal/catchup): a
+// restarted replica pulls peers' key spaces one bucket range at a time.
+func (s *Store) SnapshotBucket(i int, fn func(e *Entry)) {
+	b := &s.buckets[i]
+	b.mu.Lock()
+	for bb := b; bb != nil; bb = bb.next.Load() {
+		for j := range bb.entries {
+			e := &bb.entries[j]
+			if e.state.Load()&stateUsed != 0 {
+				fn(e)
+			}
+		}
+	}
+	b.mu.Unlock()
+}
+
 // Mutate runs fn on key's entry (creating it if absent) under the bucket
 // writer lock with the seqlock held odd, so concurrent Views retry. This is
 // the single writer-side primitive every other mutator builds on; it is also

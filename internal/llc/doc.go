@@ -1,0 +1,27 @@
+// Package llc implements Lamport logical clocks (LLCs), the serialisation
+// currency shared by every protocol in Kite (§3.1 of the paper).
+//
+// An LLC is a pair <version, machine-id>: a monotonically increasing
+// version number and the id of the machine that created the stamp. Stamp A
+// orders after stamp B if A's version is bigger; equal versions tie-break
+// by machine id. LLCs let a machine generate a globally unique "time" for
+// an event without coordination, which is how writes are serialised per key
+// without a master node.
+//
+// One clock space, three protocols — plus the recovery sweep:
+//
+//   - Eventual Store (§3.2) stamps every relaxed write; replicas apply
+//     last-writer-wins by LLC, yielding per-key SC.
+//   - ABD (§3.3) reads a quorum's LLCs to pick a dominating stamp for a
+//     release, and returns the max-stamp value for an acquire.
+//   - Per-key Paxos (§3.4) draws its ballots from the same per-key LLC
+//     space, allocated under the key's bucket lock.
+//   - The anti-entropy catch-up (internal/catchup, DESIGN.md "Recovery")
+//     merges a peer's swept entries into a rejoining replica by the same
+//     LLC comparison, which is what makes the sweep idempotent and safe to
+//     interleave with live traffic.
+//
+// Stamps pack into a single uint64 (version in the high 56 bits, machine id
+// in the low 8) with ordering preserved, so the KVS stores them as one
+// atomic word and the seqlock read path compares clocks with one load.
+package llc

@@ -1,12 +1,3 @@
-// Package llc implements Lamport logical clocks (LLCs) as used by every
-// protocol in Kite (ES, ABD and per-key Paxos).
-//
-// An LLC is a pair <version, machine-id> of a monotonically increasing
-// version number and the id of the machine that created the stamp. Stamp A is
-// bigger than stamp B if A's version is bigger; equal versions are
-// tie-broken by machine id. LLCs let a machine generate a globally unique
-// "time" for an event without coordination, which is how writes are
-// serialized per key without a master node.
 package llc
 
 import "fmt"

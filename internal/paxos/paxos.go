@@ -180,6 +180,47 @@ func SessionCommitted(s *kvs.Store, key, opID uint64) (committed bool) {
 	return committed
 }
 
+// ExportMeta extracts the committed consensus state from a KVS entry's
+// meta for the catch-up wire format: the current slot, the origin of the
+// latest commit, and the recently committed origins (newest first). ok is
+// false when the key has no consensus history. Callers hold the entry's
+// bucket lock (kvs.Store.SnapshotBucket), which is the meta-access contract.
+func ExportMeta(meta any) (slot, lastOrigin uint64, recent []uint64, ok bool) {
+	st, isState := meta.(*State)
+	if !isState || st.Slot == 0 {
+		return 0, 0, nil, false
+	}
+	return st.Slot, st.LastOrigin, st.recent(proto.MaxOrigins), true
+}
+
+// ImportCommitted merges a peer's exported committed state for key into the
+// local replica, as a rejoining node does during its catch-up sweep. The
+// slot only moves forward; the carried origins enter the exactly-once
+// registry so RMWs committed while this replica was down are never
+// re-executed on its behalf. The committed VALUE travels separately as the
+// entry's (value, stamp) — last-writer-wins by LLC via Store.Apply — so
+// this import never overwrites a newer write with an older committed value.
+// Accepted-but-uncommitted state is deliberately NOT transferred: a
+// restarted acceptor's forgotten promises are a documented crash-recovery
+// gap closed only by persistence (see DESIGN.md "Recovery").
+func ImportCommitted(s *kvs.Store, key, slot, lastOrigin uint64, recent []uint64) {
+	s.Mutate(key, func(e *kvs.Entry) {
+		st := stateOf(e)
+		for i := len(recent) - 1; i >= 0; i-- {
+			st.recordOrigin(recent[i])
+		}
+		st.recordOrigin(lastOrigin)
+		if slot > st.Slot {
+			st.Slot = slot
+			st.Promised = llc.Zero
+			st.AccBallot = llc.Zero
+			st.AccVal = nil
+			st.AccOrigin = 0
+			st.LastOrigin = lastOrigin
+		}
+	})
+}
+
 // AllocBallot allocates a fresh ballot for key, strictly greater than the
 // entry's stamp, the allocator watermark, and atLeast. Allocation happens
 // under the bucket lock, so concurrent workers of one node never collide.

@@ -61,6 +61,15 @@ const (
 	KindDerechoMsg // Slot = sender sequence, Key, Value
 	KindDerechoAck // Slot, Bits = sender id
 
+	// Restart / anti-entropy catch-up (DESIGN.md "Recovery"). A rejoining
+	// replica walks a peer's key space in bucket-cursor order; the peer
+	// streams back (key, LLC, value) items plus the committed per-key Paxos
+	// state, closing each chunk with an End frame that advances the cursor
+	// and carries the peer's delinquency mask.
+	KindCatchupPull // OpID, Slot = bucket cursor: request one chunk of the peer's key space
+	KindCatchupItem // OpID, Key, Stamp, Value; Slot/Origin/Origins = committed Paxos state (0/none if the key has no consensus state)
+	KindCatchupEnd  // OpID, Slot = next cursor, Origin = echo of the request cursor, Bits = peer's delinquency mask, FlagCatchupDone when the sweep reached the end of the peer's store
+
 	kindCount
 )
 
@@ -96,6 +105,9 @@ var kindNames = [...]string{
 	KindZabReply:       "zab-reply",
 	KindDerechoMsg:     "derecho-msg",
 	KindDerechoAck:     "derecho-ack",
+	KindCatchupPull:    "catchup-pull",
+	KindCatchupItem:    "catchup-item",
+	KindCatchupEnd:     "catchup-end",
 }
 
 func (k Kind) String() string {
@@ -127,6 +139,10 @@ const (
 	// that slot directly and still has it in its history), letting the
 	// proposer distinguish "my value lost this slot" from "no information".
 	FlagSlotKnown
+	// FlagCatchupDone marks a catch-up End frame whose chunk reached the
+	// end of the peer's store: the rejoining replica's sweep of this peer
+	// is complete.
+	FlagCatchupDone
 )
 
 // MaxValueLen is the largest value the codec supports. The paper evaluates
@@ -168,7 +184,8 @@ func (m *Message) IsReply() bool {
 	switch m.Kind {
 	case KindESAck, KindReadTSReply, KindABDWriteAck, KindReadReply,
 		KindSlowWriteTSR, KindSlowReleaseAck, KindProposeAck, KindAcceptAck,
-		KindCommitAck, KindPaxosQueryR, KindZabReply:
+		KindCommitAck, KindPaxosQueryR, KindZabReply,
+		KindCatchupItem, KindCatchupEnd:
 		return true
 	}
 	return false

@@ -159,13 +159,7 @@ func New(nd *core.Node, cfg Config) (*Server, error) {
 		replyCh:  make(chan outReply, cfg.ReplyDepth),
 		stopJan:  make(chan struct{}),
 	}
-	max := nd.Sessions()
-	if cfg.MaxSessions > 0 && cfg.MaxSessions < max {
-		max = cfg.MaxSessions
-	}
-	for i := 0; i < max; i++ {
-		s.free = append(s.free, nd.Session(i))
-	}
+	s.free = leasePool(nd, cfg)
 	s.wg.Add(3)
 	go s.recvLoop()
 	go s.sendLoop()
@@ -175,6 +169,39 @@ func New(nd *core.Node, cfg Config) (*Server, error) {
 
 // Addr reports the bound UDP address (useful with :0 binds).
 func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Rebind points the server at a freshly restarted core node, keeping the
+// client-facing socket (and thus every client's dial target) alive across
+// the replica's restart. All leases are dropped — the leased sessions
+// belonged to the dead incarnation, so their outstanding ops already failed
+// with ErrStopped — and clients observe ClientErrNoSession on their next
+// frame (surfaced as ErrSessionExpired), re-leasing with NewSession exactly
+// as they would after a lease timeout. Fresh leases are handed out
+// immediately, but their operations buffer inside the rejoining node until
+// its catch-up sweep completes (see OPERATIONS.md "Restarting a replica").
+func (s *Server) Rebind(nd *core.Node) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nd = nd
+	s.sessions = make(map[uint32]*clientSession)
+	s.opens = make(map[openKey]openEntry)
+	s.free = leasePool(nd, s.cfg)
+}
+
+// leasePool builds the leasable session set for nd under cfg — shared by
+// New (initial boot) and Rebind (post-restart) so the two can never
+// diverge on pool sizing.
+func leasePool(nd *core.Node, cfg Config) []*core.Session {
+	max := nd.Sessions()
+	if cfg.MaxSessions > 0 && cfg.MaxSessions < max {
+		max = cfg.MaxSessions
+	}
+	pool := make([]*core.Session, 0, max)
+	for i := 0; i < max; i++ {
+		pool = append(pool, nd.Session(i))
+	}
+	return pool
+}
 
 // Stats exposes the server counters.
 func (s *Server) Stats() *Stats { return &s.stats }

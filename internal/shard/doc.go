@@ -1,0 +1,39 @@
+// Package shard runs G independent Kite replica groups over one key space
+// and exposes them as a single kite.Session — the scaling layer the paper
+// does not need (its testbed is one replica group) but a production
+// deployment does: a single group's throughput is bounded by its
+// replication degree, because every relaxed write broadcasts to all
+// replicas (§3.2) and every synchronisation quorum spans the whole
+// membership (§3.3, §3.4).
+//
+// Each group is a complete Kite deployment with its own ES/ABD/Paxos
+// membership and transport; keys are partitioned across groups by a fixed
+// avalanche hash (Map), so every protocol round stays inside one group.
+// This composes soundly because all three of Kite's protocols are already
+// per-key — two keys in different groups never shared protocol state in the
+// first place. The single cross-key obligation in the whole model is the
+// RELEASE BARRIER ("by the time my release is visible, all my prior writes
+// are visible", §2.1), and that is exactly what Session adds back across
+// groups: before a release (or RMW, which carries release semantics)
+// executes in its key's owning group, the session fences every other group
+// it has written since its last synchronisation with an OpFlush — a release
+// barrier without a write — waiting until those writes are applied at EVERY
+// replica of their group.
+//
+// The fence insists on all-replica acknowledgement rather than borrowing
+// the release's DM-set slow path (§4.2): a DM-set published in group A is
+// consumed by later acquires in group A, but a cross-shard consumer
+// acquires in group B and would never observe it. The same all-or-nothing
+// rule carries the fence through replica restarts: a group member catching
+// up after a restart (internal/catchup) acks only writes it has genuinely
+// applied, so a completed fence means full replication even when one of
+// the ackers was mid-rejoin. See DESIGN.md "Sharding" and "Recovery" for
+// the availability consequences.
+//
+// Ordering contract: a sharded session keeps session order per group and
+// executes synchronisation operations one at a time in global submission
+// order (releases/acquires stay linearizable among themselves — the RCLin
+// requirement of §2.2). Relaxed accesses routed to different groups may
+// complete out of submission order relative to each other; Release
+// Consistency makes that unobservable.
+package shard

@@ -1,28 +1,3 @@
-// Package shard runs G independent Kite replica groups over one key space
-// and exposes them as a single kite.Session. Each group is a complete Kite
-// deployment (its own ES/ABD/Paxos membership); keys are partitioned across
-// groups by a fixed hash, so every protocol round stays inside one group
-// and total throughput grows with the number of groups instead of being
-// bounded by one group's replication degree.
-//
-// Why this composes soundly with Kite: all three of Kite's protocols are
-// per-key — ES serialises writes per key, ABD quorums are per key, Paxos is
-// per key — so two keys in different groups never needed to share protocol
-// state in the first place. The only cross-key obligation in the whole
-// model is the release barrier ("by the time my release is visible, all my
-// prior writes are visible"), and that is exactly what this package adds
-// back across groups: before a release (or RMW, which carries release
-// semantics) executes in the key's owning group, the session fences every
-// other group it has written since its last synchronisation with an
-// OpFlush — a release barrier without a write — waiting until those writes
-// are applied at every replica of their group. Acquires and relaxed
-// accesses route to the key's group unchanged.
-//
-// The flush insists on all-replica acknowledgement rather than borrowing
-// the release's DM-set slow path: a DM-set published in group A is consumed
-// by later acquires in group A, but a cross-shard consumer acquires in
-// group B and would never observe it. See DESIGN.md "Sharding" for the
-// availability consequences.
 package shard
 
 // Map is the key→group routing function: a fixed avalanche hash of the key

@@ -18,11 +18,15 @@ import (
 	"kite/internal/transport"
 )
 
-// Cluster is a running loopback-UDP deployment. Nodes and Servers are
-// index-aligned; both are torn down by t.Cleanup.
+// Cluster is a running loopback-UDP deployment. Nodes, Servers and the
+// per-node transports are index-aligned; everything is torn down by
+// t.Cleanup.
 type Cluster struct {
 	Nodes   []*core.Node
 	Servers []*server.Server
+
+	cfg core.Config
+	trs []transport.Transport
 }
 
 // Addr returns node i's client-facing session-server address.
@@ -31,6 +35,41 @@ func (c *Cluster) Addr(i int) string { return c.Servers[i].Addr() }
 // PauseNode makes replica i unresponsive for d (the §8.4 sleeping-replica
 // failure).
 func (c *Cluster) PauseNode(i int, d time.Duration) { c.Nodes[i].Pause(d) }
+
+// StopNode crash-stops replica i: workers exit, outstanding ops fail with
+// ErrStopped, state is lost. The session server and its UDP socket stay
+// up, answering leased clients with session errors until RestartNode.
+func (c *Cluster) StopNode(i int) { c.Nodes[i].Stop() }
+
+// RestartNode replaces stopped replica i with a fresh, empty node of the
+// same id on the same UDP transport, rebinding the session server so
+// clients keep their dial target. The new incarnation rejoins via the
+// catch-up sweep; gate on AwaitRejoin before asserting served state.
+func (c *Cluster) RestartNode(t testing.TB, i int) {
+	t.Helper()
+	c.Nodes[i].Stop()
+	cfg := c.cfg
+	cfg.Rejoin = true
+	nd, err := core.NewNode(uint8(i), cfg, c.trs[i])
+	if err != nil {
+		t.Fatalf("restart node %d: %v", i, err)
+	}
+	nd.Start()
+	c.Nodes[i] = nd
+	c.Servers[i].Rebind(nd)
+}
+
+// AwaitRejoin waits (fatally, up to d) for replica i's catch-up sweep. A
+// sweep aborted by a stop is a failure, not a completion.
+func (c *Cluster) AwaitRejoin(t testing.TB, i int, d time.Duration) {
+	t.Helper()
+	if !c.Nodes[i].AwaitCatchup(d) {
+		t.Fatalf("node %d still catching up after %v: %+v", i, d, c.Nodes[i].Catchup())
+	}
+	if c.Nodes[i].Stopped() {
+		t.Fatalf("node %d was stopped mid-sweep instead of rejoining", i)
+	}
+}
 
 // Dial connects one client to every node's session server, with timeouts
 // matched to the harness config, and registers cleanup. The returned slice
@@ -87,6 +126,38 @@ func (s *Sharded) Addrs(i int) []string {
 func (s *Sharded) PauseNode(i int, d time.Duration) {
 	for _, cl := range s.Groups {
 		cl.PauseNode(i, d)
+	}
+}
+
+// StopNode crash-stops replica i in every group (the machine dies).
+func (s *Sharded) StopNode(i int) {
+	for _, cl := range s.Groups {
+		cl.StopNode(i)
+	}
+}
+
+// RestartNode restarts replica i in every group; each group's fresh
+// replica catches up independently against its own peers.
+func (s *Sharded) RestartNode(t testing.TB, i int) {
+	t.Helper()
+	for _, cl := range s.Groups {
+		cl.RestartNode(t, i)
+	}
+}
+
+// AwaitRejoin waits (fatally, up to d total) for replica i's sweep in
+// every group.
+func (s *Sharded) AwaitRejoin(t testing.TB, i int, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for g, cl := range s.Groups {
+		if !cl.Nodes[i].AwaitCatchup(time.Until(deadline)) {
+			t.Fatalf("group %d node %d still catching up after %v: %+v",
+				g, i, d, cl.Nodes[i].Catchup())
+		}
+		if cl.Nodes[i].Stopped() {
+			t.Fatalf("group %d node %d was stopped mid-sweep instead of rejoining", g, i)
+		}
 	}
 }
 
@@ -150,13 +221,16 @@ func startGroup(t testing.TB, n, groups, group int) *Cluster {
 		ReleaseTimeout: 50 * time.Millisecond,
 		RetryInterval:  25 * time.Millisecond,
 	}
-	cl := &Cluster{}
+	cl := &Cluster{cfg: cfg}
 	t.Cleanup(func() {
 		for _, s := range cl.Servers {
 			s.Close()
 		}
 		for _, nd := range cl.Nodes {
 			nd.Stop()
+		}
+		for _, tr := range cl.trs {
+			tr.Close()
 		}
 	})
 	for id := 0; id < n; id++ {
@@ -192,6 +266,7 @@ func startGroup(t testing.TB, n, groups, group int) *Cluster {
 		}
 		cl.Nodes = append(cl.Nodes, nd)
 		cl.Servers = append(cl.Servers, srv)
+		cl.trs = append(cl.trs, tr)
 	}
 	return cl
 }

@@ -132,6 +132,33 @@ func (c *Cluster) Session(node, sess int) Session {
 // a majority is awake.
 func (c *Cluster) PauseNode(node int, d time.Duration) { c.c.PauseNode(node, d) }
 
+// StopNode crash-stops a replica: its workers exit and outstanding
+// operations fail with ErrStopped. Unlike a pause, the replica's in-memory
+// state is lost — bring the slot back with RestartNode.
+func (c *Cluster) StopNode(node int) { c.c.StopNode(node) }
+
+// RestartNode replaces a replica with a fresh, empty node of the same id —
+// the crash-recovery failure, one step beyond the paper's sleeping replica.
+// The new incarnation rejoins via the anti-entropy catch-up sweep
+// (DESIGN.md "Recovery"): it buffers operations and serves nothing until it
+// has re-covered the key space from enough surviving peers. Session handles
+// opened before the restart fail with ErrStopped; open fresh ones with
+// Session once AwaitRejoin reports the node caught up.
+func (c *Cluster) RestartNode(node int) error { return c.c.RestartNode(node) }
+
+// AwaitRejoin blocks until a restarted replica's catch-up sweep completes,
+// reporting whether it did within timeout. Replicas that never restarted
+// return true immediately; a replica stopped mid-sweep (its sweep aborted,
+// it will never serve) reports false rather than masquerading as caught up.
+func (c *Cluster) AwaitRejoin(node int, timeout time.Duration) bool {
+	nd := c.c.Node(node)
+	return nd.AwaitCatchup(timeout) && !nd.Stopped()
+}
+
+// NodeCatchup reports a replica's rejoin-sweep progress (zero value for
+// replicas that never restarted).
+func (c *Cluster) NodeCatchup(node int) core.CatchupStats { return c.c.Node(node).Catchup() }
+
 // Faults exposes the network fault injector (drop/delay/cut links,
 // partition nodes) for failure testing.
 func (c *Cluster) Faults() *transport.FaultInjector { return c.c.Faults() }

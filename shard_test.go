@@ -23,6 +23,11 @@ type shardHarness struct {
 	nodes   int
 	session func(t *testing.T, node, sess int) kite.Session
 	groupOf func(key uint64) int
+	// restart crash-stops machine node (its replica in every group) and
+	// rejoins a fresh incarnation; await blocks until every group's
+	// catch-up sweep completed.
+	restart func(t *testing.T, node int)
+	await   func(t *testing.T, node int)
 }
 
 func forEachShardedBackend(t *testing.T, body func(t *testing.T, h *shardHarness)) {
@@ -44,6 +49,16 @@ func forEachShardedBackend(t *testing.T, body func(t *testing.T, h *shardHarness
 				nodes:   nodes,
 				session: func(t *testing.T, node, sess int) kite.Session { return c.Session(node, sess) },
 				groupOf: c.GroupOf,
+				restart: func(t *testing.T, node int) {
+					if err := c.RestartNode(node); err != nil {
+						t.Fatalf("restart node %d: %v", node, err)
+					}
+				},
+				await: func(t *testing.T, node int) {
+					if !c.AwaitRejoin(node, 30*time.Second) {
+						t.Fatalf("node %d still catching up", node)
+					}
+				},
 			}
 		}},
 		{name: "remote", make: func(t *testing.T) *shardHarness {
@@ -62,6 +77,8 @@ func forEachShardedBackend(t *testing.T, body func(t *testing.T, h *shardHarness
 					return s
 				},
 				groupOf: m.Group,
+				restart: func(t *testing.T, node int) { cl.RestartNode(t, node) },
+				await:   func(t *testing.T, node int) { cl.AwaitRejoin(t, node, 30*time.Second) },
 			}
 		}},
 	}

@@ -92,6 +92,43 @@ func (c *Cluster) PauseNode(node int, d time.Duration) {
 	}
 }
 
+// StopNode crash-stops replica node in every group — the whole machine
+// goes down, taking its replica of each group's state with it.
+func (c *Cluster) StopNode(node int) {
+	for _, kc := range c.groups {
+		kc.StopNode(node)
+	}
+}
+
+// RestartNode restarts replica node in every group. Each group's fresh
+// replica catches up independently against that group's surviving peers —
+// there is no cross-group state to transfer, since the groups share
+// nothing but the key routing. Until a group's sweep completes, its
+// restarted replica buffers operations and (by acking only writes it has
+// actually applied) can never satisfy the cross-shard flush fence early:
+// an OpFlush completes only when every replica, this one included, has
+// truly applied the session's writes.
+func (c *Cluster) RestartNode(node int) error {
+	for g, kc := range c.groups {
+		if err := kc.RestartNode(node); err != nil {
+			return fmt.Errorf("sharded: group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// AwaitRejoin blocks until replica node's catch-up sweep completes in
+// every group, reporting whether all did within timeout.
+func (c *Cluster) AwaitRejoin(node int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for _, kc := range c.groups {
+		if !kc.AwaitRejoin(node, time.Until(deadline)) {
+			return false
+		}
+	}
+	return true
+}
+
 // CompletedOps sums operations completed at replica node across groups.
 func (c *Cluster) CompletedOps(node int) uint64 {
 	var t uint64
