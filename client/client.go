@@ -36,6 +36,7 @@ import (
 
 	"kite"
 	"kite/internal/core"
+	"kite/internal/membership"
 	"kite/internal/proto"
 )
 
@@ -69,6 +70,10 @@ var (
 	ErrNoCapacity = errors.New("kite/client: node has no free sessions")
 	// ErrClosed: the Client was closed.
 	ErrClosed = errors.New("kite/client: client closed")
+	// ErrReconfigConflict: a Join/RemoveMember request lost a concurrent
+	// reconfiguration (or was otherwise refused); re-read Members and retry
+	// if still wanted.
+	ErrReconfigConflict = errors.New("kite/client: reconfiguration conflict")
 )
 
 // MaxValueLen is the largest value Kite stores.
@@ -153,10 +158,17 @@ type Client struct {
 	closed atomic.Bool
 	wg     sync.WaitGroup
 
-	// Shard info learned from the server's ping reply at Dial: the node's
-	// replica-group count and index ((1, 0) for unsharded deployments).
-	groups int
-	group  int
+	// Node info learned from the server's ping replies (at Dial, and again
+	// whenever a data reply carries ClientFlagReconfigured): the node's
+	// replica-group count and index ((1, 0) for unsharded deployments),
+	// plus its group's membership epoch and member bitmask. Guarded by mu —
+	// pings can now race data traffic.
+	groups  int
+	group   int
+	epoch   uint32
+	members uint16
+	// repinging collapses concurrent refresh triggers into one ping.
+	repinging atomic.Bool
 }
 
 // Dial connects to a session server and verifies it is alive with a ping
@@ -187,7 +199,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 	go c.recvLoop()
 	go c.retryLoop()
 
-	if _, err := c.controlRound(proto.ClientOpPing, 0, opts.DialTimeout); err != nil {
+	if _, _, err := c.controlRound(proto.ClientOpPing, 0, 0, opts.DialTimeout); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("kite/client: no session server at %s: %w", addr, err)
 	}
@@ -198,7 +210,75 @@ func Dial(addr string, opts Options) (*Client, error) {
 // advertised in the ping reply: the number of replica groups and this
 // node's group index. Unsharded deployments report (1, 0). DialSharded
 // uses it to validate a shard map; it is also useful for diagnostics.
-func (c *Client) ShardInfo() (groups, group int) { return c.groups, c.group }
+func (c *Client) ShardInfo() (groups, group int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.groups, c.group
+}
+
+// Members reports the dialed node's replica-group membership as of the last
+// ping: the configuration epoch and the member node ids. The client
+// re-pings automatically when a reply signals a reconfiguration
+// (ClientFlagReconfigured), so this tracks live AddNode/RemoveNode changes;
+// call Refresh to force an update. Servers predating membership report
+// (0, nil).
+func (c *Client) Members() (epoch uint32, nodes []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range (membership.Config{Members: c.members}).MemberIDs() {
+		nodes = append(nodes, int(id))
+	}
+	return c.epoch, nodes
+}
+
+// Refresh re-pings the server synchronously, updating ShardInfo/Members.
+func (c *Client) Refresh() error {
+	_, _, err := c.controlRound(proto.ClientOpPing, 0, 0, c.opts.OpTimeout)
+	return err
+}
+
+// refreshAsync re-pings in the background (at most one in flight) — the
+// reaction to a reply flagged ClientFlagReconfigured. Runs on the receive
+// goroutine, so it must not block.
+func (c *Client) refreshAsync() {
+	if !c.repinging.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer c.repinging.Store(false)
+		c.controlRound(proto.ClientOpPing, 0, 0, c.opts.OpTimeout)
+	}()
+}
+
+// Join asks the dialed node to add replica id to its group, returning the
+// committed membership. The joining replica must afterwards boot with this
+// configuration in catch-up mode — this is the control half of
+// kite-node -join; the call does not itself start anything.
+func (c *Client) Join(id uint8) (epoch uint32, nodes []int, err error) {
+	return c.reconfigRound(proto.ClientOpJoin, id)
+}
+
+// RemoveMember asks the dialed node to remove replica id from its group,
+// returning the committed membership. Must be sent to a surviving member,
+// not to the replica being removed.
+func (c *Client) RemoveMember(id uint8) (epoch uint32, nodes []int, err error) {
+	return c.reconfigRound(proto.ClientOpRemove, id)
+}
+
+func (c *Client) reconfigRound(op uint8, id uint8) (epoch uint32, nodes []int, err error) {
+	_, val, err := c.controlRound(op, 0, uint64(id), c.opts.OpTimeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	cfg, err := membership.Decode(val)
+	if err != nil {
+		return 0, nil, fmt.Errorf("kite/client: malformed membership reply: %w", err)
+	}
+	for _, m := range cfg.MemberIDs() {
+		nodes = append(nodes, int(m))
+	}
+	return cfg.Epoch, nodes, nil
+}
 
 // Close releases the connection; outstanding and future operations fail
 // with ErrClosed. Sessions of this client become unusable (their leases
@@ -297,6 +377,10 @@ func statusErr(status uint8) error {
 		return ErrSessionExpired
 	case proto.ClientErrNoCapacity:
 		return ErrNoCapacity
+	case proto.ClientErrConflict:
+		return ErrReconfigConflict
+	case proto.ClientErrReservedKey:
+		return kite.ErrReservedKey
 	default:
 		return fmt.Errorf("kite/client: server error %d", status)
 	}
@@ -309,6 +393,11 @@ func (c *Client) complete(op *pendingOp, rep *proto.ClientReply) {
 	if op.ctrlCB != nil {
 		op.ctrlCB(rep, err)
 		return
+	}
+	if rep.Flags&proto.ClientFlagReconfigured != 0 {
+		// The node's group reconfigured since this session last heard:
+		// refresh the membership view in the background.
+		c.refreshAsync()
 	}
 	if op.cb == nil {
 		return
@@ -417,19 +506,22 @@ func (c *Client) register(frame []byte, ops []*pendingOp, keys []pendingKey) boo
 	return true
 }
 
-// controlRound runs one synchronous control op (ping/open/close).
-func (c *Client) controlRound(opCode uint8, sess uint32, timeout time.Duration) (uint32, error) {
+// controlRound runs one synchronous control op (ping/open/close and the
+// membership ops, which carry a node id in key). It returns the reply's
+// session id and a copy of its value.
+func (c *Client) controlRound(opCode uint8, sess uint32, key uint64, timeout time.Duration) (uint32, []byte, error) {
 	c.mu.Lock()
 	c.ctrlSeq++
 	seq := c.ctrlSeq
 	c.mu.Unlock()
-	req := proto.ClientRequest{Op: opCode, Sess: sess, Seq: seq}
+	req := proto.ClientRequest{Op: opCode, Sess: sess, Seq: seq, Key: key}
 	frame, err := req.AppendMarshal(nil)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	type ctrlRes struct {
 		sess uint32
+		val  []byte
 		err  error
 	}
 	done := make(chan ctrlRes, 1)
@@ -438,27 +530,38 @@ func (c *Client) controlRound(opCode uint8, sess uint32, timeout time.Duration) 
 		deadline: time.Now().Add(timeout),
 		ctrlCB: func(rep *proto.ClientReply, err error) {
 			var id uint32
+			var val []byte
 			if rep != nil {
 				id = rep.Sess
+				// rep.Value aliases the receive buffer; copy/decode before
+				// handing the round back.
+				val = append([]byte(nil), rep.Value...)
 				if opCode == proto.ClientOpPing && err == nil {
-					// rep.Value aliases the receive buffer; decode before
-					// handing the round back.
-					c.groups, c.group = proto.ParseShardInfo(rep.Value)
+					groups, group, epoch, members := proto.ParseNodeInfo(rep.Value)
+					c.mu.Lock()
+					c.groups, c.group = groups, group
+					// Epoch-monotone install: a reordered or late reply
+					// from an earlier ping must not regress the membership
+					// view to a configuration the group already left.
+					if members != 0 && (c.members == 0 || epoch > c.epoch) {
+						c.epoch, c.members = epoch, members
+					}
+					c.mu.Unlock()
 				}
 			}
-			done <- ctrlRes{sess: id, err: err}
+			done <- ctrlRes{sess: id, val: val, err: err}
 		},
 	}
 	c.register(frame, []*pendingOp{op}, []pendingKey{{seq: seq}})
 	r := <-done
-	return r.sess, r.err
+	return r.sess, r.val, r.err
 }
 
 // NewSession leases a session on the server's node. Sessions are a finite
 // node resource; Close them when done (crashed clients are reclaimed by the
 // server's lease timeout). The returned session implements kite.Session.
 func (c *Client) NewSession() (*Session, error) {
-	id, err := c.controlRound(proto.ClientOpOpen, 0, c.opts.OpTimeout)
+	id, _, err := c.controlRound(proto.ClientOpOpen, 0, 0, c.opts.OpTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -504,7 +607,7 @@ func (s *Session) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
-	_, err := s.c.controlRound(proto.ClientOpClose, s.id, s.c.opts.RetryInterval*4)
+	_, _, err := s.c.controlRound(proto.ClientOpClose, s.id, 0, s.c.opts.RetryInterval*4)
 	if errors.Is(err, ErrTimeout) {
 		err = nil
 	}

@@ -9,6 +9,7 @@
 //	kite-bench -fig 8              # lock-free data structures
 //	kite-bench -fig 9              # failure study
 //	kite-bench -fig recovery       # restart/rejoin study (Figure 9 extension)
+//	kite-bench -fig reconfig       # live add/remove-replica study (membership)
 //	kite-bench -fig timeout        # release-timeout ablation
 //	kite-bench -fig fastpath       # fast-path on/off ablation
 //	kite-bench -fig shard          # throughput vs replica-group count
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,recovery,timeout,fastpath,shard,all")
+		fig        = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,recovery,reconfig,timeout,fastpath,shard,all")
 		nodes      = flag.Int("nodes", 5, "replication degree (3-9)")
 		groups     = flag.Int("groups", 1, "replica groups (sharded key space; figures 5-7 Kite series)")
 		workers    = flag.Int("workers", 4, "worker goroutines per node")
@@ -49,7 +50,7 @@ func main() {
 		sleepFor   = flag.Duration("sleep", 400*time.Millisecond, "replica sleep (figure 9)")
 		prefill    = flag.Int("prefill", 0, "keys prefilled before the recovery study (0: default 2^14)")
 		shardTotal = flag.Int("shard-total", 4, "total machines of the shard scaling series (figure shard)")
-		jsonPath   = flag.String("json", "", "write the selected figure's report as JSON to this path (shard/recovery only; ignored with -fig all, where the two reports would clobber each other)")
+		jsonPath   = flag.String("json", "", "write the selected figure's report as JSON to this path (shard/recovery/reconfig only; ignored with -fig all, where the reports would clobber each other)")
 	)
 	flag.Parse()
 
@@ -89,6 +90,13 @@ func main() {
 	run("9", func() error { return bench.Figure9(fc, *sleepFor) })
 	run("recovery", func() error {
 		rep, err := bench.FigureRecovery(fc, *prefill)
+		if err != nil {
+			return err
+		}
+		return writeJSON(reportPath(), rep)
+	})
+	run("reconfig", func() error {
+		rep, err := bench.FigureReconfig(fc, *prefill)
 		if err != nil {
 			return err
 		}

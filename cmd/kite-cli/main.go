@@ -58,6 +58,11 @@ func main() {
 	var (
 		s     kite.Session
 		where string
+		// admin handles the membership commands (members/remove), which run
+		// against one node's client connection rather than a session; nil in
+		// sharded mode, where each group reconfigures separately (point
+		// kite-cli -addr at a member of the group in question).
+		admin func(args []string) (string, error)
 	)
 	if *addrs != "" {
 		sc, err := client.DialSharded(strings.Split(*addrs, ","), client.Options{OpTimeout: *timeout})
@@ -91,12 +96,13 @@ func main() {
 		}
 		s = sess
 		where = fmt.Sprintf("%s (session %d)", *addr, sess.ID())
+		admin = func(args []string) (string, error) { return runAdmin(c, args) }
 	}
 	defer s.Close()
 
 	if args := flag.Args(); len(args) > 0 {
 		// One-shot command from the command line.
-		if out, err := run(s, *timeout, args); err != nil {
+		if out, err := dispatch(s, admin, *timeout, args); err != nil {
 			fmt.Fprintf(os.Stderr, "kite-cli: %v\n", err)
 			os.Exit(1)
 		} else {
@@ -119,7 +125,7 @@ func main() {
 		if args[0] == "quit" || args[0] == "exit" {
 			return
 		}
-		out, err := run(s, *timeout, args)
+		out, err := dispatch(s, admin, *timeout, args)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			continue
@@ -138,6 +144,8 @@ const usage = `commands:
   casw k expected new weak compare-and-swap (may fail locally)
   flush               fence: wait until prior writes reach every replica
   batch c1 ; c2 ; ... pipeline data commands in one round trip (DoBatch)
+  members             show the node's group membership (epoch + member ids)
+  remove n            remove replica n from the node's group (live shrink)
   help                this text
   quit                exit`
 
@@ -200,6 +208,48 @@ func format(op kite.Op, r kite.Result) string {
 	default:
 		return "ok"
 	}
+}
+
+// dispatch routes membership commands to the admin connection and
+// everything else to the session.
+func dispatch(s kite.Session, admin func([]string) (string, error), timeout time.Duration, args []string) (string, error) {
+	switch args[0] {
+	case "members", "remove":
+		if admin == nil {
+			return "", fmt.Errorf("%s needs a single-node connection: run kite-cli -addr <member of the group>", args[0])
+		}
+		return admin(args)
+	}
+	return run(s, timeout, args)
+}
+
+// runAdmin executes one membership command over the client connection.
+func runAdmin(c *client.Client, args []string) (string, error) {
+	switch args[0] {
+	case "members":
+		if len(args) != 1 {
+			return "", fmt.Errorf("members takes no arguments")
+		}
+		if err := c.Refresh(); err != nil {
+			return "", err
+		}
+		epoch, nodes := c.Members()
+		return fmt.Sprintf("epoch=%d members=%v", epoch, nodes), nil
+	case "remove":
+		if len(args) != 2 {
+			return "", fmt.Errorf("remove takes one argument (the replica id)")
+		}
+		id, err := strconv.ParseUint(args[1], 0, 8)
+		if err != nil {
+			return "", fmt.Errorf("bad replica id %q: %v", args[1], err)
+		}
+		epoch, nodes, err := c.RemoveMember(uint8(id))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("removed %d: epoch=%d members=%v", id, epoch, nodes), nil
+	}
+	return "", fmt.Errorf("unknown admin command %q", args[0])
 }
 
 // run executes one parsed command line against the session.

@@ -11,14 +11,16 @@
 //	kite-node -id 2 -nodes 3 -base 7000 -client-addr :9002 &
 //	kite-cli -addr 127.0.0.1:9000
 //
-// Every replica binds workers*1 UDP ports starting at
-// base+(group*nodes+id)*workers for replica-to-replica traffic. With
-// -client-addr, the replica additionally runs a session server on that UDP
-// address: external processes connect with the kite/client package (or
-// cmd/kite-cli) and lease the node's sessions to run operations remotely.
-// With -demo, the node instead runs a small producer-consumer self-test
-// through its local sessions once the deployment is up; otherwise it
-// serves until interrupted.
+// Every replica binds workers UDP ports starting at
+// base+(group*16+id)*workers for replica-to-replica traffic — the port
+// block is strided by the maximum group size (16), not the current -nodes,
+// so replicas added later (-join) have well-known addresses that every peer
+// derived at boot. With -client-addr, the replica additionally runs a
+// session server on that UDP address: external processes connect with the
+// kite/client package (or cmd/kite-cli) and lease the node's sessions to
+// run operations remotely. With -demo, the node instead runs a small
+// producer-consumer self-test through its local sessions once the
+// deployment is up; otherwise it serves until interrupted.
 //
 // Sharded deployments run several independent replica groups over one key
 // space (-groups G -group g): replica traffic stays inside each group, the
@@ -37,6 +39,18 @@
 // -rejoin boots a replacement process in catch-up mode when it re-enters a
 // live deployment. Catch-up progress is logged once per second. See
 // OPERATIONS.md for the full runbook.
+//
+// Live membership: -join adds this replica to a RUNNING group. The flag
+// names any existing member's client address; the new process asks that
+// member to commit the grown configuration, then boots in catch-up mode
+// under it and serves once covered. Removal is driven from the outside
+// (kite-cli remove -node N against a surviving member); a replica that
+// learns it has been removed logs the fact and exits. kite-cli members
+// shows a group's configuration epoch and member set.
+//
+//	kite-node -id 3 -nodes 3 -base 7000 -join 127.0.0.1:9000 -client-addr :9003 &
+//	kite-cli -addr 127.0.0.1:9000 members
+//	kite-cli -addr 127.0.0.1:9000 remove 1
 package main
 
 import (
@@ -48,7 +62,10 @@ import (
 	"syscall"
 	"time"
 
+	"kite/client"
 	"kite/internal/core"
+	"kite/internal/llc"
+	"kite/internal/membership"
 	"kite/internal/server"
 	"kite/internal/transport"
 )
@@ -65,6 +82,7 @@ func main() {
 		clientAddr = flag.String("client-addr", "", "UDP address for the client session server (empty: no external clients)")
 		clientMax  = flag.Int("client-sessions", 0, "max sessions leased to external clients (0: all)")
 		rejoin     = flag.Bool("rejoin", false, "boot in catch-up mode: this replica is re-entering a LIVE deployment after losing its state (see OPERATIONS.md)")
+		join       = flag.String("join", "", "client address of an EXISTING member: commit a grown configuration that includes this replica, then boot in catch-up mode (live add; see OPERATIONS.md)")
 		demo       = flag.Bool("demo", false, "run a producer-consumer self-test then exit")
 	)
 	flag.Parse()
@@ -79,14 +97,17 @@ func main() {
 	}
 
 	// Replica traffic never crosses groups: each group owns a contiguous
-	// port block, and peers are the group-local membership only.
-	portOf := func(n, w int) int { return *base + (*group**nodes+n)**workers + w }
+	// port block, strided by the maximum group size so that replicas added
+	// after boot (-join, ids beyond -nodes) have addresses every peer
+	// already derived. The address book covers the whole id space — ports
+	// of ids that never run are just dark.
+	portOf := func(n, w int) int { return *base + (*group*llc.MaxNodes+n)**workers + w }
 	listen := make([]string, *workers)
 	for w := 0; w < *workers; w++ {
 		listen[w] = fmt.Sprintf("%s:%d", *host, portOf(*id, w))
 	}
 	peers := make(map[uint8][]string)
-	for n := 0; n < *nodes; n++ {
+	for n := 0; n < llc.MaxNodes; n++ {
 		if n == *id {
 			continue
 		}
@@ -113,6 +134,19 @@ func main() {
 	}
 	bootCfg := cfg
 	bootCfg.Rejoin = *rejoin
+	if *join != "" {
+		// Live add: ask the named member to commit a configuration that
+		// includes us, then boot under it in catch-up mode. The group's
+		// writes start flowing to this replica the moment the config
+		// commits; the sweep backfills everything older.
+		boot, err := requestJoin(*join, uint8(*id))
+		if err != nil {
+			log.Fatalf("kite-node: join via %s: %v", *join, err)
+		}
+		log.Printf("kite-node %d: joining group at %v", *id, boot)
+		bootCfg.Initial = boot
+		bootCfg.Rejoin = true
+	}
 	nd, err := core.NewNode(uint8(*id), bootCfg, tr)
 	if err != nil {
 		log.Fatalf("kite-node: %v", err)
@@ -120,9 +154,10 @@ func main() {
 	nd.Start()
 	defer func() { nd.Stop() }()
 	log.Printf("kite-node %d/%d (group %d/%d) up: %v", *id, *nodes, *group, *groups, listen)
-	if *rejoin {
+	if *rejoin || *join != "" {
 		go logCatchup(nd, *id)
 	}
+	go watchRemoval(nd, *id)
 
 	var srv *server.Server
 	if *clientAddr != "" {
@@ -157,6 +192,10 @@ func main() {
 		nd.Stop()
 		rcfg := cfg
 		rcfg.Rejoin = true
+		// Rejoin under the configuration this incarnation last installed —
+		// reconfigurations slept through are healed by the sweep (the config
+		// key transfers like any key) and the epoch check's config exchange.
+		rcfg.Initial = nd.View()
 		next, err := core.NewNode(uint8(*id), rcfg, tr)
 		if err != nil {
 			log.Fatalf("kite-node: restart: %v", err)
@@ -167,8 +206,45 @@ func main() {
 		}
 		nd = next
 		go logCatchup(next, *id)
+		go watchRemoval(next, *id)
 	}
 	log.Printf("kite-node %d: shutting down", *id)
+}
+
+// requestJoin asks an existing member (by client address) to commit a
+// configuration that includes node id, returning it.
+func requestJoin(addr string, id uint8) (membership.Config, error) {
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return membership.Config{}, err
+	}
+	defer c.Close()
+	epoch, nodes, err := c.Join(id)
+	if err != nil {
+		return membership.Config{}, err
+	}
+	cfg := membership.Config{Epoch: epoch}
+	for _, n := range nodes {
+		cfg.Members |= 1 << n
+	}
+	return cfg, nil
+}
+
+// watchRemoval notices the replica learning of its own removal (an
+// installed configuration that excludes it) and exits the process: a
+// removed replica's store no longer receives the group's writes, so there
+// is nothing sound left for it to serve. The watcher dies quietly with its
+// node incarnation on restarts.
+func watchRemoval(nd *core.Node, id int) {
+	for !nd.Removed() {
+		if nd.Stopped() {
+			return
+		}
+		time.Sleep(time.Second)
+	}
+	log.Printf("kite-node %d: removed from the group (epoch %d) — exiting; re-add with -join", id, nd.ConfigEpoch())
+	nd.Stop()
+	os.Exit(0)
 }
 
 // logCatchup narrates a rejoining replica's sweep: periodic progress while

@@ -161,6 +161,34 @@ func (w *WriteOp) Unseen(full uint16) uint16 {
 	return 0
 }
 
+// Refit retargets the op at a reconfigured member set (quorum size and
+// member bitmask), discarding replies recorded from removed members, and
+// reports whether the CURRENT round's surviving replies now form a quorum
+// — without this, a round blocked solely on a removed member's reply would
+// retransmit forever at a node whose frames the epoch check rejects.
+// true means: WriteReadTS phase → start the value round (the op has
+// advanced to WriteValue; MaxTS holds the round-1 result); WriteValue
+// phase → the write completed (WriteDone). Safe because majorities of
+// adjacent configurations intersect (DESIGN.md "Membership").
+func (w *WriteOp) Refit(quorum int, full uint16) bool {
+	w.quorum = quorum
+	w.seen &= full
+	w.acks &= full
+	switch w.Phase {
+	case WriteReadTS:
+		if popcount16(w.seen) >= w.quorum {
+			w.Phase = WriteValue
+			return true
+		}
+	case WriteValue:
+		if popcount16(w.acks) >= w.quorum {
+			w.Phase = WriteDone
+			return true
+		}
+	}
+	return false
+}
+
 // ReadPhase enumerates the read state machine's phases.
 type ReadPhase uint8
 
@@ -280,6 +308,35 @@ func (r *ReadOp) Unseen(full uint16) uint16 {
 		return full &^ r.acks
 	}
 	return 0
+}
+
+// Refit retargets the op at a reconfigured member set and re-resolves the
+// round in flight, exactly like WriteOp.Refit: removed members' replies
+// are discarded and a round whose surviving replies now quorate resolves.
+// The returned action is what OnReadReply/OnWriteAck would have produced.
+func (r *ReadOp) Refit(quorum int, full uint16) ReadAction {
+	r.quorum = quorum
+	r.seen &= full
+	r.atMax &= full
+	r.acks &= full
+	switch r.Phase {
+	case ReadRound:
+		if popcount16(r.seen) < r.quorum {
+			return ReadWait
+		}
+		if !r.NeedWriteBack || popcount16(r.atMax) >= r.quorum || r.MaxTS.IsZero() {
+			r.Phase = ReadDone
+			return ReadComplete
+		}
+		r.Phase = ReadWriteBack
+		return ReadWriteBackNow
+	case ReadWriteBack:
+		if popcount16(r.acks) >= r.quorum {
+			r.Phase = ReadDone
+			return ReadComplete
+		}
+	}
+	return ReadWait
 }
 
 func popcount16(x uint16) int {

@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite"
+)
+
+// The reconfiguration study (DESIGN.md "Membership"): a 3-replica group
+// serves a steady mixed workload while the operator grows it to 4 and then
+// removes an original replica. Measured: the throughput timeline across
+// both reconfigurations, the time from AddNode to the joiner serving
+// (config commit + catch-up sweep), and the dip each handoff costs — the
+// membership counterpart of the recovery study's kill/rejoin timeline.
+
+// ReconfigOpts parameterises the reconfiguration study.
+type ReconfigOpts struct {
+	Options kite.Options
+	Mix     Mix
+	Keys    uint64
+	ValLen  int
+	Window  int
+	// Prefill writes (and fences) this many keys before the run so the
+	// joiner's sweep transfers a real store.
+	Prefill int
+	Warmup  time.Duration
+	Total   time.Duration // sampled portion of the run
+	Sample  time.Duration
+	// AddAt / RemoveAt are the offsets of AddNode and RemoveNode within
+	// the sampled window; RemoveNode removes replica 0.
+	AddAt    time.Duration
+	RemoveAt time.Duration
+}
+
+func (o *ReconfigOpts) defaults() {
+	if o.Keys == 0 {
+		o.Keys = 1 << 16
+	}
+	if o.ValLen == 0 {
+		o.ValLen = 32
+	}
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.Prefill == 0 {
+		o.Prefill = 1 << 14
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 150 * time.Millisecond
+	}
+	if o.Total == 0 {
+		o.Total = 900 * time.Millisecond
+	}
+	if o.Sample == 0 {
+		o.Sample = 20 * time.Millisecond
+	}
+	if o.AddAt == 0 {
+		o.AddAt = 150 * time.Millisecond
+	}
+	if o.RemoveAt == 0 {
+		o.RemoveAt = 500 * time.Millisecond
+	}
+}
+
+// ReconfigOutcome summarises a reconfiguration run.
+type ReconfigOutcome struct {
+	Timeline []TimePoint
+	// Steady-state throughput in the three membership phases (mreqs):
+	// before AddNode, with 4 members, and after RemoveNode(0).
+	PreAdd, FourMembers, PostRemove float64
+	// JoinTime is the wall time from the AddNode call to the joiner
+	// serving (configuration commit + catch-up sweep).
+	JoinTime time.Duration
+	// SweptItems/AppliedItems are the joiner's sweep statistics.
+	SweptItems, AppliedItems uint64
+	// FinalEpoch/FinalMembers are the configuration after both changes.
+	FinalEpoch   uint32
+	FinalMembers []int
+}
+
+// RunReconfigStudy grows a serving group by one replica and then removes an
+// original member, under load. Drivers run on replicas 1..n-1 so the
+// removal of replica 0 retires no driver sessions mid-flight; the joiner
+// gets its own drivers once its sweep completes.
+func RunReconfigStudy(o ReconfigOpts) (ReconfigOutcome, error) {
+	o.defaults()
+	c, err := kite.NewCluster(o.Options)
+	if err != nil {
+		return ReconfigOutcome{}, err
+	}
+	defer c.Close()
+	boot := c.Nodes()
+
+	// Prefill through a survivor, fenced, so the joiner's sweep has a full
+	// store to move.
+	pre := c.Session(1, 0)
+	var pending sync.WaitGroup
+	for i := 0; i < o.Prefill; i++ {
+		pending.Add(1)
+		val := []byte(fmt.Sprintf("prefill-%d", i))
+		pre.DoAsync(kite.WriteOp(uint64(i)%o.Keys, val), func(kite.Result) { pending.Done() })
+		if i%1024 == 1023 {
+			pending.Wait()
+		}
+	}
+	pending.Wait()
+	if _, err := pre.Do(context.Background(), kite.FlushOp()); err != nil {
+		return ReconfigOutcome{}, err
+	}
+
+	var stop, counting atomic.Bool
+	counted := make([]atomic.Uint64, boot+1)
+	var wg sync.WaitGroup
+	startDriver := func(n int, s kite.Session, seed int64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ko := KiteOpts{Mix: o.Mix, Keys: o.Keys, ValLen: o.ValLen, Window: o.Window}
+			ko.defaults()
+			driveVictimAware(s, ko, seed, &counting, &stop, &counted[n])
+		}()
+	}
+	// Drivers on replicas 1..n-1 only: replica 0 is the one removed later.
+	for n := 1; n < boot; n++ {
+		for si := 0; si < c.SessionsPerNode(); si++ {
+			startDriver(n, c.Session(n, si), int64(n*1000+si+11))
+		}
+	}
+	counting.Store(true)
+	time.Sleep(o.Warmup)
+
+	out := ReconfigOutcome{}
+	var opsWG sync.WaitGroup
+	var opsErr error
+	var joinedAt time.Duration // timeline offset at which the joiner served
+	added, removed := false, false
+	var timeline []TimePoint
+	prev := snapshotCounts(counted)
+	start := time.Now()
+	for elapsed := time.Duration(0); elapsed < o.Total; {
+		time.Sleep(o.Sample)
+		now := time.Since(start)
+		cur := snapshotCounts(counted)
+		tp := TimePoint{At: now, PerNode: make([]float64, len(counted))}
+		dt := (now - elapsed).Seconds()
+		for i := range counted {
+			tp.PerNode[i] = float64(cur[i]-prev[i]) / dt / 1e6
+			tp.Total += tp.PerNode[i]
+		}
+		timeline = append(timeline, tp)
+		prev = cur
+		elapsed = now
+		if !added && elapsed >= o.AddAt {
+			added = true
+			opsWG.Add(1)
+			go func() {
+				defer opsWG.Done()
+				t0 := time.Now()
+				id, err := c.AddNode()
+				if err != nil {
+					opsErr = fmt.Errorf("AddNode: %w", err)
+					return
+				}
+				if !c.AwaitRejoin(id, time.Minute) {
+					opsErr = fmt.Errorf("joiner still catching up after 1m")
+					return
+				}
+				out.JoinTime = time.Since(t0)
+				joinedAt = time.Since(start)
+				st := c.NodeCatchup(id)
+				out.SweptItems, out.AppliedItems = st.Pulled, st.Applied
+				for si := 0; si < c.SessionsPerNode(); si++ {
+					startDriver(id, c.Session(id, si), int64(id*1000+si+77))
+				}
+			}()
+		}
+		if added && !removed && elapsed >= o.RemoveAt {
+			opsWG.Wait() // the add must land first (serialized handoffs)
+			if opsErr != nil {
+				break
+			}
+			removed = true
+			opsWG.Add(1)
+			go func() {
+				defer opsWG.Done()
+				if err := c.RemoveNode(0); err != nil {
+					opsErr = fmt.Errorf("RemoveNode: %w", err)
+				}
+			}()
+		}
+	}
+	opsWG.Wait()
+	stop.Store(true)
+	wg.Wait()
+	if opsErr != nil {
+		return ReconfigOutcome{}, opsErr
+	}
+
+	out.Timeline = timeline
+	m := c.Members()
+	out.FinalEpoch, out.FinalMembers = m.Epoch, m.Nodes
+	var preP, fourP, postP []TimePoint
+	for _, tp := range timeline {
+		switch {
+		case tp.At < o.AddAt:
+			preP = append(preP, tp)
+		case tp.At > joinedAt+30*time.Millisecond && tp.At < o.RemoveAt:
+			fourP = append(fourP, tp)
+		case tp.At > o.RemoveAt+50*time.Millisecond:
+			postP = append(postP, tp)
+		}
+	}
+	out.PreAdd = avgTotal(preP)
+	out.FourMembers = avgTotal(fourP)
+	out.PostRemove = avgTotal(postP)
+	return out, nil
+}
+
+// ReconfigReport is the machine-readable output of FigureReconfig — the
+// format committed as BENCH_2.json.
+type ReconfigReport struct {
+	Name         string        `json:"name"`
+	Nodes        int           `json:"nodes"`
+	Workers      int           `json:"workers"`
+	Sessions     int           `json:"sessions_per_worker"`
+	Keys         uint64        `json:"keys"`
+	Prefill      int           `json:"prefill_keys"`
+	Total        time.Duration `json:"total_ns"`
+	GoMaxProcs   int           `json:"gomaxprocs"`
+	PreAdd       float64       `json:"pre_add_mreqs"`
+	FourMembers  float64       `json:"four_members_mreqs"`
+	PostRemove   float64       `json:"post_remove_mreqs"`
+	JoinMillis   float64       `json:"join_ms"`
+	SweptItems   uint64        `json:"swept_items"`
+	AppliedItems uint64        `json:"applied_items"`
+	FinalEpoch   uint32        `json:"final_epoch"`
+	FinalMembers []int         `json:"final_members"`
+}
+
+// FigureReconfig runs the reconfiguration study, prints the timeline and
+// summary, and returns the machine-readable report.
+func FigureReconfig(fc FigureConfig, prefill int) (*ReconfigReport, error) {
+	opts := ReconfigOpts{
+		Options: fc.kiteOptions(),
+		Mix:     Mix{WriteRatio: 0.05, SyncFrac: 0.05},
+		Keys:    fc.Keys,
+		Prefill: prefill,
+		Warmup:  fc.Warmup,
+	}
+	opts.defaults() // resolve the knobs the report pins
+	out, err := RunReconfigStudy(opts)
+	if err != nil {
+		return nil, err
+	}
+	fc.printf("# Reconfiguration study: AddNode at %v, RemoveNode(0) at %v\n",
+		opts.AddAt, opts.RemoveAt)
+	fc.printf("%s", FormatTimeline(FailureOutcome{Timeline: out.Timeline}, 0))
+	fc.printf("\npre-add total (3):    %8.3f mreqs\n", out.PreAdd)
+	fc.printf("four members:         %8.3f mreqs\n", out.FourMembers)
+	fc.printf("post-remove total (3):%8.3f mreqs\n", out.PostRemove)
+	fc.printf("join: %v from AddNode to serving; %d items swept, %d applied\n",
+		out.JoinTime.Round(time.Millisecond), out.SweptItems, out.AppliedItems)
+	fc.printf("final config: epoch %d, members %v\n", out.FinalEpoch, out.FinalMembers)
+	return &ReconfigReport{
+		Name:         "reconfig",
+		Nodes:        fc.Nodes,
+		Workers:      fc.Workers,
+		Sessions:     fc.SessionsPerWorker,
+		Keys:         fc.Keys,
+		Prefill:      opts.Prefill,
+		Total:        opts.Total,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		PreAdd:       out.PreAdd,
+		FourMembers:  out.FourMembers,
+		PostRemove:   out.PostRemove,
+		JoinMillis:   float64(out.JoinTime.Microseconds()) / 1000,
+		SweptItems:   out.SweptItems,
+		AppliedItems: out.AppliedItems,
+		FinalEpoch:   out.FinalEpoch,
+		FinalMembers: out.FinalMembers,
+	}, nil
+}

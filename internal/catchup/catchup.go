@@ -50,16 +50,29 @@ type peerState struct {
 // the owning core worker drives it single-threaded, like any pending op.
 type Sweep struct {
 	self      uint8
-	n         int
+	members   uint16 // member bitmask, self included
 	need      int
 	doneCount int
 	peers     [llc.MaxNodes]peerState
 }
 
 // NewSweep creates the sweep state for a replica rejoining an n-node
-// deployment.
+// deployment with contiguous ids 0..n-1.
 func NewSweep(self uint8, n int) *Sweep {
-	return &Sweep{self: self, n: n, need: Coverage(n)}
+	return NewSweepMask(self, uint16(1<<n)-1)
+}
+
+// NewSweepMask creates the sweep state for a replica (re)joining the member
+// set given as a node-id bitmask (self included). The coverage requirement
+// derives from the member count, the peer walks from the member ids — this
+// is the constructor membership reconfiguration uses, where ids are not
+// contiguous after a removal.
+func NewSweepMask(self uint8, members uint16) *Sweep {
+	n := 0
+	for m := members; m != 0; m &= m - 1 {
+		n++
+	}
+	return &Sweep{self: self, members: members, need: Coverage(n)}
 }
 
 // Coverage returns how many peer sweeps must complete.
@@ -78,8 +91,8 @@ func (s *Sweep) Cursor(p uint8) uint64 { return s.peers[p].cursor }
 // targets of the next pull round (and of deadline retransmissions).
 func (s *Sweep) Pending() []uint8 {
 	var out []uint8
-	for p := uint8(0); int(p) < s.n; p++ {
-		if p != s.self && !s.peers[p].done {
+	for p := uint8(0); int(p) < llc.MaxNodes; p++ {
+		if p != s.self && s.members&(1<<p) != 0 && !s.peers[p].done {
 			out = append(out, p)
 		}
 	}
@@ -91,7 +104,7 @@ func (s *Sweep) Pending() []uint8 {
 // store is exhausted. It reports whether the frame advanced the sweep —
 // false for duplicates and stale retransmissions, which the caller ignores.
 func (s *Sweep) OnEnd(p uint8, echo, next uint64, done bool) (advanced bool) {
-	if int(p) >= s.n || p == s.self {
+	if int(p) >= llc.MaxNodes || s.members&(1<<p) == 0 || p == s.self {
 		return false
 	}
 	ps := &s.peers[p]

@@ -36,4 +36,15 @@
 // serves no local reads until caught up), buffers client requests, and
 // drops read-type quorum traffic so its forgotten state never counts
 // toward another machine's quorum intersection.
+//
+// Since live membership (DESIGN.md "Membership"), the sweep is defined
+// over the group's installed configuration rather than a boot-time n: the
+// peer walk and the coverage requirement derive from the member bitmask
+// (NewSweepMask), a replica ADDED to a running group runs exactly this
+// sweep as its admission gate (a joiner is an amnesiac whose amnesia is
+// total), and a configuration that lands mid-sweep rebuilds the walk
+// against the new member set — chunks are idempotent, so restarting the
+// cursors is merely conservative. The config key itself transfers like
+// any other key, which is how a replica that slept through
+// reconfigurations learns the current member set by the time it serves.
 package catchup

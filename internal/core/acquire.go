@@ -18,7 +18,7 @@ func (w *Worker) issueAcquire(s *Session, r *Request) {
 	op := &acquireOp{
 		id: w.nextOpID(s), sess: s, req: r,
 		epochSnap: nd.Epoch.Load(),
-		rd:        abd.NewReadOp(r.Key, 0, nd.n, true),
+		rd:        abd.NewReadOp(r.Key, 0, nd.n(), true),
 		retryAt:   w.now.Add(nd.cfg.RetryInterval),
 	}
 	op.rd.OpID = op.id
@@ -60,6 +60,17 @@ func (op *acquireOp) onMessage(w *Worker, m *proto.Message) {
 	}
 }
 
+// onConfigChange re-resolves the read (or write-back) round against a
+// freshly installed member set (Worker.applyConfig).
+func (op *acquireOp) onConfigChange(w *Worker) {
+	switch op.rd.Refit(w.node.quorum(), w.node.full()) {
+	case abd.ReadWriteBackNow:
+		w.broadcastAll(op.rd.WriteBackMsg(w.node.ID, w.id))
+	case abd.ReadComplete:
+		op.finish(w)
+	}
+}
+
 func (op *acquireOp) finish(w *Worker) {
 	nd := w.node
 	// Install the acquired value locally. The key's epoch advances only to
@@ -92,6 +103,6 @@ func (op *acquireOp) onDeadline(w *Worker, now time.Time) {
 	default:
 		return
 	}
-	w.retransmit(m, op.rd.Unseen(w.node.full))
+	w.retransmit(m, op.rd.Unseen(w.node.full()))
 	op.retryAt = now.Add(w.node.cfg.RetryInterval)
 }

@@ -21,7 +21,7 @@ func (w *Worker) startCatchup() {
 	nd := w.node
 	op := &catchupOp{
 		id:      catchupOpID(nd.ID),
-		sweep:   catchup.NewSweep(nd.ID, nd.n),
+		sweep:   catchup.NewSweepMask(nd.ID, nd.full()),
 		retryAt: w.now.Add(nd.cfg.RetryInterval),
 	}
 	if op.sweep.Done() {
@@ -30,6 +30,25 @@ func (w *Worker) startCatchup() {
 		return
 	}
 	w.register(op.id, op)
+	for _, p := range op.sweep.Pending() {
+		w.stage(p, catchup.PullMsg(nd.ID, w.id, op.id, op.sweep.Cursor(p)))
+	}
+}
+
+// rebuild restarts the sweep against the currently installed member set —
+// called when a configuration lands mid-sweep (the group reconfigured while
+// this replica was catching up). Cursor state is discarded: chunks are
+// idempotent and re-pulling is merely conservative, while continuing to
+// count a removed peer toward coverage would not be.
+func (op *catchupOp) rebuild(w *Worker) {
+	nd := w.node
+	op.sweep = catchup.NewSweepMask(nd.ID, nd.full())
+	if op.sweep.Done() {
+		w.unregister(op.id)
+		nd.finishCatchup()
+		return
+	}
+	op.retryAt = w.now.Add(nd.cfg.RetryInterval)
 	for _, p := range op.sweep.Pending() {
 		w.stage(p, catchup.PullMsg(nd.ID, w.id, op.id, op.sweep.Cursor(p)))
 	}

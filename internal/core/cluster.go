@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
+	"kite/internal/llc"
+	"kite/internal/membership"
 	"kite/internal/transport"
 )
 
@@ -25,7 +28,9 @@ type Cluster struct {
 // NewCluster builds and starts an in-process deployment.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
-	inner := transport.NewInProc(cfg.Nodes, cfg.Workers, cfg.MailboxDepth)
+	// Mailboxes exist for the whole id space, not just the boot members:
+	// AddNode assigns fresh ids beyond the initial n.
+	inner := transport.NewInProc(llc.MaxNodes, cfg.Workers, cfg.MailboxDepth)
 	faults := transport.NewFaultInjector(inner, 1)
 	c := &Cluster{cfg: cfg, inner: inner, faults: faults}
 	for id := 0; id < cfg.Nodes; id++ {
@@ -45,11 +50,122 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Nodes returns the replication degree.
+// Nodes returns the number of replica slots ever created (boot members plus
+// added replicas; removed replicas keep their slot, stopped). The live
+// member set is Members().
 func (c *Cluster) Nodes() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.nodes)
+}
+
+// Members returns the group's current configuration — the newest installed
+// view among live replicas.
+func (c *Cluster) Members() membership.Config {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.membersLocked()
+}
+
+func (c *Cluster) membersLocked() membership.Config {
+	var best membership.Config
+	for _, nd := range c.nodes {
+		if nd == nil || nd.Stopped() || nd.Removed() {
+			continue
+		}
+		if v := nd.View(); best.Members == 0 || v.Epoch > best.Epoch {
+			best = v
+		}
+	}
+	return best
+}
+
+// proposerLocked picks a live member to drive a reconfiguration CAS,
+// excluding id `not` (pass llc.MaxNodes to exclude nobody).
+func (c *Cluster) proposerLocked(not uint8) *Node {
+	members := c.membersLocked()
+	for _, nd := range c.nodes {
+		if nd == nil || nd.Stopped() || nd.Removed() || nd.ID == not {
+			continue
+		}
+		if members.Contains(nd.ID) && !nd.CatchingUp() {
+			return nd
+		}
+	}
+	return nil
+}
+
+// AddNode grows the group by one replica: a fresh node with the next unused
+// id. The successor configuration (epoch+1, members ∪ {id}) is committed
+// first, through a live member — so every write from that moment on counts
+// the joiner in its full-ack set and new quorums are majorities of the
+// grown group — and only then is the replica booted, in catch-up mode: it
+// applies (and acks) live writes immediately, buffers client requests, and
+// serves nothing until its anti-entropy sweep over the new configuration's
+// coverage set completes (the PR 4 rejoin gate; see DESIGN.md
+// "Membership"). Returns the new replica's id; gate on AwaitCatchup (or the
+// deployment layer's AwaitRejoin) before leasing its sessions.
+func (c *Cluster) AddNode() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := uint8(len(c.nodes))
+	if int(id) >= llc.MaxNodes {
+		return -1, fmt.Errorf("core: no free node ids (max %d)", llc.MaxNodes)
+	}
+	prop := c.proposerLocked(llc.MaxNodes)
+	if prop == nil {
+		return -1, fmt.Errorf("core: no live member to drive the reconfiguration")
+	}
+	next, err := prop.ReconfigureAdd(id, 0)
+	if err != nil {
+		return -1, err
+	}
+	// Belt and braces: the commit broadcast installs the config at every
+	// member that heard it; straight installs close the window for replicas
+	// the broadcast missed (they would converge via the epoch check anyway).
+	for _, nd := range c.nodes {
+		if nd != nil && !nd.Stopped() {
+			nd.InstallConfig(next)
+		}
+	}
+	cfg := c.cfg
+	cfg.Rejoin = true
+	cfg.Initial = next
+	nd, err := NewNode(id, cfg, c.faults)
+	if err != nil {
+		return -1, err
+	}
+	c.nodes = append(c.nodes, nd)
+	nd.Start()
+	return int(id), nil
+}
+
+// RemoveNode shrinks the group: the configuration excluding replica id is
+// committed through a surviving member, every live replica installs it
+// (their write ledgers refit, so nothing waits on the leaver's acks), and
+// the leaver is crash-stopped. Its slot remains (ids are never reused);
+// session handles on it fail with ErrStopped.
+func (c *Cluster) RemoveNode(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("core: no node %d", id)
+	}
+	prop := c.proposerLocked(uint8(id))
+	if prop == nil {
+		return fmt.Errorf("core: no surviving member to drive the reconfiguration")
+	}
+	next, err := prop.ReconfigureRemove(uint8(id), 0)
+	if err != nil {
+		return err
+	}
+	for _, nd := range c.nodes {
+		if nd != nil && !nd.Stopped() {
+			nd.InstallConfig(next)
+		}
+	}
+	c.nodes[id].Stop()
+	return nil
 }
 
 // Node returns the i-th replica (the current incarnation, after restarts).
@@ -87,6 +203,18 @@ func (c *Cluster) RestartNode(i int) error {
 	old.Stop()
 	cfg := c.cfg
 	cfg.Rejoin = true
+	// Boot with the newest configuration any live replica has installed
+	// (falling back to the dead node's own last view): the restarted
+	// replica may have slept through reconfigurations, and the config key
+	// swept in by catch-up — plus the epoch check's config exchange — heals
+	// whatever staleness remains.
+	cfg.Initial = c.membersLocked()
+	if cfg.Initial.Members == 0 {
+		cfg.Initial = old.View()
+	}
+	if !cfg.Initial.Contains(old.ID) {
+		return fmt.Errorf("core: node %d is no longer a member (%v); rejoin it with AddNode", i, cfg.Initial)
+	}
 	nd, err := NewNode(old.ID, cfg, c.faults)
 	if err != nil {
 		return err

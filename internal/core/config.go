@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"kite/internal/catchup"
+	"kite/internal/membership"
 )
 
 // Config parameterises a Kite deployment. The zero value is not usable; use
@@ -48,6 +49,14 @@ type Config struct {
 	// catch-up chunk (0 means catchup.DefaultChunk). Tests shrink it to
 	// stretch the sweep; operators normally leave it alone.
 	CatchupChunk int
+	// Initial is the group configuration the node boots with. The zero
+	// value derives the epoch-0 config from Nodes (members 0..Nodes-1);
+	// replicas joining or rejoining a group that has reconfigured pass the
+	// current config instead. The live configuration thereafter evolves by
+	// committed reconfigurations (Node.ReconfigureAdd/ReconfigureRemove)
+	// and by configs learned from peers — Initial is only the starting
+	// point.
+	Initial membership.Config
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation:

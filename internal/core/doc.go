@@ -43,4 +43,20 @@
 // requests, answers only write-application traffic, and serves nothing
 // until the sweep restores its store, its committed Paxos state and its
 // delinquency vector from a covering set of peers (DESIGN.md "Recovery").
+//
+// # Membership
+//
+// The member set the quorums of §3 are majorities OF is itself live
+// state: each node holds an installed group configuration (epoch + member
+// bitmask, internal/membership), from which n, the quorum size, the
+// broadcast set and the full-ack mask derive at the moment an operation
+// or retransmission needs them. Every outgoing frame is stamped with the
+// installed epoch at stage time; dispatch drops frames from any other
+// epoch (or from non-members) and exchanges configs instead, so a quorum
+// is always assembled from replicas that agree what it is a majority of.
+// Reconfiguration (reconfig.go) is a compare-and-swap on a reserved key
+// through a hidden admin session — ordinary per-key Paxos, serialising
+// racing changes — and a joining replica is handled as the limit case of
+// a restarting one: commit first, then boot the joiner through the rejoin
+// gate above (Cluster.AddNode/RemoveNode; DESIGN.md "Membership").
 package core

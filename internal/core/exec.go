@@ -50,7 +50,7 @@ func (w *Worker) issueRead(s *Session, r *Request) {
 	nd.slowReads.Add(1)
 	op := &slowReadOp{
 		id: w.nextOpID(s), sess: s, req: r, epochSnap: epoch,
-		rd:      abd.NewReadOp(r.Key, 0, nd.n, false),
+		rd:      abd.NewReadOp(r.Key, 0, nd.n(), false),
 		retryAt: w.now.Add(nd.cfg.RetryInterval),
 	}
 	op.rd.OpID = op.id
@@ -79,6 +79,18 @@ func (op *slowReadOp) onMessage(w *Worker, m *proto.Message) {
 	if op.rd.OnReadReply(m) != abd.ReadComplete {
 		return
 	}
+	op.finish(w)
+}
+
+// onConfigChange re-resolves the read round against a freshly installed
+// member set (Worker.applyConfig).
+func (op *slowReadOp) onConfigChange(w *Worker) {
+	if op.rd.Refit(w.node.quorum(), w.node.full()) == abd.ReadComplete {
+		op.finish(w)
+	}
+}
+
+func (op *slowReadOp) finish(w *Worker) {
 	// Adopt the quorum-fresh value and advance the key's epoch to the
 	// machine epoch snapshotted when the access began — never beyond, so a
 	// concurrent acquire's epoch bump still forces a re-fetch (§5.4).
@@ -90,7 +102,7 @@ func (op *slowReadOp) onMessage(w *Worker, m *proto.Message) {
 }
 
 func (op *slowReadOp) onDeadline(w *Worker, now time.Time) {
-	w.retransmit(op.rd.ReadMsg(w.node.ID, w.id, proto.KindSlowRead), op.rd.Unseen(w.node.full))
+	w.retransmit(op.rd.ReadMsg(w.node.ID, w.id, proto.KindSlowRead), op.rd.Unseen(w.node.full()))
 	op.retryAt = now.Add(w.node.cfg.RetryInterval)
 }
 
@@ -116,7 +128,7 @@ func (w *Worker) issueWrite(s *Session, r *Request) {
 	nd.slowWrites.Add(1)
 	op := &slowWriteOp{
 		id: w.nextOpID(s), sess: s, req: r, epochSnap: epoch,
-		quorum:  nd.quorum,
+		quorum:  nd.quorum(),
 		retryAt: w.now.Add(nd.cfg.RetryInterval),
 	}
 	op.vlen = copy(op.valBuf[:], r.Val)
@@ -130,7 +142,7 @@ func (w *Worker) issueWrite(s *Session, r *Request) {
 // trackWrite registers an applied local write for all-ack gathering and
 // broadcasts it to the replicas.
 func (w *Worker) trackWrite(s *Session, key uint64, val []byte, st llc.Stamp) {
-	if w.node.n == 1 {
+	if w.node.n() == 1 {
 		// Sole replica: the local apply IS full replication. Tracking it
 		// would ledger a write whose ack can never arrive, eventually
 		// throttling the session against MaxPendingWrites forever.
@@ -220,14 +232,30 @@ func (op *slowWriteOp) onMessage(w *Worker, m *proto.Message) {
 	if popcount16(op.seen) < op.quorum {
 		return
 	}
-	// Quorum of LLCs read: stamp the write above everything missed, apply
-	// locally, restore the key in-epoch, and broadcast. The write is
-	// tracked for the next release but completes now, without acks (§4.3).
+	op.complete(w)
+}
+
+// onConfigChange re-resolves the LLC quorum round against a freshly
+// installed member set (Worker.applyConfig).
+func (op *slowWriteOp) onConfigChange(w *Worker) {
+	v := w.node.View()
+	op.quorum = v.Quorum()
+	op.seen &= v.Mask()
+	if popcount16(op.seen) >= op.quorum {
+		op.complete(w)
+	}
+}
+
+// complete runs once the LLC quorum is in: stamp the write above
+// everything missed, apply locally, restore the key in-epoch, and
+// broadcast. The write is tracked for the next release but completes now,
+// without acks (§4.3).
+func (op *slowWriteOp) complete(w *Worker) {
 	nd := w.node
 	val := op.valBuf[:op.vlen]
 	st := nd.Store.WriteAtLeast(op.req.Key, val, op.maxTS, nd.ID, op.epochSnap)
 
-	if nd.n == 1 {
+	if nd.n() == 1 {
 		// Sole replica: fully replicated on apply, nothing to track (see
 		// trackWrite).
 		w.unregister(op.id)
@@ -251,14 +279,18 @@ func (op *slowWriteOp) onDeadline(w *Worker, now time.Time) {
 	w.retransmit(proto.Message{
 		Kind: proto.KindSlowWriteTS, From: w.node.ID, Worker: w.id,
 		Key: op.req.Key, OpID: op.id,
-	}, w.node.full&^op.seen)
+	}, w.node.full()&^op.seen)
 	op.retryAt = now.Add(w.node.cfg.RetryInterval)
 }
 
 // retransmit stages m for every remote node in mask (the local bit, if set,
-// is ignored — the local replica always answered inline).
+// is ignored — the local replica always answered inline). The mask is
+// intersected with the installed member set: an op that began under an
+// older configuration must not keep retransmitting to a member that has
+// since been removed.
 func (w *Worker) retransmit(m proto.Message, mask uint16) {
-	for dst := uint8(0); int(dst) < w.node.n; dst++ {
+	mask &= w.node.full()
+	for dst := uint8(0); int(dst) < llc.MaxNodes; dst++ {
 		if dst != w.node.ID && mask&(1<<dst) != 0 {
 			w.stage(dst, m)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"kite/internal/abd"
 	"kite/internal/es"
+	"kite/internal/membership"
 	"kite/internal/paxos"
 	"kite/internal/proto"
 )
@@ -65,10 +66,19 @@ func (w *Worker) handleRequest(m *proto.Message) (rep proto.Message, ok bool) {
 		return paxos.HandleAccept(nd.Store, m, nd.ID, w.scratch[:]), true
 
 	case proto.KindCommit:
-		return paxos.HandleCommit(nd.Store, m, nd.ID), true
+		rep = paxos.HandleCommit(nd.Store, m, nd.ID)
+		if m.Key == membership.ConfigKey {
+			// A committed reconfiguration takes effect the moment its commit
+			// reaches this replica — the usual install path.
+			nd.maybeInstallEncoded(m.Value)
+		}
+		return rep, true
 
 	case proto.KindPaxosLearn:
 		paxos.HandleLearn(nd.Store, m)
+		if m.Key == membership.ConfigKey {
+			nd.maybeInstallEncoded(m.Value)
+		}
 		return rep, false
 
 	case proto.KindPaxosQuery:

@@ -9,6 +9,7 @@ import (
 	"kite/internal/barrier"
 	"kite/internal/kvs"
 	"kite/internal/llc"
+	"kite/internal/membership"
 	"kite/internal/transport"
 )
 
@@ -16,11 +17,14 @@ import (
 // the delinquency bit-vector, and a set of worker goroutines executing
 // client sessions.
 type Node struct {
-	ID     uint8
-	cfg    Config
-	n      int
-	quorum int
-	full   uint16 // all-nodes bitmask
+	ID  uint8
+	cfg Config
+
+	// view is the node's installed group configuration (epoch + member
+	// set). Quorum sizes, broadcast targets and full-ack masks all derive
+	// from it; InstallConfig advances it monotonically and the workers pick
+	// the change up at their loop top (applyConfig).
+	view atomic.Pointer[membership.Config]
 
 	Store  *kvs.Store
 	Epoch  barrier.Epoch
@@ -29,9 +33,20 @@ type Node struct {
 	tr       transport.Transport
 	workers  []*Worker
 	sessions []*Session
+	// admin is a hidden extra session (owned by worker 0, not leased to
+	// clients or returned by Session) that reconfiguration CASes run on, so
+	// AddNode/RemoveNode never violates the one-submitter-per-session
+	// contract of the public sessions. adminMu serialises its submitters.
+	admin   *Session
+	adminMu sync.Mutex
 
 	paused  atomic.Bool
 	stopped atomic.Bool
+	// removed is set when an installed configuration excludes this node:
+	// the group has moved on without it. Workers exit exactly as on a stop
+	// (a removed replica's store stops receiving writes, so continuing to
+	// serve local reads would hand out stale data).
+	removed atomic.Bool
 	started bool
 	wg      sync.WaitGroup
 
@@ -48,34 +63,41 @@ type Node struct {
 	catchupApplied atomic.Uint64
 
 	// stats
-	completed  [opCodes]atomic.Uint64
-	slowReads  atomic.Uint64 // relaxed accesses served via the slow path
-	slowWrites atomic.Uint64
-	epochBumps atomic.Uint64
-	slowRels   atomic.Uint64 // releases that published a DM-set
+	completed      [opCodes]atomic.Uint64
+	slowReads      atomic.Uint64 // relaxed accesses served via the slow path
+	slowWrites     atomic.Uint64
+	epochBumps     atomic.Uint64
+	slowRels       atomic.Uint64 // releases that published a DM-set
+	staleFrames    atomic.Uint64 // frames dropped by the config-epoch check
+	configInstalls atomic.Uint64 // configurations installed (boot excluded)
 }
 
 // NewNode creates (but does not start) a replica. All nodes of a deployment
 // must share cfg and use transports wired to the same endpoint space.
 func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Nodes < 1 || cfg.Nodes > llc.MaxNodes {
-		return nil, fmt.Errorf("core: %d nodes outside [1,%d]", cfg.Nodes, llc.MaxNodes)
+	boot := cfg.Initial
+	if boot.Members == 0 {
+		if cfg.Nodes < 1 || cfg.Nodes > llc.MaxNodes {
+			return nil, fmt.Errorf("core: %d nodes outside [1,%d]", cfg.Nodes, llc.MaxNodes)
+		}
+		boot = membership.Initial(cfg.Nodes)
 	}
-	if int(id) >= cfg.Nodes {
-		return nil, fmt.Errorf("core: node id %d with %d nodes", id, cfg.Nodes)
+	if boot.N() > llc.MaxNodes {
+		return nil, fmt.Errorf("core: %d members exceed %d", boot.N(), llc.MaxNodes)
+	}
+	if !boot.Contains(id) {
+		return nil, fmt.Errorf("core: node id %d not in boot config (%v)", id, boot)
 	}
 	nd := &Node{
-		ID:     id,
-		cfg:    cfg,
-		n:      cfg.Nodes,
-		quorum: cfg.Nodes/2 + 1,
-		full:   uint16(1<<cfg.Nodes) - 1,
-		Store:  kvs.New(cfg.KVSCapacity),
-		tr:     tr,
+		ID:    id,
+		cfg:   cfg,
+		Store: kvs.New(cfg.KVSCapacity),
+		tr:    tr,
 	}
+	nd.view.Store(&boot)
 	nd.catchupDone = make(chan struct{})
-	if cfg.Rejoin && cfg.Nodes > 1 {
+	if cfg.Rejoin && boot.N() > 1 {
 		nd.rejoining.Store(true)
 		nd.catchupStarted = time.Now()
 	} else {
@@ -92,7 +114,73 @@ func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
 		w.sessions = append(w.sessions, s)
 		nd.sessions = append(nd.sessions, s)
 	}
+	// The admin session rides on worker 0 with the next free index; it is
+	// invisible to Sessions()/Session(i) and exists only for
+	// reconfiguration CASes.
+	nd.admin = newSession(nd, nd.workers[0], len(nd.sessions))
+	nd.workers[0].sessions = append(nd.workers[0].sessions, nd.admin)
 	return nd, nil
+}
+
+// View returns the node's installed group configuration.
+func (nd *Node) View() membership.Config { return *nd.view.Load() }
+
+// ConfigEpoch returns the installed configuration epoch (the value stamped
+// on every outgoing frame).
+func (nd *Node) ConfigEpoch() uint32 { return nd.view.Load().Epoch }
+
+// MembersMask returns the installed member bitmask.
+func (nd *Node) MembersMask() uint16 { return nd.view.Load().Members }
+
+// n, quorum and full derive from the installed configuration.
+func (nd *Node) n() int        { return nd.view.Load().N() }
+func (nd *Node) quorum() int   { return nd.view.Load().Quorum() }
+func (nd *Node) full() uint16  { return nd.view.Load().Members }
+func (nd *Node) Removed() bool { return nd.removed.Load() }
+
+// InstallConfig adopts c if it is newer than the installed configuration,
+// reporting whether it was installed. Installs are monotone in the epoch
+// and safe from any goroutine; workers observe the change at their next
+// loop iteration (retargeting trackers, broadcast sets and quorum sizes —
+// see Worker.applyConfig). Installing a configuration that excludes this
+// node marks it removed: its workers shut down like a crash-stop, since a
+// non-member's store no longer receives the group's writes and must not
+// serve reads from it.
+func (nd *Node) InstallConfig(c membership.Config) bool {
+	for {
+		cur := nd.view.Load()
+		if c.Epoch <= cur.Epoch {
+			return false
+		}
+		cc := c
+		if nd.view.CompareAndSwap(cur, &cc) {
+			break
+		}
+	}
+	nd.configInstalls.Add(1)
+	if !c.Contains(nd.ID) {
+		nd.removed.Store(true)
+	}
+	return true
+}
+
+// maybeInstallEncoded installs a configuration observed as the committed
+// value of the config key (Paxos commit/learn traffic, catch-up items).
+// Malformed values are ignored — Decode validates.
+func (nd *Node) maybeInstallEncoded(val []byte) {
+	if c, err := membership.Decode(val); err == nil {
+		nd.InstallConfig(c)
+	}
+}
+
+// installConfigFromStore installs whatever configuration the local store
+// holds under the config key — how a swept-in config takes effect when a
+// (re)joining replica finishes catch-up.
+func (nd *Node) installConfigFromStore() {
+	var buf [kvs.MaxValueLen]byte
+	if val, _, _, ok := nd.Store.View(membership.ConfigKey, buf[:]); ok {
+		nd.maybeInstallEncoded(val)
+	}
 }
 
 // Start launches the worker goroutines.
@@ -188,9 +276,12 @@ func (nd *Node) Catchup() CatchupStats {
 	return st
 }
 
-// finishCatchup transitions the node out of rejoin mode, exactly once.
+// finishCatchup transitions the node out of rejoin mode, exactly once. A
+// completed sweep may have pulled a newer group configuration in with the
+// rest of the key space; it takes effect here, before the node serves.
 func (nd *Node) finishCatchup() {
 	if nd.rejoining.Swap(false) {
+		nd.installConfigFromStore()
 		nd.catchupElapsed.Store(int64(time.Since(nd.catchupStarted)))
 		close(nd.catchupDone)
 	}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"kite/internal/llc"
+	"kite/internal/membership"
+)
+
+// Reconfiguration (DESIGN.md "Membership"): a membership change is a
+// compare-and-swap on the reserved config key, run through the node's
+// hidden admin session — ordinary per-key Paxos, so racing reconfigurations
+// serialise and exactly one claims each successor epoch. The commit
+// broadcast installs the new configuration at every member; stale peers and
+// the targeted node converge through the epoch check's config exchange.
+
+// ErrConfigConflict reports a reconfiguration CAS that lost to a concurrent
+// one: the group's configuration changed underneath the proposal. The
+// caller re-reads the membership (the losing node has already installed the
+// winner's config) and retries if the change is still wanted.
+var ErrConfigConflict = errors.New("kite: reconfiguration conflict: group configuration changed concurrently")
+
+// DefaultReconfigTimeout bounds how long ReconfigureAdd/ReconfigureRemove
+// wait for the configuration CAS to commit.
+const DefaultReconfigTimeout = 15 * time.Second
+
+// ReconfigureAdd commits a configuration that includes node id, returning
+// the configuration now in force. The call is idempotent (adding a current
+// member returns the installed config unchanged) and must run on a healthy
+// member of the group. It does NOT boot the new replica — the deployment
+// layer starts it afterwards, with Config.Initial set to the returned
+// config and Config.Rejoin set, so the joiner serves nothing until its
+// anti-entropy sweep against the new configuration's coverage set completes.
+func (nd *Node) ReconfigureAdd(id uint8, timeout time.Duration) (membership.Config, error) {
+	return nd.reconfigure(id, true, timeout)
+}
+
+// ReconfigureRemove commits a configuration that excludes node id,
+// returning the configuration now in force. Idempotent; must run on a
+// member that is NOT the one being removed. The removed replica shuts down
+// when it learns the new configuration (and the deployment layer
+// additionally crash-stops it); writes its missing acks were gating
+// complete as soon as the survivors refit their ledgers.
+func (nd *Node) ReconfigureRemove(id uint8, timeout time.Duration) (membership.Config, error) {
+	return nd.reconfigure(id, false, timeout)
+}
+
+func (nd *Node) reconfigure(id uint8, add bool, timeout time.Duration) (membership.Config, error) {
+	if int(id) >= llc.MaxNodes {
+		return nd.View(), fmt.Errorf("core: node id %d outside [0,%d)", id, llc.MaxNodes)
+	}
+	if timeout <= 0 {
+		timeout = DefaultReconfigTimeout
+	}
+	// One reconfiguration at a time through this node: the admin session is
+	// a single logical thread of control like any other session.
+	nd.adminMu.Lock()
+	defer nd.adminMu.Unlock()
+
+	cur := nd.View()
+	if add == cur.Contains(id) {
+		return cur, nil // already in the desired state
+	}
+	if !add && cur.N() == 1 {
+		return cur, fmt.Errorf("core: cannot remove the last member of the group")
+	}
+	if !add && id == nd.ID {
+		return cur, fmt.Errorf("core: a member cannot drive its own removal; run the removal on a surviving member")
+	}
+	next := cur.Add(id)
+	if !add {
+		next = cur.Remove(id)
+	}
+	// The config key starts absent (epoch 0 lives only in boot flags); from
+	// the first committed reconfiguration on, the store holds the encoding
+	// of the current config, which is the CAS comparand.
+	var expected []byte
+	if cur.Epoch > 0 {
+		expected = cur.Encode()
+	}
+	r := &Request{
+		Code: OpCASStrong, Key: membership.ConfigKey,
+		Expected: expected, Val: next.Encode(),
+	}
+	done := make(chan struct{})
+	r.Done = func(*Request) { close(done) }
+	nd.admin.Submit(r)
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		// The CAS stays in flight on the session; if it commits later the
+		// commit broadcast still installs the config everywhere.
+		return nd.View(), fmt.Errorf("core: reconfiguration (%v -> %v) timed out after %v", cur, next, timeout)
+	}
+	if r.Err != nil {
+		return nd.View(), r.Err
+	}
+	if !r.Swapped {
+		// Lost a race: adopt whatever won (the CAS result carries it) and
+		// report the conflict — unless the winner already did our work.
+		nd.maybeInstallEncoded(r.Out)
+		if now := nd.View(); add == now.Contains(id) {
+			return now, nil
+		}
+		return nd.View(), ErrConfigConflict
+	}
+	nd.InstallConfig(next)
+	return next, nil
+}

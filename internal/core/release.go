@@ -79,7 +79,23 @@ func (b *barrierState) barrierOnSlowAck(w *Worker, s *Session, m *proto.Message)
 		return false
 	}
 	b.slowAcks |= 1 << m.From
-	if popcount16(b.slowAcks) < w.node.quorum {
+	if popcount16(b.slowAcks) < w.node.quorum() {
+		return false
+	}
+	s.tracker.Settle()
+	b.done = true
+	return true
+}
+
+// barrierOnConfigChange re-resolves a pending slow-release quorum against a
+// freshly installed member set: removed members' acks stop counting, and a
+// barrier blocked solely on a removed member's ack completes.
+func (b *barrierState) barrierOnConfigChange(w *Worker, s *Session) bool {
+	if !b.slowSent || b.done {
+		return false
+	}
+	b.slowAcks &= w.node.full()
+	if popcount16(b.slowAcks) < w.node.quorum() {
 		return false
 	}
 	s.tracker.Settle()
@@ -102,7 +118,7 @@ func (w *Worker) issueRelease(s *Session, r *Request) {
 		retryAt:   w.now.Add(nd.cfg.RetryInterval),
 	}
 	n := copy(op.valBuf[:], r.Val)
-	op.wr = abd.NewWriteOp(r.Key, op.id, op.valBuf[:n], nd.n, false)
+	op.wr = abd.NewWriteOp(r.Key, op.id, op.valBuf[:n], nd.n(), false)
 	s.head = op
 	w.register(op.id, op)
 	w.broadcastAll(op.wr.ReadTSMsg(nd.ID, w.id, proto.KindReadTS))
@@ -130,6 +146,23 @@ func (op *releaseOp) onTrackerUpdate(w *Worker) {
 	if op.bar.barrierOnTracker(op.sess) {
 		op.maybeStartValue(w)
 	}
+}
+
+// onConfigChange re-resolves the ABD rounds and the slow-release barrier
+// against a freshly installed member set (Worker.applyConfig) — a round
+// blocked solely on a removed member completes instead of retransmitting
+// forever at a node whose frames the epoch check rejects.
+func (op *releaseOp) onConfigChange(w *Worker) {
+	v := w.node.View()
+	if op.wr.Refit(v.Quorum(), v.Mask()) {
+		if op.started {
+			op.finish(w)
+			return
+		}
+		op.tsQuorum = true
+	}
+	op.bar.barrierOnConfigChange(w, op.sess)
+	op.maybeStartValue(w)
 }
 
 func (op *releaseOp) onMessage(w *Worker, m *proto.Message) {
@@ -179,13 +212,13 @@ func (op *releaseOp) onDeadline(w *Worker, now time.Time) {
 			w.retransmit(proto.Message{
 				Kind: proto.KindSlowRelease, From: w.node.ID, Worker: w.id,
 				OpID: op.id, Bits: op.bar.dmSet,
-			}, w.node.full&^op.bar.slowAcks)
+			}, w.node.full()&^op.bar.slowAcks)
 		}
 		switch {
 		case op.started:
-			w.retransmit(op.wr.ValueMsg(op.wr.Stamp, w.node.ID, w.id), op.wr.Unseen(w.node.full))
+			w.retransmit(op.wr.ValueMsg(op.wr.Stamp, w.node.ID, w.id), op.wr.Unseen(w.node.full()))
 		case !op.tsQuorum:
-			w.retransmit(op.wr.ReadTSMsg(w.node.ID, w.id, proto.KindReadTS), op.wr.Unseen(w.node.full))
+			w.retransmit(op.wr.ReadTSMsg(w.node.ID, w.id, proto.KindReadTS), op.wr.Unseen(w.node.full()))
 		}
 		op.retryAt = now.Add(w.node.cfg.RetryInterval)
 	}

@@ -50,6 +50,11 @@ var (
 	// ErrCanceled is reported by requests abandoned via context
 	// cancellation before they executed.
 	ErrCanceled = errors.New("kite: operation canceled")
+	// ErrReservedKey rejects application operations on the reserved
+	// membership config key (the top of the key space): its value IS the
+	// group's configuration, and an application write there would wedge —
+	// or, crafted, subvert — reconfiguration.
+	ErrReservedKey = errors.New("kite: key reserved for the group configuration")
 )
 
 // Request is one Kite API invocation. Clients fill the input fields, submit

@@ -44,7 +44,7 @@ func (w *Worker) issueRMW(s *Session, r *Request) {
 	op := &rmwOp{
 		id: w.nextOpID(s), sess: s, req: r,
 		epochSnap: epoch,
-		prop:      paxos.NewProposer(r.Key, 0, nd.ID, nd.n),
+		prop:      paxos.NewProposer(r.Key, 0, nd.ID, nd.n()),
 		retryAt:   w.now.Add(nd.cfg.RetryInterval),
 	}
 	op.prop.OpID = op.id
@@ -156,6 +156,20 @@ func (op *rmwOp) onTrackerUpdate(w *Worker) {
 	if op.bar.barrierOnTracker(op.sess) {
 		op.maybeAccept(w)
 	}
+}
+
+// onConfigChange re-resolves the Paxos round against a freshly installed
+// member set (Worker.applyConfig): quorum arithmetic switches to the new
+// configuration and removed members' replies stop counting — without this,
+// a round blocked on a removed replica's ack would retransmit forever at a
+// node whose frames the epoch check rejects. The reconfiguration CAS's own
+// commit round completes through exactly this path.
+func (op *rmwOp) onConfigChange(w *Worker) {
+	v := w.node.View()
+	if op.bar.barrierOnConfigChange(w, op.sess) {
+		op.maybeAccept(w)
+	}
+	op.react(w, op.prop.Refit(v.N(), v.Quorum(), v.Mask()))
 }
 
 func (op *rmwOp) onMessage(w *Worker, m *proto.Message) {
@@ -308,17 +322,17 @@ func (op *rmwOp) onDeadline(w *Worker, now time.Time) {
 			w.retransmit(proto.Message{
 				Kind: proto.KindSlowRelease, From: w.node.ID, Worker: w.id,
 				OpID: op.id, Bits: op.bar.dmSet,
-			}, w.node.full&^op.bar.slowAcks)
+			}, w.node.full()&^op.bar.slowAcks)
 		}
 		switch op.prop.Phase {
 		case paxos.PhasePropose:
-			w.retransmit(op.prop.ProposeMsg(w.node.ID, w.id), op.prop.Unseen(w.node.full))
+			w.retransmit(op.prop.ProposeMsg(w.node.ID, w.id), op.prop.Unseen(w.node.full()))
 		case paxos.PhaseAccept:
 			if !op.pendingAccept {
-				w.retransmit(op.prop.AcceptMsg(w.node.ID, w.id), op.prop.Unseen(w.node.full))
+				w.retransmit(op.prop.AcceptMsg(w.node.ID, w.id), op.prop.Unseen(w.node.full()))
 			}
 		case paxos.PhaseCommit:
-			w.retransmit(op.commitMsg, op.prop.Unseen(w.node.full))
+			w.retransmit(op.commitMsg, op.prop.Unseen(w.node.full()))
 		}
 		op.retryAt = now.Add(w.node.cfg.RetryInterval)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"kite/internal/es"
 	"kite/internal/kvs"
+	"kite/internal/membership"
 )
 
 // Session is the unit of ordering in Kite: requests submitted to a session
@@ -39,7 +40,7 @@ type blockingOp interface {
 }
 
 func newSession(nd *Node, w *Worker, idx int) *Session {
-	return &Session{node: nd, w: w, idx: idx, tracker: es.NewTracker(nd.n)}
+	return &Session{node: nd, w: w, idx: idx, tracker: es.NewTrackerMask(nd.full())}
 }
 
 // Index returns the session's node-local index.
@@ -62,7 +63,13 @@ func (s *Session) Submit(r *Request) {
 		s.complete(r, ErrValueTooLong)
 		return
 	}
-	if s.node.stopped.Load() {
+	if r.Key == membership.ConfigKey && s != s.node.admin {
+		// The config key's value IS the group's membership; only the
+		// node's own reconfiguration CAS may touch it.
+		s.complete(r, ErrReservedKey)
+		return
+	}
+	if s.node.stopped.Load() || s.node.removed.Load() {
 		s.complete(r, ErrStopped)
 		return
 	}
@@ -76,7 +83,7 @@ func (s *Session) Submit(r *Request) {
 	// a late submitter's drain with ErrStopped (channel receive makes the
 	// two mutually exclusive per request). First observed as a hang in
 	// StopNode/RestartNode under full client load (the recovery study).
-	if s.node.stopped.Load() {
+	if s.node.stopped.Load() || s.node.removed.Load() {
 		s.w.drainSubmitted()
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/membership"
 	"kite/internal/proto"
 	"kite/internal/transport"
 )
@@ -40,6 +42,12 @@ type Worker struct {
 	scratch [kvs.MaxValueLen]byte
 	now     time.Time
 
+	// cfgEpoch is the config epoch this worker last applied to its local
+	// state (session trackers, a rejoin sweep in flight). The loop top
+	// compares it against the node's installed epoch and runs applyConfig
+	// on change.
+	cfgEpoch uint32
+
 	nextScan time.Time
 	idle     *time.Timer
 }
@@ -57,7 +65,10 @@ func newWorker(nd *Node, id uint8) *Worker {
 		inbox: nd.tr.Recv(transport.Endpoint{Node: nd.ID, Worker: id}),
 		reqCh: make(chan *Request, 1024),
 		ops:   make(map[uint64]pendingOp, 256),
-		out:   make([][]proto.Message, nd.cfg.Nodes),
+		// Staging is sized for the id space, not the current member count:
+		// reconfiguration can add members with ids beyond the boot-time n.
+		out:      make([][]proto.Message, llc.MaxNodes),
+		cfgEpoch: nd.ConfigEpoch(),
 	}
 	return w
 }
@@ -75,16 +86,23 @@ func (w *Worker) nextOpID(s *Session) uint64 {
 func (w *Worker) register(id uint64, op pendingOp) { w.ops[id] = op }
 func (w *Worker) unregister(id uint64)             { delete(w.ops, id) }
 
-// stage queues m for dst's same-index worker; self-destined messages are
-// not staged (use deliverLocal).
+// stage queues m for dst's same-index worker, stamping it with the
+// configuration epoch installed NOW — not at flush — so a frame staged just
+// before its own handling installs a successor config (the reconfiguration
+// commit itself) still carries the epoch its receivers are in.
+// Retransmissions re-stage and therefore re-stamp. Self-destined messages
+// are not staged (use deliverLocal).
 func (w *Worker) stage(dst uint8, m proto.Message) {
+	m.Epoch = w.node.ConfigEpoch()
 	w.out[dst] = append(w.out[dst], m)
 }
 
-// broadcastRemote stages m for every remote node.
+// broadcastRemote stages m for every remote member of the installed
+// configuration.
 func (w *Worker) broadcastRemote(m proto.Message) {
-	for dst := uint8(0); int(dst) < w.node.n; dst++ {
-		if dst != w.node.ID {
+	members := w.node.full()
+	for dst := uint8(0); int(dst) < llc.MaxNodes; dst++ {
+		if dst != w.node.ID && members&(1<<dst) != 0 {
 			w.stage(dst, m)
 		}
 	}
@@ -113,8 +131,35 @@ func (w *Worker) dispatchReply(m *proto.Message) {
 }
 
 // dispatch processes one incoming message: replies feed pending ops,
-// requests run replica handlers and stage their responses back.
+// requests run replica handlers and stage their responses back. Before any
+// of that, the frame's configuration epoch is checked (DESIGN.md
+// "Membership"): a frame from another epoch — or from a node that is not a
+// member of ours — must not feed a quorum, so it is dropped, and a config
+// exchange is staged so whichever side is behind converges. The dropped
+// frame is re-delivered by its protocol's own retransmission once the
+// epochs agree.
 func (w *Worker) dispatch(m *proto.Message) {
+	nd := w.node
+	if m.Kind == proto.KindConfigInfo || m.Kind == proto.KindConfigPull {
+		// Exempt from the epoch check by design — these heal the mismatch.
+		w.handleConfig(m)
+		return
+	}
+	if e := nd.ConfigEpoch(); m.Epoch != e || !nd.view.Load().Contains(m.From) {
+		nd.staleFrames.Add(1)
+		switch {
+		case m.Epoch > e:
+			// The sender is ahead: ask it for the config it is running.
+			w.stage(m.From, proto.Message{
+				Kind: proto.KindConfigPull, From: nd.ID, Worker: w.id,
+			})
+		case m.Epoch < e:
+			// The sender is behind (possibly removed and unaware): push our
+			// config so it converges — or learns of its removal.
+			w.stage(m.From, w.configInfoMsg())
+		}
+		return
+	}
 	if m.Kind == proto.KindCatchupPull {
 		// Catch-up pulls answer with a whole chunk of messages, not the
 		// single reply handleRequest models.
@@ -134,6 +179,35 @@ func (w *Worker) dispatch(m *proto.Message) {
 		return
 	}
 	w.stage(m.From, rep)
+}
+
+// configInfoMsg builds the advertisement of this node's installed config.
+func (w *Worker) configInfoMsg() proto.Message {
+	v := w.node.View()
+	return proto.Message{
+		Kind: proto.KindConfigInfo, From: w.node.ID, Worker: w.id,
+		Slot: uint64(v.Epoch), Bits: v.Members,
+	}
+}
+
+// handleConfig processes the config-exchange kinds, which flow between
+// nodes regardless of epoch agreement.
+func (w *Worker) handleConfig(m *proto.Message) {
+	switch m.Kind {
+	case proto.KindConfigPull:
+		w.stage(m.From, w.configInfoMsg())
+	case proto.KindConfigInfo:
+		// Reject what membership.Decode would: an empty member set can
+		// only be a corrupted frame, and installing it would brick the
+		// node (it would conclude it was removed). Epochs above uint32 are
+		// likewise garbage — Slot is wire-shared with 64-bit fields.
+		if m.Bits == 0 || m.Slot > uint64(^uint32(0)) {
+			return
+		}
+		if uint64(w.node.ConfigEpoch()) < m.Slot {
+			w.node.InstallConfig(membership.Config{Epoch: uint32(m.Slot), Members: m.Bits})
+		}
+	}
 }
 
 // flush sends every staged batch. Batches are handed to the transport,
@@ -173,6 +247,15 @@ func (w *Worker) run() {
 		if w.node.stopped.Load() {
 			return
 		}
+		if w.node.removed.Load() {
+			// An installed configuration excludes this node: the group has
+			// moved on, writes no longer reach this store, local reads would
+			// go stale. Shut down exactly like a crash-stop (failAll runs on
+			// the deferred exit path); a sweep in flight is aborted so
+			// AwaitCatchup waiters unblock (they must check Removed).
+			w.node.finishCatchup()
+			return
+		}
 		if w.node.paused.Load() {
 			// The sleeping replica of the failure study: no receiving,
 			// no sending, no client progress.
@@ -181,6 +264,14 @@ func (w *Worker) run() {
 		}
 		w.now = time.Now()
 		progress := false
+
+		// 0. Configuration changes: retarget this worker's sessions (and a
+		// rejoin sweep in flight) at the installed member set.
+		if e := w.node.ConfigEpoch(); e != w.cfgEpoch {
+			w.cfgEpoch = e
+			w.applyConfig()
+			progress = true
+		}
 
 		// 1. Inbound protocol traffic.
 	drain:
@@ -310,6 +401,48 @@ func (w *Worker) failAll() {
 	// Drain any requests still sitting in the submit channel.
 	w.drainSubmitted()
 }
+
+// applyConfig retargets worker-local state at the installed configuration:
+// every session's write ledger refits to the new member mask — writes whose
+// only missing acks were from removed members complete here, which is what
+// keeps releases and flushes from waiting forever on a replica that is gone
+// — and a rejoin sweep in flight is rebuilt against the new member set (its
+// chunks are idempotent, so restarting the walk is merely conservative).
+func (w *Worker) applyConfig() {
+	full := w.node.full()
+	for _, s := range w.sessions {
+		done := s.tracker.Refit(full)
+		for _, id := range done {
+			w.unregister(id)
+		}
+		if len(done) == 0 {
+			continue
+		}
+		if s.throttled {
+			s.throttled = false
+			w.enqueueRun(s)
+		}
+		if s.head != nil {
+			s.head.onTrackerUpdate(w)
+		}
+	}
+	// Ops that track quorums themselves (the Paxos proposers) re-resolve
+	// against the new member set.
+	for _, op := range w.ops {
+		if ca, ok := op.(configAware); ok {
+			ca.onConfigChange(w)
+		}
+	}
+	if w.id == 0 && w.node.rejoining.Load() {
+		if op, ok := w.ops[catchupOpID(w.node.ID)].(*catchupOp); ok {
+			op.rebuild(w)
+		}
+	}
+}
+
+// configAware is implemented by pending ops that must re-resolve their
+// quorum state when a configuration epoch installs.
+type configAware interface{ onConfigChange(w *Worker) }
 
 // drainSubmitted fails every request buffered in the submit channel with
 // ErrStopped. Called by failAll on worker exit and by Session.Submit when

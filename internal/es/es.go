@@ -43,14 +43,43 @@ type Tracker struct {
 	quorum  int
 }
 
-// NewTracker creates a tracker for a deployment of n nodes.
+// NewTracker creates a tracker for a deployment of n nodes (ids 0..n-1).
 func NewTracker(n int) *Tracker {
+	return NewTrackerMask(uint16(1<<n) - 1)
+}
+
+// NewTrackerMask creates a tracker for the member set given as a node-id
+// bitmask — the membership-aware constructor (member ids need not be
+// contiguous after a replica removal).
+func NewTrackerMask(full uint16) *Tracker {
 	return &Tracker{
 		pending: make(map[uint64]*PendingWrite, 16),
 		settled: make(map[uint64]*PendingWrite),
-		full:    uint16(1<<n) - 1,
-		quorum:  n/2 + 1,
+		full:    full,
+		quorum:  popcount16(full)/2 + 1,
 	}
+}
+
+// Refit retargets the tracker at a new member set after a configuration
+// epoch install. Writes already acked by every CURRENT member complete
+// immediately (their ids are returned so the owner can retire the
+// retransmitting ops — the case that matters is a removed replica whose
+// missing ack would otherwise gate releases and flushes forever); writes
+// still short of the new full set keep retransmitting, now also toward any
+// added member. Acks recorded from removed members are kept — harmless,
+// since completion tests intersect with the current mask.
+func (t *Tracker) Refit(full uint16) (completed []uint64) {
+	t.full = full
+	t.quorum = popcount16(full)/2 + 1
+	for _, set := range [2]map[uint64]*PendingWrite{t.pending, t.settled} {
+		for id, pw := range set {
+			if pw.Acked&full == full {
+				delete(set, id)
+				completed = append(completed, id)
+			}
+		}
+	}
+	return completed
 }
 
 // Add registers a new write. selfAcked is the origin's own node bit, acked
@@ -74,7 +103,10 @@ func (t *Tracker) Ack(opID uint64, from uint8) (pw *PendingWrite, done bool) {
 		}
 	}
 	pw.Acked |= 1 << from
-	if pw.Acked == t.full {
+	// Superset test, not equality: after a reconfiguration the entry may
+	// hold acks from since-removed members, and after an add the mask can
+	// grow mid-write.
+	if pw.Acked&t.full == t.full {
 		delete(set, opID)
 		return pw, true
 	}
@@ -102,7 +134,7 @@ func (t *Tracker) FullyAcked() bool { return len(t.pending) == 0 && len(t.settle
 // least a quorum — invariant (1) of the slow-path release (§4.2).
 func (t *Tracker) QuorumAcked() bool {
 	for _, pw := range t.pending {
-		if popcount16(pw.Acked) < t.quorum {
+		if popcount16(pw.Acked&t.full) < t.quorum {
 			return false
 		}
 	}

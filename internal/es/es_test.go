@@ -154,3 +154,46 @@ func TestPopcount(t *testing.T) {
 		}
 	}
 }
+
+func TestTrackerRefit(t *testing.T) {
+	// 4 members {0,1,2,3}; two writes, one missing only node 3's ack, one
+	// missing nodes 2 and 3.
+	tr := NewTrackerMask(0b1111)
+	tr.Add(1, 10, 0)
+	tr.Ack(1, 1)
+	tr.Ack(1, 2)
+	tr.Add(2, 20, 0)
+	tr.Ack(2, 1)
+	if tr.AllAcked() {
+		t.Fatal("writes should be pending")
+	}
+	// Removing node 3 completes write 1 (acked by all of {0,1,2}) but not
+	// write 2 (still missing node 2).
+	done := tr.Refit(0b0111)
+	if len(done) != 1 || done[0] != 1 {
+		t.Fatalf("Refit completed %v, want [1]", done)
+	}
+	if tr.AllAcked() || tr.Unacked(2) != 0b0100 {
+		t.Fatalf("write 2 should still await node 2 (unacked %b)", tr.Unacked(2))
+	}
+	// Node 2's remaining ack completes write 2 under the shrunk set.
+	if _, full := tr.Ack(2, 2); !full {
+		t.Fatal("write 2 should complete once node 2 acked")
+	}
+	// Growing the set mid-write: the old members' acks no longer suffice
+	// once node 4 joins — the write also waits for the joiner.
+	tr.Add(3, 30, 0)
+	tr.Refit(0b10111)
+	tr.Ack(3, 1)
+	if _, full := tr.Ack(3, 2); full {
+		t.Fatal("write 3 completed without the joiner's ack")
+	}
+	if _, full := tr.Ack(3, 4); !full {
+		t.Fatal("write 3 should complete once every member of the grown set acked")
+	}
+	// A stale ack from a removed member is harmless.
+	tr.Refit(0b0111)
+	if pw, _ := tr.Ack(99, 3); pw != nil {
+		t.Fatal("unknown write acked")
+	}
+}

@@ -1,0 +1,54 @@
+// Package membership defines per-replica-group configuration epochs: a
+// versioned member set (Config) agreed through the group's own per-key Paxos
+// machinery on a reserved key, carried on every protocol frame, and checked
+// on every receive.
+//
+// # Relation to the paper
+//
+// Kite (PPoPP 2020) fixes the machine set up front: the quorum arguments of
+// §3 (ABD majorities for releases/acquires, per-key Paxos majorities for
+// RMWs, the all-replica ack rule of the Eventual Store fast path) and the
+// fast/slow-path safety lemmas of §5 are all stated for a static n. This
+// package supplies the missing axis — changing n while the group serves —
+// without touching any of those protocols' internals, by the group-epoch
+// technique of Hermes (ASPLOS 2020): attach the sender's configuration epoch
+// to every message, reject mismatches, and make a configuration change a
+// single agreed transition from epoch E to E+1.
+//
+// The safety argument is quorum intersection ACROSS configurations
+// (DESIGN.md "Membership" carries the full version):
+//
+//   - Within one epoch, the paper's own arguments apply verbatim — quorum
+//     sizes are just derived from the epoch's member set instead of a boot
+//     flag.
+//   - Across the transition E -> E+1, single-member changes keep majorities
+//     intersecting (a majority of S and a majority of S∪{x} — or S\{x} —
+//     always share a member of S), and the joiner enters with the PR 4
+//     anti-entropy sweep already run against a coverage set of the new
+//     config, so the one member the new quorums may lean on that the old
+//     ones did not has every established write before it counts toward any
+//     read quorum (it refuses read-type quorum traffic until then — the
+//     rejoin gate of internal/catchup).
+//   - Frames from epoch != mine are dropped at dispatch, so an operation's
+//     quorum is assembled entirely from replicas that agree on the member
+//     set the quorum is a majority OF. A replica behind on the config learns
+//     it out of band (KindConfigPull/KindConfigInfo) and the dropped frame
+//     is re-delivered by the protocols' own retransmissions — availability
+//     degrades to one extra round trip, never to a wrong answer.
+//
+// # Agreement
+//
+// A configuration is the value of ConfigKey, changed only by
+// compare-and-swap RMWs (core.Node.ReconfigureAdd/ReconfigureRemove): the
+// expected value is the current config's encoding, the new value the
+// successor epoch's. Per-key Paxos therefore serialises racing
+// reconfigurations — exactly one CAS wins epoch E+1, the loser observes the
+// winner's config and reports a conflict. Concurrent add+remove is thus
+// serialized per group by construction; there are no joint quorums.
+//
+// Replicas install a committed config from any of: the Paxos commit/learn
+// broadcast of the CAS (the usual path), a KindConfigInfo frame pushed by a
+// peer that saw their stale epoch, or — for a (re)joining replica — the
+// config key swept like any other key by the catch-up protocol. Installs
+// are monotone in the epoch and idempotent.
+package membership

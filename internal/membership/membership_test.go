@@ -1,0 +1,64 @@
+package membership
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInitial(t *testing.T) {
+	c := Initial(3)
+	if c.Epoch != 0 || c.N() != 3 || c.Quorum() != 2 || c.Mask() != 0b111 {
+		t.Fatalf("Initial(3) = %+v", c)
+	}
+	for id := uint8(0); id < 3; id++ {
+		if !c.Contains(id) {
+			t.Fatalf("Initial(3) missing %d", id)
+		}
+	}
+	if c.Contains(3) {
+		t.Fatal("Initial(3) contains 3")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	c := Initial(3)
+	c4 := c.Add(3)
+	if c4.Epoch != 1 || c4.N() != 4 || c4.Quorum() != 3 || !c4.Contains(3) {
+		t.Fatalf("Add(3) = %+v", c4)
+	}
+	c3 := c4.Remove(1)
+	if c3.Epoch != 2 || c3.N() != 3 || c3.Quorum() != 2 || c3.Contains(1) {
+		t.Fatalf("Remove(1) = %+v", c3)
+	}
+	// Ids are stable, not renumbered.
+	want := []uint8{0, 2, 3}
+	if got := c3.MemberIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("MemberIDs = %v, want %v", got, want)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	c := Config{Epoch: 7, Members: 0b1101}
+	got, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("roundtrip = %+v, want %+v", got, c)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode(nil) accepted")
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short value accepted")
+	}
+	if _, err := Decode(make([]byte, 10)); err == nil {
+		t.Fatal("long value accepted")
+	}
+	if _, err := Decode(make([]byte, 6)); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+}

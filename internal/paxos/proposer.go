@@ -294,6 +294,12 @@ func (p *Proposer) OnProposeAck(m *proto.Message) Action {
 			p.accVal = append(p.accVal[:0], m.Value...)
 		}
 	}
+	return p.decidePropose()
+}
+
+// decidePropose resolves the propose round against the replies recorded so
+// far, entering the accept phase when a quorum promised.
+func (p *Proposer) decidePropose() Action {
 	act := p.decide(ActAccept)
 	if act == ActAccept {
 		if !p.accBest.IsZero() {
@@ -324,12 +330,49 @@ func (p *Proposer) OnAcceptAck(m *proto.Message) Action {
 	if !p.foldCommon(m) {
 		return ActWait
 	}
+	return p.decideAccept()
+}
+
+// decideAccept resolves the accept round against the replies recorded so
+// far, entering the commit phase when a quorum accepted.
+func (p *Proposer) decideAccept() Action {
 	act := p.decide(ActCommit)
 	if act == ActCommit {
 		p.Phase = PhaseCommit
 		p.seen, p.oks = 0, 0
 	}
 	return act
+}
+
+// Refit retargets the proposer at a reconfigured member set (n members,
+// quorum, member bitmask full) and re-resolves the round in flight. Replies
+// recorded from removed members are discarded — a reply must not count
+// toward a quorum of a configuration its sender is no longer in — and a
+// round that was blocked solely on such members completes now instead of
+// retransmitting forever at nodes whose frames the epoch check rejects.
+// Quorums of the successor configuration intersect those of the
+// predecessor for the single-member changes reconfiguration commits (see
+// DESIGN.md "Membership"), which is what makes finishing the round under
+// the new arithmetic safe. The reconfiguration CAS itself depends on this
+// for its commit round: a removal's commit broadcast installs the shrunk
+// config at the committer before the leaver's ack — rejected as a
+// non-member's — could ever be counted.
+func (p *Proposer) Refit(n, quorum int, full uint16) Action {
+	p.n, p.quorum = n, quorum
+	p.seen &= full
+	p.oks &= full
+	switch p.Phase {
+	case PhasePropose:
+		return p.decidePropose()
+	case PhaseAccept:
+		return p.decideAccept()
+	case PhaseCommit:
+		if popcount16(p.oks) >= p.quorum {
+			p.Phase = PhaseDone
+			return ActDone
+		}
+	}
+	return ActWait
 }
 
 // OnCommitAck folds a commit ack.

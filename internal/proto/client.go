@@ -39,8 +39,21 @@ const (
 	// ClientOpClose releases a leased session back to the node's pool.
 	ClientOpClose uint8 = 0x11
 	// ClientOpPing checks liveness (used by Dial to fail fast when no
-	// server is listening).
+	// server is listening). The reply's Value advertises the node's place
+	// in the deployment — shard map plus membership epoch (see
+	// AppendNodeInfo) — so clients also re-ping to refresh it after a
+	// reconfiguration.
 	ClientOpPing uint8 = 0x12
+	// ClientOpJoin asks the node to add replica Key (a node id) to its
+	// group: the server drives the configuration CAS through the node's
+	// admin session and replies with the committed config encoded in Value
+	// (membership.Config.Encode). Sent by kite-node -join before the
+	// joining replica boots.
+	ClientOpJoin uint8 = 0x13
+	// ClientOpRemove asks the node to remove replica Key (a node id) from
+	// its group (kite-cli remove). The reply's Value carries the committed
+	// config.
+	ClientOpRemove uint8 = 0x14
 
 	// ClientOpBatch marks a batched request frame (ClientBatch): several
 	// data ops with consecutive seqs pipelined in one datagram — the remote
@@ -54,6 +67,7 @@ var clientOpNames = map[uint8]string{
 	ClientOpAcquire: "acquire", ClientOpFAA: "faa", ClientOpCASWeak: "cas-weak",
 	ClientOpCASStrong: "cas-strong", ClientOpFlush: "flush", ClientOpOpen: "open",
 	ClientOpClose: "close", ClientOpPing: "ping", ClientOpBatch: "batch",
+	ClientOpJoin: "join", ClientOpRemove: "remove",
 }
 
 // ClientOpName names a client op code for diagnostics.
@@ -80,6 +94,12 @@ const (
 	ClientErrNoCapacity
 	// ClientErrBadRequest: the frame was malformed (oversized value, bad op).
 	ClientErrBadRequest
+	// ClientErrConflict: a join/remove lost a reconfiguration race (or the
+	// group is mid-reconfiguration); retry after re-reading the membership.
+	ClientErrConflict
+	// ClientErrReservedKey: the operation targeted the reserved membership
+	// config key.
+	ClientErrReservedKey
 )
 
 // Client reply flag bits.
@@ -90,6 +110,11 @@ const (
 	// Control replies are matched by Seq alone — an open reply carries the
 	// newly leased id in Sess, which the requester cannot key on.
 	ClientFlagControl
+	// ClientFlagReconfigured on a data reply tells the client the node's
+	// group configuration epoch changed since this session last observed
+	// it; the client re-pings to refresh its membership view. One-shot per
+	// epoch change per session.
+	ClientFlagReconfigured
 )
 
 // ClientRequest is one operation sent by an external client to a node's
@@ -159,7 +184,10 @@ func (r *ClientRequest) Unmarshal(b []byte) error {
 	if vlen > 0 {
 		r.Value = b[clientReqHeaderLen+elen : clientReqHeaderLen+elen+vlen]
 	}
-	if !ClientDataOp(r.Op) && r.Op != ClientOpOpen && r.Op != ClientOpClose && r.Op != ClientOpPing {
+	switch {
+	case ClientDataOp(r.Op), r.Op == ClientOpOpen, r.Op == ClientOpClose,
+		r.Op == ClientOpPing, r.Op == ClientOpJoin, r.Op == ClientOpRemove:
+	default:
 		return fmt.Errorf("proto: bad client op %d", r.Op)
 	}
 	return nil
@@ -297,30 +325,47 @@ func (b *ClientBatch) Unmarshal(buf []byte) error {
 	return nil
 }
 
-// Shard info: a ping reply's Value advertises the node's place in a
-// sharded deployment as [groups(1) group(1)]. An empty Value (pre-sharding
-// servers, or Groups == 0) means unsharded: one group, group 0. Group
-// counts are bounded by a byte — far above any plausible deployment.
+// Node info: a ping reply's Value advertises the node's place in the
+// deployment as [groups(1) group(1) epoch(4) members(2)] — its shard
+// coordinates plus its replica group's membership epoch and member bitmask.
+// Shorter values degrade gracefully: an empty Value means unsharded (one
+// group, group 0) at an unknown epoch; a 2-byte value is the pre-membership
+// shard-info encoding. Group counts are bounded by a byte — far above any
+// plausible deployment.
 
 // MaxGroups bounds the replica-group count of a sharded deployment.
 const MaxGroups = 255
 
-// AppendShardInfo appends the shard-info encoding to dst. groups <= 1
-// appends nothing (the unsharded encoding is the empty value).
-func AppendShardInfo(dst []byte, groups, group int) []byte {
+const nodeInfoLen = 1 + 1 + 4 + 2
+
+// AppendNodeInfo appends the node-info encoding to dst. Unsharded
+// deployments pass groups <= 1 (encoded as 1 group, group 0).
+func AppendNodeInfo(dst []byte, groups, group int, epoch uint32, members uint16) []byte {
 	if groups <= 1 {
-		return dst
+		groups, group = 1, 0
 	}
-	return append(dst, uint8(groups), uint8(group))
+	dst = append(dst, uint8(groups), uint8(group))
+	dst = binary.LittleEndian.AppendUint32(dst, epoch)
+	return binary.LittleEndian.AppendUint16(dst, members)
 }
 
-// ParseShardInfo decodes a ping reply's shard info, defaulting to the
-// unsharded (1, 0) when absent.
+// ParseShardInfo decodes a ping reply's shard coordinates, defaulting to
+// the unsharded (1, 0) when absent.
 func ParseShardInfo(v []byte) (groups, group int) {
 	if len(v) < 2 {
 		return 1, 0
 	}
 	return int(v[0]), int(v[1])
+}
+
+// ParseNodeInfo decodes a ping reply's full node info. Replies without the
+// membership fields report epoch 0 and an empty member mask (unknown).
+func ParseNodeInfo(v []byte) (groups, group int, epoch uint32, members uint16) {
+	groups, group = ParseShardInfo(v)
+	if len(v) < nodeInfoLen {
+		return groups, group, 0, 0
+	}
+	return groups, group, binary.LittleEndian.Uint32(v[2:]), binary.LittleEndian.Uint16(v[6:])
 }
 
 // ClientReply is the session server's response to one ClientRequest,

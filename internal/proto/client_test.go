@@ -204,25 +204,32 @@ func TestClientOpNames(t *testing.T) {
 	}
 }
 
-func TestShardInfoRoundTrip(t *testing.T) {
+func TestNodeInfoRoundTrip(t *testing.T) {
 	for _, tc := range []struct {
 		groups, group int
 		wantG, wantI  int
-		empty         bool
 	}{
-		{groups: 0, group: 0, wantG: 1, wantI: 0, empty: true}, // unsharded
-		{groups: 1, group: 0, wantG: 1, wantI: 0, empty: true}, // 1 group == unsharded
+		{groups: 0, group: 0, wantG: 1, wantI: 0}, // unsharded
+		{groups: 1, group: 0, wantG: 1, wantI: 0}, // 1 group == unsharded
 		{groups: 2, group: 1, wantG: 2, wantI: 1},
 		{groups: 8, group: 3, wantG: 8, wantI: 3},
 	} {
-		v := AppendShardInfo(nil, tc.groups, tc.group)
-		if tc.empty != (len(v) == 0) {
-			t.Fatalf("AppendShardInfo(%d,%d) len=%d", tc.groups, tc.group, len(v))
-		}
+		v := AppendNodeInfo(nil, tc.groups, tc.group, 7, 0b1011)
 		g, i := ParseShardInfo(v)
 		if g != tc.wantG || i != tc.wantI {
 			t.Fatalf("ParseShardInfo(%v) = (%d,%d), want (%d,%d)", v, g, i, tc.wantG, tc.wantI)
 		}
+		g, i, epoch, members := ParseNodeInfo(v)
+		if g != tc.wantG || i != tc.wantI || epoch != 7 || members != 0b1011 {
+			t.Fatalf("ParseNodeInfo(%v) = (%d,%d,%d,%b)", v, g, i, epoch, members)
+		}
+	}
+	// Short values (pre-membership servers) degrade to unknown membership.
+	if g, i, epoch, members := ParseNodeInfo(nil); g != 1 || i != 0 || epoch != 0 || members != 0 {
+		t.Fatalf("ParseNodeInfo(nil) = (%d,%d,%d,%b)", g, i, epoch, members)
+	}
+	if g, i, epoch, members := ParseNodeInfo([]byte{4, 2}); g != 4 || i != 2 || epoch != 0 || members != 0 {
+		t.Fatalf("ParseNodeInfo(short) = (%d,%d,%d,%b)", g, i, epoch, members)
 	}
 }
 

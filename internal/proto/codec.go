@@ -13,12 +13,12 @@ import (
 //
 //	kind(1) flags(1) from(1) worker(1) vlen(1) olen(1)
 //	key(8) opid(8) stampVer(7) stampMID(1) slot(8) origin(8) slotOrigin(8) bits(2)
-//	value(vlen) origins(8*olen)
+//	epoch(4) value(vlen) origins(8*olen)
 //
 // A batch is framed as count(2) followed by count messages, matching the
 // opportunistic batching of multiple messages into one packet (§6.3).
 
-const headerLen = 1 + 1 + 1 + 1 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 2
+const headerLen = 1 + 1 + 1 + 1 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 2 + 4
 
 // MaxBatchBytes is the largest marshalled batch; sized to fit a UDP datagram
 // comfortably below the common 64 KiB limit.
@@ -54,6 +54,7 @@ func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint64(dst, m.Origin)
 	dst = binary.LittleEndian.AppendUint64(dst, m.SlotOrigin)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Bits)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Epoch)
 	dst = append(dst, m.Value...)
 	for _, o := range m.Origins {
 		dst = binary.LittleEndian.AppendUint64(dst, o)
@@ -91,6 +92,7 @@ func (m *Message) Unmarshal(b []byte) (int, error) {
 	m.Origin = binary.LittleEndian.Uint64(b[38:])
 	m.SlotOrigin = binary.LittleEndian.Uint64(b[46:])
 	m.Bits = binary.LittleEndian.Uint16(b[54:])
+	m.Epoch = binary.LittleEndian.Uint32(b[56:])
 	if vlen > 0 {
 		m.Value = b[headerLen : headerLen+vlen]
 	} else {

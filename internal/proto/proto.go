@@ -70,6 +70,12 @@ const (
 	KindCatchupItem // OpID, Key, Stamp, Value; Slot/Origin/Origins = committed Paxos state (0/none if the key has no consensus state)
 	KindCatchupEnd  // OpID, Slot = next cursor, Origin = echo of the request cursor, Bits = peer's delinquency mask, FlagCatchupDone when the sweep reached the end of the peer's store
 
+	// Group configuration exchange (DESIGN.md "Membership"). These are the
+	// only kinds exempt from the receive-side epoch check: they exist to
+	// heal epoch disagreement, so they must flow between disagreeing nodes.
+	KindConfigPull // OpID: request the sender's installed group config
+	KindConfigInfo // Slot = config epoch, Bits = member bitmask; sent as a reply to a pull and pushed unsolicited at nodes observed behind
+
 	kindCount
 )
 
@@ -108,6 +114,8 @@ var kindNames = [...]string{
 	KindCatchupPull:    "catchup-pull",
 	KindCatchupItem:    "catchup-item",
 	KindCatchupEnd:     "catchup-end",
+	KindConfigPull:     "config-pull",
+	KindConfigInfo:     "config-info",
 }
 
 func (k Kind) String() string {
@@ -157,6 +165,12 @@ type Message struct {
 	Flags  uint8
 	From   uint8 // originating node id
 	Worker uint8 // originating worker index (replies are routed back to it)
+	// Epoch is the sender's group configuration epoch, stamped on every
+	// outgoing frame at send time and checked on receive: frames from a
+	// different epoch are dropped (and trigger a config exchange) so that a
+	// quorum is always assembled from replicas agreeing on the member set it
+	// is a majority of. See kite/internal/membership.
+	Epoch  uint32
 	Key    uint64
 	OpID   uint64 // originator-unique operation id, echoed by replies
 	Stamp  llc.Stamp

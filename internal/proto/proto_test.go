@@ -22,6 +22,7 @@ func randMessage(rng *rand.Rand) Message {
 		Origin:     rng.Uint64(),
 		SlotOrigin: rng.Uint64(),
 		Bits:       uint16(rng.Intn(1 << 16)),
+		Epoch:      rng.Uint32(),
 	}
 	if rng.Intn(3) > 0 {
 		m.Value = make([]byte, rng.Intn(MaxValueLen+1))
@@ -37,7 +38,7 @@ func equalMessage(a, b Message) bool {
 	return a.Kind == b.Kind && a.Flags == b.Flags && a.From == b.From &&
 		a.Worker == b.Worker && a.Key == b.Key && a.OpID == b.OpID &&
 		a.Stamp == b.Stamp && a.Slot == b.Slot && a.Origin == b.Origin && a.SlotOrigin == b.SlotOrigin &&
-		a.Bits == b.Bits && bytes.Equal(a.Value, b.Value)
+		a.Bits == b.Bits && a.Epoch == b.Epoch && bytes.Equal(a.Value, b.Value)
 }
 
 func TestMarshalRoundTrip(t *testing.T) {

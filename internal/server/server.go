@@ -15,6 +15,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"kite/internal/core"
+	"kite/internal/membership"
 	"kite/internal/proto"
 )
 
@@ -117,6 +119,11 @@ type clientSession struct {
 	inflight   map[uint64]struct{}
 	done       map[uint64]proto.ClientReply // completed replies kept for retransmits
 	lastActive time.Time
+	// epoch is the node's membership epoch this session last observed.
+	// When the node's installed epoch moves past it, the next data reply
+	// carries ClientFlagReconfigured (once per change) so the client
+	// re-pings for the new membership.
+	epoch uint32
 }
 
 type heldReq struct {
@@ -281,10 +288,16 @@ func (s *Server) reply(addr *net.UDPAddr, rep proto.ClientReply) {
 func (s *Server) handle(req *proto.ClientRequest, raddr *net.UDPAddr) {
 	switch req.Op {
 	case proto.ClientOpPing:
+		nd := s.node()
+		v := nd.View()
 		s.reply(raddr, proto.ClientReply{
 			Status: proto.ClientOK, Flags: proto.ClientFlagControl, Seq: req.Seq,
-			Value: proto.AppendShardInfo(nil, s.cfg.Groups, s.cfg.Group),
+			Value: proto.AppendNodeInfo(nil, s.cfg.Groups, s.cfg.Group, v.Epoch, v.Members),
 		})
+	case proto.ClientOpJoin:
+		s.handleReconfig(req, raddr, true)
+	case proto.ClientOpRemove:
+		s.handleReconfig(req, raddr, false)
 	case proto.ClientOpOpen:
 		s.handleOpen(req, raddr)
 	case proto.ClientOpClose:
@@ -323,6 +336,7 @@ func (s *Server) handleOpen(req *proto.ClientRequest, raddr *net.UDPAddr) {
 		inflight:   make(map[uint64]struct{}),
 		done:       make(map[uint64]proto.ClientReply),
 		lastActive: time.Now(),
+		epoch:      s.nd.ConfigEpoch(),
 	}
 	s.sessions[sess.id] = sess
 	rep := proto.ClientReply{
@@ -351,6 +365,43 @@ func (s *Server) lookup(id uint32) *clientSession {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sessions[id]
+}
+
+// node returns the current core node (it changes across Rebind).
+func (s *Server) node() *core.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nd
+}
+
+// handleReconfig drives a join/remove request: the node id travels in Key,
+// the committed configuration returns in the reply's Value. The CAS can
+// take protocol round trips, so it runs off the receive loop; duplicate
+// goroutines from client retransmissions are harmless — the underlying
+// reconfiguration is idempotent and every goroutine replies (the client
+// keeps the first).
+func (s *Server) handleReconfig(req *proto.ClientRequest, raddr *net.UDPAddr, add bool) {
+	nd := s.node()
+	id, seq := uint8(req.Key), req.Seq
+	go func() {
+		var (
+			cfg membership.Config
+			err error
+		)
+		if add {
+			cfg, err = nd.ReconfigureAdd(id, 0)
+		} else {
+			cfg, err = nd.ReconfigureRemove(id, 0)
+		}
+		rep := proto.ClientReply{
+			Status: proto.ClientOK, Flags: proto.ClientFlagControl, Seq: seq,
+			Value: cfg.Encode(),
+		}
+		if err != nil {
+			rep.Status, rep.Value = proto.ClientErrConflict, nil
+		}
+		s.reply(raddr, rep)
+	}()
 }
 
 // handleBatch unrolls a batch frame: op i is exactly an individual request
@@ -448,17 +499,28 @@ func (s *Server) submit(sess *clientSession, seq uint64, h heldReq) {
 		Code: core.OpCode(h.op), Key: h.key, Delta: h.delta,
 		Expected: h.expected, Val: h.value,
 	}
+	epochNow := func() uint32 { return s.node().ConfigEpoch() }
 	r.Done = func(r *core.Request) {
 		rep := proto.ClientReply{Status: proto.ClientOK, Sess: sess.id, Seq: seq}
 		if r.Err != nil {
 			rep.Status = proto.ClientErrStopped
+			if errors.Is(r.Err, core.ErrReservedKey) {
+				rep.Status = proto.ClientErrReservedKey
+			}
 		} else {
 			rep.Value = bytes.Clone(r.Out)
 			if r.Swapped {
 				rep.Flags |= proto.ClientFlagSwapped
 			}
 		}
+		cur := epochNow()
 		sess.mu.Lock()
+		if cur != sess.epoch {
+			// One-shot notification per epoch change: the client re-pings
+			// for the new membership when it sees the flag.
+			sess.epoch = cur
+			rep.Flags |= proto.ClientFlagReconfigured
+		}
 		delete(sess.inflight, seq)
 		sess.done[seq] = rep
 		addr := sess.addr

@@ -14,19 +14,26 @@ import (
 
 	"kite/client"
 	"kite/internal/core"
+	"kite/internal/llc"
 	"kite/internal/server"
 	"kite/internal/transport"
 )
 
 // Cluster is a running loopback-UDP deployment. Nodes, Servers and the
 // per-node transports are index-aligned; everything is torn down by
-// t.Cleanup.
+// t.Cleanup. Ports are reserved (and peer address books wired) for the full
+// id space up front, so AddNode can boot replicas at ids beyond the initial
+// n without re-wiring anyone.
 type Cluster struct {
 	Nodes   []*core.Node
 	Servers []*server.Server
 
-	cfg core.Config
-	trs []transport.Transport
+	cfg    core.Config
+	trs    []transport.Transport
+	t      testing.TB
+	addrOf func(node, w int) string
+	groups int
+	group  int
 }
 
 // Addr returns node i's client-facing session-server address.
@@ -50,6 +57,15 @@ func (c *Cluster) RestartNode(t testing.TB, i int) {
 	c.Nodes[i].Stop()
 	cfg := c.cfg
 	cfg.Rejoin = true
+	// Boot with the newest configuration a live replica has installed (the
+	// dead node's own last view as fallback): the group may have
+	// reconfigured while this replica was down.
+	cfg.Initial = c.Nodes[i].View()
+	for _, nd := range c.Nodes {
+		if !nd.Stopped() && !nd.Removed() && nd.ConfigEpoch() > cfg.Initial.Epoch {
+			cfg.Initial = nd.View()
+		}
+	}
 	nd, err := core.NewNode(uint8(i), cfg, c.trs[i])
 	if err != nil {
 		t.Fatalf("restart node %d: %v", i, err)
@@ -145,6 +161,28 @@ func (s *Sharded) RestartNode(t testing.TB, i int) {
 	}
 }
 
+// AddNode grows every group by one replica on the same new machine id.
+func (s *Sharded) AddNode(t testing.TB) int {
+	t.Helper()
+	id := -1
+	for g, cl := range s.Groups {
+		nid := cl.AddNode(t)
+		if id >= 0 && nid != id {
+			t.Fatalf("group %d assigned id %d, group 0 assigned %d", g, nid, id)
+		}
+		id = nid
+	}
+	return id
+}
+
+// RemoveNode removes machine i's replica from every group.
+func (s *Sharded) RemoveNode(t testing.TB, i int) {
+	t.Helper()
+	for _, cl := range s.Groups {
+		cl.RemoveNode(t, i)
+	}
+}
+
 // AwaitRejoin waits (fatally, up to d total) for replica i's sweep in
 // every group.
 func (s *Sharded) AwaitRejoin(t testing.TB, i int, d time.Duration) {
@@ -210,7 +248,8 @@ func Start(t testing.TB, n int) *Cluster {
 func startGroup(t testing.TB, n, groups, group int) *Cluster {
 	t.Helper()
 	const workers = 1
-	ports := reservePorts(t, n*workers)
+	// Reserve the full id space so live AddNode needs no re-wiring.
+	ports := reservePorts(t, llc.MaxNodes*workers)
 	addrOf := func(node, w int) string {
 		return fmt.Sprintf("127.0.0.1:%d", ports[node*workers+w])
 	}
@@ -221,7 +260,7 @@ func startGroup(t testing.TB, n, groups, group int) *Cluster {
 		ReleaseTimeout: 50 * time.Millisecond,
 		RetryInterval:  25 * time.Millisecond,
 	}
-	cl := &Cluster{cfg: cfg}
+	cl := &Cluster{cfg: cfg, t: t, addrOf: addrOf, groups: groups, group: group}
 	t.Cleanup(func() {
 		for _, s := range cl.Servers {
 			s.Close()
@@ -234,39 +273,98 @@ func startGroup(t testing.TB, n, groups, group int) *Cluster {
 		}
 	})
 	for id := 0; id < n; id++ {
-		listen := make([]string, workers)
-		for w := range listen {
-			listen[w] = addrOf(id, w)
-		}
-		peers := make(map[uint8][]string)
-		for p := 0; p < n; p++ {
-			if p == id {
-				continue
-			}
-			pa := make([]string, workers)
-			for w := range pa {
-				pa[w] = addrOf(p, w)
-			}
-			peers[uint8(p)] = pa
-		}
-		tr, err := transport.NewUDP(transport.UDPConfig{
-			LocalNode: uint8(id), Workers: workers, Listen: listen, Peers: peers,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		nd, err := core.NewNode(uint8(id), cfg, tr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		nd.Start()
-		srv, err := server.New(nd, server.Config{Addr: "127.0.0.1:0", Groups: groups, Group: group})
-		if err != nil {
-			t.Fatal(err)
-		}
-		cl.Nodes = append(cl.Nodes, nd)
-		cl.Servers = append(cl.Servers, srv)
-		cl.trs = append(cl.trs, tr)
+		cl.bootNode(uint8(id), cfg)
 	}
 	return cl
+}
+
+// bootNode wires the transport (peer addresses for the WHOLE id space —
+// absent peers are simply dark sockets), boots the node and fronts it with
+// a session server.
+func (c *Cluster) bootNode(id uint8, cfg core.Config) {
+	c.t.Helper()
+	const workers = 1
+	listen := make([]string, workers)
+	for w := range listen {
+		listen[w] = c.addrOf(int(id), w)
+	}
+	peers := make(map[uint8][]string)
+	for p := 0; p < llc.MaxNodes; p++ {
+		if p == int(id) {
+			continue
+		}
+		pa := make([]string, workers)
+		for w := range pa {
+			pa[w] = c.addrOf(p, w)
+		}
+		peers[uint8(p)] = pa
+	}
+	tr, err := transport.NewUDP(transport.UDPConfig{
+		LocalNode: id, Workers: workers, Listen: listen, Peers: peers,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	nd, err := core.NewNode(id, cfg, tr)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	nd.Start()
+	srv, err := server.New(nd, server.Config{Addr: "127.0.0.1:0", Groups: c.groups, Group: c.group})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.Nodes = append(c.Nodes, nd)
+	c.Servers = append(c.Servers, srv)
+	c.trs = append(c.trs, tr)
+}
+
+// AddNode grows the group by one replica over live UDP: the grown
+// configuration is committed through node 0 (any live member would do),
+// then the new replica boots at the next id in catch-up mode with its own
+// session server. Returns the new id; gate on AwaitRejoin before leasing
+// its sessions.
+func (c *Cluster) AddNode(t testing.TB) int {
+	t.Helper()
+	id := uint8(len(c.Nodes))
+	var proposer *core.Node
+	for _, nd := range c.Nodes {
+		if !nd.Stopped() && !nd.Removed() && !nd.CatchingUp() {
+			proposer = nd
+			break
+		}
+	}
+	if proposer == nil {
+		t.Fatal("testcluster: no live member to drive AddNode")
+	}
+	next, err := proposer.ReconfigureAdd(id, 0)
+	if err != nil {
+		t.Fatalf("testcluster: add node %d: %v", id, err)
+	}
+	cfg := c.cfg
+	cfg.Rejoin = true
+	cfg.Initial = next
+	c.bootNode(id, cfg)
+	return int(id)
+}
+
+// RemoveNode removes replica i from the group through a surviving member
+// and crash-stops it. Its server stays bound (answering session errors),
+// mirroring kite-node's behaviour when an operator removes a live replica.
+func (c *Cluster) RemoveNode(t testing.TB, i int) {
+	t.Helper()
+	var proposer *core.Node
+	for _, nd := range c.Nodes {
+		if int(nd.ID) != i && !nd.Stopped() && !nd.Removed() && !nd.CatchingUp() {
+			proposer = nd
+			break
+		}
+	}
+	if proposer == nil {
+		t.Fatal("testcluster: no surviving member to drive RemoveNode")
+	}
+	if _, err := proposer.ReconfigureRemove(uint8(i), 0); err != nil {
+		t.Fatalf("testcluster: remove node %d: %v", i, err)
+	}
+	c.Nodes[i].Stop()
 }

@@ -113,8 +113,45 @@ func NewCluster(opts Options) (*Cluster, error) {
 	return &Cluster{c: c}, nil
 }
 
-// Nodes returns the replication degree.
+// Nodes returns the number of replica slots ever created: the boot members
+// plus every AddNode since. Removed replicas keep their slot (stopped); the
+// live member set is Members().
 func (c *Cluster) Nodes() int { return c.c.Nodes() }
+
+// Membership is a replica group's current configuration: the member node
+// ids and the configuration epoch that names this exact set. The epoch
+// increments by one per committed AddNode/RemoveNode and is carried on
+// every protocol frame of the group (DESIGN.md "Membership").
+type Membership struct {
+	Epoch uint32
+	Nodes []int
+}
+
+// Members returns the cluster's current membership.
+func (c *Cluster) Members() Membership {
+	v := c.c.Members()
+	m := Membership{Epoch: v.Epoch}
+	for _, id := range v.MemberIDs() {
+		m.Nodes = append(m.Nodes, int(id))
+	}
+	return m
+}
+
+// AddNode grows the deployment by one replica while it serves: the grown
+// configuration (epoch+1) is committed through the group's own consensus,
+// then a fresh replica with the returned id boots in catch-up mode — it
+// applies live writes immediately but buffers its own clients and serves
+// nothing until its anti-entropy sweep completes (gate on AwaitRejoin).
+// Concurrent reconfigurations are serialized by the config consensus; a
+// loser returns an error and changes nothing.
+func (c *Cluster) AddNode() (int, error) { return c.c.AddNode() }
+
+// RemoveNode shrinks the deployment: the configuration excluding the
+// replica is committed, surviving replicas retarget their quorums and
+// write ledgers (nothing waits on the leaver's acks), and the leaver is
+// crash-stopped. Its session handles fail with ErrStopped; its id is never
+// reused. Removing the last member is rejected.
+func (c *Cluster) RemoveNode(node int) error { return c.c.RemoveNode(node) }
 
 // SessionsPerNode returns how many sessions each replica offers.
 func (c *Cluster) SessionsPerNode() int { return c.c.Node(0).Sessions() }
@@ -146,13 +183,14 @@ func (c *Cluster) StopNode(node int) { c.c.StopNode(node) }
 // Session once AwaitRejoin reports the node caught up.
 func (c *Cluster) RestartNode(node int) error { return c.c.RestartNode(node) }
 
-// AwaitRejoin blocks until a restarted replica's catch-up sweep completes,
-// reporting whether it did within timeout. Replicas that never restarted
-// return true immediately; a replica stopped mid-sweep (its sweep aborted,
-// it will never serve) reports false rather than masquerading as caught up.
+// AwaitRejoin blocks until a restarted (or freshly added) replica's
+// catch-up sweep completes, reporting whether it did within timeout.
+// Replicas that never restarted return true immediately; a replica stopped
+// or removed mid-sweep (its sweep aborted, it will never serve) reports
+// false rather than masquerading as caught up.
 func (c *Cluster) AwaitRejoin(node int, timeout time.Duration) bool {
 	nd := c.c.Node(node)
-	return nd.AwaitCatchup(timeout) && !nd.Stopped()
+	return nd.AwaitCatchup(timeout) && !nd.Stopped() && !nd.Removed()
 }
 
 // NodeCatchup reports a replica's rejoin-sweep progress (zero value for

@@ -1,0 +1,348 @@
+// Live-membership conformance tests: a replica group grows and shrinks
+// WHILE a release-consistency workload runs against it, over both the
+// in-process backend and the loopback-UDP remote backend. The contract
+// under test is the acceptance bar of the membership work: no
+// client-visible consistency violation at any point of the
+// reconfiguration — an acquire that reads round r's flag must see every
+// payload write that preceded round r's release, whichever configuration
+// epoch either operation ran under — plus the public Members/AddNode/
+// RemoveNode surface across kite.Cluster, sharded.Cluster, the client
+// package and testcluster.
+package kite_test
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kite"
+	"kite/client"
+	"kite/internal/testcluster"
+	"kite/sharded"
+)
+
+// memberHarness is a deployment whose membership can change live.
+type memberHarness struct {
+	session func(t *testing.T, node, sess int) kite.Session
+	addNode func(t *testing.T) int
+	// awaitJoin gates on the added replica's catch-up sweep.
+	awaitJoin  func(t *testing.T, node int)
+	removeNode func(t *testing.T, node int)
+	// members returns the current (epoch, ids).
+	members func(t *testing.T) (uint32, []int)
+}
+
+func inprocMemberHarness(t *testing.T) *memberHarness {
+	t.Helper()
+	c, err := kite.NewCluster(kite.Options{
+		Nodes: 3, Workers: 2, SessionsPerWorker: 4, Capacity: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return &memberHarness{
+		session: func(t *testing.T, node, sess int) kite.Session { return c.Session(node, sess) },
+		addNode: func(t *testing.T) int {
+			id, err := c.AddNode()
+			if err != nil {
+				t.Fatalf("AddNode: %v", err)
+			}
+			return id
+		},
+		awaitJoin: func(t *testing.T, node int) {
+			if !c.AwaitRejoin(node, 30*time.Second) {
+				t.Fatalf("node %d never finished catching up", node)
+			}
+		},
+		removeNode: func(t *testing.T, node int) {
+			if err := c.RemoveNode(node); err != nil {
+				t.Fatalf("RemoveNode(%d): %v", node, err)
+			}
+		},
+		members: func(t *testing.T) (uint32, []int) {
+			m := c.Members()
+			return m.Epoch, m.Nodes
+		},
+	}
+}
+
+func remoteMemberHarness(t *testing.T) *memberHarness {
+	t.Helper()
+	tc := testcluster.Start(t, 3)
+	var (
+		mu      sync.Mutex
+		clients = map[int]*client.Client{}
+	)
+	dial := func(t *testing.T, node int) *client.Client {
+		mu.Lock()
+		defer mu.Unlock()
+		if cl, ok := clients[node]; ok {
+			return cl
+		}
+		cl, err := client.Dial(tc.Addr(node), client.Options{
+			DialTimeout: 2 * time.Second, OpTimeout: 15 * time.Second,
+			RetryInterval: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("dial node %d: %v", node, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		clients[node] = cl
+		return cl
+	}
+	return &memberHarness{
+		session: func(t *testing.T, node, sess int) kite.Session {
+			s, err := dial(t, node).NewSession()
+			if err != nil {
+				t.Fatalf("session on node %d: %v", node, err)
+			}
+			return s
+		},
+		addNode: func(t *testing.T) int { return tc.AddNode(t) },
+		awaitJoin: func(t *testing.T, node int) {
+			tc.AwaitRejoin(t, node, 30*time.Second)
+		},
+		removeNode: func(t *testing.T, node int) { tc.RemoveNode(t, node) },
+		members: func(t *testing.T) (uint32, []int) {
+			cl := dial(t, 1) // node 1 survives every reconfiguration below
+			if err := cl.Refresh(); err != nil {
+				t.Fatalf("refresh: %v", err)
+			}
+			return cl.Members()
+		},
+	}
+}
+
+// runMembershipWorkload is the shared scenario: a producer/consumer pair
+// runs rounds of [write payloads, release flag] / [acquire flag, check
+// payloads] on nodes 1 and 2 while the group (a) adds node 3, (b) verifies
+// the joiner serves consistent state, and (c) removes original replica 0.
+func runMembershipWorkload(t *testing.T, h *memberHarness) {
+	const payloadKeys = 8
+	const flagKey = 9_000
+	prod := h.session(t, 1, 0)
+	cons := h.session(t, 2, 1)
+
+	// checkRC: acquire the flag and require every payload to be from the
+	// acquired round or later — release consistency across whatever
+	// configuration epochs the operations spanned.
+	checkRC := func(t *testing.T, s kite.Session) {
+		t.Helper()
+		flag, err := s.AcquireRead(flagKey)
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		if len(flag) == 0 {
+			return // no release yet
+		}
+		r, err := strconv.ParseUint(string(flag), 10, 64)
+		if err != nil {
+			t.Fatalf("bad flag %q", flag)
+		}
+		for k := uint64(0); k < payloadKeys; k++ {
+			v, err := s.Read(100 + k)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			got, err := strconv.ParseUint(string(v), 10, 64)
+			if err != nil || got < r {
+				t.Fatalf("payload %d = %q after acquiring flag round %d (consistency violation)", k, v, r)
+			}
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var rounds atomic.Uint64
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for r := uint64(1); ; r++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			val := []byte(strconv.FormatUint(r, 10))
+			for k := uint64(0); k < payloadKeys; k++ {
+				if err := prod.Write(100+k, val); err != nil {
+					t.Errorf("producer write: %v", err)
+					return
+				}
+			}
+			if err := prod.ReleaseWrite(flagKey, val); err != nil {
+				t.Errorf("producer release: %v", err)
+				return
+			}
+			rounds.Store(r)
+		}
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			checkRC(t, cons)
+		}
+	}()
+	stopWorkload := func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		wg.Wait()
+	}
+	defer stopWorkload()
+
+	// Let the workload get going, then GROW the group under it.
+	waitRounds := func(min uint64) {
+		deadline := time.Now().Add(20 * time.Second)
+		for rounds.Load() < min {
+			if time.Now().After(deadline) {
+				t.Fatalf("workload stalled at %d rounds", rounds.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitRounds(3)
+	id := h.addNode(t)
+	if id != 3 {
+		t.Fatalf("AddNode id = %d, want 3", id)
+	}
+	h.awaitJoin(t, id)
+	if epoch, nodes := h.members(t); epoch != 1 || len(nodes) != 4 {
+		t.Fatalf("after add: epoch %d members %v", epoch, nodes)
+	}
+	// The joiner must serve release-consistent state immediately.
+	joinSess := h.session(t, 3, 2)
+	checkRC(t, joinSess)
+
+	// Keep the workload running and SHRINK: remove an original replica.
+	waitRounds(rounds.Load() + 3)
+	h.removeNode(t, 0)
+	if epoch, nodes := h.members(t); epoch != 2 || len(nodes) != 3 {
+		t.Fatalf("after remove: epoch %d members %v", epoch, nodes)
+	} else {
+		for _, n := range nodes {
+			if n == 0 {
+				t.Fatalf("node 0 still a member: %v", nodes)
+			}
+		}
+	}
+	// The workload must keep making progress on the reconfigured group...
+	waitRounds(rounds.Load() + 3)
+	stopWorkload()
+	// ...and the final state must be consistent from both a survivor and
+	// the joined replica.
+	checkRC(t, cons)
+	checkRC(t, joinSess)
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// TestMembershipAddRemoveMidWorkloadInproc / ...Remote are the
+// reconfiguration-under-load conformance tests of DESIGN.md "Membership"
+// (testing strategy matrix row "membership").
+func TestMembershipAddRemoveMidWorkloadInproc(t *testing.T) {
+	runMembershipWorkload(t, inprocMemberHarness(t))
+}
+
+func TestMembershipAddRemoveMidWorkloadRemote(t *testing.T) {
+	runMembershipWorkload(t, remoteMemberHarness(t))
+}
+
+// TestMembershipReservedKeyRejected pins the guard on the membership
+// config key: application operations on the reserved key fail with
+// ErrReservedKey on both backends (a write there would wedge — or subvert —
+// reconfiguration).
+func TestMembershipReservedKeyRejected(t *testing.T) {
+	for _, h := range []struct {
+		name string
+		mk   func(*testing.T) *memberHarness
+	}{
+		{"inproc", inprocMemberHarness},
+		{"remote", remoteMemberHarness},
+	} {
+		t.Run(h.name, func(t *testing.T) {
+			s := h.mk(t).session(t, 0, 0)
+			if err := s.Write(^uint64(0), []byte("x")); !errors.Is(err, kite.ErrReservedKey) {
+				t.Fatalf("write to reserved key: %v, want ErrReservedKey", err)
+			}
+			if _, err := s.FAA(^uint64(0), 1); !errors.Is(err, kite.ErrReservedKey) {
+				t.Fatalf("FAA on reserved key: %v, want ErrReservedKey", err)
+			}
+			// The session survives the rejection.
+			if err := s.Write(1, []byte("ok")); err != nil {
+				t.Fatalf("session wedged after reserved-key rejection: %v", err)
+			}
+		})
+	}
+}
+
+// TestMembershipShardedGrowShrink smokes the sharded public API: every
+// group adds the new machine, every group removes it again, and the key
+// space stays served throughout.
+func TestMembershipShardedGrowShrink(t *testing.T) {
+	c, err := sharded.NewCluster(2, kite.Options{
+		Nodes: 3, Workers: 1, SessionsPerWorker: 4, Capacity: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := c.Session(0, 0)
+	for k := uint64(0); k < 32; k++ {
+		if err := s.Write(k, []byte(fmt.Sprintf("v%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ReleaseWrite(1000, []byte("done")); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.AwaitRejoin(id, 30*time.Second) {
+		t.Fatal("joiner never caught up in every group")
+	}
+	for g, m := range c.Members() {
+		if m.Epoch != 1 || len(m.Nodes) != 4 {
+			t.Fatalf("group %d after add: %+v", g, m)
+		}
+	}
+	// A session on the new machine spans all groups and sees everything.
+	js := c.Session(id, 1)
+	if v, err := js.AcquireRead(1000); err != nil || string(v) != "done" {
+		t.Fatalf("acquire on joiner: %q, %v", v, err)
+	}
+	for k := uint64(0); k < 32; k++ {
+		if v, err := js.Read(k); err != nil || string(v) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("read %d on joiner: %q, %v", k, v, err)
+		}
+	}
+
+	if err := c.RemoveNode(id); err != nil {
+		t.Fatal(err)
+	}
+	for g, m := range c.Members() {
+		if m.Epoch != 2 || len(m.Nodes) != 3 {
+			t.Fatalf("group %d after remove: %+v", g, m)
+		}
+	}
+	// The original members keep serving.
+	if v, err := s.Read(7); err != nil || string(v) != "v7" {
+		t.Fatalf("read after shrink: %q, %v", v, err)
+	}
+}

@@ -126,6 +126,10 @@ var (
 	// ErrBadOp: the Op carries a code outside the operation set. The
 	// operation is rejected at submission and has no effect.
 	ErrBadOp = errors.New("kite: bad op code")
+	// ErrReservedKey: the Op targets the key reserved for the group's
+	// membership configuration (the top of the key space). The operation
+	// is rejected at submission and has no effect.
+	ErrReservedKey = core.ErrReservedKey
 )
 
 // ValidateOp checks an Op against the submission rules every backend

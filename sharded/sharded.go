@@ -56,8 +56,53 @@ func NewCluster(groups int, opts kite.Options) (*Cluster, error) {
 // Groups returns the number of replica groups.
 func (c *Cluster) Groups() int { return len(c.groups) }
 
-// Nodes returns the replication degree of each group.
+// Nodes returns the number of replica slots in each group (boot members
+// plus added replicas; see kite.Cluster.Nodes). The live member set is
+// Members().
 func (c *Cluster) Nodes() int { return c.groups[0].Nodes() }
+
+// Members returns each group's current membership, index-aligned with
+// Group. Groups reconfigure independently, so epochs may differ; a machine
+// added with AddNode appears in every group's set.
+func (c *Cluster) Members() []kite.Membership {
+	out := make([]kite.Membership, len(c.groups))
+	for g, kc := range c.groups {
+		out[g] = kc.Members()
+	}
+	return out
+}
+
+// AddNode grows every group by one replica on the same new machine id (a
+// machine hosts one replica of each group, mirroring StopNode/RestartNode).
+// Each group commits its own configuration and its joiner catches up
+// independently; gate on AwaitRejoin before leasing the new node's
+// sessions. On a partial failure the error reports the group that refused —
+// earlier groups keep their new replica (their reconfigurations committed;
+// retry AddNode after fixing the cause, or remove the id again).
+func (c *Cluster) AddNode() (int, error) {
+	id := -1
+	for g, kc := range c.groups {
+		nid, err := kc.AddNode()
+		if err != nil {
+			return -1, fmt.Errorf("sharded: group %d: %w", g, err)
+		}
+		if id >= 0 && nid != id {
+			return -1, fmt.Errorf("sharded: group %d assigned id %d, group 0 assigned %d", g, nid, id)
+		}
+		id = nid
+	}
+	return id, nil
+}
+
+// RemoveNode removes the machine's replica from every group.
+func (c *Cluster) RemoveNode(node int) error {
+	for g, kc := range c.groups {
+		if err := kc.RemoveNode(node); err != nil {
+			return fmt.Errorf("sharded: group %d: %w", g, err)
+		}
+	}
+	return nil
+}
 
 // SessionsPerNode returns how many sessions each replica offers (identical
 // across groups).
