@@ -72,18 +72,19 @@ import (
 
 func main() {
 	var (
-		id         = flag.Int("id", 0, "this replica's id (0..nodes-1)")
-		nodes      = flag.Int("nodes", 3, "replication degree (per group)")
-		groups     = flag.Int("groups", 1, "replica groups in the deployment (sharded key space)")
-		group      = flag.Int("group", 0, "this replica's group (0..groups-1)")
-		workers    = flag.Int("workers", 2, "workers per node (same on all nodes)")
-		base       = flag.Int("base", 7000, "base UDP port; node i of group g binds base+(g*nodes+i)*workers...")
-		host       = flag.String("host", "127.0.0.1", "bind/peer host")
-		clientAddr = flag.String("client-addr", "", "UDP address for the client session server (empty: no external clients)")
-		clientMax  = flag.Int("client-sessions", 0, "max sessions leased to external clients (0: all)")
-		rejoin     = flag.Bool("rejoin", false, "boot in catch-up mode: this replica is re-entering a LIVE deployment after losing its state (see OPERATIONS.md)")
-		join       = flag.String("join", "", "client address of an EXISTING member: commit a grown configuration that includes this replica, then boot in catch-up mode (live add; see OPERATIONS.md)")
-		demo       = flag.Bool("demo", false, "run a producer-consumer self-test then exit")
+		id          = flag.Int("id", 0, "this replica's id (0..nodes-1)")
+		nodes       = flag.Int("nodes", 3, "replication degree (per group)")
+		groups      = flag.Int("groups", 1, "replica groups in the deployment (sharded key space)")
+		group       = flag.Int("group", 0, "this replica's group (0..groups-1)")
+		workers     = flag.Int("workers", 2, "workers per node (same on all nodes)")
+		base        = flag.Int("base", 7000, "base UDP port; node i of group g binds base+(g*nodes+i)*workers...")
+		host        = flag.String("host", "127.0.0.1", "bind/peer host")
+		clientAddr  = flag.String("client-addr", "", "UDP address for the client session server (empty: no external clients)")
+		clientMax   = flag.Int("client-sessions", 0, "max sessions leased to external clients (0: all)")
+		rejoin      = flag.Bool("rejoin", false, "boot in catch-up mode: this replica is re-entering a LIVE deployment after losing its state (see OPERATIONS.md)")
+		incarnation = flag.Uint("incarnation", 0, "boot incarnation of this replica id; every restart after a crash MUST pass a strictly higher value than the previous boot (see OPERATIONS.md)")
+		join        = flag.String("join", "", "client address of an EXISTING member: commit a grown configuration that includes this replica, then boot in catch-up mode (live add; see OPERATIONS.md)")
+		demo        = flag.Bool("demo", false, "run a producer-consumer self-test then exit")
 	)
 	flag.Parse()
 	if *demo && *clientAddr != "" {
@@ -132,6 +133,7 @@ func main() {
 		ReleaseTimeout: 20 * time.Millisecond,
 		RetryInterval:  50 * time.Millisecond,
 	}
+	cfg.Incarnation = uint32(*incarnation)
 	bootCfg := cfg
 	bootCfg.Rejoin = *rejoin
 	if *join != "" {
@@ -192,6 +194,10 @@ func main() {
 		nd.Stop()
 		rcfg := cfg
 		rcfg.Rejoin = true
+		// SIGHUP restarts stay in-process, so the successor incarnation is
+		// derived locally; crash-restarts of the whole process must pass a
+		// higher -incarnation instead.
+		rcfg.Incarnation = nd.Incarnation() + 1
 		// Rejoin under the configuration this incarnation last installed —
 		// reconfigurations slept through are healed by the sweep (the config
 		// key transfers like any key) and the epoch check's config exchange.

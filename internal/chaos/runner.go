@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kite/internal/history"
+	"kite/internal/transport"
+	"kite/internal/verifier"
+)
+
+// OpStats tallies recorded operations by outcome.
+type OpStats struct {
+	Total int `json:"total"`
+	OK    int `json:"ok"`
+	Maybe int `json:"maybe"`
+	Never int `json:"never"`
+}
+
+// Report is a chaos run's JSON-serialisable result.
+type Report struct {
+	Seed     int64         `json:"seed"`
+	Backend  string        `json:"backend"`
+	Duration time.Duration `json:"duration"`
+	// Timeline is the full generated schedule — deterministic in Seed, so
+	// re-running with the same flags replays it exactly.
+	Timeline []Action `json:"timeline"`
+	// Injected counts executed nemeses by kind; Errors collects lifecycle
+	// failures (a restart refused mid-run, a join that never completed).
+	Injected map[NemesisKind]int `json:"injected"`
+	Errors   []string            `json:"errors,omitempty"`
+	Ops      OpStats             `json:"ops"`
+	// Faults is the per-link evidence ledger: a run that drops and delays
+	// nothing proves nothing, so Passed requires it to be non-trivial
+	// whenever link nemeses were scheduled.
+	Faults   []transport.LinkStat `json:"faults"`
+	Verifier *verifier.Report     `json:"verifier"`
+	Passed   bool                 `json:"passed"`
+}
+
+// rejoinTimeout bounds the blocking waits lifecycle heals perform.
+const rejoinTimeout = 30 * time.Second
+
+// Run generates the schedule for cfg, executes it against the target while
+// the recording workload runs, heals everything, and verifies the recorded
+// history. The returned history accompanies the report so failures can be
+// re-verified (or re-examined) offline.
+func Run(tg Target, cfg Config) (*Report, *history.Recorded) {
+	cfg.Nodes = tg.Nodes()
+	cfg.defaults()
+	sched := Generate(cfg)
+	rep := &Report{
+		Seed: cfg.Seed, Backend: tg.Backend(), Duration: cfg.Duration,
+		Timeline: sched.Actions, Injected: make(map[NemesisKind]int),
+	}
+
+	log := history.New()
+	wl := startWorkload(tg, log, 2)
+	faults := tg.Faults()
+	start := time.Now()
+
+	// One executor goroutine walks the inject/heal events in time order;
+	// lifecycle heals block it (they are exclusive in the schedule, so
+	// nothing else was due anyway).
+	type event struct {
+		at   time.Duration
+		heal bool
+		a    *Action
+	}
+	var evs []event
+	for i := range sched.Actions {
+		a := &sched.Actions[i]
+		evs = append(evs, event{a.At, false, a}, event{a.Heal, true, a})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+
+	addedID := -1
+	for _, ev := range evs {
+		if d := ev.at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		a := ev.a
+		switch a.Kind {
+		case KindDropLink:
+			if ev.heal {
+				faults.DropLink(a.From, a.To, 0)
+			} else {
+				faults.DropLink(a.From, a.To, a.Prob)
+			}
+		case KindDelayLink:
+			if ev.heal {
+				faults.DelayLink(a.From, a.To, 0)
+			} else {
+				faults.DelayLink(a.From, a.To, a.Delay)
+			}
+		case KindCutLink:
+			faults.CutLink(a.From, a.To, !ev.heal)
+		case KindIsolateNode:
+			faults.IsolateNode(uint8(a.Node), !ev.heal)
+		case KindStopRestart:
+			if !ev.heal {
+				tg.StopNode(a.Node)
+				break
+			}
+			if err := tg.RestartNode(a.Node); err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("restart node %d: %v", a.Node, err))
+				break
+			}
+			if !tg.AwaitRejoin(a.Node, rejoinTimeout) {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("node %d never finished its catch-up sweep", a.Node))
+			}
+		case KindAddRemove:
+			if !ev.heal {
+				id, err := tg.AddNode()
+				if err != nil {
+					rep.Errors = append(rep.Errors, fmt.Sprintf("add node: %v", err))
+					break
+				}
+				if !tg.AwaitRejoin(id, rejoinTimeout) {
+					rep.Errors = append(rep.Errors, fmt.Sprintf("added node %d never finished its catch-up sweep", id))
+				}
+				addedID = id
+				break
+			}
+			if addedID < 0 {
+				break // the add failed; nothing to remove
+			}
+			if err := tg.RemoveNode(addedID); err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("remove node %d: %v", addedID, err))
+			}
+			addedID = -1
+		}
+		if ev.heal {
+			rep.Injected[a.Kind]++
+		}
+	}
+
+	// Heal the world, let the workload settle on the clean cluster, then
+	// quiesce and judge.
+	faults.Clear()
+	if d := cfg.Duration - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+	time.Sleep(1500 * time.Millisecond)
+	wl.halt()
+
+	rec := log.Snapshot()
+	for i := range rec.Events {
+		rep.Ops.Total++
+		switch rec.Events[i].Outcome {
+		case history.OutcomeOK:
+			rep.Ops.OK++
+		case history.OutcomeMaybe:
+			rep.Ops.Maybe++
+		default:
+			rep.Ops.Never++
+		}
+	}
+	rep.Faults = faults.LinkStats()
+	rep.Verifier = verifier.Check(rec)
+
+	rep.Passed = rep.Verifier.OK() && len(rep.Errors) == 0 && rep.Ops.OK > 0
+	kinds := cfg.Kinds
+	linkEvidence := false
+	needEvidence := false
+	for _, ls := range rep.Faults {
+		if ls.Dropped+ls.Delayed > 0 {
+			linkEvidence = true
+		}
+	}
+	for _, k := range kinds {
+		if rep.Injected[k] == 0 {
+			rep.Passed = false
+			rep.Errors = append(rep.Errors, fmt.Sprintf("nemesis kind %s was never injected", k))
+		}
+		switch k {
+		case KindDropLink, KindDelayLink, KindCutLink, KindIsolateNode:
+			needEvidence = true
+		}
+	}
+	if needEvidence && !linkEvidence {
+		rep.Passed = false
+		rep.Errors = append(rep.Errors, "link nemeses were scheduled but the fault ledger shows no dropped or delayed traffic")
+	}
+	return rep, rec
+}

@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite"
+	"kite/internal/history"
+)
+
+// The workload mirrors the repo's conformance shape so the verifier has
+// teeth on every protocol class: producer/consumer pairs exercise the
+// release/acquire contract over relaxed payload writes, FAA workers hammer
+// one counter from two sessions, and a CAS worker advances a unique-value
+// chain. All values are unique per key (the verifier's matching
+// assumption).
+//
+// Chaos discipline: any error abandons the current round, re-leases the
+// session at the same coordinates and starts a fresh round under a fresh
+// recorded session — so every release's covered writes live in the
+// release's own recorded session, which is exactly the granularity the RC
+// check verifies at.
+const (
+	payloadBase = 1000 // + pair*16 + k
+	payloadKeys = 4
+	flagBase    = 9000 // + pair
+	faaKey      = 8000
+	casKey      = 8001
+
+	opTimeout = 5 * time.Second
+)
+
+type workload struct {
+	target Target
+	log    *history.Log
+	pairs  int
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// startWorkload launches the worker goroutines; call (*workload).halt to
+// stop and join them.
+func startWorkload(tg Target, log *history.Log, pairs int) *workload {
+	w := &workload{target: tg, log: log, pairs: pairs}
+	slot := 0
+	next := func() (int, int) {
+		node, sess := slot%tg.Nodes(), slot/tg.Nodes()
+		slot++
+		return node, sess
+	}
+	for p := 0; p < pairs; p++ {
+		p := p
+		pn, ps := next()
+		cn, cs := next()
+		w.go_(func() { w.producer(p, pn, ps) })
+		w.go_(func() { w.consumer(p, cn, cs) })
+	}
+	for i := 0; i < 2; i++ {
+		n, s := next()
+		w.go_(func() { w.faa(n, s) })
+	}
+	n, s := next()
+	w.go_(func() { w.cas(n, s) })
+	return w
+}
+
+func (w *workload) go_(fn func()) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		fn()
+	}()
+}
+
+func (w *workload) halt() {
+	w.stop.Store(true)
+	w.wg.Wait()
+}
+
+// lease opens (or re-opens) the recorded session at the coordinates,
+// retrying while the node is down.
+func (w *workload) lease(node, sess int) kite.Session {
+	for !w.stop.Load() {
+		inner, err := w.target.Session(node, sess)
+		if err == nil {
+			return w.log.Wrap(inner)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil
+}
+
+// release closes a session that hit an error (freeing its lease on remote
+// backends — leases are a finite per-node resource) and leases afresh.
+func (w *workload) release(s kite.Session, node, sess int) kite.Session {
+	if s != nil {
+		s.Close()
+	}
+	time.Sleep(50 * time.Millisecond)
+	return w.lease(node, sess)
+}
+
+func (w *workload) do(s kite.Session, op kite.Op) error {
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	_, err := s.Do(ctx, op)
+	return err
+}
+
+func (w *workload) doRes(s kite.Session, op kite.Op) (kite.Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	return s.Do(ctx, op)
+}
+
+// producer p writes its payload keys then releases its flag, one round per
+// iteration; round numbers never repeat, even across error retries.
+func (w *workload) producer(p, node, sess int) {
+	s := w.lease(node, sess)
+	for r := 1; s != nil && !w.stop.Load(); r++ {
+		ok := true
+		for k := 0; k < payloadKeys; k++ {
+			val := []byte(fmt.Sprintf("p%dr%dk%d", p, r, k))
+			if err := w.do(s, kite.WriteOp(uint64(payloadBase+p*16+k), val)); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			flag := []byte(fmt.Sprintf("p%dr%d", p, r))
+			if err := w.do(s, kite.ReleaseOp(uint64(flagBase+p), flag)); err != nil {
+				ok = false
+			}
+		}
+		if !ok {
+			// Round abandoned: fresh session, fresh recorded thread.
+			s = w.release(s, node, sess)
+			continue
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// consumer p acquires p's flag and reads the payload keys; the verifier
+// decides what those reads were allowed to return.
+func (w *workload) consumer(p, node, sess int) {
+	s := w.lease(node, sess)
+	for s != nil && !w.stop.Load() {
+		if _, err := w.doRes(s, kite.AcquireOp(uint64(flagBase+p))); err != nil {
+			s = w.release(s, node, sess)
+			continue
+		}
+		bad := false
+		for k := 0; k < payloadKeys; k++ {
+			if err := w.do(s, kite.ReadOp(uint64(payloadBase+p*16+k))); err != nil {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			s = w.release(s, node, sess)
+			continue
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// faa increments the shared counter; contention between the two FAA
+// workers is what gives the lost-update check its power.
+func (w *workload) faa(node, sess int) {
+	s := w.lease(node, sess)
+	for s != nil && !w.stop.Load() {
+		if err := w.do(s, kite.FAAOp(faaKey, 1)); err != nil {
+			s = w.release(s, node, sess)
+			continue
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// cas advances a unique-value chain: each successful swap consumes the
+// previous value exactly once. After an indeterminate failure the next
+// attempt's comparand is stale on purpose — its benign failure re-reads
+// the current value.
+func (w *workload) cas(node, sess int) {
+	s := w.lease(node, sess)
+	var expected []byte
+	for i := 0; s != nil && !w.stop.Load(); i++ {
+		next := []byte(fmt.Sprintf("c%d", i))
+		res, err := w.doRes(s, kite.CASOp(casKey, expected, next, false))
+		switch {
+		case err != nil:
+			s = w.release(s, node, sess)
+		case res.Swapped:
+			expected = next
+		default:
+			expected = res.Value
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

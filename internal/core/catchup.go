@@ -8,8 +8,10 @@ import (
 )
 
 // catchupOpID is the reserved, node-unique operation id of the rejoin
-// sweep. The session tag (high 32 bits) uses session index 0xffffff, which
-// no real session ever occupies, so the id cannot collide with session ops.
+// sweep. The session tag (high 32 bits) uses 0xffffff — incarnation 0xffff
+// with session index 0xff — which no real session ever occupies (NewNode
+// rejects incarnations >= 0xffff), so the id cannot collide with session
+// ops.
 func catchupOpID(node uint8) uint64 {
 	return uint64(node)<<56 | uint64(0xffffff)<<32 | 1
 }

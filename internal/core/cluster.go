@@ -203,6 +203,10 @@ func (c *Cluster) RestartNode(i int) error {
 	old.Stop()
 	cfg := c.cfg
 	cfg.Rejoin = true
+	// A fresh incarnation: the new node's op ids must never collide with
+	// ids the dead incarnation left in the group's exactly-once registries
+	// (Config.Incarnation).
+	cfg.Incarnation = old.Incarnation() + 1
 	// Boot with the newest configuration any live replica has installed
 	// (falling back to the dead node's own last view): the restarted
 	// replica may have slept through reconfigurations, and the config key

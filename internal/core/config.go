@@ -38,6 +38,18 @@ type Config struct {
 	// (quorum rounds). Used by the ablation benchmarks to price the fast
 	// path; never set in normal operation.
 	DisableFastPath bool
+	// Incarnation distinguishes successive boots of the same node id. A
+	// replica restarted after a crash MUST boot with a strictly higher
+	// incarnation than any prior boot of its id: the value is folded into
+	// every operation id the node issues (see Worker.nextOpID), and reusing
+	// one would let a fresh session's op ids collide with pre-crash op ids
+	// still held in peers' per-key exactly-once registries — a collision
+	// makes the Paxos layer judge a brand-new RMW "already committed" and
+	// complete it without executing it (a lost update). The deployment
+	// layer tracks it (core.Cluster.RestartNode bumps it automatically;
+	// kite-node exposes -incarnation); multi-process operators must persist
+	// or monotonically derive it across restarts. Must be below 65535.
+	Incarnation uint32
 	// Rejoin marks this node as restarting into an existing deployment
 	// with its state lost. It boots in catch-up mode: client requests are
 	// buffered, read-type quorum traffic is dropped, and the node sweeps

@@ -89,6 +89,15 @@ func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
 	if !boot.Contains(id) {
 		return nil, fmt.Errorf("core: node id %d not in boot config (%v)", id, boot)
 	}
+	// The op-id layout (node 8 | incarnation 16 | session 8 | seq 32, see
+	// Worker.nextOpID) bounds both the session count and the incarnation.
+	if cfg.Workers*cfg.SessionsPerWorker+1 > 256 {
+		return nil, fmt.Errorf("core: %d sessions exceed the 255 the op-id layout addresses",
+			cfg.Workers*cfg.SessionsPerWorker)
+	}
+	if cfg.Incarnation >= 0xffff {
+		return nil, fmt.Errorf("core: incarnation %d outside [0,65535)", cfg.Incarnation)
+	}
 	nd := &Node{
 		ID:    id,
 		cfg:   cfg,
@@ -124,6 +133,11 @@ func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
 
 // View returns the node's installed group configuration.
 func (nd *Node) View() membership.Config { return *nd.view.Load() }
+
+// Incarnation returns the boot incarnation this node was created with
+// (Config.Incarnation); the next incarnation of the same id must boot with
+// a strictly higher value.
+func (nd *Node) Incarnation() uint32 { return nd.cfg.Incarnation }
 
 // ConfigEpoch returns the installed configuration epoch (the value stamped
 // on every outgoing frame).

@@ -221,3 +221,51 @@ func TestRestartCatchupSurvivesSlowPeer(t *testing.T) {
 		t.Fatalf("read after rejoin = %q", got)
 	}
 }
+
+// TestRestartOpIDsNeverCollide pins the incarnation tagging in the op-id
+// layout (Config.Incarnation, Worker.nextOpID). A restarted node's sessions
+// count their sequence numbers from zero again, while the group's per-key
+// exactly-once registries — repopulated on every replica by the rejoin
+// sweep's recent-origin rings — still hold the dead incarnation's op ids for
+// the very same (node, session) pair. Without the incarnation bits in the
+// session tag, the fresh session's op whose sequence number equals the stale
+// registry entry is judged "already committed" and completes without
+// executing: the FAA returns a zero old-value instead of the counter — a
+// lost update. The chaos harness found exactly this shape (seed 42,
+// rmw-lost-update on the FAA key); this is its deterministic distillation.
+func TestRestartOpIDsNeverCollide(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Seed the registries: preFAAs ops from node 1, session 0, leave the
+	// registry entry for that session tag at its highest sequence number.
+	const preFAAs = 50
+	s1 := c.Node(1).Session(0)
+	for i := uint64(0); i < preFAAs; i++ {
+		if old := faa(t, s1, 700, 1); old != i {
+			t.Fatalf("pre-restart FAA #%d saw %d", i, old)
+		}
+	}
+
+	if err := c.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	awaitCatchup(t, c.Node(1), 20*time.Second)
+
+	// The fresh incarnation's session restarts its sequence counter at zero
+	// and walks it straight through the dead incarnation's range. Every
+	// old-value must continue the counter monotonically; a collision with
+	// the stale registry entry would return 0 mid-run.
+	s1 = c.Node(1).Session(0)
+	for i := uint64(0); i < preFAAs+20; i++ {
+		if old := faa(t, s1, 700, 1); old != preFAAs+i {
+			t.Fatalf("post-restart FAA #%d saw %d, want %d (op-id collision with the dead incarnation?)", i, old, preFAAs+i)
+		}
+	}
+	if got := c.Node(1).Incarnation(); got != 1 {
+		t.Fatalf("restarted node incarnation = %d, want 1", got)
+	}
+}

@@ -74,13 +74,20 @@ func newWorker(nd *Node, id uint8) *Worker {
 }
 
 // nextOpID allocates a cluster-unique operation id for an op of session s:
-// node(8) | session(24) | per-session sequence(32). The high 32 bits form
-// the session tag the Paxos exactly-once filter keys on: a session has at
-// most one outstanding RMW, so "the session's latest committed RMW id"
-// decides whether a given RMW already committed.
+// node(8) | incarnation(16) | session(8) | per-session sequence(32). The
+// high 32 bits form the session tag the Paxos exactly-once filter keys on:
+// a session has at most one outstanding RMW, so "the session's latest
+// committed RMW id" decides whether a given RMW already committed. The
+// incarnation makes the tag unique across crash-restarts of the node —
+// a restarted replica's sequence counters start over at zero, but peers'
+// registries (and its own, repopulated by the catch-up sweep's origin
+// rings) still hold pre-crash op ids under the old tag; without the
+// incarnation, a fresh session's seq eventually collides with one and the
+// filter silently "completes" an RMW that never ran (Config.Incarnation).
 func (w *Worker) nextOpID(s *Session) uint64 {
 	s.opSeq++
-	return uint64(w.node.ID)<<56 | uint64(s.idx)<<32 | uint64(uint32(s.opSeq))
+	return uint64(w.node.ID)<<56 | uint64(uint16(w.node.cfg.Incarnation))<<40 |
+		uint64(uint8(s.idx))<<32 | uint64(uint32(s.opSeq))
 }
 
 func (w *Worker) register(id uint64, op pendingOp) { w.ops[id] = op }

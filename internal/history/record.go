@@ -1,0 +1,130 @@
+package history
+
+import (
+	"context"
+	"errors"
+
+	"kite"
+)
+
+// recorder is the recording kite.Session adapter. It is transparent: every
+// call is forwarded to the wrapped session, and the invoke/complete pair is
+// logged around it. Convenience methods come from kite.Ops.
+type recorder struct {
+	kite.Ops
+	inner kite.Session
+	log   *Log
+	sess  *sessionLog
+}
+
+// begin appends a pending event (Complete < 0) and returns its slot.
+func (s *sessionLog) begin(now int64, op kite.Op, batch int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.events)
+	s.events = append(s.events, Event{
+		Session: s.id, Index: idx, Op: op.Code, Key: op.Key,
+		Arg: cloneBytes(op.Value), Expected: cloneBytes(op.Expected), Delta: op.Delta,
+		Batch: batch, Invoke: now, Complete: -1,
+	})
+	return idx
+}
+
+// end completes a pending event with the operation's result.
+func (s *sessionLog) end(now int64, idx int, r kite.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := &s.events[idx]
+	e.Complete = now
+	e.Out = cloneBytes(r.Value)
+	e.Swapped = r.Swapped
+	if r.Err == nil {
+		e.Outcome = OutcomeOK
+	} else {
+		e.Outcome = classify(r.Err)
+		e.Err = r.Err.Error()
+	}
+}
+
+// classify sorts an operation error into the indeterminacy taxonomy: did
+// the operation provably not run, or might it still have taken effect?
+func classify(err error) Outcome {
+	switch {
+	case errors.Is(err, kite.ErrBadOp),
+		errors.Is(err, kite.ErrValueTooLong),
+		errors.Is(err, kite.ErrReservedKey),
+		errors.Is(err, kite.ErrSessionClosed):
+		return OutcomeNever
+	default:
+		// ErrCanceled, ErrStopped, client timeouts, broken sessions: the
+		// op may have executed (or may still be executing) server-side.
+		return OutcomeMaybe
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Do records one synchronous operation.
+func (r *recorder) Do(ctx context.Context, op kite.Op) (kite.Result, error) {
+	idx := r.sess.begin(r.log.now(), op, -1)
+	res, err := r.inner.Do(ctx, op)
+	r.sess.end(r.log.now(), idx, res)
+	return res, err
+}
+
+// DoAsync records an asynchronous operation; the completion is logged from
+// the backend's callback goroutine.
+func (r *recorder) DoAsync(op kite.Op, cb func(kite.Result)) {
+	idx := r.sess.begin(r.log.now(), op, -1)
+	r.inner.DoAsync(op, func(res kite.Result) {
+		r.sess.end(r.log.now(), idx, res)
+		if cb != nil {
+			cb(res)
+		}
+	})
+}
+
+// DoBatch records every op of the batch under one batch id. A rejected
+// batch (nil results) provably executed nothing: all its events complete
+// with OutcomeNever.
+func (r *recorder) DoBatch(ctx context.Context, ops []kite.Op) ([]kite.Result, error) {
+	if len(ops) == 0 {
+		return r.inner.DoBatch(ctx, ops)
+	}
+	r.sess.mu.Lock()
+	batch := r.sess.nbatch
+	r.sess.nbatch++
+	r.sess.mu.Unlock()
+	t0 := r.log.now()
+	idxs := make([]int, len(ops))
+	for i, op := range ops {
+		idxs[i] = r.sess.begin(t0, op, batch)
+	}
+	results, err := r.inner.DoBatch(ctx, ops)
+	t1 := r.log.now()
+	for i := range ops {
+		switch {
+		case results != nil:
+			r.sess.end(t1, idxs[i], results[i])
+		case err != nil:
+			// All-or-nothing rejection: no op consumed a session slot.
+			r.sess.end(t1, idxs[i], kite.Result{Err: err})
+			r.sess.mu.Lock()
+			r.sess.events[idxs[i]].Outcome = OutcomeNever
+			r.sess.mu.Unlock()
+		default:
+			r.sess.end(t1, idxs[i], kite.Result{})
+		}
+	}
+	return results, err
+}
+
+// Close closes the wrapped session; the recorded events stay in the log.
+func (r *recorder) Close() error { return r.inner.Close() }

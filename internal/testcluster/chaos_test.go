@@ -1,0 +1,33 @@
+package testcluster
+
+import (
+	"testing"
+	"time"
+
+	"kite/internal/chaos"
+)
+
+// TestChaosRemote drives a full seeded chaos run against the loopback-UDP
+// deployment: faults on the replica links, crash-restarts and
+// reconfiguration under a real client workload, with the recorded history
+// verified offline. This is the remote leg of the chaos acceptance matrix
+// (inproc and sharded live in internal/chaos).
+func TestChaosRemote(t *testing.T) {
+	cl := Start(t, 3)
+	d := 8 * time.Second
+	if testing.Short() {
+		d = 5 * time.Second
+	}
+	rep, rec := chaos.Run(cl.Chaos(), chaos.Config{Seed: 1, Duration: d})
+	if !rep.Passed {
+		t.Fatalf("remote chaos run failed: errors=%v verifier:\n%s", rep.Errors, rep.Verifier.String())
+	}
+	if rep.Ops.OK == 0 || len(rec.Events) == 0 {
+		t.Fatalf("no operations recorded: %+v", rep.Ops)
+	}
+	for _, k := range chaos.AllKinds() {
+		if rep.Injected[k] == 0 {
+			t.Fatalf("kind %s never injected; injected=%v", k, rep.Injected)
+		}
+	}
+}

@@ -3,41 +3,64 @@
 // fronted by a client-facing session server. Tests that exercise the
 // remote backend of the unified kite.Session interface (package kite's
 // conformance suite, the dstruct structure tests, the client e2e tests)
-// share this harness instead of hand-rolling node wiring.
+// share this harness instead of hand-rolling node wiring, and kite-chaos
+// drives it outside `go test` through the Chaos target.
 package testcluster
 
 import (
 	"fmt"
 	"net"
-	"testing"
+	"sync"
 	"time"
 
+	"kite"
 	"kite/client"
+	"kite/internal/chaos"
 	"kite/internal/core"
 	"kite/internal/llc"
 	"kite/internal/server"
 	"kite/internal/transport"
 )
 
+// TB is the slice of testing.TB this package needs. It exists so the
+// harness can be driven outside `go test` (cmd/kite-chaos) by any
+// implementation that fails hard and runs cleanups; *testing.T satisfies
+// it unchanged.
+type TB interface {
+	Helper()
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+	Cleanup(func())
+}
+
 // Cluster is a running loopback-UDP deployment. Nodes, Servers and the
 // per-node transports are index-aligned; everything is torn down by
 // t.Cleanup. Ports are reserved (and peer address books wired) for the full
 // id space up front, so AddNode can boot replicas at ids beyond the initial
-// n without re-wiring anyone.
+// n without re-wiring anyone. Every node's UDP transport is wrapped in a
+// FaultInjector (kept across restarts, so installed rules survive a node's
+// reincarnation), aggregated behind Faults.
 type Cluster struct {
 	Nodes   []*core.Node
 	Servers []*server.Server
 
 	cfg    core.Config
-	trs    []transport.Transport
-	t      testing.TB
+	trs    []*transport.FaultInjector
+	faults *transport.FaultSet
+	t      TB
 	addrOf func(node, w int) string
+	boot   int
 	groups int
 	group  int
 }
 
 // Addr returns node i's client-facing session-server address.
 func (c *Cluster) Addr(i int) string { return c.Servers[i].Addr() }
+
+// Faults aggregates every node's replica-traffic fault injector: a rule
+// applied here affects the named link regardless of which node's transport
+// carries it. Counters accumulate per link and survive Clear.
+func (c *Cluster) Faults() *transport.FaultSet { return c.faults }
 
 // PauseNode makes replica i unresponsive for d (the §8.4 sleeping-replica
 // failure).
@@ -48,15 +71,18 @@ func (c *Cluster) PauseNode(i int, d time.Duration) { c.Nodes[i].Pause(d) }
 // up, answering leased clients with session errors until RestartNode.
 func (c *Cluster) StopNode(i int) { c.Nodes[i].Stop() }
 
-// RestartNode replaces stopped replica i with a fresh, empty node of the
-// same id on the same UDP transport, rebinding the session server so
-// clients keep their dial target. The new incarnation rejoins via the
-// catch-up sweep; gate on AwaitRejoin before asserting served state.
-func (c *Cluster) RestartNode(t testing.TB, i int) {
-	t.Helper()
+// TryRestartNode replaces stopped replica i with a fresh, empty node of
+// the same id on the same (fault-wrapped) UDP transport, rebinding the
+// session server so clients keep their dial target. The new incarnation
+// rejoins via the catch-up sweep; gate on AwaitRejoin before asserting
+// served state.
+func (c *Cluster) TryRestartNode(i int) error {
 	c.Nodes[i].Stop()
 	cfg := c.cfg
 	cfg.Rejoin = true
+	// A fresh incarnation: op ids of the new boot must not collide with
+	// the dead incarnation's ids in the group's exactly-once registries.
+	cfg.Incarnation = c.Nodes[i].Incarnation() + 1
 	// Boot with the newest configuration a live replica has installed (the
 	// dead node's own last view as fallback): the group may have
 	// reconfigured while this replica was down.
@@ -68,16 +94,31 @@ func (c *Cluster) RestartNode(t testing.TB, i int) {
 	}
 	nd, err := core.NewNode(uint8(i), cfg, c.trs[i])
 	if err != nil {
-		t.Fatalf("restart node %d: %v", i, err)
+		return fmt.Errorf("restart node %d: %w", i, err)
 	}
 	nd.Start()
 	c.Nodes[i] = nd
 	c.Servers[i].Rebind(nd)
+	return nil
+}
+
+// RestartNode is TryRestartNode with test-fatal error handling.
+func (c *Cluster) RestartNode(t TB, i int) {
+	t.Helper()
+	if err := c.TryRestartNode(i); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TryAwaitRejoin waits up to d for replica i's catch-up sweep, reporting
+// whether it completed (a sweep aborted by a stop is a failure).
+func (c *Cluster) TryAwaitRejoin(i int, d time.Duration) bool {
+	return c.Nodes[i].AwaitCatchup(d) && !c.Nodes[i].Stopped()
 }
 
 // AwaitRejoin waits (fatally, up to d) for replica i's catch-up sweep. A
 // sweep aborted by a stop is a failure, not a completion.
-func (c *Cluster) AwaitRejoin(t testing.TB, i int, d time.Duration) {
+func (c *Cluster) AwaitRejoin(t TB, i int, d time.Duration) {
 	t.Helper()
 	if !c.Nodes[i].AwaitCatchup(d) {
 		t.Fatalf("node %d still catching up after %v: %+v", i, d, c.Nodes[i].Catchup())
@@ -90,7 +131,7 @@ func (c *Cluster) AwaitRejoin(t testing.TB, i int, d time.Duration) {
 // Dial connects one client to every node's session server, with timeouts
 // matched to the harness config, and registers cleanup. The returned slice
 // is node-index-aligned; lease sessions with clients[i].NewSession().
-func (c *Cluster) Dial(t testing.TB) []*client.Client {
+func (c *Cluster) Dial(t TB) []*client.Client {
 	t.Helper()
 	clients := make([]*client.Client, len(c.Servers))
 	for i := range clients {
@@ -118,7 +159,7 @@ type Sharded struct {
 // each n replicas over loopback UDP (see Start). The session servers
 // advertise their (group, groups) so DialSharded's shard-map validation is
 // exercised for real.
-func StartSharded(t testing.TB, groups, n int) *Sharded {
+func StartSharded(t TB, groups, n int) *Sharded {
 	t.Helper()
 	sc := &Sharded{}
 	for g := 0; g < groups; g++ {
@@ -154,7 +195,7 @@ func (s *Sharded) StopNode(i int) {
 
 // RestartNode restarts replica i in every group; each group's fresh
 // replica catches up independently against its own peers.
-func (s *Sharded) RestartNode(t testing.TB, i int) {
+func (s *Sharded) RestartNode(t TB, i int) {
 	t.Helper()
 	for _, cl := range s.Groups {
 		cl.RestartNode(t, i)
@@ -162,7 +203,7 @@ func (s *Sharded) RestartNode(t testing.TB, i int) {
 }
 
 // AddNode grows every group by one replica on the same new machine id.
-func (s *Sharded) AddNode(t testing.TB) int {
+func (s *Sharded) AddNode(t TB) int {
 	t.Helper()
 	id := -1
 	for g, cl := range s.Groups {
@@ -176,7 +217,7 @@ func (s *Sharded) AddNode(t testing.TB) int {
 }
 
 // RemoveNode removes machine i's replica from every group.
-func (s *Sharded) RemoveNode(t testing.TB, i int) {
+func (s *Sharded) RemoveNode(t TB, i int) {
 	t.Helper()
 	for _, cl := range s.Groups {
 		cl.RemoveNode(t, i)
@@ -185,7 +226,7 @@ func (s *Sharded) RemoveNode(t testing.TB, i int) {
 
 // AwaitRejoin waits (fatally, up to d total) for replica i's sweep in
 // every group.
-func (s *Sharded) AwaitRejoin(t testing.TB, i int, d time.Duration) {
+func (s *Sharded) AwaitRejoin(t TB, i int, d time.Duration) {
 	t.Helper()
 	deadline := time.Now().Add(d)
 	for g, cl := range s.Groups {
@@ -201,7 +242,7 @@ func (s *Sharded) AwaitRejoin(t testing.TB, i int, d time.Duration) {
 
 // DialSharded connects a sharded client to node i of every group, with the
 // same timeouts as Dial, registering cleanup.
-func (s *Sharded) DialSharded(t testing.TB, i int) *client.ShardedClient {
+func (s *Sharded) DialSharded(t TB, i int) *client.ShardedClient {
 	t.Helper()
 	sc, err := client.DialSharded(s.Addrs(i), client.Options{
 		DialTimeout:   2 * time.Second,
@@ -217,7 +258,7 @@ func (s *Sharded) DialSharded(t testing.TB, i int) *client.ShardedClient {
 
 // reservePorts grabs n free loopback UDP ports. The sockets are closed
 // before use, so a clashing process could steal one — fine for tests.
-func reservePorts(t testing.TB, n int) []int {
+func reservePorts(t TB, n int) []int {
 	t.Helper()
 	ports := make([]int, n)
 	conns := make([]*net.UDPConn, n)
@@ -239,13 +280,13 @@ func reservePorts(t testing.TB, n int) []int {
 // on an ephemeral port, and registers teardown with t.Cleanup. The
 // configuration mirrors the client e2e environment: single worker, 8
 // sessions per worker, timeouts widened for loopback-UDP RTTs.
-func Start(t testing.TB, n int) *Cluster {
+func Start(t TB, n int) *Cluster {
 	return startGroup(t, n, 0, 0)
 }
 
 // startGroup is Start parameterised by the node's place in a sharded
 // deployment: its session servers advertise (groups, group) to clients.
-func startGroup(t testing.TB, n, groups, group int) *Cluster {
+func startGroup(t TB, n, groups, group int) *Cluster {
 	t.Helper()
 	const workers = 1
 	// Reserve the full id space so live AddNode needs no re-wiring.
@@ -260,7 +301,10 @@ func startGroup(t testing.TB, n, groups, group int) *Cluster {
 		ReleaseTimeout: 50 * time.Millisecond,
 		RetryInterval:  25 * time.Millisecond,
 	}
-	cl := &Cluster{cfg: cfg, t: t, addrOf: addrOf, groups: groups, group: group}
+	cl := &Cluster{
+		cfg: cfg, t: t, addrOf: addrOf, boot: n, groups: groups, group: group,
+		faults: transport.NewFaultSet(),
+	}
 	t.Cleanup(func() {
 		for _, s := range cl.Servers {
 			s.Close()
@@ -273,16 +317,17 @@ func startGroup(t testing.TB, n, groups, group int) *Cluster {
 		}
 	})
 	for id := 0; id < n; id++ {
-		cl.bootNode(uint8(id), cfg)
+		if err := cl.bootNode(uint8(id), cfg); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return cl
 }
 
 // bootNode wires the transport (peer addresses for the WHOLE id space —
-// absent peers are simply dark sockets), boots the node and fronts it with
-// a session server.
-func (c *Cluster) bootNode(id uint8, cfg core.Config) {
-	c.t.Helper()
+// absent peers are simply dark sockets), wraps it in the node's fault
+// injector, boots the node and fronts it with a session server.
+func (c *Cluster) bootNode(id uint8, cfg core.Config) error {
 	const workers = 1
 	listen := make([]string, workers)
 	for w := range listen {
@@ -299,33 +344,37 @@ func (c *Cluster) bootNode(id uint8, cfg core.Config) {
 		}
 		peers[uint8(p)] = pa
 	}
-	tr, err := transport.NewUDP(transport.UDPConfig{
+	udp, err := transport.NewUDP(transport.UDPConfig{
 		LocalNode: id, Workers: workers, Listen: listen, Peers: peers,
 	})
 	if err != nil {
-		c.t.Fatal(err)
+		return err
 	}
-	nd, err := core.NewNode(id, cfg, tr)
+	fi := transport.NewFaultInjector(udp, int64(id)+1)
+	nd, err := core.NewNode(id, cfg, fi)
 	if err != nil {
-		c.t.Fatal(err)
+		fi.Close()
+		return err
 	}
 	nd.Start()
 	srv, err := server.New(nd, server.Config{Addr: "127.0.0.1:0", Groups: c.groups, Group: c.group})
 	if err != nil {
-		c.t.Fatal(err)
+		nd.Stop()
+		fi.Close()
+		return err
 	}
 	c.Nodes = append(c.Nodes, nd)
 	c.Servers = append(c.Servers, srv)
-	c.trs = append(c.trs, tr)
+	c.trs = append(c.trs, fi)
+	c.faults.Add(fi)
+	return nil
 }
 
-// AddNode grows the group by one replica over live UDP: the grown
-// configuration is committed through node 0 (any live member would do),
-// then the new replica boots at the next id in catch-up mode with its own
-// session server. Returns the new id; gate on AwaitRejoin before leasing
-// its sessions.
-func (c *Cluster) AddNode(t testing.TB) int {
-	t.Helper()
+// TryAddNode grows the group by one replica over live UDP: the grown
+// configuration is committed through a live member, then the new replica
+// boots at the next id in catch-up mode with its own session server.
+// Returns the new id; gate on AwaitRejoin before leasing its sessions.
+func (c *Cluster) TryAddNode() (int, error) {
 	id := uint8(len(c.Nodes))
 	var proposer *core.Node
 	for _, nd := range c.Nodes {
@@ -335,24 +384,36 @@ func (c *Cluster) AddNode(t testing.TB) int {
 		}
 	}
 	if proposer == nil {
-		t.Fatal("testcluster: no live member to drive AddNode")
+		return -1, fmt.Errorf("testcluster: no live member to drive AddNode")
 	}
 	next, err := proposer.ReconfigureAdd(id, 0)
 	if err != nil {
-		t.Fatalf("testcluster: add node %d: %v", id, err)
+		return -1, fmt.Errorf("testcluster: add node %d: %w", id, err)
 	}
 	cfg := c.cfg
 	cfg.Rejoin = true
 	cfg.Initial = next
-	c.bootNode(id, cfg)
-	return int(id)
+	if err := c.bootNode(id, cfg); err != nil {
+		return -1, fmt.Errorf("testcluster: boot node %d: %w", id, err)
+	}
+	return int(id), nil
 }
 
-// RemoveNode removes replica i from the group through a surviving member
-// and crash-stops it. Its server stays bound (answering session errors),
-// mirroring kite-node's behaviour when an operator removes a live replica.
-func (c *Cluster) RemoveNode(t testing.TB, i int) {
+// AddNode is TryAddNode with test-fatal error handling.
+func (c *Cluster) AddNode(t TB) int {
 	t.Helper()
+	id, err := c.TryAddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TryRemoveNode removes replica i from the group through a surviving
+// member and crash-stops it. Its server stays bound (answering session
+// errors), mirroring kite-node's behaviour when an operator removes a live
+// replica.
+func (c *Cluster) TryRemoveNode(i int) error {
 	var proposer *core.Node
 	for _, nd := range c.Nodes {
 		if int(nd.ID) != i && !nd.Stopped() && !nd.Removed() && !nd.CatchingUp() {
@@ -361,10 +422,87 @@ func (c *Cluster) RemoveNode(t testing.TB, i int) {
 		}
 	}
 	if proposer == nil {
-		t.Fatal("testcluster: no surviving member to drive RemoveNode")
+		return fmt.Errorf("testcluster: no surviving member to drive RemoveNode")
 	}
 	if _, err := proposer.ReconfigureRemove(uint8(i), 0); err != nil {
-		t.Fatalf("testcluster: remove node %d: %v", i, err)
+		return fmt.Errorf("testcluster: remove node %d: %w", i, err)
 	}
 	c.Nodes[i].Stop()
+	return nil
 }
+
+// RemoveNode is TryRemoveNode with test-fatal error handling.
+func (c *Cluster) RemoveNode(t TB, i int) {
+	t.Helper()
+	if err := c.TryRemoveNode(i); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Chaos adapts the cluster into a chaos.Target: workload sessions are
+// leased through real clients over loopback UDP (with chaos-sized
+// timeouts), faults hit the replica links, lifecycle operations go through
+// the error-returning variants. Leases freed by the workload recycle
+// through the server's pool, so chaos re-leasing stays within the
+// per-node session budget.
+func (c *Cluster) Chaos() chaos.Target {
+	ct := &chaosTarget{c: c, clients: make(map[int]*client.Client)}
+	c.t.Cleanup(ct.close)
+	return ct
+}
+
+type chaosTarget struct {
+	c *Cluster
+
+	mu      sync.Mutex
+	clients map[int]*client.Client
+}
+
+func (t *chaosTarget) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, cl := range t.clients {
+		cl.Close()
+	}
+	t.clients = map[int]*client.Client{}
+}
+
+func (t *chaosTarget) Backend() string      { return "remote" }
+func (t *chaosTarget) Nodes() int           { return t.c.boot }
+func (t *chaosTarget) SessionsPerNode() int { return t.c.cfg.Workers * t.c.cfg.SessionsPerWorker }
+
+func (t *chaosTarget) Session(node, sess int) (kite.Session, error) {
+	t.mu.Lock()
+	cl := t.clients[node]
+	t.mu.Unlock()
+	if cl == nil {
+		var err error
+		cl, err = client.Dial(t.c.Addr(node), client.Options{
+			DialTimeout:   2 * time.Second,
+			OpTimeout:     3 * time.Second,
+			RetryInterval: 25 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.mu.Lock()
+		if prev := t.clients[node]; prev != nil {
+			t.mu.Unlock()
+			cl.Close()
+			cl = prev
+		} else {
+			t.clients[node] = cl
+			t.mu.Unlock()
+		}
+	}
+	return cl.NewSession()
+}
+
+func (t *chaosTarget) Faults() *transport.FaultSet { return t.c.Faults() }
+func (t *chaosTarget) StopNode(node int)           { t.c.StopNode(node) }
+func (t *chaosTarget) RestartNode(node int) error  { return t.c.TryRestartNode(node) }
+func (t *chaosTarget) AwaitRejoin(node int, timeout time.Duration) bool {
+	return t.c.TryAwaitRejoin(node, timeout)
+}
+func (t *chaosTarget) AddNode() (int, error)     { return t.c.TryAddNode() }
+func (t *chaosTarget) RemoveNode(node int) error { return t.c.TryRemoveNode(node) }

@@ -1,0 +1,599 @@
+// Package verifier checks recorded operation histories (internal/history)
+// against Kite's consistency contract: Release Consistency with
+// linearizable synchronisation (RCLin, §2 of the paper). It is the one
+// shared definition of correctness behind the conformance, restart,
+// membership and chaos suites — a deterministic test asserts through it,
+// and kite-chaos feeds it histories recorded under randomized fault
+// schedules.
+//
+// Four independent checks run over a history:
+//
+//   - Read validity: a non-empty read must return a value some operation
+//     actually (or at least possibly) wrote to that key.
+//   - Session order: read-your-writes within a session — a session never
+//     reads backwards past its own later write (which also catches torn
+//     DoBatch submissions, since a batch is session order).
+//   - Release consistency: an acquire that observes release R must let the
+//     observing session see every write the releasing session completed
+//     before R — reading an older value of the releasing session (or
+//     nothing at all) is the paper's §2 violation.
+//   - k-atomicity of synchronisation: releases/acquires (and RMWs) on one
+//     key form a register history that must be k-atomic (k=1: atomic /
+//     linearizable). The sweep is the k-Atomicity-Verification algorithm
+//     specialised to unique written values: a read may not return a value
+//     k-or-more fully-completed writes stale.
+//   - RMW atomicity: two successful FAAs must not observe the same old
+//     value (lost update); two successful CASes must not consume the same
+//     comparand (double swap).
+//
+// Failed operations recorded as OutcomeMaybe are treated as indeterminate:
+// their values are legal for others to observe, but they are never
+// REQUIRED to be observed and never count as interveners. OutcomeNever
+// events are ignored entirely.
+//
+// The checks exploit unique written values per key where possible (the
+// chaos workload and the test suites guarantee this); histories with
+// duplicated values degrade soundly — ambiguous matches resolve in the
+// history's favour, never toward a false violation.
+package verifier
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kite"
+	"kite/internal/history"
+)
+
+// Violation is one detected consistency breach, carrying the minimal
+// counterexample window: just the events whose combination is contradictory.
+type Violation struct {
+	Kind   string          `json:"kind"`
+	Key    uint64          `json:"key"`
+	Msg    string          `json:"msg"`
+	Window []history.Event `json:"window"`
+}
+
+// Stats summarises what a check covered.
+type Stats struct {
+	Events   int `json:"events"`
+	Sessions int `json:"sessions"`
+	Keys     int `json:"keys"`
+	Reads    int `json:"reads"`
+	Writes   int `json:"writes"`
+	Acquires int `json:"acquires"`
+	Releases int `json:"releases"`
+	RMWs     int `json:"rmws"`
+}
+
+// Report is the outcome of a verification pass.
+type Report struct {
+	K          int         `json:"k"`
+	Stats      Stats       `json:"stats"`
+	Violations []Violation `json:"violations,omitempty"`
+	// Truncated reports violations beyond the cap that were dropped.
+	Truncated int `json:"truncated,omitempty"`
+}
+
+// OK reports whether the history passed.
+func (r *Report) OK() bool { return len(r.Violations) == 0 && r.Truncated == 0 }
+
+// String renders the report; each violation prints its counterexample
+// window sorted by invoke time.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verifier: %d events / %d sessions / %d keys checked (k=%d): ",
+		r.Stats.Events, r.Stats.Sessions, r.Stats.Keys, r.K)
+	if r.OK() {
+		b.WriteString("no violations")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d violation(s)", len(r.Violations)+r.Truncated)
+	for i := range r.Violations {
+		v := &r.Violations[i]
+		fmt.Fprintf(&b, "\n  [%s] key %d: %s", v.Kind, v.Key, v.Msg)
+		win := append([]history.Event(nil), v.Window...)
+		sort.Slice(win, func(a, c int) bool { return win[a].Invoke < win[c].Invoke })
+		for _, e := range win {
+			fmt.Fprintf(&b, "\n    %s", e.String())
+		}
+	}
+	if r.Truncated > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more (truncated)", r.Truncated)
+	}
+	return b.String()
+}
+
+const maxViolations = 32
+
+// Check verifies rec for atomic (k=1) synchronisation plus the RC, session
+// and RMW conditions.
+func Check(rec *history.Recorded) *Report { return CheckK(rec, 1) }
+
+// CheckK is Check with a relaxed k-atomicity bound for the
+// synchronisation sweep (k=1 is atomicity; larger k tolerates bounded
+// staleness, per the k-AV problem formulation).
+func CheckK(rec *history.Recorded, k int) *Report {
+	if k < 1 {
+		k = 1
+	}
+	c := newChecker(rec, k)
+	c.checkSessionOrder()
+	c.checkReadValidity()
+	c.checkReadYourWrites()
+	c.checkReleaseConsistency()
+	c.checkSyncAtomicity()
+	c.checkRMW()
+	return c.report
+}
+
+// checker holds the indexed history.
+type checker struct {
+	report *Report
+	k      int
+
+	sessions map[int][]*history.Event // session -> events in index order
+	keys     map[uint64]*keyIndex
+}
+
+type keyIndex struct {
+	// values maps a written value to every event that (definitely or
+	// possibly) installed it, in history order.
+	values map[string][]*history.Event
+	// syncWrites / syncReads are the OK sync-register ops for the sweep.
+	syncWrites []*history.Event
+	syncReads  []*history.Event
+	// hasMaybeFAA: an indeterminate FAA makes some counter values
+	// unknowable; read-validity is suppressed on such keys.
+	hasMaybeFAA bool
+}
+
+// sessKeyWrites indexes one session's writes on one key.
+type sessKeyWrites struct {
+	// byValue: value -> latest session index that wrote it (definite or
+	// indeterminate).
+	byValue map[string]int
+	// okIdx: session indices of definite writes, ascending.
+	okIdx []int
+	// okEvt aligns with okIdx.
+	okEvt []*history.Event
+}
+
+func newChecker(rec *history.Recorded, k int) *checker {
+	c := &checker{
+		report:   &Report{K: k},
+		k:        k,
+		sessions: make(map[int][]*history.Event),
+		keys:     make(map[uint64]*keyIndex),
+	}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		c.sessions[e.Session] = append(c.sessions[e.Session], e)
+		if e.Outcome == history.OutcomeNever || e.Op == kite.OpFlush {
+			continue
+		}
+		ki := c.key(e.Key)
+		switch {
+		case e.Outcome == history.OutcomeOK && e.IsWrite():
+			v := string(e.Value())
+			ki.values[v] = append(ki.values[v], e)
+			c.report.Stats.Writes++
+			if e.IsSync() {
+				ki.syncWrites = append(ki.syncWrites, e)
+			}
+		case e.Outcome == history.OutcomeMaybe:
+			switch e.Op {
+			case kite.OpWrite, kite.OpRelease, kite.OpCASWeak, kite.OpCASStrong:
+				// The value MAY be installed (a CAS may or may not have
+				// swapped; both are legal).
+				v := string(e.Arg)
+				ki.values[v] = append(ki.values[v], e)
+			case kite.OpFAA:
+				if e.Delta != 0 {
+					ki.hasMaybeFAA = true
+				}
+			}
+		}
+		if e.Outcome == history.OutcomeOK && e.IsRead() {
+			c.report.Stats.Reads++
+			if e.Op == kite.OpAcquire {
+				c.report.Stats.Acquires++
+				ki.syncReads = append(ki.syncReads, e)
+			}
+		}
+		if e.Outcome == history.OutcomeOK {
+			switch e.Op {
+			case kite.OpRelease:
+				c.report.Stats.Releases++
+			case kite.OpFAA, kite.OpCASWeak, kite.OpCASStrong:
+				c.report.Stats.RMWs++
+			}
+		}
+	}
+	c.report.Stats.Events = len(rec.Events)
+	c.report.Stats.Sessions = len(c.sessions)
+	c.report.Stats.Keys = len(c.keys)
+	return c
+}
+
+func (c *checker) key(k uint64) *keyIndex {
+	ki := c.keys[k]
+	if ki == nil {
+		ki = &keyIndex{values: make(map[string][]*history.Event)}
+		c.keys[k] = ki
+	}
+	return ki
+}
+
+func (c *checker) violate(kind string, key uint64, msg string, window ...*history.Event) {
+	if len(c.report.Violations) >= maxViolations {
+		c.report.Truncated++
+		return
+	}
+	v := Violation{Kind: kind, Key: key, Msg: msg}
+	for _, e := range window {
+		v.Window = append(v.Window, *e)
+	}
+	c.report.Violations = append(c.report.Violations, v)
+}
+
+// checkSessionOrder: indices are dense and intervals well-formed — the
+// recorder guarantees this for live runs; synthetic histories are checked
+// so later passes can rely on it.
+func (c *checker) checkSessionOrder() {
+	for sid, evs := range c.sessions {
+		for i, e := range evs {
+			if e.Index != i {
+				c.violate("session-order", e.Key,
+					fmt.Sprintf("session %d event %d has index %d (gap or duplicate)", sid, i, e.Index), e)
+				break
+			}
+			if e.Complete < e.Invoke {
+				c.violate("session-order", e.Key,
+					fmt.Sprintf("session %d#%d completes before it is invoked", sid, i), e)
+			}
+		}
+	}
+}
+
+// checkReadValidity: every successful non-empty read returns a value
+// somebody wrote to that key (out-of-thin-air detection).
+func (c *checker) checkReadValidity() {
+	for _, evs := range c.sessions {
+		for _, e := range evs {
+			if e.Outcome != history.OutcomeOK || !e.IsRead() || len(e.Out) == 0 {
+				continue
+			}
+			ki := c.keys[e.Key]
+			if ki.hasMaybeFAA {
+				continue // counter values unknowable on this key
+			}
+			if len(ki.values[string(e.Out)]) == 0 {
+				c.violate("read-from-nowhere", e.Key,
+					fmt.Sprintf("read returned %q which no operation ever wrote to key %d", e.Out, e.Key), e)
+			}
+		}
+	}
+}
+
+// sessWrites builds the per-key write index of one session.
+func sessWrites(evs []*history.Event) map[uint64]*sessKeyWrites {
+	out := make(map[uint64]*sessKeyWrites)
+	get := func(k uint64) *sessKeyWrites {
+		s := out[k]
+		if s == nil {
+			s = &sessKeyWrites{byValue: make(map[string]int)}
+			out[k] = s
+		}
+		return s
+	}
+	for _, e := range evs {
+		if e.Outcome == history.OutcomeNever {
+			continue
+		}
+		switch {
+		case e.Outcome == history.OutcomeOK && e.IsWrite():
+			s := get(e.Key)
+			s.byValue[string(e.Value())] = e.Index
+			s.okIdx = append(s.okIdx, e.Index)
+			s.okEvt = append(s.okEvt, e)
+		case e.Outcome == history.OutcomeMaybe:
+			switch e.Op {
+			case kite.OpWrite, kite.OpRelease, kite.OpCASWeak, kite.OpCASStrong:
+				get(e.Key).byValue[string(e.Arg)] = e.Index
+			}
+		}
+	}
+	return out
+}
+
+// lastOKBefore returns the session's latest definite write on the key with
+// index < bound (nil if none).
+func (s *sessKeyWrites) lastOKBefore(bound int) *history.Event {
+	i := sort.SearchInts(s.okIdx, bound) - 1
+	if i < 0 {
+		return nil
+	}
+	return s.okEvt[i]
+}
+
+// checkReadYourWrites: within one session, a read never returns a value
+// older than the session's own latest preceding definite write on that key
+// — and never returns nothing once the session has definitely written.
+// DoBatch events live in session order, so a torn batch (a batched read
+// missing the batched write right before it) fails here.
+func (c *checker) checkReadYourWrites() {
+	for sid, evs := range c.sessions {
+		own := sessWrites(evs)
+		for _, e := range evs {
+			if e.Outcome != history.OutcomeOK || !e.IsRead() {
+				continue
+			}
+			sw := own[e.Key]
+			if sw == nil {
+				continue
+			}
+			w := sw.lastOKBefore(e.Index)
+			if w == nil {
+				continue
+			}
+			if len(e.Out) == 0 {
+				c.violate("read-own-write", e.Key,
+					fmt.Sprintf("session %d read nothing from key %d after its own write #%d", sid, e.Key, w.Index),
+					w, e)
+				continue
+			}
+			if idx, ok := sw.byValue[string(e.Out)]; ok && idx < w.Index {
+				c.violate("read-own-write", e.Key,
+					fmt.Sprintf("session %d read its own stale value (written at #%d) past its later write #%d", sid, idx, w.Index),
+					w, e)
+			}
+		}
+	}
+}
+
+// checkReleaseConsistency: for each successful acquire, anchor the release
+// it observed (by key + value; ambiguous anchors resolve to the weakest
+// constraint) and require every read of the acquiring session up to its
+// next acquire to observe the releasing session's pre-release writes — per
+// key: nothing older than the releaser's last definite write before the
+// release, and never nothing at all.
+func (c *checker) checkReleaseConsistency() {
+	// Index releases (and the writes of each session) once.
+	type relKey struct {
+		key uint64
+		val string
+	}
+	releases := make(map[relKey][]*history.Event)
+	writesBySess := make(map[int]map[uint64]*sessKeyWrites)
+	for sid, evs := range c.sessions {
+		writesBySess[sid] = sessWrites(evs)
+		for _, e := range evs {
+			if e.Op == kite.OpRelease && e.Outcome != history.OutcomeNever {
+				releases[relKey{e.Key, string(e.Arg)}] = append(releases[relKey{e.Key, string(e.Arg)}], e)
+			}
+		}
+	}
+	for _, evs := range c.sessions {
+		for ai, a := range evs {
+			if a.Op != kite.OpAcquire || a.Outcome != history.OutcomeOK || len(a.Out) == 0 {
+				continue
+			}
+			cands := releases[relKey{a.Key, string(a.Out)}]
+			if len(cands) == 0 {
+				continue // read-validity reports thin-air values
+			}
+			// Ambiguity resolution: all candidates in one session — take
+			// the earliest (weakest constraint); cross-session duplicate
+			// release values are unverifiable, skip.
+			rel := cands[0]
+			for _, r := range cands[1:] {
+				if r.Session != rel.Session {
+					rel = nil
+					break
+				}
+				if r.Index < rel.Index {
+					rel = r
+				}
+			}
+			if rel == nil {
+				continue
+			}
+			pw := writesBySess[rel.Session]
+			// Scan the acquiring session's reads until its next acquire.
+			for _, d := range evs[ai+1:] {
+				if d.Op == kite.OpAcquire {
+					break
+				}
+				if d.Outcome != history.OutcomeOK || !d.IsRead() {
+					continue
+				}
+				sw := pw[d.Key]
+				if sw == nil {
+					continue
+				}
+				wLast := sw.lastOKBefore(rel.Index)
+				if wLast == nil {
+					continue
+				}
+				if len(d.Out) == 0 {
+					c.violate("rc-missing-released-write", d.Key,
+						fmt.Sprintf("read nothing from key %d after acquiring release %q, which ordered write #%d before it",
+							d.Key, a.Out, wLast.Index),
+						wLast, rel, a, d)
+					continue
+				}
+				if idx, ok := sw.byValue[string(d.Out)]; ok && idx < wLast.Index {
+					c.violate("rc-stale-read", d.Key,
+						fmt.Sprintf("read value written at releaser's #%d from key %d after acquiring release %q, which ordered the newer write #%d before it",
+							idx, d.Key, a.Out, wLast.Index),
+						wLast, rel, a, d)
+				}
+			}
+		}
+	}
+}
+
+// checkSyncAtomicity is the k-atomicity sweep over each key's
+// synchronisation register: writes = successful releases / swapped CASes /
+// FAAs, reads = successful acquires. A read observing write W while >= k
+// other writes completed wholly between W's completion and the read's
+// invocation is a k-atomicity violation (k=1: the read is simply stale).
+// The sweep is O(n log n): writes enter a Fenwick tree (indexed by invoke
+// rank) in completion order as reads advance in invocation order.
+func (c *checker) checkSyncAtomicity() {
+	for key, ki := range c.keys {
+		if len(ki.syncReads) == 0 || len(ki.syncWrites) == 0 {
+			continue
+		}
+		writes := append([]*history.Event(nil), ki.syncWrites...)
+		sort.Slice(writes, func(i, j int) bool { return writes[i].Complete < writes[j].Complete })
+		reads := append([]*history.Event(nil), ki.syncReads...)
+		sort.Slice(reads, func(i, j int) bool { return reads[i].Invoke < reads[j].Invoke })
+
+		// Fenwick over invoke ranks.
+		invokes := make([]int64, len(writes))
+		for i, w := range writes {
+			invokes[i] = w.Invoke
+		}
+		sort.Slice(invokes, func(i, j int) bool { return invokes[i] < invokes[j] })
+		rankOf := func(t int64) int { // # invokes <= t
+			return sort.Search(len(invokes), func(i int) bool { return invokes[i] > t })
+		}
+		fen := make([]int, len(invokes)+1)
+		add := func(r int) {
+			for ; r <= len(invokes); r += r & -r {
+				fen[r]++
+			}
+		}
+		sum := func(r int) int { // inserted writes with invoke-rank <= r
+			s := 0
+			for ; r > 0; r -= r & -r {
+				s += fen[r]
+			}
+			return s
+		}
+
+		wi, inserted := 0, 0
+		for _, rd := range reads {
+			for wi < len(writes) && writes[wi].Complete < rd.Invoke {
+				add(rankOf(writes[wi].Invoke))
+				inserted++
+				wi++
+			}
+			// The write this read observed: the latest-completing match
+			// (most favourable to the history).
+			var w *history.Event
+			wComplete := int64(-1)
+			if len(rd.Out) != 0 {
+				cands := ki.values[string(rd.Out)]
+				ok := false
+				for _, cand := range cands {
+					if cand.Outcome != history.OutcomeOK || !cand.IsSync() {
+						// Reading an indeterminate (or relaxed) write:
+						// its completion is unknowable; skip the sweep.
+						ok = false
+						break
+					}
+					if w == nil || cand.Complete > w.Complete {
+						w = cand
+						ok = true
+					}
+				}
+				if !ok || w == nil {
+					continue
+				}
+				wComplete = w.Complete
+			}
+			// Interveners: inserted writes (complete < rd.Invoke) whose
+			// invoke > wComplete — fully after W, fully before the read.
+			interveners := inserted - sum(rankOf(wComplete))
+			if w != nil && w.Complete < rd.Invoke {
+				// W itself is in the tree but its invoke <= its complete,
+				// so it is never counted as an intervener. (Asserted by
+				// construction; nothing to subtract.)
+				_ = w
+			}
+			if interveners >= c.k {
+				witness := c.findIntervener(writes, wComplete, rd.Invoke)
+				if len(rd.Out) == 0 {
+					c.violate("sync-stale-read", key,
+						fmt.Sprintf("acquire observed the initial value of key %d although %d synchronisation write(s) had wholly completed (k=%d)",
+							key, interveners, c.k),
+						witness, rd)
+				} else {
+					c.violate("sync-stale-read", key,
+						fmt.Sprintf("acquire observed %q on key %d although %d later synchronisation write(s) wholly intervened (k=%d)",
+							rd.Out, key, interveners, c.k),
+						w, witness, rd)
+				}
+			}
+		}
+	}
+}
+
+// findIntervener returns one write wholly inside (afterComplete,
+// beforeInvoke) as the counterexample witness.
+func (c *checker) findIntervener(writes []*history.Event, afterComplete, beforeInvoke int64) *history.Event {
+	for _, w := range writes {
+		if w.Invoke > afterComplete && w.Complete < beforeInvoke {
+			return w
+		}
+	}
+	return writes[0]
+}
+
+// checkRMW: lost updates and double swaps. Two successful FAAs (with
+// non-zero delta) that observed the same old value on one key both
+// extended the same counter state — one update is lost. Two successful
+// CASes that consumed the same comparand on one key double-spent a value
+// (written values are unique per key in checkable histories).
+func (c *checker) checkRMW() {
+	type seen struct {
+		faa map[string]*history.Event
+		cas map[string]*history.Event
+	}
+	perKey := make(map[uint64]*seen)
+	for _, evs := range c.sessions {
+		for _, e := range evs {
+			if e.Outcome != history.OutcomeOK {
+				continue
+			}
+			switch e.Op {
+			case kite.OpFAA:
+				if e.Delta == 0 {
+					continue
+				}
+				s := perKey[e.Key]
+				if s == nil {
+					s = &seen{faa: map[string]*history.Event{}, cas: map[string]*history.Event{}}
+					perKey[e.Key] = s
+				}
+				if prev, dup := s.faa[string(e.Out)]; dup {
+					c.violate("rmw-lost-update", e.Key,
+						fmt.Sprintf("two FAAs on key %d both observed old value %q — one increment is lost", e.Key, e.Out),
+						prev, e)
+				} else {
+					s.faa[string(e.Out)] = e
+				}
+			case kite.OpCASWeak, kite.OpCASStrong:
+				if !e.Swapped {
+					continue
+				}
+				s := perKey[e.Key]
+				if s == nil {
+					s = &seen{faa: map[string]*history.Event{}, cas: map[string]*history.Event{}}
+					perKey[e.Key] = s
+				}
+				if prev, dup := s.cas[string(e.Expected)]; dup {
+					c.violate("rmw-double-swap", e.Key,
+						fmt.Sprintf("two successful CASes on key %d consumed the same comparand %q", e.Key, e.Expected),
+						prev, e)
+				} else {
+					s.cas[string(e.Expected)] = e
+				}
+			}
+		}
+	}
+}

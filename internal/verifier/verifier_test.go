@@ -1,0 +1,223 @@
+package verifier
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kite"
+	"kite/internal/history"
+)
+
+func load(t testing.TB, name string) *history.Recorded {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := history.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestVerifierRejectsKnownBad: every synthetic known-bad history under
+// testdata/ is rejected, with the expected violation kind reported.
+func TestVerifierRejectsKnownBad(t *testing.T) {
+	cases := map[string]string{
+		"stale_acquire_read.json": "rc-stale-read",
+		"lost_rmw.json":           "rmw-lost-update",
+		"torn_batch.json":         "read-own-write",
+		"stale_sync_read.json":    "sync-stale-read",
+		"read_from_nowhere.json":  "read-from-nowhere",
+	}
+	for name, kind := range cases {
+		t.Run(name, func(t *testing.T) {
+			rep := Check(load(t, name))
+			if rep.OK() {
+				t.Fatalf("verifier accepted known-bad history %s", name)
+			}
+			found := false
+			for _, v := range rep.Violations {
+				if v.Kind == kind {
+					found = true
+					if len(v.Window) < 1 {
+						t.Fatalf("violation %q has no counterexample window", kind)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("wanted kind %q, got report:\n%s", kind, rep.String())
+			}
+		})
+	}
+}
+
+// TestVerifierKRelaxation: the stale sync read has exactly one wholly
+// intervening write, so it violates atomicity (k=1) but satisfies
+// 2-atomicity.
+func TestVerifierKRelaxation(t *testing.T) {
+	rec := load(t, "stale_sync_read.json")
+	if rep := CheckK(rec, 1); rep.OK() {
+		t.Fatal("k=1 accepted a 1-stale read")
+	}
+	if rep := CheckK(rec, 2); !rep.OK() {
+		t.Fatalf("k=2 rejected a 1-stale read:\n%s", rep.String())
+	}
+}
+
+// TestVerifierIndeterminacy: maybe-outcome operations must be observable
+// without violation, but never required — the two halves of the
+// indeterminate contract.
+func TestVerifierIndeterminacy(t *testing.T) {
+	// A timed-out release whose value IS later observed: legal.
+	rec := &history.Recorded{Events: []history.Event{
+		{Session: 0, Index: 0, Op: kite.OpRelease, Key: 1, Arg: []byte("v"), Outcome: history.OutcomeMaybe, Err: "op timeout", Invoke: 0, Complete: 10, Batch: -1},
+		{Session: 1, Index: 0, Op: kite.OpAcquire, Key: 1, Out: []byte("v"), Outcome: history.OutcomeOK, Invoke: 20, Complete: 30, Batch: -1},
+	}}
+	if rep := Check(rec); !rep.OK() {
+		t.Fatalf("observing a maybe-release flagged:\n%s", rep.String())
+	}
+	// A timed-out release that is NOT observed: equally legal — it never
+	// counts as an intervener.
+	rec = &history.Recorded{Events: []history.Event{
+		{Session: 0, Index: 0, Op: kite.OpRelease, Key: 1, Arg: []byte("v1"), Outcome: history.OutcomeOK, Invoke: 0, Complete: 10, Batch: -1},
+		{Session: 0, Index: 1, Op: kite.OpRelease, Key: 1, Arg: []byte("v2"), Outcome: history.OutcomeMaybe, Err: "node stopped", Invoke: 20, Complete: 30, Batch: -1},
+		{Session: 1, Index: 0, Op: kite.OpAcquire, Key: 1, Out: []byte("v1"), Outcome: history.OutcomeOK, Invoke: 40, Complete: 50, Batch: -1},
+	}}
+	if rep := Check(rec); !rep.OK() {
+		t.Fatalf("unobserved maybe-release counted as intervener:\n%s", rep.String())
+	}
+	// A key touched by an indeterminate FAA suppresses thin-air matching
+	// (the counter value space is unknowable).
+	rec = &history.Recorded{Events: []history.Event{
+		{Session: 0, Index: 0, Op: kite.OpFAA, Key: 2, Delta: 3, Outcome: history.OutcomeMaybe, Err: "op timeout", Invoke: 0, Complete: 10, Batch: -1},
+		{Session: 1, Index: 0, Op: kite.OpRead, Key: 2, Out: kite.EncodeUint64(3), Outcome: history.OutcomeOK, Invoke: 20, Complete: 30, Batch: -1},
+	}}
+	if rep := Check(rec); !rep.OK() {
+		t.Fatalf("read of a maybe-FAA counter flagged:\n%s", rep.String())
+	}
+}
+
+// TestVerifierRCMissingWrite: the empty-read arm of the RC check — an
+// acquire anchored to a release must never find the releaser's prior
+// write missing entirely.
+func TestVerifierRCMissingWrite(t *testing.T) {
+	rec := &history.Recorded{Events: []history.Event{
+		{Session: 0, Index: 0, Op: kite.OpWrite, Key: 100, Arg: []byte("w"), Outcome: history.OutcomeOK, Invoke: 0, Complete: 5, Batch: -1},
+		{Session: 0, Index: 1, Op: kite.OpRelease, Key: 9000, Arg: []byte("r"), Outcome: history.OutcomeOK, Invoke: 10, Complete: 20, Batch: -1},
+		{Session: 1, Index: 0, Op: kite.OpAcquire, Key: 9000, Out: []byte("r"), Outcome: history.OutcomeOK, Invoke: 30, Complete: 40, Batch: -1},
+		{Session: 1, Index: 1, Op: kite.OpRead, Key: 100, Outcome: history.OutcomeOK, Invoke: 50, Complete: 60, Batch: -1},
+	}}
+	rep := Check(rec)
+	if rep.OK() {
+		t.Fatal("lost released write accepted")
+	}
+	if rep.Violations[0].Kind != "rc-missing-released-write" {
+		t.Fatalf("kind = %q, report:\n%s", rep.Violations[0].Kind, rep.String())
+	}
+}
+
+// TestVerifierCleanLiveHistory runs the producer/consumer + RMW shape the
+// chaos workload uses against a healthy in-process cluster and requires a
+// clean report — the verifier must not cry wolf.
+func TestVerifierCleanLiveHistory(t *testing.T) {
+	c, err := kite.NewCluster(kite.Options{Nodes: 3, Workers: 1, SessionsPerWorker: 4, Capacity: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	log := history.New()
+	prod := log.Wrap(c.Session(0, 0))
+	cons := log.Wrap(c.Session(1, 1))
+	rmw := log.Wrap(c.Session(2, 2))
+
+	const rounds, keys = 5, 4
+	for r := 1; r <= rounds; r++ {
+		for k := 0; k < keys; k++ {
+			if err := prod.Write(uint64(100+k), []byte(fmt.Sprintf("p0r%dk%d", r, k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := prod.ReleaseWrite(9000, []byte(fmt.Sprintf("r%d", r))); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("r%d", r)
+		for {
+			v, err := cons.AcquireRead(9000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(v) == want {
+				break
+			}
+		}
+		for k := 0; k < keys; k++ {
+			if _, err := cons.Read(uint64(100 + k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	prev := []byte(nil)
+	for i := 0; i < 8; i++ {
+		if _, err := rmw.FAA(200, 1); err != nil {
+			t.Fatal(err)
+		}
+		next := []byte(fmt.Sprintf("cas%d", i))
+		swapped, old, err := rmw.CompareAndSwap(300, prev, next, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !swapped {
+			t.Fatalf("cas %d failed (old %q)", i, old)
+		}
+		prev = next
+	}
+
+	rec := log.Snapshot()
+	rep := Check(rec)
+	if !rep.OK() {
+		t.Fatalf("clean run flagged:\n%s", rep.String())
+	}
+	if rep.Stats.Releases != rounds || rep.Stats.RMWs != 16 || rep.Stats.Writes == 0 {
+		t.Fatalf("stats = %+v", rep.Stats)
+	}
+}
+
+// TestReportString: counterexample windows render sorted by invoke time.
+func TestReportString(t *testing.T) {
+	rep := Check(load(t, "stale_acquire_read.json"))
+	s := rep.String()
+	if !bytes.Contains([]byte(s), []byte("rc-stale-read")) || !bytes.Contains([]byte(s), []byte("s1#1")) {
+		t.Fatalf("report rendering:\n%s", s)
+	}
+}
+
+// FuzzVerifier: arbitrary histories (including the testdata corpus) must
+// parse-or-error and verify without panicking.
+func FuzzVerifier(f *testing.F) {
+	names, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, n := range names {
+		data, err := os.ReadFile(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := history.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		rep := CheckK(rec, 1+len(data)%3)
+		_ = rep.String()
+		_ = rep.OK()
+	})
+}

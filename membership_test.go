@@ -21,7 +21,9 @@ import (
 
 	"kite"
 	"kite/client"
+	"kite/internal/history"
 	"kite/internal/testcluster"
+	"kite/internal/verifier"
 	"kite/sharded"
 )
 
@@ -119,19 +121,23 @@ func remoteMemberHarness(t *testing.T) *memberHarness {
 }
 
 // runMembershipWorkload is the shared scenario: a producer/consumer pair
-// runs rounds of [write payloads, release flag] / [acquire flag, check
-// payloads] on nodes 1 and 2 while the group (a) adds node 3, (b) verifies
-// the joiner serves consistent state, and (c) removes original replica 0.
+// runs rounds of [write payloads, release flag] / [acquire flag, read
+// payloads] on nodes 1 and 2 while the group (a) adds node 3, (b) probes
+// the joiner, and (c) removes original replica 0. Every session is wrapped
+// in a history recorder; release consistency across whatever configuration
+// epochs the operations spanned is judged offline by the shared verifier —
+// the same checker the conformance, restart and chaos suites use.
 func runMembershipWorkload(t *testing.T, h *memberHarness) {
 	const payloadKeys = 8
 	const flagKey = 9_000
-	prod := h.session(t, 1, 0)
-	cons := h.session(t, 2, 1)
+	log := history.New()
+	prod := log.Wrap(h.session(t, 1, 0))
+	cons := log.Wrap(h.session(t, 2, 1))
 
-	// checkRC: acquire the flag and require every payload to be from the
-	// acquired round or later — release consistency across whatever
-	// configuration epochs the operations spanned.
-	checkRC := func(t *testing.T, s kite.Session) {
+	// probe drives one acquire-then-read-payloads pass through a recorded
+	// session; the verifier decides afterwards what the reads were allowed
+	// to return.
+	probe := func(t *testing.T, s kite.Session) {
 		t.Helper()
 		flag, err := s.AcquireRead(flagKey)
 		if err != nil {
@@ -140,18 +146,9 @@ func runMembershipWorkload(t *testing.T, h *memberHarness) {
 		if len(flag) == 0 {
 			return // no release yet
 		}
-		r, err := strconv.ParseUint(string(flag), 10, 64)
-		if err != nil {
-			t.Fatalf("bad flag %q", flag)
-		}
 		for k := uint64(0); k < payloadKeys; k++ {
-			v, err := s.Read(100 + k)
-			if err != nil {
+			if _, err := s.Read(100 + k); err != nil {
 				t.Fatalf("read: %v", err)
-			}
-			got, err := strconv.ParseUint(string(v), 10, 64)
-			if err != nil || got < r {
-				t.Fatalf("payload %d = %q after acquiring flag round %d (consistency violation)", k, v, r)
 			}
 		}
 	}
@@ -190,7 +187,7 @@ func runMembershipWorkload(t *testing.T, h *memberHarness) {
 				return
 			default:
 			}
-			checkRC(t, cons)
+			probe(t, cons)
 		}
 	}()
 	stopWorkload := func() {
@@ -223,8 +220,8 @@ func runMembershipWorkload(t *testing.T, h *memberHarness) {
 		t.Fatalf("after add: epoch %d members %v", epoch, nodes)
 	}
 	// The joiner must serve release-consistent state immediately.
-	joinSess := h.session(t, 3, 2)
-	checkRC(t, joinSess)
+	joinSess := log.Wrap(h.session(t, 3, 2))
+	probe(t, joinSess)
 
 	// Keep the workload running and SHRINK: remove an original replica.
 	waitRounds(rounds.Load() + 3)
@@ -243,10 +240,15 @@ func runMembershipWorkload(t *testing.T, h *memberHarness) {
 	stopWorkload()
 	// ...and the final state must be consistent from both a survivor and
 	// the joined replica.
-	checkRC(t, cons)
-	checkRC(t, joinSess)
+	probe(t, cons)
+	probe(t, joinSess)
 	if t.Failed() {
 		t.FailNow()
+	}
+	// Judgment: the recorded history — every producer round, every
+	// consumer pass, the joiner probes — must satisfy RC and k-atomicity.
+	if rep := verifier.Check(log.Snapshot()); !rep.OK() {
+		t.Fatalf("membership workload violated consistency:\n%s", rep.String())
 	}
 }
 

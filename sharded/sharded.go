@@ -23,6 +23,7 @@ import (
 
 	"kite"
 	"kite/internal/shard"
+	"kite/internal/transport"
 )
 
 // Cluster is an in-process sharded Kite deployment: Groups independent
@@ -114,6 +115,17 @@ func (c *Cluster) GroupOf(key uint64) int { return c.m.Group(key) }
 
 // Group exposes one underlying replica group (stats, fault injection).
 func (c *Cluster) Group(g int) *kite.Cluster { return c.groups[g] }
+
+// Faults exposes every group's fault injector behind one fan-out surface:
+// a rule applied here partitions the same machine pair in each group, the
+// way a real network fault hits every replica a machine hosts.
+func (c *Cluster) Faults() *transport.FaultSet {
+	s := transport.NewFaultSet()
+	for _, kc := range c.groups {
+		s.Add(kc.Faults())
+	}
+	return s
+}
 
 // Session opens a sharded session at coordinates (node, sess): one
 // sub-session leased at the same coordinates in every group, composed into
