@@ -13,6 +13,8 @@
 //	kite-bench -fig timeout        # release-timeout ablation
 //	kite-bench -fig fastpath       # fast-path on/off ablation
 //	kite-bench -fig shard          # throughput vs replica-group count
+//	kite-bench -fig durability     # WAL cost: off / group-commit / per-op fsync
+//	kite-bench -fig latency        # per-class p50/p99 completion latency
 //	kite-bench -fig all
 //
 // Scale knobs: -nodes, -workers, -sessions, -keys, -measure, -warmup.
@@ -31,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"kite/internal/bench"
@@ -38,7 +41,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,recovery,reconfig,timeout,fastpath,shard,all")
+		fig        = flag.String("fig", "all", "figure to regenerate: 5,6,7,8,9,recovery,reconfig,timeout,fastpath,shard,durability,latency,all")
 		nodes      = flag.Int("nodes", 5, "replication degree (3-9)")
 		groups     = flag.Int("groups", 1, "replica groups (sharded key space; figures 5-7 Kite series)")
 		workers    = flag.Int("workers", 4, "worker goroutines per node")
@@ -50,9 +53,20 @@ func main() {
 		sleepFor   = flag.Duration("sleep", 400*time.Millisecond, "replica sleep (figure 9)")
 		prefill    = flag.Int("prefill", 0, "keys prefilled before the recovery study (0: default 2^14)")
 		shardTotal = flag.Int("shard-total", 4, "total machines of the shard scaling series (figure shard)")
-		jsonPath   = flag.String("json", "", "write the selected figure's report as JSON to this path (shard/recovery/reconfig only; ignored with -fig all, where the reports would clobber each other)")
+		jsonPath   = flag.String("json", "", "write the selected figure's report as JSON to this path (shard/recovery/reconfig/durability/latency only; ignored with -fig all, where the reports would clobber each other)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kite-bench: %v\n", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 
 	fc := bench.DefaultFigureConfig(os.Stdout)
 	fc.Nodes = *nodes
@@ -106,6 +120,20 @@ func main() {
 	run("fastpath", func() error { return bench.AblationFastPath(fc) })
 	run("shard", func() error {
 		rep, err := bench.FigureShard(fc, *shardTotal, nil)
+		if err != nil {
+			return err
+		}
+		return writeJSON(reportPath(), rep)
+	})
+	run("durability", func() error {
+		rep, err := bench.FigureDurability(fc)
+		if err != nil {
+			return err
+		}
+		return writeJSON(reportPath(), rep)
+	})
+	run("latency", func() error {
+		rep, err := bench.FigureLatency(fc)
 		if err != nil {
 			return err
 		}

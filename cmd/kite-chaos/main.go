@@ -11,7 +11,13 @@
 //	kite-chaos -seed 1 -duration 30s -backend inproc
 //	kite-chaos -backend sharded -groups 2 -nemeses drop-link,stop-restart
 //	kite-chaos -backend remote -json report.json -history history.jsonl
+//	kite-chaos -nemeses crash-all     # durability: SIGKILL all, restart from WAL
 //	kite-chaos -plan -seed 7          # print the timeline, run nothing
+//
+// The crash-all nemesis kills every node at once and restarts them from
+// their write-ahead logs; it requires a WAL (-wal-dir, or the temporary
+// directory the tool creates when the flag is omitted) and is excluded
+// from the default nemesis mix.
 //
 // Exit status: 0 — run passed; 1 — consistency violations or missing
 // fault evidence; 2 — the run itself failed (boot error, lifecycle error).
@@ -44,17 +50,22 @@ func main() {
 		jsonPath = flag.String("json", "", "write the JSON run report here ('-' for stdout)")
 		histPath = flag.String("history", "", "write the recorded history (JSON lines) here")
 		plan     = flag.Bool("plan", false, "print the generated schedule and exit without running")
+		walDir   = flag.String("wal-dir", "", "per-node write-ahead logs under this directory (required by crash-all; a temp dir is created if omitted)")
 	)
 	flag.Parse()
 
 	cfg := chaos.Config{Seed: *seed, Duration: *duration, Nodes: *nodes}
+	wantCrashAll := false
 	if *nemeses != "" {
 		for _, name := range strings.Split(*nemeses, ",") {
 			k := chaos.NemesisKind(strings.TrimSpace(name))
 			if !validKind(k) {
-				fatalf("unknown nemesis kind %q (have: %s)", k, kindList())
+				fatalf("unknown nemesis kind %q (have: %s or %s)", k, kindList(), chaos.KindCrashAll)
 			}
 			cfg.Kinds = append(cfg.Kinds, k)
+			if k == chaos.KindCrashAll {
+				wantCrashAll = true
+			}
 		}
 	}
 
@@ -65,7 +76,19 @@ func main() {
 		return
 	}
 
-	tg, cleanup, err := buildTarget(*backend, *nodes, *groups)
+	// crash-all recovers exclusively from disk; without a WAL the run can
+	// only fail, so give it one even when the operator didn't.
+	if wantCrashAll && *walDir == "" {
+		dir, err := os.MkdirTemp("", "kite-chaos-wal-*")
+		if err != nil {
+			fatalf("create WAL dir: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		*walDir = dir
+		fmt.Fprintf(os.Stderr, "kite-chaos: crash-all requested without -wal-dir; using %s\n", dir)
+	}
+
+	tg, cleanup, err := buildTarget(*backend, *nodes, *groups, *walDir)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -104,8 +127,8 @@ func main() {
 // buildTarget boots the requested deployment. The remote backend drives
 // testcluster through a non-testing TB whose Fatal panics (recovered into
 // exit 2) and whose cleanups run via the returned teardown.
-func buildTarget(backend string, nodes, groups int) (chaos.Target, func(), error) {
-	opts := kite.Options{Nodes: nodes, Workers: 1, SessionsPerWorker: 8, Capacity: 1 << 14}
+func buildTarget(backend string, nodes, groups int, walDir string) (chaos.Target, func(), error) {
+	opts := kite.Options{Nodes: nodes, Workers: 1, SessionsPerWorker: 8, Capacity: 1 << 14, WALDir: walDir}
 	switch backend {
 	case "inproc":
 		c, err := kite.NewCluster(opts)
@@ -121,7 +144,7 @@ func buildTarget(backend string, nodes, groups int) (chaos.Target, func(), error
 		return chaos.NewShardedTarget(c), c.Close, nil
 	case "remote":
 		tb := &runtimeTB{}
-		cl := testcluster.Start(tb, nodes)
+		cl := testcluster.StartWith(tb, testcluster.Options{Nodes: nodes, WALDir: walDir})
 		return cl.Chaos(), tb.runCleanups, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown backend %q (inproc | sharded | remote)", backend)
@@ -189,6 +212,11 @@ func kindList() string {
 }
 
 func validKind(k chaos.NemesisKind) bool {
+	if k == chaos.KindCrashAll {
+		// Not in AllKinds (a memory-only sweep cannot survive it), but a
+		// legitimate explicit request.
+		return true
+	}
 	for _, have := range chaos.AllKinds() {
 		if k == have {
 			return true

@@ -40,6 +40,17 @@
 // live deployment. Catch-up progress is logged once per second. See
 // OPERATIONS.md for the full runbook.
 //
+// Durability: -wal-dir gives the replica a write-ahead log (plus periodic
+// store snapshots) in that directory. A restarted process pointed at the
+// same directory replays it before rejoining, recovering everything
+// durable at the crash — including the boot incarnation, so -incarnation
+// bookkeeping becomes automatic — and the rejoin sweep reconciles only
+// what the replica missed while down. -fsync-interval sets the
+// group-commit deadline (default 10ms; 0 means default, a negative value
+// fsyncs before every acknowledgment); -snapshot-every sets the record
+// count between snapshots. Memory-only (no -wal-dir) remains the default
+// and matches the paper's evaluation. See OPERATIONS.md "Durability".
+//
 // Live membership: -join adds this replica to a RUNNING group. The flag
 // names any existing member's client address; the new process asks that
 // member to commit the grown configuration, then boots in catch-up mode
@@ -85,6 +96,9 @@ func main() {
 		incarnation = flag.Uint("incarnation", 0, "boot incarnation of this replica id; every restart after a crash MUST pass a strictly higher value than the previous boot (see OPERATIONS.md)")
 		join        = flag.String("join", "", "client address of an EXISTING member: commit a grown configuration that includes this replica, then boot in catch-up mode (live add; see OPERATIONS.md)")
 		demo        = flag.Bool("demo", false, "run a producer-consumer self-test then exit")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory for this replica (empty: memory-only, the paper's configuration); restarts pointed at the same directory recover from it")
+		fsyncEvery  = flag.Duration("fsync-interval", 0, "WAL group-commit deadline (0: default 10ms; negative: fsync before every acknowledgment)")
+		snapEvery   = flag.Int("snapshot-every", 0, "WAL records between store snapshots (0: default 65536; negative: never snapshot)")
 	)
 	flag.Parse()
 	if *demo && *clientAddr != "" {
@@ -132,6 +146,9 @@ func main() {
 		// timeout accordingly so healthy deployments stay on the fast path.
 		ReleaseTimeout: 20 * time.Millisecond,
 		RetryInterval:  50 * time.Millisecond,
+		WALDir:         *walDir,
+		FsyncInterval:  *fsyncEvery,
+		SnapshotEvery:  *snapEvery,
 	}
 	cfg.Incarnation = uint32(*incarnation)
 	bootCfg := cfg
@@ -156,7 +173,10 @@ func main() {
 	nd.Start()
 	defer func() { nd.Stop() }()
 	log.Printf("kite-node %d/%d (group %d/%d) up: %v", *id, *nodes, *group, *groups, listen)
-	if *rejoin || *join != "" {
+	if nd.WALRestored() {
+		log.Printf("kite-node %d: recovered from WAL (incarnation %d) — rejoining to sweep the delta", *id, nd.Incarnation())
+	}
+	if *rejoin || *join != "" || nd.WALRestored() {
 		go logCatchup(nd, *id)
 	}
 	go watchRemoval(nd, *id)
@@ -190,7 +210,11 @@ func main() {
 		if s != syscall.SIGHUP {
 			break
 		}
-		log.Printf("kite-node %d: SIGHUP — restarting replica (state discarded, rejoining)", *id)
+		if *walDir != "" {
+			log.Printf("kite-node %d: SIGHUP — restarting replica (recovering from WAL, rejoining)", *id)
+		} else {
+			log.Printf("kite-node %d: SIGHUP — restarting replica (state discarded, rejoining)", *id)
+		}
 		nd.Stop()
 		rcfg := cfg
 		rcfg.Rejoin = true

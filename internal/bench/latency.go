@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kite"
+)
+
+// The latency study: per-class completion latencies under the closed-loop
+// mixed workload. Throughput figures hide the asymmetry the protocol is
+// built around — relaxed reads complete locally, relaxed writes after a
+// local apply, while releases/acquires pay an ABD quorum and RMWs a Paxos
+// round — so this figure reports p50/p99 per operation class. It is also
+// the companion to the durability figure: re-run with -fig latency against
+// a WAL deployment to see what group-commit adds to the write tail.
+
+// latSample is one completed operation's measured latency.
+type latSample struct {
+	class kite.OpCode
+	d     time.Duration
+}
+
+// LatencyClass summarises one operation class's distribution.
+type LatencyClass struct {
+	Class    string  `json:"class"`
+	Count    int     `json:"count"`
+	P50Micro float64 `json:"p50_us"`
+	P99Micro float64 `json:"p99_us"`
+}
+
+// LatencyReport is the machine-readable output of FigureLatency.
+type LatencyReport struct {
+	Name       string         `json:"name"`
+	Nodes      int            `json:"nodes"`
+	Workers    int            `json:"workers"`
+	Sessions   int            `json:"sessions_per_worker"`
+	Keys       uint64         `json:"keys"`
+	Measure    time.Duration  `json:"measure_ns"`
+	Window     int            `json:"window"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Overall    LatencyClass   `json:"overall"`
+	Classes    []LatencyClass `json:"classes"`
+}
+
+// FigureLatency measures completion latencies on a mix that exercises every
+// class (40% writes of which 10% RMWs, 20% of accesses synchronising).
+func FigureLatency(fc FigureConfig) (*LatencyReport, error) {
+	o := KiteOpts{
+		Name:    "latency",
+		Options: fc.kiteOptions(),
+		Mix:     Mix{WriteRatio: 0.40, SyncFrac: 0.20, RMWFrac: 0.10},
+		Keys:    fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure,
+	}
+	o.defaults()
+	samples, err := runLatency(o)
+	if err != nil {
+		return nil, err
+	}
+	rep := &LatencyReport{
+		Name:       "latency",
+		Nodes:      fc.Nodes,
+		Workers:    fc.Workers,
+		Sessions:   fc.SessionsPerWorker,
+		Keys:       fc.Keys,
+		Measure:    fc.Measure,
+		Window:     o.Window,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	byClass := map[kite.OpCode][]time.Duration{}
+	var all []time.Duration
+	for _, s := range samples {
+		byClass[s.class] = append(byClass[s.class], s.d)
+		all = append(all, s.d)
+	}
+	rep.Overall = summarise("all", all)
+	classes := []struct {
+		code kite.OpCode
+		name string
+	}{
+		{kite.OpRead, "read"}, {kite.OpWrite, "write"},
+		{kite.OpRelease, "release"}, {kite.OpAcquire, "acquire"},
+		{kite.OpFAA, "faa"},
+	}
+	fc.printf("# Latency: per-class completion latency, %d nodes (closed loop, window %d)\n",
+		fc.Nodes, o.Window)
+	fc.printf("%-10s %10s %12s %12s\n", "class", "count", "p50(us)", "p99(us)")
+	for _, cl := range classes {
+		lc := summarise(cl.name, byClass[cl.code])
+		rep.Classes = append(rep.Classes, lc)
+		fc.printf("%-10s %10d %12.1f %12.1f\n", lc.Class, lc.Count, lc.P50Micro, lc.P99Micro)
+	}
+	fc.printf("%-10s %10d %12.1f %12.1f\n", "all",
+		rep.Overall.Count, rep.Overall.P50Micro, rep.Overall.P99Micro)
+	return rep, nil
+}
+
+func summarise(name string, ds []time.Duration) LatencyClass {
+	lc := LatencyClass{Class: name, Count: len(ds)}
+	if len(ds) == 0 {
+		return lc
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(ds)-1))
+		return float64(ds[idx].Nanoseconds()) / 1e3
+	}
+	lc.P50Micro = pct(0.50)
+	lc.P99Micro = pct(0.99)
+	return lc
+}
+
+// runLatency boots the deployment of o and drives every session with the
+// latency-recording closed-loop driver, returning the merged samples of
+// the measurement window.
+func runLatency(o KiteOpts) ([]latSample, error) {
+	c, err := kite.NewCluster(o.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	var counting, stop atomic.Bool
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var merged []latSample
+	for n := 0; n < c.Nodes(); n++ {
+		for si := 0; si < c.SessionsPerNode(); si++ {
+			wg.Add(1)
+			go func(s kite.Session, seed int64) {
+				defer wg.Done()
+				// The per-session slice is appended only here; merge under
+				// the mutex once the driver winds down.
+				own := driveLatencySession(s, o, seed, &counting, &stop)
+				mu.Lock()
+				merged = append(merged, own...)
+				mu.Unlock()
+			}(c.Session(n, si), int64(n*1000+si+13))
+		}
+	}
+	time.Sleep(o.Warmup)
+	counting.Store(true)
+	time.Sleep(o.Measure)
+	counting.Store(false)
+	stop.Store(true)
+	wg.Wait()
+	return merged, nil
+}
+
+// driveLatencySession is driveSession with timing: the completion callback
+// computes the elapsed time and hands it back through the window channel,
+// so the sample slice is touched only by this goroutine.
+func driveLatencySession(s kite.Session, o KiteOpts, seed int64,
+	counting, stop *atomic.Bool) []latSample {
+
+	rng := rand.New(rand.NewSource(seed))
+	th := o.Mix.thresholds()
+	val := make([]byte, o.ValLen)
+	rng.Read(val)
+
+	var samples []latSample
+	slots := make(chan latSample, o.Window)
+	collect := func(sm latSample) {
+		if sm.d >= 0 {
+			samples = append(samples, sm)
+		}
+	}
+	inflight := 0
+	for {
+		if stop.Load() {
+			for ; inflight > 0; inflight-- {
+				collect(<-slots)
+			}
+			return samples
+		}
+		if inflight == o.Window {
+			collect(<-slots)
+			inflight--
+		}
+		op := kite.Op{Code: codeFor(th.pick(rng.Float64())), Key: rng.Uint64() % o.Keys}
+		switch op.Code {
+		case kite.OpWrite, kite.OpRelease:
+			op.Value = val
+		case kite.OpFAA:
+			op.Delta = 1
+		}
+		class := op.Code
+		measured := counting.Load()
+		issued := time.Now()
+		s.DoAsync(op, func(r kite.Result) {
+			d := time.Duration(-1) // sentinel: not measured
+			if r.Err == nil && measured {
+				d = time.Since(issued)
+			}
+			slots <- latSample{class: class, d: d}
+		})
+		inflight++
+	}
+}

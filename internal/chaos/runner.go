@@ -39,9 +39,6 @@ type Report struct {
 	Passed   bool                 `json:"passed"`
 }
 
-// rejoinTimeout bounds the blocking waits lifecycle heals perform.
-const rejoinTimeout = 30 * time.Second
-
 // Run generates the schedule for cfg, executes it against the target while
 // the recording workload runs, heals everything, and verifies the recorded
 // history. The returned history accompanies the report so failures can be
@@ -107,8 +104,33 @@ func Run(tg Target, cfg Config) (*Report, *history.Recorded) {
 				rep.Errors = append(rep.Errors, fmt.Sprintf("restart node %d: %v", a.Node, err))
 				break
 			}
-			if !tg.AwaitRejoin(a.Node, rejoinTimeout) {
+			if !tg.AwaitRejoin(a.Node, cfg.RejoinTimeout) {
 				rep.Errors = append(rep.Errors, fmt.Sprintf("node %d never finished its catch-up sweep", a.Node))
+			}
+		case KindCrashAll:
+			if !ev.heal {
+				// SIGKILL the whole boot membership at once: no survivor
+				// holds any key, so recovery is possible only from disk.
+				for n := 0; n < tg.Nodes(); n++ {
+					tg.CrashNode(n)
+				}
+				break
+			}
+			// Restart everything BEFORE awaiting anyone: during a
+			// whole-cluster recovery every node is mid-rejoin, and the
+			// sweeps complete only because WAL-restored nodes answer each
+			// other's catch-up pulls. On a memory-only target no node can
+			// vouch for anything and every wait below times out — which is
+			// exactly the failure the durability pinning test asserts.
+			for n := 0; n < tg.Nodes(); n++ {
+				if err := tg.RestartNode(n); err != nil {
+					rep.Errors = append(rep.Errors, fmt.Sprintf("crash-all: restart node %d: %v", n, err))
+				}
+			}
+			for n := 0; n < tg.Nodes(); n++ {
+				if !tg.AwaitRejoin(n, cfg.RejoinTimeout) {
+					rep.Errors = append(rep.Errors, fmt.Sprintf("crash-all: node %d never finished its catch-up sweep", n))
+				}
 			}
 		case KindAddRemove:
 			if !ev.heal {
@@ -117,7 +139,7 @@ func Run(tg Target, cfg Config) (*Report, *history.Recorded) {
 					rep.Errors = append(rep.Errors, fmt.Sprintf("add node: %v", err))
 					break
 				}
-				if !tg.AwaitRejoin(id, rejoinTimeout) {
+				if !tg.AwaitRejoin(id, cfg.RejoinTimeout) {
 					rep.Errors = append(rep.Errors, fmt.Sprintf("added node %d never finished its catch-up sweep", id))
 				}
 				addedID = id

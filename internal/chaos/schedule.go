@@ -51,9 +51,17 @@ const (
 	// KindAddRemove grows the membership by one replica, waits for it to
 	// join, then removes it again.
 	KindAddRemove NemesisKind = "add-remove"
+	// KindCrashAll SIGKILLs every node at once, then restarts them all and
+	// waits for every rejoin sweep. Memory-only deployments cannot survive
+	// it (all replicas of every key are gone); it exists to certify
+	// WAL-enabled deployments, which restart from their own disks, and is
+	// therefore excluded from AllKinds — request it explicitly.
+	KindCrashAll NemesisKind = "crash-all"
 )
 
-// AllKinds lists every nemesis kind, in canonical order.
+// AllKinds lists every nemesis kind a memory-only deployment can survive,
+// in canonical order. KindCrashAll is deliberately absent: it requires a
+// WAL-enabled target (see its doc) and must be requested explicitly.
 func AllKinds() []NemesisKind {
 	return []NemesisKind{KindDropLink, KindDelayLink, KindCutLink,
 		KindIsolateNode, KindStopRestart, KindAddRemove}
@@ -61,7 +69,7 @@ func AllKinds() []NemesisKind {
 
 // lifecycle reports whether the kind occupies the exclusive lane.
 func (k NemesisKind) lifecycle() bool {
-	return k == KindStopRestart || k == KindAddRemove
+	return k == KindStopRestart || k == KindAddRemove || k == KindCrashAll
 }
 
 // Action is one scheduled nemesis: inject at At, heal at Heal (offsets
@@ -90,6 +98,8 @@ func (a Action) String() string {
 		return fmt.Sprintf("%v-%v %s %d->%d +%v", a.At, a.Heal, a.Kind, a.From, a.To, a.Delay)
 	case KindCutLink:
 		return fmt.Sprintf("%v-%v %s %d->%d", a.At, a.Heal, a.Kind, a.From, a.To)
+	case KindCrashAll:
+		return fmt.Sprintf("%v-%v %s all nodes", a.At, a.Heal, a.Kind)
 	default:
 		return fmt.Sprintf("%v-%v %s node %d", a.At, a.Heal, a.Kind, a.Node)
 	}
@@ -117,6 +127,10 @@ type Config struct {
 	MaxConcurrent int
 	// MaxNodes caps add-remove ids (default llc.MaxNodes).
 	MaxNodes int
+	// RejoinTimeout bounds the blocking waits lifecycle heals perform
+	// (default 30s). Tests pinning expected failures shorten it so a
+	// sweep that can never complete fails the run quickly.
+	RejoinTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -134,6 +148,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxNodes <= 0 || c.MaxNodes > llc.MaxNodes {
 		c.MaxNodes = llc.MaxNodes
+	}
+	if c.RejoinTimeout <= 0 {
+		c.RejoinTimeout = 30 * time.Second
 	}
 }
 
@@ -198,13 +215,19 @@ func Generate(cfg Config) Schedule {
 				// replica instead so the slot still exercises lifecycle.
 				kind, a.Kind = KindStopRestart, KindStopRestart
 			}
-			if kind == KindAddRemove {
+			switch kind {
+			case KindAddRemove:
 				a.Node = nextAddID
 				nextAddID++
 				// Join sweeps need room: give lifecycle actions the
 				// doubled duration.
 				dur = clampDur(2 * dur)
-			} else {
+			case KindCrashAll:
+				// Targets every node; a.Node stays zero. The heal restarts
+				// the whole cluster and waits for every sweep, so it gets
+				// the doubled duration like the other lifecycle kinds.
+				dur = clampDur(2 * dur)
+			default:
 				a.Node = rng.Intn(cfg.Nodes)
 				dur = clampDur(2 * dur)
 			}

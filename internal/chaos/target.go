@@ -31,6 +31,10 @@ type Target interface {
 	// Faults is the deployment-wide fault surface.
 	Faults() *transport.FaultSet
 	StopNode(node int)
+	// CrashNode is StopNode as SIGKILL: a WAL-enabled node's log is
+	// abandoned without a final fsync (the crash-all nemesis kills every
+	// node this way before restarting them all from disk).
+	CrashNode(node int)
 	RestartNode(node int) error
 	AwaitRejoin(node int, timeout time.Duration) bool
 	AddNode() (int, error)
@@ -54,7 +58,8 @@ func (t *inprocTarget) Session(node, sess int) (kite.Session, error) {
 func (t *inprocTarget) Faults() *transport.FaultSet {
 	return transport.NewFaultSet(t.c.Faults())
 }
-func (t *inprocTarget) StopNode(node int)        { t.c.StopNode(node) }
+func (t *inprocTarget) StopNode(node int)          { t.c.StopNode(node) }
+func (t *inprocTarget) CrashNode(node int)         { t.c.CrashNode(node) }
 func (t *inprocTarget) RestartNode(node int) error { return t.c.RestartNode(node) }
 func (t *inprocTarget) AwaitRejoin(node int, timeout time.Duration) bool {
 	return t.c.AwaitRejoin(node, timeout)
@@ -79,6 +84,7 @@ func (t *shardedTarget) Session(node, sess int) (kite.Session, error) {
 }
 func (t *shardedTarget) Faults() *transport.FaultSet { return t.c.Faults() }
 func (t *shardedTarget) StopNode(node int)           { t.c.StopNode(node) }
+func (t *shardedTarget) CrashNode(node int)          { t.c.CrashNode(node) }
 func (t *shardedTarget) RestartNode(node int) error  { return t.c.RestartNode(node) }
 func (t *shardedTarget) AwaitRejoin(node int, timeout time.Duration) bool {
 	return t.c.AwaitRejoin(node, timeout)

@@ -116,14 +116,20 @@ func (op *catchupOp) onDeadline(w *Worker, now time.Time) {
 
 // handleCatchupPull answers a rejoining peer's chunk request: a run of
 // item messages plus the End frame carrying the continuation cursor and
-// this node's delinquency mask. A node that is itself catching up must not
-// answer — serving its partial store to another joiner would let two
-// restarted replicas certify each other's amnesia — so it drops the pull
-// and the joiner retries (against it and everyone else) until enough
-// healthy peers respond.
+// this node's delinquency mask. A memory-only node that is itself
+// catching up must not answer — serving its partial store to another
+// joiner would let two restarted replicas certify each other's amnesia —
+// so it drops the pull and the joiner retries (against it and everyone
+// else) until enough healthy peers respond. A WAL-restored rejoiner is
+// different: its replayed store is complete up to its last durable
+// record, the same guarantee a running replica's store gives at any
+// instant, so it answers pulls even mid-sweep. That asymmetry is what
+// lets a whole cluster restart from disk (the crash-all nemesis): every
+// node is rejoining, but each can vouch for its own durable prefix, and
+// the sweeps reconcile the per-node tails.
 func (w *Worker) handleCatchupPull(m *proto.Message) {
 	nd := w.node
-	if nd.rejoining.Load() || m.From == nd.ID {
+	if (nd.rejoining.Load() && !nd.walRestored) || m.From == nd.ID {
 		return
 	}
 	msgs, next, done := catchup.AppendChunk(

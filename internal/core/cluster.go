@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -25,7 +26,10 @@ type Cluster struct {
 	nodes []*Node
 }
 
-// NewCluster builds and starts an in-process deployment.
+// NewCluster builds and starts an in-process deployment. Config.WALDir,
+// when set, is the deployment's base directory: each replica logs under
+// its own node-<id> subdirectory, and restarts of the same slot reuse it
+// (which is the whole point — RestartNode recovers from it).
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	// Mailboxes exist for the whole id space, not just the boot members:
@@ -34,7 +38,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	faults := transport.NewFaultInjector(inner, 1)
 	c := &Cluster{cfg: cfg, inner: inner, faults: faults}
 	for id := 0; id < cfg.Nodes; id++ {
-		nd, err := NewNode(uint8(id), cfg, faults)
+		nd, err := NewNode(uint8(id), c.nodeConfig(uint8(id)), faults)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -45,6 +49,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		nd.Start()
 	}
 	return c, nil
+}
+
+// nodeConfig derives replica id's config from the cluster's: same
+// everything, but its own WAL subdirectory.
+func (c *Cluster) nodeConfig(id uint8) Config {
+	cfg := c.cfg
+	if cfg.WALDir != "" {
+		cfg.WALDir = filepath.Join(cfg.WALDir, fmt.Sprintf("node-%02d", id))
+	}
+	return cfg
 }
 
 // Config returns the effective configuration.
@@ -128,7 +142,7 @@ func (c *Cluster) AddNode() (int, error) {
 			nd.InstallConfig(next)
 		}
 	}
-	cfg := c.cfg
+	cfg := c.nodeConfig(id)
 	cfg.Rejoin = true
 	cfg.Initial = next
 	nd, err := NewNode(id, cfg, c.faults)
@@ -188,20 +202,30 @@ func (c *Cluster) PauseNode(i int, d time.Duration) { c.Node(i).Pause(d) }
 // good as gone, because only RestartNode brings the slot back.
 func (c *Cluster) StopNode(i int) { c.Node(i).Stop() }
 
-// RestartNode replaces replica i with a fresh, empty node of the same id
-// on the same transport — the crash-recovery failure the sleeping-replica
-// study cannot model, since a restarted replica has lost every write it
-// ever acknowledged. The new incarnation boots in catch-up mode
-// (Config.Rejoin): it buffers client requests and serves nothing until its
-// anti-entropy sweep against the surviving peers completes (see
-// internal/catchup). Session handles obtained before the restart fail with
-// ErrStopped; acquire fresh ones via Node(i).Session.
+// CrashNode kills replica i the way SIGKILL would: workers exit, but a
+// WAL-enabled replica's log is abandoned without a final fsync (see
+// Node.Crash). Pair with RestartNode to exercise crash recovery; on
+// memory-only deployments it is indistinguishable from StopNode.
+func (c *Cluster) CrashNode(i int) { c.Node(i).Crash() }
+
+// RestartNode replaces replica i with a fresh node of the same id on the
+// same transport — the crash-recovery failure the sleeping-replica study
+// cannot model. On a memory-only deployment the new incarnation is
+// empty: it has lost every write it ever acknowledged. With a WAL
+// (Config.WALDir) it first replays its own snapshot + log, restoring
+// everything durable at the crash, including accepted-but-uncommitted
+// Paxos rounds. Either way it boots in catch-up mode (Config.Rejoin):
+// it buffers client requests and serves nothing until its anti-entropy
+// sweep against the surviving peers completes (see internal/catchup) —
+// with a WAL the sweep reconciles only the post-crash delta. Session
+// handles obtained before the restart fail with ErrStopped; acquire
+// fresh ones via Node(i).Session.
 func (c *Cluster) RestartNode(i int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	old := c.nodes[i]
 	old.Stop()
-	cfg := c.cfg
+	cfg := c.nodeConfig(old.ID)
 	cfg.Rejoin = true
 	// A fresh incarnation: the new node's op ids must never collide with
 	// ids the dead incarnation left in the group's exactly-once registries

@@ -69,6 +69,32 @@ type Config struct {
 	// and by configs learned from peers — Initial is only the starting
 	// point.
 	Initial membership.Config
+
+	// WALDir, when non-empty, enables the per-node write-ahead log
+	// (internal/wal): every durable transition — ES/ABD value installs,
+	// Paxos promises/accepts/commits, catch-up imports, config commits —
+	// is logged, and on restart the node replays snapshot + log before
+	// running its rejoin sweep, so a full-quorum crash no longer loses
+	// acknowledged data or accepted-but-uncommitted Paxos rounds. Empty
+	// (the default) keeps the memory-only fast path: no logging, no
+	// replay, restart semantics exactly as before. One directory per
+	// node; the deployment layer derives per-node subdirectories.
+	WALDir string
+	// FsyncInterval is the WAL group-commit deadline: appended records
+	// are written eagerly but fsynced in batches at this cadence, so a
+	// power loss can take back at most one interval of acknowledged
+	// operations (a process kill loses only what the flusher had not
+	// written — the page cache survives). Zero means
+	// wal.DefaultFsyncInterval; negative selects synchronous mode, where
+	// each worker fsyncs its iteration's appends before shipping acks
+	// (the per-op-durability ablation — measured by `kite-bench -fig
+	// durability`, not meant for production). Ignored without WALDir.
+	FsyncInterval time.Duration
+	// SnapshotEvery is how many WAL records are appended between store
+	// snapshots; snapshots bound replay length and let old segments be
+	// truncated. Zero means wal.DefaultSnapshotEvery; negative disables
+	// snapshotting (testing only). Ignored without WALDir.
+	SnapshotEvery int
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation:

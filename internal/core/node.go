@@ -11,6 +11,7 @@ import (
 	"kite/internal/llc"
 	"kite/internal/membership"
 	"kite/internal/transport"
+	"kite/internal/wal"
 )
 
 // Node is one Kite replica: the full KVS in memory, the machine epoch-id,
@@ -40,8 +41,24 @@ type Node struct {
 	admin   *Session
 	adminMu sync.Mutex
 
+	// wal, when non-nil, is the node's write-ahead log (Config.WALDir).
+	// walRestored marks a boot that replayed prior state from it: such a
+	// node still runs the rejoin sweep (it may have missed writes while
+	// down) but, unlike an amnesiac rejoiner, its store is complete up to
+	// its last durable record — so it may answer peers' catch-up pulls
+	// even mid-rejoin, which is what lets a whole cluster restart from
+	// disk without deadlocking on each other's sweeps. walSync selects
+	// synchronous mode (Config.FsyncInterval < 0): each worker fsyncs its
+	// iteration's appends before shipping acks.
+	wal         *wal.Log
+	walRestored bool
+	walSync     bool
+
 	paused  atomic.Bool
 	stopped atomic.Bool
+	// stopCh is closed when the node stops; background loops (WAL
+	// snapshots) select on it.
+	stopCh chan struct{}
 	// removed is set when an installed configuration excludes this node:
 	// the group has moved on without it. Workers exit exactly as on a stop
 	// (a removed replica's store stops receiving writes, so continuing to
@@ -86,9 +103,6 @@ func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
 	if boot.N() > llc.MaxNodes {
 		return nil, fmt.Errorf("core: %d members exceed %d", boot.N(), llc.MaxNodes)
 	}
-	if !boot.Contains(id) {
-		return nil, fmt.Errorf("core: node id %d not in boot config (%v)", id, boot)
-	}
 	// The op-id layout (node 8 | incarnation 16 | session 8 | seq 32, see
 	// Worker.nextOpID) bounds both the session count and the incarnation.
 	if cfg.Workers*cfg.SessionsPerWorker+1 > 256 {
@@ -104,9 +118,28 @@ func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
 		Store: kvs.New(cfg.KVSCapacity),
 		tr:    tr,
 	}
+	nd.stopCh = make(chan struct{})
+	// WAL replay happens before the membership check: it may both raise
+	// the incarnation above the requested one and adopt a newer group
+	// configuration the node had durably installed — including one that
+	// removed this node while it was down, which must fail the boot.
+	if cfg.WALDir != "" {
+		if err := nd.openWAL(&boot); err != nil {
+			return nil, err
+		}
+	}
+	if !boot.Contains(id) {
+		if nd.wal != nil {
+			nd.wal.Close()
+		}
+		return nil, fmt.Errorf("core: node id %d not in boot config (%v)", id, boot)
+	}
 	nd.view.Store(&boot)
 	nd.catchupDone = make(chan struct{})
-	if cfg.Rejoin && boot.N() > 1 {
+	// A WAL-restored node always rejoins (its log is complete only up to
+	// the crash; the sweep reconciles the delta) even if the caller
+	// forgot to ask.
+	if (cfg.Rejoin || nd.walRestored) && boot.N() > 1 {
 		nd.rejoining.Store(true)
 		nd.catchupStarted = time.Now()
 	} else {
@@ -128,6 +161,11 @@ func NewNode(id uint8, cfg Config, tr transport.Transport) (*Node, error) {
 	// reconfiguration CASes.
 	nd.admin = newSession(nd, nd.workers[0], len(nd.sessions))
 	nd.workers[0].sessions = append(nd.workers[0].sessions, nd.admin)
+	// The mutation hook goes in only after replay: replayed records must
+	// not re-log themselves.
+	if nd.wal != nil {
+		nd.Store.SetHook(nd.walHook)
+	}
 	return nd, nil
 }
 
@@ -138,6 +176,11 @@ func (nd *Node) View() membership.Config { return *nd.view.Load() }
 // (Config.Incarnation); the next incarnation of the same id must boot with
 // a strictly higher value.
 func (nd *Node) Incarnation() uint32 { return nd.cfg.Incarnation }
+
+// WALRestored reports whether this boot replayed prior state from its
+// write-ahead log. Such a node rejoins on its own (sweeping only the
+// delta it missed while down), even without Config.Rejoin.
+func (nd *Node) WALRestored() bool { return nd.walRestored }
 
 // ConfigEpoch returns the installed configuration epoch (the value stamped
 // on every outgoing frame).
@@ -172,6 +215,12 @@ func (nd *Node) InstallConfig(c membership.Config) bool {
 		}
 	}
 	nd.configInstalls.Add(1)
+	// Installed configurations are durable: a restarted node must come
+	// back under the newest view it ever acknowledged, or it could serve
+	// quorums computed from a member set the group has moved past.
+	if nd.wal != nil {
+		nd.wal.Append(wal.Record{Kind: wal.KindConfig, Epoch: c.Epoch, Value: c.Encode()})
+	}
 	if !c.Contains(nd.ID) {
 		nd.removed.Store(true)
 	}
@@ -210,6 +259,13 @@ func (nd *Node) Start() {
 			w.run()
 		}(w)
 	}
+	if nd.wal != nil && nd.cfg.SnapshotEvery >= 0 {
+		nd.wg.Add(1)
+		go func() {
+			defer nd.wg.Done()
+			nd.snapshotLoop()
+		}()
+	}
 }
 
 // Stop terminates the workers, failing outstanding requests with
@@ -222,8 +278,31 @@ func (nd *Node) Stop() {
 	if nd.stopped.Swap(true) {
 		return
 	}
+	close(nd.stopCh)
 	nd.wg.Wait()
 	nd.finishCatchup()
+	if nd.wal != nil {
+		nd.wal.Close()
+	}
+}
+
+// Crash stops the node the way SIGKILL would: workers exit as on Stop
+// (in-process we cannot kill goroutines preemptively), but the WAL is
+// abandoned mid-flush — buffered records reach the file, since a killed
+// process's page cache survives, yet nothing is fsynced. Restarting
+// from the same WALDir then exercises the real recovery path: replay up
+// to the last durable record plus the rejoin sweep for the rest.
+// Memory-only nodes crash exactly like Stop.
+func (nd *Node) Crash() {
+	if nd.stopped.Swap(true) {
+		return
+	}
+	close(nd.stopCh)
+	nd.wg.Wait()
+	nd.finishCatchup()
+	if nd.wal != nil {
+		nd.wal.Crash()
+	}
 }
 
 // Stopped reports whether the node has been stopped.

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/membership"
+	"kite/internal/paxos"
+	"kite/internal/wal"
+)
+
+// Write-ahead-log wiring: translating store mutation events into WAL
+// records on the way down, and WAL records back into store/consensus
+// state on the way up (boot replay). Replay runs before the node's
+// rejoin sweep, so the sweep reconciles only the delta the node missed
+// while down — and, critically, replay restores the
+// accepted-but-uncommitted Paxos rounds and standing promises that no
+// peer can vouch for (see DESIGN.md "Recovery").
+
+// walReplayedConfig tracks the highest-epoch group configuration seen
+// during replay (config commits, snapshot entries or explicit config
+// records), so a restarted node boots under the newest configuration it
+// had durably installed rather than a stale Initial.
+type walReplayedConfig struct {
+	cfg membership.Config
+	ok  bool
+}
+
+func (rc *walReplayedConfig) observe(val []byte) {
+	if c, err := membership.Decode(val); err == nil && (!rc.ok || c.Epoch > rc.cfg.Epoch) {
+		rc.cfg, rc.ok = c, true
+	}
+}
+
+// replayRecord applies one WAL record to the store. Every application
+// is guarded or idempotent — stale records lose to later ones exactly
+// as the live handlers would have decided — so replaying any prefix of
+// history, or records already covered by a snapshot, is harmless.
+func replayRecord(store *kvs.Store, r *wal.Record, rc *walReplayedConfig) {
+	switch r.Kind {
+	case wal.KindWrite:
+		store.Apply(r.Key, r.Value, llc.Unpack(r.Stamp))
+	case wal.KindPromise:
+		paxos.ReplayPromise(store, r.Key, r.Slot, llc.Unpack(r.Stamp))
+	case wal.KindAccept:
+		paxos.ReplayAccept(store, r.Key, r.Slot, llc.Unpack(r.Stamp), r.Value, r.Origin)
+	case wal.KindCommit:
+		paxos.ApplyCommit(store, r.Key, r.Slot, llc.Unpack(r.Stamp), r.Value, r.Origin, r.Origins)
+		if r.Key == membership.ConfigKey {
+			rc.observe(r.Value)
+		}
+	case wal.KindImport:
+		paxos.ImportCommitted(store, r.Key, r.Slot, r.Origin, r.Origins)
+	case wal.KindConfig:
+		rc.observe(r.Value)
+	case wal.KindSnapEntry:
+		store.Apply(r.Key, r.Value, llc.Unpack(r.Stamp))
+		paxos.RestoreState(store, r.Key, paxos.Persisted{
+			Slot:       r.Slot,
+			Promised:   llc.Unpack(r.Promised),
+			AccBallot:  llc.Unpack(r.AccBallot),
+			LastBallot: llc.Unpack(r.LastBallot),
+			AccVal:     r.AccVal,
+			AccOrigin:  r.AccOrigin,
+			LastOrigin: r.Origin,
+			Recent:     r.Origins,
+		})
+		if r.Key == membership.ConfigKey {
+			rc.observe(r.Value)
+		}
+	case wal.KindBoot:
+		// Incarnation bookkeeping only; wal.Open already consumed it.
+	}
+}
+
+// openWAL opens and replays the node's log into its (fresh) store,
+// adopting the effective incarnation and any newer replayed group
+// configuration into boot. Called from NewNode before the membership
+// check, so a node removed from the group while down fails construction
+// the same way a mis-addressed fresh boot does.
+func (nd *Node) openWAL(boot *membership.Config) error {
+	var rc walReplayedConfig
+	lg, res, err := wal.Open(wal.Options{
+		Dir:           nd.cfg.WALDir,
+		FsyncInterval: nd.cfg.FsyncInterval,
+		SnapshotEvery: nd.cfg.SnapshotEvery,
+		Incarnation:   nd.cfg.Incarnation,
+	}, func(r *wal.Record) { replayRecord(nd.Store, r, &rc) })
+	if err != nil {
+		return fmt.Errorf("core: wal open: %w", err)
+	}
+	if res.Incarnation >= 0xffff {
+		lg.Close()
+		return fmt.Errorf("core: wal-derived incarnation %d outside [0,65535)", res.Incarnation)
+	}
+	nd.cfg.Incarnation = res.Incarnation
+	nd.wal = lg
+	nd.walRestored = res.Restored
+	nd.walSync = nd.cfg.FsyncInterval < 0
+	if rc.ok && rc.cfg.Epoch > boot.Epoch {
+		*boot = rc.cfg
+	}
+	return nil
+}
+
+// walHook is the store mutation hook: it runs inside bucket critical
+// sections, so WAL order equals per-key mutation order by construction.
+// Append only buffers (waking the flusher just when the batch has grown
+// past its threshold) — no I/O under the bucket lock.
+func (nd *Node) walHook(ev kvs.Event) {
+	r := wal.Record{
+		Epoch:   nd.ConfigEpoch(),
+		Key:     ev.Key,
+		Slot:    ev.Slot,
+		Origin:  ev.Origin,
+		Stamp:   ev.Stamp.Pack(),
+		Value:   ev.Value,
+		Origins: ev.Origins,
+	}
+	switch ev.Kind {
+	case kvs.EvWrite:
+		r.Kind = wal.KindWrite
+	case kvs.EvPromise:
+		r.Kind = wal.KindPromise
+	case kvs.EvAccept:
+		r.Kind = wal.KindAccept
+	case kvs.EvCommit:
+		r.Kind = wal.KindCommit
+	case kvs.EvImport:
+		r.Kind = wal.KindImport
+	default:
+		return
+	}
+	nd.wal.Append(r)
+}
+
+// snapshotStore emits one KindSnapEntry per key: the entry's value and
+// stamp plus the full per-key consensus state. emit only buffers in
+// memory (the wal package's contract), so holding the bucket lock
+// across it is safe.
+func (nd *Node) snapshotStore(emit func(*wal.Record)) {
+	var buf [kvs.MaxValueLen]byte
+	epoch := nd.ConfigEpoch()
+	for i := 0; i < nd.Store.NumBuckets(); i++ {
+		nd.Store.SnapshotBucket(i, func(e *kvs.Entry) {
+			r := wal.Record{
+				Kind:  wal.KindSnapEntry,
+				Epoch: epoch,
+				Key:   e.Key(),
+				Stamp: e.Stamp().Pack(),
+				Value: append([]byte(nil), e.ValueInto(buf[:])...),
+			}
+			if p, ok := paxos.ExportState(e.Meta()); ok {
+				r.Slot = p.Slot
+				r.Promised = p.Promised.Pack()
+				r.AccBallot = p.AccBallot.Pack()
+				r.LastBallot = p.LastBallot.Pack()
+				r.AccOrigin = p.AccOrigin
+				r.AccVal = p.AccVal
+				r.Origin = p.LastOrigin
+				r.Origins = p.Recent
+			}
+			emit(&r)
+		})
+	}
+}
+
+// snapshotLoop periodically folds the log into a store snapshot once
+// enough records have accumulated, bounding replay length and disk
+// usage. Runs until the node stops.
+func (nd *Node) snapshotLoop() {
+	const poll = 100 * time.Millisecond
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-nd.stopCh:
+			return
+		case <-t.C:
+			if nd.wal.SnapshotDue() {
+				nd.wal.Snapshot(nd.snapshotStore)
+			}
+		}
+	}
+}

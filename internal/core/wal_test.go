@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"kite/internal/kvs"
+	"kite/internal/llc"
+	"kite/internal/paxos"
+	"kite/internal/proto"
+	"kite/internal/wal"
+)
+
+func walConfig(t *testing.T, nodes int) Config {
+	cfg := testConfig(nodes)
+	cfg.WALDir = t.TempDir()
+	return cfg
+}
+
+// storeDump reads (value, stamp) for a key range directly off a node's
+// store — the strongest convergence check: not just the same answers,
+// but the same LLC history behind them.
+func storeDump(nd *Node, keys []uint64) map[uint64]string {
+	out := make(map[uint64]string, len(keys))
+	var buf [kvs.MaxValueLen]byte
+	for _, k := range keys {
+		val, st, _, ok := nd.Store.View(k, buf[:])
+		if !ok {
+			continue
+		}
+		out[k] = fmt.Sprintf("%q@%d.%d", val, st.Ver, st.MID)
+	}
+	return out
+}
+
+// TestWALRestartRecoversLocally: a crashed WAL replica restarts from its
+// own disk. The rejoin sweep still runs (it may have missed writes), but
+// the store contents — values, committed Paxos slots, the release flag —
+// come back and are served locally.
+func TestWALRestartRecoversLocally(t *testing.T) {
+	c, err := NewCluster(walConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	prod := c.Node(0).Session(0)
+	const keys = 200
+	for k := uint64(0); k < keys; k++ {
+		write(t, prod, 1000+k, fmt.Sprintf("v%d", k))
+	}
+	for i := 0; i < 3; i++ {
+		faa(t, prod, 500, 1)
+	}
+	release(t, prod, 600, "flag")
+	flush(t, prod)
+
+	c.CrashNode(2)
+	if err := c.RestartNode(2); err != nil {
+		t.Fatal(err)
+	}
+	awaitCatchup(t, c.Node(2), 20*time.Second)
+
+	nd2 := c.Node(2)
+	s2 := nd2.Session(0)
+	for k := uint64(0); k < keys; k++ {
+		if got, want := read(t, s2, 1000+k), fmt.Sprintf("v%d", k); got != want {
+			t.Fatalf("key %d = %q, want %q", 1000+k, got, want)
+		}
+	}
+	if got := nd2.SlowPathStats().SlowReads; got != 0 {
+		t.Fatalf("reads took %d quorum rounds; replay+sweep should have restored the store", got)
+	}
+	var buf [kvs.MaxValueLen]byte
+	if snap := paxos.ReadCommitted(nd2.Store, 500, buf[:]); snap.Slot != 3 {
+		t.Fatalf("paxos slot after recovery = %d, want 3", snap.Slot)
+	}
+	if got := acquire(t, s2, 600); got != "flag" {
+		t.Fatalf("acquire after recovery = %q", got)
+	}
+	if got := nd2.Incarnation(); got < 1 {
+		t.Fatalf("restarted incarnation = %d, want >= 1", got)
+	}
+}
+
+// TestWALCrashAllRecovers is the double-failure scenario memory-only
+// replication cannot survive: every replica crashes at once, so no peer
+// holds the data. With per-node WALs each replica replays its own log,
+// WAL-restored rejoiners answer each other's catch-up pulls, and every
+// acknowledged write is readable afterwards.
+func TestWALCrashAllRecovers(t *testing.T) {
+	c, err := NewCluster(walConfig(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	prod := c.Node(0).Session(0)
+	const keys = 150
+	for k := uint64(0); k < keys; k++ {
+		write(t, prod, 2000+k, fmt.Sprintf("w%d", k))
+	}
+	for i := 0; i < 5; i++ {
+		faa(t, prod, 300, 1)
+	}
+	release(t, prod, 400, "sealed")
+	flush(t, prod)
+
+	for i := 0; i < 3; i++ {
+		c.CrashNode(i)
+	}
+	// Restart all before awaiting any: during a whole-cluster recovery
+	// every node is mid-rejoin, and the sweeps complete only because
+	// WAL-restored nodes answer pulls anyway.
+	for i := 0; i < 3; i++ {
+		if err := c.RestartNode(i); err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		awaitCatchup(t, c.Node(i), 20*time.Second)
+	}
+
+	for i := 0; i < 3; i++ {
+		s := c.Node(i).Session(0)
+		for k := uint64(0); k < keys; k++ {
+			if got, want := read(t, s, 2000+k), fmt.Sprintf("w%d", k); got != want {
+				t.Fatalf("node %d key %d = %q, want %q", i, 2000+k, got, want)
+			}
+		}
+		if got := acquire(t, s, 400); got != "sealed" {
+			t.Fatalf("node %d acquire = %q, want sealed", i, got)
+		}
+	}
+	// The FAA counter survived as committed consensus state: the next
+	// FAA continues from 5, not 0.
+	if old := faa(t, c.Node(1).Session(1), 300, 1); old != 5 {
+		t.Fatalf("FAA after crash-all saw %d, want 5 (committed rounds lost?)", old)
+	}
+}
+
+// TestWALReplayConvergesWithSweep pins the satellite invariant: replay +
+// rejoin sweep must land a restarted replica on exactly the store —
+// values AND stamps — that the sweep alone produces from an empty disk,
+// which in turn matches a replica that never crashed.
+func TestWALReplayConvergesWithSweep(t *testing.T) {
+	cfg := walConfig(t, 3)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	prod := c.Node(0).Session(0)
+	keys := make([]uint64, 0, 120)
+	for k := uint64(0); k < 100; k++ {
+		write(t, prod, 3000+k, fmt.Sprintf("x%d", k))
+		keys = append(keys, 3000+k)
+	}
+	for i := 0; i < 4; i++ {
+		faa(t, prod, 3500, 2)
+	}
+	keys = append(keys, 3500)
+	release(t, prod, 3600, "fence")
+	keys = append(keys, 3600)
+	flush(t, prod) // quiesce: every write fully replicated
+
+	want := storeDump(c.Node(0), keys)
+
+	// Path 1: crash + WAL replay + sweep.
+	c.CrashNode(2)
+	if err := c.RestartNode(2); err != nil {
+		t.Fatal(err)
+	}
+	awaitCatchup(t, c.Node(2), 20*time.Second)
+	if got := storeDump(c.Node(2), keys); !mapsEqual(got, want) {
+		t.Fatalf("replay+sweep diverged from the live store:\n got %v\nwant %v", got, want)
+	}
+
+	// Path 2: wipe the WAL dir and restart — sweep alone from empty.
+	c.StopNode(2)
+	if err := os.RemoveAll(c.nodeConfig(2).WALDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartNode(2); err != nil {
+		t.Fatal(err)
+	}
+	awaitCatchup(t, c.Node(2), 20*time.Second)
+	if got := storeDump(c.Node(2), keys); !mapsEqual(got, want) {
+		t.Fatalf("sweep alone diverged from the live store:\n got %v\nwant %v", got, want)
+	}
+}
+
+func mapsEqual(a, b map[uint64]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWALSnapshotBoundedRecovery: with an aggressive snapshot cadence
+// the background loop folds the log during the workload; recovery then
+// replays snapshot + tail and must still restore everything.
+func TestWALSnapshotBoundedRecovery(t *testing.T) {
+	cfg := walConfig(t, 3)
+	cfg.SnapshotEvery = 100 // many snapshots across a 500-write workload
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	prod := c.Node(0).Session(0)
+	const keys = 500
+	for k := uint64(0); k < keys; k++ {
+		write(t, prod, 4000+k, fmt.Sprintf("s%d", k))
+	}
+	flush(t, prod)
+	// Give the 100ms snapshot poll a chance to actually fold the log.
+	time.Sleep(350 * time.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		c.CrashNode(i)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.RestartNode(i); err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		awaitCatchup(t, c.Node(i), 20*time.Second)
+	}
+	s := c.Node(0).Session(0)
+	for k := uint64(0); k < keys; k++ {
+		if got, want := read(t, s, 4000+k), fmt.Sprintf("s%d", k); got != want {
+			t.Fatalf("key %d = %q, want %q", 4000+k, got, want)
+		}
+	}
+}
+
+// TestWALRestoresAcceptedRound pins the exact state the WAL exists for:
+// an accepted-but-uncommitted Paxos round and its standing promise. No
+// peer can vouch for these (catch-up transfers committed state only);
+// before the WAL their loss was the documented double-failure window.
+func TestWALRestoresAcceptedRound(t *testing.T) {
+	dir := t.TempDir()
+	ballot := llc.Stamp{Ver: 7, MID: 1}
+
+	store := kvs.New(1 << 10)
+	lg, _, err := wal.Open(wal.Options{Dir: dir, FsyncInterval: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetHook(func(ev kvs.Event) {
+		r := wal.Record{Key: ev.Key, Slot: ev.Slot, Origin: ev.Origin, Stamp: ev.Stamp.Pack(), Value: ev.Value, Origins: ev.Origins}
+		switch ev.Kind {
+		case kvs.EvWrite:
+			r.Kind = wal.KindWrite
+		case kvs.EvPromise:
+			r.Kind = wal.KindPromise
+		case kvs.EvAccept:
+			r.Kind = wal.KindAccept
+		case kvs.EvCommit:
+			r.Kind = wal.KindCommit
+		case kvs.EvImport:
+			r.Kind = wal.KindImport
+		}
+		lg.Append(r)
+	})
+
+	// Promise then accept at slot 0, as a remote proposer would drive it;
+	// then SIGKILL the "node".
+	var buf [kvs.MaxValueLen]byte
+	prop := proto.Message{Kind: proto.KindPropose, Key: 42, Slot: 0, Stamp: ballot, From: 0}
+	if rep := paxos.HandlePropose(store, &prop, 2, buf[:]); rep.Flags&proto.FlagNack != 0 {
+		t.Fatalf("propose nacked: %+v", rep)
+	}
+	acc := proto.Message{Kind: proto.KindAccept, Key: 42, Slot: 0, Stamp: ballot, Value: []byte("pending"), Origin: 99, From: 0}
+	if rep := paxos.HandleAccept(store, &acc, 2, buf[:]); rep.Flags&proto.FlagNack != 0 {
+		t.Fatalf("accept nacked: %+v", rep)
+	}
+	lg.Crash()
+
+	// Recovery: replay the log into a fresh store.
+	store2 := kvs.New(1 << 10)
+	var rc walReplayedConfig
+	lg2, res, err := wal.Open(wal.Options{Dir: dir}, func(r *wal.Record) { replayRecord(store2, r, &rc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg2.Close()
+	if !res.Restored {
+		t.Fatal("recovery saw an empty log")
+	}
+
+	var restored paxos.Persisted
+	ok := false
+	store2.Mutate(42, func(e *kvs.Entry) {
+		restored, ok = paxos.ExportState(e.Meta())
+	})
+	if !ok {
+		t.Fatal("no consensus state restored for key 42")
+	}
+	if restored.Slot != 0 || string(restored.AccVal) != "pending" || restored.AccOrigin != 99 {
+		t.Fatalf("accepted round not restored: %+v", restored)
+	}
+	if restored.Promised.Less(ballot) || restored.AccBallot.Less(ballot) {
+		t.Fatalf("promise/accepted ballot regressed: %+v (ballot %v)", restored, ballot)
+	}
+	// The restarted node must never allocate a ballot at or below one it
+	// already granted — the watermark replayed with the records.
+	if b := paxos.AllocBallot(store2, 42, 2, llc.Zero); !ballot.Less(b) {
+		t.Fatalf("post-recovery ballot %v not above pre-crash ballot %v", b, ballot)
+	}
+}

@@ -329,6 +329,13 @@ func (w *Worker) run() {
 			w.nextScan = w.now.Add(deadlineScanEvery)
 		}
 
+		// 4b. Synchronous-WAL mode (Config.FsyncInterval < 0): make this
+		// iteration's appends durable before the acks they justify ship
+		// in step 5. No-op when nothing was appended since the last sync.
+		if w.node.walSync {
+			w.node.wal.Sync()
+		}
+
 		// 5. Ship staged batches.
 		w.flush()
 

@@ -1,0 +1,55 @@
+package kvs
+
+import "kite/internal/llc"
+
+// EventKind classifies a durable store transition for the mutation
+// hook. Value installs are EvWrite regardless of which protocol drove
+// them (ES broadcast, ABD write-back, commit application); the Paxos
+// persistence points and catch-up imports get their own kinds because
+// replay must restore consensus state, not just values.
+type EventKind uint8
+
+const (
+	// EvWrite: a value was installed under Stamp.
+	EvWrite EventKind = iota
+	// EvPromise: a Paxos promise for Stamp was granted at Slot.
+	EvPromise
+	// EvAccept: a Paxos accept of Value (origin op-id Origin) under
+	// ballot Stamp at Slot.
+	EvAccept
+	// EvCommit: a Paxos commit of Value at Slot was applied (ballot in
+	// Stamp, origin op-id in Origin, recent-origin ring in Origins).
+	EvCommit
+	// EvImport: committed consensus state was imported by catch-up
+	// (Slot, last origin in Origin, recent ring in Origins).
+	EvImport
+)
+
+// Event is one durable transition, reported from inside the bucket
+// critical section that performed it — so the hook observes events in
+// exactly per-key mutation order. Value and Origins are borrowed: the
+// hook must copy (or fully consume) them before returning.
+type Event struct {
+	Kind    EventKind
+	Key     uint64
+	Slot    uint64
+	Origin  uint64
+	Stamp   llc.Stamp
+	Value   []byte
+	Origins []uint64
+}
+
+// SetHook installs the mutation hook. The hook runs under bucket locks,
+// so it must be fast and must not call back into the store. Install it
+// once, before the store sees any traffic; it is read without
+// synchronization on every mutation.
+func (s *Store) SetHook(fn func(Event)) { s.hook = fn }
+
+// Record reports ev to the mutation hook, if one is installed. It is
+// exported so protocol code running inside Mutate closures (Paxos
+// handlers) can report transitions the store itself cannot see.
+func (s *Store) Record(ev Event) {
+	if s.hook != nil {
+		s.hook(ev)
+	}
+}

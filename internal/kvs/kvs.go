@@ -138,6 +138,11 @@ type Store struct {
 	buckets []bucket
 	mask    uint64
 	count   atomic.Int64
+
+	// hook observes durable transitions from inside bucket critical
+	// sections (see SetHook). Plain field: installed once before the
+	// store sees traffic, then only read.
+	hook func(Event)
 }
 
 // New creates a store sized for roughly capacity keys. The bucket count is
@@ -317,6 +322,7 @@ func (s *Store) Apply(key uint64, val []byte, st llc.Stamp) (applied bool) {
 		if e.Stamp().Less(st) {
 			e.SetValue(val, st)
 			applied = true
+			s.Record(Event{Kind: EvWrite, Key: key, Stamp: st, Value: val})
 		}
 	})
 	return applied
@@ -330,6 +336,7 @@ func (s *Store) ApplyAndAdvance(key uint64, val []byte, st llc.Stamp, epoch uint
 		if e.Stamp().Less(st) {
 			e.SetValue(val, st)
 			applied = true
+			s.Record(Event{Kind: EvWrite, Key: key, Stamp: st, Value: val})
 		}
 		e.AdvanceEpoch(epoch)
 	})
@@ -343,6 +350,7 @@ func (s *Store) LocalWrite(key uint64, val []byte, mid uint8) (st llc.Stamp) {
 	s.Mutate(key, func(e *Entry) {
 		st = e.Stamp().Next(mid)
 		e.SetValue(val, st)
+		s.Record(Event{Kind: EvWrite, Key: key, Stamp: st, Value: val})
 	})
 	return st
 }
@@ -356,6 +364,7 @@ func (s *Store) WriteAtLeast(key uint64, val []byte, base llc.Stamp, mid uint8, 
 		st = llc.Max(e.Stamp(), base).Next(mid)
 		e.SetValue(val, st)
 		e.AdvanceEpoch(epoch)
+		s.Record(Event{Kind: EvWrite, Key: key, Stamp: st, Value: val})
 	})
 	return st
 }
@@ -379,6 +388,7 @@ func (s *Store) LocalWriteInEpoch(key uint64, val []byte, mid uint8, epoch uint6
 		st = e.Stamp().Next(mid)
 		e.SetValue(val, st)
 		ok = true
+		s.Record(Event{Kind: EvWrite, Key: key, Stamp: st, Value: val})
 	})
 	return st, ok
 }

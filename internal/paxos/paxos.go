@@ -200,12 +200,14 @@ func ExportMeta(meta any) (slot, lastOrigin uint64, recent []uint64, ok bool) {
 // re-executed on its behalf. The committed VALUE travels separately as the
 // entry's (value, stamp) — last-writer-wins by LLC via Store.Apply — so
 // this import never overwrites a newer write with an older committed value.
-// Accepted-but-uncommitted state is deliberately NOT transferred: a
-// restarted acceptor's forgotten promises are a documented crash-recovery
-// gap closed only by persistence (see DESIGN.md "Recovery").
+// Accepted-but-uncommitted state is deliberately NOT transferred over the
+// wire: peers only vouch for committed state. A restarted acceptor's own
+// promises and accepts are restored from its write-ahead log instead
+// (ReplayPromise/ReplayAccept; see DESIGN.md "Recovery").
 func ImportCommitted(s *kvs.Store, key, slot, lastOrigin uint64, recent []uint64) {
 	s.Mutate(key, func(e *kvs.Entry) {
 		st := stateOf(e)
+		s.Record(kvs.Event{Kind: kvs.EvImport, Key: key, Slot: slot, Origin: lastOrigin, Origins: recent})
 		for i := len(recent) - 1; i >= 0; i-- {
 			st.recordOrigin(recent[i])
 		}
@@ -277,6 +279,10 @@ func HandlePropose(s *kvs.Store, m *proto.Message, self uint8, buf []byte) proto
 			rep.Slot = st.Slot
 		case st.Promised.Less(m.Stamp):
 			st.Promised = m.Stamp
+			// The promise must be durable before the ack leaves: a
+			// restarted acceptor that forgot it could accept a lower
+			// ballot it promised away.
+			s.Record(kvs.Event{Kind: kvs.EvPromise, Key: m.Key, Slot: m.Slot, Stamp: m.Stamp})
 			rep.Slot = m.Slot
 			if !st.AccBallot.IsZero() {
 				rep.Flags |= proto.FlagHasAccepted
@@ -329,6 +335,10 @@ func HandleAccept(s *kvs.Store, m *proto.Message, self uint8, buf []byte) proto.
 			st.AccBallot = m.Stamp
 			st.AccVal = append(st.AccVal[:0], m.Value...)
 			st.AccOrigin = m.Origin
+			// The accept is the record that closes the documented
+			// accepted-but-uncommitted double-failure window: a value a
+			// quorum accepted survives even if every acceptor restarts.
+			s.Record(kvs.Event{Kind: kvs.EvAccept, Key: m.Key, Slot: m.Slot, Stamp: m.Stamp, Origin: m.Origin, Value: m.Value})
 			rep.Slot = m.Slot
 		default:
 			rep.Flags |= proto.FlagNack
@@ -352,6 +362,10 @@ var DebugCommitHook func(storeID uintptr, key, slot uint64, ballot llc.Stamp, or
 func ApplyCommit(s *kvs.Store, key uint64, slot uint64, ballot llc.Stamp, val []byte, origin uint64, extra []uint64) (advanced bool) {
 	s.Mutate(key, func(e *kvs.Entry) {
 		st := stateOf(e)
+		// Recorded unconditionally: even a stale duplicate mutates the
+		// exactly-once registry, and a replica that replays its log must
+		// re-learn those origins or it will deny committed RMWs.
+		s.Record(kvs.Event{Kind: kvs.EvCommit, Key: key, Slot: slot, Stamp: ballot, Origin: origin, Value: val, Origins: extra})
 		if slot < st.Slot {
 			// Duplicate commit of an already-applied slot (e.g. a helper
 			// re-committing with a higher ballot): the value is identical,

@@ -1,0 +1,130 @@
+package paxos
+
+import (
+	"kite/internal/kvs"
+	"kite/internal/llc"
+)
+
+// WAL replay and snapshot support. The write-ahead log records the three
+// Paxos persistence points (promise, accept, commit) as they happen; on
+// restart the node replays them through the helpers below. Every replay
+// application re-checks the same guard the live handler used, so
+// replaying a prefix of history — or replaying records already covered
+// by a snapshot — converges to a state the live run could have been in.
+// In particular a promise or accept that was superseded before the
+// crash does not resurrect: the later record replays after it and wins
+// again.
+
+// ReplayPromise re-installs a logged promise: key promised ballot b at
+// slot. Applies only if the slot is still current and the ballot still
+// exceeds the standing promise (mirroring HandlePropose). The ballot
+// also raises the allocator watermark so a restarted proposer never
+// re-allocates a ballot its pre-crash self already saw.
+func ReplayPromise(s *kvs.Store, key, slot uint64, b llc.Stamp) {
+	s.Mutate(key, func(e *kvs.Entry) {
+		st := stateOf(e)
+		st.lastBallot = llc.Max(st.lastBallot, b)
+		if slot == st.Slot && st.Promised.Less(b) {
+			st.Promised = b
+		}
+	})
+}
+
+// ReplayAccept re-installs a logged accept, guarded like HandleAccept:
+// the slot must still be current and the ballot must not be below the
+// standing promise.
+func ReplayAccept(s *kvs.Store, key, slot uint64, b llc.Stamp, val []byte, origin uint64) {
+	s.Mutate(key, func(e *kvs.Entry) {
+		st := stateOf(e)
+		st.lastBallot = llc.Max(st.lastBallot, b)
+		if slot == st.Slot && !b.Less(st.Promised) {
+			st.Promised = b
+			st.AccBallot = b
+			st.AccVal = append(st.AccVal[:0], val...)
+			st.AccOrigin = origin
+		}
+	})
+}
+
+// Persisted is a key's full consensus state as stored in WAL snapshots.
+// Unlike the catch-up wire format (ExportMeta), it carries the
+// accepted-but-uncommitted round, the standing promise, and the ballot
+// allocator watermark — exactly the state whose loss used to be the
+// documented double-failure window. The slot history ring is not
+// persisted (it only sharpens committed-nack answers; a miss degrades
+// to the conservative path), and the exactly-once registry travels as
+// the recent-origin ring, the same fidelity catch-up provides.
+type Persisted struct {
+	Slot       uint64
+	Promised   llc.Stamp
+	AccBallot  llc.Stamp
+	LastBallot llc.Stamp
+	AccVal     []byte
+	AccOrigin  uint64
+	LastOrigin uint64
+	Recent     []uint64
+}
+
+// ExportState extracts a key's Persisted consensus state from its entry
+// meta for a snapshot. ok is false when the key has no consensus state
+// worth persisting. Callers hold the entry's bucket lock
+// (kvs.Store.SnapshotBucket), which is the meta-access contract.
+func ExportState(meta any) (Persisted, bool) {
+	st, isState := meta.(*State)
+	if !isState {
+		return Persisted{}, false
+	}
+	if st.Slot == 0 && st.Promised.IsZero() && st.AccBallot.IsZero() && st.lastBallot.IsZero() {
+		return Persisted{}, false
+	}
+	p := Persisted{
+		Slot:       st.Slot,
+		Promised:   st.Promised,
+		AccBallot:  st.AccBallot,
+		LastBallot: st.lastBallot,
+		AccOrigin:  st.AccOrigin,
+		LastOrigin: st.LastOrigin,
+		Recent:     st.recent(OriginRing),
+	}
+	if st.AccVal != nil {
+		p.AccVal = append([]byte(nil), st.AccVal...)
+	}
+	return p, true
+}
+
+// RestoreState merges a snapshot's Persisted state into key, guarded so
+// that log records replaying after (and overlapping) the snapshot can
+// only move state forward: a lower-slot snapshot entry never regresses
+// a key the log has already advanced.
+func RestoreState(s *kvs.Store, key uint64, p Persisted) {
+	s.Mutate(key, func(e *kvs.Entry) {
+		st := stateOf(e)
+		st.lastBallot = llc.Max(st.lastBallot, p.LastBallot)
+		for i := len(p.Recent) - 1; i >= 0; i-- {
+			st.recordOrigin(p.Recent[i])
+		}
+		if p.Slot < st.Slot {
+			return
+		}
+		if p.Slot > st.Slot {
+			st.Slot = p.Slot
+			st.Promised = llc.Zero
+			st.AccBallot = llc.Zero
+			st.AccVal = nil
+			st.AccOrigin = 0
+			st.LastOrigin = p.LastOrigin
+		}
+		// Same slot now: merge the promise and accepted round monotonically.
+		if st.Promised.Less(p.Promised) {
+			st.Promised = p.Promised
+		}
+		if st.AccBallot.Less(p.AccBallot) {
+			st.AccBallot = p.AccBallot
+			st.AccVal = append([]byte(nil), p.AccVal...)
+			st.AccOrigin = p.AccOrigin
+		}
+		if st.LastOrigin == 0 {
+			st.LastOrigin = p.LastOrigin
+		}
+	})
+}

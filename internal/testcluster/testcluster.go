@@ -10,6 +10,7 @@ package testcluster
 import (
 	"fmt"
 	"net"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -71,14 +72,21 @@ func (c *Cluster) PauseNode(i int, d time.Duration) { c.Nodes[i].Pause(d) }
 // up, answering leased clients with session errors until RestartNode.
 func (c *Cluster) StopNode(i int) { c.Nodes[i].Stop() }
 
-// TryRestartNode replaces stopped replica i with a fresh, empty node of
-// the same id on the same (fault-wrapped) UDP transport, rebinding the
-// session server so clients keep their dial target. The new incarnation
-// rejoins via the catch-up sweep; gate on AwaitRejoin before asserting
-// served state.
+// CrashNode kills replica i the way SIGKILL would: like StopNode, but a
+// WAL-enabled replica's log is abandoned without a final fsync, so the
+// restart replays exactly what had reached the operating system. On
+// memory-only clusters it is indistinguishable from StopNode.
+func (c *Cluster) CrashNode(i int) { c.Nodes[i].Crash() }
+
+// TryRestartNode replaces stopped replica i with a fresh node of the same
+// id on the same (fault-wrapped) UDP transport, rebinding the session
+// server so clients keep their dial target. On a memory-only cluster the
+// new incarnation is empty; with Options.WALDir it first replays its own
+// snapshot + log. Either way it rejoins via the catch-up sweep; gate on
+// AwaitRejoin before asserting served state.
 func (c *Cluster) TryRestartNode(i int) error {
 	c.Nodes[i].Stop()
-	cfg := c.cfg
+	cfg := c.nodeCfg(uint8(i))
 	cfg.Rejoin = true
 	// A fresh incarnation: op ids of the new boot must not collide with
 	// the dead incarnation's ids in the group's exactly-once registries.
@@ -163,7 +171,7 @@ func StartSharded(t TB, groups, n int) *Sharded {
 	t.Helper()
 	sc := &Sharded{}
 	for g := 0; g < groups; g++ {
-		sc.Groups = append(sc.Groups, startGroup(t, n, groups, g))
+		sc.Groups = append(sc.Groups, startGroup(t, Options{Nodes: n}, groups, g))
 	}
 	return sc
 }
@@ -276,19 +284,43 @@ func reservePorts(t TB, n int) []int {
 	return ports
 }
 
-// Start brings up n replicas over loopback UDP, each with a session server
-// on an ephemeral port, and registers teardown with t.Cleanup. The
-// configuration mirrors the client e2e environment: single worker, 8
-// sessions per worker, timeouts widened for loopback-UDP RTTs.
-func Start(t TB, n int) *Cluster {
-	return startGroup(t, n, 0, 0)
+// Options parameterise StartWith beyond the node count. The zero value of
+// every field keeps the memory-only defaults of Start.
+type Options struct {
+	// Nodes is the replica count (required, >= 1).
+	Nodes int
+	// WALDir, when non-empty, gives every replica a write-ahead log under
+	// its own node-<id> subdirectory; restarts of the same slot recover
+	// from it. Tests typically pass t.TempDir().
+	WALDir string
+	// FsyncInterval is the WAL group-commit deadline (0 = default 10ms,
+	// < 0 = fsync before every acknowledgment). Ignored without WALDir.
+	FsyncInterval time.Duration
+	// SnapshotEvery is the record count between background snapshots
+	// (0 = default, < 0 = disabled). Ignored without WALDir.
+	SnapshotEvery int
 }
 
-// startGroup is Start parameterised by the node's place in a sharded
+// Start brings up n memory-only replicas over loopback UDP, each with a
+// session server on an ephemeral port, and registers teardown with
+// t.Cleanup. The configuration mirrors the client e2e environment: single
+// worker, 8 sessions per worker, timeouts widened for loopback-UDP RTTs.
+func Start(t TB, n int) *Cluster {
+	return StartWith(t, Options{Nodes: n})
+}
+
+// StartWith is Start with explicit Options — notably per-node write-ahead
+// logs for durability and crash-recovery tests.
+func StartWith(t TB, o Options) *Cluster {
+	return startGroup(t, o, 0, 0)
+}
+
+// startGroup is StartWith parameterised by the node's place in a sharded
 // deployment: its session servers advertise (groups, group) to clients.
-func startGroup(t TB, n, groups, group int) *Cluster {
+func startGroup(t TB, o Options, groups, group int) *Cluster {
 	t.Helper()
 	const workers = 1
+	n := o.Nodes
 	// Reserve the full id space so live AddNode needs no re-wiring.
 	ports := reservePorts(t, llc.MaxNodes*workers)
 	addrOf := func(node, w int) string {
@@ -300,6 +332,9 @@ func startGroup(t TB, n, groups, group int) *Cluster {
 		// timeouts so healthy runs stay on the fast path.
 		ReleaseTimeout: 50 * time.Millisecond,
 		RetryInterval:  25 * time.Millisecond,
+		WALDir:         o.WALDir,
+		FsyncInterval:  o.FsyncInterval,
+		SnapshotEvery:  o.SnapshotEvery,
 	}
 	cl := &Cluster{
 		cfg: cfg, t: t, addrOf: addrOf, boot: n, groups: groups, group: group,
@@ -324,11 +359,26 @@ func startGroup(t TB, n, groups, group int) *Cluster {
 	return cl
 }
 
+// nodeCfg derives replica id's config from the cluster's: same everything,
+// but its own WAL subdirectory (when the cluster has one at all).
+func (c *Cluster) nodeCfg(id uint8) core.Config {
+	cfg := c.cfg
+	if cfg.WALDir != "" {
+		cfg.WALDir = filepath.Join(cfg.WALDir, fmt.Sprintf("node-%02d", id))
+	}
+	return cfg
+}
+
 // bootNode wires the transport (peer addresses for the WHOLE id space —
 // absent peers are simply dark sockets), wraps it in the node's fault
-// injector, boots the node and fronts it with a session server.
+// injector, boots the node and fronts it with a session server. cfg is the
+// cluster-level config (base WALDir); the per-node subdirectory is derived
+// here.
 func (c *Cluster) bootNode(id uint8, cfg core.Config) error {
 	const workers = 1
+	if cfg.WALDir != "" {
+		cfg.WALDir = filepath.Join(cfg.WALDir, fmt.Sprintf("node-%02d", id))
+	}
 	listen := make([]string, workers)
 	for w := range listen {
 		listen[w] = c.addrOf(int(id), w)
@@ -500,6 +550,7 @@ func (t *chaosTarget) Session(node, sess int) (kite.Session, error) {
 
 func (t *chaosTarget) Faults() *transport.FaultSet { return t.c.Faults() }
 func (t *chaosTarget) StopNode(node int)           { t.c.StopNode(node) }
+func (t *chaosTarget) CrashNode(node int)          { t.c.CrashNode(node) }
 func (t *chaosTarget) RestartNode(node int) error  { return t.c.TryRestartNode(node) }
 func (t *chaosTarget) AwaitRejoin(node int, timeout time.Duration) bool {
 	return t.c.TryAwaitRejoin(node, timeout)

@@ -1,0 +1,243 @@
+// Record codec for the write-ahead log.
+//
+// Every record is framed as
+//
+//	[u32 length][u32 crc32c][payload]
+//
+// with both header words little-endian and the CRC (Castagnoli) taken
+// over the payload alone. The frame is the unit of durability: a reader
+// stops at the first frame whose header is short, whose length is
+// implausible, or whose CRC does not match — everything before that
+// point is the durable prefix, everything after is a torn tail. A
+// partially written record can therefore never be served: it fails the
+// CRC and truncates the replay instead.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind tags what a record means to replay. The set mirrors the store's
+// durable transitions: value installs (ES/ABD writes and commit values
+// are all EvWrite-shaped at the kvs layer), the three Paxos persistence
+// points (promise, accept, commit), catch-up imports, membership config
+// commits, boot markers, and snapshot entries.
+type Kind uint8
+
+const (
+	// KindWrite is a value install: key, value, and the LLC stamp it
+	// was installed under. Replay is last-writer-wins, so duplicates
+	// and stale records are harmless.
+	KindWrite Kind = 1 + iota
+	// KindPromise is a Paxos promise this node granted: key, slot, and
+	// the promised ballot in Stamp. Must be durable before the ack
+	// leaves, or a restarted acceptor could accept a lower ballot it
+	// promised away.
+	KindPromise
+	// KindAccept is a Paxos accept: key, slot, ballot in Stamp, the
+	// accepted value and its origin op-id. This is the record that
+	// closes the accepted-but-uncommitted double-failure window.
+	KindAccept
+	// KindCommit is a Paxos commit application: key, slot, ballot,
+	// value, origin, plus the recent-origin ring in Origins.
+	KindCommit
+	// KindImport is a catch-up import of committed consensus state:
+	// key, slot, last origin, recent-origin ring.
+	KindImport
+	// KindConfig is a membership configuration install; Value holds
+	// membership.Config.Encode() and Epoch the installed epoch.
+	KindConfig
+	// KindBoot marks a boot with the incarnation the node came up
+	// under. It makes incarnations durable even on an idle node, so a
+	// restart can never reuse an op-id namespace.
+	KindBoot
+	// KindSnapEntry is one key inside a store snapshot: the value and
+	// stamp plus the full per-key consensus state (promised, accepted
+	// ballot/value/origin, ballot-allocation watermark).
+	KindSnapEntry
+)
+
+// Record is one durable event. Which fields are meaningful depends on
+// Kind; unused fields encode as zero.
+type Record struct {
+	Kind  Kind
+	Epoch uint32 // group configuration epoch at append time
+	Inc   uint32 // boot incarnation of the appending node
+
+	Key    uint64
+	Slot   uint64
+	Origin uint64
+	Stamp  uint64 // packed llc.Stamp: value stamp, or the ballot for promise/accept
+
+	// Snapshot-only consensus state (KindSnapEntry). AccVal is the
+	// accepted-but-uncommitted value, carried separately from Value
+	// (the committed entry value) because a key can have both.
+	Promised   uint64
+	AccBallot  uint64
+	LastBallot uint64
+	AccOrigin  uint64
+	AccVal     []byte
+
+	Value   []byte
+	Origins []uint64
+}
+
+const (
+	frameHeader = 8 // u32 length + u32 crc32c
+
+	// maxPayload bounds a frame length before the CRC is even checked:
+	// a corrupted length word must not make the reader allocate or
+	// skip gigabytes. Generous vs. the real maximum (fixed fields +
+	// 64KiB value cap + origin ring).
+	maxPayload = 1 << 20
+
+	maxValueLen   = 1 << 16
+	maxOriginsLen = 1 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendPayload encodes r's payload (no frame header) onto b.
+func (r *Record) appendPayload(b []byte) []byte {
+	b = append(b, byte(r.Kind))
+	b = binary.LittleEndian.AppendUint32(b, r.Epoch)
+	b = binary.LittleEndian.AppendUint32(b, r.Inc)
+	b = binary.LittleEndian.AppendUint64(b, r.Key)
+	b = binary.LittleEndian.AppendUint64(b, r.Slot)
+	b = binary.LittleEndian.AppendUint64(b, r.Origin)
+	b = binary.LittleEndian.AppendUint64(b, r.Stamp)
+	if r.Kind == KindSnapEntry {
+		b = binary.LittleEndian.AppendUint64(b, r.Promised)
+		b = binary.LittleEndian.AppendUint64(b, r.AccBallot)
+		b = binary.LittleEndian.AppendUint64(b, r.LastBallot)
+		b = binary.LittleEndian.AppendUint64(b, r.AccOrigin)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(r.AccVal)))
+		b = append(b, r.AccVal...)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Value)))
+	b = append(b, r.Value...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Origins)))
+	for _, o := range r.Origins {
+		b = binary.LittleEndian.AppendUint64(b, o)
+	}
+	return b
+}
+
+// appendFrame encodes r as a complete CRC-checked frame onto b.
+func (r *Record) appendFrame(b []byte) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	b = r.appendPayload(b)
+	payload := b[start+frameHeader:]
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[start+4:], crc32.Checksum(payload, crcTable))
+	return b
+}
+
+// decodePayload parses a CRC-verified payload into a Record. Errors
+// mean the payload is structurally invalid (possible only via a CRC
+// collision or an encoder bug) and truncate replay like a torn frame.
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	need := func(n int) error {
+		if len(p) < n {
+			return fmt.Errorf("wal: short payload: need %d, have %d", n, len(p))
+		}
+		return nil
+	}
+	if err := need(1 + 4 + 4 + 8*4); err != nil {
+		return r, err
+	}
+	r.Kind = Kind(p[0])
+	if r.Kind < KindWrite || r.Kind > KindSnapEntry {
+		return r, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	r.Epoch = binary.LittleEndian.Uint32(p[1:])
+	r.Inc = binary.LittleEndian.Uint32(p[5:])
+	r.Key = binary.LittleEndian.Uint64(p[9:])
+	r.Slot = binary.LittleEndian.Uint64(p[17:])
+	r.Origin = binary.LittleEndian.Uint64(p[25:])
+	r.Stamp = binary.LittleEndian.Uint64(p[33:])
+	p = p[41:]
+	if r.Kind == KindSnapEntry {
+		if err := need(32); err != nil {
+			return r, err
+		}
+		r.Promised = binary.LittleEndian.Uint64(p[0:])
+		r.AccBallot = binary.LittleEndian.Uint64(p[8:])
+		r.LastBallot = binary.LittleEndian.Uint64(p[16:])
+		r.AccOrigin = binary.LittleEndian.Uint64(p[24:])
+		p = p[32:]
+		if len(p) < 2 {
+			return r, fmt.Errorf("wal: truncated accepted-value length")
+		}
+		avlen := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if avlen > maxValueLen || len(p) < avlen {
+			return r, fmt.Errorf("wal: bad accepted-value length %d", avlen)
+		}
+		if avlen > 0 {
+			r.AccVal = append([]byte(nil), p[:avlen]...)
+		}
+		p = p[avlen:]
+	}
+	if len(p) < 2 {
+		return r, fmt.Errorf("wal: truncated value length")
+	}
+	vlen := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if vlen > maxValueLen || len(p) < vlen {
+		return r, fmt.Errorf("wal: bad value length %d", vlen)
+	}
+	if vlen > 0 {
+		r.Value = append([]byte(nil), p[:vlen]...)
+	}
+	p = p[vlen:]
+	if len(p) < 2 {
+		return r, fmt.Errorf("wal: truncated origins length")
+	}
+	olen := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if olen > maxOriginsLen || len(p) < olen*8 {
+		return r, fmt.Errorf("wal: bad origins length %d", olen)
+	}
+	if olen > 0 {
+		r.Origins = make([]uint64, olen)
+		for i := range r.Origins {
+			r.Origins[i] = binary.LittleEndian.Uint64(p[i*8:])
+		}
+	}
+	if len(p) != olen*8 {
+		return r, fmt.Errorf("wal: %d trailing bytes in payload", len(p)-olen*8)
+	}
+	return r, nil
+}
+
+// scanFrames walks CRC-framed records in data, calling fn for each
+// valid record in order. It stops silently at the first torn or corrupt
+// frame — the valid prefix is the durable content by definition — and
+// returns the number of records delivered.
+func scanFrames(data []byte, fn func(*Record)) int {
+	n := 0
+	for len(data) >= frameHeader {
+		length := binary.LittleEndian.Uint32(data)
+		crc := binary.LittleEndian.Uint32(data[4:])
+		if length == 0 || length > maxPayload || uint64(len(data)-frameHeader) < uint64(length) {
+			break
+		}
+		payload := data[frameHeader : frameHeader+length]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		fn(&rec)
+		n++
+		data = data[frameHeader+length:]
+	}
+	return n
+}

@@ -1,0 +1,605 @@
+// Package wal is the per-node write-ahead log: a segmented append-only
+// log of the store's durable transitions (value installs, Paxos
+// promises/accepts/commits, catch-up imports, membership config
+// commits) plus periodic store snapshots that bound replay length and
+// let old segments be truncated.
+//
+// Durability rides a deadline, not a per-op syscall. Append only
+// encodes into an in-memory buffer — it is cheap enough to call from
+// inside a kvs bucket critical section, which is exactly where the
+// store's mutation hook fires (so log order equals per-key mutation
+// order by construction) — and wakes the flusher only when the buffer
+// grows large. Otherwise the flusher runs on the group-commit deadline:
+// every FsyncInterval it writes the accumulated batch and fsyncs it,
+// one write(2) and one fdatasync-equivalent per interval no matter the
+// append rate. The durability window is therefore at most one
+// FsyncInterval of acknowledged operations, for process kills and
+// power losses alike. Operations that must lead durability can run the
+// log in synchronous mode (FsyncInterval < 0), where the worker loop
+// calls Sync before shipping each iteration's acks.
+//
+// On Open the log replays the newest intact snapshot and every segment
+// at or after its boundary through the caller's apply function, then
+// starts a fresh segment (old segment tails may be torn; they are never
+// appended to again). Replay application is the caller's business, but
+// the contract the caller must honor is that every application is
+// guarded or idempotent — records that duplicate snapshot content, or
+// that replay after a later record already superseded them, must be
+// harmless. The store's LWW installs and the Paxos replay guards both
+// have this shape.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// DefaultFsyncInterval is the group-commit deadline when
+	// Options.FsyncInterval is zero: the upper bound on acknowledged
+	// work a power loss can take back.
+	DefaultFsyncInterval = 10 * time.Millisecond
+
+	// DefaultSegmentBytes rotates segments at 4 MiB — small enough
+	// that snapshot truncation reclaims space promptly, large enough
+	// that rotation is rare on the hot path.
+	DefaultSegmentBytes = 4 << 20
+
+	// DefaultSnapshotEvery is the append count between snapshots when
+	// Options.SnapshotEvery is zero.
+	DefaultSnapshotEvery = 1 << 16
+
+	// flushChunk is the buffered-bytes threshold past which Append wakes
+	// the flusher ahead of the deadline. Below it, batches ride the
+	// FsyncInterval timer — the whole point of group commit is that the
+	// hot path costs a memcpy, not a wakeup.
+	flushChunk = 256 << 10
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the log directory, created if absent. One directory per
+	// node — segments and snapshots from different nodes must never
+	// mix.
+	Dir string
+
+	// FsyncInterval is the group-commit deadline. Zero means
+	// DefaultFsyncInterval. Negative means synchronous mode: the
+	// flusher never fsyncs on its own and the owner is expected to
+	// call Sync at its own commit points (the core worker loop does
+	// this once per iteration, before shipping acks).
+	FsyncInterval time.Duration
+
+	// SegmentBytes rotates the active segment when it grows past this
+	// size. Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+
+	// SnapshotEvery is the number of appended records after which
+	// SnapshotDue reports true. Zero means DefaultSnapshotEvery;
+	// negative disables snapshot scheduling (segments then grow
+	// without bound — testing only).
+	SnapshotEvery int
+
+	// Incarnation is the boot incarnation the owner wants. Open raises
+	// it above any incarnation found in the log so op-id namespaces
+	// are never reused across restarts, even if the operator passes a
+	// stale value.
+	Incarnation uint32
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval == 0 {
+		o.FsyncInterval = DefaultFsyncInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	return o
+}
+
+// OpenResult reports what Open found on disk.
+type OpenResult struct {
+	// Incarnation is the effective boot incarnation: the requested one
+	// raised above every incarnation recorded in the log.
+	Incarnation uint32
+	// Records is the number of log records replayed (snapshot entries
+	// excluded).
+	Records int
+	// SnapEntries is the number of snapshot entries replayed.
+	SnapEntries int
+	// Restored is true when the log held any prior state at all — the
+	// node is a restart, not a first boot.
+	Restored bool
+}
+
+// Log is an open write-ahead log. Append/Sync/SnapshotDue are safe for
+// concurrent use; Snapshot serializes internally; Close and Crash are
+// idempotent.
+type Log struct {
+	opt Options
+	inc uint32
+
+	mu  sync.Mutex // guards buf
+	buf []byte
+
+	appendSeq atomic.Uint64 // records appended
+	syncedSeq atomic.Uint64 // records durable (fsynced)
+	sinceSnap atomic.Uint64 // records appended since the last snapshot
+
+	kick     chan struct{}
+	syncCh   chan chan error
+	rotateCh chan chan rotateReply
+	closeCh  chan struct{}
+	done     chan struct{}
+
+	closed  atomic.Bool
+	crashed atomic.Bool
+
+	snapMu sync.Mutex // serializes Snapshot
+}
+
+type rotateReply struct {
+	index uint64
+	err   error
+}
+
+func segName(index uint64) string  { return fmt.Sprintf("seg-%08d.wal", index) }
+func snapName(index uint64) string { return fmt.Sprintf("snap-%08d.snap", index) }
+
+func parseIndexed(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	idx, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// listIndexed returns the sorted indices of files matching
+// prefix%08dsuffix in dir.
+func listIndexed(dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if idx, ok := parseIndexed(e.Name(), prefix, suffix); ok {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Open replays the log at opt.Dir through apply (newest intact
+// snapshot first, then every segment at or after its boundary, in
+// order, stopping each file at its first torn frame), appends a boot
+// record under the effective incarnation, and starts the flusher.
+func Open(opt Options, apply func(*Record)) (*Log, OpenResult, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, OpenResult{}, err
+	}
+
+	var res OpenResult
+	maxInc := uint32(0)
+	observe := func(r *Record) {
+		if r.Inc > maxInc {
+			maxInc = r.Inc
+		}
+		if apply != nil {
+			apply(r)
+		}
+	}
+
+	snaps, err := listIndexed(opt.Dir, "snap-", ".snap")
+	if err != nil {
+		return nil, OpenResult{}, err
+	}
+	segs, err := listIndexed(opt.Dir, "seg-", ".wal")
+	if err != nil {
+		return nil, OpenResult{}, err
+	}
+
+	// A snapshot named snap-K covers everything before segment K. Use
+	// the newest one that reads back intact; an empty or unreadable
+	// snapshot (e.g. a crash between rename and the first page hitting
+	// disk on a non-atomic filesystem) falls back to the previous one,
+	// whose covered segments are only deleted after the next snapshot
+	// succeeds.
+	replayFrom := uint64(0)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(opt.Dir, snapName(snaps[i])))
+		if err != nil {
+			continue
+		}
+		n := scanFrames(data, func(r *Record) {
+			if r.Kind == KindSnapEntry || r.Kind == KindConfig {
+				observe(r)
+			}
+		})
+		if n > 0 {
+			res.SnapEntries = n
+			replayFrom = snaps[i]
+			break
+		}
+	}
+
+	for _, idx := range segs {
+		if idx < replayFrom {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(opt.Dir, segName(idx)))
+		if err != nil {
+			return nil, OpenResult{}, err
+		}
+		res.Records += scanFrames(data, observe)
+	}
+
+	res.Restored = res.Records > 0 || res.SnapEntries > 0
+	res.Incarnation = opt.Incarnation
+	if maxInc >= res.Incarnation {
+		res.Incarnation = maxInc + 1
+	}
+
+	// Never append to an old segment: its tail may be torn, and
+	// repairing in place risks the durable prefix. Start fresh.
+	nextSeg := uint64(0)
+	if len(segs) > 0 {
+		nextSeg = segs[len(segs)-1] + 1
+	}
+	if replayFrom > nextSeg {
+		nextSeg = replayFrom
+	}
+
+	l := &Log{
+		opt:      opt,
+		inc:      res.Incarnation,
+		kick:     make(chan struct{}, 1),
+		syncCh:   make(chan chan error),
+		rotateCh: make(chan chan rotateReply),
+		closeCh:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+
+	f, err := os.OpenFile(filepath.Join(opt.Dir, segName(nextSeg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, OpenResult{}, err
+	}
+	syncDir(opt.Dir)
+
+	go l.flusher(f, nextSeg)
+
+	// The boot record makes the effective incarnation durable even on
+	// an idle node, so the next restart allocates above it.
+	l.Append(Record{Kind: KindBoot})
+	return l, res, nil
+}
+
+// Incarnation returns the effective boot incarnation.
+func (l *Log) Incarnation() uint32 { return l.inc }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.opt.Dir }
+
+// Append encodes r into the group-commit buffer. It never blocks on I/O
+// — it is called from inside kvs bucket critical sections — and its
+// lock nests strictly inside bucket locks (the flusher takes l.mu only
+// around a buffer swap). The flusher is woken only when the buffer has
+// grown past flushChunk; smaller batches ride the deadline timer. The
+// record's incarnation field is stamped here.
+func (l *Log) Append(r Record) {
+	if l.closed.Load() {
+		return
+	}
+	r.Inc = l.inc
+	l.mu.Lock()
+	l.buf = r.appendFrame(l.buf)
+	big := len(l.buf) >= flushChunk
+	l.mu.Unlock()
+	l.appendSeq.Add(1)
+	l.sinceSnap.Add(1)
+	if big {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Sync makes every record appended so far durable (flushed and
+// fsynced) before returning. When nothing new was appended since the
+// last fsync it returns immediately without a syscall, so calling it
+// once per worker-loop iteration is cheap on idle workers.
+func (l *Log) Sync() error {
+	if l.syncedSeq.Load() >= l.appendSeq.Load() {
+		return nil
+	}
+	if l.closed.Load() {
+		return errors.New("wal: closed")
+	}
+	reply := make(chan error, 1)
+	select {
+	case l.syncCh <- reply:
+		return <-reply
+	case <-l.done:
+		return errors.New("wal: closed")
+	}
+}
+
+// SnapshotDue reports whether enough records have been appended since
+// the last snapshot to warrant a new one.
+func (l *Log) SnapshotDue() bool {
+	if l.opt.SnapshotEvery < 0 || l.closed.Load() {
+		return false
+	}
+	return l.sinceSnap.Load() >= uint64(l.opt.SnapshotEvery)
+}
+
+// Snapshot writes a point-in-time store snapshot and truncates the
+// segments it makes obsolete. The caller drives the iteration: iter
+// must call emit once per record to persist. emit only buffers in
+// memory — it is safe to call while holding kvs bucket locks; all file
+// I/O happens in Snapshot itself, after iter returns.
+//
+// Sequence: rotate the active segment (the new segment's index K
+// becomes the snapshot boundary), buffer the snapshot, write it to a
+// temp file, fsync, rename to snap-K, then delete segments below K and
+// older snapshots. Appends racing the iteration land in segment K and
+// replay over the snapshot on the next boot; that overlap is harmless
+// because replay application is idempotent.
+func (l *Log) Snapshot(iter func(emit func(*Record))) error {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	if l.closed.Load() {
+		return errors.New("wal: closed")
+	}
+
+	reply := make(chan rotateReply, 1)
+	select {
+	case l.rotateCh <- reply:
+	case <-l.done:
+		return errors.New("wal: closed")
+	}
+	rot := <-reply
+	if rot.err != nil {
+		return rot.err
+	}
+	boundary := rot.index
+
+	// Reset the cadence counter now: records appended during the
+	// iteration are covered by the segments the snapshot keeps.
+	l.sinceSnap.Store(0)
+
+	var buf []byte
+	iter(func(r *Record) {
+		r.Inc = l.inc
+		buf = r.appendFrame(buf)
+	})
+
+	tmp := filepath.Join(l.opt.Dir, "snap.tmp")
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	final := filepath.Join(l.opt.Dir, snapName(boundary))
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	syncDir(l.opt.Dir)
+
+	// Truncate: segments below the boundary are fully covered by the
+	// snapshot; older snapshots are superseded.
+	if segs, err := listIndexed(l.opt.Dir, "seg-", ".wal"); err == nil {
+		for _, idx := range segs {
+			if idx < boundary {
+				os.Remove(filepath.Join(l.opt.Dir, segName(idx)))
+			}
+		}
+	}
+	if snaps, err := listIndexed(l.opt.Dir, "snap-", ".snap"); err == nil {
+		for _, idx := range snaps {
+			if idx < boundary {
+				os.Remove(filepath.Join(l.opt.Dir, snapName(idx)))
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log. Further appends are
+// dropped.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		<-l.done
+		return nil
+	}
+	close(l.closeCh)
+	<-l.done
+	return nil
+}
+
+// Crash closes the log the way SIGKILL would: buffered records are
+// written to the file — a killed process's page cache survives, so
+// in-flight write(2)s are not the lossy part — but nothing is fsynced.
+// Data not yet flushed by the kernel models the power-loss window.
+func (l *Log) Crash() {
+	l.crashed.Store(true)
+	if l.closed.Swap(true) {
+		<-l.done
+		return
+	}
+	close(l.closeCh)
+	<-l.done
+}
+
+// flusher owns the active segment file exclusively. It drains the
+// group-commit buffer and fsyncs on the deadline timer — one write and
+// one fsync per FsyncInterval, bounding the durability window to the
+// interval — drains early when Append signals a large buffer, rotates
+// segments on size or on demand, and answers synchronous Sync requests.
+func (l *Log) flusher(seg *os.File, segIndex uint64) {
+	defer close(l.done)
+
+	var (
+		segBytes  int64
+		dirty     bool // bytes written since the last fsync
+		writeErr  error
+		flushedTo uint64
+	)
+	interval := l.opt.FsyncInterval
+	syncMode := interval < 0
+	if syncMode {
+		// The timer still ticks as a backstop so an owner that stops
+		// calling Sync (e.g. mid-shutdown) does not hold dirty pages
+		// forever, but at a coarse cadence.
+		interval = 50 * time.Millisecond
+	}
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+
+	// spare recycles the drained batch buffer back under l.buf so the
+	// steady state allocates nothing; oversized one-off batches are
+	// dropped rather than pinned.
+	var spare []byte
+	swapBuf := func() []byte {
+		l.mu.Lock()
+		b := l.buf
+		l.buf = spare
+		spare = nil
+		l.mu.Unlock()
+		return b
+	}
+
+	writePending := func() {
+		// Load the sequence before swapping the buffer: a record counted
+		// here has already placed its bytes in the buffer (Append orders
+		// the two that way), so flushedTo never overcounts. Records that
+		// land between the load and the swap are written but undercounted
+		// — Sync then just fsyncs once more than strictly needed.
+		seq := l.appendSeq.Load()
+		b := swapBuf()
+		if len(b) == 0 {
+			return
+		}
+		if _, err := seg.Write(b); err != nil && writeErr == nil {
+			writeErr = err
+		}
+		segBytes += int64(len(b))
+		dirty = true
+		flushedTo = seq
+		if cap(b) <= 4*flushChunk {
+			spare = b[:0]
+		}
+	}
+
+	fsync := func() error {
+		if !dirty {
+			l.syncedSeq.Store(flushedTo)
+			return writeErr
+		}
+		err := seg.Sync()
+		if err == nil {
+			dirty = false
+			l.syncedSeq.Store(flushedTo)
+		}
+		if writeErr != nil {
+			return writeErr
+		}
+		return err
+	}
+
+	rotate := func() error {
+		if err := fsync(); err != nil {
+			return err
+		}
+		if err := seg.Close(); err != nil {
+			return err
+		}
+		segIndex++
+		f, err := os.OpenFile(filepath.Join(l.opt.Dir, segName(segIndex)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		syncDir(l.opt.Dir)
+		seg = f
+		segBytes = 0
+		return nil
+	}
+
+	for {
+		select {
+		case <-l.kick:
+			writePending()
+			if segBytes >= l.opt.SegmentBytes {
+				if err := rotate(); err != nil && writeErr == nil {
+					writeErr = err
+				}
+			}
+		case reply := <-l.syncCh:
+			writePending()
+			reply <- fsync()
+		case reply := <-l.rotateCh:
+			writePending()
+			err := rotate()
+			reply <- rotateReply{index: segIndex, err: err}
+		case <-timer.C:
+			writePending()
+			if !syncMode {
+				fsync()
+			}
+			timer.Reset(interval)
+		case <-l.closeCh:
+			writePending()
+			if !l.crashed.Load() {
+				fsync()
+			}
+			seg.Close()
+			return
+		}
+	}
+}
+
+// writeFileSync writes data to path and fsyncs it before returning.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so entry creations/renames are durable.
+// Errors are ignored: not all filesystems support directory fsync, and
+// the records themselves are CRC-guarded either way.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

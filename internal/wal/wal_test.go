@@ -1,0 +1,380 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func collectReplay(t *testing.T, dir string, opt Options) ([]Record, OpenResult, *Log) {
+	t.Helper()
+	opt.Dir = dir
+	var got []Record
+	l, res, err := Open(opt, func(r *Record) { got = append(got, *r) })
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return got, res, l
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: KindWrite, Epoch: 3, Inc: 7, Key: 42, Stamp: 99, Value: []byte("hello")},
+		{Kind: KindPromise, Key: 1, Slot: 5, Stamp: 0x1234},
+		{Kind: KindAccept, Key: 1, Slot: 5, Stamp: 0x1235, Origin: 77, Value: []byte("acc")},
+		{Kind: KindCommit, Key: 1, Slot: 5, Stamp: 0x1235, Origin: 77, Value: []byte("acc"), Origins: []uint64{1, 2, 3}},
+		{Kind: KindImport, Key: 9, Slot: 2, Origin: 5, Origins: []uint64{8}},
+		{Kind: KindConfig, Epoch: 4, Value: []byte{1, 0, 0, 0, 7, 0}},
+		{Kind: KindBoot, Inc: 12},
+		{Kind: KindSnapEntry, Key: 3, Slot: 1, Stamp: 10, Promised: 11, AccBallot: 12, LastBallot: 13, AccOrigin: 14, AccVal: []byte("pending"), Value: []byte("v"), Origins: []uint64{4, 5}},
+	}
+	var buf []byte
+	for i := range recs {
+		buf = recs[i].appendFrame(buf)
+	}
+	var got []Record
+	n := scanFrames(buf, func(r *Record) { got = append(got, *r) })
+	if n != len(recs) {
+		t.Fatalf("scanned %d records, want %d", n, len(recs))
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestOpenReplaysInOrder(t *testing.T) {
+	dir := t.TempDir()
+	_, res, l := collectReplay(t, dir, Options{Incarnation: 1})
+	if res.Restored {
+		t.Fatal("fresh dir reported Restored")
+	}
+	for i := 0; i < 100; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: uint64(i + 1), Value: []byte{byte(i)}})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, res, l2 := collectReplay(t, dir, Options{Incarnation: 1})
+	defer l2.Close()
+	if !res.Restored {
+		t.Fatal("restart not reported as Restored")
+	}
+	// First replayed record is the prior boot marker.
+	if got[0].Kind != KindBoot {
+		t.Fatalf("first record kind = %d, want KindBoot", got[0].Kind)
+	}
+	writes := got[1:]
+	if len(writes) != 100 {
+		t.Fatalf("replayed %d writes, want 100", len(writes))
+	}
+	for i, r := range writes {
+		if r.Key != uint64(i) || r.Stamp != uint64(i+1) || !bytes.Equal(r.Value, []byte{byte(i)}) {
+			t.Fatalf("write %d out of order or corrupt: %+v", i, r)
+		}
+		if r.Inc != 1 {
+			t.Fatalf("write %d incarnation = %d, want 1", i, r.Inc)
+		}
+	}
+}
+
+func TestCrashPreservesBufferedRecords(t *testing.T) {
+	dir := t.TempDir()
+	// A long fsync interval so nothing is durable by deadline; Crash
+	// must still push the buffer through write(2).
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1, FsyncInterval: time.Hour})
+	for i := 0; i < 10; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: 1})
+	}
+	l.Crash()
+
+	got, _, l2 := collectReplay(t, dir, Options{})
+	defer l2.Close()
+	writes := 0
+	for _, r := range got {
+		if r.Kind == KindWrite {
+			writes++
+		}
+	}
+	if writes != 10 {
+		t.Fatalf("replayed %d writes after crash, want 10", writes)
+	}
+}
+
+func TestIncarnationMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	_, res, l := collectReplay(t, dir, Options{Incarnation: 5})
+	if res.Incarnation != 5 {
+		t.Fatalf("first boot incarnation = %d, want 5", res.Incarnation)
+	}
+	l.Close()
+
+	// A stale request must be raised above the logged incarnation,
+	// even though the node never appended any traffic.
+	_, res, l = collectReplay(t, dir, Options{Incarnation: 0})
+	if res.Incarnation != 6 {
+		t.Fatalf("second boot incarnation = %d, want 6", res.Incarnation)
+	}
+	l.Close()
+
+	// A higher explicit request wins.
+	_, res, l = collectReplay(t, dir, Options{Incarnation: 20})
+	if res.Incarnation != 20 {
+		t.Fatalf("third boot incarnation = %d, want 20", res.Incarnation)
+	}
+	l.Close()
+}
+
+func TestSyncMakesAppendsDurable(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1, FsyncInterval: -1})
+	if err := l.Sync(); err != nil { // no-op sync on empty log
+		t.Fatalf("empty Sync: %v", err)
+	}
+	l.Append(Record{Kind: KindWrite, Key: 1, Stamp: 1})
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if l.syncedSeq.Load() < l.appendSeq.Load() {
+		t.Fatalf("syncedSeq %d < appendSeq %d after Sync", l.syncedSeq.Load(), l.appendSeq.Load())
+	}
+	l.Close()
+}
+
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listIndexed(dir, "seg-", ".wal")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	return filepath.Join(dir, segName(segs[len(segs)-1]))
+}
+
+func TestTornTailTruncatesReplay(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1})
+	for i := 0; i < 20; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: 1, Value: []byte("0123456789")})
+	}
+	l.Close()
+
+	// Tear the tail mid-frame: chop the last 7 bytes.
+	p := segPath(t, dir)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, l2 := collectReplay(t, dir, Options{})
+	defer l2.Close()
+	writes := 0
+	for _, r := range got {
+		if r.Kind == KindWrite {
+			writes++
+			if len(r.Value) != 10 {
+				t.Fatalf("partial value served: %q", r.Value)
+			}
+		}
+	}
+	if writes != 19 {
+		t.Fatalf("replayed %d writes after torn tail, want 19", writes)
+	}
+}
+
+func TestBitFlipStopsAtCorruption(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1})
+	for i := 0; i < 20; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: 1, Value: []byte("0123456789")})
+	}
+	l.Close()
+
+	// Flip one bit in the middle of the file; replay must stop at the
+	// corrupted frame and serve only the prefix before it.
+	p := segPath(t, dir)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, l2 := collectReplay(t, dir, Options{})
+	defer l2.Close()
+	for _, r := range got {
+		if r.Kind == KindWrite && len(r.Value) != 10 {
+			t.Fatalf("corrupt record served: %+v", r)
+		}
+	}
+	writes := 0
+	for _, r := range got {
+		if r.Kind == KindWrite {
+			writes++
+		}
+	}
+	if writes >= 20 {
+		t.Fatalf("corruption not detected: %d writes replayed", writes)
+	}
+}
+
+func TestSnapshotTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so the pre-snapshot records span several files.
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1, SegmentBytes: 256, SnapshotEvery: 50})
+	for i := 0; i < 100; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: uint64(i + 1), Value: []byte("0123456789")})
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if !l.SnapshotDue() {
+		t.Fatal("snapshot not due after 100 appends with SnapshotEvery=50")
+	}
+
+	// The "store" here is a flat map standing in for the kvs iteration.
+	if err := l.Snapshot(func(emit func(*Record)) {
+		for i := 0; i < 100; i++ {
+			emit(&Record{Kind: KindSnapEntry, Key: uint64(i), Stamp: uint64(i + 1), Value: []byte("0123456789")})
+		}
+	}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if l.SnapshotDue() {
+		t.Fatal("snapshot still due right after snapshotting")
+	}
+
+	// Post-snapshot traffic lands in segments the snapshot keeps.
+	for i := 100; i < 110; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: uint64(i + 1)})
+	}
+	l.Close()
+
+	snaps, _ := listIndexed(dir, "snap-", ".snap")
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly 1 snapshot, have %v", snaps)
+	}
+	segs, _ := listIndexed(dir, "seg-", ".wal")
+	for _, idx := range segs {
+		if idx < snaps[0] {
+			t.Fatalf("segment %d below snapshot boundary %d not truncated", idx, snaps[0])
+		}
+	}
+
+	got, res, l2 := collectReplay(t, dir, Options{})
+	defer l2.Close()
+	if res.SnapEntries != 100 {
+		t.Fatalf("replayed %d snapshot entries, want 100", res.SnapEntries)
+	}
+	keys := map[uint64]bool{}
+	for _, r := range got {
+		if r.Kind == KindSnapEntry || r.Kind == KindWrite {
+			keys[r.Key] = true
+		}
+	}
+	for i := 0; i < 110; i++ {
+		if !keys[uint64(i)] {
+			t.Fatalf("key %d lost across snapshot+replay", i)
+		}
+	}
+}
+
+func TestOldSnapshotSurvivesCorruptNewOne(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1, SegmentBytes: 256})
+	for i := 0; i < 50; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: 1})
+	}
+	if err := l.Snapshot(func(emit func(*Record)) {
+		for i := 0; i < 50; i++ {
+			emit(&Record{Kind: KindSnapEntry, Key: uint64(i), Stamp: 1})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Corrupt the snapshot wholesale: replay must fall back to the
+	// segments (which are only deleted below the snapshot boundary,
+	// so the boot records from segment 0 are gone — but a corrupt
+	// snapshot with no surviving older snapshot yields segment replay
+	// from the boundary only). What must hold: Open succeeds, serves
+	// no partial records, and derives a sane incarnation.
+	snaps, _ := listIndexed(dir, "snap-", ".snap")
+	p := filepath.Join(dir, snapName(snaps[0]))
+	if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, l2 := collectReplay(t, dir, Options{})
+	defer l2.Close()
+	for _, r := range got {
+		if r.Kind == KindSnapEntry {
+			t.Fatalf("corrupt snapshot entry served: %+v", r)
+		}
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the segment scanner via a real
+// Open: whatever is on disk — torn, truncated, bit-flipped, or hostile
+// — replay must terminate without panicking, deliver only records that
+// pass CRC and structural validation, and never deliver a record after
+// the first invalid frame (no resynchronization: everything after a
+// tear is untrusted).
+func FuzzWALReplay(f *testing.F) {
+	var seed []byte
+	for i := 0; i < 5; i++ {
+		r := Record{Kind: KindWrite, Key: uint64(i), Stamp: uint64(i), Value: []byte("payload")}
+		seed = r.appendFrame(seed)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	flipped := append([]byte(nil), seed...)
+	flipped[10] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xffffffff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), data, 0o644); err != nil {
+			t.Skip()
+		}
+		var got []Record
+		l, _, err := Open(Options{Dir: dir}, func(r *Record) { got = append(got, *r) })
+		if err != nil {
+			t.Skip() // I/O-level failure, not a replay bug
+		}
+		defer l.Close()
+
+		// Every delivered record must be structurally sound, and the
+		// delivered sequence must be a frame-aligned prefix of data.
+		off := 0
+		for i, r := range got {
+			if len(r.Value) > maxValueLen || len(r.Origins) > maxOriginsLen {
+				t.Fatalf("record %d violates bounds: %+v", i, r)
+			}
+			if off+frameHeader > len(data) {
+				t.Fatalf("record %d delivered beyond input: off=%d", i, off)
+			}
+			length := int(binary.LittleEndian.Uint32(data[off:]))
+			if off+frameHeader+length > len(data) {
+				t.Fatalf("record %d frame overruns input", i)
+			}
+			reenc := r.appendFrame(nil)
+			if !bytes.Equal(reenc[frameHeader:], data[off+frameHeader:off+frameHeader+length]) {
+				t.Fatalf("record %d does not round-trip to its frame bytes", i)
+			}
+			off += frameHeader + length
+		}
+	})
+}

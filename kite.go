@@ -85,6 +85,23 @@ type Options struct {
 	// DisableFastPath forces all relaxed accesses through quorum rounds
 	// (ablation studies only).
 	DisableFastPath bool
+	// WALDir, when non-empty, enables per-replica durability: each node
+	// appends a write-ahead log (and periodic store snapshots) under its
+	// own subdirectory of WALDir, and RestartNode recovers from it instead
+	// of rejoining empty. Empty (the default) keeps replicas memory-only,
+	// exactly as the paper evaluates Kite.
+	WALDir string
+	// FsyncInterval is the WAL group-commit deadline: appends become
+	// power-loss durable at most this long after they are buffered. Zero
+	// selects the default (10ms); negative means fsync before every
+	// operation acknowledgment (strict durability, one fsync per worker
+	// iteration). Ignored without WALDir.
+	FsyncInterval time.Duration
+	// SnapshotEvery is the number of WAL records between background store
+	// snapshots, which bound replay time and truncate old segments. Zero
+	// selects the default (65536); negative disables snapshots (the log
+	// grows without bound). Ignored without WALDir.
+	SnapshotEvery int
 }
 
 func (o Options) toConfig() core.Config {
@@ -96,6 +113,9 @@ func (o Options) toConfig() core.Config {
 		ReleaseTimeout:    o.ReleaseTimeout,
 		RetryInterval:     o.RetryInterval,
 		DisableFastPath:   o.DisableFastPath,
+		WALDir:            o.WALDir,
+		FsyncInterval:     o.FsyncInterval,
+		SnapshotEvery:     o.SnapshotEvery,
 	}
 }
 
@@ -174,13 +194,23 @@ func (c *Cluster) PauseNode(node int, d time.Duration) { c.c.PauseNode(node, d) 
 // state is lost — bring the slot back with RestartNode.
 func (c *Cluster) StopNode(node int) { c.c.StopNode(node) }
 
-// RestartNode replaces a replica with a fresh, empty node of the same id —
-// the crash-recovery failure, one step beyond the paper's sleeping replica.
-// The new incarnation rejoins via the anti-entropy catch-up sweep
-// (DESIGN.md "Recovery"): it buffers operations and serves nothing until it
-// has re-covered the key space from enough surviving peers. Session handles
-// opened before the restart fail with ErrStopped; open fresh ones with
-// Session once AwaitRejoin reports the node caught up.
+// CrashNode kills a replica the way SIGKILL would: like StopNode, but a
+// WAL-enabled replica's log is abandoned without a final fsync, so recovery
+// sees exactly what had reached the operating system — not a graceful
+// shutdown's tidy tail. On memory-only deployments it is indistinguishable
+// from StopNode. Pair with RestartNode to exercise crash recovery.
+func (c *Cluster) CrashNode(node int) { c.c.CrashNode(node) }
+
+// RestartNode replaces a replica with a fresh node of the same id — the
+// crash-recovery failure, one step beyond the paper's sleeping replica. A
+// memory-only replica comes back empty; with Options.WALDir it first
+// replays its own snapshot + log, recovering everything durable at the
+// crash. Either way the new incarnation rejoins via the anti-entropy
+// catch-up sweep (DESIGN.md "Recovery"): it buffers operations and serves
+// nothing until it has reconciled the key space with enough surviving
+// peers (with a WAL, only the post-crash delta). Session handles opened
+// before the restart fail with ErrStopped; open fresh ones with Session
+// once AwaitRejoin reports the node caught up.
 func (c *Cluster) RestartNode(node int) error { return c.c.RestartNode(node) }
 
 // AwaitRejoin blocks until a restarted (or freshly added) replica's

@@ -19,6 +19,7 @@ package sharded
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"kite"
@@ -37,13 +38,20 @@ type Cluster struct {
 // NewCluster starts groups independent replica groups, each configured by
 // opts (so the deployment has groups × opts.Nodes replicas in total).
 // groups < 1 is rejected; groups == 1 is exactly a kite.Cluster behind the
-// sharded routing (the identity map).
+// sharded routing (the identity map). When opts.WALDir is set, each group
+// logs under its own group-<g> subdirectory, so one base directory holds
+// the whole deployment's durable state and restarts of the same layout
+// recover from it.
 func NewCluster(groups int, opts kite.Options) (*Cluster, error) {
 	if groups < 1 {
 		return nil, fmt.Errorf("sharded: %d groups; need at least 1", groups)
 	}
 	c := &Cluster{m: shard.NewMap(groups)}
+	base := opts.WALDir
 	for g := 0; g < groups; g++ {
+		if base != "" {
+			opts.WALDir = filepath.Join(base, fmt.Sprintf("group-%02d", g))
+		}
 		kc, err := kite.NewCluster(opts)
 		if err != nil {
 			c.Close()
@@ -154,6 +162,15 @@ func (c *Cluster) PauseNode(node int, d time.Duration) {
 func (c *Cluster) StopNode(node int) {
 	for _, kc := range c.groups {
 		kc.StopNode(node)
+	}
+}
+
+// CrashNode SIGKILLs replica node in every group: like StopNode, but each
+// group's WAL (when enabled) is abandoned without a final fsync — the
+// machine-level kill -9. See kite.Cluster.CrashNode.
+func (c *Cluster) CrashNode(node int) {
+	for _, kc := range c.groups {
+		kc.CrashNode(node)
 	}
 }
 
