@@ -48,11 +48,15 @@ type Node struct {
 	// its last durable record — so it may answer peers' catch-up pulls
 	// even mid-rejoin, which is what lets a whole cluster restart from
 	// disk without deadlocking on each other's sweeps. walSync selects
-	// synchronous mode (Config.FsyncInterval < 0): each worker fsyncs its
-	// iteration's appends before shipping acks.
+	// synchronous mode (Config.FsyncInterval < 0): each worker fsyncs ALL
+	// of its iteration's appends before shipping acks, instead of just
+	// the consensus-critical ones every mode fsyncs (Worker.syncWAL).
+	// walErr holds the first WAL failure; setting it crash-stops the node
+	// (walFailed).
 	wal         *wal.Log
 	walRestored bool
 	walSync     bool
+	walErr      atomic.Pointer[error]
 
 	paused  atomic.Bool
 	stopped atomic.Bool

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"kite/internal/kvs"
@@ -169,19 +170,56 @@ func (nd *Node) snapshotStore(emit func(*wal.Record)) {
 
 // snapshotLoop periodically folds the log into a store snapshot once
 // enough records have accumulated, bounding replay length and disk
-// usage. Runs until the node stops.
+// usage. Runs until the node stops. A failed snapshot is not fatal —
+// durability is intact, the log just keeps growing — but it must not be
+// silent either: each distinct error is logged once, and the loop keeps
+// retrying at the poll cadence.
 func (nd *Node) snapshotLoop() {
 	const poll = 100 * time.Millisecond
 	t := time.NewTicker(poll)
 	defer t.Stop()
+	lastErr := ""
 	for {
 		select {
 		case <-nd.stopCh:
 			return
 		case <-t.C:
-			if nd.wal.SnapshotDue() {
-				nd.wal.Snapshot(nd.snapshotStore)
+			if !nd.wal.SnapshotDue() {
+				continue
+			}
+			if err := nd.wal.Snapshot(nd.snapshotStore); err != nil {
+				if s := err.Error(); s != lastErr {
+					lastErr = s
+					log.Printf("kite: node %d: wal snapshot failed (will retry, log grows unbounded until it succeeds): %v", nd.ID, err)
+				}
+			} else {
+				lastErr = ""
 			}
 		}
 	}
+}
+
+// walFailed records the node's first WAL failure and crash-stops it: a
+// log that can no longer make records durable must not keep
+// acknowledging work. A dead replica is recoverable — restart it against
+// the log's durable prefix, or wipe and resweep from peers — while a
+// silently memory-only replica breaks every durability promise the WAL
+// was enabled for. Called by workers from syncWAL; the Stop runs on its
+// own goroutine because Stop waits for the workers themselves.
+func (nd *Node) walFailed(err error) {
+	if !nd.walErr.CompareAndSwap(nil, &err) {
+		return
+	}
+	log.Printf("kite: node %d: write-ahead log failure, stopping node: %v", nd.ID, err)
+	go nd.Stop()
+}
+
+// WALErr reports the write-ahead-log failure that stopped the node, if
+// any. Stopped()==true with a non-nil WALErr distinguishes a durability
+// crash-stop from an operator stop.
+func (nd *Node) WALErr() error {
+	if p := nd.walErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }

@@ -329,11 +329,12 @@ func (w *Worker) run() {
 			w.nextScan = w.now.Add(deadlineScanEvery)
 		}
 
-		// 4b. Synchronous-WAL mode (Config.FsyncInterval < 0): make this
-		// iteration's appends durable before the acks they justify ship
-		// in step 5. No-op when nothing was appended since the last sync.
-		if w.node.walSync {
-			w.node.wal.Sync()
+		// 4b. Durability barrier: records this iteration's acks depend
+		// on must be fsynced before step 5 ships them. A failed WAL
+		// stops the node without flushing — staged acks for work that
+		// never became durable are dropped with it.
+		if !w.syncWAL() {
+			return
 		}
 
 		// 5. Ship staged batches.
@@ -343,6 +344,38 @@ func (w *Worker) run() {
 			w.idleWait()
 		}
 	}
+}
+
+// syncWAL is the pre-flush durability barrier: every record whose
+// acknowledgment is about to ship must be durable first. In synchronous
+// mode (Config.FsyncInterval < 0) that is every record this iteration
+// appended; in group-commit mode it is the consensus-critical ones —
+// Paxos promises and accepts no peer can vouch for, commits, the boot
+// marker — while plain value installs ride the fsync deadline (the
+// documented window). Either way the cost is at most one batched fsync
+// per iteration, and zero syscalls when nothing qualifying was
+// appended. Reports false when the WAL can no longer deliver
+// durability: the node is crash-stopped (acknowledgment must imply
+// durability — a dead replica is recoverable by the sweep, a silently
+// memory-only one is a lie) and the caller must not flush.
+func (w *Worker) syncWAL() bool {
+	nd := w.node
+	if nd.wal == nil {
+		return true
+	}
+	err := nd.wal.Err()
+	if err == nil {
+		if nd.walSync {
+			err = nd.wal.Sync()
+		} else {
+			err = nd.wal.SyncCritical()
+		}
+	}
+	if err != nil {
+		nd.walFailed(err)
+		return false
+	}
+	return true
 }
 
 // idleWait blocks until traffic arrives or the poll interval elapses (so
@@ -360,7 +393,11 @@ func (w *Worker) idleWait() {
 		for j := range batch {
 			w.dispatch(&batch[j])
 		}
-		w.flush()
+		// Same barrier as the loop's step 4b: these dispatches may have
+		// granted promises/accepts whose acks are about to ship.
+		if w.syncWAL() {
+			w.flush()
+		}
 	case r := <-w.reqCh:
 		r.sess.queue = append(r.sess.queue, r)
 		w.enqueueRun(r.sess)

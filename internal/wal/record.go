@@ -59,6 +59,25 @@ const (
 	KindSnapEntry
 )
 
+// criticalKind reports whether records of this kind must be durable
+// before the acknowledgment they justify leaves the node, in every
+// fsync mode (Log.SyncCritical). These are the records whose loss
+// breaks safety rather than durability: promises and accepts feed
+// peers' quorum arithmetic and no peer can reconstruct them for a
+// restarted acceptor; an acked commit is what lets a completed RMW
+// claim residence in a quorum's stores; the boot record pins the
+// incarnation whose op-ids are about to go on the wire. Everything
+// else (value installs, imports, config installs) is either the
+// documented group-commit window or reconstructible from peers, and
+// rides the deadline.
+func criticalKind(k Kind) bool {
+	switch k {
+	case KindPromise, KindAccept, KindCommit, KindBoot:
+		return true
+	}
+	return false
+}
+
 // Record is one durable event. Which fields are meaningful depends on
 // Kind; unused fields encode as zero.
 type Record struct {
@@ -215,12 +234,15 @@ func decodePayload(p []byte) (Record, error) {
 	return r, nil
 }
 
-// scanFrames walks CRC-framed records in data, calling fn for each
-// valid record in order. It stops silently at the first torn or corrupt
-// frame — the valid prefix is the durable content by definition — and
-// returns the number of records delivered.
-func scanFrames(data []byte, fn func(*Record)) int {
-	n := 0
+// scanFrames walks CRC-framed records in data, calling fn (if non-nil)
+// for each valid record in order. It stops silently at the first torn
+// or corrupt frame — the valid prefix is the durable content by
+// definition — and returns the number of records scanned plus the byte
+// offset of that prefix's end. consumed == len(data) means the input
+// scanned clean; anything less marks a torn tail the caller must decide
+// about (expected in the active segment, corruption anywhere else).
+func scanFrames(data []byte, fn func(*Record)) (n, consumed int) {
+	total := len(data)
 	for len(data) >= frameHeader {
 		length := binary.LittleEndian.Uint32(data)
 		crc := binary.LittleEndian.Uint32(data[4:])
@@ -235,9 +257,11 @@ func scanFrames(data []byte, fn func(*Record)) int {
 		if err != nil {
 			break
 		}
-		fn(&rec)
+		if fn != nil {
+			fn(&rec)
+		}
 		n++
 		data = data[frameHeader+length:]
 	}
-	return n
+	return n, total - len(data)
 }

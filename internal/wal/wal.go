@@ -12,11 +12,17 @@
 // grows large. Otherwise the flusher runs on the group-commit deadline:
 // every FsyncInterval it writes the accumulated batch and fsyncs it,
 // one write(2) and one fdatasync-equivalent per interval no matter the
-// append rate. The durability window is therefore at most one
-// FsyncInterval of acknowledged operations, for process kills and
-// power losses alike. Operations that must lead durability can run the
-// log in synchronous mode (FsyncInterval < 0), where the worker loop
-// calls Sync before shipping each iteration's acks.
+// append rate. The deadline window covers plain value installs only: a
+// power loss can take back at most one FsyncInterval of acknowledged
+// relaxed writes (a process kill takes back nothing — the page cache
+// survives). Consensus-critical records — Paxos promises, accepts,
+// commits, and the boot marker (see criticalKind) — never ride the
+// window in any mode: the worker loop calls SyncCritical before
+// shipping each iteration's acks, which is a no-op unless the
+// iteration appended such a record and otherwise fsyncs the whole
+// batch once. Synchronous mode (FsyncInterval < 0) extends that
+// barrier to every record: the worker calls Sync before shipping each
+// iteration's acks, so any acknowledgment implies durability.
 //
 // On Open the log replays the newest intact snapshot and every segment
 // at or after its boundary through the caller's apply function, then
@@ -72,10 +78,12 @@ type Options struct {
 	Dir string
 
 	// FsyncInterval is the group-commit deadline. Zero means
-	// DefaultFsyncInterval. Negative means synchronous mode: the
-	// flusher never fsyncs on its own and the owner is expected to
-	// call Sync at its own commit points (the core worker loop does
-	// this once per iteration, before shipping acks).
+	// DefaultFsyncInterval. The deadline governs plain value installs
+	// only; consensus-critical records are always fsynced before the
+	// acks they justify ship (the owner calls SyncCritical at its
+	// commit points — the core worker loop does, once per iteration).
+	// Negative means synchronous mode: the flusher never fsyncs on its
+	// own and the owner calls full Sync at those same commit points.
 	FsyncInterval time.Duration
 
 	// SegmentBytes rotates the active segment when it grows past this
@@ -135,7 +143,14 @@ type Log struct {
 
 	appendSeq atomic.Uint64 // records appended
 	syncedSeq atomic.Uint64 // records durable (fsynced)
+	critSeq   atomic.Uint64 // appendSeq as of the latest critical record
 	sinceSnap atomic.Uint64 // records appended since the last snapshot
+
+	// failErr is the first unrecoverable flusher error (failed write,
+	// fsync, or rotation). Once set, syncedSeq stops advancing — the
+	// log no longer claims durability it cannot deliver — and every
+	// Sync/SyncCritical reports the error so the owner can stop.
+	failErr atomic.Pointer[error]
 
 	kick     chan struct{}
 	syncCh   chan chan error
@@ -220,38 +235,66 @@ func Open(opt Options, apply func(*Record)) (*Log, OpenResult, error) {
 	}
 
 	// A snapshot named snap-K covers everything before segment K. Use
-	// the newest one that reads back intact; an empty or unreadable
-	// snapshot (e.g. a crash between rename and the first page hitting
-	// disk on a non-atomic filesystem) falls back to the previous one,
-	// whose covered segments are only deleted after the next snapshot
-	// succeeds.
+	// the newest one that reads back fully intact — a snapshot is
+	// all-or-nothing, so it is validated end to end BEFORE any entry is
+	// applied; a torn or unreadable one (e.g. a crash between rename
+	// and the first page hitting disk on a non-atomic filesystem) falls
+	// back to the previous snapshot, which Snapshot retains — together
+	// with every segment at or after its boundary — until the snapshot
+	// superseding it has itself been superseded.
 	replayFrom := uint64(0)
 	for i := len(snaps) - 1; i >= 0; i-- {
 		data, err := os.ReadFile(filepath.Join(opt.Dir, snapName(snaps[i])))
 		if err != nil {
 			continue
 		}
-		n := scanFrames(data, func(r *Record) {
+		n, used := scanFrames(data, nil)
+		if n == 0 || used != len(data) {
+			continue
+		}
+		scanFrames(data, func(r *Record) {
 			if r.Kind == KindSnapEntry || r.Kind == KindConfig {
 				observe(r)
 			}
 		})
-		if n > 0 {
-			res.SnapEntries = n
-			replayFrom = snaps[i]
-			break
-		}
+		res.SnapEntries = n
+		replayFrom = snaps[i]
+		break
 	}
 
-	for _, idx := range segs {
+	for i, idx := range segs {
 		if idx < replayFrom {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(opt.Dir, segName(idx)))
+		path := filepath.Join(opt.Dir, segName(idx))
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, OpenResult{}, err
 		}
-		res.Records += scanFrames(data, observe)
+		n, used := scanFrames(data, observe)
+		res.Records += n
+		if used == len(data) {
+			continue
+		}
+		if i != len(segs)-1 {
+			// Rotation fsyncs a segment before its successor exists, and
+			// a torn final segment is truncated to its valid prefix (and
+			// fsynced) right here, before the next boot's segment is
+			// created. A torn frame in a non-final segment therefore
+			// cannot be a crash artifact — it is corruption of the
+			// durable prefix, and replaying around the hole would
+			// silently drop promise/accept records. Refuse, and let the
+			// operator fall back to a full resync from peers.
+			return nil, OpenResult{}, fmt.Errorf(
+				"wal: %s torn at byte %d but later segments exist: durable prefix corrupt, wipe %s and rejoin from peers",
+				segName(idx), used, opt.Dir)
+		}
+		// Final segment: a torn tail is the expected power-loss shape.
+		// Truncate it away so the invariant above holds once this
+		// segment gains a successor (which Open is about to create).
+		if err := truncateSync(path, int64(used)); err != nil {
+			return nil, OpenResult{}, err
+		}
 	}
 
 	res.Restored = res.Records > 0 || res.SnapEntries > 0
@@ -260,8 +303,12 @@ func Open(opt Options, apply func(*Record)) (*Log, OpenResult, error) {
 		res.Incarnation = maxInc + 1
 	}
 
-	// Never append to an old segment: its tail may be torn, and
-	// repairing in place risks the durable prefix. Start fresh.
+	// Never append to an old segment, even though any torn tail was
+	// truncated away above — starting fresh keeps "one boot, one
+	// segment suffix" and costs one small file. Must come after the
+	// tail repair: its fsync completes before the successor segment
+	// exists, which is what lets replay treat a torn frame in a
+	// non-final segment as corruption.
 	nextSeg := uint64(0)
 	if len(segs) > 0 {
 		nextSeg = segs[len(segs)-1] + 1
@@ -315,8 +362,19 @@ func (l *Log) Append(r Record) {
 	l.buf = r.appendFrame(l.buf)
 	big := len(l.buf) >= flushChunk
 	l.mu.Unlock()
-	l.appendSeq.Add(1)
+	seq := l.appendSeq.Add(1)
 	l.sinceSnap.Add(1)
+	if criticalKind(r.Kind) {
+		// CAS-max: concurrent appenders may reach here out of seq
+		// order, and critSeq regressing would let SyncCritical skip a
+		// record that still needs the fsync.
+		for {
+			cur := l.critSeq.Load()
+			if cur >= seq || l.critSeq.CompareAndSwap(cur, seq) {
+				break
+			}
+		}
+	}
 	if big {
 		select {
 		case l.kick <- struct{}{}:
@@ -345,6 +403,33 @@ func (l *Log) Sync() error {
 	}
 }
 
+// SyncCritical makes every consensus-critical record appended so far
+// (criticalKind: Paxos promises, accepts, commits, the boot marker)
+// durable before returning. Unlike Sync it returns immediately — two
+// atomic loads, no flusher round-trip — while no unsynced critical
+// record exists, so the worker loop calls it before shipping every
+// iteration's acks: pure relaxed-write traffic never pays an fsync
+// (those acks ride the group-commit deadline by design), while an
+// iteration that granted promises or accepts pays exactly one batched
+// fsync covering all of them.
+func (l *Log) SyncCritical() error {
+	if l.syncedSeq.Load() >= l.critSeq.Load() {
+		return nil
+	}
+	return l.Sync()
+}
+
+// Err reports the first unrecoverable I/O error the flusher hit (failed
+// write, fsync, or rotation), or nil. Once non-nil the log has stopped
+// advancing its durability watermark: the owner must treat appended-
+// but-unsynced records as lost and stop acknowledging work.
+func (l *Log) Err() error {
+	if p := l.failErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // SnapshotDue reports whether enough records have been appended since
 // the last snapshot to warrant a new one.
 func (l *Log) SnapshotDue() bool {
@@ -362,15 +447,29 @@ func (l *Log) SnapshotDue() bool {
 //
 // Sequence: rotate the active segment (the new segment's index K
 // becomes the snapshot boundary), buffer the snapshot, write it to a
-// temp file, fsync, rename to snap-K, then delete segments below K and
-// older snapshots. Appends racing the iteration land in segment K and
-// replay over the snapshot on the next boot; that overlap is harmless
-// because replay application is idempotent.
+// temp file, fsync, rename to snap-K, then truncate what snap-K makes
+// obsolete — but only down to the PREVIOUS snapshot's boundary J, not
+// to K: snap-J and segments [J,K) survive until the next snapshot
+// succeeds, so if snap-K ever proves unreadable, Open's fallback to
+// snap-J still has every segment at or after J and replays a complete
+// suffix, never a holed one. Appends racing the iteration land in
+// segment K and replay over the snapshot on the next boot; that
+// overlap is harmless because replay application is idempotent.
 func (l *Log) Snapshot(iter func(emit func(*Record))) error {
 	l.snapMu.Lock()
 	defer l.snapMu.Unlock()
 	if l.closed.Load() {
 		return errors.New("wal: closed")
+	}
+
+	// Retention floor: the newest snapshot that exists before this one.
+	prevSnaps, err := listIndexed(l.opt.Dir, "snap-", ".snap")
+	if err != nil {
+		return err
+	}
+	floor := uint64(0)
+	if len(prevSnaps) > 0 {
+		floor = prevSnaps[len(prevSnaps)-1]
 	}
 
 	reply := make(chan rotateReply, 1)
@@ -405,20 +504,19 @@ func (l *Log) Snapshot(iter func(emit func(*Record))) error {
 	}
 	syncDir(l.opt.Dir)
 
-	// Truncate: segments below the boundary are fully covered by the
-	// snapshot; older snapshots are superseded.
+	// Truncate below the retention floor only: the previous snapshot
+	// and the segments it needs stay as the fallback until the snapshot
+	// written above is itself superseded.
 	if segs, err := listIndexed(l.opt.Dir, "seg-", ".wal"); err == nil {
 		for _, idx := range segs {
-			if idx < boundary {
+			if idx < floor {
 				os.Remove(filepath.Join(l.opt.Dir, segName(idx)))
 			}
 		}
 	}
-	if snaps, err := listIndexed(l.opt.Dir, "snap-", ".snap"); err == nil {
-		for _, idx := range snaps {
-			if idx < boundary {
-				os.Remove(filepath.Join(l.opt.Dir, snapName(idx)))
-			}
+	for _, idx := range prevSnaps {
+		if idx < floor {
+			os.Remove(filepath.Join(l.opt.Dir, snapName(idx)))
 		}
 	}
 	return nil
@@ -464,6 +562,17 @@ func (l *Log) flusher(seg *os.File, segIndex uint64) {
 		writeErr  error
 		flushedTo uint64
 	)
+	// fail records the first unrecoverable I/O error, both locally
+	// (writeErr makes every later Sync report it) and in failErr so
+	// owners that never Sync — group-commit mode with no critical
+	// traffic — still observe the failure via Err.
+	fail := func(err error) {
+		if err == nil || writeErr != nil {
+			return
+		}
+		writeErr = err
+		l.failErr.Store(&err)
+	}
 	interval := l.opt.FsyncInterval
 	syncMode := interval < 0
 	if syncMode {
@@ -499,8 +608,8 @@ func (l *Log) flusher(seg *os.File, segIndex uint64) {
 		if len(b) == 0 {
 			return
 		}
-		if _, err := seg.Write(b); err != nil && writeErr == nil {
-			writeErr = err
+		if _, err := seg.Write(b); err != nil {
+			fail(err)
 		}
 		segBytes += int64(len(b))
 		dirty = true
@@ -510,20 +619,22 @@ func (l *Log) flusher(seg *os.File, segIndex uint64) {
 		}
 	}
 
+	// fsync advances the durability watermark only while the log is
+	// error-free: after a failed write or fsync the watermark freezes,
+	// so SyncCritical's fast path can never vouch for a record the disk
+	// may have dropped, and every Sync keeps reporting the failure.
 	fsync := func() error {
-		if !dirty {
+		if dirty {
+			if err := seg.Sync(); err != nil {
+				fail(err)
+			} else {
+				dirty = false
+			}
+		}
+		if writeErr == nil {
 			l.syncedSeq.Store(flushedTo)
-			return writeErr
 		}
-		err := seg.Sync()
-		if err == nil {
-			dirty = false
-			l.syncedSeq.Store(flushedTo)
-		}
-		if writeErr != nil {
-			return writeErr
-		}
-		return err
+		return writeErr
 	}
 
 	rotate := func() error {
@@ -531,11 +642,13 @@ func (l *Log) flusher(seg *os.File, segIndex uint64) {
 			return err
 		}
 		if err := seg.Close(); err != nil {
+			fail(err)
 			return err
 		}
 		segIndex++
 		f, err := os.OpenFile(filepath.Join(l.opt.Dir, segName(segIndex)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
+			fail(err)
 			return err
 		}
 		syncDir(l.opt.Dir)
@@ -549,9 +662,8 @@ func (l *Log) flusher(seg *os.File, segIndex uint64) {
 		case <-l.kick:
 			writePending()
 			if segBytes >= l.opt.SegmentBytes {
-				if err := rotate(); err != nil && writeErr == nil {
-					writeErr = err
-				}
+				// Failures are recorded by fail() inside rotate.
+				_ = rotate()
 			}
 		case reply := <-l.syncCh:
 			writePending()
@@ -563,7 +675,9 @@ func (l *Log) flusher(seg *os.File, segIndex uint64) {
 		case <-timer.C:
 			writePending()
 			if !syncMode {
-				fsync()
+				// A failed deadline fsync is recorded by fail() inside:
+				// the watermark freezes and the owner sees it via Err.
+				_ = fsync()
 			}
 			timer.Reset(interval)
 		case <-l.closeCh:
@@ -575,6 +689,26 @@ func (l *Log) flusher(seg *os.File, segIndex uint64) {
 			return
 		}
 	}
+}
+
+// truncateSync truncates path to size and fsyncs the result — the boot
+// repair for a torn final-segment tail, run before the next segment is
+// created so a torn frame can never end up followed by a successor
+// segment.
+func truncateSync(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeFileSync writes data to path and fsyncs it before returning.

@@ -37,9 +37,12 @@ func TestRecordRoundTrip(t *testing.T) {
 		buf = recs[i].appendFrame(buf)
 	}
 	var got []Record
-	n := scanFrames(buf, func(r *Record) { got = append(got, *r) })
+	n, used := scanFrames(buf, func(r *Record) { got = append(got, *r) })
 	if n != len(recs) {
 		t.Fatalf("scanned %d records, want %d", n, len(recs))
+	}
+	if used != len(buf) {
+		t.Fatalf("scan consumed %d of %d bytes", used, len(buf))
 	}
 	for i := range recs {
 		if !reflect.DeepEqual(got[i], recs[i]) {
@@ -175,7 +178,6 @@ func TestTornTailTruncatesReplay(t *testing.T) {
 	}
 
 	got, _, l2 := collectReplay(t, dir, Options{})
-	defer l2.Close()
 	writes := 0
 	for _, r := range got {
 		if r.Kind == KindWrite {
@@ -187,6 +189,23 @@ func TestTornTailTruncatesReplay(t *testing.T) {
 	}
 	if writes != 19 {
 		t.Fatalf("replayed %d writes after torn tail, want 19", writes)
+	}
+	l2.Close()
+
+	// That reopen repaired the tear (truncate + fsync) before creating
+	// the successor segment, so the next restart must see a clean
+	// non-final segment and replay the same prefix — a second crash
+	// right after the first restart must not brick the log.
+	got, _, l3 := collectReplay(t, dir, Options{})
+	defer l3.Close()
+	writes = 0
+	for _, r := range got {
+		if r.Kind == KindWrite {
+			writes++
+		}
+	}
+	if writes != 19 {
+		t.Fatalf("replayed %d writes after repair, want 19", writes)
 	}
 }
 
@@ -243,38 +262,56 @@ func TestSnapshotTruncatesSegments(t *testing.T) {
 	}
 
 	// The "store" here is a flat map standing in for the kvs iteration.
-	if err := l.Snapshot(func(emit func(*Record)) {
-		for i := 0; i < 100; i++ {
-			emit(&Record{Kind: KindSnapEntry, Key: uint64(i), Stamp: uint64(i + 1), Value: []byte("0123456789")})
+	snapStore := func(n int) func(emit func(*Record)) {
+		return func(emit func(*Record)) {
+			for i := 0; i < n; i++ {
+				emit(&Record{Kind: KindSnapEntry, Key: uint64(i), Stamp: uint64(i + 1), Value: []byte("0123456789")})
+			}
 		}
-	}); err != nil {
+	}
+	if err := l.Snapshot(snapStore(100)); err != nil {
 		t.Fatalf("Snapshot: %v", err)
 	}
 	if l.SnapshotDue() {
 		t.Fatal("snapshot still due right after snapshotting")
 	}
 
-	// Post-snapshot traffic lands in segments the snapshot keeps.
+	// The first snapshot has no predecessor to fall back to, so it must
+	// not delete anything: every segment stays until it has a successor
+	// snapshot covering it.
+	firstSnaps, _ := listIndexed(dir, "snap-", ".snap")
+	if len(firstSnaps) != 1 {
+		t.Fatalf("want exactly 1 snapshot, have %v", firstSnaps)
+	}
+	if segs, _ := listIndexed(dir, "seg-", ".wal"); len(segs) == 0 || segs[0] != 0 {
+		t.Fatalf("first snapshot deleted fallback segments: %v", segs)
+	}
+
+	// Post-snapshot traffic, then a second snapshot: the first one's
+	// boundary becomes the retention floor and everything below it goes.
 	for i := 100; i < 110; i++ {
 		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: uint64(i + 1)})
+	}
+	if err := l.Snapshot(snapStore(110)); err != nil {
+		t.Fatalf("second Snapshot: %v", err)
 	}
 	l.Close()
 
 	snaps, _ := listIndexed(dir, "snap-", ".snap")
-	if len(snaps) != 1 {
-		t.Fatalf("want exactly 1 snapshot, have %v", snaps)
+	if len(snaps) != 2 || snaps[0] != firstSnaps[0] {
+		t.Fatalf("want previous+new snapshots, have %v", snaps)
 	}
 	segs, _ := listIndexed(dir, "seg-", ".wal")
 	for _, idx := range segs {
 		if idx < snaps[0] {
-			t.Fatalf("segment %d below snapshot boundary %d not truncated", idx, snaps[0])
+			t.Fatalf("segment %d below retention floor %d not truncated", idx, snaps[0])
 		}
 	}
 
 	got, res, l2 := collectReplay(t, dir, Options{})
 	defer l2.Close()
-	if res.SnapEntries != 100 {
-		t.Fatalf("replayed %d snapshot entries, want 100", res.SnapEntries)
+	if res.SnapEntries != 110 {
+		t.Fatalf("replayed %d snapshot entries, want 110", res.SnapEntries)
 	}
 	keys := map[uint64]bool{}
 	for _, r := range got {
@@ -304,12 +341,9 @@ func TestOldSnapshotSurvivesCorruptNewOne(t *testing.T) {
 	}
 	l.Close()
 
-	// Corrupt the snapshot wholesale: replay must fall back to the
-	// segments (which are only deleted below the snapshot boundary,
-	// so the boot records from segment 0 are gone — but a corrupt
-	// snapshot with no surviving older snapshot yields segment replay
-	// from the boundary only). What must hold: Open succeeds, serves
-	// no partial records, and derives a sane incarnation.
+	// Corrupt the snapshot wholesale: a first snapshot deletes nothing
+	// (it has no fallback predecessor), so full segment replay must
+	// recover every write — no partial records, no holes.
 	snaps, _ := listIndexed(dir, "snap-", ".snap")
 	p := filepath.Join(dir, snapName(snaps[0]))
 	if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
@@ -317,10 +351,190 @@ func TestOldSnapshotSurvivesCorruptNewOne(t *testing.T) {
 	}
 	got, _, l2 := collectReplay(t, dir, Options{})
 	defer l2.Close()
+	writes := 0
 	for _, r := range got {
 		if r.Kind == KindSnapEntry {
 			t.Fatalf("corrupt snapshot entry served: %+v", r)
 		}
+		if r.Kind == KindWrite {
+			writes++
+		}
+	}
+	if writes != 50 {
+		t.Fatalf("recovered %d writes via segment fallback, want 50", writes)
+	}
+}
+
+// TestCorruptSnapshotFallsBackToPrevious pins the retention rule: the
+// previous snapshot AND the segments it needs survive until the next
+// snapshot succeeds, so losing the newest snapshot falls back to a
+// complete (previous snapshot + segment suffix) replay, never one with
+// a hole where truncated segments used to be.
+func TestCorruptSnapshotFallsBackToPrevious(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1})
+	snapStore := func(n int) func(emit func(*Record)) {
+		return func(emit func(*Record)) {
+			for i := 0; i < n; i++ {
+				emit(&Record{Kind: KindSnapEntry, Key: uint64(i), Stamp: 1})
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: 1})
+	}
+	if err := l.Snapshot(snapStore(50)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 50; i < 100; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: 1})
+	}
+	if err := l.Snapshot(snapStore(100)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	snaps, _ := listIndexed(dir, "snap-", ".snap")
+	if len(snaps) != 2 {
+		t.Fatalf("want previous+new snapshots on disk, have %v", snaps)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName(snaps[1])), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res, l2 := collectReplay(t, dir, Options{})
+	defer l2.Close()
+	if res.SnapEntries != 50 {
+		t.Fatalf("fallback replayed %d snapshot entries, want 50 from the previous snapshot", res.SnapEntries)
+	}
+	keys := map[uint64]bool{}
+	for _, r := range got {
+		if r.Kind == KindSnapEntry || r.Kind == KindWrite {
+			keys[r.Key] = true
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if !keys[uint64(i)] {
+			t.Fatalf("key %d lost in snapshot fallback", i)
+		}
+	}
+}
+
+// TestTornSnapshotRejectedWholesale: a snapshot that scans partway is
+// rejected before a single entry is applied — all-or-nothing — and
+// replay falls back as if it did not exist.
+func TestTornSnapshotRejectedWholesale(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1})
+	for i := 0; i < 30; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: 1})
+	}
+	if err := l.Snapshot(func(emit func(*Record)) {
+		for i := 0; i < 30; i++ {
+			emit(&Record{Kind: KindSnapEntry, Key: uint64(i), Stamp: 1})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the snapshot mid-frame: a prefix of it still scans clean,
+	// which is exactly the shape that must NOT be half-applied.
+	snaps, _ := listIndexed(dir, "snap-", ".snap")
+	p := filepath.Join(dir, snapName(snaps[0]))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res, l2 := collectReplay(t, dir, Options{})
+	defer l2.Close()
+	if res.SnapEntries != 0 {
+		t.Fatalf("torn snapshot partially applied: %d entries", res.SnapEntries)
+	}
+	writes := 0
+	for _, r := range got {
+		if r.Kind == KindSnapEntry {
+			t.Fatalf("torn snapshot entry served: %+v", r)
+		}
+		if r.Kind == KindWrite {
+			writes++
+		}
+	}
+	if writes != 30 {
+		t.Fatalf("recovered %d writes via segment fallback, want 30", writes)
+	}
+}
+
+// TestTornNonFinalSegmentFailsOpen: a torn frame in a segment that has
+// a successor cannot be a crash artifact (rotation fsyncs first, and a
+// torn final tail is truncated before the successor is created), so
+// Open must refuse rather than replay around the hole.
+func TestTornNonFinalSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1})
+	for i := 0; i < 10; i++ {
+		l.Append(Record{Kind: KindWrite, Key: uint64(i), Stamp: 1, Value: []byte("0123456789")})
+	}
+	l.Close()
+	// Reopen/close to give seg-0 a successor.
+	_, _, l2 := collectReplay(t, dir, Options{})
+	l2.Close()
+
+	segs, _ := listIndexed(dir, "seg-", ".wal")
+	if len(segs) < 2 {
+		t.Fatalf("want >=2 segments, have %v", segs)
+	}
+	p := filepath.Join(dir, segName(segs[0]))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(Options{Dir: dir}, nil); err == nil {
+		t.Fatal("Open accepted a torn non-final segment")
+	}
+}
+
+// TestSyncCriticalFsyncsOnlyCriticalTraffic: the worker-loop barrier
+// must be free for pure relaxed-write iterations and force the batched
+// fsync exactly when a consensus-critical record was appended.
+func TestSyncCriticalFsyncsOnlyCriticalTraffic(t *testing.T) {
+	dir := t.TempDir()
+	// An hour-long deadline so the flusher never fsyncs on its own.
+	_, _, l := collectReplay(t, dir, Options{Incarnation: 1, FsyncInterval: time.Hour})
+	defer l.Close()
+
+	// The boot record is critical (it pins the incarnation about to go
+	// on the wire), so the first barrier fsyncs it.
+	if err := l.SyncCritical(); err != nil {
+		t.Fatalf("SyncCritical: %v", err)
+	}
+	base := l.syncedSeq.Load()
+	if base < 1 {
+		t.Fatal("boot record not made durable by SyncCritical")
+	}
+
+	l.Append(Record{Kind: KindWrite, Key: 1, Stamp: 1})
+	if err := l.SyncCritical(); err != nil {
+		t.Fatalf("SyncCritical: %v", err)
+	}
+	if got := l.syncedSeq.Load(); got != base {
+		t.Fatalf("relaxed write forced an fsync: syncedSeq %d, want %d", got, base)
+	}
+
+	l.Append(Record{Kind: KindPromise, Key: 1, Slot: 0, Stamp: 2})
+	if err := l.SyncCritical(); err != nil {
+		t.Fatalf("SyncCritical: %v", err)
+	}
+	if got := l.syncedSeq.Load(); got < l.appendSeq.Load() {
+		t.Fatalf("promise not durable after SyncCritical: synced %d < appended %d", got, l.appendSeq.Load())
 	}
 }
 
