@@ -12,6 +12,7 @@
 //	kite-chaos -backend sharded -groups 2 -nemeses drop-link,stop-restart
 //	kite-chaos -backend remote -json report.json -history history.jsonl
 //	kite-chaos -nemeses crash-all     # durability: SIGKILL all, restart from WAL
+//	kite-chaos -nemeses local-reads   # attack the local-acquire valid-bit window
 //	kite-chaos -plan -seed 7          # print the timeline, run nothing
 //
 // The crash-all nemesis kills every node at once and restarts them from
@@ -45,7 +46,7 @@ func main() {
 		backend  = flag.String("backend", "inproc", "deployment flavour: inproc | sharded | remote")
 		nodes    = flag.Int("nodes", 3, "replicas per group")
 		groups   = flag.Int("groups", 2, "replica groups (sharded backend)")
-		nemeses  = flag.String("nemeses", "", "comma-separated nemesis kinds (default: all of "+kindList()+")")
+		nemeses  = flag.String("nemeses", "", "comma-separated nemesis kinds (default: all of "+kindList()+"); 'local-reads' expands to the schedule attacking the local-acquire fast path")
 		verify   = flag.Bool("verify", true, "run the RC/k-atomicity verifier over the recorded history")
 		jsonPath = flag.String("json", "", "write the JSON run report here ('-' for stdout)")
 		histPath = flag.String("history", "", "write the recorded history (JSON lines) here")
@@ -58,9 +59,16 @@ func main() {
 	wantCrashAll := false
 	if *nemeses != "" {
 		for _, name := range strings.Split(*nemeses, ",") {
-			k := chaos.NemesisKind(strings.TrimSpace(name))
+			name = strings.TrimSpace(name)
+			if name == "local-reads" {
+				// Named schedule: the delay-biased mix attacking the
+				// local-acquire fast path's invalidate→validate window.
+				cfg.Kinds = append(cfg.Kinds, chaos.LocalReadsKinds()...)
+				continue
+			}
+			k := chaos.NemesisKind(name)
 			if !validKind(k) {
-				fatalf("unknown nemesis kind %q (have: %s or %s)", k, kindList(), chaos.KindCrashAll)
+				fatalf("unknown nemesis kind %q (have: %s, %s or the local-reads schedule)", k, kindList(), chaos.KindCrashAll)
 			}
 			cfg.Kinds = append(cfg.Kinds, k)
 			if k == chaos.KindCrashAll {

@@ -16,6 +16,7 @@ import (
 
 	"kite"
 	"kite/client"
+	"kite/internal/core"
 	"kite/internal/history"
 	"kite/internal/testcluster"
 	"kite/internal/verifier"
@@ -33,6 +34,10 @@ type harness struct {
 	// the catch-up sweep; await blocks until that sweep completes.
 	restart func(t *testing.T, node int)
 	await   func(t *testing.T, node int)
+	// stats snapshots replica node's slow-path counters (summed across
+	// groups on the sharded backends) — the observable that proves which
+	// path an acquire took.
+	stats func(node int) core.Stats
 }
 
 type backendDef struct {
@@ -86,6 +91,7 @@ func inprocHarness(t *testing.T) *harness {
 				t.Fatalf("node %d still catching up: %+v", node, c.NodeCatchup(node))
 			}
 		},
+		stats: c.NodeStats,
 	}
 }
 
@@ -105,6 +111,7 @@ func remoteHarness(t *testing.T) *harness {
 		pause:   cl.PauseNode,
 		restart: func(t *testing.T, node int) { cl.RestartNode(t, node) },
 		await:   func(t *testing.T, node int) { cl.AwaitRejoin(t, node, 30*time.Second) },
+		stats:   func(node int) core.Stats { return cl.Nodes[node].SlowPathStats() },
 	}
 }
 
@@ -131,6 +138,7 @@ func shardedInprocHarness(t *testing.T) *harness {
 				t.Fatalf("node %d still catching up", node)
 			}
 		},
+		stats: c.NodeStats,
 	}
 }
 
@@ -153,6 +161,19 @@ func shardedRemoteHarness(t *testing.T) *harness {
 		pause:   cl.PauseNode,
 		restart: func(t *testing.T, node int) { cl.RestartNode(t, node) },
 		await:   func(t *testing.T, node int) { cl.AwaitRejoin(t, node, 30*time.Second) },
+		stats: func(node int) core.Stats {
+			var sum core.Stats
+			for _, g := range cl.Groups {
+				s := g.Nodes[node].SlowPathStats()
+				sum.LocalAcqHits += s.LocalAcqHits
+				sum.AcqFallbacks += s.AcqFallbacks
+				sum.EpochBumps += s.EpochBumps
+				sum.SlowReads += s.SlowReads
+				sum.SlowWrites += s.SlowWrites
+				sum.SlowReleases += s.SlowReleases
+			}
+			return sum
+		},
 	}
 }
 
@@ -433,6 +454,62 @@ func TestConformanceSessionClosed(t *testing.T) {
 		}
 		if _, err := s.DoBatch(context.Background(), []kite.Op{kite.ReadOp(1)}); !errors.Is(err, kite.ErrSessionClosed) {
 			t.Fatalf("batch after close: %v, want ErrSessionClosed", err)
+		}
+	})
+}
+
+// TestConformanceLocalAcquires checks the Hermes-style local acquire fast
+// path (DESIGN.md "Local reads") through the interface, on every backend,
+// via the per-node hit/fallback counters: a quiescent fully-replicated
+// relaxed key is eventually served locally (LocalAcqHits advances), and an
+// invalidated key — its valid bit cleared by a release's install — falls
+// back to the ABD quorum read (AcqFallbacks advances).
+func TestConformanceLocalAcquires(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h *harness) {
+		s := h.session(t, 0, 0)
+
+		// A relaxed write full-acks, the origin broadcasts validates, and
+		// from then on acquires of the key are served off the local store.
+		// Validation is asynchronous, so poll until a hit lands.
+		if err := s.Write(200, []byte("settled")); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			before := h.stats(0).LocalAcqHits
+			v, err := s.AcquireRead(200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(v) != "settled" {
+				t.Fatalf("acquire = %q, want %q", v, "settled")
+			}
+			if h.stats(0).LocalAcqHits > before {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no local acquire hit on a quiescent key: %+v", h.stats(0))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		// Invalidation: a release's install clears the valid bit, and
+		// releases are never validated — the next acquire MUST take the
+		// quorum read (it carries the synchronizes-with edge) and return
+		// the released value.
+		fb := h.stats(0).AcqFallbacks
+		if err := s.ReleaseWrite(200, []byte("released")); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.AcquireRead(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != "released" {
+			t.Fatalf("acquire after release = %q, want %q", v, "released")
+		}
+		if got := h.stats(0).AcqFallbacks; got <= fb {
+			t.Fatalf("acquire of a released key did not fall back (fallbacks %d -> %d)", fb, got)
 		}
 	})
 }

@@ -212,7 +212,14 @@ type ReadOp struct {
 	MaxVal []byte
 	// Delinquent accumulates the you-are-delinquent flags piggybacked on
 	// acquire replies (§4.2: the acquirer learns by querying a quorum).
+	// DelinqMask records which counted repliers flagged: the reset-bit is
+	// sent to exactly those — an uncounted replica may have moved our bit
+	// to Trans for a *newer* release, and a reset reaching it would clear
+	// suspicion this acquire's epoch bump does not answer for. Replicas it
+	// never reaches self-heal: Trans still reads as suspected, so the next
+	// counted acquire is flagged and carries a fresh reset.
 	Delinquent bool
+	DelinqMask uint16
 
 	NeedWriteBack bool
 	quorum        int
@@ -254,6 +261,7 @@ func (r *ReadOp) OnReadReply(m *proto.Message) ReadAction {
 	r.seen |= bit
 	if m.Flags&proto.FlagDelinquent != 0 {
 		r.Delinquent = true
+		r.DelinqMask |= bit
 	}
 	switch {
 	case r.MaxTS.Less(m.Stamp):

@@ -127,6 +127,28 @@ func TestReadOpNoWriteBackWhenMaxAtQuorum(t *testing.T) {
 	}
 }
 
+// TestReadOpDelinqMaskCountedOnly: the flagger mask names exactly the
+// counted round-1 repliers that flagged — a late flag arriving after the
+// round resolved must not widen the reset-bit's target set.
+func TestReadOpDelinqMaskCountedOnly(t *testing.T) {
+	r := NewReadOp(1, 22, 3, true)
+	st := llc.Stamp{Ver: 2, MID: 0}
+	r.OnReadReply(readReply(0, st, "v", true))
+	if got := r.OnReadReply(readReply(1, st, "v", false)); got != ReadComplete {
+		t.Fatalf("action = %v, want complete", got)
+	}
+	if !r.Delinquent || r.DelinqMask != 1<<0 {
+		t.Fatalf("mask = %b, want %b", r.DelinqMask, 1<<0)
+	}
+	// Replica 2's flag arrives after the round is done: ignored.
+	if r.OnReadReply(readReply(2, st, "v", true)) != ReadWait {
+		t.Fatal("late reply advanced a done op")
+	}
+	if r.DelinqMask != 1<<0 {
+		t.Fatalf("late flag widened mask to %b", r.DelinqMask)
+	}
+}
+
 func TestReadOpWriteBackPath(t *testing.T) {
 	r := NewReadOp(1, 21, 5, true)
 	low := llc.Stamp{Ver: 1, MID: 0}

@@ -71,6 +71,19 @@ type Vector struct {
 	// set is bounded by the number of concurrent sessions on machine m,
 	// since a session has at most one outstanding acquire.
 	ids [llc.MaxNodes]map[uint64]struct{}
+	// retired[p] is the highest per-session sequence (the low 32 bits of
+	// an op id, keyed by its node|incarnation|session prefix) whose id may
+	// no longer enter the transient state. Lemma 5.7 assumes each acquire
+	// reaches a replica exactly once; a lossy transport retransmits, and a
+	// duplicate acq-read arriving after a newer slow-release Set the bit
+	// would re-record its id — letting the acquire's in-flight reset-bit
+	// clear a bit that now encodes delinquency the acquirer never heard
+	// of. Ids are retired when a slow-release discards them or a reset-bit
+	// names them (either way the acquire can no longer legitimately own a
+	// pending reset here); session sequences are monotonic, so a watermark
+	// per prefix suffices. Retired duplicates are still *flagged* — only
+	// the Set→Trans transition and the id recording are refused.
+	retired map[uint32]uint32
 
 	// Counters for tests and the bench harness.
 	setEvents   atomic.Uint64
@@ -90,9 +103,30 @@ func (v *Vector) OnSlowRelease(dmSet uint16) {
 			continue
 		}
 		v.bits[m] = Set
+		for id := range v.ids[m] {
+			v.retire(id)
+		}
 		v.ids[m] = nil
 		v.setEvents.Add(1)
 	}
+}
+
+// retire records that acqID's acquire may no longer transition bits on this
+// replica (its pending reset, if any, has been discarded or consumed).
+// Callers hold v.mu.
+func (v *Vector) retire(acqID uint64) {
+	p, s := uint32(acqID>>32), uint32(acqID)
+	if v.retired == nil {
+		v.retired = make(map[uint32]uint32)
+	}
+	if s > v.retired[p] {
+		v.retired[p] = s
+	}
+}
+
+// isRetired reports whether acqID was retired. Callers hold v.mu.
+func (v *Vector) isRetired(acqID uint64) bool {
+	return uint32(acqID) <= v.retired[uint32(acqID>>32)]
 }
 
 // OnAcquire is called when machine m performs an acquire against this node
@@ -103,21 +137,29 @@ func (v *Vector) OnSlowRelease(dmSet uint16) {
 func (v *Vector) OnAcquire(m uint8, acqID uint64) (delinquent bool) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	switch v.bits[m] {
-	case Clear:
+	if v.bits[m] == Clear {
 		return false
+	}
+	if v.isRetired(acqID) {
+		// A stale duplicate (retransmission) of an acquire whose pending
+		// reset was already discarded or consumed here: it must still be
+		// told the machine is suspected, but may not (re-)enter the
+		// transient state — its reset-bit could be in flight and would
+		// clear a bit re-set by a slow-release it knows nothing about.
+		return true
+	}
+	switch v.bits[m] {
 	case Set:
 		v.bits[m] = Trans
 		v.ids[m] = map[uint64]struct{}{acqID: {}}
 		v.transEvents.Add(1)
-		return true
 	default: // Trans: another acquire from m is already mid-reset
 		if v.ids[m] == nil {
 			v.ids[m] = make(map[uint64]struct{})
 		}
 		v.ids[m][acqID] = struct{}{}
-		return true
 	}
+	return true
 }
 
 // OnResetBit processes a reset-bit message from machine m tagged with the
@@ -127,6 +169,10 @@ func (v *Vector) OnAcquire(m uint8, acqID uint64) (delinquent bool) {
 func (v *Vector) OnResetBit(m uint8, acqID uint64) bool {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	// A reset is only ever sent after its acquire completed, so whatever
+	// happens below, this id must never enter the transient state again —
+	// a later duplicate of its acq-read is stale by construction.
+	v.retire(acqID)
 	if v.bits[m] != Trans {
 		return false
 	}

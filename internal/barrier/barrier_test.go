@@ -112,6 +112,103 @@ func TestVectorMultipleAcquirers(t *testing.T) {
 	}
 }
 
+// TestVectorDuplicateAcqReadAfterDiscard is the chaos-found interleave: an
+// acquire's id is discarded by a racing slow-release (Lemma 5.7), then a
+// retransmitted duplicate of the same acq-read arrives and must NOT re-enter
+// the transient state — its in-flight reset-bit would otherwise clear a bit
+// that now encodes the newer release's delinquency.
+func TestVectorDuplicateAcqReadAfterDiscard(t *testing.T) {
+	var v Vector
+	v.OnSlowRelease(1 << 1)
+	if !v.OnAcquire(1, 101) {
+		t.Fatal("set bit not reported")
+	}
+	// Newer slow-release: bit back to Set, id 101 discarded and retired.
+	v.OnSlowRelease(1 << 1)
+	// Duplicate acq-read 101: still flagged, but no transition or record.
+	if !v.OnAcquire(1, 101) {
+		t.Fatal("duplicate not flagged")
+	}
+	if v.State(1) != Set || v.PendingIDs(1) != 0 {
+		t.Fatalf("duplicate re-entered Trans: state=%v pending=%d", v.State(1), v.PendingIDs(1))
+	}
+	// The stale reset must bounce off the Set bit.
+	if v.OnResetBit(1, 101) {
+		t.Fatal("stale reset cleared a re-set bit")
+	}
+	if v.State(1) != Set {
+		t.Fatal("bit lost its Set state")
+	}
+	// A genuinely newer acquire from the same session still works.
+	if !v.OnAcquire(1, 102) || v.State(1) != Trans {
+		t.Fatal("fresh acquire blocked by watermark")
+	}
+	if !v.OnResetBit(1, 102) || v.State(1) != Clear {
+		t.Fatal("fresh reset refused")
+	}
+}
+
+// TestVectorDuplicateAcqReadAfterReset covers the first-sight-duplicate
+// case: a replica that never saw the original acq-read receives a duplicate
+// only after the acquire's reset-bit already passed through (retiring the
+// id). The duplicate may flag but must not record the retired id.
+func TestVectorDuplicateAcqReadAfterReset(t *testing.T) {
+	var v Vector
+	v.OnSlowRelease(1 << 2)
+	v.OnAcquire(2, 7)
+	if !v.OnResetBit(2, 7) || v.State(2) != Clear {
+		t.Fatal("legit reset refused")
+	}
+	// A newer release re-sets the bit; a zombie duplicate of acq-read 7
+	// arrives afterwards.
+	v.OnSlowRelease(1 << 2)
+	if !v.OnAcquire(2, 7) {
+		t.Fatal("zombie duplicate not flagged")
+	}
+	if v.State(2) != Set || v.PendingIDs(2) != 0 {
+		t.Fatalf("zombie re-entered Trans: state=%v pending=%d", v.State(2), v.PendingIDs(2))
+	}
+}
+
+// TestVectorLiveRetransmitStillTransitions: retransmissions of a live,
+// un-reset acquire are not duplicates in the dangerous sense — they may
+// still transition Set→Trans and their reset clears as usual.
+func TestVectorLiveRetransmitStillTransitions(t *testing.T) {
+	var v Vector
+	v.OnSlowRelease(1 << 3)
+	if !v.OnAcquire(3, 50) || !v.OnAcquire(3, 50) {
+		t.Fatal("live acquire not flagged")
+	}
+	if v.State(3) != Trans || v.PendingIDs(3) != 1 {
+		t.Fatalf("state=%v pending=%d", v.State(3), v.PendingIDs(3))
+	}
+	if !v.OnResetBit(3, 50) || v.State(3) != Clear {
+		t.Fatal("live reset refused")
+	}
+}
+
+// TestVectorWatermarkPerSession: retiring one session's id must not block
+// another session's concurrent acquire (distinct id prefixes).
+func TestVectorWatermarkPerSession(t *testing.T) {
+	const (
+		sessA = uint64(1)<<56 | uint64(0)<<32 // node 1, session 0
+		sessB = uint64(1)<<56 | uint64(1)<<32 // node 1, session 1
+	)
+	var v Vector
+	v.OnSlowRelease(1 << 1)
+	v.OnAcquire(1, sessA|9)
+	v.OnSlowRelease(1 << 1) // discards + retires sessA seq 9
+	if !v.OnAcquire(1, sessB|3) || v.State(1) != Trans {
+		t.Fatal("other session's acquire blocked")
+	}
+	if v.PendingIDs(1) != 1 {
+		t.Fatalf("pending = %d", v.PendingIDs(1))
+	}
+	if !v.OnResetBit(1, sessB|3) || v.State(1) != Clear {
+		t.Fatal("other session's reset refused")
+	}
+}
+
 func TestVectorMultipleMachines(t *testing.T) {
 	var v Vector
 	v.OnSlowRelease(1<<1 | 1<<5)

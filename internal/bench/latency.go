@@ -45,10 +45,29 @@ type LatencyReport struct {
 	GoMaxProcs int            `json:"gomaxprocs"`
 	Overall    LatencyClass   `json:"overall"`
 	Classes    []LatencyClass `json:"classes"`
+	// Local-acquire fast path (DESIGN.md "Local reads"): hit/fallback
+	// counters summed over all replicas of the measured (fast-path) pass,
+	// and the same mix re-measured with Options.DisableLocalAcquires — the
+	// ABD baseline acquires paid before this PR — for the before/after
+	// comparison in one report.
+	LocalAcqHits    uint64         `json:"local_acq_hits"`
+	AcqFallbacks    uint64         `json:"acq_fallbacks"`
+	LocalAcqHitRate float64        `json:"local_acq_hit_rate"`
+	Baseline        []LatencyClass `json:"baseline_classes"`
+	// RelaxedMreqs is a 100%-relaxed-write throughput point at the same
+	// deployment options — directly comparable to the durability figure's
+	// "off" series (BENCH_3). It guards the validate broadcast's cost: the
+	// batched validates that power local acquires must not tax relaxed
+	// write throughput.
+	RelaxedMreqs float64 `json:"relaxed_write_mreqs"`
 }
 
 // FigureLatency measures completion latencies on a mix that exercises every
-// class (40% writes of which 10% RMWs, 20% of accesses synchronising).
+// class (40% writes of which 10% RMWs, 20% of accesses synchronising). It
+// runs the mix twice — once with acquires allowed to hit the local-read
+// fast path, once forced onto the ABD quorum read (DisableLocalAcquires) —
+// plus a 100%-relaxed throughput point, so one report shows what local
+// acquires buy and what their validate broadcasts cost.
 func FigureLatency(fc FigureConfig) (*LatencyReport, error) {
 	o := KiteOpts{
 		Name:    "latency",
@@ -57,10 +76,26 @@ func FigureLatency(fc FigureConfig) (*LatencyReport, error) {
 		Keys:    fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure,
 	}
 	o.defaults()
-	samples, err := runLatency(o)
+
+	baseOpts := o
+	baseOpts.Options.DisableLocalAcquires = true
+	baseline, err := runLatency(baseOpts)
 	if err != nil {
 		return nil, err
 	}
+	fast, err := runLatency(o)
+	if err != nil {
+		return nil, err
+	}
+	relaxed, err := RunKite(KiteOpts{
+		Name: "latency-relaxed", Options: fc.kiteOptions(),
+		Mix:  Mix{WriteRatio: 1.0},
+		Keys: fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &LatencyReport{
 		Name:       "latency",
 		Nodes:      fc.Nodes,
@@ -70,14 +105,28 @@ func FigureLatency(fc FigureConfig) (*LatencyReport, error) {
 		Measure:    fc.Measure,
 		Window:     o.Window,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+
+		LocalAcqHits: fast.hits,
+		AcqFallbacks: fast.falls,
+		RelaxedMreqs: relaxed.Mreqs(),
 	}
-	byClass := map[kite.OpCode][]time.Duration{}
-	var all []time.Duration
-	for _, s := range samples {
-		byClass[s.class] = append(byClass[s.class], s.d)
-		all = append(all, s.d)
+	if total := fast.hits + fast.falls; total > 0 {
+		rep.LocalAcqHitRate = float64(fast.hits) / float64(total)
 	}
-	rep.Overall = summarise("all", all)
+
+	group := func(samples []latSample) (map[kite.OpCode][]time.Duration, []time.Duration) {
+		byClass := map[kite.OpCode][]time.Duration{}
+		var all []time.Duration
+		for _, s := range samples {
+			byClass[s.class] = append(byClass[s.class], s.d)
+			all = append(all, s.d)
+		}
+		return byClass, all
+	}
+	fastBy, fastAll := group(fast.samples)
+	baseBy, baseAll := group(baseline.samples)
+	rep.Overall = summarise("all", fastAll)
+
 	classes := []struct {
 		code kite.OpCode
 		name string
@@ -88,14 +137,24 @@ func FigureLatency(fc FigureConfig) (*LatencyReport, error) {
 	}
 	fc.printf("# Latency: per-class completion latency, %d nodes (closed loop, window %d)\n",
 		fc.Nodes, o.Window)
-	fc.printf("%-10s %10s %12s %12s\n", "class", "count", "p50(us)", "p99(us)")
+	fc.printf("# local acquires: hits=%d fallbacks=%d hit-rate=%.1f%% (abd-* = DisableLocalAcquires baseline)\n",
+		rep.LocalAcqHits, rep.AcqFallbacks, 100*rep.LocalAcqHitRate)
+	fc.printf("%-10s %10s %12s %12s %12s %12s\n",
+		"class", "count", "p50(us)", "p99(us)", "abd-p50(us)", "abd-p99(us)")
 	for _, cl := range classes {
-		lc := summarise(cl.name, byClass[cl.code])
+		lc := summarise(cl.name, fastBy[cl.code])
+		bl := summarise(cl.name, baseBy[cl.code])
 		rep.Classes = append(rep.Classes, lc)
-		fc.printf("%-10s %10d %12.1f %12.1f\n", lc.Class, lc.Count, lc.P50Micro, lc.P99Micro)
+		rep.Baseline = append(rep.Baseline, bl)
+		fc.printf("%-10s %10d %12.1f %12.1f %12.1f %12.1f\n",
+			lc.Class, lc.Count, lc.P50Micro, lc.P99Micro, bl.P50Micro, bl.P99Micro)
 	}
-	fc.printf("%-10s %10d %12.1f %12.1f\n", "all",
-		rep.Overall.Count, rep.Overall.P50Micro, rep.Overall.P99Micro)
+	blAll := summarise("all", baseAll)
+	fc.printf("%-10s %10d %12.1f %12.1f %12.1f %12.1f\n", "all",
+		rep.Overall.Count, rep.Overall.P50Micro, rep.Overall.P99Micro,
+		blAll.P50Micro, blAll.P99Micro)
+	fc.printf("# relaxed-write throughput (validate-broadcast cost guard): %.3f mreqs\n",
+		rep.RelaxedMreqs)
 	return rep, nil
 }
 
@@ -114,15 +173,23 @@ func summarise(name string, ds []time.Duration) LatencyClass {
 	return lc
 }
 
-// runLatency boots the deployment of o and drives every session with the
-// latency-recording closed-loop driver, returning the merged samples of
-// the measurement window.
-func runLatency(o KiteOpts) ([]latSample, error) {
+// latRun is one runLatency pass: the measurement window's merged samples
+// plus the cluster-wide local-acquire hit/fallback counters at teardown.
+type latRun struct {
+	samples     []latSample
+	hits, falls uint64
+}
+
+// runLatency boots the deployment of o, prefills the key range, and drives
+// every session with the latency-recording closed-loop driver, returning
+// the merged samples of the measurement window.
+func runLatency(o KiteOpts) (latRun, error) {
 	c, err := kite.NewCluster(o.Options)
 	if err != nil {
-		return nil, err
+		return latRun{}, err
 	}
 	defer c.Close()
+	prefillLatency(c, o)
 
 	var counting, stop atomic.Bool
 	var wg sync.WaitGroup
@@ -148,7 +215,46 @@ func runLatency(o KiteOpts) ([]latSample, error) {
 	counting.Store(false)
 	stop.Store(true)
 	wg.Wait()
-	return merged, nil
+
+	run := latRun{samples: merged}
+	for n := 0; n < c.Nodes(); n++ {
+		st := c.NodeStats(n)
+		run.hits += st.LocalAcqHits
+		run.falls += st.AcqFallbacks
+	}
+	return run, nil
+}
+
+// prefillLatency writes every key once (relaxed, pipelined, one session per
+// node over a partitioned key range) before the drivers start, so measured
+// acquires face keys in steady state: a never-written key reads back empty,
+// and an empty value is never served by the local-acquire fast path — an
+// unfilled store would understate the hit rate the fast path reaches in
+// practice. The trailing sleep (plus the driver warmup) lets the writes'
+// full-acks and validate broadcasts land before measurement begins.
+func prefillLatency(c *kite.Cluster, o KiteOpts) {
+	nodes := c.Nodes()
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			s := c.Session(n, 0)
+			val := make([]byte, o.ValLen)
+			rand.New(rand.NewSource(int64(n + 1))).Read(val)
+			sem := make(chan struct{}, o.Window)
+			for k := uint64(n); k < o.Keys; k += uint64(nodes) {
+				sem <- struct{}{}
+				s.DoAsync(kite.Op{Code: kite.OpWrite, Key: k, Value: val},
+					func(kite.Result) { <-sem })
+			}
+			for i := 0; i < cap(sem); i++ {
+				sem <- struct{}{}
+			}
+		}(n)
+	}
+	wg.Wait()
+	time.Sleep(100 * time.Millisecond)
 }
 
 // driveLatencySession is driveSession with timing: the completion callback

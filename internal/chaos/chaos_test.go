@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -112,6 +113,63 @@ func TestChaosInproc(t *testing.T) {
 		if rep.Injected[k] == 0 {
 			t.Fatalf("kind %s never injected; injected=%v", k, rep.Injected)
 		}
+	}
+}
+
+// TestChaosLocalReadsInproc runs the local-reads schedule — the nemesis mix
+// biased at the local-acquire fast path's invalidate→validate window — over
+// three seeds against the in-process cluster. The scan workers' acquires
+// mix local hits with quorum fallbacks while validates are delayed, peers
+// isolated and replicas restarted; the verifier judges the history.
+func TestChaosLocalReadsInproc(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c, err := kite.NewCluster(kite.Options{Nodes: 3, Workers: 1, SessionsPerWorker: 4, Capacity: 1 << 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			cfg := chaosConfig(t)
+			cfg.Seed = seed
+			cfg.Kinds = LocalReadsKinds()
+			rep, _ := Run(NewInprocTarget(c), cfg)
+			if !rep.Passed {
+				t.Fatalf("local-reads chaos run failed: errors=%v verifier:\n%s", rep.Errors, rep.Verifier.String())
+			}
+			for _, k := range LocalReadsKinds() {
+				if rep.Injected[k] == 0 {
+					t.Fatalf("kind %s never injected; injected=%v", k, rep.Injected)
+				}
+			}
+			// The schedule must have actually exercised the fast path: some
+			// acquires served locally, some forced onto the quorum read.
+			var hits, falls uint64
+			for n := 0; n < c.Nodes(); n++ {
+				st := c.NodeStats(n)
+				hits += st.LocalAcqHits
+				falls += st.AcqFallbacks
+			}
+			if hits == 0 || falls == 0 {
+				t.Fatalf("fast path not exercised under chaos: hits=%d fallbacks=%d", hits, falls)
+			}
+		})
+	}
+}
+
+// TestChaosLocalReadsSharded: one local-reads seed against the sharded
+// composition (the remote leg lives in internal/testcluster).
+func TestChaosLocalReadsSharded(t *testing.T) {
+	c, err := sharded.NewCluster(2, kite.Options{Nodes: 3, Workers: 1, SessionsPerWorker: 4, Capacity: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cfg := chaosConfig(t)
+	cfg.Kinds = LocalReadsKinds()
+	rep, _ := Run(NewShardedTarget(c), cfg)
+	if !rep.Passed {
+		t.Fatalf("sharded local-reads chaos run failed: errors=%v verifier:\n%s", rep.Errors, rep.Verifier.String())
 	}
 }
 

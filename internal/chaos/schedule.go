@@ -67,6 +67,20 @@ func AllKinds() []NemesisKind {
 		KindIsolateNode, KindStopRestart, KindAddRemove}
 }
 
+// LocalReadsKinds is the nemesis mix of the `local-reads` schedule
+// (cmd/kite-chaos -nemeses local-reads), aimed at the local-acquire fast
+// path (DESIGN.md "Local reads"). Its hazard window is invalidate→validate:
+// a write's install clears the key's valid bit and only the full-ack
+// validate broadcast sets it again, so the mix is biased toward reordering
+// and losing exactly those messages — delay-link appears twice (weighting
+// the random rounds toward held-back validates and acks), isolate-node
+// starves full-acks entirely, and stop-restart / add-remove exercise the
+// boot-invalid and membership-refit edges of validation.
+func LocalReadsKinds() []NemesisKind {
+	return []NemesisKind{KindDelayLink, KindIsolateNode, KindStopRestart,
+		KindAddRemove, KindDelayLink}
+}
+
 // lifecycle reports whether the kind occupies the exclusive lane.
 func (k NemesisKind) lifecycle() bool {
 	return k == KindStopRestart || k == KindAddRemove || k == KindCrashAll

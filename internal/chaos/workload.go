@@ -65,6 +65,10 @@ func startWorkload(tg Target, log *history.Log, pairs int) *workload {
 	}
 	n, s := next()
 	w.go_(func() { w.cas(n, s) })
+	for i := 0; i < 2; i++ {
+		n, s := next()
+		w.go_(func() { w.scan(n, s) })
+	}
 	return w
 }
 
@@ -166,6 +170,25 @@ func (w *workload) consumer(p, node, sess int) {
 			continue
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// scan hammers the local-acquire fast path (DESIGN.md "Local reads"):
+// acquires of the relaxed-only payload keys are served off the local store
+// whenever a key's valid bit survives the nemeses, and fall back to the ABD
+// quorum read whenever it doesn't — exactly the invalidate→validate window
+// the local-reads schedule attacks. Payload keys are never sync-written and
+// their values never collide with flag values, so the verifier judges these
+// acquires as plain reads of relaxed data.
+func (w *workload) scan(node, sess int) {
+	s := w.lease(node, sess)
+	for i := 0; s != nil && !w.stop.Load(); i++ {
+		key := uint64(payloadBase + (i%w.pairs)*16 + (i/w.pairs)%payloadKeys)
+		if _, err := w.doRes(s, kite.AcquireOp(key)); err != nil {
+			s = w.release(s, node, sess)
+			continue
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"kite/internal/abd"
+	"kite/internal/barrier"
 	"kite/internal/proto"
 )
 
@@ -13,8 +14,34 @@ import (
 // delinquent, the machine epoch-id is incremented *before* the reset-bit
 // broadcast and before the session resumes, so every relaxed access after
 // the acquire sees the new epoch and refreshes its key via the slow path.
+//
+// Before paying the quorum round, the acquire tries the Hermes-style local
+// fast path (DESIGN.md "Local reads"): if the key carries the valid bit —
+// its value is a relaxed write every current member has acked — and is
+// in-epoch, and this machine is not marked delinquent in its own barrier
+// vector, the value is served from the local store with no messages at
+// all. Safety leans on what validation refuses to cover: releases, ABD
+// write-backs and RMW commits are never validated (their installs clear
+// the bit, and only relaxed full-acks set it), so a local hit can never
+// return a release's value — the RC synchronises-with edge, and the
+// delinquency notification that rides the acquire's quorum replies, are
+// only ever owed by acquires that fall back.
 func (w *Worker) issueAcquire(s *Session, r *Request) {
 	nd := w.node
+	if !nd.cfg.DisableFastPath && !nd.cfg.DisableLocalAcquires &&
+		nd.Delinq.State(nd.ID) == barrier.Clear {
+		if val, _, ok := nd.Store.ViewValid(r.Key, nd.Epoch.Load(), w.scratch[:]); ok && len(val) > 0 {
+			// len(val) > 0: a validated empty value is indistinguishable
+			// from "key never written" to an observer, so serving it
+			// locally would claim initial state after sync writes may have
+			// completed elsewhere; the quorum read disambiguates.
+			nd.localAcqHits.Add(1)
+			r.setOut(val)
+			s.complete(r, nil)
+			return
+		}
+	}
+	nd.acqFallbacks.Add(1)
 	op := &acquireOp{
 		id: w.nextOpID(s), sess: s, req: r,
 		epochSnap: nd.Epoch.Load(),
@@ -80,12 +107,11 @@ func (op *acquireOp) finish(w *Worker) {
 	nd.Store.ApplyAndAdvance(op.req.Key, op.rd.MaxVal, op.rd.MaxTS, op.epochSnap)
 	if op.rd.Delinquent {
 		// Transition to the slow path: bump the machine epoch first, then
-		// tell the replicas to reset our delinquency bit (Lemma 5.6 order).
+		// tell the replicas that flagged us to reset our delinquency bit
+		// (Lemma 5.6 order; targeted send — see Worker.sendResetBit).
 		nd.Epoch.Bump()
 		nd.epochBumps.Add(1)
-		w.broadcastAll(proto.Message{
-			Kind: proto.KindResetBit, From: nd.ID, Worker: w.id, OpID: op.id,
-		})
+		w.sendResetBit(op.id, op.rd.DelinqMask)
 	}
 	op.req.setOut(op.rd.MaxVal)
 	w.unregister(op.id)

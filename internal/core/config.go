@@ -38,6 +38,11 @@ type Config struct {
 	// (quorum rounds). Used by the ablation benchmarks to price the fast
 	// path; never set in normal operation.
 	DisableFastPath bool
+	// DisableLocalAcquires forces every acquire through the ABD quorum
+	// read, ignoring per-key valid bits (DESIGN.md "Local reads"). Used by
+	// the latency figure to measure the ABD baseline in the same binary;
+	// never set in normal operation. DisableFastPath implies it.
+	DisableLocalAcquires bool
 	// Incarnation distinguishes successive boots of the same node id. A
 	// replica restarted after a crash MUST boot with a strictly higher
 	// incarnation than any prior boot of its id: the value is folded into

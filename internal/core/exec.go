@@ -177,6 +177,9 @@ func (op *esWriteOp) onMessage(w *Worker, m *proto.Message) {
 		return
 	}
 	if _, done := op.sess.tracker.Ack(op.id, m.From); done {
+		// Every current member has acked: the write's (key, stamp) may be
+		// validated cluster-wide for the local-acquire fast path.
+		w.queueValidate(op.msg.Key, op.msg.Stamp)
 		w.unregister(op.id)
 		if op.sess.throttled {
 			op.sess.throttled = false

@@ -60,8 +60,13 @@ func TestSlowPathUnderPartition(t *testing.T) {
 }
 
 // TestRepeatedAcquiresDoNotRevert checks the reset-bit protocol (§4.2.1):
-// after one acquire discovers the delinquency and resets the bits, further
+// after acquires discover the delinquency and reset the bits, further
 // acquires must not keep bouncing the machine back to the slow path.
+// Resets are sent only to the replicas whose counted replies flagged
+// (Worker.sendResetBit), so a replica outside the first acquire's quorum
+// may legitimately cause one more bump when it is first counted — each
+// replica's Set bit costs at most one bump before its reset clears it, so
+// total bumps are bounded by the replica count and then stop.
 func TestRepeatedAcquiresDoNotRevert(t *testing.T) {
 	c, err := NewCluster(testConfig(5))
 	if err != nil {
@@ -80,18 +85,25 @@ func TestRepeatedAcquiresDoNotRevert(t *testing.T) {
 	if got := acquire(t, cons, 201); got != "go" {
 		t.Fatalf("acquire = %q", got)
 	}
-	// Allow the reset-bit broadcast to land everywhere.
+	// Allow the reset-bits to land.
 	time.Sleep(20 * time.Millisecond)
-	bumpsAfterFirst := c.Node(4).SlowPathStats().EpochBumps
-	if bumpsAfterFirst == 0 {
+	if c.Node(4).SlowPathStats().EpochBumps == 0 {
 		t.Fatal("first acquire did not bump the epoch")
 	}
 	for i := 0; i < 10; i++ {
 		acquire(t, cons, 201)
 	}
-	if got := c.Node(4).SlowPathStats().EpochBumps; got > bumpsAfterFirst+1 {
-		t.Fatalf("epoch kept bumping: %d -> %d (reset-bit not working)",
-			bumpsAfterFirst, got)
+	settled := c.Node(4).SlowPathStats().EpochBumps
+	if settled > 5 {
+		t.Fatalf("epoch bumps %d exceed the replica-count bound", settled)
+	}
+	// Steady state: once every flagger has been reset, acquires stop
+	// bumping entirely.
+	for i := 0; i < 10; i++ {
+		acquire(t, cons, 201)
+	}
+	if got := c.Node(4).SlowPathStats().EpochBumps; got != settled {
+		t.Fatalf("epoch kept bumping: %d -> %d (reset-bit not working)", settled, got)
 	}
 }
 

@@ -28,7 +28,19 @@ func (w *Worker) handleRequest(m *proto.Message) (rep proto.Message, ok bool) {
 	case proto.KindESWrite:
 		return es.HandleWrite(nd.Store, m, nd.ID), true
 
+	case proto.KindESValidate:
+		es.HandleValidate(nd.Store, m)
+		return rep, false
+
 	case proto.KindReadTS:
+		// Round 1 of an ABD write: a release to this key is in flight, so
+		// proactively drop it from the local-acquire fast path — the ABD
+		// write's install will clear the bit anyway, but doing it at round 1
+		// shrinks the window in which another replica's stale-but-valid copy
+		// could miss the release earlier than necessary. (Correctness never
+		// depends on this: validated values are relaxed writes, which no
+		// synchronisation edge reads.)
+		nd.Store.Invalidate(m.Key)
 		return abd.HandleReadTS(nd.Store, m, nd.ID, proto.KindReadTSReply), true
 
 	case proto.KindSlowWriteTS:
@@ -56,6 +68,9 @@ func (w *Worker) handleRequest(m *proto.Message) (rep proto.Message, ok bool) {
 		return rep, false
 
 	case proto.KindPropose:
+		// An RMW is in flight on this key; same proactive invalidation as
+		// KindReadTS (the commit's install clears the bit regardless).
+		nd.Store.Invalidate(m.Key)
 		rep = paxos.HandlePropose(nd.Store, m, nd.ID, w.scratch[:])
 		if nd.Delinq.OnAcquire(m.From, m.OpID) {
 			rep.Flags |= proto.FlagDelinquent

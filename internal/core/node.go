@@ -91,6 +91,8 @@ type Node struct {
 	slowRels       atomic.Uint64 // releases that published a DM-set
 	staleFrames    atomic.Uint64 // frames dropped by the config-epoch check
 	configInstalls atomic.Uint64 // configurations installed (boot excluded)
+	localAcqHits   atomic.Uint64 // acquires served locally off a valid key
+	acqFallbacks   atomic.Uint64 // acquires that fell back to the ABD read
 }
 
 // NewNode creates (but does not start) a replica. All nodes of a deployment
@@ -412,6 +414,8 @@ type Stats struct {
 	SlowWrites   uint64 // relaxed writes that needed a TS quorum round
 	EpochBumps   uint64 // acquire-side transitions to the slow path
 	SlowReleases uint64 // releases that published a DM-set
+	LocalAcqHits uint64 // acquires served locally off a validated key (DESIGN.md "Local reads")
+	AcqFallbacks uint64 // acquires that fell back to the ABD quorum read
 }
 
 // SlowPathStats snapshots the node's slow-path counters.
@@ -421,5 +425,7 @@ func (nd *Node) SlowPathStats() Stats {
 		SlowWrites:   nd.slowWrites.Load(),
 		EpochBumps:   nd.epochBumps.Load(),
 		SlowReleases: nd.slowRels.Load(),
+		LocalAcqHits: nd.localAcqHits.Load(),
+		AcqFallbacks: nd.acqFallbacks.Load(),
 	}
 }

@@ -290,9 +290,7 @@ func (op *rmwOp) finish(w *Worker) {
 	if op.prop.Delinquent {
 		nd.Epoch.Bump()
 		nd.epochBumps.Add(1)
-		w.broadcastAll(proto.Message{
-			Kind: proto.KindResetBit, From: nd.ID, Worker: w.id, OpID: op.id,
-		})
+		w.sendResetBit(op.id, op.prop.DelinqMask)
 	}
 	op.req.Out = op.req.outBuf[:copy(op.req.outBuf[:], op.resBuf[:op.resLen])]
 	op.req.Swapped = op.swapped

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"kite/internal/es"
 	"kite/internal/kvs"
 	"kite/internal/llc"
 	"kite/internal/membership"
@@ -36,6 +37,13 @@ type Worker struct {
 	// out stages outgoing messages per destination node; flush() sends
 	// each stage as one batch (opportunistic batching, §6.3).
 	out [][]proto.Message
+
+	// pendingVal accumulates (key, stamp) pairs of relaxed writes that
+	// reached full acknowledgement this iteration. flush() folds them into
+	// KindESValidate broadcasts — up to proto.MaxOrigins/2 pairs per frame
+	// — so validation traffic rides the existing batches instead of paying
+	// one frame per write (DESIGN.md "Local reads").
+	pendingVal []uint64
 
 	runq []*Session
 
@@ -121,6 +129,30 @@ func (w *Worker) broadcastRemote(m proto.Message) {
 func (w *Worker) broadcastAll(m proto.Message) {
 	w.broadcastRemote(m)
 	w.deliverLocal(m)
+}
+
+// sendResetBit sends a completed delinquent acquire's (or RMW's) reset-bit
+// to exactly the replicas in mask — the ones whose counted replies flagged
+// us. A broadcast would also reach replicas whose flag we never counted;
+// there our bit may be in Trans for a newer release, and the reset would
+// clear delinquency this op's epoch bump does not answer for (the bug the
+// `local-reads` chaos schedule caught). Unreached replicas self-heal: their
+// Trans bit still reads as suspected, so a later counted acquire is flagged
+// and carries its own reset.
+func (w *Worker) sendResetBit(opID uint64, mask uint16) {
+	nd := w.node
+	m := proto.Message{Kind: proto.KindResetBit, From: nd.ID, Worker: w.id, OpID: opID}
+	mask &= nd.full()
+	for dst := uint8(0); int(dst) < llc.MaxNodes; dst++ {
+		if mask&(1<<dst) == 0 {
+			continue
+		}
+		if dst == nd.ID {
+			w.deliverLocal(m)
+		} else {
+			w.stage(dst, m)
+		}
+	}
 }
 
 // deliverLocal runs the replica-side handler for m against the local node
@@ -217,9 +249,42 @@ func (w *Worker) handleConfig(m *proto.Message) {
 	}
 }
 
+// queueValidate records that the relaxed write (key, st) has been acked by
+// every current member; the pair is broadcast as a KindESValidate at the
+// next flush. Validation is deliberately deferred to flush time — losing
+// the batch (crash before flush) only costs fallbacks, never correctness.
+func (w *Worker) queueValidate(key uint64, st llc.Stamp) {
+	if w.node.n() == 1 {
+		// Sole replica: nothing tracks, nothing validates — acquires are
+		// served by the ABD loopback.
+		return
+	}
+	w.pendingVal = es.AppendValidate(w.pendingVal, key, st)
+}
+
+// flushValidates folds the iteration's fully-acked writes into validate
+// broadcasts: every current member (the local replica included, via the
+// loopback) marks each still-current (key, stamp) locally readable.
+func (w *Worker) flushValidates() {
+	for len(w.pendingVal) > 0 {
+		n := len(w.pendingVal)
+		if n > proto.MaxOrigins {
+			n = proto.MaxOrigins
+		}
+		m := proto.Message{
+			Kind: proto.KindESValidate, From: w.node.ID, Worker: w.id,
+			Origins: w.pendingVal[:n:n],
+		}
+		w.pendingVal = w.pendingVal[n:]
+		w.broadcastAll(m)
+	}
+	w.pendingVal = nil
+}
+
 // flush sends every staged batch. Batches are handed to the transport,
 // which owns them afterwards.
 func (w *Worker) flush() {
+	w.flushValidates()
 	for dst := range w.out {
 		if len(w.out[dst]) == 0 {
 			continue
@@ -464,6 +529,12 @@ func (w *Worker) applyConfig() {
 	for _, s := range w.sessions {
 		done := s.tracker.Refit(full)
 		for _, id := range done {
+			// A write completed by the refit has been acked by every CURRENT
+			// member (a grown mask never completes early), so it validates
+			// exactly like an ordinary full-ack.
+			if esop, ok := w.ops[id].(*esWriteOp); ok {
+				w.queueValidate(esop.msg.Key, esop.msg.Stamp)
+			}
 			w.unregister(id)
 		}
 		if len(done) == 0 {

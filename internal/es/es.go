@@ -2,6 +2,7 @@ package es
 
 import (
 	"kite/internal/kvs"
+	"kite/internal/llc"
 	"kite/internal/proto"
 )
 
@@ -13,6 +14,26 @@ import (
 func HandleWrite(s *kvs.Store, m *proto.Message, self uint8) proto.Message {
 	s.Apply(m.Key, m.Value, m.Stamp)
 	return m.Reply(proto.KindESAck, self)
+}
+
+// HandleValidate processes a validate broadcast: the origin of one or more
+// relaxed writes has collected acks from EVERY current member, so each
+// (key, stamp) pair may be marked locally readable — Hermes-style
+// validation. The store only sets the bit if the named stamp is still the
+// installed one; a newer write has already re-invalidated the key and its
+// own full-ack will bring its own validate. No reply: validates are
+// fire-and-forget, and losing one merely leaves the key on the ABD
+// fallback path.
+func HandleValidate(s *kvs.Store, m *proto.Message) {
+	for i := 0; i+1 < len(m.Origins); i += 2 {
+		s.Validate(m.Origins[i], llc.Unpack(m.Origins[i+1]))
+	}
+}
+
+// AppendValidate packs a fully-acked write's (key, stamp) pair onto a
+// pending validate batch (the wire encoding HandleValidate consumes).
+func AppendValidate(batch []uint64, key uint64, st llc.Stamp) []uint64 {
+	return append(batch, key, st.Pack())
 }
 
 // PendingWrite tracks one relaxed write awaiting acknowledgements.

@@ -31,6 +31,7 @@ const (
 	entriesPerBucket = 8
 	valueWords       = MaxValueLen / 8
 	stateUsed        = uint32(1 << 31)
+	stateValid       = uint32(1 << 30)
 	stateLenMask     = uint32(0xff)
 )
 
@@ -40,7 +41,7 @@ const (
 // only by writer-side code holding the bucket lock.
 type Entry struct {
 	key   atomic.Uint64
-	state atomic.Uint32 // used bit | value length
+	state atomic.Uint32 // used bit | valid bit | value length
 	stamp atomic.Uint64 // packed llc.Stamp
 	epoch atomic.Uint64 // per-key epoch-id (§4.2)
 	words [valueWords]atomic.Uint64
@@ -105,6 +106,11 @@ func storeValue(e *Entry, val []byte) {
 	for ; w < valueWords; w++ {
 		e.words[w].Store(0)
 	}
+	// Installing a value rewrites state without stateValid: every install —
+	// local ES write, remote ES apply, ABD/Paxos adoption, WAL replay,
+	// catch-up sweep — doubles as the Hermes-style invalidation point. A key
+	// becomes valid again only through Store.Validate, i.e. only when the
+	// write's origin has seen acks from every current member.
 	e.state.Store(stateUsed | uint32(len(val)))
 }
 
@@ -237,6 +243,71 @@ func (s *Store) ViewStamp(key uint64) (llc.Stamp, bool) {
 			return st, true
 		}
 	}
+}
+
+// ViewValid is the local linearizable read (Hermes-style): a seqlock-
+// protected read of key that succeeds only when the entry carries the
+// valid bit — its value is a fully-replicated relaxed write every current
+// member has acked — AND the key is in-epoch. Both conditions are loaded
+// inside the sequence section, so a concurrent install (which clears the
+// bit) or epoch advance forces a retry or a miss, never a stale hit. ok
+// is false for absent, invalid or out-of-epoch keys; callers fall back to
+// the ABD quorum read.
+func (s *Store) ViewValid(key uint64, epoch uint64, buf []byte) (val []byte, st llc.Stamp, ok bool) {
+	b := s.bucketFor(key)
+	for {
+		s1 := b.seq.Load()
+		if s1&1 != 0 {
+			continue
+		}
+		e := findRead(b, key)
+		if e == nil {
+			if b.seq.Load() == s1 {
+				return nil, llc.Zero, false
+			}
+			continue
+		}
+		if e.state.Load()&stateValid == 0 || e.Epoch() != epoch {
+			if b.seq.Load() == s1 && e.key.Load() == key {
+				return nil, llc.Zero, false
+			}
+			continue
+		}
+		val = e.ValueInto(buf)
+		st = e.Stamp()
+		if b.seq.Load() == s1 && e.key.Load() == key {
+			return val, st, true
+		}
+	}
+}
+
+// Validate marks key readable locally, but only if its installed stamp
+// still equals st — the stamp the fully-acked write carried. A newer
+// install has already superseded (and re-invalidated) the acked value, in
+// which case this is a no-op; the newer write's own full-ack will
+// re-validate. Holding the bucket mutex (without bumping the sequence —
+// value and stamp are untouched, so concurrent Views stay consistent)
+// makes the stamp check and the bit set atomic against writers.
+func (s *Store) Validate(key uint64, st llc.Stamp) {
+	b := s.bucketFor(key)
+	b.mu.Lock()
+	if e := findRead(b, key); e != nil && e.stamp.Load() == st.Pack() {
+		e.state.Or(stateValid)
+	}
+	b.mu.Unlock()
+}
+
+// Invalidate clears key's valid bit if the entry exists: the caller
+// learned of an in-flight write to key (an ABD round 1, a Paxos propose)
+// that an install has not yet reflected locally. Absent keys need nothing
+// — they are never valid.
+func (s *Store) Invalidate(key uint64) {
+	b := s.bucketFor(key)
+	b.mu.Lock()
+	if e := findRead(b, key); e != nil {
+		e.state.And(^stateValid)
+	}
+	b.mu.Unlock()
 }
 
 // findOrInsert locates key in the chain, allocating a slot (and overflow

@@ -301,6 +301,9 @@ func TestProposerDelinquencyPiggyback(t *testing.T) {
 	if !p.Delinquent {
 		t.Fatal("delinquent flag not folded")
 	}
+	if p.DelinqMask != 1<<1 {
+		t.Fatalf("delinq mask = %b, want %b", p.DelinqMask, 1<<1)
+	}
 }
 
 func TestProposerDuplicateRepliesIgnored(t *testing.T) {

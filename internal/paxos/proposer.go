@@ -53,8 +53,11 @@ type Proposer struct {
 	Ballot llc.Stamp
 	Val    []byte // value being driven this attempt (ours, or adopted)
 
-	// Delinquent accumulates the piggybacked acquire-side flags (§4.2).
+	// Delinquent accumulates the piggybacked acquire-side flags (§4.2);
+	// DelinqMask records which counted repliers flagged, so the reset-bit
+	// goes only to them (see abd.ReadOp.DelinqMask for why).
 	Delinquent bool
+	DelinqMask uint16
 
 	n, quorum int
 
@@ -180,6 +183,7 @@ func (p *Proposer) foldCommon(m *proto.Message) (counted bool) {
 	p.seen |= bit
 	if m.Flags&proto.FlagDelinquent != 0 {
 		p.Delinquent = true
+		p.DelinqMask |= bit
 	}
 	if m.Flags&proto.FlagNack == 0 {
 		p.oks |= bit

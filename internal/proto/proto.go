@@ -76,6 +76,11 @@ const (
 	KindConfigPull // OpID: request the sender's installed group config
 	KindConfigInfo // Slot = config epoch, Bits = member bitmask; sent as a reply to a pull and pushed unsolicited at nodes observed behind
 
+	// Local-read validation (DESIGN.md "Local reads"). Fire-and-forget,
+	// no reply: a lost or dropped validate only costs a fallback to the
+	// ABD read, never correctness.
+	KindESValidate // Origins = packed (key, stamp) pairs of relaxed writes acked by every current member
+
 	kindCount
 )
 
@@ -116,6 +121,7 @@ var kindNames = [...]string{
 	KindCatchupEnd:     "catchup-end",
 	KindConfigPull:     "config-pull",
 	KindConfigInfo:     "config-info",
+	KindESValidate:     "es-validate",
 }
 
 func (k Kind) String() string {

@@ -31,3 +31,30 @@ func TestChaosRemote(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosLocalReadsRemote runs the local-reads schedule — delay-biased
+// nemeses attacking the local-acquire fast path's invalidate→validate
+// window — against the loopback-UDP deployment (the inproc and sharded legs
+// live in internal/chaos).
+func TestChaosLocalReadsRemote(t *testing.T) {
+	cl := Start(t, 3)
+	d := 8 * time.Second
+	if testing.Short() {
+		d = 5 * time.Second
+	}
+	rep, _ := chaos.Run(cl.Chaos(), chaos.Config{Seed: 1, Duration: d, Kinds: chaos.LocalReadsKinds()})
+	if !rep.Passed {
+		t.Fatalf("remote local-reads chaos run failed: errors=%v verifier:\n%s", rep.Errors, rep.Verifier.String())
+	}
+	// The schedule must have actually exercised the fast path on the real
+	// node processes: local hits and quorum fallbacks both observed.
+	var hits, falls uint64
+	for _, nd := range cl.Nodes {
+		st := nd.SlowPathStats()
+		hits += st.LocalAcqHits
+		falls += st.AcqFallbacks
+	}
+	if hits == 0 || falls == 0 {
+		t.Fatalf("fast path not exercised under chaos: hits=%d fallbacks=%d", hits, falls)
+	}
+}

@@ -85,6 +85,10 @@ type Options struct {
 	// DisableFastPath forces all relaxed accesses through quorum rounds
 	// (ablation studies only).
 	DisableFastPath bool
+	// DisableLocalAcquires forces every acquire through the ABD quorum
+	// read instead of the Hermes-style local fast path on validated keys
+	// (DESIGN.md "Local reads"). Ablation/baseline studies only.
+	DisableLocalAcquires bool
 	// WALDir, when non-empty, enables per-replica durability: each node
 	// appends a write-ahead log (and periodic store snapshots) under its
 	// own subdirectory of WALDir, and RestartNode recovers from it instead
@@ -106,16 +110,17 @@ type Options struct {
 
 func (o Options) toConfig() core.Config {
 	return core.Config{
-		Nodes:             o.Nodes,
-		Workers:           o.Workers,
-		SessionsPerWorker: o.SessionsPerWorker,
-		KVSCapacity:       o.Capacity,
-		ReleaseTimeout:    o.ReleaseTimeout,
-		RetryInterval:     o.RetryInterval,
-		DisableFastPath:   o.DisableFastPath,
-		WALDir:            o.WALDir,
-		FsyncInterval:     o.FsyncInterval,
-		SnapshotEvery:     o.SnapshotEvery,
+		Nodes:                o.Nodes,
+		Workers:              o.Workers,
+		SessionsPerWorker:    o.SessionsPerWorker,
+		KVSCapacity:          o.Capacity,
+		ReleaseTimeout:       o.ReleaseTimeout,
+		RetryInterval:        o.RetryInterval,
+		DisableFastPath:      o.DisableFastPath,
+		DisableLocalAcquires: o.DisableLocalAcquires,
+		WALDir:               o.WALDir,
+		FsyncInterval:        o.FsyncInterval,
+		SnapshotEvery:        o.SnapshotEvery,
 	}
 }
 

@@ -109,6 +109,90 @@ func TestConformanceRestartRejoin(t *testing.T) {
 	})
 }
 
+// TestRestartAcquireFallsBack pins the rejoin gating of the local-acquire
+// fast path (DESIGN.md "Local reads"): every install path a restarted
+// replica rebuilds its store through — WAL replay and the catch-up sweep —
+// goes via Store.Apply, which leaves the valid bit clear. So a key that was
+// being served locally before the crash must take the ABD quorum read on
+// the rejoined incarnation's first acquire, and only fresh relaxed traffic
+// (a new full-ack + validate broadcast) may put it back on the fast path.
+func TestRestartAcquireFallsBack(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, h *harness) {
+		victim := h.nodes - 1
+		prod := h.session(t, 0, 0)
+		vic := h.session(t, victim, 0)
+
+		// Warm the victim's valid bit: write a relaxed key and poll until an
+		// acquire on the victim is served locally (full-ack + validate landed).
+		if err := prod.Write(400, []byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			before := h.stats(victim).LocalAcqHits
+			v, err := vic.AcquireRead(400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.stats(victim).LocalAcqHits > before {
+				// A local hit serves the validated (fully-acked) write.
+				if string(v) != "warm" {
+					t.Fatalf("local hit = %q, want %q", v, "warm")
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("victim never served key 400 locally: %+v", h.stats(victim))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		h.restart(t, victim)
+		h.await(t, victim)
+
+		// First acquire on the rejoined incarnation: the swept/replayed store
+		// must not claim validity — the read pays the quorum round.
+		cons := h.session(t, victim, 0)
+		hits0, fb0 := h.stats(victim).LocalAcqHits, h.stats(victim).AcqFallbacks
+		if v, err := cons.AcquireRead(400); err != nil || string(v) != "warm" {
+			t.Fatalf("acquire on rejoined replica = %q, %v", v, err)
+		}
+		after := h.stats(victim)
+		if after.AcqFallbacks <= fb0 {
+			t.Fatalf("rejoined replica's first acquire did not fall back (fallbacks %d -> %d)",
+				fb0, after.AcqFallbacks)
+		}
+		if after.LocalAcqHits != hits0 {
+			t.Fatalf("rejoined replica served a replayed key locally (hits %d -> %d)",
+				hits0, after.LocalAcqHits)
+		}
+
+		// Fresh relaxed traffic re-validates: the rejoined replica returns to
+		// the fast path once a new write full-acks against the new member set.
+		if err := prod.Write(400, []byte("again")); err != nil {
+			t.Fatal(err)
+		}
+		deadline = time.Now().Add(20 * time.Second)
+		for {
+			before := h.stats(victim).LocalAcqHits
+			v, err := cons.AcquireRead(400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.stats(victim).LocalAcqHits > before {
+				if string(v) != "again" {
+					t.Fatalf("local hit after rejoin = %q, want %q", v, "again")
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rejoined replica never re-entered the fast path: %+v", h.stats(victim))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
 // TestCrossShardRestartFence pins the sharding requirement of the rejoin
 // design: a replica restarted in the payload's group must not let the
 // cross-shard release fence pass before it has truly applied the session's

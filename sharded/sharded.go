@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"kite"
+	"kite/internal/core"
 	"kite/internal/shard"
 	"kite/internal/transport"
 )
@@ -201,6 +202,23 @@ func (c *Cluster) AwaitRejoin(node int, timeout time.Duration) bool {
 		}
 	}
 	return true
+}
+
+// NodeStats sums replica node's slow-path activity counters across groups —
+// the machine-level view of how often its replicas left the fast paths
+// (one machine hosts a replica of every group).
+func (c *Cluster) NodeStats(node int) core.Stats {
+	var t core.Stats
+	for _, kc := range c.groups {
+		s := kc.NodeStats(node)
+		t.SlowReads += s.SlowReads
+		t.SlowWrites += s.SlowWrites
+		t.EpochBumps += s.EpochBumps
+		t.SlowReleases += s.SlowReleases
+		t.LocalAcqHits += s.LocalAcqHits
+		t.AcqFallbacks += s.AcqFallbacks
+	}
+	return t
 }
 
 // CompletedOps sums operations completed at replica node across groups.
