@@ -38,6 +38,7 @@ import (
 	"kite/internal/core"
 	"kite/internal/membership"
 	"kite/internal/proto"
+	"kite/internal/transport"
 )
 
 // Errors returned by client operations. The operation-level taxonomy
@@ -148,6 +149,10 @@ type pendingOp struct {
 type Client struct {
 	opts Options
 	conn *net.UDPConn
+	// bc batches retry-pass retransmissions into sendmmsg calls on the
+	// connected socket (falling back to per-datagram writes where the
+	// batch syscalls are unavailable).
+	bc *transport.BatchConn
 
 	mu      sync.Mutex
 	pending map[pendingKey]*pendingOp // data ops: key {sess, seq}
@@ -187,6 +192,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 	c := &Client{
 		opts:    opts,
 		conn:    conn,
+		bc:      transport.NewBatchConn(conn, nil),
 		pending: make(map[pendingKey]*pendingOp),
 		control: make(map[uint64]*pendingOp),
 		// Control seqs start at a random point so that a client whose
@@ -417,6 +423,10 @@ func (c *Client) retryLoop() {
 	defer c.wg.Done()
 	tick := time.NewTicker(c.opts.RetryInterval)
 	defer tick.Stop()
+	// Frames are immutable once registered, so the pass stages them under
+	// the lock and flushes them in batched syscalls after releasing it (a
+	// retransmission that races its reply is harmless — the server dedups).
+	var dgs []transport.Datagram
 	for range tick.C {
 		if c.closed.Load() {
 			return
@@ -424,6 +434,7 @@ func (c *Client) retryLoop() {
 		now := time.Now()
 		var expired []*pendingOp
 		var canceled []func()
+		dgs = dgs[:0]
 		c.mu.Lock()
 		c.pass++
 		for k, op := range c.pending {
@@ -447,10 +458,10 @@ func (c *Client) retryLoop() {
 					continue // frame already resent this pass
 				}
 				op.batch.pass = c.pass
-				c.conn.Write(op.batch.frame)
+				dgs = append(dgs, transport.Datagram{Buf: op.batch.frame})
 				continue
 			}
-			c.conn.Write(op.frame)
+			dgs = append(dgs, transport.Datagram{Buf: op.frame})
 		}
 		for k, op := range c.control {
 			if now.After(op.deadline) {
@@ -458,9 +469,12 @@ func (c *Client) retryLoop() {
 				expired = append(expired, op)
 				continue
 			}
-			c.conn.Write(op.frame)
+			dgs = append(dgs, transport.Datagram{Buf: op.frame})
 		}
 		c.mu.Unlock()
+		if len(dgs) > 0 {
+			c.bc.WriteBatch(dgs) // nil Dest: the connected peer
+		}
 		for _, deliver := range canceled {
 			deliver()
 		}

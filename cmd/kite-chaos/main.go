@@ -13,6 +13,7 @@
 //	kite-chaos -backend remote -json report.json -history history.jsonl
 //	kite-chaos -nemeses crash-all     # durability: SIGKILL all, restart from WAL
 //	kite-chaos -nemeses local-reads   # attack the local-acquire valid-bit window
+//	kite-chaos -nemeses wire-batching # attack the batched transport's flush window
 //	kite-chaos -plan -seed 7          # print the timeline, run nothing
 //
 // The crash-all nemesis kills every node at once and restarts them from
@@ -46,7 +47,7 @@ func main() {
 		backend  = flag.String("backend", "inproc", "deployment flavour: inproc | sharded | remote")
 		nodes    = flag.Int("nodes", 3, "replicas per group")
 		groups   = flag.Int("groups", 2, "replica groups (sharded backend)")
-		nemeses  = flag.String("nemeses", "", "comma-separated nemesis kinds (default: all of "+kindList()+"); 'local-reads' expands to the schedule attacking the local-acquire fast path")
+		nemeses  = flag.String("nemeses", "", "comma-separated nemesis kinds (default: all of "+kindList()+"); 'local-reads' expands to the schedule attacking the local-acquire fast path, 'wire-batching' to the one attacking the batched transport's flush window")
 		verify   = flag.Bool("verify", true, "run the RC/k-atomicity verifier over the recorded history")
 		jsonPath = flag.String("json", "", "write the JSON run report here ('-' for stdout)")
 		histPath = flag.String("history", "", "write the recorded history (JSON lines) here")
@@ -66,9 +67,20 @@ func main() {
 				cfg.Kinds = append(cfg.Kinds, chaos.LocalReadsKinds()...)
 				continue
 			}
+			if name == "wire-batching" {
+				// Named schedule: the delay-biased mix attacking the
+				// batched transport's flush/linger window, plus unrecorded
+				// burst sessions whose high-fanout relaxed writes keep the
+				// flush deadlines hot while the nemeses run.
+				cfg.Kinds = append(cfg.Kinds, chaos.WireBatchingKinds()...)
+				if cfg.BurstSessions == 0 {
+					cfg.BurstSessions = 4
+				}
+				continue
+			}
 			k := chaos.NemesisKind(name)
 			if !validKind(k) {
-				fatalf("unknown nemesis kind %q (have: %s, %s or the local-reads schedule)", k, kindList(), chaos.KindCrashAll)
+				fatalf("unknown nemesis kind %q (have: %s, %s or the local-reads / wire-batching schedules)", k, kindList(), chaos.KindCrashAll)
 			}
 			cfg.Kinds = append(cfg.Kinds, k)
 			if k == chaos.KindCrashAll {

@@ -16,8 +16,8 @@ import (
 
 // ShardPoint is one measured point of the scaling series.
 type ShardPoint struct {
-	Groups        int     `json:"groups"`
-	NodesPerGroup int     `json:"nodes_per_group"`
+	Groups        int `json:"groups"`
+	NodesPerGroup int `json:"nodes_per_group"`
 	// RelaxedMreqs is million requests/s on the write-only relaxed mix
 	// (pure Eventual Store broadcasts — the fan-out-bound workload).
 	RelaxedMreqs float64 `json:"relaxed_mreqs"`
@@ -51,7 +51,10 @@ func FigureShard(fc FigureConfig, totalNodes int, groups []int) (*ShardReport, e
 		totalNodes = 4
 	}
 	if len(groups) == 0 {
-		groups = []int{1, 2, 4}
+		// Group counts that don't divide totalNodes are skipped below, so
+		// the default series serves both the 4-machine pinned config
+		// (points 1/2/4) and the 8-machine one (all four points).
+		groups = []int{1, 2, 4, 8}
 	}
 	rep := &ShardReport{
 		Name:       "shard-scaling",
@@ -84,7 +87,7 @@ func FigureShard(fc FigureConfig, totalNodes int, groups []int) (*ShardReport, e
 		pt := ShardPoint{Groups: g, NodesPerGroup: opts.Nodes}
 		for _, s := range series {
 			res, err := RunKite(KiteOpts{
-				Name: fmt.Sprintf("shard-%s-g%d", s.name, g),
+				Name:    fmt.Sprintf("shard-%s-g%d", s.name, g),
 				Options: opts, Groups: g, Mix: s.mix,
 				Keys: fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure,
 			})

@@ -157,6 +157,42 @@ func TestChaosLocalReadsInproc(t *testing.T) {
 	}
 }
 
+// TestChaosWireBatchingInproc runs the wire-batching schedule — the nemesis
+// mix biased at the batched transport's flush/linger window, plus burst
+// sessions whose high-fanout relaxed-write batches keep the flush deadlines
+// hot — over two seeds against the in-process cluster. The burst keys are
+// disjoint from every verified range and the burst sessions are unrecorded,
+// so the verifier judges the recorded workers exactly as in the default run;
+// the burst-op counter proves the load generator actually ran.
+func TestChaosWireBatchingInproc(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c, err := kite.NewCluster(kite.Options{Nodes: 3, Workers: 1, SessionsPerWorker: 8, Capacity: 1 << 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			cfg := chaosConfig(t)
+			cfg.Seed = seed
+			cfg.Kinds = WireBatchingKinds()
+			cfg.BurstSessions = 3
+			rep, _ := Run(NewInprocTarget(c), cfg)
+			if !rep.Passed {
+				t.Fatalf("wire-batching chaos run failed: errors=%v verifier:\n%s", rep.Errors, rep.Verifier.String())
+			}
+			for _, k := range WireBatchingKinds() {
+				if rep.Injected[k] == 0 {
+					t.Fatalf("kind %s never injected; injected=%v", k, rep.Injected)
+				}
+			}
+			if rep.BurstOps == 0 {
+				t.Fatal("burst sessions requested but no burst writes completed")
+			}
+		})
+	}
+}
+
 // TestChaosLocalReadsSharded: one local-reads seed against the sharded
 // composition (the remote leg lives in internal/testcluster).
 func TestChaosLocalReadsSharded(t *testing.T) {

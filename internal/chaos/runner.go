@@ -31,6 +31,10 @@ type Report struct {
 	Injected map[NemesisKind]int `json:"injected"`
 	Errors   []string            `json:"errors,omitempty"`
 	Ops      OpStats             `json:"ops"`
+	// BurstOps counts completed unrecorded burst writes (Config.
+	// BurstSessions — the wire-batching schedule's load shape). Zero when
+	// no burst sessions were requested.
+	BurstOps uint64 `json:"burst_ops,omitempty"`
 	// Faults is the per-link evidence ledger: a run that drops and delays
 	// nothing proves nothing, so Passed requires it to be non-trivial
 	// whenever link nemeses were scheduled.
@@ -53,7 +57,7 @@ func Run(tg Target, cfg Config) (*Report, *history.Recorded) {
 	}
 
 	log := history.New()
-	wl := startWorkload(tg, log, 2)
+	wl := startWorkload(tg, log, 2, cfg.BurstSessions)
 	faults := tg.Faults()
 	start := time.Now()
 
@@ -166,6 +170,7 @@ func Run(tg Target, cfg Config) (*Report, *history.Recorded) {
 	}
 	time.Sleep(1500 * time.Millisecond)
 	wl.halt()
+	rep.BurstOps = wl.burstOps.Load()
 
 	rec := log.Snapshot()
 	for i := range rec.Events {

@@ -81,6 +81,23 @@ func LocalReadsKinds() []NemesisKind {
 		KindAddRemove, KindDelayLink}
 }
 
+// WireBatchingKinds is the nemesis mix of the `wire-batching` schedule
+// (cmd/kite-chaos -nemeses wire-batching), aimed at the batched-syscall
+// transport's adaptive flush path (DESIGN.md "Transport"). Its hazard window
+// is the linger between a datagram being staged on the send ring and the
+// flush-on-size-or-deadline decision: delay-link appears twice (weighting the
+// random rounds toward batches that land after later retransmissions, so
+// duplicate suppression runs against whole batched frames), drop-link and
+// cut-link lose multi-message batches wholesale and force retransmission
+// through partially-filled rings, and stop-restart drains rings mid-flight
+// and reprobes the sendmmsg/recvmmsg path on the restarted node's fresh
+// socket. Pair it with Config.BurstSessions so high-fanout relaxed writes
+// keep the flush deadlines hot while the mix runs.
+func WireBatchingKinds() []NemesisKind {
+	return []NemesisKind{KindDelayLink, KindDropLink, KindDelayLink,
+		KindCutLink, KindStopRestart}
+}
+
 // lifecycle reports whether the kind occupies the exclusive lane.
 func (k NemesisKind) lifecycle() bool {
 	return k == KindStopRestart || k == KindAddRemove || k == KindCrashAll
@@ -145,6 +162,12 @@ type Config struct {
 	// (default 30s). Tests pinning expected failures shorten it so a
 	// sweep that can never complete fails the run quickly.
 	RejoinTimeout time.Duration
+	// BurstSessions adds that many unrecorded sessions issuing high-fanout
+	// relaxed-write batches (the wire-batching schedule's load shape: they
+	// keep the transport's flush deadlines hot so the nemeses hit full
+	// rings rather than idle lingers). 0 disables them. Purely a workload
+	// knob — the generated timeline does not depend on it.
+	BurstSessions int
 }
 
 func (c *Config) defaults() {
@@ -195,7 +218,7 @@ func Generate(cfg Config) Schedule {
 		return 20*time.Millisecond + time.Duration(rng.Int63n(int64(130*time.Millisecond)))
 	}
 
-	cursor := gap()       // next candidate start
+	cursor := gap()            // next candidate start
 	var lastHeal time.Duration // latest heal scheduled so far (any lane)
 	var linkHeals []time.Duration
 	var isolateHeal time.Duration

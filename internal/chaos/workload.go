@@ -30,6 +30,12 @@ const (
 	faaKey      = 8000
 	casKey      = 8001
 
+	// Burst keys live far above every verified key range: burst writes are
+	// unrecorded load (never read back), so they must never collide with a
+	// key the verifier reasons about.
+	burstBase   = 12000 // + burst*burstFanout + i
+	burstFanout = 24    // writes per DoBatch round
+
 	opTimeout = 5 * time.Second
 )
 
@@ -38,13 +44,18 @@ type workload struct {
 	log    *history.Log
 	pairs  int
 
+	// burstOps counts completed unrecorded burst writes — the evidence
+	// that the burst load actually ran (it appears in the run report).
+	burstOps atomic.Uint64
+
 	stop atomic.Bool
 	wg   sync.WaitGroup
 }
 
 // startWorkload launches the worker goroutines; call (*workload).halt to
-// stop and join them.
-func startWorkload(tg Target, log *history.Log, pairs int) *workload {
+// stop and join them. bursts adds that many unrecorded high-fanout
+// relaxed-write sessions (see (*workload).burst).
+func startWorkload(tg Target, log *history.Log, pairs, bursts int) *workload {
 	w := &workload{target: tg, log: log, pairs: pairs}
 	slot := 0
 	next := func() (int, int) {
@@ -68,6 +79,11 @@ func startWorkload(tg Target, log *history.Log, pairs int) *workload {
 	for i := 0; i < 2; i++ {
 		n, s := next()
 		w.go_(func() { w.scan(n, s) })
+	}
+	for b := 0; b < bursts; b++ {
+		b := b
+		n, s := next()
+		w.go_(func() { w.burst(b, n, s) })
 	}
 	return w
 }
@@ -106,6 +122,30 @@ func (w *workload) release(s kite.Session, node, sess int) kite.Session {
 	}
 	time.Sleep(50 * time.Millisecond)
 	return w.lease(node, sess)
+}
+
+// leaseRaw opens an unrecorded session at the coordinates, retrying while
+// the node is down. Burst sessions use it: their writes are pure load —
+// never read back, never verified — so recording them would only bloat the
+// verifier's input without adding evidence.
+func (w *workload) leaseRaw(node, sess int) kite.Session {
+	for !w.stop.Load() {
+		s, err := w.target.Session(node, sess)
+		if err == nil {
+			return s
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil
+}
+
+// releaseRaw is release for unrecorded sessions.
+func (w *workload) releaseRaw(s kite.Session, node, sess int) kite.Session {
+	if s != nil {
+		s.Close()
+	}
+	time.Sleep(50 * time.Millisecond)
+	return w.leaseRaw(node, sess)
 }
 
 func (w *workload) do(s kite.Session, op kite.Op) error {
@@ -188,6 +228,34 @@ func (w *workload) scan(node, sess int) {
 			s = w.release(s, node, sess)
 			continue
 		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// burst keeps the transport's flush deadlines hot: every round issues one
+// high-fanout DoBatch of relaxed writes to its private key range, so the
+// inter-replica broadcast path always has multi-message batches in flight
+// and the adaptive flusher decides on size rather than idling into its
+// linger deadline — which is exactly the state the wire-batching nemeses
+// attack. The session is unrecorded (leaseRaw) and the keys are disjoint
+// from every verified range, so the verifier's judgement rests solely on
+// the recorded workers running alongside.
+func (w *workload) burst(b, node, sess int) {
+	s := w.leaseRaw(node, sess)
+	ops := make([]kite.Op, burstFanout)
+	for r := 1; s != nil && !w.stop.Load(); r++ {
+		for i := range ops {
+			val := []byte(fmt.Sprintf("b%dr%dk%d", b, r, i))
+			ops[i] = kite.WriteOp(uint64(burstBase+b*burstFanout+i), val)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		_, err := s.DoBatch(ctx, ops)
+		cancel()
+		if err != nil {
+			s = w.releaseRaw(s, node, sess)
+			continue
+		}
+		w.burstOps.Add(burstFanout)
 		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -28,7 +28,7 @@ type Worker struct {
 	node *Node
 	id   uint8
 
-	inbox <-chan []proto.Message
+	inbox <-chan transport.Batch
 	reqCh chan *Request
 
 	sessions []*Session
@@ -281,17 +281,17 @@ func (w *Worker) flushValidates() {
 	w.pendingVal = nil
 }
 
-// flush sends every staged batch. Batches are handed to the transport,
-// which owns them afterwards.
+// flush sends every staged batch. The transport copies/encodes
+// synchronously, so each stage is truncated and reused next iteration —
+// steady state stages no allocations.
 func (w *Worker) flush() {
 	w.flushValidates()
 	for dst := range w.out {
 		if len(w.out[dst]) == 0 {
 			continue
 		}
-		batch := w.out[dst]
-		w.out[dst] = nil
-		w.node.tr.Send(transport.Endpoint{Node: uint8(dst), Worker: w.id}, batch)
+		w.node.tr.Send(transport.Endpoint{Node: uint8(dst), Worker: w.id}, w.out[dst])
+		w.out[dst] = w.out[dst][:0]
 	}
 }
 
@@ -350,9 +350,12 @@ func (w *Worker) run() {
 		for i := 0; i < maxBatchesPerIter; i++ {
 			select {
 			case batch := <-w.inbox:
-				for j := range batch {
-					w.dispatch(&batch[j])
+				for j := range batch.Msgs {
+					w.dispatch(&batch.Msgs[j])
 				}
+				// Handlers copy anything they keep, so the batch's pooled
+				// buffers go back to the transport here.
+				batch.Release()
 				progress = true
 			default:
 				break drain
@@ -455,9 +458,10 @@ func (w *Worker) idleWait() {
 	w.idle.Reset(w.node.cfg.IdlePoll)
 	select {
 	case batch := <-w.inbox:
-		for j := range batch {
-			w.dispatch(&batch[j])
+		for j := range batch.Msgs {
+			w.dispatch(&batch.Msgs[j])
 		}
+		batch.Release()
 		// Same barrier as the loop's step 4b: these dispatches may have
 		// granted promises/accepts whose acks are about to ship.
 		if w.syncWAL() {

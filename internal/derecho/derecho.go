@@ -111,7 +111,7 @@ type Node struct {
 	tr    transport.Transport
 
 	reqCh   chan send
-	inbox   <-chan []proto.Message
+	inbox   <-chan transport.Batch
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 
@@ -123,6 +123,7 @@ type Node struct {
 	turn      int
 	pending   map[uint64]func() // local seq -> completion
 	lastSend  time.Time
+	sendBuf   [1]proto.Message // scratch batch for submit broadcasts
 
 	deliveredCount atomic.Uint64
 	sendsCount     atomic.Uint64
@@ -202,9 +203,10 @@ func (nd *Node) run() {
 		for i := 0; i < 256; i++ {
 			select {
 			case batch := <-nd.inbox:
-				for j := range batch {
-					nd.receive(batch[j])
+				for j := range batch.Msgs {
+					nd.receive(batch.Msgs[j])
 				}
+				batch.Release()
 				progress = true
 			default:
 				break drain
@@ -237,9 +239,10 @@ func (nd *Node) run() {
 			idle.Reset(nd.cfg.IdlePoll)
 			select {
 			case batch := <-nd.inbox:
-				for j := range batch {
-					nd.receive(batch[j])
+				for j := range batch.Msgs {
+					nd.receive(batch.Msgs[j])
 				}
+				batch.Release()
 			case s := <-nd.reqCh:
 				nd.submit(s)
 			case <-idle.C:
@@ -267,7 +270,10 @@ func (nd *Node) submit(s send) {
 	}
 	for dst := uint8(0); int(dst) < nd.n; dst++ {
 		if dst != nd.id {
-			nd.tr.Send(transport.Endpoint{Node: dst}, []proto.Message{m})
+			// The transport copies synchronously, so the one-element
+			// scratch batch is reused across destinations and submits.
+			nd.sendBuf[0] = m
+			nd.tr.Send(transport.Endpoint{Node: dst}, nd.sendBuf[:])
 		}
 	}
 	if nd.cfg.Mode == Unordered {
@@ -292,6 +298,11 @@ func (nd *Node) receive(m proto.Message) {
 	if nd.cfg.Mode == Unordered {
 		nd.apply(m)
 		return
+	}
+	// Ordered mode buffers the message until its round comes up; the value
+	// must not alias the transport's recycled receive buffer.
+	if len(m.Value) > 0 {
+		m.Value = append([]byte(nil), m.Value...)
 	}
 	nd.buffered[m.From][m.Slot] = m
 	nd.deliverRounds()

@@ -66,20 +66,30 @@ func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
 // consumed. The Value field aliases b; callers that retain the message past
 // the buffer's lifetime must copy it.
 func (m *Message) Unmarshal(b []byte) (int, error) {
+	used, _, err := m.unmarshalArena(b, nil)
+	return used, err
+}
+
+// unmarshalArena decodes one message from b. Value aliases b. When arena is
+// non-nil, Origins is appended to it and m.Origins aliases the appended
+// region (the zero-allocation decode path); with a nil arena Origins is
+// freshly allocated, exactly like Unmarshal. Returns bytes consumed and the
+// (possibly grown) arena.
+func (m *Message) unmarshalArena(b []byte, arena []uint64) (int, []uint64, error) {
 	if len(b) < headerLen {
-		return 0, ErrShortBuffer
+		return 0, arena, ErrShortBuffer
 	}
 	kind := Kind(b[0])
 	if kind == KindInvalid || kind >= kindCount {
-		return 0, fmt.Errorf("proto: bad kind %d", b[0])
+		return 0, arena, fmt.Errorf("proto: bad kind %d", b[0])
 	}
 	vlen := int(b[4])
 	olen := int(b[5])
 	if vlen > MaxValueLen || olen > MaxOrigins {
-		return 0, ErrValueTooLong
+		return 0, arena, ErrValueTooLong
 	}
 	if len(b) < headerLen+vlen+8*olen {
-		return 0, ErrShortBuffer
+		return 0, arena, ErrShortBuffer
 	}
 	m.Kind = kind
 	m.Flags = b[1]
@@ -98,15 +108,22 @@ func (m *Message) Unmarshal(b []byte) (int, error) {
 	} else {
 		m.Value = nil
 	}
-	if olen > 0 {
+	switch {
+	case olen == 0:
+		m.Origins = nil
+	case arena != nil:
+		start := len(arena)
+		for i := 0; i < olen; i++ {
+			arena = append(arena, binary.LittleEndian.Uint64(b[headerLen+vlen+8*i:]))
+		}
+		m.Origins = arena[start:len(arena):len(arena)]
+	default:
 		m.Origins = make([]uint64, olen)
 		for i := 0; i < olen; i++ {
 			m.Origins[i] = binary.LittleEndian.Uint64(b[headerLen+vlen+8*i:])
 		}
-	} else {
-		m.Origins = nil
 	}
-	return headerLen + vlen + 8*olen, nil
+	return headerLen + vlen + 8*olen, arena, nil
 }
 
 // MarshalBatch encodes a batch of messages into a single datagram payload.
@@ -131,18 +148,51 @@ func MarshalBatch(dst []byte, batch []Message) ([]byte, error) {
 // UnmarshalBatch decodes a datagram payload produced by MarshalBatch.
 // Returned message values alias b.
 func UnmarshalBatch(b []byte) ([]Message, error) {
+	msgs, _, err := UnmarshalBatchInto(nil, nil, b)
+	return msgs, err
+}
+
+// UnmarshalBatchInto is the zero-allocation decode path: it decodes a
+// datagram payload produced by MarshalBatch into msgs (reusing its capacity;
+// contents are overwritten) and packs every message's Origins into the
+// shared arena (reusing its capacity likewise). Message Values alias b and
+// Origins alias the returned arena, so the decoded batch is only valid until
+// b or the arena is recycled — transports that pool their receive buffers
+// must not release them until the batch has been fully consumed. Passing nil
+// slices degrades to plain allocation (UnmarshalBatch is exactly that).
+//
+// Steady state, a caller that round-trips the returned slices back into the
+// next call performs zero allocations per batch: the message slice and the
+// arena grow to their high-water mark once and are overwritten thereafter.
+func UnmarshalBatchInto(msgs []Message, arena []uint64, b []byte) ([]Message, []uint64, error) {
 	if len(b) < 2 {
-		return nil, ErrShortBuffer
+		return msgs[:0], arena[:0], ErrShortBuffer
 	}
 	n := int(binary.LittleEndian.Uint16(b))
 	b = b[2:]
-	out := make([]Message, n)
+	if cap(msgs) < n {
+		msgs = make([]Message, n)
+	} else {
+		msgs = msgs[:n]
+	}
+	if arena == nil {
+		// unmarshalArena falls back to per-message allocation on a nil
+		// arena; seed one so the packed path engages from the first call
+		// and callers that start with a nil slice still reach zero
+		// allocations once it grows to its high-water mark.
+		arena = make([]uint64, 0, 4*MaxOrigins)
+	}
+	arena = arena[:0]
 	for i := 0; i < n; i++ {
-		used, err := out[i].Unmarshal(b)
+		var (
+			used int
+			err  error
+		)
+		used, arena, err = msgs[i].unmarshalArena(b, arena)
 		if err != nil {
-			return nil, err
+			return msgs[:0], arena[:0], err
 		}
 		b = b[used:]
 	}
-	return out, nil
+	return msgs, arena, nil
 }

@@ -25,6 +25,7 @@ import (
 	"kite/internal/core"
 	"kite/internal/membership"
 	"kite/internal/proto"
+	"kite/internal/transport"
 )
 
 // Config parameterises a session server.
@@ -47,6 +48,11 @@ type Config struct {
 	// it is. Groups == 0 means unsharded (equivalent to 1 group, group 0).
 	Groups int
 	Group  int
+	// FlushDelay bounds how long the reply flusher lingers collecting a
+	// sub-batch burst before sending (transport.DefaultFlushDelay if zero;
+	// negative disables lingering — every drain flushes immediately). A
+	// lone reply always flushes immediately regardless.
+	FlushDelay time.Duration
 }
 
 // Defaults for Config zero values.
@@ -75,6 +81,7 @@ type Server struct {
 	nd   *core.Node
 	cfg  Config
 	conn *net.UDPConn
+	bc   *transport.BatchConn
 
 	mu       sync.Mutex
 	sessions map[uint32]*clientSession
@@ -92,7 +99,7 @@ type Server struct {
 }
 
 type outReply struct {
-	addr *net.UDPAddr
+	dest *transport.UDPDest
 	rep  proto.ClientReply
 }
 
@@ -113,8 +120,9 @@ type clientSession struct {
 	cs *core.Session
 
 	mu         sync.Mutex
-	addr       *net.UDPAddr // latest client address; replies go here
-	nextSeq    uint64       // next data-op seq to submit to the core session
+	addr       *net.UDPAddr       // latest client address; replies go here
+	dest       *transport.UDPDest // addr with its precomputed raw sockaddr
+	nextSeq    uint64             // next data-op seq to submit to the core session
 	heldOut    map[uint64]heldReq
 	inflight   map[uint64]struct{}
 	done       map[uint64]proto.ClientReply // completed replies kept for retransmits
@@ -143,6 +151,12 @@ func New(nd *core.Node, cfg Config) (*Server, error) {
 	if cfg.ReplyDepth <= 0 {
 		cfg.ReplyDepth = DefaultReplyDepth
 	}
+	switch {
+	case cfg.FlushDelay == 0:
+		cfg.FlushDelay = transport.DefaultFlushDelay
+	case cfg.FlushDelay < 0:
+		cfg.FlushDelay = 0
+	}
 	if cfg.Groups > proto.MaxGroups {
 		return nil, fmt.Errorf("server: %d groups exceeds %d", cfg.Groups, proto.MaxGroups)
 	}
@@ -161,6 +175,7 @@ func New(nd *core.Node, cfg Config) (*Server, error) {
 		nd:       nd,
 		cfg:      cfg,
 		conn:     conn,
+		bc:       transport.NewBatchConn(conn, nil),
 		sessions: make(map[uint32]*clientSession),
 		opens:    make(map[openKey]openEntry),
 		replyCh:  make(chan outReply, cfg.ReplyDepth),
@@ -251,38 +266,91 @@ func (s *Server) recvLoop() {
 	}
 }
 
-// sendLoop drains the reply queue. replyCh is never closed — core-worker
-// Done callbacks may call reply() at any time, even during Close — so the
-// loop exits on the stop signal instead.
+// sendLoop drains the reply queue and ships replies in batched syscalls:
+// each drained reply marshals into its own reused buffer and the run goes
+// out as one WriteBatch (sendmmsg where available). The flush policy is the
+// transport's: a lone reply flushes immediately, a burst below a full batch
+// lingers up to Config.FlushDelay for stragglers. replyCh is never closed —
+// core-worker Done callbacks may call reply() at any time, even during
+// Close — so the loop exits on the stop signal instead.
 func (s *Server) sendLoop() {
 	defer s.wg.Done()
-	buf := make([]byte, 0, 256)
+	bufs := make([][]byte, transport.MaxIOBatch)
+	for i := range bufs {
+		bufs[i] = make([]byte, 0, 256)
+	}
+	dgs := make([]transport.Datagram, 0, transport.MaxIOBatch)
+	pending := make([]outReply, 0, transport.MaxIOBatch)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
 		select {
 		case <-s.stopJan:
 			return
 		case out := <-s.replyCh:
-			b, err := out.rep.AppendMarshal(buf[:0])
+			pending = append(pending[:0], out)
+		}
+	fill:
+		for len(pending) < cap(pending) {
+			select {
+			case out := <-s.replyCh:
+				pending = append(pending, out)
+			default:
+				break fill
+			}
+		}
+		if len(pending) >= 2 && len(pending) < cap(pending) && s.cfg.FlushDelay > 0 {
+			timer.Reset(s.cfg.FlushDelay)
+			expired := false
+			for !expired && len(pending) < cap(pending) {
+				select {
+				case out := <-s.replyCh:
+					pending = append(pending, out)
+				case <-timer.C:
+					expired = true
+				}
+			}
+			if !expired && !timer.Stop() {
+				<-timer.C
+			}
+		}
+		dgs = dgs[:0]
+		for i := range pending {
+			b, err := pending[i].rep.AppendMarshal(bufs[len(dgs)][:0])
 			if err != nil {
 				continue
 			}
-			if _, err := s.conn.WriteToUDP(b, out.addr); err == nil {
-				s.stats.Replies.Add(1)
-			}
+			bufs[len(dgs)] = b
+			dgs = append(dgs, transport.Datagram{Buf: b, Dest: pending[i].dest})
+		}
+		if len(dgs) > 0 {
+			n, _ := s.bc.WriteBatch(dgs)
+			s.stats.Replies.Add(uint64(n))
 		}
 	}
 }
 
 // reply queues a reply datagram; full queue drops it (the client retries).
-func (s *Server) reply(addr *net.UDPAddr, rep proto.ClientReply) {
+func (s *Server) reply(dest *transport.UDPDest, rep proto.ClientReply) {
 	if s.closed.Load() {
 		return
 	}
 	select {
-	case s.replyCh <- outReply{addr: addr, rep: rep}:
+	case s.replyCh <- outReply{dest: dest, rep: rep}:
 	default:
 		s.stats.DroppedReplies.Add(1)
 	}
+}
+
+// sameUDPAddr reports whether two addresses refer to the same endpoint
+// without allocating (unlike comparing String() forms).
+func sameUDPAddr(a, b *net.UDPAddr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Port == b.Port && a.Zone == b.Zone && a.IP.Equal(b.IP)
 }
 
 func (s *Server) handle(req *proto.ClientRequest, raddr *net.UDPAddr) {
@@ -290,7 +358,7 @@ func (s *Server) handle(req *proto.ClientRequest, raddr *net.UDPAddr) {
 	case proto.ClientOpPing:
 		nd := s.node()
 		v := nd.View()
-		s.reply(raddr, proto.ClientReply{
+		s.reply(transport.NewUDPDest(raddr), proto.ClientReply{
 			Status: proto.ClientOK, Flags: proto.ClientFlagControl, Seq: req.Seq,
 			Value: proto.AppendNodeInfo(nil, s.cfg.Groups, s.cfg.Group, v.Epoch, v.Members),
 		})
@@ -302,7 +370,7 @@ func (s *Server) handle(req *proto.ClientRequest, raddr *net.UDPAddr) {
 		s.handleOpen(req, raddr)
 	case proto.ClientOpClose:
 		s.release(req.Sess)
-		s.reply(raddr, proto.ClientReply{
+		s.reply(transport.NewUDPDest(raddr), proto.ClientReply{
 			Status: proto.ClientOK, Flags: proto.ClientFlagControl,
 			Sess: req.Sess, Seq: req.Seq,
 		})
@@ -312,17 +380,18 @@ func (s *Server) handle(req *proto.ClientRequest, raddr *net.UDPAddr) {
 }
 
 func (s *Server) handleOpen(req *proto.ClientRequest, raddr *net.UDPAddr) {
+	dest := transport.NewUDPDest(raddr)
 	key := openKey{addr: raddr.String(), seq: req.Seq}
 	s.mu.Lock()
 	if e, ok := s.opens[key]; ok {
 		s.mu.Unlock()
 		s.stats.Retransmits.Add(1)
-		s.reply(raddr, e.rep)
+		s.reply(dest, e.rep)
 		return
 	}
 	if len(s.free) == 0 {
 		s.mu.Unlock()
-		s.reply(raddr, proto.ClientReply{
+		s.reply(dest, proto.ClientReply{
 			Status: proto.ClientErrNoCapacity, Flags: proto.ClientFlagControl, Seq: req.Seq,
 		})
 		return
@@ -331,7 +400,7 @@ func (s *Server) handleOpen(req *proto.ClientRequest, raddr *net.UDPAddr) {
 	s.free = s.free[:len(s.free)-1]
 	s.nextID++ // ids start at 1 and are never reused, so stale frames miss
 	sess := &clientSession{
-		id: s.nextID, cs: cs, addr: raddr, nextSeq: 1,
+		id: s.nextID, cs: cs, addr: raddr, dest: dest, nextSeq: 1,
 		heldOut:    make(map[uint64]heldReq),
 		inflight:   make(map[uint64]struct{}),
 		done:       make(map[uint64]proto.ClientReply),
@@ -344,7 +413,7 @@ func (s *Server) handleOpen(req *proto.ClientRequest, raddr *net.UDPAddr) {
 	}
 	s.opens[key] = openEntry{rep: rep, when: time.Now()}
 	s.mu.Unlock()
-	s.reply(raddr, rep)
+	s.reply(dest, rep)
 }
 
 // release returns a leased session to the pool. The underlying core session
@@ -400,7 +469,7 @@ func (s *Server) handleReconfig(req *proto.ClientRequest, raddr *net.UDPAddr, ad
 		if err != nil {
 			rep.Status, rep.Value = proto.ClientErrConflict, nil
 		}
-		s.reply(raddr, rep)
+		s.reply(transport.NewUDPDest(raddr), rep)
 	}()
 }
 
@@ -422,13 +491,18 @@ func (s *Server) handleBatch(b *proto.ClientBatch, raddr *net.UDPAddr) {
 func (s *Server) handleData(req *proto.ClientRequest, raddr *net.UDPAddr) {
 	sess := s.lookup(req.Sess)
 	if sess == nil {
-		s.reply(raddr, proto.ClientReply{
+		s.reply(transport.NewUDPDest(raddr), proto.ClientReply{
 			Status: proto.ClientErrNoSession, Sess: req.Sess, Seq: req.Seq,
 		})
 		return
 	}
 
 	sess.mu.Lock()
+	// The precomputed destination is rebuilt only when the client's address
+	// actually moved, so the steady-state data path reuses it per reply.
+	if sess.dest == nil || !sameUDPAddr(sess.addr, raddr) {
+		sess.dest = transport.NewUDPDest(raddr)
+	}
 	sess.addr = raddr
 	sess.lastActive = time.Now()
 	// The client has every reply below Acked; drop them from the cache.
@@ -440,9 +514,10 @@ func (s *Server) handleData(req *proto.ClientRequest, raddr *net.UDPAddr) {
 	if rep, ok := sess.done[req.Seq]; ok {
 		// Retransmitted request whose reply may have been lost: answer
 		// from the cache without re-executing.
+		dest := sess.dest
 		sess.mu.Unlock()
 		s.stats.Retransmits.Add(1)
-		s.reply(raddr, rep)
+		s.reply(dest, rep)
 		return
 	}
 	if _, ok := sess.inflight[req.Seq]; ok || req.Seq < sess.nextSeq {
@@ -523,9 +598,9 @@ func (s *Server) submit(sess *clientSession, seq uint64, h heldReq) {
 		}
 		delete(sess.inflight, seq)
 		sess.done[seq] = rep
-		addr := sess.addr
+		dest := sess.dest
 		sess.mu.Unlock()
-		s.reply(addr, rep)
+		s.reply(dest, rep)
 	}
 	sess.cs.Submit(r)
 }

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"kite/internal/proto"
+)
+
+// Allocation-budget tests: the steady-state wire path must be allocation-free
+// per message. Each test exercises one leg of the path deterministically —
+// no background goroutines, so testing.AllocsPerRun measures only the code
+// under test — and asserts exactly zero allocations once the pools and
+// reusable slices have reached their high-water marks. CI runs these as a
+// dedicated step (see .github/workflows/ci.yml) so a regression fails loudly
+// rather than showing up as a throughput droop.
+
+// allocBatch builds a representative message batch: values and origins
+// present, as on the replication hot path.
+func allocBatch(n int) []proto.Message {
+	batch := make([]proto.Message, n)
+	for i := range batch {
+		batch[i] = proto.Message{
+			Kind: proto.KindESWrite, From: 1, Worker: 2,
+			Key: uint64(i), OpID: uint64(i) << 8,
+			Value:   []byte("0123456789abcdef"),
+			Origins: []uint64{1, 2, 3},
+		}
+	}
+	return batch
+}
+
+// TestZeroAllocEncodeSendStage covers encode→send: pooled buffer checkout,
+// in-place MarshalBatch, ring staging, flusher drain, buffer recycle —
+// everything Send and flushLoop do per batch except the syscall itself
+// (whose callback state is preallocated per socket; see mmsgState).
+func TestZeroAllocEncodeSendStage(t *testing.T) {
+	u := &UDP{bufs: make(chan []byte, bufPoolSize)}
+	ring := newSendRing(sendRingDepth)
+	dest := NewUDPDest(&net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999})
+	batch := allocBatch(16)
+	scratch := make([]Datagram, MaxIOBatch)
+
+	step := func() {
+		buf := u.getBuf()
+		out, err := proto.MarshalBatch(buf[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ring.push(Datagram{Buf: out, Dest: dest}) {
+			t.Fatal("ring full")
+		}
+		k, _ := ring.drain(scratch)
+		for i := 0; i < k; i++ {
+			u.putBuf(scratch[i].Buf)
+		}
+	}
+	step() // warm the pool
+	if got := testing.AllocsPerRun(200, step); got != 0 {
+		t.Fatalf("encode→send allocates %.1f/batch, want 0", got)
+	}
+}
+
+// TestZeroAllocDecodeDispatch covers recv→decode→dispatch: pooled slot
+// checkout, in-place UnmarshalBatchInto (message slice and origins arena
+// reused), dispatch over the decoded views, and slot release.
+func TestZeroAllocDecodeDispatch(t *testing.T) {
+	u := &UDP{slots: make(chan *recvSlot, recvSlotPoolSize)}
+	frame, err := proto.MarshalBatch(nil, allocBatch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sink uint64
+	step := func() {
+		s := u.slot()
+		n := copy(s.buf, frame) // stands in for the kernel filling the slot
+		var derr error
+		s.msgs, s.arena, derr = proto.UnmarshalBatchInto(s.msgs, s.arena, s.buf[:n])
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		b := Batch{Msgs: s.msgs, rel: s}
+		for i := range b.Msgs {
+			m := &b.Msgs[i]
+			sink += m.Key + uint64(len(m.Value)) + uint64(len(m.Origins))
+		}
+		b.Release()
+	}
+	step() // warm: first decode grows msgs/arena to their high-water mark
+	if got := testing.AllocsPerRun(200, step); got != 0 {
+		t.Fatalf("recv→decode→dispatch allocates %.1f/batch, want 0", got)
+	}
+	_ = sink
+}
+
+// TestZeroAllocInProcRoundTrip covers the in-process transport end to end:
+// Send copies into a pooled slot, the consumer dispatches and releases.
+// InProc has no goroutines of its own, so the whole round trip runs on the
+// measuring goroutine.
+func TestZeroAllocInProcRoundTrip(t *testing.T) {
+	tr := NewInProc(1, 1, 16)
+	defer tr.Close()
+	dst := Endpoint{}
+	batch := allocBatch(16)
+
+	var sink uint64
+	step := func() {
+		tr.Send(dst, batch)
+		got := <-tr.Recv(dst)
+		for i := range got.Msgs {
+			sink += got.Msgs[i].Key
+		}
+		got.Release()
+	}
+	step() // warm the slot pool
+	if got := testing.AllocsPerRun(200, step); got != 0 {
+		t.Fatalf("inproc round trip allocates %.1f/batch, want 0", got)
+	}
+	_ = sink
+}

@@ -48,23 +48,26 @@ type linkKey struct{ from, to uint8 }
 
 type linkRule struct {
 	dropProb float64
+	dupProb  float64
 	delay    time.Duration
 	cut      bool
 }
 
 type linkCounters struct {
-	dropped atomic.Uint64
-	delayed atomic.Uint64
+	dropped    atomic.Uint64
+	delayed    atomic.Uint64
+	duplicated atomic.Uint64
 }
 
 // LinkStat reports one link's accumulated fault counters: batches dropped
 // (by drop probability, cut links or node isolation — at send or at delayed
-// delivery) and batches delayed.
+// delivery), batches delayed, and batches duplicated.
 type LinkStat struct {
-	From    uint8  `json:"from"`
-	To      uint8  `json:"to"`
-	Dropped uint64 `json:"dropped"`
-	Delayed uint64 `json:"delayed"`
+	From       uint8  `json:"from"`
+	To         uint8  `json:"to"`
+	Dropped    uint64 `json:"dropped"`
+	Delayed    uint64 `json:"delayed"`
+	Duplicated uint64 `json:"duplicated,omitempty"`
 }
 
 // NewFaultInjector wraps inner. Seed fixes the drop PRNG.
@@ -83,6 +86,16 @@ func (f *FaultInjector) DropLink(from, to uint8, prob float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.rule(from, to).dropProb = prob
+}
+
+// DupLink sets the probability in [0,1] that a batch from node `from` to
+// node `to` is delivered twice — the UD-transport failure mode that protocol
+// retries already create, but injected deterministically. Duplicate delivery
+// is what the reset-bit and exactly-once machinery must survive (§7).
+func (f *FaultInjector) DupLink(from, to uint8, prob float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rule(from, to).dupProb = prob
 }
 
 // DelayLink adds a fixed one-way delivery delay on the link.
@@ -161,7 +174,10 @@ func (f *FaultInjector) Send(dst Endpoint, batch []proto.Message) {
 		f.countDrop(from, dst.Node)
 		return
 	}
-	var delay time.Duration
+	var (
+		delay             time.Duration
+		dropProb, dupProb float64
+	)
 	f.mu.RLock()
 	if r, ok := f.rules[linkKey{from, dst.Node}]; ok {
 		if r.cut {
@@ -169,33 +185,51 @@ func (f *FaultInjector) Send(dst Endpoint, batch []proto.Message) {
 			f.countDrop(from, dst.Node)
 			return
 		}
-		if r.dropProb > 0 {
-			// rand.Rand is not concurrency-safe; guard with the same
-			// mutex in write mode only when a drop rule exists.
-			prob := r.dropProb
-			delay = r.delay
-			f.mu.RUnlock()
-			f.mu.Lock()
-			roll := f.rng.Float64()
-			f.mu.Unlock()
-			if roll < prob {
-				f.countDrop(from, dst.Node)
-				return
-			}
-			goto deliver
-		}
-		delay = r.delay
+		dropProb, dupProb, delay = r.dropProb, r.dupProb, r.delay
 	}
 	f.mu.RUnlock()
 
-deliver:
+	dup := false
+	if dropProb > 0 || dupProb > 0 {
+		// rand.Rand is not concurrency-safe; roll under the write lock.
+		// Each active rule consumes exactly one roll, so drop-only seeds
+		// keep the exact sequences the older tests were pinned to.
+		f.mu.Lock()
+		dropRoll, dupRoll := 1.0, 1.0
+		if dropProb > 0 {
+			dropRoll = f.rng.Float64()
+		}
+		if dupProb > 0 {
+			dupRoll = f.rng.Float64()
+		}
+		f.mu.Unlock()
+		if dropRoll < dropProb {
+			f.countDrop(from, dst.Node)
+			return
+		}
+		dup = dupRoll < dupProb
+	}
+	if dup {
+		f.stats.Duplicated.Add(1)
+		f.counter(from, dst.Node).duplicated.Add(1)
+	}
 	if delay > 0 {
 		f.stats.DelayedBatches.Add(1)
 		f.counter(from, dst.Node).delayed.Add(1)
-		time.AfterFunc(delay, func() { f.deliverDelayed(from, dst, batch) })
+		// The caller owns batch and may reuse it the moment Send returns;
+		// a delayed delivery outlives that, so it rides its own copy (the
+		// fault path may allocate — only the healthy path is budgeted).
+		held := append([]proto.Message(nil), batch...)
+		time.AfterFunc(delay, func() { f.deliverDelayed(from, dst, held) })
+		if dup {
+			time.AfterFunc(delay, func() { f.deliverDelayed(from, dst, held) })
+		}
 		return
 	}
 	f.inner.Send(dst, batch)
+	if dup {
+		f.inner.Send(dst, batch)
+	}
 }
 
 // deliverDelayed completes a DelayLink'd send when its timer fires. The
@@ -227,7 +261,7 @@ func (f *FaultInjector) deliverDelayed(from uint8, dst Endpoint, batch []proto.M
 }
 
 // Recv implements Transport.
-func (f *FaultInjector) Recv(ep Endpoint) <-chan []proto.Message { return f.inner.Recv(ep) }
+func (f *FaultInjector) Recv(ep Endpoint) <-chan Batch { return f.inner.Recv(ep) }
 
 // Close implements Transport.
 func (f *FaultInjector) Close() error {
@@ -244,8 +278,13 @@ func (f *FaultInjector) LinkStats() []LinkStat {
 	f.mu.RLock()
 	out := make([]LinkStat, 0, len(f.counters))
 	for k, c := range f.counters {
-		s := LinkStat{From: k.from, To: k.to, Dropped: c.dropped.Load(), Delayed: c.delayed.Load()}
-		if s.Dropped > 0 || s.Delayed > 0 {
+		s := LinkStat{
+			From: k.from, To: k.to,
+			Dropped:    c.dropped.Load(),
+			Delayed:    c.delayed.Load(),
+			Duplicated: c.duplicated.Load(),
+		}
+		if s.Dropped > 0 || s.Delayed > 0 || s.Duplicated > 0 {
 			out = append(out, s)
 		}
 	}
@@ -301,6 +340,11 @@ func (s *FaultSet) DropLink(from, to uint8, prob float64) {
 	s.each(func(fi *FaultInjector) { fi.DropLink(from, to, prob) })
 }
 
+// DupLink applies the duplication rule to every member injector.
+func (s *FaultSet) DupLink(from, to uint8, prob float64) {
+	s.each(func(fi *FaultInjector) { fi.DupLink(from, to, prob) })
+}
+
 // DelayLink applies the delay rule to every member injector.
 func (s *FaultSet) DelayLink(from, to uint8, d time.Duration) {
 	s.each(func(fi *FaultInjector) { fi.DelayLink(from, to, d) })
@@ -332,6 +376,7 @@ func (s *FaultSet) LinkStats() []LinkStat {
 			if a := acc[k]; a != nil {
 				a.Dropped += ls.Dropped
 				a.Delayed += ls.Delayed
+				a.Duplicated += ls.Duplicated
 			} else {
 				cp := ls
 				acc[k] = &cp

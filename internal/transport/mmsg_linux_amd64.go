@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// The stdlib syscall table is frozen before sendmmsg was assigned, so the
+// numbers are spelled out per architecture (x86-64 ABI).
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// The stdlib syscall table is frozen before sendmmsg was assigned, so the
+// numbers are spelled out per architecture (generic 64-bit ABI).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

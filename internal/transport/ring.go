@@ -1,0 +1,75 @@
+package transport
+
+import "sync"
+
+// sendRing is the worker→flusher handoff: a fixed-capacity ring of staged
+// datagrams guarded by one short mutex, with an edge-triggered notify
+// channel. It replaces channel-per-send because a send is now two cheap
+// steps — stage under the lock, maybe tickle the notify — and the flusher
+// drains whole runs of datagrams in one lock acquisition, which is what
+// feeds full sendmmsg batches. A full ring drops (counted by the caller):
+// the transport is unreliable by contract, exactly like an overrun UD
+// send queue.
+type sendRing struct {
+	mu     sync.Mutex
+	buf    []Datagram
+	head   int // index of the oldest staged datagram
+	n      int // staged count
+	closed bool
+	notify chan struct{}
+}
+
+func newSendRing(capacity int) *sendRing {
+	return &sendRing{buf: make([]Datagram, capacity), notify: make(chan struct{}, 1)}
+}
+
+// push stages d for the flusher. Returns false — the datagram is dropped —
+// when the ring is full or closed.
+func (r *sendRing) push(d Datagram) bool {
+	r.mu.Lock()
+	if r.closed || r.n == len(r.buf) {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = d
+	r.n++
+	r.mu.Unlock()
+	select {
+	case r.notify <- struct{}{}:
+	default: // flusher already signalled
+	}
+	return true
+}
+
+// drain moves up to len(out) staged datagrams into out in FIFO order.
+// Returns the count and whether the ring is closed with nothing left.
+func (r *sendRing) drain(out []Datagram) (int, bool) {
+	r.mu.Lock()
+	k := r.n
+	if k > len(out) {
+		k = len(out)
+	}
+	for i := 0; i < k; i++ {
+		out[i] = r.buf[r.head]
+		r.buf[r.head] = Datagram{} // release the buffer reference
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+	}
+	r.n -= k
+	done := r.closed && r.n == 0
+	r.mu.Unlock()
+	return k, done
+}
+
+// close wakes the flusher for a final drain; staged datagrams still flush.
+func (r *sendRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}

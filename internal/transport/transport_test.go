@@ -23,9 +23,10 @@ func TestInProcDelivery(t *testing.T) {
 	tr.Send(dst, mkBatch(0, 3))
 	select {
 	case got := <-tr.Recv(dst):
-		if len(got) != 3 || got[0].From != 0 {
-			t.Fatalf("got %v", got)
+		if len(got.Msgs) != 3 || got.Msgs[0].From != 0 {
+			t.Fatalf("got %v", got.Msgs)
 		}
+		got.Release()
 	case <-time.After(time.Second):
 		t.Fatal("no delivery")
 	}
@@ -188,22 +189,24 @@ func TestUDPLoopAndRemote(t *testing.T) {
 	u0.Send(Endpoint{Node: 0, Worker: 1}, mkBatch(0, 2))
 	select {
 	case got := <-u0.Recv(Endpoint{Node: 0, Worker: 1}):
-		if len(got) != 2 {
-			t.Fatalf("loopback got %d msgs", len(got))
+		if len(got.Msgs) != 2 {
+			t.Fatalf("loopback got %d msgs", len(got.Msgs))
 		}
+		got.Release()
 	case <-time.After(time.Second):
 		t.Fatal("loopback lost")
 	}
 
-	// Remote delivery with a value payload (checks the copy-out).
+	// Remote delivery with a value payload (checks the pooled-buffer view).
 	batch := mkBatch(0, 1)
 	batch[0].Value = []byte("payload-123")
 	u0.Send(Endpoint{Node: 1, Worker: 1}, batch)
 	select {
 	case got := <-u1.Recv(Endpoint{Node: 1, Worker: 1}):
-		if len(got) != 1 || string(got[0].Value) != "payload-123" {
-			t.Fatalf("remote got %+v", got)
+		if len(got.Msgs) != 1 || string(got.Msgs[0].Value) != "payload-123" {
+			t.Fatalf("remote got %+v", got.Msgs)
 		}
+		got.Release()
 	case <-time.After(2 * time.Second):
 		t.Fatal("remote delivery lost")
 	}
@@ -215,15 +218,208 @@ func TestUDPLoopAndRemote(t *testing.T) {
 	}
 }
 
-func resolveAll(t *testing.T, addrs []string) []*net.UDPAddr {
+func resolveAll(t *testing.T, addrs []string) []*UDPDest {
 	t.Helper()
-	out := make([]*net.UDPAddr, len(addrs))
+	out := make([]*UDPDest, len(addrs))
 	for i, a := range addrs {
 		ra, err := net.ResolveUDPAddr("udp", a)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out[i] = ra
+		out[i] = NewUDPDest(ra)
 	}
 	return out
+}
+
+// recvBatches drains n batches from ch (releasing each), failing the test on
+// timeout. Returns the total number of messages seen.
+func recvBatches(t *testing.T, ch <-chan Batch, n int, timeout time.Duration) int {
+	t.Helper()
+	msgs := 0
+	deadline := time.After(timeout)
+	for i := 0; i < n; i++ {
+		select {
+		case b := <-ch:
+			msgs += len(b.Msgs)
+			b.Release()
+		case <-deadline:
+			t.Fatalf("received %d/%d batches before timeout", i, n)
+		}
+	}
+	return msgs
+}
+
+// udpPair builds two single-worker UDP transports wired to each other.
+func udpPair(t *testing.T, cfg func(*UDPConfig)) (*UDP, *UDP) {
+	t.Helper()
+	mk := func(node uint8) *UDP {
+		c := UDPConfig{
+			LocalNode: node, Workers: 1,
+			Listen: []string{"127.0.0.1:0"},
+			Peers:  map[uint8][]string{},
+		}
+		if cfg != nil {
+			cfg(&c)
+		}
+		u, err := NewUDP(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	u0, u1 := mk(0), mk(1)
+	t.Cleanup(func() { u0.Close(); u1.Close() })
+	u0.peers[1] = resolveAll(t, u1.LocalAddrs())
+	u1.peers[0] = resolveAll(t, u0.LocalAddrs())
+	return u0, u1
+}
+
+// TestUDPBatchSyscallCounters pins the batched-syscall accounting: remote
+// traffic must show up either as batched syscalls (sendmmsg/recvmmsg alive)
+// or as fallback syscalls (platform demoted) — never neither.
+func TestUDPBatchSyscallCounters(t *testing.T) {
+	u0, u1 := udpPair(t, nil)
+	const n = 20
+	for i := 0; i < n; i++ {
+		u0.Send(Endpoint{Node: 1}, mkBatch(0, 2))
+	}
+	recvBatches(t, u1.Recv(Endpoint{Node: 1}), n, 5*time.Second)
+
+	st := u0.Stats()
+	batched := st.BatchedSyscalls.Load()
+	fallback := st.FallbackSyscalls.Load()
+	if batched+fallback == 0 {
+		t.Fatal("remote sends recorded neither batched nor fallback syscalls")
+	}
+	if u0.Batched() && st.BatchedDatagrams.Load() < n {
+		t.Fatalf("BatchedDatagrams = %d, want >= %d on the active batch path",
+			st.BatchedDatagrams.Load(), n)
+	}
+	// The receive side counts its syscalls too.
+	rst := u1.Stats()
+	if rst.BatchedSyscalls.Load()+rst.FallbackSyscalls.Load() == 0 {
+		t.Fatal("receiver recorded no syscalls")
+	}
+}
+
+// TestUDPFallbackPath forces the per-datagram fallback via the config escape
+// hatch and checks delivery is indistinguishable (only the counters differ).
+func TestUDPFallbackPath(t *testing.T) {
+	u0, u1 := udpPair(t, func(c *UDPConfig) { c.DisableBatchIO = true })
+	if u0.Batched() || u1.Batched() {
+		t.Fatal("DisableBatchIO left the batch path active")
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		u0.Send(Endpoint{Node: 1}, mkBatch(0, 3))
+	}
+	if msgs := recvBatches(t, u1.Recv(Endpoint{Node: 1}), n, 5*time.Second); msgs != 3*n {
+		t.Fatalf("fallback path delivered %d msgs, want %d", msgs, 3*n)
+	}
+	if u0.Stats().FallbackSyscalls.Load() == 0 {
+		t.Fatal("fallback sends not counted")
+	}
+	if u0.Stats().BatchedSyscalls.Load() != 0 {
+		t.Fatal("batched syscalls counted on a disabled batch path")
+	}
+}
+
+// TestBatchConnShortWriteRetry pins partial-batch handling: when a batch
+// syscall moves fewer datagrams than asked (forced here via setLimit), the
+// remainder must be retried from where it stopped — every datagram arrives,
+// none dropped, none duplicated.
+func TestBatchConnShortWriteRetry(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		name := "batched"
+		if disable {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			recvConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer recvConn.Close()
+			sendConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sendConn.Close()
+
+			var st Stats
+			bc := NewBatchConn(sendConn, &st)
+			bc.setLimit(3) // every syscall moves at most 3 datagrams
+			if disable {
+				bc.DisableBatch()
+			}
+			dest := NewUDPDest(recvConn.LocalAddr().(*net.UDPAddr))
+			const n = 10
+			dgs := make([]Datagram, n)
+			for i := range dgs {
+				dgs[i] = Datagram{Buf: []byte{byte(i)}, Dest: dest}
+			}
+			sent, err := bc.WriteBatch(dgs)
+			if err != nil || sent != n {
+				t.Fatalf("WriteBatch = (%d, %v), want (%d, nil)", sent, err, n)
+			}
+			if bc.Batched() {
+				// ceil(10/3) = 4 syscalls minimum on the capped batch path.
+				if calls := st.BatchedSyscalls.Load(); calls < 4 {
+					t.Fatalf("BatchedSyscalls = %d, want >= 4 with limit 3", calls)
+				}
+				if st.BatchedDatagrams.Load() != n {
+					t.Fatalf("BatchedDatagrams = %d, want %d", st.BatchedDatagrams.Load(), n)
+				}
+			} else if st.FallbackSyscalls.Load() != n {
+				t.Fatalf("FallbackSyscalls = %d, want %d", st.FallbackSyscalls.Load(), n)
+			}
+
+			// Every datagram arrives exactly once, via ReadBatch.
+			rbc := NewBatchConn(recvConn, nil)
+			if disable {
+				rbc.DisableBatch()
+			}
+			recvConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			var seen [n]bool
+			bufs := make([][]byte, MaxIOBatch)
+			for i := range bufs {
+				bufs[i] = make([]byte, 64)
+			}
+			sizes := make([]int, MaxIOBatch)
+			got := 0
+			for got < n {
+				k, err := rbc.ReadBatch(bufs, sizes)
+				if err != nil {
+					t.Fatalf("ReadBatch after %d datagrams: %v", got, err)
+				}
+				for i := 0; i < k; i++ {
+					if sizes[i] != 1 {
+						t.Fatalf("datagram %d has size %d, want 1", got+i, sizes[i])
+					}
+					id := int(bufs[i][0])
+					if seen[id] {
+						t.Fatalf("datagram %d delivered twice", id)
+					}
+					seen[id] = true
+				}
+				got += k
+			}
+		})
+	}
+}
+
+// TestUDPPartialBatchUnderLimit runs whole-transport traffic with a batch
+// limit forcing multi-syscall flushes: delivery stays complete.
+func TestUDPPartialBatchUnderLimit(t *testing.T) {
+	u0, u1 := udpPair(t, func(c *UDPConfig) {
+		c.FlushDelay = 2 * time.Millisecond // encourage multi-datagram flushes
+	})
+	u0.setBatchLimit(2)
+	const n = 24
+	for i := 0; i < n; i++ {
+		u0.Send(Endpoint{Node: 1}, mkBatch(0, 1))
+	}
+	if msgs := recvBatches(t, u1.Recv(Endpoint{Node: 1}), n, 5*time.Second); msgs != n {
+		t.Fatalf("delivered %d msgs, want %d", msgs, n)
+	}
 }

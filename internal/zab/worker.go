@@ -72,7 +72,7 @@ func (s *Session) Write(key uint64, val []byte) {
 type worker struct {
 	node  *Node
 	id    uint8
-	inbox <-chan []proto.Message
+	inbox <-chan transport.Batch
 	reqCh chan *request
 	out   [][]proto.Message
 
@@ -92,9 +92,8 @@ func (w *worker) flush() {
 		if len(w.out[dst]) == 0 {
 			continue
 		}
-		batch := w.out[dst]
-		w.out[dst] = nil
-		w.node.tr.Send(transport.Endpoint{Node: uint8(dst), Worker: w.id}, batch)
+		w.node.tr.Send(transport.Endpoint{Node: uint8(dst), Worker: w.id}, w.out[dst])
+		w.out[dst] = w.out[dst][:0]
 	}
 }
 
@@ -111,9 +110,10 @@ func (w *worker) run() {
 		for i := 0; i < 128; i++ {
 			select {
 			case batch := <-w.inbox:
-				for j := range batch {
-					w.dispatch(&batch[j])
+				for j := range batch.Msgs {
+					w.dispatch(&batch.Msgs[j])
 				}
+				batch.Release()
 				progress = true
 			default:
 				break drain
@@ -140,9 +140,10 @@ func (w *worker) run() {
 			idle.Reset(w.node.cfg.IdlePoll)
 			select {
 			case batch := <-w.inbox:
-				for j := range batch {
-					w.dispatch(&batch[j])
+				for j := range batch.Msgs {
+					w.dispatch(&batch.Msgs[j])
 				}
+				batch.Release()
 				w.flush()
 			case r := <-w.reqCh:
 				w.submit(r)
@@ -174,11 +175,15 @@ func (w *worker) submit(r *request) {
 // sequence assigns the next zxid and broadcasts the proposal (leader only).
 func (w *worker) sequence(sub proto.Message, local bool, r *request) {
 	zxid := w.node.zxid.Add(1) - 1
+	val := append([]byte(nil), sub.Value...)
+	// origin is reply-routing metadata only; the payload may alias a pooled
+	// transport buffer that is recycled after dispatch, so drop it.
+	sub.Value = nil
 	pw := &pendingWrite{zxid: zxid, origin: sub, local: local, req: r}
 	w.acks[zxid] = pw
 	prop := proto.Message{
 		Kind: proto.KindZabProposal, From: w.node.id, Worker: w.id,
-		Key: sub.Key, Slot: zxid, Value: append([]byte(nil), sub.Value...),
+		Key: sub.Key, Slot: zxid, Value: val,
 	}
 	for dst := uint8(1); int(dst) < w.node.n; dst++ {
 		w.stage(dst, prop)
@@ -217,7 +222,11 @@ func (w *worker) dispatch(m *proto.Message) {
 	case proto.KindZabSubmit: // leader
 		w.sequence(*m, false, nil)
 	case proto.KindZabProposal: // follower
-		w.node.applier.propose(*m, w.node.store)
+		// The applier retains the proposal until its commit arrives; its
+		// value must not alias the transport's recycled receive buffer.
+		p := *m
+		p.Value = append([]byte(nil), m.Value...)
+		w.node.applier.propose(p, w.node.store)
 		w.stage(0, proto.Message{
 			Kind: proto.KindZabAck, From: w.node.id, Worker: w.id, Slot: m.Slot,
 		})
