@@ -54,6 +54,7 @@ func main() {
 		prefill    = flag.Int("prefill", 0, "keys prefilled before the recovery study (0: default 2^14)")
 		shardTotal = flag.Int("shard-total", 4, "total machines of the shard scaling series (figure shard)")
 		jsonPath   = flag.String("json", "", "write the selected figure's report as JSON to this path (shard/recovery/reconfig/durability/latency only; ignored with -fig all, where the reports would clobber each other)")
+		auditRate  = flag.Float64("audit-sample", 0, "ride the online consistency auditor on the Kite throughput runs (figures 5-7), sampling keys at this rate in (0,1]; a reported violation fails the figure")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	)
 	flag.Parse()
@@ -76,6 +77,7 @@ func main() {
 	fc.Keys = *keys
 	fc.Measure = *measure
 	fc.Warmup = *warmup
+	fc.AuditSample = *auditRate
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {

@@ -14,6 +14,7 @@
 //	kite-chaos -nemeses crash-all     # durability: SIGKILL all, restart from WAL
 //	kite-chaos -nemeses local-reads   # attack the local-acquire valid-bit window
 //	kite-chaos -nemeses wire-batching # attack the batched transport's flush window
+//	kite-chaos -nemeses online-audit  # ride the standing online auditor through the run
 //	kite-chaos -plan -seed 7          # print the timeline, run nothing
 //
 // The crash-all nemesis kills every node at once and restarts them from
@@ -47,7 +48,8 @@ func main() {
 		backend  = flag.String("backend", "inproc", "deployment flavour: inproc | sharded | remote")
 		nodes    = flag.Int("nodes", 3, "replicas per group")
 		groups   = flag.Int("groups", 2, "replica groups (sharded backend)")
-		nemeses  = flag.String("nemeses", "", "comma-separated nemesis kinds (default: all of "+kindList()+"); 'local-reads' expands to the schedule attacking the local-acquire fast path, 'wire-batching' to the one attacking the batched transport's flush window")
+		nemeses  = flag.String("nemeses", "", "comma-separated nemesis kinds (default: all of "+kindList()+"); 'local-reads' expands to the schedule attacking the local-acquire fast path, 'wire-batching' to the one attacking the batched transport's flush window, 'online-audit' to the latency-biased mix with the standing online auditor riding the workload")
+		online   = flag.Bool("online", false, "ride the internal/audit online auditor on every recorded workload session; the run fails if it reports a violation the offline verifier does not confirm")
 		verify   = flag.Bool("verify", true, "run the RC/k-atomicity verifier over the recorded history")
 		jsonPath = flag.String("json", "", "write the JSON run report here ('-' for stdout)")
 		histPath = flag.String("history", "", "write the recorded history (JSON lines) here")
@@ -78,9 +80,16 @@ func main() {
 				}
 				continue
 			}
+			if name == "online-audit" {
+				// Named schedule: the latency-biased mix with the standing
+				// online auditor riding every recorded workload session.
+				cfg.Kinds = append(cfg.Kinds, chaos.OnlineAuditKinds()...)
+				cfg.OnlineAudit = true
+				continue
+			}
 			k := chaos.NemesisKind(name)
 			if !validKind(k) {
-				fatalf("unknown nemesis kind %q (have: %s, %s or the local-reads / wire-batching schedules)", k, kindList(), chaos.KindCrashAll)
+				fatalf("unknown nemesis kind %q (have: %s, %s or the local-reads / wire-batching / online-audit schedules)", k, kindList(), chaos.KindCrashAll)
 			}
 			cfg.Kinds = append(cfg.Kinds, k)
 			if k == chaos.KindCrashAll {
@@ -114,6 +123,9 @@ func main() {
 	}
 	defer cleanup()
 
+	if *online {
+		cfg.OnlineAudit = true
+	}
 	fmt.Fprintf(os.Stderr, "kite-chaos: seed=%d backend=%s duration=%v\n", *seed, *backend, *duration)
 	rep, rec := chaos.Run(tg, cfg)
 
@@ -136,6 +148,11 @@ func main() {
 	}
 	if rep.Verifier != nil {
 		fmt.Fprintln(os.Stderr, rep.Verifier.String())
+	}
+	if rep.Audit != nil {
+		st := rep.Audit.Stats
+		fmt.Fprintf(os.Stderr, "kite-chaos: online audit: sampled=%d judged=%d reads=%d dropped=%d evicted=%d\n%s\n",
+			st.SampledOps, st.JudgedEvents, st.CheckedReads, st.DroppedEvents, st.Evictions, rep.Audit.Report.String())
 	}
 	if !rep.Passed && *verify {
 		fmt.Fprintln(os.Stderr, "kite-chaos: FAILED")

@@ -1,0 +1,243 @@
+package audit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"kite"
+	"kite/internal/history"
+	"kite/internal/verifier"
+)
+
+// tape consumes fuzz bytes as decisions; exhausted tapes read zero, keeping
+// every input deterministic.
+type tape struct {
+	d []byte
+	i int
+}
+
+func (t *tape) next() byte {
+	if t.i >= len(t.d) {
+		return 0
+	}
+	b := t.d[t.i]
+	t.i++
+	return b
+}
+
+// FuzzAuditWindow pins the audit soundness contract: a sampled online audit
+// must never report a violation the batch verifier would not report over the
+// same sub-history. The fuzzer generates arbitrary (frequently genuinely
+// inconsistent) multi-session histories, samples them the way the recorder
+// does — per-session and per-key coins, recorder-assigned dense indices,
+// best-effort invokes, suffix-only completion drops — then streams the
+// sample through a Partial checker with arbitrary cross-session
+// interleaving, lagging seals, and an aggressive eviction budget. Every
+// violation the online pass reports must be confirmed (by kind and key) by
+// the offline verifier run over exactly the observed events.
+//
+// Written values are unique per key (release, write, and CAS namespaces are
+// disjoint), matching the verifier's documented census assumption; FAA old
+// values and CAS comparands deliberately collide so real RMW violations are
+// plentiful.
+func FuzzAuditWindow(f *testing.F) {
+	f.Add([]byte("kite-online-audit-window-seed"))
+	f.Add([]byte{0x01, 0x80, 0x3c, 0xff, 0x07, 0x22, 0x9a, 0x44, 0x10, 0xee, 0x05, 0x61})
+	seed := make([]byte, 256)
+	x := uint64(0x2545f4914f6cdd1d)
+	for i := range seed {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		seed[i] = byte(x)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp := &tape{d: data}
+		nsess := 2 + int(tp.next()%3)
+		n := 8 + int(tp.next()%120)
+
+		full := make([][]history.Event, nsess)
+		vals := map[uint64][]string{} // committed write values per key
+		rels := map[uint64][]string{} // release values per sync key
+		clock := int64(0)
+		uniq := 0
+		enc := func(v uint64) []byte {
+			b := make([]byte, 8)
+			binary.LittleEndian.PutUint64(b, v)
+			return b
+		}
+
+		for i := 0; i < n; i++ {
+			s := int(tp.next()) % nsess
+			clock += 1 + int64(tp.next()%5)
+			e := history.Event{
+				Session: s, Batch: -1, Outcome: history.OutcomeOK,
+				Invoke: clock, Complete: clock + 1 + int64(tp.next()%20),
+			}
+			if tp.next()%16 == 0 {
+				e.Complete = e.Invoke - 1 // malformed interval
+			}
+			switch k := tp.next() % 12; k {
+			case 0, 1, 2, 10:
+				e.Op = kite.OpWrite
+				e.Key = uint64(tp.next() % 3)
+				uniq++
+				e.Arg = []byte(fmt.Sprintf("w%d", uniq))
+				if k == 10 {
+					e.Outcome = history.OutcomeMaybe
+				} else {
+					vals[e.Key] = append(vals[e.Key], string(e.Arg))
+				}
+			case 3, 4, 11:
+				e.Op = kite.OpRead
+				e.Key = uint64(tp.next() % 3)
+				if k == 11 {
+					e.Out = []byte(fmt.Sprintf("x%d", tp.next())) // thin air
+				} else if vs := vals[e.Key]; len(vs) > 0 && tp.next()%4 != 0 {
+					e.Out = []byte(vs[int(tp.next())%len(vs)])
+				}
+			case 5:
+				e.Op = kite.OpRelease
+				e.Key = 16 + uint64(tp.next()%2)
+				uniq++
+				e.Arg = []byte(fmt.Sprintf("r%d", uniq))
+				rels[e.Key] = append(rels[e.Key], string(e.Arg))
+			case 6, 7:
+				e.Op = kite.OpAcquire
+				e.Key = 16 + uint64(tp.next()%2)
+				if rs := rels[e.Key]; len(rs) > 0 && tp.next()%5 != 0 {
+					e.Out = []byte(rs[int(tp.next())%len(rs)])
+				}
+			case 8:
+				e.Op = kite.OpFAA
+				e.Key = 32 + uint64(tp.next()%2)
+				e.Delta = 1
+				e.Out = enc(uint64(tp.next() % 6)) // collisions: lost updates
+			default:
+				e.Op = kite.OpCASStrong
+				e.Key = 32 + uint64(tp.next()%2)
+				e.Expected = []byte(fmt.Sprintf("c%d", tp.next()%4))
+				uniq++
+				e.Arg = []byte(fmt.Sprintf("n%d", uniq))
+				e.Swapped = tp.next()%2 == 0
+			}
+			full[s] = append(full[s], e)
+		}
+
+		// Sample with the recorder's coins: whole sessions and whole keys
+		// drop out; survivors get dense recorder-assigned indices.
+		keyIn := map[uint64]bool{}
+		keyCoin := func(k uint64) bool {
+			v, ok := keyIn[k]
+			if !ok {
+				v = tp.next()%8 != 0
+				keyIn[k] = v
+			}
+			return v
+		}
+		sessions := make([][]history.Event, nsess)
+		for s := 0; s < nsess; s++ {
+			if tp.next()%8 == 0 {
+				continue // unsampled session
+			}
+			for _, e := range full[s] {
+				if !keyCoin(e.Key) {
+					continue
+				}
+				e.Index = len(sessions[s])
+				sessions[s] = append(sessions[s], e)
+			}
+		}
+
+		// A per-session suffix of completions never arrives (stream shut
+		// down mid-flight); the recorder guarantees drops form a suffix.
+		obsLen := make([]int, nsess)
+		for s := range sessions {
+			obsLen[s] = len(sessions[s])
+			if tp.next()%4 == 0 && obsLen[s] > 0 {
+				if obsLen[s] -= int(tp.next() % 3); obsLen[s] < 0 {
+					obsLen[s] = 0
+				}
+			}
+		}
+
+		ck := verifier.NewChecker(verifier.CheckerConfig{
+			K:          1 + int(tp.next()%2),
+			Partial:    true,
+			MaxEvents:  4 + int(tp.next()%64),
+			DeferBound: 32,
+		})
+
+		// Deliver: per session, invoke then completion in index order;
+		// cross-session interleaving is arbitrary; invokes drop
+		// independently; seals trail a lagging watermark.
+		type cursor struct {
+			idx     int
+			invoked bool
+		}
+		cur := make([]cursor, nsess)
+		wm := int64(0)
+		done := func(s int) bool { return cur[s].idx >= len(sessions[s]) }
+		for {
+			s := int(tp.next()) % nsess
+			for tries := 0; done(s) && tries < nsess; tries++ {
+				s = (s + 1) % nsess
+			}
+			if done(s) {
+				break
+			}
+			c := &cur[s]
+			e := sessions[s][c.idx]
+			if !c.invoked {
+				c.invoked = true
+				if tp.next()%4 != 0 {
+					iv := e
+					iv.Complete = -1
+					iv.Out, iv.Swapped = nil, false
+					ck.Invoke(iv)
+				}
+				continue
+			}
+			c.idx++
+			c.invoked = false
+			if e.Index >= obsLen[s] {
+				continue // completion dropped
+			}
+			ck.Observe(e)
+			if e.Complete > wm {
+				wm = e.Complete
+			}
+			if tp.next()%3 == 0 {
+				ck.Seal(wm - int64(tp.next()%16))
+			}
+		}
+		online := ck.Finish()
+
+		// Oracle: the batch verifier over exactly the observed sub-history.
+		var observed []history.Event
+		for s := range sessions {
+			observed = append(observed, sessions[s][:obsLen[s]]...)
+		}
+		batch := verifier.CheckK(&history.Recorded{Events: observed}, online.K)
+		if batch.Truncated > 0 {
+			return // oracle clipped its own report; containment undecidable
+		}
+		type vk struct {
+			kind string
+			key  uint64
+		}
+		confirmed := map[vk]bool{}
+		for _, v := range batch.Violations {
+			confirmed[vk{v.Kind, v.Key}] = true
+		}
+		for _, v := range online.Violations {
+			if !confirmed[vk{v.Kind, v.Key}] {
+				t.Fatalf("online audit invented violation [%s] key %d: %s\nbatch oracle over the same sub-history says:\n%s",
+					v.Kind, v.Key, v.Msg, batch.String())
+			}
+		}
+	})
+}

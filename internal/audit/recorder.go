@@ -1,0 +1,206 @@
+package audit
+
+import (
+	"context"
+	"sync"
+
+	"kite"
+	"kite/internal/history"
+)
+
+// recSession is the sampling recorder around one live session. It is
+// transparent: every call forwards to the wrapped session; sampled
+// operations additionally emit an invoke record at submission and a
+// completion record when the result lands.
+//
+// The checker requires each recording session's completion records in
+// dense index order. Completions normally arrive in submission order (the
+// Session contract), but a Do result returns on the caller's goroutine
+// while an earlier DoAsync callback may still be in flight — so the
+// recorder holds completions back and releases them strictly in index
+// order. Invoke records carry no ordering contract and are sent
+// best-effort (dropped under backpressure); completion records block on
+// the stream, and once the auditor is closed they drop as a suffix, never
+// opening a gap.
+type recSession struct {
+	kite.Ops
+	inner   kite.Session
+	a       *Auditor
+	id      int
+	sampled bool
+
+	mu       sync.Mutex
+	next     int // dense index among sampled ops
+	nbatch   int
+	nextDone int                   // next completion index to release
+	done     map[int]history.Event // held-back out-of-order completions
+}
+
+// record decides the two sampling coins for one op. Flushes touch no key
+// and are invisible to every check; they are never recorded (and the
+// recorder's indices stay dense without them).
+func (r *recSession) record(op kite.Op) bool {
+	if !r.sampled || op.Code == kite.OpFlush || !r.a.keySampled(op.Key) {
+		r.a.skipped.Add(1)
+		return false
+	}
+	return true
+}
+
+// begin assigns the next dense index, emits the invoke record
+// (best-effort) and returns the pending event for end to complete.
+func (r *recSession) begin(op kite.Op, batch int) history.Event {
+	r.mu.Lock()
+	idx := r.next
+	r.next++
+	r.mu.Unlock()
+	ev := history.Event{
+		Session: r.id, Index: idx, Op: op.Code, Key: op.Key,
+		Arg: cloneBytes(op.Value), Expected: cloneBytes(op.Expected), Delta: op.Delta,
+		Batch: batch, Invoke: r.a.now(), Complete: -1,
+	}
+	r.a.sampled.Add(1)
+	select {
+	case r.a.ch <- streamMsg{invoke: true, e: ev}:
+	default:
+		r.a.dropped.Add(1)
+	}
+	return ev
+}
+
+// end stamps the result onto the pending event and releases completions in
+// index order.
+func (r *recSession) end(ev history.Event, res kite.Result) {
+	ev.Complete = r.a.now()
+	ev.Out = cloneBytes(res.Value)
+	ev.Swapped = res.Swapped
+	if res.Err == nil {
+		ev.Outcome = history.OutcomeOK
+	} else {
+		ev.Outcome = history.Classify(res.Err)
+		ev.Err = res.Err.Error()
+	}
+	r.release(ev)
+}
+
+func (r *recSession) release(ev history.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done == nil {
+		r.done = make(map[int]history.Event)
+	}
+	r.done[ev.Index] = ev
+	for {
+		next, ok := r.done[r.nextDone]
+		if !ok {
+			return
+		}
+		delete(r.done, r.nextDone)
+		r.nextDone++
+		r.send(next)
+	}
+}
+
+// send delivers one completion record, blocking on stream backpressure.
+// After Close every completion drops (counted); because the drop condition
+// is monotonic, dropped completions are always a suffix of the session's
+// stream — the checker never sees an index gap.
+func (r *recSession) send(ev history.Event) {
+	select {
+	case <-r.a.stop:
+		r.a.dropped.Add(1)
+		return
+	default:
+	}
+	select {
+	case r.a.ch <- streamMsg{e: ev}:
+	case <-r.a.stop:
+		r.a.dropped.Add(1)
+	}
+}
+
+// Do records one synchronous operation.
+func (r *recSession) Do(ctx context.Context, op kite.Op) (kite.Result, error) {
+	if !r.record(op) {
+		return r.inner.Do(ctx, op)
+	}
+	ev := r.begin(op, -1)
+	res, err := r.inner.Do(ctx, op)
+	r.end(ev, res)
+	return res, err
+}
+
+// DoAsync records an asynchronous operation; the completion record is
+// emitted from the backend's callback.
+func (r *recSession) DoAsync(op kite.Op, cb func(kite.Result)) {
+	if !r.record(op) {
+		r.inner.DoAsync(op, cb)
+		return
+	}
+	ev := r.begin(op, -1)
+	r.inner.DoAsync(op, func(res kite.Result) {
+		r.end(ev, res)
+		if cb != nil {
+			cb(res)
+		}
+	})
+}
+
+// DoBatch records the sampled ops of the batch under one batch id. A
+// rejected batch (nil results) provably executed nothing: its events
+// complete with OutcomeNever.
+func (r *recSession) DoBatch(ctx context.Context, ops []kite.Op) ([]kite.Result, error) {
+	recorded := make([]bool, len(ops))
+	any := false
+	for i, op := range ops {
+		if r.record(op) {
+			recorded[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return r.inner.DoBatch(ctx, ops)
+	}
+	r.mu.Lock()
+	batch := r.nbatch
+	r.nbatch++
+	r.mu.Unlock()
+	evs := make([]history.Event, len(ops))
+	for i, op := range ops {
+		if recorded[i] {
+			evs[i] = r.begin(op, batch)
+		}
+	}
+	results, err := r.inner.DoBatch(ctx, ops)
+	for i := range ops {
+		if !recorded[i] {
+			continue
+		}
+		switch {
+		case results != nil:
+			r.end(evs[i], results[i])
+		case err != nil:
+			// All-or-nothing rejection: no op consumed a session slot.
+			ev := evs[i]
+			ev.Complete = r.a.now()
+			ev.Outcome = history.OutcomeNever
+			ev.Err = err.Error()
+			r.release(ev)
+		default:
+			r.end(evs[i], kite.Result{})
+		}
+	}
+	return results, err
+}
+
+// Close closes the wrapped session.
+func (r *recSession) Close() error { return r.inner.Close() }
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"kite"
+	"kite/internal/audit"
 	"kite/sharded"
 )
 
@@ -132,6 +133,13 @@ type KiteOpts struct {
 	Sessions []DriverSession
 	// PerNode, when non-nil, receives per-node measured op counts.
 	PerNode *[]uint64
+	// AuditSample > 0 rides the internal/audit online verifier on every
+	// driven session, sampling keys at this rate (1 = every key) — the
+	// perf run doubles as a correctness run. Coverage counters land in
+	// Result.Extra (audit_* keys) and any reported violation fails the
+	// run. Audited drivers write per-op unique values (the checker's
+	// census assumption) instead of reusing one buffer per session.
+	AuditSample float64
 }
 
 func (o *KiteOpts) defaults() {
@@ -197,6 +205,14 @@ func RunKite(o KiteOpts) (Result, error) {
 		}
 	}
 
+	var aud *audit.Auditor
+	if o.AuditSample > 0 {
+		aud = audit.New(audit.Config{KeyRate: o.AuditSample})
+		for i := range sessions {
+			sessions[i].S = aud.Wrap(sessions[i].S)
+		}
+	}
+
 	var counting atomic.Bool
 	var stop atomic.Bool
 	counted := make([]atomic.Uint64, nodes)
@@ -228,7 +244,21 @@ func RunKite(o KiteOpts) (Result, error) {
 	if o.PerNode != nil {
 		*o.PerNode = perNode
 	}
-	return Result{Name: o.Name, Ops: total, Duration: elapsed}, nil
+	res := Result{Name: o.Name, Ops: total, Duration: elapsed}
+	if aud != nil {
+		aud.Close()
+		sum := aud.Summary()
+		st := sum.Stats
+		res.Extra = map[string]uint64{
+			"audit_sampled": st.SampledOps, "audit_skipped": st.SkippedOps,
+			"audit_judged": st.JudgedEvents, "audit_reads": st.CheckedReads,
+			"audit_dropped": st.DroppedEvents, "audit_evictions": st.Evictions,
+		}
+		if !sum.Report.OK() {
+			return res, fmt.Errorf("online audit (%s): %s", o.Name, sum.Report.String())
+		}
+	}
+	return res, nil
 }
 
 // driveSession is the closed-loop driver: Window outstanding async ops

@@ -86,6 +86,27 @@ func TestRunKiteSmoke(t *testing.T) {
 	}
 }
 
+// TestRunKiteAudited: a perf run with the online auditor riding along must
+// stay clean, report real coverage in Extra, and keep measuring.
+func TestRunKiteAudited(t *testing.T) {
+	res, err := RunKite(KiteOpts{
+		Options: smokeOptions(),
+		Mix:     Mix{WriteRatio: 0.3, SyncFrac: 0.2, RMWFrac: 0.1},
+		Keys:    1 << 8, Window: smokeWindow(),
+		Warmup: 30 * time.Millisecond, Measure: 80 * time.Millisecond,
+		AuditSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no throughput measured under audit")
+	}
+	if res.Extra["audit_sampled"] == 0 || res.Extra["audit_judged"] == 0 {
+		t.Fatalf("no audit coverage: %v", res.Extra)
+	}
+}
+
 func TestRunKiteShardedSmoke(t *testing.T) {
 	o := smokeOptions()
 	o.Nodes = 2 // two groups of two: four nodes total

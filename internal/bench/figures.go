@@ -24,7 +24,11 @@ type FigureConfig struct {
 	Keys    uint64
 	Warmup  time.Duration
 	Measure time.Duration
-	Out     io.Writer
+	// AuditSample > 0 rides the online consistency auditor on the Kite
+	// throughput runs (figures 5-7) at this per-key sampling rate; a
+	// violation fails the figure (kite-bench -audit-sample).
+	AuditSample float64
+	Out         io.Writer
 }
 
 // DefaultFigureConfig mirrors the paper's 5-node deployment at a scale that
@@ -73,7 +77,7 @@ func Figure5(fc FigureConfig, writeRatios []float64) error {
 		for _, s := range series {
 			res, err := RunKite(KiteOpts{
 				Options: fc.kiteOptions(), Groups: fc.Groups, Mix: s.mix, Keys: fc.Keys,
-				Warmup: fc.Warmup, Measure: fc.Measure,
+				Warmup: fc.Warmup, Measure: fc.Measure, AuditSample: fc.AuditSample,
 			})
 			if err != nil {
 				return err
@@ -122,6 +126,7 @@ func Figure6(fc FigureConfig, writeRatios []float64) error {
 				Options: fc.kiteOptions(), Groups: fc.Groups,
 				Mix:    Mix{WriteRatio: w, SyncFrac: s.sync, RMWFrac: rmw},
 				Keys:   fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure,
+				AuditSample: fc.AuditSample,
 			})
 			if err != nil {
 				return err
@@ -149,7 +154,7 @@ func Figure7(fc FigureConfig) error {
 	}
 	for _, r := range rows {
 		res, err := RunKite(KiteOpts{Options: fc.kiteOptions(), Groups: fc.Groups, Mix: r.mix,
-			Keys: fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure})
+			Keys: fc.Keys, Warmup: fc.Warmup, Measure: fc.Measure, AuditSample: fc.AuditSample})
 		if err != nil {
 			return err
 		}

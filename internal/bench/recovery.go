@@ -243,6 +243,21 @@ func driveSessionUntil(s kite.Session, o KiteOpts, seed int64,
 	th := o.Mix.thresholds()
 	val := make([]byte, o.ValLen)
 	rng.Read(val)
+	// Audited runs need per-op unique written values (the checker's census
+	// assumption); unaudited runs keep the zero-allocation reused buffer.
+	uniq := uint64(0)
+	nextVal := func() []byte {
+		if o.AuditSample <= 0 {
+			return val
+		}
+		v := make([]byte, len(val))
+		copy(v, val)
+		uniq++
+		for i, x := 0, uniq; i < len(v) && i < 8; i, x = i+1, x>>8 {
+			v[i] = byte(x)
+		}
+		return v
+	}
 
 	slots := make(chan struct{}, o.Window)
 	inflight := 0
@@ -260,7 +275,7 @@ func driveSessionUntil(s kite.Session, o KiteOpts, seed int64,
 		op := kite.Op{Code: codeFor(th.pick(rng.Float64())), Key: rng.Uint64() % o.Keys}
 		switch op.Code {
 		case kite.OpWrite, kite.OpRelease:
-			op.Value = val
+			op.Value = nextVal()
 		case kite.OpFAA:
 			op.Delta = 1
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"kite/internal/audit"
 	"kite/internal/history"
 	"kite/internal/transport"
 	"kite/internal/verifier"
@@ -40,7 +41,11 @@ type Report struct {
 	// whenever link nemeses were scheduled.
 	Faults   []transport.LinkStat `json:"faults"`
 	Verifier *verifier.Report     `json:"verifier"`
-	Passed   bool                 `json:"passed"`
+	// Audit is the standing online auditor's coverage and verdicts
+	// (Config.OnlineAudit). Soundness gate: every violation here must be
+	// confirmed by Verifier on the full recorded history, or the run fails.
+	Audit  *audit.Summary `json:"audit,omitempty"`
+	Passed bool           `json:"passed"`
 }
 
 // Run generates the schedule for cfg, executes it against the target while
@@ -57,7 +62,11 @@ func Run(tg Target, cfg Config) (*Report, *history.Recorded) {
 	}
 
 	log := history.New()
-	wl := startWorkload(tg, log, 2, cfg.BurstSessions)
+	var aud *audit.Auditor
+	if cfg.OnlineAudit {
+		aud = audit.New(audit.Config{})
+	}
+	wl := startWorkload(tg, log, aud, 2, cfg.BurstSessions)
 	faults := tg.Faults()
 	start := time.Now()
 
@@ -186,8 +195,35 @@ func Run(tg Target, cfg Config) (*Report, *history.Recorded) {
 	}
 	rep.Faults = faults.LinkStats()
 	rep.Verifier = verifier.Check(rec)
+	if aud != nil {
+		aud.Close()
+		rep.Audit = aud.Summary()
+	}
 
 	rep.Passed = rep.Verifier.OK() && len(rep.Errors) == 0 && rep.Ops.OK > 0
+
+	// Online-audit soundness gate: the live auditor judges a sampled stream
+	// under watermarks and eviction, so everything it reports must be
+	// confirmed (by kind and key) by the offline verifier over the full
+	// recorded history — an unconfirmed verdict means the audit invented a
+	// violation. A run that audited nothing proves nothing and fails too.
+	if rep.Audit != nil {
+		confirmed := make(map[string]bool)
+		for _, v := range rep.Verifier.Violations {
+			confirmed[fmt.Sprintf("%s/%d", v.Kind, v.Key)] = true
+		}
+		for _, v := range rep.Audit.Report.Violations {
+			if !confirmed[fmt.Sprintf("%s/%d", v.Kind, v.Key)] {
+				rep.Passed = false
+				rep.Errors = append(rep.Errors, fmt.Sprintf(
+					"online audit reported [%s] key %d unconfirmed by the offline verifier: %s", v.Kind, v.Key, v.Msg))
+			}
+		}
+		if rep.Audit.Stats.SampledOps == 0 {
+			rep.Passed = false
+			rep.Errors = append(rep.Errors, "online audit sampled no operations")
+		}
+	}
 	kinds := cfg.Kinds
 	linkEvidence := false
 	needEvidence := false

@@ -98,6 +98,22 @@ func WireBatchingKinds() []NemesisKind {
 		KindCutLink, KindStopRestart}
 }
 
+// OnlineAuditKinds is the nemesis mix of the `online-audit` schedule
+// (cmd/kite-chaos -nemeses online-audit), which rides the standing
+// internal/audit verifier on the workload sessions while the mix runs. The
+// auditor's own hazard windows are stream backpressure and watermark
+// timing, so the mix leans on latency and loss rather than membership
+// churn: delay-link appears twice (completions arriving long after their
+// invokes stretch the grace window and force deferrals), drop-link and
+// isolate-node starve acquires into long retry loops, and stop-restart
+// makes whole recorded sessions abort and re-lease mid-audit. A run fails
+// if the live auditor reports a violation the offline verifier does not
+// confirm on the full recorded history.
+func OnlineAuditKinds() []NemesisKind {
+	return []NemesisKind{KindDelayLink, KindDropLink, KindDelayLink,
+		KindIsolateNode, KindStopRestart}
+}
+
 // lifecycle reports whether the kind occupies the exclusive lane.
 func (k NemesisKind) lifecycle() bool {
 	return k == KindStopRestart || k == KindAddRemove || k == KindCrashAll
@@ -162,6 +178,12 @@ type Config struct {
 	// (default 30s). Tests pinning expected failures shorten it so a
 	// sweep that can never complete fails the run quickly.
 	RejoinTimeout time.Duration
+	// OnlineAudit rides an internal/audit sampling auditor on every
+	// recorded workload session for the whole run. The run then fails if
+	// the live auditor reports a violation the offline verifier does not
+	// confirm, or if the auditor saw no traffic. Purely a runner knob —
+	// the generated timeline does not depend on it.
+	OnlineAudit bool
 	// BurstSessions adds that many unrecorded sessions issuing high-fanout
 	// relaxed-write batches (the wire-batching schedule's load shape: they
 	// keep the transport's flush deadlines hot so the nemeses hit full

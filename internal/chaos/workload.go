@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kite"
+	"kite/internal/audit"
 	"kite/internal/history"
 )
 
@@ -42,7 +43,11 @@ const (
 type workload struct {
 	target Target
 	log    *history.Log
-	pairs  int
+	// aud, when non-nil, rides the online auditor's sampling recorder on
+	// every recorded session (outermost, so it sees exactly the calls the
+	// offline history sees).
+	aud   *audit.Auditor
+	pairs int
 
 	// burstOps counts completed unrecorded burst writes — the evidence
 	// that the burst load actually ran (it appears in the run report).
@@ -55,8 +60,8 @@ type workload struct {
 // startWorkload launches the worker goroutines; call (*workload).halt to
 // stop and join them. bursts adds that many unrecorded high-fanout
 // relaxed-write sessions (see (*workload).burst).
-func startWorkload(tg Target, log *history.Log, pairs, bursts int) *workload {
-	w := &workload{target: tg, log: log, pairs: pairs}
+func startWorkload(tg Target, log *history.Log, aud *audit.Auditor, pairs, bursts int) *workload {
+	w := &workload{target: tg, log: log, aud: aud, pairs: pairs}
 	slot := 0
 	next := func() (int, int) {
 		node, sess := slot%tg.Nodes(), slot/tg.Nodes()
@@ -107,7 +112,11 @@ func (w *workload) lease(node, sess int) kite.Session {
 	for !w.stop.Load() {
 		inner, err := w.target.Session(node, sess)
 		if err == nil {
-			return w.log.Wrap(inner)
+			s := w.log.Wrap(inner)
+			if w.aud != nil {
+				s = w.aud.Wrap(s)
+			}
+			return s
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

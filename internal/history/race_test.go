@@ -1,0 +1,212 @@
+package history
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"kite"
+)
+
+// echoSession is a trivial thread-safe backend for recorder stress tests:
+// reads echo the key, writes succeed.
+type echoSession struct {
+	kite.Ops
+}
+
+func newEcho() *echoSession {
+	s := &echoSession{}
+	s.Ops = kite.Ops{Doer: s}
+	return s
+}
+
+func (s *echoSession) Do(ctx context.Context, op kite.Op) (kite.Result, error) {
+	if op.Code == kite.OpRead || op.Code == kite.OpAcquire {
+		return kite.Result{Value: []byte(fmt.Sprintf("k%d", op.Key))}, nil
+	}
+	return kite.Result{}, nil
+}
+
+func (s *echoSession) DoAsync(op kite.Op, cb func(kite.Result)) {
+	r, _ := s.Do(context.Background(), op)
+	if cb != nil {
+		cb(r)
+	}
+}
+
+func (s *echoSession) DoBatch(ctx context.Context, ops []kite.Op) ([]kite.Result, error) {
+	out := make([]kite.Result, len(ops))
+	for i, op := range ops {
+		out[i], _ = s.Do(ctx, op)
+	}
+	return out, nil
+}
+
+func (s *echoSession) Close() error { return nil }
+
+// TestRecordConcurrentSessions drives many recording sessions from separate
+// goroutines — with concurrent Wrap calls and concurrent mid-flight
+// Snapshots — and checks the recorded history is complete, dense, and
+// interval-sane. Run under -race this is the recorder's thread-safety test.
+func TestRecordConcurrentSessions(t *testing.T) {
+	const nsess, nops = 16, 200
+	log := New()
+	var wg sync.WaitGroup
+	for g := 0; g < nsess; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := log.Wrap(newEcho()) // Wrap itself races with other wraps
+			for i := 0; i < nops; i++ {
+				switch i % 4 {
+				case 0:
+					if err := s.Write(uint64(i%7), []byte(fmt.Sprintf("g%di%d", g, i))); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := s.Read(uint64(i % 7)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					ops := []kite.Op{
+						{Code: kite.OpWrite, Key: 9, Value: []byte(fmt.Sprintf("b%di%d", g, i))},
+						{Code: kite.OpRead, Key: 9},
+					}
+					if _, err := s.DoBatch(context.Background(), ops); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					done := make(chan struct{})
+					s.DoAsync(kite.Op{Code: kite.OpRead, Key: 3}, func(kite.Result) { close(done) })
+					<-done
+				}
+			}
+		}(g)
+	}
+
+	// Concurrent mid-flight snapshots must not disturb the recording.
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for i := 0; i < 50; i++ {
+			if rec := log.Snapshot(); rec == nil {
+				t.Error("nil snapshot")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-snapDone
+
+	rec := log.Snapshot()
+	perSess := map[int]int{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Index != perSess[e.Session] {
+			t.Fatalf("session %d: event index %d at position %d (gap or duplicate)",
+				e.Session, e.Index, perSess[e.Session])
+		}
+		perSess[e.Session]++
+		if e.Outcome != OutcomeOK {
+			t.Fatalf("session %d#%d outcome %q after quiesce", e.Session, e.Index, e.Outcome)
+		}
+		if e.Complete < e.Invoke {
+			t.Fatalf("session %d#%d completes at %d before invoke %d", e.Session, e.Index, e.Complete, e.Invoke)
+		}
+	}
+	// 4-op cycle: i%4==2 contributes two events per iteration.
+	wantPer := nops + nops/4
+	if len(perSess) != nsess {
+		t.Fatalf("snapshot has %d sessions, want %d", len(perSess), nsess)
+	}
+	for s, n := range perSess {
+		if n != wantPer {
+			t.Fatalf("session %d recorded %d events, want %d", s, n, wantPer)
+		}
+	}
+}
+
+// TestSnapshotDuringInflight pins Snapshot's contract for operations still
+// in flight: they appear as OutcomeMaybe with a completion stamped at
+// snapshot time, while the live recording completes them normally.
+func TestSnapshotDuringInflight(t *testing.T) {
+	log := New()
+	gate := make(chan struct{})
+	inner := newEcho()
+	blocked := &blockingSession{inner: inner, gate: gate}
+	blocked.Ops = kite.Ops{Doer: blocked}
+	s := log.Wrap(blocked)
+
+	started := make(chan struct{})
+	doneWrite := make(chan error, 1)
+	go func() {
+		close(started)
+		doneWrite <- s.Write(1, []byte("slow"))
+	}()
+	<-started
+	<-blocked.entered()
+
+	rec := log.Snapshot()
+	if len(rec.Events) != 1 {
+		t.Fatalf("snapshot saw %d events, want 1", len(rec.Events))
+	}
+	if e := rec.Events[0]; e.Outcome != OutcomeMaybe || e.Complete < 0 {
+		t.Fatalf("in-flight op snapshot: outcome %q complete %d, want maybe with stamped completion", e.Outcome, e.Complete)
+	}
+
+	close(gate)
+	if err := <-doneWrite; err != nil {
+		t.Fatal(err)
+	}
+	rec = log.Snapshot()
+	if e := rec.Events[0]; e.Outcome != OutcomeOK {
+		t.Fatalf("completed op still %q in later snapshot", e.Outcome)
+	}
+}
+
+// blockingSession parks Do calls on a gate so a test can observe in-flight
+// operations.
+type blockingSession struct {
+	kite.Ops
+	inner kite.Session
+	gate  chan struct{}
+
+	mu sync.Mutex
+	in chan struct{}
+}
+
+func (b *blockingSession) entered() chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.in == nil {
+		b.in = make(chan struct{})
+	}
+	return b.in
+}
+
+func (b *blockingSession) Do(ctx context.Context, op kite.Op) (kite.Result, error) {
+	close(b.entered())
+	<-b.gate
+	return b.inner.Do(ctx, op)
+}
+
+func (b *blockingSession) DoAsync(op kite.Op, cb func(kite.Result)) {
+	r, _ := b.Do(context.Background(), op)
+	if cb != nil {
+		cb(r)
+	}
+}
+
+func (b *blockingSession) DoBatch(ctx context.Context, ops []kite.Op) ([]kite.Result, error) {
+	out := make([]kite.Result, len(ops))
+	for i, op := range ops {
+		out[i], _ = b.Do(ctx, op)
+	}
+	return out, nil
+}
+
+func (b *blockingSession) Close() error { return b.inner.Close() }

@@ -41,14 +41,15 @@ func (s *sessionLog) end(now int64, idx int, r kite.Result) {
 	if r.Err == nil {
 		e.Outcome = OutcomeOK
 	} else {
-		e.Outcome = classify(r.Err)
+		e.Outcome = Classify(r.Err)
 		e.Err = r.Err.Error()
 	}
 }
 
-// classify sorts an operation error into the indeterminacy taxonomy: did
+// Classify sorts an operation error into the indeterminacy taxonomy: did
 // the operation provably not run, or might it still have taken effect?
-func classify(err error) Outcome {
+// Shared by every recorder (this package's Log, internal/audit's sampler).
+func Classify(err error) Outcome {
 	switch {
 	case errors.Is(err, kite.ErrBadOp),
 		errors.Is(err, kite.ErrValueTooLong),

@@ -1,0 +1,786 @@
+package verifier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kite"
+	"kite/internal/history"
+)
+
+// Checker is the incremental core of the verifier: events stream in as
+// invoke/complete records and are judged as a watermark passes them, so the
+// same checks that Check runs over a finished recording can run online
+// against a live deployment (internal/audit). The offline CheckK is a
+// client: it feeds the whole recording and seals once.
+//
+// Two modes:
+//
+//   - Complete (Partial=false): the stream is a full history. All checks
+//     run; judgments match the batch verifier on causal histories.
+//   - Partial (Partial=true): the stream is an arbitrary sampled subset of
+//     the real history (per-key / per-session sampling, dropped records,
+//     evicted windows). Only checks that are existential over the observed
+//     subset run — a violation is witnessed entirely by recorded events, so
+//     removing events can only hide violations, never invent them.
+//     Read-validity ("read-from-nowhere") is universal over writers and is
+//     suppressed.
+//
+// Judgment is deferred while a pending (invoked, not yet completed) write
+// on the same key could still resolve the read's observed value; in
+// Partial mode a deferral expires after DeferBound and the event is judged
+// with the value-census checks skipped (counted in Counters().CensusSkips).
+type Checker struct {
+	cfg    CheckerConfig
+	report *Report
+
+	sessions map[int]*sessState
+	sessIDs  []int // sorted ids, maintained on insert
+	keys     map[uint64]*keyState
+
+	sessionsSeen int
+	keysSeen     int
+
+	// pending: invoked, not yet completed (only via Invoke; Observe of an
+	// un-invoked event bypasses this).
+	pending map[pendID]pendInfo
+
+	// retired: judged events in judge order — the eviction FIFO.
+	retired     []*history.Event
+	retiredHead int
+	retained    int
+
+	counters Counters
+}
+
+// CheckerConfig configures a Checker.
+type CheckerConfig struct {
+	// K is the k-atomicity bound for the synchronisation sweep (min 1).
+	K int
+	// Partial marks the stream as a sampled subset; see Checker.
+	Partial bool
+	// MaxEvents bounds retained judged events; 0 means unbounded (the
+	// offline path). Exceeding it evicts the oldest judged events.
+	MaxEvents int
+	// DeferBound is how long (event time, ns) a judgment may stay deferred
+	// on a pending same-key write before it is judged with census checks
+	// skipped. 0 means a default of 2s. Only reached in Partial mode or at
+	// Finish.
+	DeferBound int64
+}
+
+// Counters reports audit coverage: how much the checker actually judged
+// and what it had to give up.
+type Counters struct {
+	// Judged counts events that went through judgment.
+	Judged uint64
+	// CheckedReads counts OK read-class events fully judged (the audit's
+	// "checked windows").
+	CheckedReads uint64
+	// CensusSkips counts judgments where an expired deferral skipped the
+	// value-census checks.
+	CensusSkips uint64
+	// Evictions counts events evicted under MaxEvents.
+	Evictions uint64
+	// Retained is the current number of retained events.
+	Retained uint64
+	// Deferred is the current number of events blocked behind a deferral.
+	Deferred uint64
+}
+
+type pendID struct {
+	sess, index int
+}
+
+type pendInfo struct {
+	key    uint64
+	val    string // registered pending value ("" = none)
+	hasVal bool
+	faa    bool // registered pending FAA
+}
+
+type sessState struct {
+	id          int
+	next        int // expected dense index
+	orderBroken bool
+
+	// queue: completed events awaiting judgment, in index order.
+	queue []*history.Event
+	qHead int
+	// deferExpire: watermark at which the deferred head gives up (-1: head
+	// not currently deferred).
+	deferExpire int64
+
+	// anchor: the release the session's last judged acquire observed.
+	anchor *anchorRef
+
+	// writes: the session's per-key write index (as the batch verifier's
+	// sessWrites).
+	writes map[uint64]*sessKeyWrites
+}
+
+type anchorRef struct {
+	rel     *history.Event
+	acq     *history.Event
+	relSess *sessState
+}
+
+type keyState struct {
+	// values: written value -> events that (definitely or possibly)
+	// installed it, in ingest order.
+	values map[string][]*history.Event
+	// syncWrites: OK sync writes, kept sorted by Complete (lazily).
+	syncWrites []*history.Event
+	syncDirty  bool
+	// releases: release value -> release events (non-never outcomes).
+	releases map[string][]*history.Event
+	// hasMaybeFAA: counter values on this key are unknowable.
+	hasMaybeFAA bool
+	// faa / cas: RMW duplicate detection (old value / comparand -> first
+	// judged op).
+	faa map[string]*history.Event
+	cas map[string]*history.Event
+	// pendingVals / pendingFAA: invoked-but-incomplete write-class ops —
+	// the deferral census.
+	pendingVals map[string]int
+	pendingFAA  int
+}
+
+// sessKeyWrites indexes one session's writes on one key.
+type sessKeyWrites struct {
+	// byValue: value -> latest session index that wrote it (definite or
+	// indeterminate).
+	byValue map[string]int
+	// okIdx: session indices of definite writes, ascending.
+	okIdx []int
+	// okEvt aligns with okIdx.
+	okEvt []*history.Event
+}
+
+// lastOKBefore returns the session's latest definite write on the key with
+// index < bound (nil if none).
+func (s *sessKeyWrites) lastOKBefore(bound int) *history.Event {
+	i := sort.SearchInts(s.okIdx, bound) - 1
+	if i < 0 {
+		return nil
+	}
+	return s.okEvt[i]
+}
+
+const defaultDeferBound = int64(2e9)
+
+// NewChecker starts an incremental checker.
+func NewChecker(cfg CheckerConfig) *Checker {
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.DeferBound <= 0 {
+		cfg.DeferBound = defaultDeferBound
+	}
+	return &Checker{
+		cfg:      cfg,
+		report:   &Report{K: cfg.K},
+		sessions: make(map[int]*sessState),
+		keys:     make(map[uint64]*keyState),
+		pending:  make(map[pendID]pendInfo),
+	}
+}
+
+func (c *Checker) sess(id int) *sessState {
+	ss := c.sessions[id]
+	if ss == nil {
+		ss = &sessState{id: id, deferExpire: -1, writes: make(map[uint64]*sessKeyWrites)}
+		c.sessions[id] = ss
+		c.sessionsSeen++
+		i := sort.SearchInts(c.sessIDs, id)
+		c.sessIDs = append(c.sessIDs, 0)
+		copy(c.sessIDs[i+1:], c.sessIDs[i:])
+		c.sessIDs[i] = id
+	}
+	return ss
+}
+
+func (c *Checker) key(k uint64) *keyState {
+	ki := c.keys[k]
+	if ki == nil {
+		ki = &keyState{
+			values:      make(map[string][]*history.Event),
+			releases:    make(map[string][]*history.Event),
+			pendingVals: make(map[string]int),
+		}
+		c.keys[k] = ki
+		c.keysSeen++
+	}
+	return ki
+}
+
+func (c *Checker) violate(kind string, key uint64, msg string, window ...*history.Event) {
+	if len(c.report.Violations) >= maxViolations {
+		c.report.Truncated++
+		return
+	}
+	v := Violation{Kind: kind, Key: key, Msg: msg}
+	for _, e := range window {
+		v.Window = append(v.Window, *e)
+	}
+	c.report.Violations = append(c.report.Violations, v)
+}
+
+// Invoke registers a pending operation (its Complete is ignored): the
+// key's value census now knows e.Arg may land, so reads observing it are
+// deferred rather than misjudged. Observe later delivers the completion.
+func (c *Checker) Invoke(e history.Event) {
+	pi := pendInfo{key: e.Key}
+	switch e.Op {
+	case kite.OpWrite, kite.OpRelease, kite.OpCASWeak, kite.OpCASStrong:
+		pi.val, pi.hasVal = string(e.Arg), true
+		c.key(e.Key).pendingVals[pi.val]++
+	case kite.OpFAA:
+		if e.Delta != 0 {
+			pi.faa = true
+			c.key(e.Key).pendingFAA++
+		}
+	}
+	c.pending[pendID{e.Session, e.Index}] = pi
+}
+
+// Observe ingests a completed event. Events of one session must arrive in
+// index order (the recorder guarantees it; the session-order check flags
+// streams that do not). Judgment happens at the next Seal.
+func (c *Checker) Observe(e history.Event) {
+	if pi, ok := c.pending[pendID{e.Session, e.Index}]; ok {
+		delete(c.pending, pendID{e.Session, e.Index})
+		ki := c.keys[pi.key]
+		if ki != nil {
+			if pi.hasVal && ki.pendingVals[pi.val] > 0 {
+				ki.pendingVals[pi.val]--
+				if ki.pendingVals[pi.val] == 0 {
+					delete(ki.pendingVals, pi.val)
+				}
+			}
+			if pi.faa {
+				ki.pendingFAA--
+			}
+		}
+	}
+
+	ss := c.sess(e.Session)
+	c.report.Stats.Events++
+
+	// Session order at ingest: indices dense, intervals well-formed. After
+	// the first gap the session's order bookkeeping stops (mirroring the
+	// batch verifier's per-session break).
+	if !ss.orderBroken {
+		if e.Index != ss.next {
+			c.violate("session-order", e.Key,
+				fmt.Sprintf("session %d event %d has index %d (gap or duplicate)", e.Session, ss.next, e.Index), &e)
+			ss.orderBroken = true
+		} else {
+			ss.next++
+			if e.Complete < e.Invoke {
+				c.violate("session-order", e.Key,
+					fmt.Sprintf("session %d#%d completes before it is invoked", e.Session, e.Index), &e)
+			}
+		}
+	}
+
+	ev := new(history.Event)
+	*ev = e
+	c.ingest(ss, ev)
+	ss.queue = append(ss.queue, ev)
+	c.retained++
+}
+
+// ingest updates the per-key and per-session indexes, mirroring the batch
+// verifier's newChecker and sessWrites.
+func (c *Checker) ingest(ss *sessState, e *history.Event) {
+	if e.Outcome == history.OutcomeNever || e.Op == kite.OpFlush {
+		return
+	}
+	ki := c.key(e.Key)
+	switch {
+	case e.Outcome == history.OutcomeOK && e.IsWrite():
+		v := string(e.Value())
+		ki.values[v] = append(ki.values[v], e)
+		c.report.Stats.Writes++
+		if e.IsSync() {
+			ki.syncWrites = append(ki.syncWrites, e)
+			n := len(ki.syncWrites)
+			if n > 1 && ki.syncWrites[n-2].Complete > e.Complete {
+				ki.syncDirty = true
+			}
+		}
+		sw := ss.keyWrites(e.Key)
+		sw.byValue[v] = e.Index
+		sw.okIdx = append(sw.okIdx, e.Index)
+		sw.okEvt = append(sw.okEvt, e)
+	case e.Outcome == history.OutcomeMaybe:
+		switch e.Op {
+		case kite.OpWrite, kite.OpRelease, kite.OpCASWeak, kite.OpCASStrong:
+			// The value MAY be installed (a CAS may or may not have
+			// swapped; both are legal).
+			v := string(e.Arg)
+			ki.values[v] = append(ki.values[v], e)
+			ss.keyWrites(e.Key).byValue[v] = e.Index
+		case kite.OpFAA:
+			if e.Delta != 0 {
+				ki.hasMaybeFAA = true
+			}
+		}
+	}
+	if e.Op == kite.OpRelease && e.Outcome != history.OutcomeNever {
+		v := string(e.Arg)
+		ki.releases[v] = append(ki.releases[v], e)
+	}
+	if e.Outcome == history.OutcomeOK && e.IsRead() {
+		c.report.Stats.Reads++
+		if e.Op == kite.OpAcquire {
+			c.report.Stats.Acquires++
+		}
+	}
+	if e.Outcome == history.OutcomeOK {
+		switch e.Op {
+		case kite.OpRelease:
+			c.report.Stats.Releases++
+		case kite.OpFAA, kite.OpCASWeak, kite.OpCASStrong:
+			c.report.Stats.RMWs++
+		}
+	}
+}
+
+func (ss *sessState) keyWrites(k uint64) *sessKeyWrites {
+	sw := ss.writes[k]
+	if sw == nil {
+		sw = &sessKeyWrites{byValue: make(map[string]int)}
+		ss.writes[k] = sw
+	}
+	return sw
+}
+
+// Seal judges every queued event whose Complete is at or below the
+// watermark (event time, ns), in per-session index order, then enforces
+// the memory budget. Judgments blocked on a pending same-key write stay
+// queued until the write completes or the deferral expires.
+func (c *Checker) Seal(watermark int64) {
+	for _, id := range c.sessIDs {
+		ss := c.sessions[id]
+		for c.advance(ss, watermark) {
+		}
+		// Compact the drained queue prefix.
+		if ss.qHead > 64 && ss.qHead*2 >= len(ss.queue) {
+			n := copy(ss.queue, ss.queue[ss.qHead:])
+			for i := n; i < len(ss.queue); i++ {
+				ss.queue[i] = nil
+			}
+			ss.queue = ss.queue[:n]
+			ss.qHead = 0
+		}
+	}
+	c.evictTo()
+}
+
+// advance judges the session's next queued event if the watermark has
+// passed it and no deferral blocks it.
+func (c *Checker) advance(ss *sessState, watermark int64) bool {
+	if ss.qHead >= len(ss.queue) {
+		return false
+	}
+	e := ss.queue[ss.qHead]
+	if e.Complete > watermark {
+		return false
+	}
+	censusSkip := false
+	if c.deferred(e) {
+		if ss.deferExpire < 0 {
+			ss.deferExpire = e.Complete + c.cfg.DeferBound
+			c.counters.Deferred++
+		}
+		if watermark < ss.deferExpire {
+			return false
+		}
+		censusSkip = true
+		c.counters.CensusSkips++
+	}
+	if ss.deferExpire >= 0 {
+		ss.deferExpire = -1
+		c.counters.Deferred--
+	}
+	ss.qHead++
+	c.judge(ss, e, censusSkip)
+	c.retired = append(c.retired, e)
+	c.counters.Judged++
+	return true
+}
+
+// deferred reports whether judging e now could contradict a pending write:
+// a write-class op on e's key is invoked but not completed and could be
+// the writer of e's observed value.
+func (c *Checker) deferred(e *history.Event) bool {
+	if e.Outcome != history.OutcomeOK || !e.IsRead() {
+		return false
+	}
+	ki := c.keys[e.Key]
+	if ki == nil {
+		return false
+	}
+	if len(e.Out) > 0 && ki.pendingVals[string(e.Out)] > 0 {
+		return true
+	}
+	// A pending FAA makes the key's counter census incomplete; in complete
+	// mode that changes verdicts (read-validity, sync matching), so wait.
+	// In partial mode those checks are already skip-on-miss.
+	return !c.cfg.Partial && ki.pendingFAA > 0
+}
+
+// judge runs every per-event check, mirroring the batch verifier's sweeps.
+func (c *Checker) judge(ss *sessState, e *history.Event, censusSkip bool) {
+	// Any acquire (whatever its outcome) ends the previous acquire's RC
+	// window — the batch scan stops at the next OpAcquire event.
+	if e.Op == kite.OpAcquire {
+		ss.anchor = nil
+	}
+	if e.Outcome != history.OutcomeOK {
+		return
+	}
+
+	if e.IsRead() {
+		c.judgeRead(ss, e, censusSkip)
+		c.counters.CheckedReads++
+	}
+	if e.Op == kite.OpAcquire {
+		c.anchorAcquire(ss, e)
+		c.judgeSyncRead(e, censusSkip)
+	}
+	c.judgeRMW(e)
+}
+
+// judgeRead: read validity, read-your-writes, and the RC window check
+// against the session's current anchor.
+func (c *Checker) judgeRead(ss *sessState, e *history.Event, censusSkip bool) {
+	ki := c.keys[e.Key]
+
+	// Read validity (out-of-thin-air) — complete histories only: under
+	// sampling the true writer may simply not have been recorded.
+	if !c.cfg.Partial && !censusSkip && len(e.Out) > 0 && ki != nil && !ki.hasMaybeFAA {
+		if len(ki.values[string(e.Out)]) == 0 {
+			c.violate("read-from-nowhere", e.Key,
+				fmt.Sprintf("read returned %q which no operation ever wrote to key %d", e.Out, e.Key), e)
+		}
+	}
+
+	// Read-your-writes.
+	if sw := ss.writes[e.Key]; sw != nil {
+		if w := sw.lastOKBefore(e.Index); w != nil {
+			if len(e.Out) == 0 {
+				c.violate("read-own-write", e.Key,
+					fmt.Sprintf("session %d read nothing from key %d after its own write #%d", e.Session, e.Key, w.Index),
+					w, e)
+			} else if idx, ok := sw.byValue[string(e.Out)]; ok && idx < w.Index {
+				c.violate("read-own-write", e.Key,
+					fmt.Sprintf("session %d read its own stale value (written at #%d) past its later write #%d", e.Session, idx, w.Index),
+					w, e)
+			}
+		}
+	}
+
+	// Release consistency: a plain read inside an acquire's window must
+	// see the releasing session's pre-release writes on this key.
+	if ss.anchor != nil && e.Op == kite.OpRead {
+		a := ss.anchor
+		if sw := a.relSess.writes[e.Key]; sw != nil {
+			if wLast := sw.lastOKBefore(a.rel.Index); wLast != nil {
+				if len(e.Out) == 0 {
+					c.violate("rc-missing-released-write", e.Key,
+						fmt.Sprintf("read nothing from key %d after acquiring release %q, which ordered write #%d before it",
+							e.Key, a.acq.Out, wLast.Index),
+						wLast, a.rel, a.acq, e)
+				} else if idx, ok := sw.byValue[string(e.Out)]; ok && idx < wLast.Index {
+					c.violate("rc-stale-read", e.Key,
+						fmt.Sprintf("read value written at releaser's #%d from key %d after acquiring release %q, which ordered the newer write #%d before it",
+							idx, e.Key, a.acq.Out, wLast.Index),
+						wLast, a.rel, a.acq, e)
+				}
+			}
+		}
+	}
+}
+
+// anchorAcquire resolves which release the acquire observed (by key +
+// value; ambiguous anchors resolve to the weakest constraint) and opens
+// its RC window.
+func (c *Checker) anchorAcquire(ss *sessState, a *history.Event) {
+	if len(a.Out) == 0 {
+		return
+	}
+	ki := c.keys[a.Key]
+	if ki == nil {
+		return
+	}
+	cands := ki.releases[string(a.Out)]
+	if len(cands) == 0 {
+		return // read-validity reports thin-air values
+	}
+	// All candidates in one session: take the earliest (weakest
+	// constraint); cross-session duplicate release values are
+	// unverifiable, skip.
+	rel := cands[0]
+	for _, r := range cands[1:] {
+		if r.Session != rel.Session {
+			return
+		}
+		if r.Index < rel.Index {
+			rel = r
+		}
+	}
+	ss.anchor = &anchorRef{rel: rel, acq: a, relSess: c.sess(rel.Session)}
+}
+
+// judgeSyncRead is the per-acquire arm of the k-atomicity sweep: the
+// acquire may not observe a value k-or-more wholly-completed
+// synchronisation writes stale.
+func (c *Checker) judgeSyncRead(rd *history.Event, censusSkip bool) {
+	ki := c.keys[rd.Key]
+	if ki == nil {
+		return
+	}
+	if ki.syncDirty {
+		sort.SliceStable(ki.syncWrites, func(i, j int) bool {
+			return ki.syncWrites[i].Complete < ki.syncWrites[j].Complete
+		})
+		ki.syncDirty = false
+	}
+	writes := ki.syncWrites
+	// The write this read observed: the latest-completing match (most
+	// favourable to the history).
+	var w *history.Event
+	wComplete := int64(-1)
+	if len(rd.Out) != 0 {
+		if censusSkip {
+			return // unresolved pending match: the census is incomplete
+		}
+		cands := ki.values[string(rd.Out)]
+		ok := false
+		for _, cand := range cands {
+			if cand.Outcome != history.OutcomeOK || !cand.IsSync() {
+				// Reading an indeterminate (or relaxed) write: its
+				// completion is unknowable; skip the sweep.
+				ok = false
+				break
+			}
+			if w == nil || cand.Complete > w.Complete {
+				w = cand
+				ok = true
+			}
+		}
+		if !ok || w == nil {
+			return
+		}
+		wComplete = w.Complete
+	}
+	// Interveners: writes wholly inside (wComplete, rd.Invoke) — fully
+	// after W, fully before the read. writes is sorted by Complete.
+	n := sort.Search(len(writes), func(i int) bool { return writes[i].Complete >= rd.Invoke })
+	interveners := 0
+	for _, iv := range writes[:n] {
+		if iv.Invoke > wComplete {
+			interveners++
+		}
+	}
+	if interveners >= c.cfg.K {
+		witness := findIntervener(writes, wComplete, rd.Invoke)
+		if len(rd.Out) == 0 {
+			c.violate("sync-stale-read", rd.Key,
+				fmt.Sprintf("acquire observed the initial value of key %d although %d synchronisation write(s) had wholly completed (k=%d)",
+					rd.Key, interveners, c.cfg.K),
+				witness, rd)
+		} else {
+			c.violate("sync-stale-read", rd.Key,
+				fmt.Sprintf("acquire observed %q on key %d although %d later synchronisation write(s) wholly intervened (k=%d)",
+					rd.Out, rd.Key, interveners, c.cfg.K),
+				w, witness, rd)
+		}
+	}
+}
+
+// findIntervener returns one write wholly inside (afterComplete,
+// beforeInvoke) as the counterexample witness.
+func findIntervener(writes []*history.Event, afterComplete, beforeInvoke int64) *history.Event {
+	for _, w := range writes {
+		if w.Invoke > afterComplete && w.Complete < beforeInvoke {
+			return w
+		}
+	}
+	return writes[0]
+}
+
+// judgeRMW: lost updates and double swaps. Two successful FAAs (non-zero
+// delta) that observed the same old value on one key both extended the
+// same counter state; two successful CASes that consumed the same
+// comparand double-spent a value.
+func (c *Checker) judgeRMW(e *history.Event) {
+	switch e.Op {
+	case kite.OpFAA:
+		if e.Delta == 0 {
+			return
+		}
+		ki := c.key(e.Key)
+		if ki.faa == nil {
+			ki.faa = make(map[string]*history.Event)
+		}
+		if prev, dup := ki.faa[string(e.Out)]; dup {
+			c.violate("rmw-lost-update", e.Key,
+				fmt.Sprintf("two FAAs on key %d both observed old value %q — one increment is lost", e.Key, e.Out),
+				prev, e)
+		} else {
+			ki.faa[string(e.Out)] = e
+		}
+	case kite.OpCASWeak, kite.OpCASStrong:
+		if !e.Swapped {
+			return
+		}
+		ki := c.key(e.Key)
+		if ki.cas == nil {
+			ki.cas = make(map[string]*history.Event)
+		}
+		if prev, dup := ki.cas[string(e.Expected)]; dup {
+			c.violate("rmw-double-swap", e.Key,
+				fmt.Sprintf("two successful CASes on key %d consumed the same comparand %q", e.Key, e.Expected),
+				prev, e)
+		} else {
+			ki.cas[string(e.Expected)] = e
+		}
+	}
+}
+
+// evictTo enforces MaxEvents by dropping the oldest judged events from
+// every index. Evicting a write can only hide later violations (a match
+// falls through to "no census entry: skip") — sound in Partial mode, never
+// used by the offline path.
+func (c *Checker) evictTo() {
+	budget := c.cfg.MaxEvents
+	if budget <= 0 {
+		return
+	}
+	for c.retained > budget && c.retiredHead < len(c.retired) {
+		e := c.retired[c.retiredHead]
+		c.retired[c.retiredHead] = nil
+		c.retiredHead++
+		c.remove(e)
+		c.retained--
+		c.counters.Evictions++
+	}
+	if c.retiredHead > 4096 && c.retiredHead*2 >= len(c.retired) {
+		n := copy(c.retired, c.retired[c.retiredHead:])
+		for i := n; i < len(c.retired); i++ {
+			c.retired[i] = nil
+		}
+		c.retired = c.retired[:n]
+		c.retiredHead = 0
+	}
+}
+
+// remove deletes one judged event from the key and session indexes.
+func (c *Checker) remove(e *history.Event) {
+	if e.Outcome == history.OutcomeNever || e.Op == kite.OpFlush {
+		return
+	}
+	ss := c.sessions[e.Session]
+	ki := c.keys[e.Key]
+	var v string
+	hasV := false
+	switch {
+	case e.Outcome == history.OutcomeOK && e.IsWrite():
+		v, hasV = string(e.Value()), true
+	case e.Outcome == history.OutcomeMaybe:
+		switch e.Op {
+		case kite.OpWrite, kite.OpRelease, kite.OpCASWeak, kite.OpCASStrong:
+			v, hasV = string(e.Arg), true
+		}
+	}
+	if ki != nil {
+		if hasV {
+			ki.values[v] = dropEvent(ki.values[v], e)
+			if len(ki.values[v]) == 0 {
+				delete(ki.values, v)
+			}
+		}
+		if e.Outcome == history.OutcomeOK && e.IsWrite() && e.IsSync() {
+			ki.syncWrites = dropEvent(ki.syncWrites, e)
+		}
+		if e.Op == kite.OpRelease {
+			rv := string(e.Arg)
+			ki.releases[rv] = dropEvent(ki.releases[rv], e)
+			if len(ki.releases[rv]) == 0 {
+				delete(ki.releases, rv)
+			}
+		}
+		if ki.faa[string(e.Out)] == e {
+			delete(ki.faa, string(e.Out))
+		}
+		if ki.cas[string(e.Expected)] == e {
+			delete(ki.cas, string(e.Expected))
+		}
+		if len(ki.values) == 0 && len(ki.releases) == 0 && len(ki.syncWrites) == 0 &&
+			len(ki.faa) == 0 && len(ki.cas) == 0 && len(ki.pendingVals) == 0 &&
+			ki.pendingFAA == 0 && !ki.hasMaybeFAA {
+			delete(c.keys, e.Key)
+		}
+	}
+	if ss != nil {
+		if sw := ss.writes[e.Key]; sw != nil {
+			if i := sort.SearchInts(sw.okIdx, e.Index); i < len(sw.okIdx) && sw.okIdx[i] == e.Index {
+				sw.okIdx = append(sw.okIdx[:i], sw.okIdx[i+1:]...)
+				sw.okEvt = append(sw.okEvt[:i], sw.okEvt[i+1:]...)
+			}
+			if idx, ok := sw.byValue[v]; hasV && ok && idx == e.Index {
+				delete(sw.byValue, v)
+			}
+			if len(sw.okIdx) == 0 && len(sw.byValue) == 0 {
+				delete(ss.writes, e.Key)
+			}
+		}
+	}
+}
+
+func dropEvent(s []*history.Event, e *history.Event) []*history.Event {
+	for i, x := range s {
+		if x == e {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Finish seals everything (expired deferrals are judged with census checks
+// skipped) and returns the report. The checker stays usable for Report
+// snapshots but should not be fed further.
+func (c *Checker) Finish() *Report {
+	c.Seal(math.MaxInt64)
+	return c.snapshot()
+}
+
+// Report returns a copy of the current report — safe to render while the
+// stream continues.
+func (c *Checker) Report() *Report {
+	return c.snapshot()
+}
+
+func (c *Checker) snapshot() *Report {
+	r := &Report{
+		K:          c.report.K,
+		Stats:      c.report.Stats,
+		Violations: append([]Violation(nil), c.report.Violations...),
+		Truncated:  c.report.Truncated,
+	}
+	r.Stats.Sessions = c.sessionsSeen
+	r.Stats.Keys = c.keysSeen
+	return r
+}
+
+// Counters returns the coverage counters.
+func (c *Checker) Counters() Counters {
+	ct := c.counters
+	ct.Retained = uint64(c.retained)
+	return ct
+}

@@ -1,0 +1,216 @@
+package verifier
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"kite"
+	"kite/internal/history"
+)
+
+// streamCheck replays a recording through the incremental Checker the way
+// a live deployment delivers it: invoke records at invoke time, completion
+// records at completion time, a seal after every completion — the
+// worst-case seal cadence.
+func streamCheck(rec *history.Recorded, k int) *Report {
+	c := NewChecker(CheckerConfig{K: k})
+	type tick struct {
+		at     int64
+		invoke bool
+		e      *history.Event
+	}
+	var ticks []tick
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		ticks = append(ticks, tick{e.Invoke, true, e}, tick{e.Complete, false, e})
+	}
+	// Sort by time; invokes before completions at equal times; session
+	// index order breaks remaining ties so per-session delivery order
+	// matches the recorder's.
+	sort.SliceStable(ticks, func(i, j int) bool {
+		if ticks[i].at != ticks[j].at {
+			return ticks[i].at < ticks[j].at
+		}
+		return ticks[i].invoke && !ticks[j].invoke
+	})
+	for _, t := range ticks {
+		if t.invoke {
+			c.Invoke(*t.e)
+		} else {
+			c.Observe(*t.e)
+			c.Seal(t.at)
+		}
+	}
+	return c.Finish()
+}
+
+// normalize sorts violations and their windows so reports from different
+// judge orders compare as sets.
+func normalize(r *Report) *Report {
+	for i := range r.Violations {
+		w := r.Violations[i].Window
+		sort.Slice(w, func(a, b int) bool {
+			if w[a].Session != w[b].Session {
+				return w[a].Session < w[b].Session
+			}
+			return w[a].Index < w[b].Index
+		})
+	}
+	sort.Slice(r.Violations, func(a, b int) bool {
+		va, vb := &r.Violations[a], &r.Violations[b]
+		if va.Kind != vb.Kind {
+			return va.Kind < vb.Kind
+		}
+		if va.Key != vb.Key {
+			return va.Key < vb.Key
+		}
+		return va.Msg < vb.Msg
+	})
+	return r
+}
+
+// TestCheckerGoldenEquivalence: the whole offline corpus, streamed through
+// the incremental Checker event-interval by event-interval, must reproduce
+// the batch verifier's verdicts and counterexample windows exactly, at
+// several k bounds.
+func TestCheckerGoldenEquivalence(t *testing.T) {
+	names, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(names))
+	}
+	for _, name := range names {
+		for _, k := range []int{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/k%d", filepath.Base(name), k), func(t *testing.T) {
+				rec := load(t, filepath.Base(name))
+				batch := normalize(CheckK(rec, k))
+				stream := normalize(streamCheck(rec, k))
+				if !reflect.DeepEqual(batch, stream) {
+					t.Fatalf("stream/batch divergence\nbatch:\n%s\nstream:\n%s", batch.String(), stream.String())
+				}
+			})
+		}
+	}
+}
+
+// TestCheckerGoldenEquivalenceSynthetic: hand-built histories exercising
+// the cases where streaming order genuinely differs from batch order —
+// maybe-outcomes resolving after their observers, writes completing after
+// the reads that saw them (deferral), and overlapping sync intervals.
+func TestCheckerGoldenEquivalenceSynthetic(t *testing.T) {
+	recs := []*history.Recorded{
+		// A timed-out release whose value IS later observed — and whose
+		// completion record lands after the acquire's (deferral path).
+		{Events: []history.Event{
+			{Session: 0, Index: 0, Op: kite.OpRelease, Key: 1, Arg: []byte("v"), Outcome: history.OutcomeMaybe, Err: "op timeout", Invoke: 0, Complete: 100, Batch: -1},
+			{Session: 1, Index: 0, Op: kite.OpAcquire, Key: 1, Out: []byte("v"), Outcome: history.OutcomeOK, Invoke: 20, Complete: 30, Batch: -1},
+		}},
+		// An indeterminate FAA pending while a read of its counter value
+		// completes (pendingFAA deferral).
+		{Events: []history.Event{
+			{Session: 0, Index: 0, Op: kite.OpFAA, Key: 2, Delta: 3, Outcome: history.OutcomeMaybe, Err: "op timeout", Invoke: 0, Complete: 100, Batch: -1},
+			{Session: 1, Index: 0, Op: kite.OpRead, Key: 2, Out: kite.EncodeUint64(3), Outcome: history.OutcomeOK, Invoke: 20, Complete: 30, Batch: -1},
+		}},
+		// The RC empty-read arm, with the releaser's write concurrent with
+		// the reader.
+		{Events: []history.Event{
+			{Session: 0, Index: 0, Op: kite.OpWrite, Key: 100, Arg: []byte("w"), Outcome: history.OutcomeOK, Invoke: 0, Complete: 5, Batch: -1},
+			{Session: 0, Index: 1, Op: kite.OpRelease, Key: 9000, Arg: []byte("r"), Outcome: history.OutcomeOK, Invoke: 10, Complete: 20, Batch: -1},
+			{Session: 1, Index: 0, Op: kite.OpAcquire, Key: 9000, Out: []byte("r"), Outcome: history.OutcomeOK, Invoke: 15, Complete: 40, Batch: -1},
+			{Session: 1, Index: 1, Op: kite.OpRead, Key: 100, Outcome: history.OutcomeOK, Invoke: 50, Complete: 60, Batch: -1},
+		}},
+		// A sync write wholly intervening between its predecessor and a
+		// stale acquire, all three overlapping a relaxed-write stream.
+		{Events: []history.Event{
+			{Session: 0, Index: 0, Op: kite.OpRelease, Key: 5, Arg: []byte("a"), Outcome: history.OutcomeOK, Invoke: 0, Complete: 10, Batch: -1},
+			{Session: 0, Index: 1, Op: kite.OpRelease, Key: 5, Arg: []byte("b"), Outcome: history.OutcomeOK, Invoke: 20, Complete: 30, Batch: -1},
+			{Session: 1, Index: 0, Op: kite.OpWrite, Key: 6, Arg: []byte("x"), Outcome: history.OutcomeOK, Invoke: 5, Complete: 45, Batch: -1},
+			{Session: 2, Index: 0, Op: kite.OpAcquire, Key: 5, Out: []byte("a"), Outcome: history.OutcomeOK, Invoke: 40, Complete: 50, Batch: -1},
+		}},
+	}
+	for i, rec := range recs {
+		t.Run(fmt.Sprintf("case%d", i), func(t *testing.T) {
+			batch := normalize(CheckK(rec, 1))
+			stream := normalize(streamCheck(rec, 1))
+			if !reflect.DeepEqual(batch, stream) {
+				t.Fatalf("stream/batch divergence\nbatch:\n%s\nstream:\n%s", batch.String(), stream.String())
+			}
+		})
+	}
+}
+
+// TestCheckerPartialNeverInvents: every corpus violation history, fed
+// through a partial-mode checker with an aggressive memory budget, must
+// report a subset of the batch verdicts — sampling and eviction may hide
+// violations but never add kinds the complete history does not contain.
+func TestCheckerPartialNeverInvents(t *testing.T) {
+	names, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		t.Run(filepath.Base(name), func(t *testing.T) {
+			rec := load(t, filepath.Base(name))
+			full := CheckK(rec, 1)
+			allowed := map[string]bool{}
+			for _, v := range full.Violations {
+				allowed[v.Kind+"/"+fmt.Sprint(v.Key)] = true
+			}
+			// Drop every other event (a crude sample) and stream through a
+			// partial checker with a tiny budget. The sampling recorder
+			// assigns its own dense per-session indexes to sampled events;
+			// simulate that by renumbering.
+			for drop := 0; drop < 2; drop++ {
+				c := NewChecker(CheckerConfig{K: 1, Partial: true, MaxEvents: 4})
+				next := map[int]int{}
+				for i := range rec.Events {
+					if i%2 == drop {
+						continue
+					}
+					e := rec.Events[i]
+					e.Index = next[e.Session]
+					next[e.Session]++
+					c.Observe(e)
+					c.Seal(e.Complete)
+				}
+				rep := c.Finish()
+				for _, v := range rep.Violations {
+					if !allowed[v.Kind+"/"+fmt.Sprint(v.Key)] {
+						t.Fatalf("partial checker invented violation [%s] key %d not in complete verdicts:\n%s",
+							v.Kind, v.Key, rep.String())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckerEviction: the budget is enforced, evictions are counted, and
+// an evicted census never produces a violation on a clean history.
+func TestCheckerEviction(t *testing.T) {
+	c := NewChecker(CheckerConfig{K: 1, Partial: true, MaxEvents: 8})
+	var now int64
+	for i := 0; i < 200; i++ {
+		now += 10
+		e := history.Event{
+			Session: 0, Index: i, Op: kite.OpRelease, Key: 7,
+			Arg: []byte(fmt.Sprintf("v%d", i)), Outcome: history.OutcomeOK,
+			Invoke: now, Complete: now + 5, Batch: -1,
+		}
+		c.Observe(e)
+		c.Seal(now + 5)
+	}
+	rep := c.Finish()
+	if !rep.OK() {
+		t.Fatalf("clean history flagged under eviction:\n%s", rep.String())
+	}
+	ct := c.Counters()
+	if ct.Evictions == 0 {
+		t.Fatal("budget of 8 over 200 events evicted nothing")
+	}
+	if ct.Retained > 8 {
+		t.Fatalf("retained %d > budget 8", ct.Retained)
+	}
+}

@@ -3,8 +3,9 @@
 // linearizable synchronisation (RCLin, §2 of the paper). It is the one
 // shared definition of correctness behind the conformance, restart,
 // membership and chaos suites — a deterministic test asserts through it,
-// and kite-chaos feeds it histories recorded under randomized fault
-// schedules.
+// kite-chaos feeds it histories recorded under randomized fault schedules,
+// and internal/audit streams sampled live operations through the same
+// checks via the incremental Checker.
 //
 // Four independent checks run over a history:
 //
@@ -42,7 +43,6 @@ import (
 	"sort"
 	"strings"
 
-	"kite"
 	"kite/internal/history"
 )
 
@@ -113,487 +113,13 @@ func Check(rec *history.Recorded) *Report { return CheckK(rec, 1) }
 
 // CheckK is Check with a relaxed k-atomicity bound for the
 // synchronisation sweep (k=1 is atomicity; larger k tolerates bounded
-// staleness, per the k-AV problem formulation).
+// staleness, per the k-AV problem formulation). It is the batch client of
+// the incremental Checker: the whole recording streams in, then one final
+// seal judges everything with the complete census in hand.
 func CheckK(rec *history.Recorded, k int) *Report {
-	if k < 1 {
-		k = 1
-	}
-	c := newChecker(rec, k)
-	c.checkSessionOrder()
-	c.checkReadValidity()
-	c.checkReadYourWrites()
-	c.checkReleaseConsistency()
-	c.checkSyncAtomicity()
-	c.checkRMW()
-	return c.report
-}
-
-// checker holds the indexed history.
-type checker struct {
-	report *Report
-	k      int
-
-	sessions map[int][]*history.Event // session -> events in index order
-	keys     map[uint64]*keyIndex
-}
-
-type keyIndex struct {
-	// values maps a written value to every event that (definitely or
-	// possibly) installed it, in history order.
-	values map[string][]*history.Event
-	// syncWrites / syncReads are the OK sync-register ops for the sweep.
-	syncWrites []*history.Event
-	syncReads  []*history.Event
-	// hasMaybeFAA: an indeterminate FAA makes some counter values
-	// unknowable; read-validity is suppressed on such keys.
-	hasMaybeFAA bool
-}
-
-// sessKeyWrites indexes one session's writes on one key.
-type sessKeyWrites struct {
-	// byValue: value -> latest session index that wrote it (definite or
-	// indeterminate).
-	byValue map[string]int
-	// okIdx: session indices of definite writes, ascending.
-	okIdx []int
-	// okEvt aligns with okIdx.
-	okEvt []*history.Event
-}
-
-func newChecker(rec *history.Recorded, k int) *checker {
-	c := &checker{
-		report:   &Report{K: k},
-		k:        k,
-		sessions: make(map[int][]*history.Event),
-		keys:     make(map[uint64]*keyIndex),
-	}
+	c := NewChecker(CheckerConfig{K: k})
 	for i := range rec.Events {
-		e := &rec.Events[i]
-		c.sessions[e.Session] = append(c.sessions[e.Session], e)
-		if e.Outcome == history.OutcomeNever || e.Op == kite.OpFlush {
-			continue
-		}
-		ki := c.key(e.Key)
-		switch {
-		case e.Outcome == history.OutcomeOK && e.IsWrite():
-			v := string(e.Value())
-			ki.values[v] = append(ki.values[v], e)
-			c.report.Stats.Writes++
-			if e.IsSync() {
-				ki.syncWrites = append(ki.syncWrites, e)
-			}
-		case e.Outcome == history.OutcomeMaybe:
-			switch e.Op {
-			case kite.OpWrite, kite.OpRelease, kite.OpCASWeak, kite.OpCASStrong:
-				// The value MAY be installed (a CAS may or may not have
-				// swapped; both are legal).
-				v := string(e.Arg)
-				ki.values[v] = append(ki.values[v], e)
-			case kite.OpFAA:
-				if e.Delta != 0 {
-					ki.hasMaybeFAA = true
-				}
-			}
-		}
-		if e.Outcome == history.OutcomeOK && e.IsRead() {
-			c.report.Stats.Reads++
-			if e.Op == kite.OpAcquire {
-				c.report.Stats.Acquires++
-				ki.syncReads = append(ki.syncReads, e)
-			}
-		}
-		if e.Outcome == history.OutcomeOK {
-			switch e.Op {
-			case kite.OpRelease:
-				c.report.Stats.Releases++
-			case kite.OpFAA, kite.OpCASWeak, kite.OpCASStrong:
-				c.report.Stats.RMWs++
-			}
-		}
+		c.Observe(rec.Events[i])
 	}
-	c.report.Stats.Events = len(rec.Events)
-	c.report.Stats.Sessions = len(c.sessions)
-	c.report.Stats.Keys = len(c.keys)
-	return c
-}
-
-func (c *checker) key(k uint64) *keyIndex {
-	ki := c.keys[k]
-	if ki == nil {
-		ki = &keyIndex{values: make(map[string][]*history.Event)}
-		c.keys[k] = ki
-	}
-	return ki
-}
-
-func (c *checker) violate(kind string, key uint64, msg string, window ...*history.Event) {
-	if len(c.report.Violations) >= maxViolations {
-		c.report.Truncated++
-		return
-	}
-	v := Violation{Kind: kind, Key: key, Msg: msg}
-	for _, e := range window {
-		v.Window = append(v.Window, *e)
-	}
-	c.report.Violations = append(c.report.Violations, v)
-}
-
-// checkSessionOrder: indices are dense and intervals well-formed — the
-// recorder guarantees this for live runs; synthetic histories are checked
-// so later passes can rely on it.
-func (c *checker) checkSessionOrder() {
-	for sid, evs := range c.sessions {
-		for i, e := range evs {
-			if e.Index != i {
-				c.violate("session-order", e.Key,
-					fmt.Sprintf("session %d event %d has index %d (gap or duplicate)", sid, i, e.Index), e)
-				break
-			}
-			if e.Complete < e.Invoke {
-				c.violate("session-order", e.Key,
-					fmt.Sprintf("session %d#%d completes before it is invoked", sid, i), e)
-			}
-		}
-	}
-}
-
-// checkReadValidity: every successful non-empty read returns a value
-// somebody wrote to that key (out-of-thin-air detection).
-func (c *checker) checkReadValidity() {
-	for _, evs := range c.sessions {
-		for _, e := range evs {
-			if e.Outcome != history.OutcomeOK || !e.IsRead() || len(e.Out) == 0 {
-				continue
-			}
-			ki := c.keys[e.Key]
-			if ki.hasMaybeFAA {
-				continue // counter values unknowable on this key
-			}
-			if len(ki.values[string(e.Out)]) == 0 {
-				c.violate("read-from-nowhere", e.Key,
-					fmt.Sprintf("read returned %q which no operation ever wrote to key %d", e.Out, e.Key), e)
-			}
-		}
-	}
-}
-
-// sessWrites builds the per-key write index of one session.
-func sessWrites(evs []*history.Event) map[uint64]*sessKeyWrites {
-	out := make(map[uint64]*sessKeyWrites)
-	get := func(k uint64) *sessKeyWrites {
-		s := out[k]
-		if s == nil {
-			s = &sessKeyWrites{byValue: make(map[string]int)}
-			out[k] = s
-		}
-		return s
-	}
-	for _, e := range evs {
-		if e.Outcome == history.OutcomeNever {
-			continue
-		}
-		switch {
-		case e.Outcome == history.OutcomeOK && e.IsWrite():
-			s := get(e.Key)
-			s.byValue[string(e.Value())] = e.Index
-			s.okIdx = append(s.okIdx, e.Index)
-			s.okEvt = append(s.okEvt, e)
-		case e.Outcome == history.OutcomeMaybe:
-			switch e.Op {
-			case kite.OpWrite, kite.OpRelease, kite.OpCASWeak, kite.OpCASStrong:
-				get(e.Key).byValue[string(e.Arg)] = e.Index
-			}
-		}
-	}
-	return out
-}
-
-// lastOKBefore returns the session's latest definite write on the key with
-// index < bound (nil if none).
-func (s *sessKeyWrites) lastOKBefore(bound int) *history.Event {
-	i := sort.SearchInts(s.okIdx, bound) - 1
-	if i < 0 {
-		return nil
-	}
-	return s.okEvt[i]
-}
-
-// checkReadYourWrites: within one session, a read never returns a value
-// older than the session's own latest preceding definite write on that key
-// — and never returns nothing once the session has definitely written.
-// DoBatch events live in session order, so a torn batch (a batched read
-// missing the batched write right before it) fails here.
-func (c *checker) checkReadYourWrites() {
-	for sid, evs := range c.sessions {
-		own := sessWrites(evs)
-		for _, e := range evs {
-			if e.Outcome != history.OutcomeOK || !e.IsRead() {
-				continue
-			}
-			sw := own[e.Key]
-			if sw == nil {
-				continue
-			}
-			w := sw.lastOKBefore(e.Index)
-			if w == nil {
-				continue
-			}
-			if len(e.Out) == 0 {
-				c.violate("read-own-write", e.Key,
-					fmt.Sprintf("session %d read nothing from key %d after its own write #%d", sid, e.Key, w.Index),
-					w, e)
-				continue
-			}
-			if idx, ok := sw.byValue[string(e.Out)]; ok && idx < w.Index {
-				c.violate("read-own-write", e.Key,
-					fmt.Sprintf("session %d read its own stale value (written at #%d) past its later write #%d", sid, idx, w.Index),
-					w, e)
-			}
-		}
-	}
-}
-
-// checkReleaseConsistency: for each successful acquire, anchor the release
-// it observed (by key + value; ambiguous anchors resolve to the weakest
-// constraint) and require every read of the acquiring session up to its
-// next acquire to observe the releasing session's pre-release writes — per
-// key: nothing older than the releaser's last definite write before the
-// release, and never nothing at all.
-func (c *checker) checkReleaseConsistency() {
-	// Index releases (and the writes of each session) once.
-	type relKey struct {
-		key uint64
-		val string
-	}
-	releases := make(map[relKey][]*history.Event)
-	writesBySess := make(map[int]map[uint64]*sessKeyWrites)
-	for sid, evs := range c.sessions {
-		writesBySess[sid] = sessWrites(evs)
-		for _, e := range evs {
-			if e.Op == kite.OpRelease && e.Outcome != history.OutcomeNever {
-				releases[relKey{e.Key, string(e.Arg)}] = append(releases[relKey{e.Key, string(e.Arg)}], e)
-			}
-		}
-	}
-	for _, evs := range c.sessions {
-		for ai, a := range evs {
-			if a.Op != kite.OpAcquire || a.Outcome != history.OutcomeOK || len(a.Out) == 0 {
-				continue
-			}
-			cands := releases[relKey{a.Key, string(a.Out)}]
-			if len(cands) == 0 {
-				continue // read-validity reports thin-air values
-			}
-			// Ambiguity resolution: all candidates in one session — take
-			// the earliest (weakest constraint); cross-session duplicate
-			// release values are unverifiable, skip.
-			rel := cands[0]
-			for _, r := range cands[1:] {
-				if r.Session != rel.Session {
-					rel = nil
-					break
-				}
-				if r.Index < rel.Index {
-					rel = r
-				}
-			}
-			if rel == nil {
-				continue
-			}
-			pw := writesBySess[rel.Session]
-			// Scan the acquiring session's reads until its next acquire.
-			for _, d := range evs[ai+1:] {
-				if d.Op == kite.OpAcquire {
-					break
-				}
-				if d.Outcome != history.OutcomeOK || !d.IsRead() {
-					continue
-				}
-				sw := pw[d.Key]
-				if sw == nil {
-					continue
-				}
-				wLast := sw.lastOKBefore(rel.Index)
-				if wLast == nil {
-					continue
-				}
-				if len(d.Out) == 0 {
-					c.violate("rc-missing-released-write", d.Key,
-						fmt.Sprintf("read nothing from key %d after acquiring release %q, which ordered write #%d before it",
-							d.Key, a.Out, wLast.Index),
-						wLast, rel, a, d)
-					continue
-				}
-				if idx, ok := sw.byValue[string(d.Out)]; ok && idx < wLast.Index {
-					c.violate("rc-stale-read", d.Key,
-						fmt.Sprintf("read value written at releaser's #%d from key %d after acquiring release %q, which ordered the newer write #%d before it",
-							idx, d.Key, a.Out, wLast.Index),
-						wLast, rel, a, d)
-				}
-			}
-		}
-	}
-}
-
-// checkSyncAtomicity is the k-atomicity sweep over each key's
-// synchronisation register: writes = successful releases / swapped CASes /
-// FAAs, reads = successful acquires. A read observing write W while >= k
-// other writes completed wholly between W's completion and the read's
-// invocation is a k-atomicity violation (k=1: the read is simply stale).
-// The sweep is O(n log n): writes enter a Fenwick tree (indexed by invoke
-// rank) in completion order as reads advance in invocation order.
-func (c *checker) checkSyncAtomicity() {
-	for key, ki := range c.keys {
-		if len(ki.syncReads) == 0 || len(ki.syncWrites) == 0 {
-			continue
-		}
-		writes := append([]*history.Event(nil), ki.syncWrites...)
-		sort.Slice(writes, func(i, j int) bool { return writes[i].Complete < writes[j].Complete })
-		reads := append([]*history.Event(nil), ki.syncReads...)
-		sort.Slice(reads, func(i, j int) bool { return reads[i].Invoke < reads[j].Invoke })
-
-		// Fenwick over invoke ranks.
-		invokes := make([]int64, len(writes))
-		for i, w := range writes {
-			invokes[i] = w.Invoke
-		}
-		sort.Slice(invokes, func(i, j int) bool { return invokes[i] < invokes[j] })
-		rankOf := func(t int64) int { // # invokes <= t
-			return sort.Search(len(invokes), func(i int) bool { return invokes[i] > t })
-		}
-		fen := make([]int, len(invokes)+1)
-		add := func(r int) {
-			for ; r <= len(invokes); r += r & -r {
-				fen[r]++
-			}
-		}
-		sum := func(r int) int { // inserted writes with invoke-rank <= r
-			s := 0
-			for ; r > 0; r -= r & -r {
-				s += fen[r]
-			}
-			return s
-		}
-
-		wi, inserted := 0, 0
-		for _, rd := range reads {
-			for wi < len(writes) && writes[wi].Complete < rd.Invoke {
-				add(rankOf(writes[wi].Invoke))
-				inserted++
-				wi++
-			}
-			// The write this read observed: the latest-completing match
-			// (most favourable to the history).
-			var w *history.Event
-			wComplete := int64(-1)
-			if len(rd.Out) != 0 {
-				cands := ki.values[string(rd.Out)]
-				ok := false
-				for _, cand := range cands {
-					if cand.Outcome != history.OutcomeOK || !cand.IsSync() {
-						// Reading an indeterminate (or relaxed) write:
-						// its completion is unknowable; skip the sweep.
-						ok = false
-						break
-					}
-					if w == nil || cand.Complete > w.Complete {
-						w = cand
-						ok = true
-					}
-				}
-				if !ok || w == nil {
-					continue
-				}
-				wComplete = w.Complete
-			}
-			// Interveners: inserted writes (complete < rd.Invoke) whose
-			// invoke > wComplete — fully after W, fully before the read.
-			interveners := inserted - sum(rankOf(wComplete))
-			if w != nil && w.Complete < rd.Invoke {
-				// W itself is in the tree but its invoke <= its complete,
-				// so it is never counted as an intervener. (Asserted by
-				// construction; nothing to subtract.)
-				_ = w
-			}
-			if interveners >= c.k {
-				witness := c.findIntervener(writes, wComplete, rd.Invoke)
-				if len(rd.Out) == 0 {
-					c.violate("sync-stale-read", key,
-						fmt.Sprintf("acquire observed the initial value of key %d although %d synchronisation write(s) had wholly completed (k=%d)",
-							key, interveners, c.k),
-						witness, rd)
-				} else {
-					c.violate("sync-stale-read", key,
-						fmt.Sprintf("acquire observed %q on key %d although %d later synchronisation write(s) wholly intervened (k=%d)",
-							rd.Out, key, interveners, c.k),
-						w, witness, rd)
-				}
-			}
-		}
-	}
-}
-
-// findIntervener returns one write wholly inside (afterComplete,
-// beforeInvoke) as the counterexample witness.
-func (c *checker) findIntervener(writes []*history.Event, afterComplete, beforeInvoke int64) *history.Event {
-	for _, w := range writes {
-		if w.Invoke > afterComplete && w.Complete < beforeInvoke {
-			return w
-		}
-	}
-	return writes[0]
-}
-
-// checkRMW: lost updates and double swaps. Two successful FAAs (with
-// non-zero delta) that observed the same old value on one key both
-// extended the same counter state — one update is lost. Two successful
-// CASes that consumed the same comparand on one key double-spent a value
-// (written values are unique per key in checkable histories).
-func (c *checker) checkRMW() {
-	type seen struct {
-		faa map[string]*history.Event
-		cas map[string]*history.Event
-	}
-	perKey := make(map[uint64]*seen)
-	for _, evs := range c.sessions {
-		for _, e := range evs {
-			if e.Outcome != history.OutcomeOK {
-				continue
-			}
-			switch e.Op {
-			case kite.OpFAA:
-				if e.Delta == 0 {
-					continue
-				}
-				s := perKey[e.Key]
-				if s == nil {
-					s = &seen{faa: map[string]*history.Event{}, cas: map[string]*history.Event{}}
-					perKey[e.Key] = s
-				}
-				if prev, dup := s.faa[string(e.Out)]; dup {
-					c.violate("rmw-lost-update", e.Key,
-						fmt.Sprintf("two FAAs on key %d both observed old value %q — one increment is lost", e.Key, e.Out),
-						prev, e)
-				} else {
-					s.faa[string(e.Out)] = e
-				}
-			case kite.OpCASWeak, kite.OpCASStrong:
-				if !e.Swapped {
-					continue
-				}
-				s := perKey[e.Key]
-				if s == nil {
-					s = &seen{faa: map[string]*history.Event{}, cas: map[string]*history.Event{}}
-					perKey[e.Key] = s
-				}
-				if prev, dup := s.cas[string(e.Expected)]; dup {
-					c.violate("rmw-double-swap", e.Key,
-						fmt.Sprintf("two successful CASes on key %d consumed the same comparand %q", e.Key, e.Expected),
-						prev, e)
-				} else {
-					s.cas[string(e.Expected)] = e
-				}
-			}
-		}
-	}
+	return c.Finish()
 }

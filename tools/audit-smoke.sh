@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Online-audit smoke: boots a real 2-group x 3-replica sharded kite-node
+# deployment, runs the kite-audit self-test drill (the pipeline must catch
+# deliberately injected violations), then attaches kite-audit to the live
+# deployment for AUDIT_SECS seconds and requires a clean, covered audit.
+#
+# This is the end-to-end path an operator runs: kite-audit dials the
+# deployment through the public client, leases prober sessions, and streams
+# sampled operations through the incremental checker while the nodes serve.
+#
+# Usage: tools/audit-smoke.sh [workdir]
+# Env: AUDIT_SECS (default 10) — how long the standing audit runs.
+#      AUDIT_BUDGET (default 65536) — checker memory budget (judged events
+#      retained); small values exercise live eviction.
+
+set -euo pipefail
+
+AUDIT_SECS=${AUDIT_SECS:-10}
+AUDIT_BUDGET=${AUDIT_BUDGET:-65536}
+BASE=${BASE:-7500}
+CLIENT_BASE=${CLIENT_BASE:-9500}
+
+work=${1:-}
+cleanup_work=0
+if [[ -z "$work" ]]; then
+  work=$(mktemp -d /tmp/kite-audit-smoke.XXXXXX)
+  cleanup_work=1
+fi
+mkdir -p "$work"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  if [[ $cleanup_work -eq 1 ]]; then
+    rm -rf "$work"
+  fi
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$work/kite-node" ./cmd/kite-node
+go build -o "$work/kite-cli" ./cmd/kite-cli
+go build -o "$work/kite-audit" ./cmd/kite-audit
+
+echo "== selftest: the pipeline must catch injected violations"
+"$work/kite-audit" -selftest
+
+start_node() { # start_node <group> <id>
+  local group=$1 id=$2
+  "$work/kite-node" -groups 2 -group "$group" -id "$id" -nodes 3 -base "$BASE" \
+    -client-addr "127.0.0.1:$((CLIENT_BASE + group * 100 + id))" \
+    >>"$work/node-g$group-$id.log" 2>&1 &
+  pids+=($!)
+  disown $!
+}
+
+echo "== booting 2-group x 3-replica sharded deployment"
+for g in 0 1; do
+  for id in 0 1 2; do
+    start_node "$g" "$id"
+  done
+done
+
+await_ready() { # await_ready <addr>
+  for _ in $(seq 1 100); do
+    if "$work/kite-cli" -addr "$1" -timeout 2s read 1 >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "deployment at $1 never became ready" >&2
+  return 1
+}
+await_ready "127.0.0.1:$CLIENT_BASE"
+await_ready "127.0.0.1:$((CLIENT_BASE + 100))"
+
+echo "== standing audit for ${AUDIT_SECS}s against the live deployment"
+"$work/kite-audit" \
+  -addrs "127.0.0.1:$CLIENT_BASE,127.0.0.1:$((CLIENT_BASE + 100))" \
+  -duration "${AUDIT_SECS}s" -budget "$AUDIT_BUDGET" -json "$work/audit.json"
+
+echo "== audit summary"
+cat "$work/audit.json"
+echo "== PASS"
